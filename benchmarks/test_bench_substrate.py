@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Performance guards, not paper artefacts: Monte Carlo throughput depends on
+these staying cheap.  Each runs under pytest-benchmark's normal timing
+loop (they are fast enough to iterate).
+"""
+
+import numpy as np
+
+from repro.channel.channel import without_collision_detection
+from repro.channel.simulator import run_uniform
+from repro.infotheory.condense import CondensedDistribution
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.huffman import huffman_code_lengths
+from repro.lowerbounds.rf_construction import rf_construction
+from repro.protocols.decay import DecayProtocol
+
+N = 2**16
+
+
+def test_bench_run_uniform_decay(benchmark):
+    """One decay execution at k=1000 on the binomial fast path."""
+    protocol = DecayProtocol(N)
+    channel = without_collision_detection()
+    rng = np.random.default_rng(1)
+
+    def run():
+        return run_uniform(protocol, 1000, rng, channel=channel).rounds
+
+    rounds = benchmark(run)
+    assert rounds >= 1
+
+
+def test_bench_sampling(benchmark):
+    """Batch size sampling through the precomputed inverse CDF."""
+    distribution = SizeDistribution.zipf(N, exponent=1.1)
+    rng = np.random.default_rng(2)
+    distribution.sampler()  # warm the cache outside the timed region
+
+    def draw():
+        return distribution.sample_many(rng, 1000)
+
+    samples = benchmark(draw)
+    assert len(samples) == 1000
+
+
+def test_bench_condense(benchmark):
+    """Condensing a full-support size pmf onto L(n)."""
+    distribution = SizeDistribution.uniform(N)
+    pmf = distribution.pmf.tolist()
+
+    def condense():
+        return CondensedDistribution.from_size_pmf(N, pmf)
+
+    condensed = benchmark(condense)
+    assert condensed.num_ranges == 16
+
+
+def test_bench_huffman(benchmark):
+    """Huffman length construction over a 256-symbol alphabet."""
+    rng = np.random.default_rng(3)
+    pmf = rng.dirichlet(np.ones(256)).tolist()
+
+    lengths = benchmark(huffman_code_lengths, pmf)
+    assert len(lengths) == 256
+
+
+def test_bench_rf_construction(benchmark):
+    """Algorithm 1 over a 4096-round schedule."""
+    schedule = DecayProtocol(N).schedule.cycled(4096)
+
+    sequence = benchmark(rf_construction, schedule, N)
+    assert len(sequence) == 2 * 4096

@@ -1,0 +1,40 @@
+"""Supporting-experiment benches: divergence cost, coding sandwiches,
+the Pliam separation, the probability lemmas, baseline crossovers and the
+selective-family combinatorics."""
+
+from .conftest import run_and_check
+
+
+def test_kl_nocd(benchmark, bench_config):
+    """Prediction error charged through 2^(2H+2D) (Theorem 2.12)."""
+    run_and_check(benchmark, "KL-NCD", bench_config)
+
+
+def test_kl_cd(benchmark, bench_config):
+    """Prediction error charged through (H+D+1)^2 (Theorem 2.16)."""
+    run_and_check(benchmark, "KL-CD", bench_config)
+
+
+def test_source_coding(benchmark, bench_config):
+    """Theorem 2.2 / 2.3 sandwiches over the distribution gallery."""
+    run_and_check(benchmark, "SRC-CODE", bench_config)
+
+
+def test_pliam_gap(benchmark, bench_config):
+    """Guesswork / 2^H diverges on the Pliam family (Sec 2.5 conjecture)."""
+    run_and_check(benchmark, "PLIAM", bench_config)
+
+
+def test_lemma_windows(benchmark, bench_config):
+    """Lemmas 2.6 / 2.10 / 2.13 success-probability windows."""
+    run_and_check(benchmark, "LEMMA-PROBS", bench_config)
+
+
+def test_crossover(benchmark, bench_config):
+    """Prediction protocols vs decay/Willard across the entropy sweep."""
+    run_and_check(benchmark, "BASELINE-X", bench_config)
+
+
+def test_ssf_bounds(benchmark, bench_config):
+    """Strongly selective families and the non-interactive advice floor."""
+    run_and_check(benchmark, "SSF", bench_config)

@@ -1,0 +1,23 @@
+"""Table 2 regeneration benches: the four perfect-advice tight bounds."""
+
+from .conftest import run_and_check
+
+
+def test_t2_det_nocd(benchmark, bench_config):
+    """Deterministic no-CD: worst case Theta(n / 2^b) (Theorem 3.4)."""
+    run_and_check(benchmark, "T2-DET-NCD", bench_config)
+
+
+def test_t2_det_cd(benchmark, bench_config):
+    """Deterministic CD: worst case Theta(log n - b) (Theorem 3.5)."""
+    run_and_check(benchmark, "T2-DET-CD", bench_config)
+
+
+def test_t2_rand_nocd(benchmark, bench_config):
+    """Randomized no-CD: E[rounds] = Theta(log n / 2^b) (Theorem 3.6)."""
+    run_and_check(benchmark, "T2-RAND-NCD", bench_config)
+
+
+def test_t2_rand_cd(benchmark, bench_config):
+    """Randomized CD: E[rounds] = Theta(log log n - b) (Theorem 3.7)."""
+    run_and_check(benchmark, "T2-RAND-CD", bench_config)

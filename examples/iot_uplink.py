@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""IoT uplink scenario: a season of diurnal traffic with a drifting model.
+
+A LoRa-style gateway serves up to ``n = 2^16`` sensors.  Active-device
+counts follow a diurnal pattern (few at night, bursts at day), and the
+gateway's predictor is re-fit periodically from observed history - so its
+quality *drifts* between refits.  We simulate a season hour by hour:
+
+1. each hour draws a true active count from the hour's distribution;
+2. the gateway runs the paper's prediction protocols against the current
+   (possibly stale) model;
+3. every ``REFIT_HOURS`` the model snaps back to the truth.
+
+The output shows latency (rounds to first successful uplink) over the
+season, the cost spike when the workload shifts under a stale model, and
+recovery at refit - the "improves for free as the model improves" story
+from the paper's introduction, end to end.
+
+Run:  python examples/iot_uplink.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CodeSearchProtocol,
+    DecayProtocol,
+    Prediction,
+    SizeDistribution,
+    SortedProbingProtocol,
+    run_uniform,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.analysis.metrics import Summary
+from repro.infotheory.perturb import divergence_between, floor_support, shift_ranges
+
+N = 2**16
+HOURS = 24 * 14          # a fortnight, hourly slots
+REFIT_HOURS = 24 * 7     # weekly model refits
+DRIFT_AT_HOUR = 24 * 4   # day 4: a firmware rollout doubles night traffic
+SEED = 20210726
+
+
+def hour_distribution(hour: int, *, drifted: bool) -> SizeDistribution:
+    """The true active-count distribution for the given hour of day."""
+    time_of_day = hour % 24
+    night = time_of_day < 6 or time_of_day >= 22
+    if night:
+        base = 6 if not drifted else 24  # rollout: chattier nights
+        return SizeDistribution.bimodal(
+            N, low_size=base, high_size=4 * base, low_weight=0.8
+        )
+    busy = 800 + 400 * (1 if 9 <= time_of_day <= 17 else 0)
+    return SizeDistribution.bimodal(
+        N, low_size=busy // 4, high_size=busy, low_weight=0.3
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    nocd = without_collision_detection()
+    cd = with_collision_detection()
+
+    model: dict[int, Prediction] = {}
+    weekly_rounds: dict[str, list[int]] = {
+        "decay": [], "sorted": [], "code": [],
+    }
+    spike_rounds: list[int] = []
+    post_refit_rounds: list[int] = []
+
+    for hour in range(HOURS):
+        drifted = hour >= DRIFT_AT_HOUR
+        truth = hour_distribution(hour, drifted=drifted)
+
+        if hour % REFIT_HOURS == 0:
+            # Weekly refit: every hour-slot's model relearns the current
+            # truth.  Between refits the models go stale under drift.
+            model.clear()
+        if (hour % 24) not in model:
+            model[hour % 24] = Prediction(
+                floor_support(
+                    hour_distribution(hour % 24, drifted=drifted), 1e-3
+                )
+            )
+        prediction = model[hour % 24]
+
+        k = truth.sample(rng)
+        decay_result = run_uniform(
+            DecayProtocol(N), k, rng, channel=nocd, max_rounds=50_000
+        )
+        sorted_result = run_uniform(
+            SortedProbingProtocol(prediction, one_shot=False),
+            k, rng, channel=nocd, max_rounds=50_000,
+        )
+        code_result = run_uniform(
+            CodeSearchProtocol(prediction, one_shot=False),
+            k, rng, channel=cd, max_rounds=50_000,
+        )
+        weekly_rounds["decay"].append(decay_result.rounds)
+        weekly_rounds["sorted"].append(sorted_result.rounds)
+        weekly_rounds["code"].append(code_result.rounds)
+
+        # Score the drift story on the night slots where it bites.
+        time_of_day = hour % 24
+        night = time_of_day < 6 or time_of_day >= 22
+        if night and DRIFT_AT_HOUR <= hour < REFIT_HOURS:
+            spike_rounds.append(sorted_result.rounds)
+        if night and REFIT_HOURS <= hour:
+            post_refit_rounds.append(sorted_result.rounds)
+
+    print(f"season: {HOURS} hourly slots, drift at hour {DRIFT_AT_HOUR}, "
+          f"refit every {REFIT_HOURS}h")
+    print()
+    print(f"{'protocol':24s}  {'mean rounds':>11s}  {'p90':>6s}")
+    for name, label in (
+        ("decay", "decay (no model)"),
+        ("sorted", "sorted probing (no-CD)"),
+        ("code", "code search (CD)"),
+    ):
+        summary = Summary.from_samples(weekly_rounds[name])
+        print(f"{label:24s}  {summary.mean:11.2f}  {summary.p90:6.1f}")
+
+    stale = Summary.from_samples(spike_rounds)
+    fresh = Summary.from_samples(post_refit_rounds)
+    night_truth = hour_distribution(2, drifted=True)
+    stale_model = hour_distribution(2, drifted=False)
+    print()
+    print(
+        f"stale-model divergence on drifted nights: "
+        f"{divergence_between(night_truth, floor_support(shift_ranges(stale_model, 0), 1e-3)):.2f} bits"
+    )
+    print(f"sorted probing during stale window : {stale.mean:.2f} mean rounds")
+    print(f"sorted probing after weekly refit  : {fresh.mean:.2f} mean rounds")
+    print()
+    print(
+        "The stale window costs extra rounds (the divergence term of\n"
+        "Theorem 2.12); the refit recovers the low-latency regime without\n"
+        "any protocol change - predictions improve, the algorithm improves."
+    )
+
+
+if __name__ == "__main__":
+    main()

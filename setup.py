@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so PEP
+517/660 builds are unavailable; this shim lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,209 @@
+"""Exact (non-Monte-Carlo) round-complexity computation.
+
+For *oblivious* uniform protocols - fixed probability schedules - the
+solve-time distribution is a product of independent per-round Bernoulli
+successes and can be computed exactly:
+
+    ``q_r = k p_r (1 - p_r)^(k-1)``        per-round success probability
+    ``P(T = r) = q_r * prod_{s<r} (1 - q_s)``
+
+This gives experiments a zero-variance alternative to simulation for
+decay, sorted probing and the truncated-decay advice protocol, and it
+gives the tests an oracle to validate the Monte Carlo engine against.
+
+For *adaptive* CD policies the analogue is an expectation over collision
+histories: :func:`cd_expected_rounds` walks the history tree, weighting
+each branch by its exact probability (silence ``(1-p)^k``, success
+``kp(1-p)^(k-1)``, collision the rest) with mass-based pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.uniform import HistoryPolicy, ProbabilitySchedule
+from ..lowerbounds.success_bounds import single_success_probability
+
+__all__ = [
+    "round_success_probabilities",
+    "SolveTimeDistribution",
+    "schedule_solve_time",
+    "schedule_success_within",
+    "expected_rounds_mixture",
+    "cd_expected_rounds",
+]
+
+
+def round_success_probabilities(
+    schedule: ProbabilitySchedule | Sequence[float], k: int
+) -> np.ndarray:
+    """Per-round success probabilities ``q_r = k p_r (1-p_r)^(k-1)``."""
+    probabilities = (
+        schedule.probabilities
+        if isinstance(schedule, ProbabilitySchedule)
+        else tuple(schedule)
+    )
+    return np.asarray(
+        [single_success_probability(k, p) for p in probabilities], dtype=float
+    )
+
+
+@dataclass(frozen=True)
+class SolveTimeDistribution:
+    """Exact distribution of the solving round for an oblivious schedule.
+
+    Attributes
+    ----------
+    pmf:
+        ``pmf[r-1] = P(T = r)`` for rounds ``1..R``.
+    residual:
+        ``P(T > R)`` - probability the schedule's horizon ends unsolved.
+    """
+
+    pmf: np.ndarray
+    residual: float
+
+    @property
+    def horizon(self) -> int:
+        return len(self.pmf)
+
+    def success_probability(self) -> float:
+        """``P(T <= R)``."""
+        return float(self.pmf.sum())
+
+    def success_within(self, budget: int) -> float:
+        """``P(T <= budget)`` for ``budget <= R``."""
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        return float(self.pmf[: min(budget, self.horizon)].sum())
+
+    def expected_rounds_conditional(self) -> float:
+        """``E[T | T <= R]``: mean solving round over solved executions."""
+        mass = self.success_probability()
+        if mass <= 0.0:
+            return math.inf
+        rounds = np.arange(1, self.horizon + 1)
+        return float((rounds * self.pmf).sum() / mass)
+
+    def expected_rounds_with_penalty(self, penalty: float) -> float:
+        """``E[min(T, penalty)]``-style score charging ``penalty`` per miss."""
+        rounds = np.arange(1, self.horizon + 1)
+        return float((rounds * self.pmf).sum() + self.residual * penalty)
+
+
+def schedule_solve_time(
+    schedule: ProbabilitySchedule | Sequence[float],
+    k: int,
+    *,
+    horizon: int | None = None,
+    cycle: bool = False,
+) -> SolveTimeDistribution:
+    """Exact solve-time distribution of an oblivious schedule.
+
+    With ``cycle=True`` the schedule repeats to fill ``horizon`` rounds
+    (which must then be provided); otherwise the horizon is the schedule
+    length (or ``horizon`` if smaller).
+    """
+    probabilities = list(
+        schedule.probabilities
+        if isinstance(schedule, ProbabilitySchedule)
+        else schedule
+    )
+    if cycle:
+        if horizon is None:
+            raise ValueError("cycling schedules need an explicit horizon")
+        repeats = -(-horizon // len(probabilities))
+        probabilities = (probabilities * repeats)[:horizon]
+    elif horizon is not None:
+        probabilities = probabilities[:horizon]
+    q = round_success_probabilities(probabilities, k)
+    survival = np.concatenate([[1.0], np.cumprod(1.0 - q)])
+    pmf = q * survival[:-1]
+    return SolveTimeDistribution(pmf=pmf, residual=float(survival[-1]))
+
+
+def schedule_success_within(
+    schedule: ProbabilitySchedule | Sequence[float], k: int, budget: int
+) -> float:
+    """Exact ``P(solve within budget)`` for an oblivious schedule."""
+    return schedule_solve_time(schedule, k, horizon=budget).success_probability()
+
+
+def expected_rounds_mixture(
+    per_size: dict[int, SolveTimeDistribution],
+    weights: dict[int, float],
+) -> float:
+    """Mix conditional expected rounds over a size distribution.
+
+    ``E[T]``-style score weighting each size's conditional expectation by
+    its probability; infinite if any positive-weight size never solves.
+    """
+    total = 0.0
+    for size, weight in weights.items():
+        if weight <= 0.0:
+            continue
+        if size not in per_size:
+            raise ValueError(f"missing solve-time distribution for size {size}")
+        total += weight * per_size[size].expected_rounds_conditional()
+    return total
+
+
+def cd_expected_rounds(
+    policy: HistoryPolicy,
+    k: int,
+    *,
+    max_depth: int,
+    prune_mass: float = 1e-9,
+    max_nodes: int = 2_000_000,
+) -> tuple[float, float]:
+    """Expected solving round of a CD policy, by history-tree expansion.
+
+    Returns ``(expected_rounds_contribution, solved_mass)`` where the
+    first term is ``E[T * 1{T <= max_depth}]`` and the second
+    ``P(T <= max_depth)``; their ratio is the conditional expectation.
+    Branches with probability mass below ``prune_mass`` are dropped
+    (their contribution is bounded by ``prune_mass * max_depth`` each).
+
+    The history tree is exponential in ``max_depth``; ``max_nodes`` caps
+    the exploration and raises ``ValueError`` when exceeded, so callers
+    discover an infeasible depth immediately instead of hanging.  Depths
+    up to ~20 with the default prune are comfortably feasible for the
+    search policies in this library (most branch mass dies quickly into
+    successes).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if max_depth < 1:
+        raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+    if prune_mass <= 0:
+        raise ValueError(f"prune_mass must be > 0, got {prune_mass}")
+
+    expected = 0.0
+    solved_mass = 0.0
+    nodes_visited = 0
+    # Stack of (history, mass); round number = len(history) + 1.
+    stack: list[tuple[str, float]] = [("", 1.0)]
+    while stack:
+        history, mass = stack.pop()
+        round_index = len(history) + 1
+        if round_index > max_depth or mass < prune_mass:
+            continue
+        nodes_visited += 1
+        if nodes_visited > max_nodes:
+            raise ValueError(
+                f"history-tree expansion exceeded {max_nodes} nodes; "
+                "reduce max_depth or raise prune_mass"
+            )
+        p = policy.probability(history)
+        p_success = single_success_probability(k, p)
+        p_silence = (1.0 - p) ** k
+        p_collision = max(0.0, 1.0 - p_silence - p_success)
+        expected += mass * p_success * round_index
+        solved_mass += mass * p_success
+        stack.append((history + "0", mass * p_silence))
+        stack.append((history + "1", mass * p_collision))
+    return expected, solved_mass

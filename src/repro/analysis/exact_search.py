@@ -1,0 +1,149 @@
+"""Exact expected rounds for the phased noisy binary search.
+
+The generic history-tree expansion (:func:`repro.analysis.exact.
+cd_expected_rounds`) is exponential in depth.  For the library's own
+:class:`~repro.protocols.searching.PhasedSearchProtocol` - which covers
+Willard's search, the Section 2.6 code-class search and the Theorem 3.7
+truncated search - the session state is tiny and explicit:
+
+    (phase index, lo, hi, votes cast, collision votes)
+
+with at most ``phases * L^2 * repetitions^2`` states.  Transitions within
+one pass form a DAG (votes grow, intervals shrink, phases advance), and a
+restarting protocol loops back to the initial state when the last phase
+exhausts.  :func:`phased_search_expected_rounds` therefore computes the
+*exact* expected solving round by backward induction over the DAG,
+closing the single restart loop algebraically:
+
+    E[state] = a(state) + b(state) * E[initial]
+    E[initial] = a(initial) / (1 - b(initial))
+
+where ``b(state)`` is the probability of reaching the restart edge before
+success from ``state``.  This replaces Monte Carlo for CD experiments
+that only need expectations, and gives the tests a zero-variance oracle
+for the search protocols.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..infotheory.condense import range_probability
+from ..lowerbounds.success_bounds import single_success_probability
+from ..protocols.searching import PhasedSearchProtocol
+
+__all__ = ["phased_search_expected_rounds", "PhasedSearchExpectation"]
+
+
+@dataclass(frozen=True)
+class PhasedSearchExpectation:
+    """Result of the exact analysis.
+
+    Attributes
+    ----------
+    expected_rounds:
+        For restarting protocols: the exact expected solving round
+        (infinite when no probe can ever isolate a transmitter).  For
+        one-shot protocols: the exact expected number of rounds *spent*
+        (solving or giving up).
+    success_probability_per_pass:
+        Probability that a single pass through all phases solves the
+        problem - the constant-probability quantity of Lemma 2.17 /
+        Theorem 2.16.
+    """
+
+    expected_rounds: float
+    success_probability_per_pass: float
+
+
+def phased_search_expected_rounds(
+    protocol: PhasedSearchProtocol, k: int
+) -> PhasedSearchExpectation:
+    """Exact expectation for a phased search against ``k`` participants.
+
+    Works for any :class:`PhasedSearchProtocol`; the optional ``handle_k1``
+    round adds one round to the expectation (it never solves for
+    ``k >= 2``, and this function requires ``k >= 2`` when that round is
+    present to keep the accounting exact).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if protocol.handle_k1 and k < 2:
+        raise ValueError(
+            "exact analysis with handle_k1 assumes k >= 2 (a lone player "
+            "is solved by the extra round immediately)"
+        )
+    phases = [tuple(phase) for phase in protocol.phases if phase]
+    repetitions = protocol.repetitions
+    restart = protocol.restart
+
+    def outcome_probabilities(range_index: int) -> tuple[float, float, float]:
+        """(success, silence, collision) for one probe of ``range_index``."""
+        p = range_probability(range_index)
+        success = single_success_probability(k, p)
+        silence = (1.0 - p) ** k
+        collision = max(0.0, 1.0 - silence - success)
+        return success, silence, collision
+
+    def after_vote(
+        phase_idx: int, lo: int, hi: int, mid: int, collision_votes: int
+    ) -> tuple[int, int, int, int, int]:
+        """State following a completed majority vote at ``mid``."""
+        if 2 * collision_votes > repetitions:
+            return phase_idx, mid + 1, hi, 0, 0
+        return phase_idx, lo, mid - 1, 0, 0
+
+    # Each state's value is (a, b, f): expected rounds accumulated before
+    # absorption, probability of absorbing at the restart edge, and
+    # probability of absorbing at the one-shot give-up edge.  Success
+    # absorbs with no further contribution to any component.
+    @lru_cache(maxsize=None)
+    def value(
+        phase_idx: int, lo: int, hi: int, votes: int, collisions: int
+    ) -> tuple[float, float, float]:
+        if lo > hi:
+            if phase_idx + 1 < len(phases):
+                next_hi = len(phases[phase_idx + 1]) - 1
+                return value(phase_idx + 1, 0, next_hi, 0, 0)
+            if restart:
+                return 0.0, 1.0, 0.0  # loop back to the initial state
+            return 0.0, 0.0, 1.0  # one-shot: give up
+        mid = (lo + hi) // 2
+        success, silence, collision = outcome_probabilities(
+            phases[phase_idx][mid]
+        )
+        if votes + 1 >= repetitions:
+            next_on_silence = after_vote(phase_idx, lo, hi, mid, collisions)
+            next_on_collision = after_vote(
+                phase_idx, lo, hi, mid, collisions + 1
+            )
+        else:
+            next_on_silence = (phase_idx, lo, hi, votes + 1, collisions)
+            next_on_collision = (phase_idx, lo, hi, votes + 1, collisions + 1)
+        a_s, b_s, f_s = value(*next_on_silence)
+        a_c, b_c, f_c = value(*next_on_collision)
+        a = 1.0 + silence * a_s + collision * a_c
+        b = silence * b_s + collision * b_c
+        f = silence * f_s + collision * f_c
+        return a, b, f
+
+    initial = (0, 0, len(phases[0]) - 1, 0, 0)
+    a0, b0, f0 = value(*initial)
+    k1_offset = 1.0 if protocol.handle_k1 else 0.0
+
+    if restart:
+        per_pass_success = max(0.0, 1.0 - b0)
+        if b0 >= 1.0 - 1e-15:
+            return PhasedSearchExpectation(
+                expected_rounds=math.inf, success_probability_per_pass=0.0
+            )
+        return PhasedSearchExpectation(
+            expected_rounds=a0 / (1.0 - b0) + k1_offset,
+            success_probability_per_pass=per_pass_success,
+        )
+    return PhasedSearchExpectation(
+        expected_rounds=a0 + k1_offset,
+        success_probability_per_pass=max(0.0, 1.0 - f0),
+    )

@@ -1,0 +1,145 @@
+"""Statistical summaries used by the Monte Carlo harness and experiments.
+
+Plain dataclasses plus a handful of estimators: sample summaries with
+normal-approximation confidence intervals, Wilson intervals for success
+probabilities, and the log-log regression used to extract scaling
+exponents from sweep data (the quantitative form of the paper's shape
+claims).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "ProportionEstimate",
+    "wilson_interval",
+    "loglog_slope",
+    "linear_fit",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample of round counts (or any scalars)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Summary":
+        if len(samples) == 0:
+            raise ValueError("cannot summarise an empty sample")
+        data = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+            minimum=float(data.min()),
+            maximum=float(data.max()),
+            median=float(np.median(data)),
+            p90=float(np.quantile(data, 0.9)),
+        )
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.count) if self.count > 0 else math.inf
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95% CI for the mean."""
+        return 1.96 * self.sem
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        return self.mean - self.ci95_halfwidth, self.mean + self.ci95_halfwidth
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A success-probability estimate with its Wilson 95% interval."""
+
+    successes: int
+    trials: int
+
+    @property
+    def rate(self) -> float:
+        if self.trials == 0:
+            raise ValueError("no trials recorded")
+        return self.successes / self.trials
+
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    @property
+    def lower(self) -> float:
+        return self.interval()[0]
+
+    @property
+    def upper(self) -> float:
+        return self.interval()[1]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because the experiments verify
+    probability *floors* (1/8, 1/16): the Wilson interval behaves sanely
+    near 0 and 1 where the normal interval does not.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside 0..{trials}")
+    phat = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares slope and intercept of ``y = slope * x + intercept``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, deg=1)
+    return float(slope), float(intercept)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Scaling exponent from a log-log regression.
+
+    Fits ``log2 y = slope * log2 x + c``; the slope is the empirical
+    scaling exponent used in the Table 1/2 shape checks (e.g. measured
+    rounds vs ``2^H`` should regress to slope ~2 for the no-CD upper
+    bound's ``2^{2H}``).  Non-positive points are rejected - callers clamp
+    first if their data can touch zero.
+    """
+    for value in list(xs) + list(ys):
+        if value <= 0:
+            raise ValueError("log-log fit requires strictly positive data")
+    log_x = [math.log2(value) for value in xs]
+    log_y = [math.log2(value) for value in ys]
+    slope, _ = linear_fit(log_x, log_y)
+    return slope

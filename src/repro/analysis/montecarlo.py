@@ -1,0 +1,187 @@
+"""Monte Carlo estimation of protocol round complexity.
+
+The workhorse of every experiment: run a protocol many times against a
+fixed size, a size distribution, or an adversarial participant generator,
+and summarise rounds-to-success and success-within-budget.  All entry
+points take an explicit ``numpy`` Generator so every experiment is
+reproducible from its seed, and protocols are passed as zero-argument
+*factories* when they carry per-execution state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.channel import Channel
+from ..channel.simulator import run_players, run_uniform
+from ..core.advice import AdviceFunction
+from ..core.protocol import PlayerProtocol, UniformProtocol
+from ..infotheory.distributions import SizeDistribution
+from .metrics import ProportionEstimate, Summary
+
+__all__ = [
+    "RoundsEstimate",
+    "estimate_uniform_rounds",
+    "estimate_success_within",
+    "estimate_player_rounds",
+]
+
+UniformFactory = Callable[[], UniformProtocol] | UniformProtocol
+SizeSource = int | SizeDistribution | Callable[[np.random.Generator], int]
+
+
+@dataclass(frozen=True)
+class RoundsEstimate:
+    """Joint rounds/success summary of a Monte Carlo batch.
+
+    ``rounds`` summarises the solving round over *successful* trials;
+    ``success`` is the solved-within-budget proportion.  Unsolved trials
+    are excluded from the rounds summary (they are right-censored at the
+    budget); use :attr:`success` to detect and reason about censoring.
+    """
+
+    rounds: Summary
+    success: ProportionEstimate
+
+    @property
+    def mean_rounds(self) -> float:
+        return self.rounds.mean
+
+    @property
+    def success_rate(self) -> float:
+        return self.success.rate
+
+
+def _resolve_protocol(factory: UniformFactory) -> Callable[[], UniformProtocol]:
+    if isinstance(factory, UniformProtocol):
+        return lambda: factory
+    return factory
+
+
+def _resolve_size(source: SizeSource) -> Callable[[np.random.Generator], int]:
+    if isinstance(source, int):
+        if source < 1:
+            raise ValueError(f"fixed size must be >= 1, got {source}")
+        return lambda rng: source
+    if isinstance(source, SizeDistribution):
+        return source.sample
+    return source
+
+
+def estimate_uniform_rounds(
+    protocol: UniformFactory,
+    size_source: SizeSource,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    trials: int,
+    max_rounds: int,
+) -> RoundsEstimate:
+    """Rounds-to-success statistics for a uniform protocol.
+
+    ``protocol`` may be a protocol instance (sessions are created per
+    trial) or a zero-argument factory invoked per trial (needed when the
+    protocol itself depends on per-trial data).  ``size_source`` may be a
+    fixed ``k``, a :class:`SizeDistribution` (a fresh ``k`` is drawn per
+    trial - the paper's Section 2 setting) or a callable.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    make_protocol = _resolve_protocol(protocol)
+    draw_size = _resolve_size(size_source)
+    solved_rounds: list[int] = []
+    successes = 0
+    for _ in range(trials):
+        k = draw_size(rng)
+        result = run_uniform(
+            make_protocol(), k, rng, channel=channel, max_rounds=max_rounds
+        )
+        if result.solved:
+            successes += 1
+            solved_rounds.append(result.rounds)
+    if not solved_rounds:
+        # Universal failure: report a degenerate summary pinned at the
+        # budget so downstream tables stay well-formed and loudly wrong.
+        solved_rounds = [max_rounds]
+    return RoundsEstimate(
+        rounds=Summary.from_samples(solved_rounds),
+        success=ProportionEstimate(successes=successes, trials=trials),
+    )
+
+
+def estimate_success_within(
+    protocol: UniformFactory,
+    size_source: SizeSource,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    trials: int,
+    budget_rounds: int,
+) -> ProportionEstimate:
+    """Probability of solving within ``budget_rounds``.
+
+    The estimator behind every constant-probability claim (Theorems 2.12
+    and 2.16): run one-shot executions capped at the theorem's budget and
+    count successes.
+    """
+    estimate = estimate_uniform_rounds(
+        protocol,
+        size_source,
+        rng,
+        channel=channel,
+        trials=trials,
+        max_rounds=budget_rounds,
+    )
+    return estimate.success
+
+
+def estimate_player_rounds(
+    protocol: PlayerProtocol,
+    participant_source: Callable[[np.random.Generator], frozenset[int]],
+    n: int,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    advice_function: AdviceFunction | None = None,
+    trials: int,
+    max_rounds: int,
+) -> RoundsEstimate:
+    """Rounds-to-success statistics for an identity-aware protocol.
+
+    ``participant_source`` draws a participant set per trial (typically an
+    :class:`~repro.channel.network.Adversary` bound to a size schedule).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    solved_rounds: list[int] = []
+    successes = 0
+    for _ in range(trials):
+        participants = participant_source(rng)
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=channel,
+            advice_function=advice_function,
+            max_rounds=max_rounds,
+        )
+        if result.solved:
+            successes += 1
+            solved_rounds.append(result.rounds)
+    if not solved_rounds:
+        solved_rounds = [max_rounds]
+    return RoundsEstimate(
+        rounds=Summary.from_samples(solved_rounds),
+        success=ProportionEstimate(successes=successes, trials=trials),
+    )
+
+
+def sample_sizes(
+    distribution: SizeDistribution, rng: np.random.Generator, trials: int
+) -> Sequence[int]:
+    """Draw a batch of sizes (convenience for custom experiment loops)."""
+    return [int(k) for k in distribution.sample_many(rng, trials)]

@@ -1,0 +1,81 @@
+"""Tiny ASCII line/scatter plots for the runnable examples.
+
+The examples print their sweeps as terminal plots so a user without a
+plotting stack still *sees* the shapes (entropy scaling, advice decay,
+crossovers).  Deliberately minimal: linear axes, dot markers, one or two
+series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["text_plot"]
+
+_MARKERS = "*o+x#@"
+
+
+def text_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series on a shared-axis ASCII canvas."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    all_x: list[float] = []
+    all_y: list[float] = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched lengths")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        all_x.extend(float(v) for v in xs)
+        all_y.extend(float(v) for v in ys)
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            column = round((float(x) - x_min) / x_span * (width - 1))
+            row = round((float(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_min:.3g}"
+    x_right = f"{x_max:.3g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    lines.append(f"{y_label} vs {x_label}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""The multiple-access channel substrate.
+
+Implements the paper's execution model: a synchronous shared channel with
+or without collision detection, adversarial participant selection, and the
+round-by-round execution engine that drives protocols to the first
+single-transmitter round.
+"""
+
+from .channel import Channel, with_collision_detection, without_collision_detection
+from .network import (
+    Adversary,
+    ClusteredAdversary,
+    PrefixAdversary,
+    RandomAdversary,
+    SpreadAdversary,
+    SuffixAdversary,
+    validate_participants,
+)
+from .simulator import DEFAULT_MAX_ROUNDS, run_players, run_uniform
+from .trace import ExecutionResult, RoundRecord
+
+__all__ = [
+    "Channel",
+    "with_collision_detection",
+    "without_collision_detection",
+    "Adversary",
+    "RandomAdversary",
+    "PrefixAdversary",
+    "SuffixAdversary",
+    "SpreadAdversary",
+    "ClusteredAdversary",
+    "validate_participants",
+    "run_uniform",
+    "run_players",
+    "DEFAULT_MAX_ROUNDS",
+    "ExecutionResult",
+    "RoundRecord",
+]

@@ -1,0 +1,65 @@
+"""The shared multiple-access channel.
+
+A :class:`Channel` encodes the two channel assumptions the paper studies -
+with and without collision detection - and converts per-round transmitter
+counts into ground-truth :class:`~repro.core.feedback.Feedback` plus the
+protocol-visible :class:`~repro.core.feedback.Observation`.
+
+The channel itself is stateless; all randomness lives in the protocols and
+the simulator's RNG.  Factory helpers :func:`with_collision_detection` and
+:func:`without_collision_detection` are provided for readable call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.feedback import Feedback, Observation, feedback_for_count, observe
+
+__all__ = [
+    "Channel",
+    "with_collision_detection",
+    "without_collision_detection",
+]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A synchronous multiple-access channel.
+
+    Attributes
+    ----------
+    collision_detection:
+        Whether players can distinguish collisions from silence.  With
+        detection, "all players (including the transmitters) detect a
+        collision"; without, "players detect silence" (paper Section 1.1).
+    """
+
+    collision_detection: bool
+
+    def resolve(self, transmit_count: int) -> Feedback:
+        """Ground-truth feedback for a round with ``transmit_count`` senders."""
+        return feedback_for_count(transmit_count)
+
+    def observation(self, feedback: Feedback) -> Observation:
+        """What protocols running on this channel can see of ``feedback``."""
+        return observe(feedback, collision_detection=self.collision_detection)
+
+    def round_observation(self, transmit_count: int) -> Observation:
+        """Convenience: transmitter count straight to visible observation."""
+        return self.observation(self.resolve(transmit_count))
+
+    @property
+    def kind(self) -> str:
+        """Short label used in reports: ``'CD'`` or ``'no-CD'``."""
+        return "CD" if self.collision_detection else "no-CD"
+
+
+def with_collision_detection() -> Channel:
+    """The CD channel of Sections 2.4/2.6 and the CD rows of Tables 1-2."""
+    return Channel(collision_detection=True)
+
+
+def without_collision_detection() -> Channel:
+    """The no-CD channel of Sections 2.3/2.5 and the no-CD table rows."""
+    return Channel(collision_detection=False)

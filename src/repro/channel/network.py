@@ -1,0 +1,138 @@
+"""Participant selection: the adversary's half of the model.
+
+In the paper's setting the network size ``k`` is drawn from the size random
+variable ``X`` (Section 2.2) or fixed by the analysis (Section 3), and "the
+adversary only [determines] *which* ``k`` nodes participate".  Uniform
+algorithms are identity-oblivious, so the choice is irrelevant for them;
+the deterministic advice protocols of Section 3 are identity-sensitive, so
+this module provides a family of :class:`Adversary` strategies ranging from
+random to structurally worst-case id sets, used by tests and the Table 2
+experiments to probe the protocols' id-dependence.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "Adversary",
+    "RandomAdversary",
+    "PrefixAdversary",
+    "SuffixAdversary",
+    "SpreadAdversary",
+    "ClusteredAdversary",
+    "validate_participants",
+]
+
+
+def validate_participants(participants: frozenset[int], n: int, k: int) -> None:
+    """Check a participant set is a valid adversary output."""
+    if len(participants) != k:
+        raise ValueError(
+            f"adversary produced {len(participants)} participants, wanted {k}"
+        )
+    for player_id in participants:
+        if not 0 <= player_id < n:
+            raise ValueError(f"player id {player_id} outside 0..{n - 1}")
+
+
+class Adversary(abc.ABC):
+    """Chooses which ``k`` of the ``n`` possible players participate."""
+
+    name: str = "adversary"
+
+    @abc.abstractmethod
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        """A participant set of exactly ``k`` ids from ``0..n-1``."""
+
+    def checked_select(
+        self, n: int, k: int, rng: np.random.Generator
+    ) -> frozenset[int]:
+        """Like :meth:`select` with output validation."""
+        if not 1 <= k <= n:
+            raise ValueError(f"k must be in 1..{n}, got {k}")
+        participants = self.select(n, k, rng)
+        validate_participants(participants, n, k)
+        return participants
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RandomAdversary(Adversary):
+    """Uniformly random ``k``-subset - the oblivious baseline."""
+
+    name = "random"
+
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        chosen = rng.choice(n, size=k, replace=False)
+        return frozenset(int(player_id) for player_id in chosen)
+
+
+class PrefixAdversary(Adversary):
+    """Ids ``0..k-1``: all participants share long id prefixes.
+
+    Benign for the minimum-id advice rule (the target sits in a small
+    subtree) but stresses protocols that scan id space from the front.
+    """
+
+    name = "prefix"
+
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        del rng
+        return frozenset(range(k))
+
+
+class SuffixAdversary(Adversary):
+    """Ids ``n-k..n-1``: forces the deterministic no-CD scan to its end.
+
+    With minimum-id advice and a prefix budget of ``b`` bits, the candidate
+    scan inside the advised subtree visits ids in ascending order; packing
+    participants at the top of the id space maximises the first success
+    slot, realising the ``n / 2^b`` worst case of Section 3.2.
+    """
+
+    name = "suffix"
+
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        del rng
+        return frozenset(range(n - k, n))
+
+
+class SpreadAdversary(Adversary):
+    """Evenly spaced ids: one participant per id-space stripe.
+
+    Makes every subtree of depth ``<= log2 k`` non-empty, the worst case
+    for tree-descent protocols (no early empty-subtree shortcuts).
+    """
+
+    name = "spread"
+
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        del rng
+        stride = n / k
+        chosen = {min(int(index * stride), n - 1) for index in range(k)}
+        # Collisions from rounding are possible when k is close to n; top up
+        # deterministically from the smallest unused ids.
+        candidate = 0
+        while len(chosen) < k:
+            if candidate not in chosen:
+                chosen.add(candidate)
+            candidate += 1
+        return frozenset(chosen)
+
+
+class ClusteredAdversary(Adversary):
+    """A contiguous block of ids at a random offset.
+
+    Models spatially correlated activation (e.g. co-located sensors waking
+    together); keeps the tree-descent path maximally unbalanced.
+    """
+
+    name = "clustered"
+
+    def select(self, n: int, k: int, rng: np.random.Generator) -> frozenset[int]:
+        start = int(rng.integers(0, n - k + 1))
+        return frozenset(range(start, start + k))

@@ -1,0 +1,208 @@
+"""The synchronous round-by-round execution engine.
+
+Two simulation paths, matching the two protocol families:
+
+* :func:`run_uniform` - uniform protocols (Section 2).  All participants
+  share one transmission probability per round, so the number of
+  transmitters is **exactly** ``Binomial(k, p)``; drawing that binomial is
+  a faithful simulation of the channel, not an approximation (identities
+  are irrelevant to uniform algorithms - paper Section 2.2).  This makes
+  Monte Carlo over large ``k`` cheap.
+
+* :func:`run_players` - identity/advice-aware protocols (Section 3).  Each
+  participant runs its own session; the advice function sees the
+  participant set first, exactly as in Section 3.1's model.
+
+Both halt at the first round with exactly one transmitter (the problem's
+success condition) or when the round budget is spent, and both optionally
+record full traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.feedback import Feedback
+from ..core.advice import AdviceFunction, NullAdvice
+from ..core.protocol import (
+    PlayerProtocol,
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+)
+from .channel import Channel
+from .trace import ExecutionResult, RoundRecord
+
+__all__ = [
+    "run_uniform",
+    "run_players",
+    "DEFAULT_MAX_ROUNDS",
+]
+
+#: Default per-execution round budget.  Generous enough that the paper's
+#: algorithms terminate long before it at every experiment scale; harnesses
+#: that measure *failures* set their own budget explicitly.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+def _check_channel(protocol_requires_cd: bool, channel: Channel) -> None:
+    if protocol_requires_cd and not channel.collision_detection:
+        raise ProtocolError(
+            "protocol requires collision detection but the channel has none"
+        )
+
+
+def run_uniform(
+    protocol: UniformProtocol,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_trace: bool = False,
+) -> ExecutionResult:
+    """Execute a uniform protocol with ``k`` participants.
+
+    Returns an :class:`~repro.channel.trace.ExecutionResult`; ``solved`` is
+    ``False`` when the budget ran out or a one-shot schedule exhausted
+    without success.
+
+    Notes
+    -----
+    ``k = 1`` is permitted (the lone participant solves the problem in the
+    first round it transmits); ``k = 0`` is rejected - the problem assumes
+    a non-empty participant set.
+    """
+    if k < 1:
+        raise ValueError(f"participant count must be >= 1, got {k}")
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    _check_channel(protocol.requires_collision_detection, channel)
+
+    session = protocol.session()
+    trace: list[RoundRecord] = []
+    for round_index in range(1, max_rounds + 1):
+        try:
+            probability = session.next_probability()
+        except ScheduleExhausted:
+            return ExecutionResult(
+                solved=False,
+                rounds=round_index - 1,
+                max_rounds=max_rounds,
+                k=k,
+                trace=trace,
+            )
+        transmit_count = int(rng.binomial(k, probability))
+        feedback = channel.resolve(transmit_count)
+        observation = channel.observation(feedback)
+        if record_trace:
+            trace.append(
+                RoundRecord(
+                    round_index=round_index,
+                    probability=probability,
+                    transmit_count=transmit_count,
+                    feedback=feedback,
+                    observation=observation,
+                )
+            )
+        if feedback is Feedback.SUCCESS:
+            return ExecutionResult(
+                solved=True,
+                rounds=round_index,
+                max_rounds=max_rounds,
+                k=k,
+                trace=trace,
+            )
+        session.observe(observation)
+    return ExecutionResult(
+        solved=False, rounds=max_rounds, max_rounds=max_rounds, k=k, trace=trace
+    )
+
+
+def run_players(
+    protocol: PlayerProtocol,
+    participants: frozenset[int],
+    n: int,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    advice_function: AdviceFunction | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_trace: bool = False,
+) -> ExecutionResult:
+    """Execute an identity-aware protocol on an explicit participant set.
+
+    The advice function (default: :class:`~repro.core.advice.NullAdvice`)
+    is evaluated once on the participant set and its output handed to every
+    player session, following Section 3.1.  A mismatch between the
+    protocol's declared ``advice_bits`` and the advice function's budget is
+    an error: the pair is co-designed.
+    """
+    if not participants:
+        raise ValueError("participant set must be non-empty")
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    _check_channel(protocol.requires_collision_detection, channel)
+
+    advice_source = advice_function if advice_function is not None else NullAdvice()
+    if advice_source.bits != protocol.advice_bits:
+        raise ProtocolError(
+            f"protocol expects {protocol.advice_bits} advice bits but the "
+            f"advice function provides {advice_source.bits}"
+        )
+    advice = advice_source.checked_advise(participants, n)
+
+    # Player order is fixed (sorted) so executions are reproducible; the
+    # simulation rng is handed to every session (randomized protocols draw
+    # from it, deterministic ones ignore it).
+    ordered = sorted(participants)
+    sessions = {
+        player_id: protocol.session(player_id, n, advice, rng=rng)
+        for player_id in ordered
+    }
+
+    trace: list[RoundRecord] = []
+    for round_index in range(1, max_rounds + 1):
+        try:
+            decisions = {
+                player_id: session.decide()
+                for player_id, session in sessions.items()
+            }
+        except ScheduleExhausted:
+            return ExecutionResult(
+                solved=False,
+                rounds=round_index - 1,
+                max_rounds=max_rounds,
+                k=len(participants),
+                trace=trace,
+            )
+        transmit_count = sum(1 for transmitted in decisions.values() if transmitted)
+        feedback = channel.resolve(transmit_count)
+        observation = channel.observation(feedback)
+        if record_trace:
+            trace.append(
+                RoundRecord(
+                    round_index=round_index,
+                    probability=None,
+                    transmit_count=transmit_count,
+                    feedback=feedback,
+                    observation=observation,
+                )
+            )
+        if feedback is Feedback.SUCCESS:
+            return ExecutionResult(
+                solved=True,
+                rounds=round_index,
+                max_rounds=max_rounds,
+                k=len(participants),
+                trace=trace,
+            )
+        for player_id, session in sessions.items():
+            session.observe(observation, transmitted=decisions[player_id])
+    return ExecutionResult(
+        solved=False,
+        rounds=max_rounds,
+        max_rounds=max_rounds,
+        k=len(participants),
+        trace=trace,
+    )

@@ -1,0 +1,87 @@
+"""Execution records: per-round traces and per-execution results.
+
+The simulator returns an :class:`ExecutionResult` for every run; traces are
+optional (they cost memory in large Monte Carlo sweeps) and are primarily
+consumed by tests, debugging helpers and the worked examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.feedback import Feedback, Observation
+
+__all__ = ["RoundRecord", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round of an execution.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number.
+    probability:
+        The uniform transmission probability used this round, or ``None``
+        for per-player (non-uniform) executions.
+    transmit_count:
+        Ground-truth number of transmitters.
+    feedback:
+        Ground-truth channel outcome.
+    observation:
+        What protocols were shown (observability-filtered feedback).
+    """
+
+    round_index: int
+    probability: float | None
+    transmit_count: int
+    feedback: Feedback
+    observation: Observation
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a single contention-resolution execution.
+
+    Attributes
+    ----------
+    solved:
+        Whether some round had exactly one transmitter within the budget.
+    rounds:
+        1-based index of the solving round; when unsolved, the number of
+        rounds actually played (i.e. the budget spent).
+    max_rounds:
+        The round budget the execution ran under.
+    k:
+        Number of participants in this execution.
+    trace:
+        Per-round records when tracing was requested, else empty.
+    """
+
+    solved: bool
+    rounds: int
+    max_rounds: int
+    k: int
+    trace: list[RoundRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {self.rounds}")
+        if self.solved and self.rounds == 0:
+            raise ValueError("a solved execution takes at least one round")
+
+    @property
+    def failed(self) -> bool:
+        """Convenience inverse of :attr:`solved`."""
+        return not self.solved
+
+    def rounds_or(self, penalty: int) -> int:
+        """Solving round, or ``penalty`` when unsolved.
+
+        Experiment code uses this to score one-shot algorithms: a failed
+        one-shot attempt is charged a caller-chosen penalty (e.g. the
+        worst-case restart cost) instead of silently contributing its
+        truncated round count.
+        """
+        return self.rounds if self.solved else penalty

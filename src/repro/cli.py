@@ -1,0 +1,152 @@
+"""Command-line entry point: ``repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``repro list`` - show the experiment registry;
+* ``repro run <ID> [...]`` - run experiments and print their reports
+  (``all`` runs the full registry);
+* ``repro report [...]`` - run the full registry and emit the
+  EXPERIMENTS.md-style paper-vs-measured summary.
+
+Every run is reproducible from ``--seed``; ``--quick`` thins the sweeps
+for smoke-testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .experiments.base import ExperimentConfig
+from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Contention Resolution with Predictions' "
+            "(Gilbert, Newport, Vaidya, Weaver; PODC 2021)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the experiment registry")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments and print their reports"
+    )
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'repro list'), or 'all'",
+    )
+    _add_config_arguments(run_parser)
+    run_parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the raw measurement tables as CSV after each report",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run the full registry and print a paper-vs-measured summary",
+    )
+    _add_config_arguments(report_parser)
+    return parser
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n", type=int, default=2**16, help="maximum network size (default 2^16)"
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3000,
+        help="Monte Carlo trials per measured point (default 3000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2021, help="root RNG seed (default 2021)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="thin sweeps and trials for a fast smoke run",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n=args.n, trials=args.trials, seed=args.seed, quick=args.quick
+    )
+
+
+def _command_list() -> int:
+    width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
+    for experiment_id, (_, description) in EXPERIMENTS.items():
+        print(f"{experiment_id.ljust(width)}  {description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    requested = (
+        experiment_ids()
+        if any(name.lower() == "all" for name in args.experiments)
+        else args.experiments
+    )
+    config = _config_from(args)
+    exit_code = 0
+    for experiment_id in requested:
+        try:
+            result = run_experiment(experiment_id, config)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.csv:
+            print(result.to_csv())
+        if not result.all_checks_pass():
+            exit_code = 1
+    return exit_code
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    failures: list[str] = []
+    print("paper-vs-measured summary")
+    print("=" * 72)
+    for experiment_id in experiment_ids():
+        result = run_experiment(experiment_id, config)
+        status = "PASS" if result.all_checks_pass() else "FAIL"
+        print(f"[{status}] {experiment_id}: {result.title}")
+        print(f"       reproduces {result.reference}")
+        for name in result.failed_checks():
+            print(f"       failed: {name}")
+        if not result.all_checks_pass():
+            failures.append(experiment_id)
+    print("=" * 72)
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: {', '.join(failures)}")
+        return 1
+    print("all experiments reproduce their paper artefacts")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

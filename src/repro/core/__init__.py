@@ -1,0 +1,80 @@
+"""Core abstractions: channel vocabulary, protocol interfaces, predictions
+and the perfect-advice model.
+
+This package is the contract layer between the channel simulator
+(:mod:`repro.channel`) and the algorithms (:mod:`repro.protocols`): the
+simulator drives anything implementing the session interfaces here, and
+every algorithm in the paper is expressed against them.
+"""
+
+from .advice import (
+    AdviceError,
+    AdviceFunction,
+    FullIdAdvice,
+    MinIdPrefixAdvice,
+    NullAdvice,
+    RangeBlockAdvice,
+    bits_to_int,
+    id_bit_width,
+    id_to_bits,
+    range_blocks,
+)
+from .faulty_advice import AdversarialAdvice, BitFlipAdvice
+from .feedback import Feedback, Observation, feedback_for_count, observe
+from .predictions import BudgetReport, Prediction
+from .protocol import (
+    PlayerProtocol,
+    PlayerSession,
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
+from .uniform import (
+    HistoryPolicy,
+    HistoryPolicyProtocol,
+    HistoryPolicySession,
+    ProbabilitySchedule,
+    ScheduleProtocol,
+    ScheduleSession,
+    validate_probability,
+)
+
+__all__ = [
+    # feedback
+    "Feedback",
+    "Observation",
+    "feedback_for_count",
+    "observe",
+    # protocol interfaces
+    "UniformProtocol",
+    "UniformSession",
+    "PlayerProtocol",
+    "PlayerSession",
+    "ProtocolError",
+    "ScheduleExhausted",
+    # uniform building blocks
+    "ProbabilitySchedule",
+    "ScheduleProtocol",
+    "ScheduleSession",
+    "HistoryPolicy",
+    "HistoryPolicyProtocol",
+    "HistoryPolicySession",
+    "validate_probability",
+    # predictions
+    "Prediction",
+    "BudgetReport",
+    # advice
+    "AdviceFunction",
+    "AdviceError",
+    "NullAdvice",
+    "MinIdPrefixAdvice",
+    "RangeBlockAdvice",
+    "FullIdAdvice",
+    "BitFlipAdvice",
+    "AdversarialAdvice",
+    "id_bit_width",
+    "id_to_bits",
+    "bits_to_int",
+    "range_blocks",
+]

@@ -1,0 +1,160 @@
+"""Protocol interfaces: how algorithms plug into the channel simulator.
+
+Two families of protocols appear in the paper, and each gets an interface:
+
+* **Uniform protocols** (Section 2.1): every participant uses the *same*
+  transmission probability each round.  Without CD this is a fixed schedule
+  ``p_1, p_2, ...``; with CD the probability may depend on the shared
+  collision history.  Because behaviour is identity-oblivious, a uniform
+  execution is fully described by the per-round probability, and the number
+  of transmitters is exactly ``Binomial(k, p)`` - the simulator exploits
+  this for an exact, fast simulation path.
+
+* **Player protocols** (Section 3): deterministic or randomized algorithms
+  where behaviour may depend on the player's identity and on advice bits.
+  These require the full per-player simulation path.
+
+Protocols are *factories* of per-execution sessions so a single protocol
+object can be reused across thousands of Monte Carlo trials without state
+leakage.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from .feedback import Observation
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    import numpy as np
+
+__all__ = [
+    "UniformSession",
+    "UniformProtocol",
+    "PlayerSession",
+    "PlayerProtocol",
+    "ProtocolError",
+    "ScheduleExhausted",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when a protocol is driven outside its contract.
+
+    Typical causes: asking for a probability after the schedule was
+    exhausted, or running a CD-only protocol on a channel without collision
+    detection.
+    """
+
+
+class ScheduleExhausted(ProtocolError):
+    """A one-shot protocol has no further rounds.
+
+    The simulator treats this as a clean (unsolved) termination rather
+    than an error: one-shot algorithms such as the single pass of Section
+    2.5 legitimately give up after their last scheduled round.
+    """
+
+
+class UniformSession(abc.ABC):
+    """Per-execution state of a uniform protocol.
+
+    The simulator alternates :meth:`next_probability` (before the round)
+    and :meth:`observe` (after the round) until success or the round budget
+    runs out.
+    """
+
+    @abc.abstractmethod
+    def next_probability(self) -> float:
+        """Transmission probability for the upcoming round (in ``[0, 1]``).
+
+        Raises :class:`ProtocolError` when the protocol has no further
+        rounds scheduled (one-shot protocols may exhaust; cycling protocols
+        never do).
+        """
+
+    @abc.abstractmethod
+    def observe(self, observation: Observation) -> None:
+        """Receive the channel observation of the round just played.
+
+        No-CD uniform algorithms are oblivious and typically ignore this;
+        CD algorithms extend their collision history.  Never called with
+        ``Observation.SUCCESS`` - success ends the execution.
+        """
+
+
+class UniformProtocol(abc.ABC):
+    """Factory of :class:`UniformSession` executions.
+
+    Attributes
+    ----------
+    name:
+        Human-readable protocol name for reports.
+    requires_collision_detection:
+        Whether sessions branch on collision-vs-silence observations.  The
+        simulator refuses to run such a protocol on a no-CD channel rather
+        than silently feeding it degraded observations.
+    """
+
+    name: str = "uniform-protocol"
+    requires_collision_detection: bool = False
+
+    @abc.abstractmethod
+    def session(self) -> UniformSession:
+        """Start a fresh execution."""
+
+    def __repr__(self) -> str:
+        detector = "CD" if self.requires_collision_detection else "no-CD"
+        return f"<{type(self).__name__} {self.name!r} ({detector})>"
+
+
+class PlayerSession(abc.ABC):
+    """Per-execution, per-player state of an identity-aware protocol."""
+
+    @abc.abstractmethod
+    def decide(self) -> bool:
+        """Whether this player transmits in the upcoming round."""
+
+    @abc.abstractmethod
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        """Receive the round's observation; ``transmitted`` echoes the
+        player's own action (a transmitter knows it transmitted)."""
+
+
+class PlayerProtocol(abc.ABC):
+    """Factory of per-player sessions for identity/advice-aware algorithms.
+
+    Attributes mirror :class:`UniformProtocol`; in addition
+    :attr:`advice_bits` declares the advice-length budget ``b`` the
+    protocol expects (0 for none), letting harnesses verify the advice
+    function honours the bound of Section 3.1.
+    """
+
+    name: str = "player-protocol"
+    requires_collision_detection: bool = False
+    advice_bits: int = 0
+
+    @abc.abstractmethod
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: "np.random.Generator | None" = None,
+    ) -> PlayerSession:
+        """Start a fresh execution for the player with id ``player_id``.
+
+        ``advice`` is the bit string every participant receives from the
+        advice function (empty when ``advice_bits == 0``); all participants
+        of one execution receive the *same* string (Section 3.1).  ``rng``
+        is the simulation generator; randomized player protocols draw from
+        it, deterministic ones ignore it.
+        """
+
+    def __repr__(self) -> str:
+        detector = "CD" if self.requires_collision_detection else "no-CD"
+        return (
+            f"<{type(self).__name__} {self.name!r} ({detector}, "
+            f"b={self.advice_bits})>"
+        )

@@ -1,0 +1,211 @@
+"""Concrete uniform-protocol building blocks: schedules and history policies.
+
+Section 2.1 of the paper gives the two canonical shapes of a uniform
+algorithm, both realised here:
+
+* no-CD: "a sequence of probabilities ``p_1, p_2, p_3, ...``" -
+  :class:`ScheduleProtocol` wraps any finite schedule, optionally cycling,
+  and exposes the raw schedule for the RF-Construction lower-bound
+  transform (Algorithm 1);
+* CD: "a function from collision histories to broadcast probabilities" -
+  :class:`HistoryPolicy` is that function's interface and
+  :class:`HistoryPolicyProtocol` runs one, recording the history bit string
+  ``b_1 b_2 ... b_r`` exactly as the paper encodes it.  The lower-bound
+  tree construction (Section 2.4) consumes :class:`HistoryPolicy` objects
+  directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from .feedback import Observation
+from .protocol import (
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
+
+__all__ = [
+    "ProbabilitySchedule",
+    "ScheduleProtocol",
+    "ScheduleSession",
+    "HistoryPolicy",
+    "HistoryPolicyProtocol",
+    "HistoryPolicySession",
+    "validate_probability",
+]
+
+
+def validate_probability(p: float) -> float:
+    """Check ``p`` is a valid transmission probability; returns it."""
+    if not 0.0 <= p <= 1.0:
+        raise ProtocolError(f"transmission probability {p!r} outside [0, 1]")
+    return p
+
+
+class ProbabilitySchedule:
+    """An immutable finite sequence of per-round transmission probabilities.
+
+    The no-CD uniform algorithm of Section 2.1.  ``schedule[i]`` is the
+    probability every participant transmits with in round ``i + 1``.
+    """
+
+    def __init__(self, probabilities: Sequence[float], *, name: str = "schedule"):
+        if len(probabilities) == 0:
+            raise ValueError("schedule must contain at least one round")
+        self._probabilities = tuple(
+            validate_probability(float(p)) for p in probabilities
+        )
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __getitem__(self, index: int) -> float:
+        return self._probabilities[index]
+
+    def __iter__(self):
+        return iter(self._probabilities)
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """The full schedule as a tuple."""
+        return self._probabilities
+
+    def cycled(self, rounds: int) -> "ProbabilitySchedule":
+        """A schedule of exactly ``rounds`` rounds, repeating this one."""
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        repeats = -(-rounds // len(self._probabilities))
+        extended = (self._probabilities * repeats)[:rounds]
+        return ProbabilitySchedule(extended, name=f"{self.name}×{repeats}")
+
+    def __repr__(self) -> str:
+        return f"ProbabilitySchedule({self.name!r}, rounds={len(self)})"
+
+
+class ScheduleSession(UniformSession):
+    """Execution of a :class:`ProbabilitySchedule` (oblivious to feedback)."""
+
+    def __init__(self, schedule: ProbabilitySchedule, *, cycle: bool) -> None:
+        self._schedule = schedule
+        self._cycle = cycle
+        self._position = 0
+
+    def next_probability(self) -> float:
+        length = len(self._schedule)
+        if self._position >= length:
+            if not self._cycle:
+                raise ScheduleExhausted(
+                    f"schedule {self._schedule.name!r} exhausted after "
+                    f"{length} rounds"
+                )
+            self._position %= length
+        probability = self._schedule[self._position]
+        self._position += 1
+        return probability
+
+    def observe(self, observation: Observation) -> None:
+        # No-CD uniform algorithms are oblivious: the schedule is fixed in
+        # advance (paper Section 2.1), so feedback is deliberately ignored.
+        del observation
+
+    @property
+    def rounds_played(self) -> int:
+        """Number of probabilities handed out so far."""
+        return self._position
+
+
+class ScheduleProtocol(UniformProtocol):
+    """Uniform no-CD protocol defined by a probability schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The round probabilities.
+    cycle:
+        When ``True`` the schedule repeats forever (expected-time variants);
+        when ``False`` the session raises after the last round (one-shot
+        variants, e.g. the single pass of Section 2.5's algorithm).
+    """
+
+    requires_collision_detection = False
+
+    def __init__(
+        self,
+        schedule: ProbabilitySchedule,
+        *,
+        cycle: bool = True,
+        name: str | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.cycle = cycle
+        self.name = name or schedule.name
+
+    def session(self) -> ScheduleSession:
+        return ScheduleSession(self.schedule, cycle=self.cycle)
+
+
+class HistoryPolicy(abc.ABC):
+    """A function from CD collision histories to transmission probabilities.
+
+    The history is the paper's bit string ``b_1 ... b_r`` (``b_i = 1`` iff a
+    collision was detected in round ``i``); the empty string is the state
+    before round 1.  Implementations must be deterministic functions of the
+    history so that (a) all players stay synchronised and (b) the
+    lower-bound machinery can unfold the policy into the labelled binary
+    tree of Section 2.4.
+    """
+
+    name: str = "history-policy"
+
+    @abc.abstractmethod
+    def probability(self, history: str) -> float:
+        """Transmission probability after observing ``history``."""
+
+    def validate_history(self, history: str) -> None:
+        """Raise on malformed history strings."""
+        if any(bit not in "01" for bit in history):
+            raise ProtocolError(f"malformed collision history {history!r}")
+
+
+class HistoryPolicySession(UniformSession):
+    """Execution of a :class:`HistoryPolicy`, tracking the history string."""
+
+    def __init__(self, policy: HistoryPolicy) -> None:
+        self._policy = policy
+        self._history = ""
+
+    def next_probability(self) -> float:
+        return validate_probability(self._policy.probability(self._history))
+
+    def observe(self, observation: Observation) -> None:
+        if observation is Observation.QUIET:
+            raise ProtocolError(
+                f"policy {self._policy.name!r} needs collision detection but "
+                "received a no-CD observation"
+            )
+        if observation is Observation.SUCCESS:
+            raise ProtocolError("success ends the execution; nothing to observe")
+        self._history += str(observation.collision_bit)
+
+    @property
+    def history(self) -> str:
+        """The collision history accumulated so far."""
+        return self._history
+
+
+class HistoryPolicyProtocol(UniformProtocol):
+    """Uniform CD protocol defined by a history policy."""
+
+    requires_collision_detection = True
+
+    def __init__(self, policy: HistoryPolicy, *, name: str | None = None) -> None:
+        self.policy = policy
+        self.name = name or policy.name
+
+    def session(self) -> HistoryPolicySession:
+        return HistoryPolicySession(self.policy)

@@ -1,0 +1,24 @@
+"""Reproduction experiments: one module per paper artefact.
+
+See DESIGN.md Section 3 for the experiment index and
+:mod:`repro.experiments.registry` for the id -> runner mapping.
+"""
+
+from .base import ExperimentConfig, ExperimentResult
+from .registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,166 @@
+"""``LEARN``: the observe-predict-resolve loop converges.
+
+The paper's introduction motivates the entire setup with predictions
+produced by models that "observe the behavior of a given environment over
+time", and promises algorithms that "improve for free as the machine
+learning models ... improve".  This experiment closes that loop
+empirically:
+
+* **stationary world**: a histogram learner watches i.i.d. instances; its
+  prediction's divergence from the truth falls towards 0, and the
+  prediction protocol's rounds converge to the clairvoyant oracle's -
+  Theorems 2.12/2.16 with a vanishing ``D`` term;
+* **drifting world**: the environment shifts mid-run; a decaying-memory
+  learner re-converges while the frozen learner keeps paying the
+  divergence forever.
+"""
+
+from __future__ import annotations
+
+from ..channel.channel import without_collision_detection
+from ..infotheory.condense import num_ranges
+from ..infotheory.distributions import SizeDistribution
+from ..learning.estimators import DecayingHistogramLearner, HistogramLearner
+from ..learning.online import run_online
+from .base import ExperimentConfig, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = config.rng()
+    channel = without_collision_detection()
+    n = config.n
+    count = num_ranges(n)
+    instances = 120 if config.quick else 400
+    tail = max(20, instances // 8)
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+
+    # --- stationary world ------------------------------------------------
+    stationary_truth = SizeDistribution.range_uniform_subset(
+        n, [max(1, count // 3), max(2, 2 * count // 3)], name="stationary"
+    )
+    learner = HistogramLearner(n)
+    report = run_online(
+        lambda instance: stationary_truth,
+        learner,
+        channel,
+        rng,
+        instances=instances,
+    )
+    early_divergence = report.records[min(4, instances - 1)].divergence_bits
+    late_divergence = report.final_divergence()
+    early_rounds = report.mean_rounds(first=tail)
+    late_rounds = report.mean_rounds(last=tail)
+    oracle_rounds = report.mean_oracle_rounds()
+    baseline_rounds = report.mean_baseline_rounds()
+    rows.append(
+        [
+            "stationary/histogram",
+            instances,
+            early_divergence,
+            late_divergence,
+            early_rounds,
+            late_rounds,
+            oracle_rounds,
+            baseline_rounds,
+        ]
+    )
+    checks["stationary: prediction divergence shrinks by >= 4x"] = (
+        late_divergence <= early_divergence / 4.0
+    )
+    checks[
+        "stationary: converged learner within 1.6x of the clairvoyant oracle"
+    ] = late_rounds <= 1.6 * oracle_rounds + 0.5
+    checks["stationary: converged learner beats the decay baseline"] = (
+        late_rounds < baseline_rounds
+    )
+
+    # --- drifting world ---------------------------------------------------
+    shift_at = instances // 2
+    low = SizeDistribution.range_uniform_subset(
+        n, [max(1, count // 4)], name="pre-drift"
+    )
+    high = SizeDistribution.range_uniform_subset(
+        n, [max(2, 3 * count // 4)], name="post-drift"
+    )
+
+    def drifting_truth(instance: int) -> SizeDistribution:
+        return low if instance < shift_at else high
+
+    # Light smoothing: a decaying learner's effective sample size is only
+    # ~1/(1-decay), so the default Laplace prior would drown the data.
+    adaptive = DecayingHistogramLearner(n, decay=0.95, smoothing=0.05)
+    adaptive_report = run_online(
+        drifting_truth, adaptive, channel, rng, instances=instances
+    )
+    # The frozen learner: a histogram trained pre-drift and never updated
+    # afterwards is emulated by a decaying learner with memory ~infinite
+    # relative to the run (decay extremely close to 1 keeps old mass).
+    frozen = DecayingHistogramLearner(n, decay=0.9999, smoothing=0.05)
+    frozen_report = run_online(
+        drifting_truth, frozen, channel, rng, instances=instances
+    )
+    adaptive_tail = adaptive_report.mean_rounds(last=tail)
+    frozen_tail = frozen_report.mean_rounds(last=tail)
+    adaptive_final_divergence = adaptive_report.final_divergence()
+    frozen_final_divergence = frozen_report.final_divergence()
+    rows.append(
+        [
+            "drift/decaying(0.95)",
+            instances,
+            adaptive_report.records[shift_at].divergence_bits,
+            adaptive_final_divergence,
+            adaptive_report.mean_rounds(first=tail),
+            adaptive_tail,
+            adaptive_report.mean_oracle_rounds(),
+            adaptive_report.mean_baseline_rounds(),
+        ]
+    )
+    rows.append(
+        [
+            "drift/frozen(0.9999)",
+            instances,
+            frozen_report.records[shift_at].divergence_bits,
+            frozen_final_divergence,
+            frozen_report.mean_rounds(first=tail),
+            frozen_tail,
+            frozen_report.mean_oracle_rounds(),
+            frozen_report.mean_baseline_rounds(),
+        ]
+    )
+    checks["drift: adaptive learner re-converges (final divergence < 0.5 bits)"] = (
+        adaptive_final_divergence < 0.5
+    )
+    checks["drift: frozen learner keeps paying (divergence stays > adaptive)"] = (
+        frozen_final_divergence > adaptive_final_divergence
+    )
+    checks["drift: adaptive tail rounds <= frozen tail rounds"] = (
+        adaptive_tail <= frozen_tail + 0.25
+    )
+    return ExperimentResult(
+        experiment_id="LEARN",
+        title="Online learning loop: observe, predict, resolve",
+        reference=(
+            "Section 1 motivation; Theorems 2.12/2.16 with learned Y"
+        ),
+        headers=[
+            "scenario",
+            "instances",
+            "early D_KL",
+            "final D_KL",
+            "early rounds",
+            "tail rounds",
+            "oracle rounds",
+            "baseline rounds",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={n}, no-CD channel, cycling sorted probing; tail = last "
+            f"{tail} instances",
+            "oracle = prediction protocol fed the true distribution; "
+            "baseline = decay",
+        ],
+    )

@@ -1,0 +1,131 @@
+"""``LEMMA-PROBS``: the success-probability lemmas, swept numerically.
+
+Lemmas 2.6, 2.10 and 2.13 are exact statements about
+``P(success) = k p (1-p)^(k-1)``; this experiment sweeps them over wide
+``(k, p)`` grids:
+
+* outside the Lemma 2.6 window, success probability stays below
+  ``1/(2 log n)``;
+* outside the Lemma 2.10 window, below ``1/(2 log log n)``;
+* inside the Lemma 2.13 probe interval ``[1/(2k), 1/k]``, at least 1/8;
+
+plus a Monte Carlo spot check that the analytic formula matches simulated
+transmission counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lowerbounds.success_bounds import (
+    lemma_2_6_threshold,
+    lemma_2_6_window,
+    lemma_2_10_threshold,
+    lemma_2_10_window,
+    lemma_2_13_lower_bound,
+    single_success_probability,
+    window_violation,
+)
+from .base import ExperimentConfig, ExperimentResult
+
+__all__ = ["run"]
+
+
+def _probability_grid(points: int) -> np.ndarray:
+    """Log-spaced probabilities spanning ``[1e-9, 1]``."""
+    return np.concatenate(
+        [np.logspace(-9, 0, points, endpoint=False), [1.0]]
+    )
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = config.rng()
+    n = config.n
+    grid_points = 60 if config.quick else 300
+    probabilities = _probability_grid(grid_points)
+    ks = [2, 3, 10, 100, 1000, 10_000, 100_000]
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+
+    for k in ks:
+        if k > n:
+            continue
+        # Lemma 2.6 (no-CD window).
+        window_26 = lemma_2_6_window(k, n)
+        threshold_26 = lemma_2_6_threshold(n)
+        violations_26 = [
+            p
+            for p in probabilities
+            if window_violation(
+                k, n, float(p), window=window_26, threshold=threshold_26
+            )
+            is not None
+        ]
+        # Lemma 2.10 (CD window).
+        window_210 = lemma_2_10_window(k, n)
+        threshold_210 = lemma_2_10_threshold(n)
+        violations_210 = [
+            p
+            for p in probabilities
+            if window_violation(
+                k, n, float(p), window=window_210, threshold=threshold_210
+            )
+            is not None
+        ]
+        # Lemma 2.13 (probe interval floor).
+        probe_grid = np.linspace(1.0 / (2.0 * k), 1.0 / k, 25)
+        in_window_min = min(
+            single_success_probability(k, float(p)) for p in probe_grid
+        )
+        rows.append(
+            [
+                k,
+                f"[{window_26[0]:.2e}, {window_26[1]:.2e}]",
+                len(violations_26),
+                f"[{window_210[0]:.2e}, {window_210[1]:.2e}]",
+                len(violations_210),
+                in_window_min,
+            ]
+        )
+        checks[f"k={k}: no Lemma 2.6 violations on the probability grid"] = (
+            not violations_26
+        )
+        checks[f"k={k}: no Lemma 2.10 violations on the probability grid"] = (
+            not violations_210
+        )
+        if k >= 2:
+            checks[
+                f"k={k}: min success on [1/(2k), 1/k] >= 1/8 (Lemma 2.13)"
+            ] = in_window_min >= lemma_2_13_lower_bound()
+
+    # Monte Carlo spot check of the analytic formula.
+    spot_k, spot_p = 200, 1.0 / 150.0
+    trials = config.effective_trials(quick_trials=2000)
+    simulated = float(
+        np.mean(rng.binomial(spot_k, spot_p, size=max(trials, 2000)) == 1)
+    )
+    analytic = single_success_probability(spot_k, spot_p)
+    checks[
+        "Monte Carlo success frequency matches k p (1-p)^(k-1) within 3 sigma"
+    ] = abs(simulated - analytic) <= 3.0 * np.sqrt(
+        analytic * (1 - analytic) / max(trials, 2000)
+    )
+    return ExperimentResult(
+        experiment_id="LEMMA-PROBS",
+        title="Success-probability windows (Lemmas 2.6, 2.10, 2.13)",
+        reference="Lemmas 2.6, 2.10 and 2.13",
+        headers=[
+            "k",
+            "2.6 window",
+            "2.6 violations",
+            "2.10 window",
+            "2.10 violations",
+            "min success on [1/2k, 1/k]",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={n}, beta=6 (the constant Lemma 2.6's proof derives),"
+            f" probability grid of {len(probabilities)} log-spaced points",
+        ],
+    )

@@ -1,0 +1,250 @@
+"""Table 1, CD column: entropy scaling with collision detection.
+
+* ``T1-CD-UP`` (:func:`run_upper`) - Theorem 2.16 / Corollary 2.18: the
+  code-class search, fed the true distribution, solves within an
+  ``O((H+1)^2)`` budget with constant probability across the entropy
+  sweep.
+
+* ``T1-CD-LOW`` (:func:`run_lower`) - Theorem 2.8 via Lemmas 2.9 + 2.11:
+  the labelled-tree construction applied to concrete CD algorithms
+  (Willard's search, the code-class search) yields range-finding trees
+  whose expected solve depth and target-distance code lengths respect the
+  entropy floors ``H - O(log log log log n)`` and ``H`` respectively.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.metrics import linear_fit
+from ..analysis.montecarlo import estimate_uniform_rounds
+from ..channel.channel import with_collision_detection
+from ..core.predictions import Prediction
+from ..infotheory.condense import num_ranges
+from ..lowerbounds.bounds import loglogloglog, table1_cd_upper
+from ..lowerbounds.range_finding import default_tree_tolerance
+from ..lowerbounds.target_distance_coding import TreeTargetDistanceCode
+from ..lowerbounds.tree_construction import build_range_finding_tree
+from ..protocols.adapters import as_history_policy
+from ..protocols.code_search import CodeSearchProtocol
+from ..protocols.willard import WillardProtocol
+from .base import ExperimentConfig, ExperimentResult
+from .table1_nocd import entropy_sweep_distributions
+
+__all__ = ["run_upper", "run_lower"]
+
+#: Constant-probability floor we require of the one-shot CD search.  The
+#: paper proves "constant probability" without pinning the constant; the
+#: search with 3-vote majorities empirically clears 1/4 with a wide margin.
+SUCCESS_FLOOR = 0.25
+
+#: Budget constant: one-shot code search through all classes up to length
+#: ``l`` costs about ``repetitions * sum_{j<=l} ceil(log2|pi_j|+1)`` rounds;
+#: ``BUDGET_CONSTANT * repetitions * (H + D + 2)^2`` upper-bounds it with
+#: room for the Markov-inequality factor 2 of Theorem 2.16's proof.
+BUDGET_CONSTANT = 4.0
+
+
+def cd_budget(entropy_bits: float, repetitions: int) -> int:
+    """Rounds allowed by the Theorem 2.16 budget at divergence 0."""
+    return max(
+        1,
+        math.ceil(BUDGET_CONSTANT * repetitions * table1_cd_upper(entropy_bits)),
+    )
+
+
+def run_upper(config: ExperimentConfig) -> ExperimentResult:
+    """``T1-CD-UP``: code-class search within the ``O(H^2)`` budget."""
+    rng = config.rng()
+    channel = with_collision_detection()
+    trials = config.effective_trials()
+    repetitions = 3
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    entropies: list[float] = []
+    means: list[float] = []
+
+    for distribution in entropy_sweep_distributions(config.n, quick=config.quick):
+        entropy_bits = distribution.condensed_entropy()
+        budget = cd_budget(entropy_bits, repetitions)
+        protocol = CodeSearchProtocol(
+            Prediction(distribution), repetitions=repetitions, one_shot=True
+        )
+        estimate = estimate_uniform_rounds(
+            protocol,
+            distribution,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=budget,
+        )
+        rows.append(
+            [
+                distribution.name,
+                entropy_bits,
+                budget,
+                estimate.success.rate,
+                estimate.success.lower,
+                estimate.rounds.mean,
+            ]
+        )
+        entropies.append(entropy_bits)
+        means.append(estimate.rounds.mean)
+        checks[
+            f"H={entropy_bits:.2f}: success within budget {budget} rounds "
+            f">= {SUCCESS_FLOOR} (Wilson lower bound)"
+        ] = estimate.success.lower >= SUCCESS_FLOOR
+
+    # Shape check: mean rounds grow at most quadratically in H - regress
+    # mean rounds against (H+1)^2 and require a positive, bounded slope.
+    if len(entropies) >= 3:
+        xs = [(h + 1.0) ** 2 for h in entropies]
+        slope, _ = linear_fit(xs, means)
+        checks[
+            "mean rounds vs (H+1)^2 slope within (0, 3*repetitions] "
+            "(Table 1's CD upper shape)"
+        ] = 0.0 < slope <= 3.0 * repetitions
+    return ExperimentResult(
+        experiment_id="T1-CD-UP",
+        title="CD upper bound: code-class search across the entropy sweep",
+        reference="Theorem 2.16 / Corollary 2.18 (Table 1, CD upper)",
+        headers=[
+            "workload",
+            "H(c(X)) bits",
+            "budget ~(H+1)^2",
+            "success rate",
+            "success CI lo",
+            "mean rounds",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={config.n}, trials/point={trials}, repetitions={repetitions},"
+            " one-shot sweeps, Y = X",
+            f"budget = {BUDGET_CONSTANT} * repetitions * (H+1)^2 rounds",
+        ],
+    )
+
+
+def run_lower(config: ExperimentConfig) -> ExperimentResult:
+    """``T1-CD-LOW``: tree construction obeys the entropy floors."""
+    rng = config.rng()
+    channel = with_collision_detection()
+    trials = max(200, config.effective_trials() // 4)
+    tolerance = default_tree_tolerance(config.n)
+    slack = loglogloglog(config.n)
+    count = num_ranges(config.n)
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+
+    for distribution in entropy_sweep_distributions(config.n, quick=config.quick):
+        entropy_bits = distribution.condensed_entropy()
+        condensed = distribution.condense()
+        prediction = Prediction(distribution)
+        for label, protocol in (
+            ("willard", WillardProtocol(config.n, repetitions=1)),
+            (
+                "code-search",
+                CodeSearchProtocol(prediction, repetitions=1, one_shot=False),
+            ),
+        ):
+            policy = as_history_policy(protocol)
+            tree = build_range_finding_tree(policy, config.n, extra_depth=2)
+            expected_depth = tree.expected_depth(condensed, tolerance)
+            code = TreeTargetDistanceCode(tree, tolerance)
+            expected_len = code.expected_length(condensed)
+            algorithm_rounds = estimate_uniform_rounds(
+                protocol,
+                distribution,
+                rng,
+                channel=channel,
+                trials=trials,
+                max_rounds=32 * count,
+            ).rounds.mean
+            paper_floor = max(0.0, entropy_bits - slack)
+            rows.append(
+                [
+                    distribution.name,
+                    label,
+                    entropy_bits,
+                    expected_depth,
+                    paper_floor,
+                    expected_len,
+                    algorithm_rounds,
+                ]
+            )
+            checks[
+                f"H={entropy_bits:.2f} {label}: code E[len] >= H "
+                "(Source Coding Theorem 2.2)"
+            ] = expected_len >= entropy_bits - 1e-9
+            checks[
+                f"H={entropy_bits:.2f} {label}: E[depth] <= 2*E[alg rounds] "
+                "(Lemma 2.11)"
+            ] = expected_depth <= 2.0 * algorithm_rounds + 1e-6
+
+    # The paper's additive floor H - O(llll n) carries an unknown constant
+    # and the tree depths at L = 16 ranges are all tiny, so the floor is
+    # evaluated through the *hard* codeword check above (E[len] >= H, the
+    # Source Coding Theorem - it binds: slack is a few header bits).  The
+    # H/2 leading term is checked on the algorithm itself across n: max-
+    # entropy workloads at growing n must cost Willard's search more
+    # rounds, tracking H = log log n.
+    cross_rows: list[tuple[int, float, float]] = []
+    for cross_n in (2**4, 2**8, 2**16):
+        workload = entropy_sweep_distributions(cross_n, quick=True)[-1]
+        cross_entropy_bits = workload.condensed_entropy()
+        cross_rounds = estimate_uniform_rounds(
+            WillardProtocol(cross_n, repetitions=1),
+            workload,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=32 * num_ranges(cross_n),
+        ).rounds.mean
+        cross_rows.append((cross_n, cross_entropy_bits, cross_rounds))
+        rows.append(
+            [
+                f"max-H(n=2^{int(math.log2(cross_n))})",
+                "willard",
+                cross_entropy_bits,
+                float("nan"),
+                max(0.0, cross_entropy_bits / 2.0 - slack),
+                float("nan"),
+                cross_rounds,
+            ]
+        )
+        checks[
+            f"n={cross_n}: E[willard rounds] >= H/2 - llll(n) "
+            f"(Theorem 2.8 floor with c=1)"
+        ] = cross_rounds >= max(
+            0.0, cross_entropy_bits / 2.0 - loglogloglog(cross_n)
+        )
+    checks[
+        "E[willard rounds] at max entropy increases with n "
+        "(H = log log n scaling of Theorem 2.8)"
+    ] = all(
+        cross_rows[i + 1][2] > cross_rows[i][2]
+        for i in range(len(cross_rows) - 1)
+    )
+    return ExperimentResult(
+        experiment_id="T1-CD-LOW",
+        title="CD lower bound: tree construction vs the entropy floor",
+        reference="Theorem 2.8 via Lemmas 2.9 and 2.11 (Table 1, CD lower)",
+        headers=[
+            "workload",
+            "algorithm",
+            "H(c(X)) bits",
+            "E[depth]",
+            "floor H - llll n",
+            "code E[len] bits",
+            "E[alg rounds]",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={config.n}, tree tolerance={tolerance:.2f} ranges "
+            "(alpha * log log log n with alpha=1)",
+            "codes add an Elias-gamma depth header for unique decodability;"
+            " see target_distance_coding.py for the accounting",
+        ],
+    )

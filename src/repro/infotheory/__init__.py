@@ -1,0 +1,107 @@
+"""Information-theoretic substrate for the reproduction.
+
+Exposes the quantities the paper's bounds are written in - entropy of the
+condensed size distribution, KL divergence between truth and prediction -
+plus the coding machinery (Huffman / Shannon / canonical prefix codes) that
+both the CD upper-bound algorithm and the lower-bound reductions consume.
+"""
+
+from .coding import (
+    CodewordError,
+    PrefixCode,
+    code_from_lengths,
+    kraft_lengths_realizable,
+    kraft_sum,
+    shannon_code_lengths,
+)
+from .condense import (
+    MIN_NETWORK_SIZE,
+    CondensedDistribution,
+    num_ranges,
+    range_interval,
+    range_of_size,
+    range_probability,
+    representative_size,
+)
+from .distributions import Sampler, SizeDistribution
+from .entropy import (
+    cross_entropy,
+    entropy,
+    guesswork,
+    kl_divergence,
+    max_entropy,
+    min_entropy,
+    normalize,
+    renyi_entropy,
+    total_variation,
+    validate_pmf,
+)
+from .huffman import huffman_code, huffman_code_lengths, optimal_code_for
+from .perturb import (
+    divergence_between,
+    entropy_of,
+    floor_support,
+    from_condensed_profile,
+    mix_with_uniform,
+    prediction_quality_sweep,
+    shift_ranges,
+    swap_extremes,
+    temperature,
+)
+from .source_coding import (
+    CodingReport,
+    cross_coding_report,
+    expected_code_length,
+    shannon_code,
+    source_coding_report,
+)
+
+__all__ = [
+    # entropy
+    "entropy",
+    "cross_entropy",
+    "kl_divergence",
+    "max_entropy",
+    "min_entropy",
+    "renyi_entropy",
+    "guesswork",
+    "total_variation",
+    "normalize",
+    "validate_pmf",
+    # condensation
+    "MIN_NETWORK_SIZE",
+    "CondensedDistribution",
+    "num_ranges",
+    "range_of_size",
+    "range_interval",
+    "range_probability",
+    "representative_size",
+    # distributions
+    "SizeDistribution",
+    "Sampler",
+    # coding
+    "PrefixCode",
+    "CodewordError",
+    "code_from_lengths",
+    "kraft_sum",
+    "kraft_lengths_realizable",
+    "shannon_code_lengths",
+    "huffman_code",
+    "huffman_code_lengths",
+    "optimal_code_for",
+    "shannon_code",
+    "CodingReport",
+    "source_coding_report",
+    "cross_coding_report",
+    "expected_code_length",
+    # perturbations
+    "mix_with_uniform",
+    "temperature",
+    "shift_ranges",
+    "swap_extremes",
+    "floor_support",
+    "from_condensed_profile",
+    "divergence_between",
+    "entropy_of",
+    "prediction_quality_sweep",
+]

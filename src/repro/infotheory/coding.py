@@ -1,0 +1,239 @@
+"""Binary prefix codes: the bridge between contention resolution and entropy.
+
+The paper's lower bounds (Sections 2.3-2.4) work by converting a contention
+resolution algorithm into a *code* for the condensed size distribution and
+invoking Shannon's Source Coding Theorem.  This module supplies the code
+abstraction those reductions target:
+
+* :class:`PrefixCode` - an explicit uniquely-decodable binary code with
+  encoding, decoding, Kraft-inequality checks, and expected-length
+  computation against an arbitrary source distribution;
+* :func:`kraft_sum` / :func:`kraft_lengths_realizable` - Kraft-McMillan
+  machinery;
+* :func:`code_from_lengths` - canonical code construction from a feasible
+  length profile (used to realise Shannon codes and the cross-coding bound
+  of Theorem 2.3);
+* :func:`shannon_code_lengths` - lengths ``ceil(-log2 q_i)`` for a source,
+  realising ``E[len] <= H + 1`` constructively.
+
+Huffman (optimal) codes live in :mod:`repro.infotheory.huffman`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .entropy import validate_pmf
+
+__all__ = [
+    "PrefixCode",
+    "kraft_sum",
+    "kraft_lengths_realizable",
+    "code_from_lengths",
+    "shannon_code_lengths",
+    "CodewordError",
+]
+
+
+class CodewordError(ValueError):
+    """Raised on malformed codewords or undecodable bit strings."""
+
+
+def kraft_sum(lengths: Sequence[int]) -> float:
+    """Kraft sum ``sum_i 2^-len_i`` of a length profile."""
+    for length in lengths:
+        if length < 0:
+            raise ValueError(f"codeword length must be >= 0, got {length}")
+    return math.fsum(2.0**-length for length in lengths)
+
+
+def kraft_lengths_realizable(lengths: Sequence[int]) -> bool:
+    """Whether a prefix code with exactly these lengths exists.
+
+    By the Kraft-McMillan theorem this holds iff ``sum 2^-len_i <= 1``.
+    A tiny tolerance absorbs floating-point error for long profiles.
+    """
+    return kraft_sum(lengths) <= 1.0 + 1e-12
+
+
+def shannon_code_lengths(pmf: Sequence[float]) -> list[int]:
+    """Shannon code lengths ``ceil(-log2 p_i)`` for positive-mass symbols.
+
+    Zero-mass symbols get length 0 markers replaced by the longest length +
+    1 would break Kraft, so they are assigned ``None``-equivalent handling
+    by callers; here we require strictly positive masses.
+    """
+    validate_pmf(pmf)
+    lengths: list[int] = []
+    for index, mass in enumerate(pmf):
+        if mass <= 0.0:
+            raise ValueError(
+                f"Shannon lengths need positive mass; symbol {index} has {mass}"
+            )
+        lengths.append(max(1, math.ceil(-math.log2(mass))))
+    return lengths
+
+
+@dataclass(frozen=True)
+class PrefixCode:
+    """An explicit binary prefix code over symbols ``0..m-1``.
+
+    Attributes
+    ----------
+    codewords:
+        Tuple of bit strings (``'0'``/``'1'`` characters), one per symbol.
+        A symbol may map to the empty string only in the degenerate
+        single-symbol code.
+    """
+
+    codewords: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.codewords:
+            raise CodewordError("code must have at least one codeword")
+        for word in self.codewords:
+            if any(bit not in "01" for bit in word):
+                raise CodewordError(f"codeword {word!r} contains non-bits")
+        if len(self.codewords) == 1:
+            return
+        seen: set[str] = set()
+        for word in self.codewords:
+            if not word:
+                raise CodewordError(
+                    "empty codeword only allowed in single-symbol codes"
+                )
+            if word in seen:
+                raise CodewordError(f"duplicate codeword {word!r}")
+            seen.add(word)
+        # Prefix-freeness: sort and compare adjacent words.
+        ordered = sorted(self.codewords)
+        for shorter, longer in zip(ordered, ordered[1:]):
+            if longer.startswith(shorter):
+                raise CodewordError(
+                    f"codeword {shorter!r} is a prefix of {longer!r}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_symbols(self) -> int:
+        """Number of symbols the code covers."""
+        return len(self.codewords)
+
+    def length(self, symbol: int) -> int:
+        """Length in bits of the codeword for ``symbol``."""
+        return len(self._word(symbol))
+
+    def lengths(self) -> list[int]:
+        """All codeword lengths, indexed by symbol."""
+        return [len(word) for word in self.codewords]
+
+    def max_length(self) -> int:
+        """Longest codeword length."""
+        return max(self.lengths())
+
+    def encode(self, symbol: int) -> str:
+        """Codeword for ``symbol``."""
+        return self._word(symbol)
+
+    def encode_sequence(self, symbols: Sequence[int]) -> str:
+        """Concatenated encoding of a symbol sequence."""
+        return "".join(self._word(symbol) for symbol in symbols)
+
+    def decode(self, bits: str) -> list[int]:
+        """Decode a concatenation of codewords back to symbols.
+
+        Raises :class:`CodewordError` on trailing garbage or an unknown
+        prefix, which is what uniquely-decodable means operationally.
+        """
+        table = {word: symbol for symbol, word in enumerate(self.codewords)}
+        symbols: list[int] = []
+        buffer = ""
+        for bit in bits:
+            if bit not in "01":
+                raise CodewordError(f"invalid bit {bit!r}")
+            buffer += bit
+            if buffer in table:
+                symbols.append(table[buffer])
+                buffer = ""
+        if buffer:
+            raise CodewordError(f"dangling bits {buffer!r} after decode")
+        return symbols
+
+    def expected_length(self, pmf: Sequence[float]) -> float:
+        """``E[len(f(X))]`` when symbols are drawn from ``pmf``.
+
+        This is the quantity the Source Code Theorem lower-bounds by
+        ``H(pmf)`` and that Theorem 2.3 sandwiches for cross-coding.
+        """
+        validate_pmf(pmf)
+        if len(pmf) != len(self.codewords):
+            raise ValueError(
+                f"pmf covers {len(pmf)} symbols, code covers {len(self.codewords)}"
+            )
+        return math.fsum(
+            mass * len(word) for mass, word in zip(pmf, self.codewords)
+        )
+
+    def kraft_sum(self) -> float:
+        """Kraft sum of this code's length profile (``<= 1`` always)."""
+        return kraft_sum(self.lengths())
+
+    def is_complete(self) -> bool:
+        """Whether the Kraft inequality is tight (no wasted leaves)."""
+        return abs(self.kraft_sum() - 1.0) <= 1e-12
+
+    def symbols_by_length(self) -> dict[int, list[int]]:
+        """Group symbols by codeword length, ascending within each group.
+
+        This grouping *is* the phase structure of the paper's CD upper-bound
+        algorithm (Section 2.6): class ``pi_l`` holds the ranges whose
+        codewords have length exactly ``l``.
+        """
+        groups: dict[int, list[int]] = {}
+        for symbol, word in enumerate(self.codewords):
+            groups.setdefault(len(word), []).append(symbol)
+        for symbols in groups.values():
+            symbols.sort()
+        return dict(sorted(groups.items()))
+
+    def _word(self, symbol: int) -> str:
+        if not 0 <= symbol < len(self.codewords):
+            raise CodewordError(
+                f"symbol {symbol} out of range 0..{len(self.codewords) - 1}"
+            )
+        return self.codewords[symbol]
+
+
+def code_from_lengths(lengths: Sequence[int]) -> PrefixCode:
+    """Canonical prefix code realising a Kraft-feasible length profile.
+
+    Symbols are assigned codewords in order of (length, symbol index) using
+    the canonical-code construction: each codeword is the previous one plus
+    one, left-shifted to the new length.  Raises ``ValueError`` when the
+    profile violates Kraft.
+    """
+    if not lengths:
+        raise ValueError("length profile must be non-empty")
+    if len(lengths) == 1:
+        if lengths[0] == 0:
+            return PrefixCode(codewords=("",))
+        return PrefixCode(codewords=("0" * lengths[0],))
+    if any(length <= 0 for length in lengths):
+        raise ValueError("multi-symbol codes need strictly positive lengths")
+    if not kraft_lengths_realizable(lengths):
+        raise ValueError(
+            f"length profile violates Kraft inequality (sum={kraft_sum(lengths):.6f})"
+        )
+    order = sorted(range(len(lengths)), key=lambda i: (lengths[i], i))
+    codewords: list[str] = [""] * len(lengths)
+    value = 0
+    previous_length = lengths[order[0]]
+    for position, symbol in enumerate(order):
+        length = lengths[symbol]
+        if position > 0:
+            value = (value + 1) << (length - previous_length)
+        previous_length = length
+        codewords[symbol] = format(value, "b").zfill(length)
+    return PrefixCode(codewords=tuple(codewords))

@@ -1,0 +1,246 @@
+"""Condensed network-size distributions over geometric ranges.
+
+Section 2.2 of the paper replaces a distribution ``X`` over network sizes
+``2..n`` with its *condensed* version ``c(X)`` over the ``ceil(log2 n)``
+geometric ranges
+
+    range 1 = {2},  range 2 = {3, 4},  range 3 = {5..8},  ...
+    range i = (2^(i-1), 2^i]
+
+because an estimate of the network size within a constant factor suffices to
+solve contention resolution quickly.  Every bound in the paper is stated in
+terms of ``H(c(X))`` and ``D_KL(c(X) || c(Y))``.
+
+This module implements the range arithmetic (:func:`range_of_size`,
+:func:`range_interval`, :func:`num_ranges`) and the
+:class:`CondensedDistribution` value type used throughout the protocols,
+lower-bound machinery and experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .entropy import entropy, kl_divergence, total_variation, validate_pmf
+
+__all__ = [
+    "MIN_NETWORK_SIZE",
+    "num_ranges",
+    "range_of_size",
+    "range_interval",
+    "range_probability",
+    "representative_size",
+    "CondensedDistribution",
+]
+
+#: Smallest network size with any contention to resolve.  The paper assumes
+#: ``k >= 2`` throughout (footnote 4): a single participant can be handled by
+#: one extra round in which everyone transmits with probability 1.
+MIN_NETWORK_SIZE = 2
+
+
+def num_ranges(n: int) -> int:
+    """Number of geometric ranges ``|L(n)| = ceil(log2 n)`` for max size ``n``."""
+    if n < MIN_NETWORK_SIZE:
+        raise ValueError(f"maximum network size must be >= {MIN_NETWORK_SIZE}")
+    return max(1, math.ceil(math.log2(n)))
+
+
+def range_of_size(k: int) -> int:
+    """Index ``i`` of the geometric range ``(2^(i-1), 2^i]`` containing ``k``.
+
+    ``range_of_size(2) == 1``, ``range_of_size(3) == range_of_size(4) == 2``,
+    ``range_of_size(5) == 3`` and in general ``i = ceil(log2 k)``.
+    """
+    if k < MIN_NETWORK_SIZE:
+        raise ValueError(f"network size must be >= {MIN_NETWORK_SIZE}, got {k}")
+    return max(1, (k - 1).bit_length())
+
+
+def range_interval(i: int, n: int | None = None) -> tuple[int, int]:
+    """Inclusive interval ``[2^(i-1)+1, 2^i]`` of sizes in range ``i``.
+
+    Range 1 is special-cased to ``[2, 2]`` per the paper (sizes start at 2).
+    When ``n`` is given, the upper end is clipped to ``n`` (the last range of
+    a non-power-of-two ``n`` is partial).
+    """
+    if i < 1:
+        raise ValueError(f"range index must be >= 1, got {i}")
+    low = MIN_NETWORK_SIZE if i == 1 else 2 ** (i - 1) + 1
+    high = 2**i
+    if n is not None:
+        if i > num_ranges(n):
+            raise ValueError(f"range {i} does not exist for n={n}")
+        high = min(high, n)
+    if low > high:
+        raise ValueError(f"range {i} is empty for n={n}")
+    return low, high
+
+
+def representative_size(i: int) -> int:
+    """Canonical size ``2^i`` for range ``i``.
+
+    Transmitting with probability ``2^-i`` is within a factor of two of
+    optimal for every size in range ``i``; this is the size the paper's
+    algorithms implicitly target when they "try range i".
+    """
+    if i < 1:
+        raise ValueError(f"range index must be >= 1, got {i}")
+    return 2**i
+
+
+def range_probability(i: int) -> float:
+    """Transmission probability ``2^-i`` associated with range ``i``."""
+    if i < 1:
+        raise ValueError(f"range index must be >= 1, got {i}")
+    return 2.0**-i
+
+
+@dataclass(frozen=True)
+class CondensedDistribution:
+    """The distribution ``c(X)`` over the geometric ranges ``L(n)``.
+
+    Attributes
+    ----------
+    n:
+        Maximum network size the ranges were derived for.
+    q:
+        Tuple ``(q_1, ..., q_L)`` with ``q_i = Pr(c(X) = i)``; ``L ==
+        num_ranges(n)``.
+
+    Instances are immutable and hashable-by-identity; use :meth:`almost_equal`
+    for numeric comparison.
+    """
+
+    n: int
+    q: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        expected = num_ranges(self.n)
+        if len(self.q) != expected:
+            raise ValueError(
+                f"expected {expected} range probabilities for n={self.n}, "
+                f"got {len(self.q)}"
+            )
+        validate_pmf(self.q)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_size_pmf(cls, n: int, pmf_by_size: Sequence[float]) -> "CondensedDistribution":
+        """Condense a pmf indexed by size (``pmf_by_size[k]`` = ``Pr(X=k)``).
+
+        ``pmf_by_size`` must have length ``n + 1``; entries at indices 0 and
+        1 must be zero (sizes below :data:`MIN_NETWORK_SIZE` are excluded by
+        the model).
+        """
+        if len(pmf_by_size) != n + 1:
+            raise ValueError(
+                f"pmf must be indexed by size 0..n; expected length {n + 1}, "
+                f"got {len(pmf_by_size)}"
+            )
+        if any(pmf_by_size[k] != 0.0 for k in range(MIN_NETWORK_SIZE)):
+            raise ValueError(
+                f"sizes below {MIN_NETWORK_SIZE} must have zero probability"
+            )
+        count = num_ranges(n)
+        masses = [0.0] * count
+        for size in range(MIN_NETWORK_SIZE, n + 1):
+            mass = pmf_by_size[size]
+            if mass > 0.0:
+                masses[range_of_size(size) - 1] += mass
+        total = math.fsum(masses)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"size pmf sums to {total}, expected 1.0")
+        # Renormalise away accumulated floating-point drift so the result
+        # always passes strict pmf validation downstream.
+        masses = [m / total for m in masses]
+        return cls(n=n, q=tuple(masses))
+
+    @classmethod
+    def uniform(cls, n: int) -> "CondensedDistribution":
+        """Uniform condensed distribution (maximum entropy, ``log2 log2 n``)."""
+        count = num_ranges(n)
+        return cls(n=n, q=tuple([1.0 / count] * count))
+
+    @classmethod
+    def point(cls, n: int, target_range: int) -> "CondensedDistribution":
+        """All mass on a single range (zero entropy: the perfect prediction)."""
+        count = num_ranges(n)
+        if not 1 <= target_range <= count:
+            raise ValueError(
+                f"range {target_range} out of bounds 1..{count} for n={n}"
+            )
+        q = [0.0] * count
+        q[target_range - 1] = 1.0
+        return cls(n=n, q=tuple(q))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_ranges(self) -> int:
+        """Number of ranges ``|L(n)|``."""
+        return len(self.q)
+
+    def probability(self, i: int) -> float:
+        """``Pr(c(X) = i)`` for range index ``i`` (1-based)."""
+        if not 1 <= i <= len(self.q):
+            raise ValueError(f"range index {i} out of bounds 1..{len(self.q)}")
+        return self.q[i - 1]
+
+    def entropy(self) -> float:
+        """Shannon entropy ``H(c(X))`` in bits; drives every Table 1 bound."""
+        return entropy(self.q)
+
+    def kl_divergence(self, other: "CondensedDistribution") -> float:
+        """``D_KL(self || other)``: prediction error cost of using ``other``.
+
+        In the paper's notation, if ``self = c(X)`` (truth) and ``other =
+        c(Y)`` (prediction), this is the divergence term of Theorems 2.12
+        and 2.16.
+        """
+        self._require_same_support(other)
+        return kl_divergence(self.q, other.q)
+
+    def total_variation(self, other: "CondensedDistribution") -> float:
+        """Total variation distance to ``other`` (diagnostics only)."""
+        self._require_same_support(other)
+        return total_variation(self.q, other.q)
+
+    def support(self) -> list[int]:
+        """Range indices with non-zero probability, ascending."""
+        return [i + 1 for i, mass in enumerate(self.q) if mass > 0.0]
+
+    def sorted_ranges(self) -> list[int]:
+        """Ranges ordered by non-increasing probability, ties by index.
+
+        This is exactly the probe order ``pi`` of the paper's no-CD
+        prediction algorithm (Section 2.5.1): most likely range first.
+        """
+        return sorted(range(1, len(self.q) + 1), key=lambda i: (-self.q[i - 1], i))
+
+    def almost_equal(
+        self, other: "CondensedDistribution", *, tolerance: float = 1e-9
+    ) -> bool:
+        """Numeric equality of the two condensed pmfs within ``tolerance``."""
+        if self.n != other.n:
+            return False
+        return all(
+            abs(a - b) <= tolerance for a, b in zip(self.q, other.q)
+        )
+
+    def sample_range(self, rng: np.random.Generator) -> int:
+        """Draw a range index according to ``q`` (1-based)."""
+        return int(rng.choice(len(self.q), p=np.asarray(self.q))) + 1
+
+    def _require_same_support(self, other: "CondensedDistribution") -> None:
+        if self.n != other.n:
+            raise ValueError(
+                f"condensed distributions for different n: {self.n} vs {other.n}"
+            )

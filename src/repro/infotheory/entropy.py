@@ -1,0 +1,217 @@
+"""Entropy and divergence functionals on finite probability mass functions.
+
+All quantities use base-2 logarithms, matching the paper's convention
+("Assume all logs are base 2", Section 2.2).  The functions here operate on
+plain sequences of floats and are deliberately free of any dependence on the
+rest of the library so they can be reused by the coding and lower-bound
+machinery without import cycles.
+
+The paper expresses every bound in terms of two functionals of the
+*condensed* network-size distribution ``c(X)`` (see
+:mod:`repro.infotheory.condense`):
+
+* the Shannon entropy ``H(c(X))`` (Theorems 2.4, 2.8, 2.12, 2.16), and
+* the Kullback-Leibler divergence ``D_KL(c(X) || c(Y))`` between the true
+  condensed distribution and the condensed *prediction* (Theorems 2.12,
+  2.16), which quantifies the cost of inaccurate predictions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "entropy",
+    "cross_entropy",
+    "kl_divergence",
+    "max_entropy",
+    "normalize",
+    "validate_pmf",
+    "is_pmf",
+    "total_variation",
+    "renyi_entropy",
+    "min_entropy",
+    "guesswork",
+]
+
+#: Tolerance used when checking that probability masses sum to one.  The
+#: distributions manipulated here are small (at most a few thousand atoms)
+#: so accumulated floating-point error stays well below this threshold.
+PMF_TOLERANCE = 1e-9
+
+
+def validate_pmf(pmf: Sequence[float], *, tolerance: float = PMF_TOLERANCE) -> None:
+    """Raise ``ValueError`` unless ``pmf`` is a valid probability vector.
+
+    A valid probability vector is non-empty, has no negative entries and
+    sums to one within ``tolerance``.
+    """
+    if len(pmf) == 0:
+        raise ValueError("probability vector must be non-empty")
+    total = 0.0
+    for index, mass in enumerate(pmf):
+        if mass < 0.0:
+            raise ValueError(f"negative probability {mass!r} at index {index}")
+        if not math.isfinite(mass):
+            raise ValueError(f"non-finite probability {mass!r} at index {index}")
+        total += mass
+    if abs(total - 1.0) > tolerance:
+        raise ValueError(f"probabilities sum to {total!r}, expected 1.0")
+
+
+def is_pmf(pmf: Sequence[float], *, tolerance: float = PMF_TOLERANCE) -> bool:
+    """Return ``True`` when ``pmf`` is a valid probability vector."""
+    try:
+        validate_pmf(pmf, tolerance=tolerance)
+    except ValueError:
+        return False
+    return True
+
+
+def normalize(weights: Iterable[float]) -> list[float]:
+    """Scale non-negative ``weights`` so they sum to one.
+
+    Raises ``ValueError`` when the weights are all zero or any is negative,
+    since no probability vector can be formed in either case.
+    """
+    values = list(weights)
+    if not values:
+        raise ValueError("cannot normalize an empty weight vector")
+    for index, weight in enumerate(values):
+        if weight < 0.0:
+            raise ValueError(f"negative weight {weight!r} at index {index}")
+    total = math.fsum(values)
+    if total <= 0.0:
+        raise ValueError("weights sum to zero; cannot normalize")
+    return [weight / total for weight in values]
+
+
+def entropy(pmf: Sequence[float]) -> float:
+    """Shannon entropy ``H(p) = -sum_i p_i log2 p_i`` in bits.
+
+    Zero-probability atoms contribute nothing (the usual ``0 log 0 = 0``
+    convention), so condensed distributions with empty ranges are handled
+    directly.
+    """
+    validate_pmf(pmf)
+    return -math.fsum(p * math.log2(p) for p in pmf if p > 0.0)
+
+
+def cross_entropy(p: Sequence[float], q: Sequence[float]) -> float:
+    """Cross entropy ``H(p, q) = -sum_i p_i log2 q_i`` in bits.
+
+    Infinite when ``q`` assigns zero mass to an atom that ``p`` uses; this
+    mirrors the fact that a code built for ``q`` has no codeword for such an
+    atom.
+    """
+    validate_pmf(p)
+    validate_pmf(q)
+    if len(p) != len(q):
+        raise ValueError(
+            f"distributions have different supports: {len(p)} vs {len(q)}"
+        )
+    total = 0.0
+    for p_i, q_i in zip(p, q):
+        if p_i == 0.0:
+            continue
+        if q_i == 0.0:
+            return math.inf
+        total -= p_i * math.log2(q_i)
+    return total
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """Kullback-Leibler divergence ``D_KL(p || q)`` in bits.
+
+    ``D_KL(p || q) = sum_i p_i log2 (p_i / q_i)``.  Non-negative by Gibbs'
+    inequality, zero iff ``p == q``, and infinite when ``q`` misses support
+    of ``p``.  This is the divergence appearing in Theorems 2.12 and 2.16.
+    """
+    validate_pmf(p)
+    validate_pmf(q)
+    if len(p) != len(q):
+        raise ValueError(
+            f"distributions have different supports: {len(p)} vs {len(q)}"
+        )
+    total = 0.0
+    for p_i, q_i in zip(p, q):
+        if p_i == 0.0:
+            continue
+        if q_i == 0.0:
+            return math.inf
+        total += p_i * math.log2(p_i / q_i)
+    # Floating-point rounding can produce a tiny negative value for p == q.
+    return max(total, 0.0)
+
+
+def max_entropy(support_size: int) -> float:
+    """Entropy of the uniform distribution on ``support_size`` atoms.
+
+    This is the maximum achievable entropy on that support; the paper's
+    worst-case comparisons use ``H(c(X)) = log2 log2 n`` (uniform over the
+    ``log n`` condensed ranges).
+    """
+    if support_size <= 0:
+        raise ValueError("support size must be positive")
+    return math.log2(support_size)
+
+
+def total_variation(p: Sequence[float], q: Sequence[float]) -> float:
+    """Total variation distance ``(1/2) sum_i |p_i - q_i|``.
+
+    Not used by the paper's bounds directly, but handy for characterising
+    the perturbation families in :mod:`repro.infotheory.perturb` and for
+    sanity checks in tests (Pinsker's inequality relates it to KL).
+    """
+    validate_pmf(p)
+    validate_pmf(q)
+    if len(p) != len(q):
+        raise ValueError(
+            f"distributions have different supports: {len(p)} vs {len(q)}"
+        )
+    return 0.5 * math.fsum(abs(p_i - q_i) for p_i, q_i in zip(p, q))
+
+
+def renyi_entropy(pmf: Sequence[float], order: float) -> float:
+    """Renyi entropy of the given ``order`` in bits.
+
+    ``order = 1`` is Shannon entropy (taken as a limit), ``order = inf`` is
+    min-entropy.  Used by the Pliam-conjecture experiment: Pliam's result
+    [19] separates entropy from *guesswork*, and the Renyi entropy of order
+    1/2 governs expected guesswork.
+    """
+    validate_pmf(pmf)
+    if order < 0:
+        raise ValueError("Renyi order must be non-negative")
+    if order == 1.0:
+        return entropy(pmf)
+    if math.isinf(order):
+        return min_entropy(pmf)
+    positive = [p for p in pmf if p > 0.0]
+    if order == 0.0:
+        return math.log2(len(positive))
+    power_sum = math.fsum(p**order for p in positive)
+    return math.log2(power_sum) / (1.0 - order)
+
+
+def min_entropy(pmf: Sequence[float]) -> float:
+    """Min-entropy ``-log2 max_i p_i`` in bits."""
+    validate_pmf(pmf)
+    return -math.log2(max(pmf))
+
+
+def guesswork(pmf: Sequence[float]) -> float:
+    """Expected number of sequential guesses to identify a sample of ``pmf``.
+
+    The optimal guessing strategy probes atoms in non-increasing probability
+    order; the expectation is ``sum_i i * p_(i)`` with ``p_(1) >= p_(2) >=
+    ...``.  This is exactly the expected number of *rounds* consumed by the
+    paper's sorted-probing algorithm (Section 2.5) before reaching the true
+    range, making guesswork the natural yardstick for the Pliam-conjecture
+    experiment: Pliam [19] shows guesswork can exceed ``alpha * 2^H`` for
+    any constant ``alpha``.
+    """
+    validate_pmf(pmf)
+    ordered = sorted(pmf, reverse=True)
+    return math.fsum((index + 1) * mass for index, mass in enumerate(ordered))

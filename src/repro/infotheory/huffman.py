@@ -1,0 +1,106 @@
+"""Huffman coding: the optimal prefix codes used by the CD upper bound.
+
+Section 2.6 of the paper builds "an optimal code ``f`` with respect to
+source ``c(Y)``" and organises its search phases by codeword length.  This
+module constructs exactly such codes:
+
+* :func:`huffman_code_lengths` - optimal length profile for a pmf (classic
+  two-queue Huffman algorithm, deterministic tie-breaking);
+* :func:`huffman_code` - a canonical :class:`~repro.infotheory.coding.PrefixCode`
+  with those lengths;
+* :func:`optimal_code_for` - convenience wrapper for condensed
+  distributions, handling zero-mass ranges the way the algorithm needs
+  (zero-probability ranges still receive codewords so the search remains
+  exhaustive and the one-shot algorithm stays correct under mispredictions
+  where the true range has zero *predicted* mass).
+
+Huffman optimality gives ``H(p) <= E[len] < H(p) + 1`` against the code's
+own source, and Theorem 2.3's sandwich against a mismatched source; both
+are verified by the test suite and the ``SRC-CODE`` experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+
+from .coding import PrefixCode, code_from_lengths
+from .condense import CondensedDistribution
+from .entropy import validate_pmf
+
+__all__ = [
+    "huffman_code_lengths",
+    "huffman_code",
+    "optimal_code_for",
+    "ZERO_MASS_FLOOR",
+]
+
+#: Probability floor substituted for zero-mass symbols when building codes
+#: over predicted distributions.  The floor only influences codeword
+#: *lengths* for symbols the prediction called impossible; it keeps the
+#: search exhaustive (every range eventually probed) without materially
+#: distorting lengths of positive-mass symbols.
+ZERO_MASS_FLOOR = 1e-12
+
+
+def huffman_code_lengths(pmf: Sequence[float]) -> list[int]:
+    """Optimal (Huffman) codeword lengths for the given pmf.
+
+    Deterministic: ties between equal-weight subtrees break on the smallest
+    contained symbol index, so repeated runs and both sides of a
+    sender/receiver pair always derive the identical code.
+
+    Single-symbol sources get the conventional length-1 profile (a code must
+    emit at least one bit to be uniquely decodable in a stream).
+    """
+    validate_pmf(pmf)
+    count = len(pmf)
+    if count == 1:
+        return [1]
+    # Heap entries: (weight, min_symbol, tiebreak, node_id).
+    counter = itertools.count()
+    heap: list[tuple[float, int, int, int]] = []
+    parents: dict[int, int] = {}
+    next_node = count
+    for symbol, weight in enumerate(pmf):
+        heapq.heappush(heap, (float(weight), symbol, next(counter), symbol))
+    while len(heap) > 1:
+        w1, m1, _, node1 = heapq.heappop(heap)
+        w2, m2, _, node2 = heapq.heappop(heap)
+        merged = next_node
+        next_node += 1
+        parents[node1] = merged
+        parents[node2] = merged
+        heapq.heappush(heap, (w1 + w2, min(m1, m2), next(counter), merged))
+    lengths = [0] * count
+    for symbol in range(count):
+        node = symbol
+        depth = 0
+        while node in parents:
+            node = parents[node]
+            depth += 1
+        lengths[symbol] = depth
+    return lengths
+
+
+def huffman_code(pmf: Sequence[float]) -> PrefixCode:
+    """Canonical prefix code with Huffman-optimal lengths for ``pmf``."""
+    return code_from_lengths(huffman_code_lengths(pmf))
+
+
+def optimal_code_for(distribution: CondensedDistribution) -> PrefixCode:
+    """Optimal code for a condensed distribution, covering *all* ranges.
+
+    Ranges the prediction assigns zero probability are given the floor
+    :data:`ZERO_MASS_FLOOR` before Huffman construction, then the weights
+    are renormalised.  The resulting code therefore has a codeword for every
+    range in ``L(n)`` - required by the Section 2.6 algorithm, whose search
+    must be able to reach the true range even when the prediction ruled it
+    out (at the price of a long codeword, i.e. a late phase: exactly the
+    graceful degradation Theorem 2.16 quantifies through ``D_KL``).
+    """
+    floored = [max(mass, ZERO_MASS_FLOOR) for mass in distribution.q]
+    total = sum(floored)
+    normalised = [mass / total for mass in floored]
+    return huffman_code(normalised)

@@ -1,0 +1,211 @@
+"""Prediction-error models: deriving a predicted ``Y`` from the truth ``X``.
+
+The paper's upper bounds take a *predicted* network-size distribution ``Y``
+that may differ from the actual ``X``, and charge the difference through
+``D_KL(c(X) || c(Y))`` (Theorems 2.12 and 2.16).  In practice ``Y`` would
+come from a learned model; since the theorems see ``Y`` only through the
+divergence, we model prediction error parametrically.  Each transform below
+maps a :class:`~repro.infotheory.distributions.SizeDistribution` to a
+perturbed one, with a strength knob that sweeps the divergence continuously
+from zero:
+
+* :func:`mix_with_uniform` - epsilon-contamination with the uniform range
+  distribution (an under-confident predictor);
+* :func:`temperature` - power-law flattening/sharpening of range masses
+  (mis-calibrated confidence);
+* :func:`shift_ranges` - systematic bias: predicted sizes off by a factor
+  ``2^delta`` (e.g. a predictor trained before the network grew);
+* :func:`swap_extremes` - adversarial error: mass of the likeliest range
+  traded with the least likely one;
+* :func:`floor_support` - repair transform guaranteeing ``Y`` dominates
+  ``X`` so that the divergence (and the algorithms' budgets) stay finite.
+
+All transforms operate on the *condensed* mass profile and rebuild a size
+distribution with that condensed profile (mass placed on representative
+sizes), because only the condensed distribution matters to the paper's
+algorithms and bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .condense import num_ranges, representative_size
+from .distributions import SizeDistribution
+
+__all__ = [
+    "from_condensed_profile",
+    "mix_with_uniform",
+    "temperature",
+    "shift_ranges",
+    "swap_extremes",
+    "floor_support",
+    "divergence_between",
+    "entropy_of",
+    "prediction_quality_sweep",
+]
+
+
+def from_condensed_profile(
+    n: int, masses: list[float], *, name: str
+) -> SizeDistribution:
+    """Build a size distribution realising the given condensed profile.
+
+    Mass for range ``i`` is placed on the representative size
+    ``min(2^i, n)``; the resulting distribution condenses back to exactly
+    ``masses`` (up to normalisation).
+    """
+    count = num_ranges(n)
+    if len(masses) != count:
+        raise ValueError(f"expected {count} range masses, got {len(masses)}")
+    weights = {}
+    for index, mass in enumerate(masses):
+        if mass < 0:
+            raise ValueError(f"negative mass {mass} for range {index + 1}")
+        if mass > 0:
+            size = min(representative_size(index + 1), n)
+            weights[size] = weights.get(size, 0.0) + mass
+    return SizeDistribution.from_weights(n, weights, name=name)
+
+
+def mix_with_uniform(
+    truth: SizeDistribution, epsilon: float, *, name: str | None = None
+) -> SizeDistribution:
+    """Epsilon-contaminated prediction: ``c(Y) = (1-eps) c(X) + eps U``.
+
+    ``epsilon = 0`` returns the truth (divergence 0); ``epsilon = 1`` is the
+    uniform, uninformative prediction.  Because the mixture keeps every
+    range's predicted mass at least ``eps / L``, the divergence
+    ``D_KL(c(X) || c(Y))`` is finite for every ``epsilon > 0`` and grows
+    smoothly - the canonical dial for the KL-cost experiments.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    q = np.asarray(truth.condense().q)
+    count = len(q)
+    mixed = (1.0 - epsilon) * q + epsilon / count
+    label = name or f"{truth.name}+mix({epsilon:.3f})"
+    return from_condensed_profile(truth.n, mixed.tolist(), name=label)
+
+
+def temperature(
+    truth: SizeDistribution, beta: float, *, name: str | None = None
+) -> SizeDistribution:
+    """Mis-calibrated prediction: range masses raised to the power ``beta``.
+
+    ``beta = 1`` is the truth; ``beta < 1`` flattens (under-confident);
+    ``beta > 1`` sharpens (over-confident).  ``beta = 0`` is uniform over
+    the truth's support.  Zero-mass ranges stay zero, so over-sharpened
+    predictions can have infinite divergence against a *different* truth -
+    use :func:`floor_support` to repair.
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    q = np.asarray(truth.condense().q)
+    powered = np.zeros_like(q)
+    positive = q > 0
+    powered[positive] = np.power(q[positive], beta)
+    if powered.sum() <= 0:
+        raise ValueError("temperature transform produced an all-zero profile")
+    label = name or f"{truth.name}+temp({beta:.2f})"
+    return from_condensed_profile(truth.n, powered.tolist(), name=label)
+
+
+def shift_ranges(
+    truth: SizeDistribution, delta: int, *, name: str | None = None
+) -> SizeDistribution:
+    """Systematically biased prediction: every range shifted by ``delta``.
+
+    A prediction off by ``delta`` ranges corresponds to a multiplicative
+    size error of ``2^delta`` - e.g. a predictor trained when the network
+    was half its current size has ``delta = -1``.  Mass shifted past either
+    end of ``L(n)`` clamps to the boundary range.
+    """
+    q = np.asarray(truth.condense().q)
+    count = len(q)
+    shifted = np.zeros(count)
+    for index, mass in enumerate(q):
+        target = min(max(index + delta, 0), count - 1)
+        shifted[target] += mass
+    label = name or f"{truth.name}+shift({delta:+d})"
+    return from_condensed_profile(truth.n, shifted.tolist(), name=label)
+
+
+def swap_extremes(
+    truth: SizeDistribution, fraction: float = 1.0, *, name: str | None = None
+) -> SizeDistribution:
+    """Adversarial prediction: likeliest and least-likely masses traded.
+
+    ``fraction`` of the probability gap between the most and least likely
+    ranges (per the truth) is transferred, so the sorted-probing order
+    visits the true mode *last* at ``fraction = 1``.  This produces the
+    worst probe order achievable while keeping the same support, the
+    regime where Theorem 2.12's divergence term dominates.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    q = np.asarray(truth.condense().q, dtype=float)
+    if len(q) < 2:
+        return from_condensed_profile(
+            truth.n, q.tolist(), name=name or f"{truth.name}+swap"
+        )
+    top = int(np.argmax(q))
+    bottom = int(np.argmin(q))
+    if top == bottom:
+        return from_condensed_profile(
+            truth.n, q.tolist(), name=name or f"{truth.name}+swap"
+        )
+    transfer = fraction * (q[top] - q[bottom])
+    q[top] -= transfer
+    q[bottom] += transfer
+    label = name or f"{truth.name}+swap({fraction:.2f})"
+    return from_condensed_profile(truth.n, q.tolist(), name=label)
+
+
+def floor_support(
+    prediction: SizeDistribution, floor: float = 1e-6, *, name: str | None = None
+) -> SizeDistribution:
+    """Repair a prediction so every range has mass at least ``floor / L``.
+
+    Guarantees ``D_KL(c(X) || c(Y))`` is finite for *any* truth ``X`` - the
+    standard smoothing a deployed predictor applies so a single impossible
+    outcome cannot stall the algorithm forever.  Equivalent to
+    :func:`mix_with_uniform` with ``epsilon = floor`` applied to the
+    prediction itself.
+    """
+    if not 0.0 < floor < 1.0:
+        raise ValueError(f"floor must be in (0, 1), got {floor}")
+    q = np.asarray(prediction.condense().q)
+    count = len(q)
+    repaired = (1.0 - floor) * q + floor / count
+    label = name or f"{prediction.name}+floor({floor:g})"
+    return from_condensed_profile(prediction.n, repaired.tolist(), name=label)
+
+
+def divergence_between(
+    truth: SizeDistribution, prediction: SizeDistribution
+) -> float:
+    """``D_KL(c(X) || c(Y))`` in bits - the cost term of Theorems 2.12/2.16."""
+    if truth.n != prediction.n:
+        raise ValueError("truth and prediction must share the same n")
+    return truth.condense().kl_divergence(prediction.condense())
+
+
+def entropy_of(truth: SizeDistribution) -> float:
+    """``H(c(X))`` in bits - convenience re-export for experiment code."""
+    return truth.condensed_entropy()
+
+
+def prediction_quality_sweep(
+    truth: SizeDistribution, epsilons: list[float]
+) -> list[tuple[float, SizeDistribution, float]]:
+    """Sweep :func:`mix_with_uniform` strengths, returning divergences.
+
+    Returns tuples ``(epsilon, prediction, D_KL(c(truth) || c(prediction)))``
+    sorted by epsilon - the standard x-axis of the KL-cost experiments.
+    """
+    rows = []
+    for epsilon in sorted(epsilons):
+        prediction = mix_with_uniform(truth, epsilon)
+        rows.append((epsilon, prediction, divergence_between(truth, prediction)))
+    return rows

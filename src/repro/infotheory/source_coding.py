@@ -1,0 +1,176 @@
+"""Source-coding-theorem calculators (Theorems 2.2 and 2.3 of the paper).
+
+The paper's lower bounds rest on two classical results:
+
+* **Source Coding Theorem** (Shannon; paper Theorem 2.2): any uniquely
+  decodable code ``f`` for a source ``X`` satisfies ``H(X) <= E[len f(X)]``.
+* **Cross-coding bound** (paper Theorem 2.3): an *optimal* code built for
+  ``Y`` but fed symbols from ``X`` satisfies
+  ``H(X) + D_KL(X||Y) <= E[len] <= H(X) + D_KL(X||Y) + 1``.
+
+This module turns both into checkable, reusable computations: given codes
+and distributions it produces :class:`CodingReport` records with the
+entropy, divergence, measured expected length and the slack in each
+inequality.  The ``SRC-CODE`` experiment and the property-based tests
+consume these reports; the lower-bound reductions reuse
+:func:`expected_code_length`.
+
+Note on the upper half of Theorem 2.3: as stated in the paper it holds for
+*Shannon* codes for ``Y`` (lengths ``ceil(-log2 q_i)``); a Huffman code for
+``Y`` is optimal for ``Y`` in expectation but its individual codeword
+lengths may exceed ``ceil(-log2 q_i)`` on some symbols, so the upper bound
+is guaranteed only for the Shannon profile.  We therefore verify the upper
+sandwich against Shannon codes and the lower bound (which holds for any
+uniquely decodable code) against both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .coding import PrefixCode, code_from_lengths, shannon_code_lengths
+from .entropy import entropy, kl_divergence, validate_pmf
+from .huffman import huffman_code
+
+__all__ = [
+    "expected_code_length",
+    "CodingReport",
+    "source_coding_report",
+    "cross_coding_report",
+    "shannon_code",
+]
+
+
+def expected_code_length(code: PrefixCode, source_pmf: Sequence[float]) -> float:
+    """``E[len f(X)]`` for code ``f`` and source pmf ``X``."""
+    return code.expected_length(source_pmf)
+
+
+def shannon_code(pmf: Sequence[float]) -> PrefixCode:
+    """Canonical code with Shannon lengths ``ceil(-log2 p_i)`` for ``pmf``.
+
+    Realises the upper half of Theorems 2.2/2.3 constructively:
+    ``E[len] <= H + 1`` against its own source and
+    ``E[len] <= H + D_KL + 1`` against a mismatched source.
+    """
+    return code_from_lengths(shannon_code_lengths(pmf))
+
+
+@dataclass(frozen=True)
+class CodingReport:
+    """Measured coding performance against the information-theoretic bounds.
+
+    Attributes
+    ----------
+    entropy_bits:
+        ``H(X)`` of the source actually generating symbols.
+    divergence_bits:
+        ``D_KL(X || Y)`` between source and the code's design distribution
+        (zero for matched coding).
+    expected_length_bits:
+        Measured ``E[len f(X)]``.
+    lower_bound_bits / upper_bound_bits:
+        The theorem's sandwich: ``H + D`` and ``H + D + 1``.
+    lower_slack_bits / upper_slack_bits:
+        ``E[len] - lower`` (must be >= 0 by Theorem 2.2/2.3) and
+        ``upper - E[len]`` (>= 0 when the code is a Shannon code for ``Y``).
+    """
+
+    entropy_bits: float
+    divergence_bits: float
+    expected_length_bits: float
+
+    @property
+    def lower_bound_bits(self) -> float:
+        return self.entropy_bits + self.divergence_bits
+
+    @property
+    def upper_bound_bits(self) -> float:
+        return self.entropy_bits + self.divergence_bits + 1.0
+
+    @property
+    def lower_slack_bits(self) -> float:
+        return self.expected_length_bits - self.lower_bound_bits
+
+    @property
+    def upper_slack_bits(self) -> float:
+        return self.upper_bound_bits - self.expected_length_bits
+
+    def satisfies_lower_bound(self, *, tolerance: float = 1e-9) -> bool:
+        """Source Coding Theorem check: ``E[len] >= H + D`` within tolerance."""
+        return self.lower_slack_bits >= -tolerance
+
+    def satisfies_upper_bound(self, *, tolerance: float = 1e-9) -> bool:
+        """Shannon-code guarantee: ``E[len] <= H + D + 1`` within tolerance."""
+        return self.upper_slack_bits >= -tolerance
+
+
+def source_coding_report(source_pmf: Sequence[float]) -> CodingReport:
+    """Matched coding: Huffman code for ``source_pmf`` fed by itself.
+
+    The report's divergence is zero; Theorem 2.2 guarantees the lower bound
+    and Huffman optimality (dominated by the Shannon profile in expectation)
+    guarantees the upper bound too.
+    """
+    validate_pmf(source_pmf)
+    code = huffman_code(source_pmf)
+    return CodingReport(
+        entropy_bits=entropy(source_pmf),
+        divergence_bits=0.0,
+        expected_length_bits=expected_code_length(code, source_pmf),
+    )
+
+
+def cross_coding_report(
+    source_pmf: Sequence[float],
+    design_pmf: Sequence[float],
+    *,
+    use_shannon_code: bool = True,
+) -> CodingReport:
+    """Mismatched coding: a code designed for ``design_pmf`` fed ``source_pmf``.
+
+    With ``use_shannon_code=True`` (default) the code has the Shannon length
+    profile for the design distribution, so both halves of Theorem 2.3 hold.
+    With ``False`` a Huffman code for the design distribution is used: the
+    lower bound still holds (it holds for any uniquely decodable code); the
+    upper bound is then only heuristic (see module docstring).
+
+    Requires the design distribution to dominate the source (no zero-mass
+    design symbol with positive source mass); otherwise the divergence is
+    infinite and no finite-length code bound exists, so ``ValueError`` is
+    raised.  Use :func:`repro.infotheory.perturb.floor_support` to repair
+    degenerate predictions first.
+    """
+    validate_pmf(source_pmf)
+    validate_pmf(design_pmf)
+    if len(source_pmf) != len(design_pmf):
+        raise ValueError("source and design pmfs must share an alphabet")
+    for symbol, (p, q) in enumerate(zip(source_pmf, design_pmf)):
+        if p > 0.0 and q <= 0.0:
+            raise ValueError(
+                f"design pmf assigns zero mass to source symbol {symbol}; "
+                "divergence is infinite"
+            )
+    # Symbols with zero design mass also have zero source mass here (checked
+    # above), so they contribute nothing to entropy, divergence or expected
+    # length.  Restrict the code to the design support to keep the Shannon
+    # length profile exact - flooring would perturb dyadic lengths.
+    keep = [symbol for symbol, q in enumerate(design_pmf) if q > 0.0]
+    design = [design_pmf[symbol] for symbol in keep]
+    source = [source_pmf[symbol] for symbol in keep]
+    design_total = sum(design)
+    source_total = sum(source)
+    design = [q / design_total for q in design]
+    if source_total <= 0.0:
+        raise ValueError("source pmf has no mass on the design support")
+    source = [p / source_total for p in source]
+    if use_shannon_code:
+        code = shannon_code(design)
+    else:
+        code = huffman_code(design)
+    return CodingReport(
+        entropy_bits=entropy(source),
+        divergence_bits=kl_divergence(source, design),
+        expected_length_bits=expected_code_length(code, source),
+    )

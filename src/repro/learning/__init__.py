@@ -1,0 +1,31 @@
+"""Learned size predictors and the online observe-predict-resolve loop.
+
+The substrate behind the paper's motivating story: predictions come from
+models fit on observed history, and the algorithms' cost degrades with the
+model's divergence (Theorems 2.12/2.16) - so as the model converges, the
+protocols "improve for free".
+"""
+
+from .base import SizePredictor
+from .estimators import (
+    DecayingHistogramLearner,
+    HistogramLearner,
+    SlidingWindowLearner,
+)
+from .online import (
+    OnlineRecord,
+    OnlineReport,
+    prediction_protocol_for,
+    run_online,
+)
+
+__all__ = [
+    "SizePredictor",
+    "HistogramLearner",
+    "DecayingHistogramLearner",
+    "SlidingWindowLearner",
+    "OnlineRecord",
+    "OnlineReport",
+    "run_online",
+    "prediction_protocol_for",
+]

@@ -1,0 +1,73 @@
+"""Learned size predictors: the models that produce the paper's ``Y``.
+
+The paper's introduction motivates network-size predictions as the output
+of "machine learning models able to observe the behavior of a given
+environment over time", and its bounds then hold for *any* predicted
+distribution through ``D_KL(c(X)‖c(Y))``.  This subpackage supplies that
+missing substrate: online estimators that watch a stream of realised
+network sizes and emit a :class:`~repro.infotheory.distributions.SizeDistribution`
+prediction, so the full loop - observe, predict, resolve contention, pay
+for divergence - can be simulated end to end
+(:mod:`repro.learning.online`).
+
+All learners estimate the *condensed* distribution (mass per geometric
+range), because that is the only statistic the paper's algorithms consume;
+they apply additive smoothing so their predictions always dominate the
+truth (finite divergence - the deployment hygiene
+:func:`repro.infotheory.perturb.floor_support` encodes).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..infotheory.distributions import SizeDistribution
+
+__all__ = ["SizePredictor"]
+
+
+class SizePredictor(abc.ABC):
+    """An online estimator of the network-size distribution.
+
+    The protocol: call :meth:`observe` with each realised size ``k`` (in
+    practice learned post hoc, e.g. from acknowledgement counts), and
+    :meth:`predict` for the current predicted distribution.  Predictions
+    must be valid for the fixed board size ``n`` and must have full
+    condensed support (smoothing), so divergences stay finite.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """Number of sizes observed so far."""
+        return self._observations
+
+    def observe(self, k: int) -> None:
+        """Record one realised network size."""
+        if not 2 <= k <= self.n:
+            raise ValueError(f"size {k} outside support 2..{self.n}")
+        self._observations += 1
+        self._update(k)
+
+    @abc.abstractmethod
+    def _update(self, k: int) -> None:
+        """Learner-specific state update for one observation."""
+
+    @abc.abstractmethod
+    def predict(self) -> SizeDistribution:
+        """The current predicted size distribution ``Y``."""
+
+    def divergence_from(self, truth: SizeDistribution) -> float:
+        """``D_KL(c(truth) ‖ c(prediction))`` - the Theorem 2.12/2.16 cost."""
+        return truth.condense().kl_divergence(self.predict().condense())
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} n={self.n} "
+            f"observations={self._observations}>"
+        )

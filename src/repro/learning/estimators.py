@@ -1,0 +1,138 @@
+"""Concrete online size-distribution estimators.
+
+Three classical estimators, each suited to a different environment:
+
+* :class:`HistogramLearner` - additive-smoothed range frequencies; the
+  right model for *stationary* environments (consistency: divergence to
+  the truth tends to 0 as observations accumulate);
+* :class:`DecayingHistogramLearner` - exponentially discounted counts;
+  tracks *drifting* environments at the price of a variance floor;
+* :class:`SlidingWindowLearner` - hard window of the last ``W``
+  observations; the simplest forgetting scheme, handy as a baseline.
+
+All emit predictions over condensed ranges with an additive-smoothing
+prior, so every range keeps positive predicted mass (finite divergence
+from any truth - a prediction of zero on the true range would stall the
+paper's probe orders indefinitely; compare Theorem 2.12's infinite budget
+at infinite divergence).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..infotheory.condense import num_ranges, range_of_size
+from ..infotheory.distributions import SizeDistribution
+from ..infotheory.perturb import from_condensed_profile
+from .base import SizePredictor
+
+__all__ = [
+    "HistogramLearner",
+    "DecayingHistogramLearner",
+    "SlidingWindowLearner",
+]
+
+
+class HistogramLearner(SizePredictor):
+    """Additive-smoothed range-frequency estimator (stationary worlds).
+
+    Maintains a count per condensed range; predicts
+    ``(count_i + smoothing) / (total + L * smoothing)``.  With i.i.d.
+    observations the predicted condensed distribution converges to the
+    truth (law of large numbers), so the Theorem 2.12/2.16 divergence
+    terms vanish - the "improves for free" regime.
+
+    Parameters
+    ----------
+    n:
+        Board size.
+    smoothing:
+        Laplace prior weight per range (default 1.0).  Must be positive so
+        predictions dominate every truth.
+    """
+
+    def __init__(self, n: int, *, smoothing: float = 1.0) -> None:
+        super().__init__(n)
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.smoothing = smoothing
+        self._counts = [0.0] * num_ranges(n)
+
+    def _update(self, k: int) -> None:
+        self._counts[range_of_size(k) - 1] += 1.0
+
+    def predict(self) -> SizeDistribution:
+        weights = [count + self.smoothing for count in self._counts]
+        return from_condensed_profile(
+            self.n,
+            [weight / sum(weights) for weight in weights],
+            name=f"histogram({self._observations} obs)",
+        )
+
+
+class DecayingHistogramLearner(SizePredictor):
+    """Exponentially discounted range frequencies (drifting worlds).
+
+    Every observation first multiplies all counts by ``decay < 1`` then
+    increments the observed range, giving an effective memory of roughly
+    ``1 / (1 - decay)`` observations.  Adapts to drift within that horizon
+    but never converges exactly (the discount leaves residual variance) -
+    the classic bias/variance dial of non-stationary estimation.
+    """
+
+    def __init__(
+        self, n: int, *, decay: float = 0.98, smoothing: float = 1.0
+    ) -> None:
+        super().__init__(n)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.decay = decay
+        self.smoothing = smoothing
+        self._counts = [0.0] * num_ranges(n)
+
+    def _update(self, k: int) -> None:
+        self._counts = [count * self.decay for count in self._counts]
+        self._counts[range_of_size(k) - 1] += 1.0
+
+    def predict(self) -> SizeDistribution:
+        weights = [count + self.smoothing for count in self._counts]
+        return from_condensed_profile(
+            self.n,
+            [weight / sum(weights) for weight in weights],
+            name=f"decaying-histogram({self._observations} obs)",
+        )
+
+    @property
+    def effective_memory(self) -> float:
+        """Approximate number of observations the estimator remembers."""
+        return 1.0 / (1.0 - self.decay)
+
+
+class SlidingWindowLearner(SizePredictor):
+    """Frequencies over the last ``window`` observations."""
+
+    def __init__(self, n: int, *, window: int = 64, smoothing: float = 1.0) -> None:
+        super().__init__(n)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.window = window
+        self.smoothing = smoothing
+        self._recent: deque[int] = deque(maxlen=window)
+
+    def _update(self, k: int) -> None:
+        self._recent.append(range_of_size(k))
+
+    def predict(self) -> SizeDistribution:
+        counts = [0.0] * num_ranges(self.n)
+        for range_index in self._recent:
+            counts[range_index - 1] += 1.0
+        weights = [count + self.smoothing for count in counts]
+        return from_condensed_profile(
+            self.n,
+            [weight / sum(weights) for weight in weights],
+            name=f"window({len(self._recent)}/{self.window})",
+        )

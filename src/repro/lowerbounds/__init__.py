@@ -1,0 +1,138 @@
+"""Constructive lower-bound machinery from the paper's proofs.
+
+Everything here is an *executable* version of a proof object: range
+finding (the intermediate game), RF-Construction and the CD tree
+construction (algorithm -> strategy transforms), target-distance coding
+(strategy -> prefix code), the success-probability lemmas, strongly
+selective families, non-interactive contention resolution, and the
+closed-form bound formulas of Tables 1 and 2.
+"""
+
+from .bounds import (
+    log2_clamped,
+    loglog,
+    logloglog,
+    loglogloglog,
+    table1_cd_lower,
+    table1_cd_upper,
+    table1_nocd_lower,
+    table1_nocd_upper,
+    table2_det_cd_lower,
+    table2_det_cd_upper,
+    table2_det_nocd_lower,
+    table2_det_nocd_upper,
+    table2_rand_cd,
+    table2_rand_nocd,
+)
+from .parallel_advice import ParallelAdviceProtocol, parallel_advice_protocol
+from .noninteractive import (
+    NonInteractiveScheme,
+    exhaustive_minimum_weak_family_size,
+    is_weakly_selective,
+    scheme_from_protocol,
+    theorem_3_3_bound,
+    verify_scheme,
+)
+from .range_finding import (
+    LabeledBinaryTree,
+    SequenceRangeFinder,
+    default_sequence_tolerance,
+    default_tree_tolerance,
+)
+from .rf_construction import guess_from_probability, rf_construction, rf_range_finder
+from .selective_families import (
+    bit_family,
+    exhaustive_minimum_family_size,
+    find_unselected_pair,
+    is_strongly_selective,
+    polynomial_family,
+    random_selectivity_counterexample,
+    singleton_family,
+    theorem_3_2_threshold,
+)
+from .success_bounds import (
+    lemma_2_6_threshold,
+    lemma_2_6_window,
+    lemma_2_10_threshold,
+    lemma_2_10_window,
+    lemma_2_13_lower_bound,
+    single_success_probability,
+    window_violation,
+)
+from .target_distance_coding import (
+    SequenceTargetDistanceCode,
+    TreeTargetDistanceCode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+from .tree_construction import (
+    build_range_finding_tree,
+    canonical_insert_depth,
+    canonical_range_tree,
+    relabel_with_guesses,
+    unfold_probability_tree,
+)
+
+__all__ = [
+    # range finding
+    "SequenceRangeFinder",
+    "LabeledBinaryTree",
+    "default_sequence_tolerance",
+    "default_tree_tolerance",
+    # constructions
+    "rf_construction",
+    "rf_range_finder",
+    "guess_from_probability",
+    "unfold_probability_tree",
+    "relabel_with_guesses",
+    "canonical_range_tree",
+    "canonical_insert_depth",
+    "build_range_finding_tree",
+    # coding
+    "elias_gamma_encode",
+    "elias_gamma_decode",
+    "SequenceTargetDistanceCode",
+    "TreeTargetDistanceCode",
+    # success-probability lemmas
+    "single_success_probability",
+    "lemma_2_6_window",
+    "lemma_2_6_threshold",
+    "lemma_2_10_window",
+    "lemma_2_10_threshold",
+    "lemma_2_13_lower_bound",
+    "window_violation",
+    # selective families
+    "is_strongly_selective",
+    "find_unselected_pair",
+    "random_selectivity_counterexample",
+    "singleton_family",
+    "bit_family",
+    "polynomial_family",
+    "exhaustive_minimum_family_size",
+    "theorem_3_2_threshold",
+    # parallel-advice reduction (Theorem 3.6)
+    "parallel_advice_protocol",
+    "ParallelAdviceProtocol",
+    # non-interactive CR
+    "NonInteractiveScheme",
+    "verify_scheme",
+    "is_weakly_selective",
+    "exhaustive_minimum_weak_family_size",
+    "scheme_from_protocol",
+    "theorem_3_3_bound",
+    # closed-form bounds
+    "log2_clamped",
+    "loglog",
+    "logloglog",
+    "loglogloglog",
+    "table1_nocd_lower",
+    "table1_nocd_upper",
+    "table1_cd_lower",
+    "table1_cd_upper",
+    "table2_det_nocd_lower",
+    "table2_det_nocd_upper",
+    "table2_det_cd_lower",
+    "table2_det_cd_upper",
+    "table2_rand_nocd",
+    "table2_rand_cd",
+]

@@ -1,0 +1,234 @@
+"""The range finding problem (Sections 2.3-2.4).
+
+Range finding is the intermediate combinatorial game the paper reduces
+contention resolution to: given network size ``n`` and a slack function
+``f(n)``, a strategy must produce a value within ``f(n)`` of a hidden
+target ``v`` drawn from ``L(n)``.  Two strategy shapes appear:
+
+* a **sequence** ``S`` of values from ``L(n)`` (no-CD reduction,
+  Lemma 2.5/2.7): the solve time for target ``v`` is the first position
+  ``t`` with ``|S[t] - v| <= f(n)``;
+* a labelled **binary tree** (CD reduction, Lemma 2.9/2.11): the solve
+  complexity is the depth of the shallowest node whose label is within
+  ``f(n)`` of ``v``.
+
+Both carriers support expected-complexity computation against a condensed
+distribution, which is the quantity the entropy lower bounds constrain.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from ..infotheory.condense import CondensedDistribution
+
+__all__ = [
+    "SequenceRangeFinder",
+    "LabeledBinaryTree",
+    "default_sequence_tolerance",
+    "default_tree_tolerance",
+]
+
+
+def default_sequence_tolerance(n: int, alpha: float = 1.0) -> float:
+    """The no-CD reduction's slack ``alpha * log2 log2 n`` (Lemma 2.5).
+
+    Clamped below at 1 so tiny networks (where ``log log n < 1``) keep a
+    meaningful tolerance.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    return max(1.0, alpha * math.log2(max(2.0, math.log2(n))))
+
+
+def default_tree_tolerance(n: int, alpha: float = 1.0) -> float:
+    """The CD reduction's slack ``alpha * log2 log2 log2 n`` (Lemma 2.9).
+
+    Clamped below at 1 for small ``n``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    inner = max(2.0, math.log2(max(2.0, math.log2(n))))
+    return max(1.0, alpha * math.log2(inner))
+
+
+class SequenceRangeFinder:
+    """A range-finding strategy in sequence form.
+
+    Parameters
+    ----------
+    sequence:
+        Values from ``L(n)`` (1-based range indices).  Out-of-range values
+        are permitted (RF-Construction can emit clamped guesses); they
+        simply never solve distant targets.
+    tolerance:
+        The slack ``f(n)``: position ``t`` solves target ``v`` when
+        ``|S[t] - v| <= tolerance``.
+    """
+
+    def __init__(self, sequence: Sequence[int], tolerance: float) -> None:
+        if not sequence:
+            raise ValueError("sequence must be non-empty")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.sequence = list(sequence)
+        self.tolerance = float(tolerance)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def solve_time(self, target: int) -> int | None:
+        """1-based first position solving ``target``; ``None`` if unsolved."""
+        for position, value in enumerate(self.sequence, start=1):
+            if abs(value - target) <= self.tolerance:
+                return position
+        return None
+
+    def solve_times(self, targets: Sequence[int]) -> dict[int, int | None]:
+        """Solve times for several targets (single pass each)."""
+        return {target: self.solve_time(target) for target in targets}
+
+    def expected_time(self, distribution: CondensedDistribution) -> float:
+        """``E[Z]``: expected solve position when targets follow ``c(X)``.
+
+        Infinite when any positive-probability target is never solved -
+        matching the convention that an unsolved target stalls forever.
+        """
+        total = 0.0
+        for target in distribution.support():
+            time = self.solve_time(target)
+            if time is None:
+                return math.inf
+            total += distribution.probability(target) * time
+        return total
+
+    def solves_all(self, targets: Sequence[int]) -> bool:
+        """Whether every listed target is eventually solved."""
+        return all(self.solve_time(target) is not None for target in targets)
+
+
+class LabeledBinaryTree:
+    """A binary tree with integer labels, addressed by history bit strings.
+
+    Nodes are identified by root paths: the empty string is the root, and
+    appending ``'0'``/``'1'`` descends left/right (exactly the collision-
+    history addressing of Section 2.4: bit ``i`` is 1 iff round ``i``
+    collided).  Depth counts edges, so the root has depth 0 - round ``r``
+    of a CD algorithm corresponds to the node at depth ``r - 1``.
+    """
+
+    def __init__(self, labels: Mapping[str, int]) -> None:
+        if "" not in labels:
+            raise ValueError("tree must label the root (empty path)")
+        for path in labels:
+            if any(bit not in "01" for bit in path):
+                raise ValueError(f"malformed path {path!r}")
+            if path and path[:-1] not in labels:
+                raise ValueError(
+                    f"path {path!r} is disconnected (parent missing)"
+                )
+        self._labels = dict(labels)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def complete(cls, depth: int, values: Sequence[int]) -> "LabeledBinaryTree":
+        """A complete tree of the given ``depth`` labelled from ``values``.
+
+        Labels are assigned in BFS order, cycling through ``values`` if the
+        tree has more nodes than values - guaranteeing every value appears
+        when ``2^(depth+1) - 1 >= len(values)``.  This realises the
+        canonical tree ``T*`` of Section 2.4 ("labelled with all the values
+        in L(n)").
+        """
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        if not values:
+            raise ValueError("values must be non-empty")
+        labels: dict[str, int] = {}
+        queue = [""]
+        index = 0
+        while queue:
+            path = queue.pop(0)
+            labels[path] = values[index % len(values)]
+            index += 1
+            if len(path) < depth:
+                queue.append(path + "0")
+                queue.append(path + "1")
+        return cls(labels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._labels
+
+    def label(self, path: str) -> int:
+        """Label of the node at ``path``."""
+        return self._labels[path]
+
+    def paths(self) -> list[str]:
+        """All node paths, shortest (and then lexicographically) first."""
+        return sorted(self._labels, key=lambda path: (len(path), path))
+
+    def max_depth(self) -> int:
+        """Depth (in edges) of the deepest node."""
+        return max(len(path) for path in self._labels)
+
+    def solve_path(self, target: int, tolerance: float) -> str | None:
+        """Path of the shallowest node within ``tolerance`` of ``target``.
+
+        Ties at equal depth break lexicographically for determinism.
+        Returns ``None`` when no node qualifies.
+        """
+        best: str | None = None
+        for path, value in self._labels.items():
+            if abs(value - target) <= tolerance:
+                if best is None or (len(path), path) < (len(best), best):
+                    best = path
+        return best
+
+    def solve_depth(self, target: int, tolerance: float) -> int | None:
+        """Depth (edges) of the shallowest solving node, or ``None``."""
+        path = self.solve_path(target, tolerance)
+        return None if path is None else len(path)
+
+    def expected_depth(
+        self, distribution: CondensedDistribution, tolerance: float
+    ) -> float:
+        """``E[Z]``: expected solve depth when targets follow ``c(X)``.
+
+        Infinite when some positive-probability target has no solving node.
+        """
+        total = 0.0
+        for target in distribution.support():
+            depth = self.solve_depth(target, tolerance)
+            if depth is None:
+                return math.inf
+            total += distribution.probability(target) * depth
+        return total
+
+    def with_subtree(
+        self, at: str, subtree: "LabeledBinaryTree"
+    ) -> "LabeledBinaryTree":
+        """A new tree with ``subtree`` grafted at path ``at``.
+
+        The subtree's root replaces the node at ``at`` if present (its
+        descendants are discarded) - the paper's surgery that inserts the
+        canonical tree ``T*`` along the leftmost path of ``T_A``.
+        """
+        if at and at[:-1] not in self._labels:
+            raise ValueError(f"graft point {at!r} has no parent in the tree")
+        pruned = {
+            path: value
+            for path, value in self._labels.items()
+            if not path.startswith(at)
+        }
+        for path, value in subtree._labels.items():
+            pruned[at + path] = value
+        return LabeledBinaryTree(pruned)

@@ -1,0 +1,232 @@
+"""Strongly selective families (Definition 3.1, Theorem 3.2).
+
+A family ``F`` of subsets of ``[n]`` is ``(n, k)``-*strongly selective*
+when for every ``Z`` with ``|Z| <= k`` and every ``z in Z`` some set
+``F in F`` satisfies ``Z ∩ F = {z}``.  The paper leans on the
+Clementi-Monti-Silvestri lower bound [5]: for ``k >= sqrt(2n)`` any such
+family has at least ``n`` sets - the engine behind Theorem 3.3's
+``b(n) >= log n`` advice bound.
+
+This module provides:
+
+* :func:`is_strongly_selective` - exhaustive verifier (small ``n``);
+* :func:`random_selectivity_counterexample` - randomized refuter for
+  larger instances;
+* constructions: :func:`singleton_family` (the trivial optimal for
+  ``k = n``), :func:`bit_family` (size ``2 ceil(log2 n)`` for ``k = 2``),
+  and :func:`polynomial_family` (the classic ``O((k log n / log k)^2)``
+  construction via polynomial evaluation over prime fields);
+* :func:`exhaustive_minimum_family_size` - brute-force minimal family
+  size for tiny ``n``, used to certify Theorem 3.2's ``>= n`` claim
+  exactly where exhaustive search is feasible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Collection
+
+import numpy as np
+
+__all__ = [
+    "is_strongly_selective",
+    "find_unselected_pair",
+    "random_selectivity_counterexample",
+    "singleton_family",
+    "bit_family",
+    "polynomial_family",
+    "exhaustive_minimum_family_size",
+    "theorem_3_2_threshold",
+]
+
+
+def theorem_3_2_threshold(n: int) -> float:
+    """The ``k >= sqrt(2n)`` threshold above which ``|F| >= n`` (Thm 3.2)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return math.sqrt(2 * n)
+
+
+def _normalize_family(family: Collection[Collection[int]]) -> list[frozenset[int]]:
+    return [frozenset(member) for member in family]
+
+
+def find_unselected_pair(
+    family: Collection[Collection[int]], n: int, k: int
+) -> tuple[frozenset[int], int] | None:
+    """A witness ``(Z, z)`` with no ``F`` such that ``Z ∩ F = {z}``.
+
+    Exhaustive over all ``Z`` with ``|Z| <= k``; cost ``O(n^k)`` - intended
+    for small instances.  Returns ``None`` when the family is
+    ``(n, k)``-strongly selective.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    sets = _normalize_family(family)
+    universe = range(n)
+    for size in range(1, k + 1):
+        for z_tuple in itertools.combinations(universe, size):
+            z = frozenset(z_tuple)
+            for element in z_tuple:
+                if not any(z & member == {element} for member in sets):
+                    return z, element
+    return None
+
+
+def is_strongly_selective(
+    family: Collection[Collection[int]], n: int, k: int
+) -> bool:
+    """Exhaustive check of Definition 3.1 (small ``n`` only)."""
+    return find_unselected_pair(family, n, k) is None
+
+
+def random_selectivity_counterexample(
+    family: Collection[Collection[int]],
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    trials: int = 1000,
+) -> tuple[frozenset[int], int] | None:
+    """Randomized refuter: sample ``Z``s and elements looking for a witness.
+
+    One-sided: a returned witness definitely violates selectivity; ``None``
+    only means no violation was *found*.  Used to spot-check the
+    constructions at sizes where exhaustion is infeasible.
+    """
+    sets = _normalize_family(family)
+    for _ in range(trials):
+        size = int(rng.integers(1, k + 1))
+        z = frozenset(int(x) for x in rng.choice(n, size=size, replace=False))
+        element = int(rng.choice(sorted(z)))
+        if not any(z & member == {element} for member in sets):
+            return z, element
+    return None
+
+
+def singleton_family(n: int) -> list[frozenset[int]]:
+    """``{{0}, ..., {n-1}}``: ``(n, n)``-strongly selective with size ``n``.
+
+    Optimal for ``k >= sqrt(2n)`` by Theorem 3.2 - this is the object that
+    pins non-interactive advice at ``log n`` bits.
+    """
+    return [frozenset({element}) for element in range(n)]
+
+
+def bit_family(n: int) -> list[frozenset[int]]:
+    """Bit-mask family: ``(n, 2)``-strongly selective with ``2 ceil(log n)``
+    sets.
+
+    For each bit position ``j``, the family holds the set of ids with bit
+    ``j`` set and the set with bit ``j`` clear.  Any two distinct ids
+    differ in some bit, and the set selecting that bit value of ``z``
+    isolates it - the standard small-``k`` separation showing strong
+    selectivity is cheap below the Theorem 3.2 threshold.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    width = max(1, math.ceil(math.log2(n)))
+    family: list[frozenset[int]] = []
+    for bit in range(width):
+        ones = frozenset(x for x in range(n) if (x >> bit) & 1)
+        zeros = frozenset(x for x in range(n) if not (x >> bit) & 1)
+        family.append(ones)
+        family.append(zeros)
+    return family
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def _next_prime(value: int) -> int:
+    candidate = max(value, 2)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def polynomial_family(n: int, k: int) -> list[frozenset[int]]:
+    """The polynomial-evaluation ``(n, k)``-strongly selective family.
+
+    Identify each id with a polynomial of degree ``< d`` over ``F_q``
+    (its base-``q`` digits as coefficients) and take the sets
+    ``F_{a,b} = {x : poly_x(a) = b}`` for all ``a, b in F_q``.  Two
+    distinct degree-``<d`` polynomials agree on at most ``d - 1`` points,
+    so choosing a prime ``q > (k - 1)(d - 1)`` with ``q^d >= n`` leaves,
+    for every ``z`` in a set ``Z`` of size ``<= k``, an evaluation point
+    where ``z`` disagrees with all others - the set at that point isolates
+    ``z``.  Size ``q^2 = O((k log n / log k)^2)``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    q = 2
+    while True:
+        q = _next_prime(q)
+        degree = max(1, math.ceil(math.log(n) / math.log(q)))
+        if q > (k - 1) * (degree - 1) and q**degree >= n:
+            break
+        q += 1
+
+    def digits(value: int) -> list[int]:
+        output = []
+        for _ in range(degree):
+            output.append(value % q)
+            value //= q
+        return output
+
+    coefficients = [digits(x) for x in range(n)]
+
+    def evaluate(poly: list[int], point: int) -> int:
+        result = 0
+        for coefficient in reversed(poly):
+            result = (result * point + coefficient) % q
+        return result
+
+    family: list[frozenset[int]] = []
+    for a in range(q):
+        values = [evaluate(coefficients[x], a) for x in range(n)]
+        for b in range(q):
+            members = frozenset(x for x in range(n) if values[x] == b)
+            if members:
+                family.append(members)
+    return family
+
+
+def exhaustive_minimum_family_size(n: int, k: int, *, max_size: int) -> int | None:
+    """Smallest ``(n, k)``-strongly-selective family size, by brute force.
+
+    Searches all families of size up to ``max_size`` drawn from the
+    non-empty subsets of ``[n]``; returns the minimal size or ``None`` if
+    none exists within the cap.  Exponential - callers keep ``n <= 5``;
+    with ``k >= sqrt(2n)`` and ``max_size >= n``, Theorem 3.2 predicts
+    the result is exactly ``n`` (the singleton family is witness).
+    """
+    if n > 6:
+        raise ValueError(
+            f"exhaustive search is infeasible beyond n=6 (got n={n})"
+        )
+    candidates = [
+        frozenset(z)
+        for size in range(1, n + 1)
+        for z in itertools.combinations(range(n), size)
+    ]
+    for family_size in range(1, max_size + 1):
+        for family in itertools.combinations(candidates, family_size):
+            if is_strongly_selective(family, n, k):
+                return family_size
+    return None

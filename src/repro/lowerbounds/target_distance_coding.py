@@ -1,0 +1,195 @@
+"""Target-distance coding: range-finding strategies as channel codes.
+
+This is the bridge the paper's lower bounds walk across: a range-finding
+strategy yields a uniquely decodable code for the source ``c(X)``, so
+Shannon's Source Coding Theorem lower-bounds the strategy's expected
+complexity through the code's expected length.
+
+* **Sequence codes** (Lemma 2.5): to send a target ``x``, transmit the
+  pair ``(r, d)`` - the first solving position ``r`` and the signed
+  distance ``d = x - S[r]``.  Expected length ``<= E[log Z] + O(log(alpha
+  log log n))``; since the source coding theorem forces expected length
+  ``>= H``, Jensen's inequality yields
+  ``E[Z] >= 2^H / (4 alpha log log n)``.
+
+* **Tree codes** (Lemma 2.9): transmit the root path of the shallowest
+  solving node plus the distance, giving
+  ``E[Z] >= H - O(log log log log n)``.
+
+Implementation note (documented deviation): the paper's codes transmit a
+raw position/path whose *length* the receiver cannot infer, so as written
+they are not uniquely decodable when concatenated.  We make them so with
+an Elias-gamma length header: positions are gamma-coded directly, and
+tree paths are prefixed with a gamma-coded depth.  The header costs
+``O(log r)`` / ``O(log h)`` bits - asymptotically *absorbed* by the
+``E[log Z]`` term in the sequence case and adding only
+``O(log log log n)`` (vs the paper's ``O(log log log log n)``) in the
+tree case.  The measured-vs-claimed gap is reported by the ``T1-*-LOW``
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..infotheory.condense import CondensedDistribution
+from .range_finding import LabeledBinaryTree, SequenceRangeFinder
+
+__all__ = [
+    "elias_gamma_encode",
+    "elias_gamma_decode",
+    "SequenceTargetDistanceCode",
+    "TreeTargetDistanceCode",
+]
+
+
+def elias_gamma_encode(value: int) -> str:
+    """Elias gamma code for a positive integer: prefix-free over ``Z+``.
+
+    ``floor(log2 value)`` zeros followed by the binary expansion; length
+    ``2 floor(log2 value) + 1``.
+    """
+    if value < 1:
+        raise ValueError(f"Elias gamma encodes positive integers, got {value}")
+    binary = format(value, "b")
+    return "0" * (len(binary) - 1) + binary
+
+
+def elias_gamma_decode(bits: str, start: int = 0) -> tuple[int, int]:
+    """Decode one gamma codeword from ``bits`` at offset ``start``.
+
+    Returns ``(value, next_offset)``.  Raises ``ValueError`` on truncated
+    input.
+    """
+    zeros = 0
+    position = start
+    while position < len(bits) and bits[position] == "0":
+        zeros += 1
+        position += 1
+    end = position + zeros + 1
+    if position >= len(bits) or end > len(bits):
+        raise ValueError("truncated Elias gamma codeword")
+    return int(bits[position:end], 2), end
+
+
+def _distance_width(tolerance: float) -> int:
+    """Bits needed for an absolute distance in ``0..floor(tolerance)``."""
+    magnitude = int(math.floor(tolerance))
+    return max(1, magnitude.bit_length()) if magnitude > 0 else 1
+
+
+class SequenceTargetDistanceCode:
+    """The Lemma 2.5 code built from a sequence range finder.
+
+    Codeword for target ``x``: ``gamma(r) + sign + |d|`` where ``r`` is the
+    first solving position, ``d = x - S[r]``, sign is one bit and ``|d|``
+    is fixed-width ``ceil(log2(floor(tolerance)+1))`` bits.
+    """
+
+    def __init__(self, finder: SequenceRangeFinder) -> None:
+        self.finder = finder
+        self._width = _distance_width(finder.tolerance)
+
+    def encode(self, target: int) -> str:
+        """Codeword for ``target``; raises if the finder never solves it."""
+        position = self.finder.solve_time(target)
+        if position is None:
+            raise ValueError(f"sequence never solves target {target}")
+        distance = target - self.finder.sequence[position - 1]
+        sign = "1" if distance < 0 else "0"
+        magnitude = abs(distance)
+        if magnitude >= 2**self._width:
+            raise AssertionError(
+                "solving distance exceeds the tolerance width - "
+                "solve_time/tolerance are inconsistent"
+            )
+        return elias_gamma_encode(position) + sign + format(
+            magnitude, "b"
+        ).zfill(self._width)
+
+    def decode(self, bits: str, start: int = 0) -> tuple[int, int]:
+        """Decode one codeword; returns ``(target, next_offset)``."""
+        position, offset = elias_gamma_decode(bits, start)
+        if offset + 1 + self._width > len(bits):
+            raise ValueError("truncated target-distance codeword")
+        sign = -1 if bits[offset] == "1" else 1
+        magnitude = int(bits[offset + 1 : offset + 1 + self._width], 2)
+        target = self.finder.sequence[position - 1] + sign * magnitude
+        return target, offset + 1 + self._width
+
+    def code_length(self, target: int) -> int:
+        """Length in bits of the codeword for ``target``."""
+        return len(self.encode(target))
+
+    def expected_length(self, distribution: CondensedDistribution) -> float:
+        """``E[len]`` under ``c(X)``; >= ``H(c(X))`` by Theorem 2.2."""
+        total = 0.0
+        for target in distribution.support():
+            total += distribution.probability(target) * self.code_length(target)
+        return total
+
+
+class TreeTargetDistanceCode:
+    """The Lemma 2.9 code built from a tree range finder.
+
+    Codeword for target ``x``: ``gamma(h+1) + path + sign + |d|`` where
+    ``path`` is the root path (of length ``h``) to the shallowest solving
+    node and ``d = x - label``.  The gamma depth header is our unique-
+    decodability fix (see module docstring).
+    """
+
+    def __init__(self, tree: LabeledBinaryTree, tolerance: float) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.tree = tree
+        self.tolerance = float(tolerance)
+        self._width = _distance_width(tolerance)
+
+    def encode(self, target: int) -> str:
+        """Codeword for ``target``; raises if no tree node solves it."""
+        path = self.tree.solve_path(target, self.tolerance)
+        if path is None:
+            raise ValueError(f"tree never solves target {target}")
+        distance = target - self.tree.label(path)
+        sign = "1" if distance < 0 else "0"
+        magnitude = abs(distance)
+        if magnitude >= 2**self._width:
+            raise AssertionError(
+                "solving distance exceeds the tolerance width - "
+                "solve_path/tolerance are inconsistent"
+            )
+        return (
+            elias_gamma_encode(len(path) + 1)
+            + path
+            + sign
+            + format(magnitude, "b").zfill(self._width)
+        )
+
+    def decode(self, bits: str, start: int = 0) -> tuple[int, int]:
+        """Decode one codeword; returns ``(target, next_offset)``."""
+        depth_plus_one, offset = elias_gamma_decode(bits, start)
+        depth = depth_plus_one - 1
+        end_of_path = offset + depth
+        if end_of_path + 1 + self._width > len(bits):
+            raise ValueError("truncated tree target-distance codeword")
+        path = bits[offset:end_of_path]
+        if path not in self.tree:
+            raise ValueError(f"decoded path {path!r} not present in the tree")
+        sign = -1 if bits[end_of_path] == "1" else 1
+        magnitude = int(
+            bits[end_of_path + 1 : end_of_path + 1 + self._width], 2
+        )
+        return self.tree.label(path) + sign * magnitude, (
+            end_of_path + 1 + self._width
+        )
+
+    def code_length(self, target: int) -> int:
+        """Length in bits of the codeword for ``target``."""
+        return len(self.encode(target))
+
+    def expected_length(self, distribution: CondensedDistribution) -> float:
+        """``E[len]`` under ``c(X)``; >= ``H(c(X))`` by Theorem 2.2."""
+        total = 0.0
+        for target in distribution.support():
+            total += distribution.probability(target) * self.code_length(target)
+        return total

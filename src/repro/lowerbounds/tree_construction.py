@@ -1,0 +1,136 @@
+"""CD algorithm -> labelled range-finding tree (Section 2.4's construction).
+
+A uniform CD algorithm is a function from collision histories to
+probabilities; unfolding it to depth ``d`` yields a binary tree ``T1``
+whose node at path ``b_1..b_r`` carries the probability the algorithm
+would use in round ``r + 1`` after that history.  The construction then:
+
+1. relabels each probability ``l`` with its range guess
+   ``ceil(log2(1/l))`` to obtain ``T2``;
+2. grafts the canonical complete tree ``T*`` of depth
+   ``ceil(log2 log2 n)`` - labelled with *all* of ``L(n)`` - below the
+   node at the end of ``T2``'s leftmost path of length
+   ``ceil(log2 log2 n)``, giving the final tree ``T_A``.
+
+The graft guarantees every range appears by depth ``2 ceil(log log n)``
+(Case 2 of Lemma 2.11); the relabelled prefix guarantees fast-solving
+sizes have a nearby guess at small depth (Case 1, via Lemma 2.10).
+Lemma 2.11: ``T_A`` solves ``(n, alpha*log log log n)``-range finding in
+expected depth ``<= 2 t_X(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from ..core.protocol import ScheduleExhausted
+from ..core.uniform import HistoryPolicy
+from ..infotheory.condense import num_ranges
+from .range_finding import LabeledBinaryTree
+from .rf_construction import guess_from_probability
+
+__all__ = [
+    "unfold_probability_tree",
+    "relabel_with_guesses",
+    "canonical_range_tree",
+    "build_range_finding_tree",
+    "canonical_insert_depth",
+]
+
+
+def canonical_insert_depth(n: int) -> int:
+    """Depth ``ceil(log2 log2 n)`` at which ``T*`` is grafted."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return max(1, math.ceil(math.log2(max(2.0, math.log2(n)))))
+
+
+def unfold_probability_tree(
+    policy: HistoryPolicy | Callable[[str], float], depth: int
+) -> dict[str, float]:
+    """``T1``: probabilities at every history up to ``depth`` edges.
+
+    ``policy`` may be a :class:`~repro.core.uniform.HistoryPolicy` or any
+    callable from history strings to probabilities.  Histories on which
+    the policy is undefined (one-shot protocols that exhausted) are
+    omitted, together with their descendants.
+    """
+    query = policy.probability if isinstance(policy, HistoryPolicy) else policy
+    labels: dict[str, float] = {}
+    frontier = [""]
+    while frontier:
+        path = frontier.pop()
+        if len(path) > depth:
+            continue
+        try:
+            labels[path] = float(query(path))
+        except ScheduleExhausted:
+            continue
+        if len(path) < depth:
+            frontier.append(path + "0")
+            frontier.append(path + "1")
+    if "" not in labels:
+        raise ValueError("policy is undefined even at the empty history")
+    return labels
+
+
+def relabel_with_guesses(
+    probability_tree: dict[str, float], n: int
+) -> dict[str, int]:
+    """``T2``: replace each probability label ``l`` by ``ceil(log2(1/l))``."""
+    return {
+        path: guess_from_probability(probability, n)
+        for path, probability in probability_tree.items()
+    }
+
+
+def canonical_range_tree(n: int) -> LabeledBinaryTree:
+    """``T*``: complete tree of depth ``ceil(log log n)`` holding all ranges.
+
+    A complete binary tree of depth ``d = ceil(log2 L)`` has
+    ``2^(d+1) - 1 >= L`` nodes, so BFS assignment covers every range.
+    """
+    count = num_ranges(n)
+    depth = max(0, math.ceil(math.log2(count)) if count > 1 else 0)
+    return LabeledBinaryTree.complete(depth, list(range(1, count + 1)))
+
+
+def build_range_finding_tree(
+    policy: HistoryPolicy | Callable[[str], float],
+    n: int,
+    *,
+    extra_depth: int = 0,
+) -> LabeledBinaryTree:
+    """The full construction: ``T_A`` from a uniform CD algorithm.
+
+    Parameters
+    ----------
+    policy:
+        The algorithm in functional form (see
+        :func:`repro.protocols.adapters.as_history_policy`).
+    n:
+        Maximum network size.
+    extra_depth:
+        Additional unfolding beyond the graft depth; the analysis only
+        needs the prefix above the graft, but deeper unfolding gives the
+        experiments more of the algorithm's native structure to measure.
+
+    The graft follows the paper: walk ``T2``'s leftmost path (all-silence
+    history) to depth ``ceil(log log n)`` and make ``T*``'s root the only
+    (left) child of that node.  If the policy exhausts before the graft
+    depth on the all-silence path, the graft attaches at the deepest
+    defined node of that path instead - only *shortening* solve depths,
+    hence conservative for upper-bounding ``E[Z]`` by ``2 t_X(n)``.
+    """
+    graft_depth = canonical_insert_depth(n)
+    unfold_depth = graft_depth + max(0, extra_depth)
+    probability_tree = unfold_probability_tree(policy, unfold_depth)
+    guesses = relabel_with_guesses(probability_tree, n)
+    base = LabeledBinaryTree(guesses)
+
+    leftmost = ""
+    while len(leftmost) < graft_depth and (leftmost + "0") in base:
+        leftmost += "0"
+    graft_at = leftmost + "0"
+    return base.with_subtree(graft_at, canonical_range_tree(n))

@@ -1,0 +1,74 @@
+"""Contention-resolution protocols: baselines and the paper's algorithms.
+
+Baselines
+    :class:`DecayProtocol` (no-CD, ``O(log n)`` [2]),
+    :class:`WillardProtocol` (CD, ``O(log log n)`` [22]),
+    :class:`FixedProbabilityProtocol` (perfect estimate, ``O(1)``),
+    :class:`BinaryExponentialBackoff` (practical MAC comparator).
+
+Prediction algorithms (Section 2)
+    :class:`SortedProbingProtocol` (no-CD, Theorem 2.12),
+    :class:`CodeSearchProtocol` (CD, Theorem 2.16).
+
+Perfect-advice algorithms (Section 3)
+    :class:`DeterministicScanProtocol` (no-CD, ``Theta(n / 2^b)``),
+    :class:`DeterministicTreeDescentProtocol` (CD, ``Theta(log n - b)``),
+    :class:`TruncatedDecayProtocol` (no-CD, ``Theta(log n / 2^b)``),
+    :func:`truncated_willard_protocol` (CD, ``Theta(log log n - b)``).
+"""
+
+from .adapters import (
+    SessionReplayPolicy,
+    UniformAsPlayerProtocol,
+    as_history_policy,
+)
+from .restart import FallbackPlayerProtocol, RestartProtocol
+from .advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from .advice_randomized import (
+    TruncatedDecayProtocol,
+    advised_block,
+    block_index_for,
+    true_range_for_count,
+    truncated_willard_for_count,
+    truncated_willard_protocol,
+)
+from .backoff import BinaryExponentialBackoff
+from .code_search import CodeSearchProtocol
+from .decay import DecayProtocol, decay_schedule
+from .fixed_probability import FixedProbabilityProtocol
+from .searching import PhasedSearchProtocol, PhasedSearchSession
+from .sorted_probing import SortedProbingProtocol, sorted_probing_schedule
+from .willard import WillardProtocol
+
+__all__ = [
+    # baselines
+    "DecayProtocol",
+    "decay_schedule",
+    "WillardProtocol",
+    "FixedProbabilityProtocol",
+    "BinaryExponentialBackoff",
+    # prediction algorithms (Section 2)
+    "SortedProbingProtocol",
+    "sorted_probing_schedule",
+    "CodeSearchProtocol",
+    "PhasedSearchProtocol",
+    "PhasedSearchSession",
+    # advice algorithms (Section 3)
+    "DeterministicScanProtocol",
+    "DeterministicTreeDescentProtocol",
+    "TruncatedDecayProtocol",
+    "truncated_willard_protocol",
+    "truncated_willard_for_count",
+    "block_index_for",
+    "advised_block",
+    "true_range_for_count",
+    # adapters and combinators
+    "as_history_policy",
+    "SessionReplayPolicy",
+    "UniformAsPlayerProtocol",
+    "RestartProtocol",
+    "FallbackPlayerProtocol",
+]

@@ -1,0 +1,139 @@
+"""Adapters bridging protocol representations.
+
+The lower-bound machinery of Section 2.4 consumes uniform CD algorithms in
+their *functional* form - a map from collision histories to probabilities
+(:class:`~repro.core.uniform.HistoryPolicy`) - while the runnable protocols
+here are implemented as stateful sessions for efficiency.  For a
+*deterministic* uniform protocol the two are equivalent:
+:func:`as_history_policy` recovers the functional form by replaying any
+queried history through a fresh session.
+
+Replay costs ``O(|history|)`` per query; the tree constructions only query
+histories up to depth ``O(log log n + code length)``, so this is cheap.
+A small prefix cache would be possible but is deliberately omitted -
+sessions are stateful and cloning them is more fragile than replaying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.feedback import Observation
+from ..core.protocol import (
+    PlayerProtocol,
+    PlayerSession,
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
+from ..core.uniform import HistoryPolicy
+
+__all__ = [
+    "as_history_policy",
+    "SessionReplayPolicy",
+    "UniformAsPlayerProtocol",
+]
+
+
+class SessionReplayPolicy(HistoryPolicy):
+    """Functional (history -> probability) view of a deterministic protocol.
+
+    The wrapped protocol must be deterministic as a function of the
+    observation history (true for every CD protocol in this library:
+    schedules, Willard search, code search).  Queries replay the history
+    bit string through a fresh session: bit 1 feeds ``COLLISION``, bit 0
+    feeds ``SILENCE``.
+
+    Histories that drive the session past its one-shot horizon raise
+    :class:`~repro.core.protocol.ScheduleExhausted`; the tree constructions
+    treat such nodes as absent.
+    """
+
+    def __init__(self, protocol: UniformProtocol, *, name: str | None = None):
+        self._protocol = protocol
+        self.name = name or f"policy({protocol.name})"
+
+    def probability(self, history: str) -> float:
+        self.validate_history(history)
+        session = self._protocol.session()
+        for bit in history:
+            session.next_probability()
+            session.observe(
+                Observation.COLLISION if bit == "1" else Observation.SILENCE
+            )
+        return session.next_probability()
+
+    def defined_on(self, history: str) -> bool:
+        """Whether the protocol still schedules a round after ``history``."""
+        try:
+            self.probability(history)
+        except ScheduleExhausted:
+            return False
+        return True
+
+
+def as_history_policy(
+    protocol: UniformProtocol, *, name: str | None = None
+) -> SessionReplayPolicy:
+    """Functional view of a deterministic uniform protocol.
+
+    Works for both CD and no-CD protocols; for the latter the history is
+    simply ignored by the underlying schedule (observations are fed but
+    oblivious sessions discard them), so the policy is constant in the
+    history bits, as expected of a fixed schedule.
+    """
+    return SessionReplayPolicy(protocol, name=name)
+
+
+class _UniformPlayerSession(PlayerSession):
+    def __init__(
+        self, inner: UniformSession, rng: np.random.Generator
+    ) -> None:
+        self._inner = inner
+        self._rng = rng
+        self._probability: float | None = None
+
+    def decide(self) -> bool:
+        self._probability = self._inner.next_probability()
+        return bool(self._rng.random() < self._probability)
+
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        del transmitted
+        self._inner.observe(observation)
+
+
+class UniformAsPlayerProtocol(PlayerProtocol):
+    """Per-player view of a uniform protocol.
+
+    Semantically identical to running the uniform protocol on the binomial
+    fast path (each player independently transmits with the shared
+    probability); used where the per-player engine is required, e.g. as
+    the fallback half of
+    :class:`~repro.protocols.restart.FallbackPlayerProtocol`.  Because the
+    wrapped session is deterministic given the observation stream, all
+    players stay in lock-step on CD channels.
+    """
+
+    advice_bits = 0
+
+    def __init__(self, uniform: UniformProtocol) -> None:
+        self._uniform = uniform
+        self.requires_collision_detection = (
+            uniform.requires_collision_detection
+        )
+        self.name = f"players({uniform.name})"
+
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: np.random.Generator | None = None,
+    ) -> _UniformPlayerSession:
+        del player_id, n, advice
+        if rng is None:
+            raise ProtocolError(
+                "UniformAsPlayerProtocol needs the simulation rng"
+            )
+        return _UniformPlayerSession(self._uniform.session(), rng)

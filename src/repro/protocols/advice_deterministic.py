@@ -1,0 +1,194 @@
+"""Deterministic perfect-advice protocols (Section 3.2 upper bounds).
+
+Both protocols view the ``n`` player ids as leaves of a balanced binary
+tree of height ``w = ceil(log2 n)`` and pair with
+:class:`~repro.core.advice.MinIdPrefixAdvice`, whose ``b`` bits are the
+first ``b`` steps of the root-to-leaf traversal towards the smallest
+active participant.
+
+* **No collision detection** - :class:`DeterministicScanProtocol`: the
+  advice pins a subtree of ``2^(w-b)`` leaves containing an active player;
+  the protocol gives each candidate leaf its own round, in ascending id
+  order.  Any round whose candidate is active has exactly one transmitter,
+  so the problem is solved within ``2^(w-b) ~ n / 2^b`` rounds - matching
+  the ``t(n) >= n^(1-alpha)/2`` lower bound of Theorem 3.4 within a
+  constant factor.
+
+* **Collision detection** - :class:`DeterministicTreeDescentProtocol`:
+  complete the traversal using collision votes.  Each round, active
+  players in the left child subtree transmit: silence means the left
+  subtree is empty (descend right), a collision means it holds >= 2 active
+  players (descend left), success ends the execution.  After ``w - b``
+  descents the subtree is a single active leaf, which then transmits
+  alone: at most ``log n - b + 1`` rounds, matching Theorem 3.5's
+  ``t(n) >= log n - b`` lower bound within one round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.advice import AdviceError, bits_to_int, id_bit_width, id_to_bits
+from ..core.feedback import Observation
+from ..core.protocol import (
+    PlayerProtocol,
+    PlayerSession,
+    ProtocolError,
+    ScheduleExhausted,
+)
+
+__all__ = [
+    "DeterministicScanProtocol",
+    "DeterministicTreeDescentProtocol",
+]
+
+
+class _ScanSession(PlayerSession):
+    """Per-player state of the no-CD candidate scan."""
+
+    def __init__(self, player_id: int, n: int, advice: str) -> None:
+        width = id_bit_width(n)
+        if len(advice) > width:
+            raise AdviceError(
+                f"advice {advice!r} longer than id width {width} for n={n}"
+            )
+        self._rounds_total = 2 ** (width - len(advice))
+        my_bits = id_to_bits(player_id, width)
+        if my_bits.startswith(advice):
+            # Slot index = position of this id within the advised subtree.
+            self._slot: int | None = bits_to_int(my_bits[len(advice):])
+        else:
+            self._slot = None
+        self._round = 0
+
+    def decide(self) -> bool:
+        if self._round >= self._rounds_total:
+            raise ScheduleExhausted(
+                "candidate scan exhausted the advised subtree"
+            )
+        transmit = self._slot is not None and self._slot == self._round
+        self._round += 1
+        return transmit
+
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        # Oblivious: the scan schedule is fixed by the advice alone.
+        del observation, transmitted
+
+
+class DeterministicScanProtocol(PlayerProtocol):
+    """No-CD deterministic protocol: one round per candidate id.
+
+    Parameters
+    ----------
+    advice_bits:
+        The advice budget ``b``; pair with
+        ``MinIdPrefixAdvice(advice_bits)``.
+
+    Worst-case rounds: ``2^(ceil(log2 n) - b)``, i.e. ``Theta(n / 2^b)``.
+    """
+
+    requires_collision_detection = False
+
+    def __init__(self, advice_bits: int) -> None:
+        if advice_bits < 0:
+            raise ValueError(f"advice budget must be >= 0, got {advice_bits}")
+        self.advice_bits = advice_bits
+        self.name = f"det-scan(b={advice_bits})"
+
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: np.random.Generator | None = None,
+    ) -> _ScanSession:
+        del rng  # deterministic protocol
+        return _ScanSession(player_id, n, advice)
+
+    def worst_case_rounds(self, n: int) -> int:
+        """The exact worst-case round count ``2^(w - b)``."""
+        return 2 ** max(0, id_bit_width(n) - self.advice_bits)
+
+
+class _TreeDescentSession(PlayerSession):
+    """Per-player state of the CD tree descent."""
+
+    def __init__(self, player_id: int, n: int, advice: str) -> None:
+        self._width = id_bit_width(n)
+        if len(advice) > self._width:
+            raise AdviceError(
+                f"advice {advice!r} longer than id width {self._width} for n={n}"
+            )
+        self._my_bits = id_to_bits(player_id, self._width)
+        self._prefix = advice
+        self._failed = False
+
+    def decide(self) -> bool:
+        if self._failed:
+            # Faulty advice pointed at an empty subtree: the descent has
+            # provably failed, so the execution gives up cleanly (callers
+            # can wrap with a fallback protocol; see protocols/restart.py).
+            raise ScheduleExhausted(
+                "tree descent reached an inactive leaf; the advised subtree "
+                "held no active player"
+            )
+        if len(self._prefix) == self._width:
+            # Leaf reached: the unique candidate transmits alone.
+            return self._my_bits == self._prefix
+        # Probe the left child: active players under prefix+'0' transmit.
+        return self._my_bits.startswith(self._prefix + "0")
+
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        del transmitted
+        if observation is Observation.QUIET:
+            raise ProtocolError(
+                "tree descent requires collision detection; got a no-CD "
+                "observation"
+            )
+        if len(self._prefix) == self._width:
+            # A leaf-round non-success means the advice was faulty (the
+            # advised subtree holds no active player): give up next round.
+            self._failed = True
+            return
+        if observation is Observation.COLLISION:
+            # >= 2 active players under the left child.
+            self._prefix += "0"
+        else:
+            # Silence: the left child subtree holds no active player.
+            self._prefix += "1"
+
+
+class DeterministicTreeDescentProtocol(PlayerProtocol):
+    """CD deterministic protocol: collision-vote descent from the advice.
+
+    Parameters
+    ----------
+    advice_bits:
+        The advice budget ``b``; pair with
+        ``MinIdPrefixAdvice(advice_bits)``.
+
+    Worst-case rounds: ``ceil(log2 n) - b + 1`` (the ``+1`` is the final
+    solo round at the leaf), matching the paper's ``log n - b(n) + 1``.
+    """
+
+    requires_collision_detection = True
+
+    def __init__(self, advice_bits: int) -> None:
+        if advice_bits < 0:
+            raise ValueError(f"advice budget must be >= 0, got {advice_bits}")
+        self.advice_bits = advice_bits
+        self.name = f"det-descent(b={advice_bits})"
+
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: np.random.Generator | None = None,
+    ) -> _TreeDescentSession:
+        del rng  # deterministic protocol
+        return _TreeDescentSession(player_id, n, advice)
+
+    def worst_case_rounds(self, n: int) -> int:
+        """The exact worst-case round count ``w - b + 1``."""
+        return max(1, id_bit_width(n) - self.advice_bits + 1)

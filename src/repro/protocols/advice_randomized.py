@@ -1,0 +1,176 @@
+"""Randomized perfect-advice protocols (Theorems 3.6 and 3.7 upper bounds).
+
+Both pair with :class:`~repro.core.advice.RangeBlockAdvice`: the ``b``
+advice bits name which of ``2^b`` consecutive blocks of the geometric
+ranges ``L(n)`` contains the true range ``ceil(log2 k)``, shrinking the
+search space from ``L = ceil(log2 n)`` ranges to ``ceil(L / 2^b)``.
+
+* **No collision detection** - *truncated decay* (Theorem 3.6): cycle
+  through the probabilities of the advised block only.  Expected rounds
+  ``O(log n / 2^b)``, matching the theorem's tight bound (a reduction from
+  the no-advice ``Omega(log n)`` bound shows this is optimal).
+
+* **Collision detection** - *truncated Willard* (Theorem 3.7): binary
+  search the advised block with collision feedback.  Expected rounds
+  ``O(log(L / 2^b)) = O(log log n - b)``; with ``b >= log2 L`` the block
+  is a single range and the expected time is ``O(1)``.
+
+Because the advice string is common to all participants, these are
+*uniform* protocols once the advice is fixed; the harness therefore
+computes the advice itself (it knows the participant set) and runs the
+fast binomial simulation path.  :func:`block_index_for` exposes the
+advice-to-block decoding used in that flow.
+"""
+
+from __future__ import annotations
+
+from ..core.advice import RangeBlockAdvice, bits_to_int, range_blocks
+from ..core.uniform import ProbabilitySchedule, ScheduleProtocol
+from ..infotheory.condense import num_ranges, range_of_size, range_probability
+from .willard import WillardProtocol
+
+__all__ = [
+    "TruncatedDecayProtocol",
+    "truncated_willard_protocol",
+    "truncated_willard_for_count",
+    "block_index_for",
+    "advised_block",
+    "true_range_for_count",
+]
+
+
+def block_index_for(n: int, advice_bits: int, k: int) -> int:
+    """The block index a perfect advice function reports for count ``k``.
+
+    Mirrors :class:`~repro.core.advice.RangeBlockAdvice` exactly (it is
+    implemented *via* it) so harnesses using the fast uniform path stay in
+    lock-step with the per-player path.
+    """
+    advice = RangeBlockAdvice(advice_bits).advise(range(max(k, 1)), n)
+    return bits_to_int(advice)
+
+
+def advised_block(n: int, advice_bits: int, block_index: int) -> list[int]:
+    """The ranges of block ``block_index`` in the ``2^b``-block partition."""
+    blocks = range_blocks(num_ranges(n), advice_bits)
+    if not 0 <= block_index < len(blocks):
+        raise ValueError(
+            f"block index {block_index} out of bounds for b={advice_bits}"
+        )
+    block = blocks[block_index]
+    if not block:
+        raise ValueError(
+            f"block {block_index} is empty for n={n}, b={advice_bits}; "
+            "a perfect advice function never selects an empty block"
+        )
+    return block
+
+
+class TruncatedDecayProtocol(ScheduleProtocol):
+    """Decay restricted to the advised block of ranges (Theorem 3.6).
+
+    Parameters
+    ----------
+    n:
+        Maximum network size.
+    advice_bits:
+        The advice budget ``b``.
+    block_index:
+        The advised block (decode with :func:`block_index_for`).
+    cycle:
+        Repeat the block pass until success (default; the expected-time
+        protocol of the theorem) or run one pass only.
+    handle_k1:
+        Prepend an all-transmit round per pass for ``k = 1``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        advice_bits: int,
+        block_index: int,
+        *,
+        cycle: bool = True,
+        handle_k1: bool = False,
+    ) -> None:
+        block = advised_block(n, advice_bits, block_index)
+        probabilities = [range_probability(i) for i in block]
+        if handle_k1:
+            probabilities.insert(0, 1.0)
+        self.n = n
+        self.advice_bits = advice_bits
+        self.block = block
+        schedule = ProbabilitySchedule(
+            probabilities,
+            name=f"truncated-decay(n={n},b={advice_bits},block={block_index})",
+        )
+        super().__init__(schedule, cycle=cycle, name=schedule.name)
+
+    @classmethod
+    def for_count(
+        cls,
+        n: int,
+        advice_bits: int,
+        k: int,
+        *,
+        cycle: bool = True,
+        handle_k1: bool = False,
+    ) -> "TruncatedDecayProtocol":
+        """Build with the block a perfect advice function gives for ``k``."""
+        return cls(
+            n,
+            advice_bits,
+            block_index_for(n, advice_bits, k),
+            cycle=cycle,
+            handle_k1=handle_k1,
+        )
+
+
+def truncated_willard_protocol(
+    n: int,
+    advice_bits: int,
+    block_index: int,
+    *,
+    repetitions: int = 3,
+    restart: bool = True,
+    handle_k1: bool = False,
+) -> WillardProtocol:
+    """Willard's search restricted to the advised block (Theorem 3.7).
+
+    Returns a :class:`~repro.protocols.willard.WillardProtocol` whose
+    search space is the block's ranges; expected rounds
+    ``O(log |block|) = O(log log n - b)``.
+    """
+    block = advised_block(n, advice_bits, block_index)
+    return WillardProtocol(
+        n,
+        ranges=block,
+        repetitions=repetitions,
+        restart=restart,
+        handle_k1=handle_k1,
+    )
+
+
+def truncated_willard_for_count(
+    n: int,
+    advice_bits: int,
+    k: int,
+    *,
+    repetitions: int = 3,
+    restart: bool = True,
+    handle_k1: bool = False,
+) -> WillardProtocol:
+    """Truncated Willard with the block a perfect advice gives for ``k``."""
+    return truncated_willard_protocol(
+        n,
+        advice_bits,
+        block_index_for(n, advice_bits, k),
+        repetitions=repetitions,
+        restart=restart,
+        handle_k1=handle_k1,
+    )
+
+
+def true_range_for_count(k: int) -> int:
+    """Convenience re-export: the range ``ceil(log2 k)`` containing ``k``."""
+    return range_of_size(k)

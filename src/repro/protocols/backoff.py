@@ -1,0 +1,101 @@
+"""Binary exponential backoff: the classical practical comparator.
+
+Not an algorithm from the paper, but the contention-resolution strategy
+deployed in real MACs (Ethernet, 802.11) and the natural "what practice
+does today" baseline for the example scenarios.  Each player keeps a
+contention window ``w``; every round it transmits with probability
+``1/w``; on a detected collision it doubles ``w`` (up to a cap) and on
+silence it halves ``w`` (down to the floor).  Requires collision
+detection - without it a player cannot tell its window is too small.
+
+The protocol is *non-uniform* (windows drift apart across players once
+their transmission histories differ), so it exercises the per-player
+simulation path and provides a non-uniform contrast to the paper's
+uniform-algorithm assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.feedback import Observation
+from ..core.protocol import PlayerProtocol, PlayerSession, ProtocolError
+
+__all__ = ["BinaryExponentialBackoff"]
+
+
+class _BackoffSession(PlayerSession):
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        initial_window: float,
+        min_window: float,
+        max_window: float,
+    ) -> None:
+        self._rng = rng
+        self._window = initial_window
+        self._min_window = min_window
+        self._max_window = max_window
+
+    def decide(self) -> bool:
+        return bool(self._rng.random() < 1.0 / self._window)
+
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        del transmitted
+        if observation is Observation.QUIET:
+            raise ProtocolError(
+                "binary exponential backoff requires collision detection"
+            )
+        if observation is Observation.COLLISION:
+            self._window = min(self._window * 2.0, self._max_window)
+        else:  # silence: the channel is under-used, be more aggressive
+            self._window = max(self._window / 2.0, self._min_window)
+
+    @property
+    def window(self) -> float:
+        """Current contention window (diagnostics)."""
+        return self._window
+
+
+class BinaryExponentialBackoff(PlayerProtocol):
+    """Multiplicative increase / multiplicative decrease backoff.
+
+    Parameters
+    ----------
+    initial_window:
+        Starting contention window (default 2: transmit w.p. 1/2).
+    max_window:
+        Upper cap preventing unbounded starvation after long collision
+        bursts (default ``2^20``).
+    """
+
+    requires_collision_detection = True
+    advice_bits = 0
+
+    def __init__(
+        self, initial_window: float = 2.0, max_window: float = float(2**20)
+    ) -> None:
+        if initial_window < 1.0:
+            raise ValueError("initial window must be >= 1")
+        if max_window < initial_window:
+            raise ValueError("max window must be >= initial window")
+        self.initial_window = float(initial_window)
+        self.max_window = float(max_window)
+        self.name = f"beb(w0={initial_window:g})"
+
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: np.random.Generator | None = None,
+    ) -> _BackoffSession:
+        del player_id, n, advice
+        if rng is None:
+            raise ProtocolError(
+                "binary exponential backoff is randomized and needs the "
+                "simulation rng"
+            )
+        return _BackoffSession(
+            rng, self.initial_window, min_window=1.0, max_window=self.max_window
+        )

@@ -1,0 +1,87 @@
+"""The CD prediction algorithm of Section 2.6 (code-class binary search).
+
+Given predicted distribution ``Y``:
+
+1. build an optimal prefix code ``f`` for ``c(Y)`` (Huffman);
+2. group ranges into classes ``pi_l`` by codeword length ``l``;
+3. search the classes in order of increasing ``l``; within class ``pi_l``
+   run the Willard-style collision-detector binary search over the class's
+   ranges, smallest to largest.
+
+Intuition: the prediction thinks short-codeword ranges are likely, so they
+are probed first, and a class of ``2^l``-many ranges costs only ``O(l)``
+search rounds - giving the ``O(S^2)`` total for a true range whose
+codeword has length ``S`` (Lemma 2.17), and via Theorem 2.3's sandwich the
+``O((H(c(X)) + D_KL(c(X)||c(Y)))^2)`` budget of Theorem 2.16 with constant
+probability.  Corollary 2.18 specialises to ``O(H^2)`` for ``Y = X``.
+
+As with sorted probing, the paper's analysis is one-shot; a restarting
+variant is provided for expected-time measurements.
+"""
+
+from __future__ import annotations
+
+from ..core.predictions import Prediction
+from ..infotheory.distributions import SizeDistribution
+from .searching import PhasedSearchProtocol
+
+__all__ = ["CodeSearchProtocol"]
+
+
+class CodeSearchProtocol(PhasedSearchProtocol):
+    """Huffman-length-class phases, binary searched with collision feedback.
+
+    Parameters
+    ----------
+    prediction:
+        The predicted distribution ``Y``.
+    repetitions:
+        Odd probes-per-comparison for the noisy binary search (default 3).
+    one_shot:
+        ``True`` (default) for the Theorem 2.16 single sweep over all
+        classes; ``False`` restarts from the shortest class after an
+        unsuccessful sweep.
+    handle_k1:
+        Prepend an all-transmit round to solve ``k = 1``.
+    support_only:
+        Drop zero-predicted-probability ranges from the search phases.
+        Natural for the cycling expected-time variant with support-floored
+        predictions; the one-shot Theorem 2.16 form keeps all ranges so a
+        ruled-out true range is still eventually probed.
+    """
+
+    def __init__(
+        self,
+        prediction: Prediction | SizeDistribution,
+        *,
+        repetitions: int = 3,
+        one_shot: bool = True,
+        handle_k1: bool = False,
+        support_only: bool = False,
+    ) -> None:
+        if isinstance(prediction, SizeDistribution):
+            prediction = Prediction(prediction)
+        self.prediction = prediction
+        classes = prediction.code_length_classes()
+        phases = [classes[length] for length in sorted(classes)]
+        if support_only:
+            condensed = prediction.condensed
+            phases = [
+                [i for i in phase if condensed.probability(i) > 0.0]
+                for phase in phases
+            ]
+            phases = [phase for phase in phases if phase]
+            if not phases:
+                raise ValueError("prediction has empty support")
+        super().__init__(
+            phases,
+            repetitions=repetitions,
+            restart=not one_shot,
+            handle_k1=handle_k1,
+            name=f"code-search(n={prediction.n}, "
+            f"{'one-shot' if one_shot else 'cycling'})",
+        )
+
+    def length_classes(self) -> dict[int, list[int]]:
+        """The classes ``pi_l``: codeword length -> ranges of that length."""
+        return self.prediction.code_length_classes()

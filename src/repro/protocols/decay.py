@@ -1,0 +1,56 @@
+"""The decay strategy of Bar-Yehuda, Goldreich and Itai [2].
+
+The classical no-CD baseline: cycle through the ``ceil(log2 n)``
+geometrically decreasing probabilities ``1/2, 1/4, ..., 2^-L``.  One of
+them is within a factor of two of the optimal ``1/k`` for the actual
+participant count ``k``, so each pass succeeds with constant probability
+and the expected round complexity is ``O(log n)`` - matching the
+``Omega(log n)`` worst-case lower bound [11, 18] the paper's Section 1.1
+reviews.  The paper frames decay as "cycling through log n geometrically
+distributed guesses of the network size", which is exactly the shape the
+RF-Construction lower-bound transform consumes.
+"""
+
+from __future__ import annotations
+
+from ..core.uniform import ProbabilitySchedule, ScheduleProtocol
+from ..infotheory.condense import num_ranges, range_probability
+
+__all__ = ["decay_schedule", "DecayProtocol"]
+
+
+def decay_schedule(n: int, *, handle_k1: bool = False) -> ProbabilitySchedule:
+    """One decay pass: probabilities ``2^-1 .. 2^-L`` for ``L = ceil(log2 n)``.
+
+    With ``handle_k1`` an initial probability-1 round is prepended, which
+    solves ``k = 1`` outright (paper footnote 4's trick).
+    """
+    probabilities = [range_probability(i) for i in range(1, num_ranges(n) + 1)]
+    if handle_k1:
+        probabilities.insert(0, 1.0)
+    return ProbabilitySchedule(probabilities, name=f"decay(n={n})")
+
+
+class DecayProtocol(ScheduleProtocol):
+    """Cycling decay: the standard ``O(log n)`` expected-time baseline.
+
+    Parameters
+    ----------
+    n:
+        Maximum network size (fixes the pass length ``ceil(log2 n)``).
+    cycle:
+        ``True`` (default) repeats passes forever - the expected-time
+        protocol; ``False`` runs a single one-shot pass.
+    handle_k1:
+        Prepend an all-transmit round per pass for ``k = 1`` support.
+    """
+
+    def __init__(self, n: int, *, cycle: bool = True, handle_k1: bool = False):
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+        super().__init__(
+            decay_schedule(n, handle_k1=handle_k1),
+            cycle=cycle,
+            name=f"decay(n={n})",
+        )

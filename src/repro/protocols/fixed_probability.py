@@ -1,0 +1,33 @@
+"""Fixed-probability transmission: the perfect-estimate baseline.
+
+Section 1.1: "if the algorithm is given an accurate estimate
+``k_hat = Theta(k)`` of the actual network size ``k``, the problem can be
+solved in ``O(1)`` rounds in expectation by simply transmitting with
+probability ``1/k_hat`` in each round."  This protocol is that best-case
+endpoint; the experiments use it to anchor the low-entropy end of every
+crossover plot.
+"""
+
+from __future__ import annotations
+
+from ..core.uniform import ProbabilitySchedule, ScheduleProtocol
+
+__all__ = ["FixedProbabilityProtocol"]
+
+
+class FixedProbabilityProtocol(ScheduleProtocol):
+    """Transmit with probability ``1 / k_hat`` every round.
+
+    With ``k_hat = Theta(k)`` the per-round success probability is a
+    constant (at least ``1/(2e)`` for ``k_hat in [k/2, 2k]``), so the
+    expected number of rounds is ``O(1)``.
+    """
+
+    def __init__(self, k_hat: float, *, name: str | None = None):
+        if k_hat < 1:
+            raise ValueError(f"size estimate must be >= 1, got {k_hat}")
+        self.k_hat = float(k_hat)
+        schedule = ProbabilitySchedule(
+            [1.0 / self.k_hat], name=name or f"fixed(1/{k_hat:g})"
+        )
+        super().__init__(schedule, cycle=True, name=schedule.name)

@@ -1,0 +1,170 @@
+"""Restart and fallback wrappers: one-shot algorithms made resilient.
+
+Two generic combinators used across the expected-time and robustness
+experiments:
+
+* :class:`RestartProtocol` - when a one-shot uniform protocol exhausts
+  without success, start a fresh session and keep going.  Turns every
+  constant-probability one-shot result (Theorems 2.12/2.16) into an
+  expected-time protocol with a geometric number of attempts - the simple
+  restart strategy the paper's footnote 6 contrasts with cleverer cycling
+  (which the paper leaves open, and so do we: this wrapper is measured,
+  not analysed).
+
+* :class:`FallbackPlayerProtocol` - run a (possibly advice-trusting)
+  player protocol for a fixed budget; if it fails - e.g. because faulty
+  advice pointed nowhere - switch every player to a fallback protocol.
+  The robustness repair for Section 3.2's deterministic protocols: with
+  failure probability ``f`` and fallback cost ``C``, the expected cost is
+  ``(1-f) * fast + f * (budget + C)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..core.feedback import Observation
+from ..core.protocol import (
+    PlayerProtocol,
+    PlayerSession,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
+
+__all__ = ["RestartProtocol", "FallbackPlayerProtocol"]
+
+
+class _RestartSession(UniformSession):
+    def __init__(self, factory: Callable[[], UniformSession]) -> None:
+        self._factory = factory
+        self._inner = factory()
+        self.attempts = 1
+
+    def next_probability(self) -> float:
+        try:
+            return self._inner.next_probability()
+        except ScheduleExhausted:
+            self._inner = self._factory()
+            self.attempts += 1
+            return self._inner.next_probability()
+
+    def observe(self, observation: Observation) -> None:
+        self._inner.observe(observation)
+
+
+class RestartProtocol(UniformProtocol):
+    """Re-run a one-shot uniform protocol until the engine stops it.
+
+    Wraps either a protocol instance (sessions restart from the same
+    protocol) or a zero-argument factory (each attempt may rebuild the
+    protocol, e.g. with fresh randomness).
+    """
+
+    def __init__(
+        self,
+        inner: UniformProtocol | Callable[[], UniformProtocol],
+        *,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(inner, UniformProtocol):
+            self._factory: Callable[[], UniformProtocol] = lambda: inner
+            base = inner
+        else:
+            self._factory = inner
+            base = inner()
+        self.requires_collision_detection = base.requires_collision_detection
+        self.name = name or f"restart({base.name})"
+
+    def session(self) -> _RestartSession:
+        return _RestartSession(lambda: self._factory().session())
+
+
+class _FallbackSession(PlayerSession):
+    def __init__(
+        self,
+        primary: PlayerSession,
+        make_fallback: Callable[[], PlayerSession],
+        budget_rounds: int,
+    ) -> None:
+        self._primary: PlayerSession | None = primary
+        self._make_fallback = make_fallback
+        self._fallback: PlayerSession | None = None
+        self._budget = budget_rounds
+        self._round = 0
+
+    def decide(self) -> bool:
+        self._round += 1
+        if self._fallback is None and self._round > self._budget:
+            self._fallback = self._make_fallback()
+        if self._fallback is not None:
+            return self._fallback.decide()
+        assert self._primary is not None
+        try:
+            return self._primary.decide()
+        except ScheduleExhausted:
+            # Primary gave up early (e.g. faulty advice): switch now.
+            self._primary = None
+            self._fallback = self._make_fallback()
+            return self._fallback.decide()
+
+    def observe(self, observation: Observation, *, transmitted: bool) -> None:
+        if self._fallback is not None:
+            self._fallback.observe(observation, transmitted=transmitted)
+        elif self._primary is not None:
+            self._primary.observe(observation, transmitted=transmitted)
+
+
+class FallbackPlayerProtocol(PlayerProtocol):
+    """Primary player protocol with a budgeted switch to a fallback.
+
+    All players share the same round counter (rounds are synchronous), so
+    the switch happens simultaneously everywhere - no player is left
+    running the primary while others fall back.
+
+    Parameters
+    ----------
+    primary:
+        The protocol to try first (typically an advice protocol).
+    fallback:
+        The protocol to switch to (typically decay or BEB); its
+        ``advice_bits`` must be 0 - the fallback must not trust advice.
+    budget_rounds:
+        Rounds granted to the primary before the switch (typically its
+        worst-case bound, so correct advice never triggers the fallback).
+    """
+
+    def __init__(
+        self,
+        primary: PlayerProtocol,
+        fallback: PlayerProtocol,
+        budget_rounds: int,
+    ) -> None:
+        if budget_rounds < 1:
+            raise ValueError(f"budget must be >= 1, got {budget_rounds}")
+        if fallback.advice_bits != 0:
+            raise ValueError("fallback protocols must not require advice")
+        self.primary = primary
+        self.fallback = fallback
+        self.budget_rounds = budget_rounds
+        self.advice_bits = primary.advice_bits
+        self.requires_collision_detection = (
+            primary.requires_collision_detection
+            or fallback.requires_collision_detection
+        )
+        self.name = f"{primary.name}->{fallback.name}@{budget_rounds}"
+
+    def session(
+        self,
+        player_id: int,
+        n: int,
+        advice: str,
+        rng: np.random.Generator | None = None,
+    ) -> _FallbackSession:
+        return _FallbackSession(
+            self.primary.session(player_id, n, advice, rng=rng),
+            lambda: self.fallback.session(player_id, n, "", rng=rng),
+            self.budget_rounds,
+        )

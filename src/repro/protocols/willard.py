@@ -1,0 +1,66 @@
+"""Willard's log-logarithmic selection protocol [22].
+
+The classical CD baseline: binary search over the ``ceil(log2 n)``
+geometric size guesses using collision/silence as the comparison oracle,
+solving contention resolution in ``O(log log n)`` expected rounds - the
+tight bound for uniform CD algorithms (paper Section 1.1; the paper's
+Theorem 2.8 re-derives the matching lower bound information-theoretically).
+
+This is a one-phase instance of the shared
+:class:`~repro.protocols.searching.PhasedSearchProtocol` engine; the
+Section 2.6 prediction algorithm and the Theorem 3.7 advice protocol are
+the multi-phase and restricted-range instances of the same engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..infotheory.condense import num_ranges
+from .searching import PhasedSearchProtocol
+
+__all__ = ["WillardProtocol"]
+
+
+class WillardProtocol(PhasedSearchProtocol):
+    """Binary search over size ranges with collision feedback.
+
+    Parameters
+    ----------
+    n:
+        Maximum network size; the search space is ``L(n) = {1..ceil(log2 n)}``
+        unless ``ranges`` restricts it.
+    ranges:
+        Optional ascending subset of range indices to search (used by the
+        advice-augmented variant of Theorem 3.7).
+    repetitions, restart, handle_k1:
+        As in :class:`~repro.protocols.searching.PhasedSearchProtocol`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        ranges: Sequence[int] | None = None,
+        repetitions: int = 3,
+        restart: bool = True,
+        handle_k1: bool = False,
+    ) -> None:
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+        search_space = (
+            list(ranges) if ranges is not None else list(range(1, num_ranges(n) + 1))
+        )
+        label = (
+            f"willard(n={n})"
+            if ranges is None
+            else f"willard(n={n},|ranges|={len(search_space)})"
+        )
+        super().__init__(
+            [search_space],
+            repetitions=repetitions,
+            restart=restart,
+            handle_k1=handle_k1,
+            name=label,
+        )

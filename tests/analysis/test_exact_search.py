@@ -1,0 +1,124 @@
+"""Tests for the exact phased-search solver (state-space DP)."""
+
+import math
+
+import pytest
+
+from repro.analysis.exact_search import phased_search_expected_rounds
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.core.predictions import Prediction
+from repro.infotheory.distributions import SizeDistribution
+from repro.protocols.code_search import CodeSearchProtocol
+from repro.protocols.searching import PhasedSearchProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+class TestAgainstMonteCarlo:
+    def test_willard_single_repetition(self, rng, cd_channel):
+        protocol = WillardProtocol(2**8, repetitions=1)
+        exact = phased_search_expected_rounds(protocol, 37)
+        estimate = estimate_uniform_rounds(
+            protocol, 37, rng, channel=cd_channel, trials=8000, max_rounds=4000
+        )
+        assert estimate.rounds.mean == pytest.approx(
+            exact.expected_rounds, rel=0.05
+        )
+
+    def test_willard_majority_votes(self, rng, cd_channel):
+        protocol = WillardProtocol(2**8, repetitions=3)
+        exact = phased_search_expected_rounds(protocol, 100)
+        estimate = estimate_uniform_rounds(
+            protocol, 100, rng, channel=cd_channel, trials=8000, max_rounds=4000
+        )
+        assert estimate.rounds.mean == pytest.approx(
+            exact.expected_rounds, rel=0.05
+        )
+
+    def test_code_search(self, rng, cd_channel):
+        truth = SizeDistribution.range_uniform_subset(2**8, [2, 6])
+        protocol = CodeSearchProtocol(
+            Prediction(truth), repetitions=3, one_shot=False
+        )
+        exact = phased_search_expected_rounds(protocol, 40)
+        estimate = estimate_uniform_rounds(
+            protocol, 40, rng, channel=cd_channel, trials=8000, max_rounds=4000
+        )
+        assert estimate.rounds.mean == pytest.approx(
+            exact.expected_rounds, rel=0.05
+        )
+
+    def test_one_shot_success_probability(self, rng, cd_channel):
+        truth = SizeDistribution.range_uniform_subset(2**8, [2, 6])
+        protocol = CodeSearchProtocol(
+            Prediction(truth), repetitions=3, one_shot=True
+        )
+        exact = phased_search_expected_rounds(protocol, 40)
+        successes = sum(
+            estimate_uniform_rounds(
+                protocol, 40, rng, channel=cd_channel, trials=1,
+                max_rounds=1000,
+            ).success.successes
+            for _ in range(3000)
+        )
+        assert successes / 3000 == pytest.approx(
+            exact.success_probability_per_pass, abs=0.03
+        )
+
+
+class TestStructuralProperties:
+    def test_expected_rounds_scale_with_search_space(self):
+        small = phased_search_expected_rounds(
+            WillardProtocol(2**8, ranges=[4, 5, 6], repetitions=1), 32
+        )
+        large = phased_search_expected_rounds(
+            WillardProtocol(2**16, repetitions=1), 32
+        )
+        assert small.expected_rounds < large.expected_rounds
+
+    def test_repetitions_raise_per_pass_success(self):
+        lone = phased_search_expected_rounds(
+            WillardProtocol(2**8, repetitions=1), 100
+        )
+        voted = phased_search_expected_rounds(
+            WillardProtocol(2**8, repetitions=3), 100
+        )
+        assert (
+            voted.success_probability_per_pass
+            >= lone.success_probability_per_pass
+        )
+
+    def test_impossible_search_is_infinite(self):
+        # Probing only range 1 (p = 1/2): k = 2 actually CAN succeed.
+        # Use a huge k where probing range 1 never isolates anyone.
+        protocol = WillardProtocol(2**8, ranges=[1], repetitions=1)
+        result = phased_search_expected_rounds(protocol, 200)
+        assert result.expected_rounds > 10**6 or math.isinf(
+            result.expected_rounds
+        )
+
+    def test_handle_k1_adds_one_round(self):
+        base = phased_search_expected_rounds(
+            WillardProtocol(2**8, repetitions=1), 37
+        )
+        extra = phased_search_expected_rounds(
+            WillardProtocol(2**8, repetitions=1, handle_k1=True), 37
+        )
+        assert extra.expected_rounds == pytest.approx(
+            base.expected_rounds + 1.0
+        )
+
+    def test_handle_k1_with_k1_rejected(self):
+        protocol = WillardProtocol(2**8, handle_k1=True)
+        with pytest.raises(ValueError, match="k >= 2"):
+            phased_search_expected_rounds(protocol, 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            phased_search_expected_rounds(WillardProtocol(2**8), 0)
+
+    def test_one_shot_bounded_by_pass_length(self):
+        protocol = PhasedSearchProtocol(
+            [[1, 2, 3, 4]], repetitions=3, restart=False
+        )
+        result = phased_search_expected_rounds(protocol, 10)
+        assert result.expected_rounds <= protocol.worst_case_rounds_per_pass()

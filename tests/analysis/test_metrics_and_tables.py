@@ -1,0 +1,161 @@
+"""Tests for repro.analysis metrics, tables and textplot."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ProportionEstimate,
+    Summary,
+    linear_fit,
+    loglog_slope,
+    wilson_interval,
+)
+from repro.analysis.tables import (
+    format_cell,
+    render_csv,
+    render_table,
+    rows_to_columns,
+)
+from repro.analysis.textplot import text_plot
+
+
+class TestSummary:
+    def test_from_samples(self):
+        summary = Summary.from_samples([1, 2, 3, 4, 5])
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.count == 5
+
+    def test_single_sample(self):
+        summary = Summary.from_samples([7.0])
+        assert summary.std == 0.0
+        assert summary.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.from_samples([])
+
+    def test_ci_shrinks_with_count(self):
+        rng = np.random.default_rng(3)
+        small = Summary.from_samples(rng.normal(0, 1, 50))
+        large = Summary.from_samples(rng.normal(0, 1, 5000))
+        assert large.ci95_halfwidth < small.ci95_halfwidth
+
+    def test_ci_contains_mean(self):
+        summary = Summary.from_samples([1, 2, 3])
+        low, high = summary.ci95()
+        assert low <= summary.mean <= high
+
+
+class TestWilson:
+    def test_interval_bounds(self):
+        low, high = wilson_interval(50, 100)
+        assert 0.4 < low < 0.5 < high < 0.6
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.5
+        low, high = wilson_interval(10, 10)
+        assert low > 0.5 and high == 1.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_proportion_estimate(self):
+        estimate = ProportionEstimate(successes=30, trials=100)
+        assert estimate.rate == 0.3
+        assert estimate.lower < 0.3 < estimate.upper
+
+
+class TestFits:
+    def test_linear_fit_exact(self):
+        slope, intercept = linear_fit([0, 1, 2], [1, 3, 5])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_loglog_slope_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**1.5 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(1.5)
+
+    def test_loglog_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 0], [1, 2])
+
+    def test_linear_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(True) == "yes"
+        assert format_cell("abc") == "abc"
+        assert format_cell(float("nan")) == "nan"
+        assert "e" in format_cell(1.5e9)
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_csv(self):
+        csv = render_csv(["x", "y"], [[1, 2.0]])
+        assert csv.splitlines()[0] == "x,y"
+        assert csv.splitlines()[1].startswith("1,2")
+
+    def test_rows_to_columns(self):
+        columns = rows_to_columns(["x", "y"], [[1, 2], [3, 4]])
+        assert columns["x"] == [1, 3]
+        assert columns["y"] == [2, 4]
+
+
+class TestTextPlot:
+    def test_contains_markers_and_legend(self):
+        plot = text_plot(
+            {"series": ([1, 2, 3], [1, 4, 9])}, width=20, height=8
+        )
+        assert "*" in plot
+        assert "series" in plot
+
+    def test_two_series_distinct_markers(self):
+        plot = text_plot(
+            {
+                "a": ([1, 2], [1, 2]),
+                "b": ([1, 2], [2, 1]),
+            },
+            width=16,
+            height=6,
+        )
+        assert "*" in plot and "o" in plot
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            text_plot({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            text_plot({"s": ([1, 2], [1])})
+
+    def test_constant_series_ok(self):
+        plot = text_plot({"s": ([1, 2, 3], [5, 5, 5])}, width=16, height=6)
+        assert "5" in plot
+
+    def test_axis_labels(self):
+        plot = text_plot(
+            {"s": ([0, 10], [0, 1])}, width=16, height=6,
+            x_label="b", y_label="rounds",
+        )
+        assert "rounds vs b" in plot

@@ -1,0 +1,107 @@
+"""Unit tests for repro.channel.channel and repro.channel.network."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import (
+    Channel,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.channel.network import (
+    ClusteredAdversary,
+    PrefixAdversary,
+    RandomAdversary,
+    SpreadAdversary,
+    SuffixAdversary,
+)
+from repro.core.feedback import Feedback, Observation
+
+
+class TestChannel:
+    def test_factories(self):
+        assert with_collision_detection().collision_detection
+        assert not without_collision_detection().collision_detection
+
+    def test_kind_labels(self):
+        assert with_collision_detection().kind == "CD"
+        assert without_collision_detection().kind == "no-CD"
+
+    def test_resolve(self):
+        channel = Channel(collision_detection=True)
+        assert channel.resolve(0) is Feedback.SILENCE
+        assert channel.resolve(1) is Feedback.SUCCESS
+        assert channel.resolve(7) is Feedback.COLLISION
+
+    def test_round_observation_cd(self):
+        channel = with_collision_detection()
+        assert channel.round_observation(0) is Observation.SILENCE
+        assert channel.round_observation(5) is Observation.COLLISION
+
+    def test_round_observation_nocd(self):
+        channel = without_collision_detection()
+        assert channel.round_observation(0) is Observation.QUIET
+        assert channel.round_observation(5) is Observation.QUIET
+        assert channel.round_observation(1) is Observation.SUCCESS
+
+
+@pytest.mark.parametrize(
+    "adversary",
+    [
+        RandomAdversary(),
+        PrefixAdversary(),
+        SuffixAdversary(),
+        SpreadAdversary(),
+        ClusteredAdversary(),
+    ],
+    ids=lambda adversary: adversary.name,
+)
+class TestAdversaries:
+    @pytest.mark.parametrize("k", [1, 2, 7, 64])
+    def test_selects_exactly_k(self, adversary, k, rng: np.random.Generator):
+        participants = adversary.checked_select(64, k, rng)
+        assert len(participants) == k
+
+    def test_ids_in_bounds(self, adversary, rng: np.random.Generator):
+        participants = adversary.checked_select(100, 17, rng)
+        assert all(0 <= player_id < 100 for player_id in participants)
+
+    def test_rejects_bad_k(self, adversary, rng: np.random.Generator):
+        with pytest.raises(ValueError):
+            adversary.checked_select(10, 0, rng)
+        with pytest.raises(ValueError):
+            adversary.checked_select(10, 11, rng)
+
+
+class TestAdversaryShapes:
+    def test_prefix_ids(self, rng):
+        assert PrefixAdversary().checked_select(10, 3, rng) == frozenset(
+            {0, 1, 2}
+        )
+
+    def test_suffix_ids(self, rng):
+        assert SuffixAdversary().checked_select(10, 3, rng) == frozenset(
+            {7, 8, 9}
+        )
+
+    def test_spread_covers_both_halves(self, rng):
+        participants = SpreadAdversary().checked_select(64, 4, rng)
+        assert any(player_id < 32 for player_id in participants)
+        assert any(player_id >= 32 for player_id in participants)
+
+    def test_spread_handles_k_near_n(self, rng):
+        participants = SpreadAdversary().checked_select(10, 9, rng)
+        assert len(participants) == 9
+
+    def test_clustered_is_contiguous(self, rng):
+        participants = sorted(
+            ClusteredAdversary().checked_select(100, 5, rng)
+        )
+        assert participants == list(
+            range(participants[0], participants[0] + 5)
+        )
+
+    def test_random_varies(self, rng):
+        adversary = RandomAdversary()
+        draws = {adversary.checked_select(1000, 5, rng) for _ in range(10)}
+        assert len(draws) > 1

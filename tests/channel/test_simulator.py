@@ -1,0 +1,211 @@
+"""Unit and statistical tests for repro.channel.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import run_players, run_uniform
+from repro.channel.trace import ExecutionResult
+from repro.core.advice import MinIdPrefixAdvice, NullAdvice
+from repro.core.feedback import Feedback, Observation
+from repro.core.protocol import PlayerProtocol, PlayerSession, ProtocolError
+from repro.core.uniform import ProbabilitySchedule, ScheduleProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+def constant_protocol(p: float, *, cycle: bool = True) -> ScheduleProtocol:
+    return ScheduleProtocol(ProbabilitySchedule([p]), cycle=cycle)
+
+
+class TestRunUniform:
+    def test_k1_with_probability_one_solves_first_round(self, rng, nocd_channel):
+        result = run_uniform(
+            constant_protocol(1.0), 1, rng, channel=nocd_channel
+        )
+        assert result.solved and result.rounds == 1
+
+    def test_k2_probability_one_never_solves(self, rng, nocd_channel):
+        result = run_uniform(
+            constant_protocol(1.0), 2, rng, channel=nocd_channel, max_rounds=50
+        )
+        assert not result.solved
+        assert result.rounds == 50
+
+    def test_rejects_k0(self, rng, nocd_channel):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_uniform(constant_protocol(0.5), 0, rng, channel=nocd_channel)
+
+    def test_rejects_zero_budget(self, rng, nocd_channel):
+        with pytest.raises(ValueError, match="budget"):
+            run_uniform(
+                constant_protocol(0.5), 2, rng, channel=nocd_channel, max_rounds=0
+            )
+
+    def test_cd_protocol_on_nocd_channel_rejected(self, rng, nocd_channel):
+        with pytest.raises(ProtocolError, match="collision detection"):
+            run_uniform(WillardProtocol(64), 4, rng, channel=nocd_channel)
+
+    def test_one_shot_exhaustion_reports_unsolved(self, rng, nocd_channel):
+        protocol = ScheduleProtocol(
+            ProbabilitySchedule([1e-12] * 3), cycle=False
+        )
+        result = run_uniform(protocol, 10, rng, channel=nocd_channel)
+        assert not result.solved
+        assert result.rounds == 3
+
+    def test_trace_records_rounds(self, rng, nocd_channel):
+        result = run_uniform(
+            constant_protocol(0.3),
+            5,
+            rng,
+            channel=nocd_channel,
+            max_rounds=100,
+            record_trace=True,
+        )
+        assert result.solved
+        assert len(result.trace) == result.rounds
+        last = result.trace[-1]
+        assert last.feedback is Feedback.SUCCESS
+        assert last.transmit_count == 1
+        assert last.probability == 0.3
+
+    def test_trace_round_indices_sequential(self, rng, nocd_channel):
+        result = run_uniform(
+            constant_protocol(0.2),
+            4,
+            rng,
+            channel=nocd_channel,
+            record_trace=True,
+        )
+        indices = [record.round_index for record in result.trace]
+        assert indices == list(range(1, result.rounds + 1))
+
+    def test_expected_rounds_geometric(self, rng, nocd_channel):
+        """With constant p the solve time is geometric with rate kp(1-p)^(k-1)."""
+        k, p = 10, 0.1
+        rate = k * p * (1 - p) ** (k - 1)
+        rounds = [
+            run_uniform(
+                constant_protocol(p), k, rng, channel=nocd_channel
+            ).rounds
+            for _ in range(4000)
+        ]
+        assert np.mean(rounds) == pytest.approx(1.0 / rate, rel=0.08)
+
+    def test_deterministic_given_seed(self, nocd_channel):
+        results = []
+        for _ in range(2):
+            rng = np.random.default_rng(123)
+            results.append(
+                run_uniform(
+                    constant_protocol(0.05), 30, rng, channel=nocd_channel
+                ).rounds
+            )
+        assert results[0] == results[1]
+
+
+class _FixedSlotSession(PlayerSession):
+    """Transmit exactly in one preassigned round (for engine tests)."""
+
+    def __init__(self, slot: int) -> None:
+        self._slot = slot
+        self._round = 0
+        self.observations: list[Observation] = []
+
+    def decide(self) -> bool:
+        self._round += 1
+        return self._round == self._slot
+
+    def observe(self, observation, *, transmitted):
+        self.observations.append(observation)
+
+
+class _FixedSlotProtocol(PlayerProtocol):
+    name = "fixed-slot"
+    requires_collision_detection = False
+    advice_bits = 0
+
+    def __init__(self, slots: dict[int, int]) -> None:
+        self._slots = slots
+
+    def session(self, player_id, n, advice, rng=None):
+        return _FixedSlotSession(self._slots[player_id])
+
+
+class TestRunPlayers:
+    def test_solves_at_first_unique_slot(self, rng, nocd_channel):
+        protocol = _FixedSlotProtocol({0: 2, 1: 2, 2: 3})
+        result = run_players(
+            protocol, frozenset({0, 1, 2}), 8, rng, channel=nocd_channel
+        )
+        # Round 1: nobody; round 2: players 0,1 collide; round 3: player 2.
+        assert result.solved and result.rounds == 3
+
+    def test_rejects_empty_participants(self, rng, nocd_channel):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_players(
+                _FixedSlotProtocol({}), frozenset(), 8, rng, channel=nocd_channel
+            )
+
+    def test_advice_budget_mismatch_rejected(self, rng, nocd_channel):
+        protocol = _FixedSlotProtocol({0: 1})
+        with pytest.raises(ProtocolError, match="advice"):
+            run_players(
+                protocol,
+                frozenset({0}),
+                8,
+                rng,
+                channel=nocd_channel,
+                advice_function=MinIdPrefixAdvice(2),
+            )
+
+    def test_null_advice_default(self, rng, nocd_channel):
+        protocol = _FixedSlotProtocol({0: 1})
+        result = run_players(
+            protocol,
+            frozenset({0}),
+            8,
+            rng,
+            channel=nocd_channel,
+            advice_function=NullAdvice(),
+        )
+        assert result.solved and result.rounds == 1
+
+    def test_budget_exhaustion(self, rng, nocd_channel):
+        protocol = _FixedSlotProtocol({0: 5, 1: 5})
+        result = run_players(
+            protocol,
+            frozenset({0, 1}),
+            8,
+            rng,
+            channel=nocd_channel,
+            max_rounds=3,
+        )
+        assert not result.solved
+        assert result.rounds == 3
+
+    def test_trace_probability_is_none(self, rng, nocd_channel):
+        protocol = _FixedSlotProtocol({0: 1})
+        result = run_players(
+            protocol,
+            frozenset({0}),
+            8,
+            rng,
+            channel=nocd_channel,
+            record_trace=True,
+        )
+        assert result.trace[0].probability is None
+
+
+class TestExecutionResult:
+    def test_rounds_or_penalty(self):
+        solved = ExecutionResult(solved=True, rounds=5, max_rounds=10, k=3)
+        unsolved = ExecutionResult(solved=False, rounds=10, max_rounds=10, k=3)
+        assert solved.rounds_or(99) == 5
+        assert unsolved.rounds_or(99) == 99
+        assert unsolved.failed
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionResult(solved=True, rounds=0, max_rounds=10, k=3)
+        with pytest.raises(ValueError):
+            ExecutionResult(solved=False, rounds=-1, max_rounds=10, k=3)

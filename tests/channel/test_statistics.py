@@ -1,0 +1,84 @@
+"""Statistical validation of the channel engine's distributions.
+
+The binomial fast path and the per-player engine must induce the exact
+channel semantics; these tests compare empirical distributions against
+closed forms with generous (5-sigma) tolerances so they stay stable in CI
+while still catching real distributional bugs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import run_uniform
+from repro.core.uniform import ProbabilitySchedule, ScheduleProtocol
+from repro.lowerbounds.success_bounds import single_success_probability
+
+
+def constant_protocol(p: float) -> ScheduleProtocol:
+    return ScheduleProtocol(ProbabilitySchedule([p]), cycle=True)
+
+
+class TestSolveTimeDistribution:
+    @pytest.mark.parametrize("k,p", [(5, 0.2), (50, 0.02), (200, 0.004)])
+    def test_geometric_tail(self, k, p, rng, nocd_channel):
+        """P(T > r) = (1 - q)^r for the constant schedule."""
+        q = single_success_probability(k, p)
+        trials = 4000
+        rounds = np.array(
+            [
+                run_uniform(
+                    constant_protocol(p), k, rng, channel=nocd_channel,
+                    max_rounds=10_000,
+                ).rounds
+                for _ in range(trials)
+            ]
+        )
+        for r in (1, 3, 10):
+            empirical = float(np.mean(rounds > r))
+            expected = (1.0 - q) ** r
+            sigma = np.sqrt(expected * (1 - expected) / trials)
+            assert abs(empirical - expected) <= 5 * sigma + 1e-9
+
+    def test_variance_matches_geometric(self, rng, nocd_channel):
+        k, p = 20, 0.05
+        q = single_success_probability(k, p)
+        rounds = np.array(
+            [
+                run_uniform(
+                    constant_protocol(p), k, rng, channel=nocd_channel,
+                    max_rounds=10_000,
+                ).rounds
+                for _ in range(6000)
+            ]
+        )
+        expected_variance = (1 - q) / (q * q)
+        assert np.var(rounds) == pytest.approx(expected_variance, rel=0.15)
+
+    def test_first_round_success_rate(self, rng, nocd_channel):
+        k, p = 100, 0.01
+        q = single_success_probability(k, p)
+        trials = 8000
+        successes = sum(
+            run_uniform(
+                constant_protocol(p), k, rng, channel=nocd_channel,
+                max_rounds=1,
+            ).solved
+            for _ in range(trials)
+        )
+        sigma = np.sqrt(q * (1 - q) / trials)
+        assert abs(successes / trials - q) <= 5 * sigma
+
+    def test_independent_streams_differ(self, nocd_channel):
+        """Different seeds give different executions (no hidden state)."""
+        a = run_uniform(
+            constant_protocol(0.05), 30, np.random.default_rng(1),
+            channel=nocd_channel,
+        ).rounds
+        samples = {
+            run_uniform(
+                constant_protocol(0.05), 30, np.random.default_rng(seed),
+                channel=nocd_channel,
+            ).rounds
+            for seed in range(2, 30)
+        }
+        assert len(samples | {a}) > 3

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import with_collision_detection, without_collision_detection
+from repro.infotheory import SizeDistribution
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; per-test isolation via fresh seeding."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def nocd_channel():
+    return without_collision_detection()
+
+
+@pytest.fixture
+def cd_channel():
+    return with_collision_detection()
+
+
+@pytest.fixture
+def small_n() -> int:
+    """A small board: 2^10 ids, 10 condensed ranges."""
+    return 2**10
+
+
+@pytest.fixture
+def point_distribution(small_n: int) -> SizeDistribution:
+    """Zero-entropy workload: the network always has 100 participants."""
+    return SizeDistribution.point(small_n, 100)
+
+
+@pytest.fixture
+def uniform_ranges_distribution(small_n: int) -> SizeDistribution:
+    """Max-entropy workload over the condensed ranges."""
+    return SizeDistribution.range_uniform(small_n)

@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.advice (the perfect-advice model)."""
+
+import pytest
+
+from repro.core.advice import (
+    AdviceError,
+    FullIdAdvice,
+    MinIdPrefixAdvice,
+    NullAdvice,
+    RangeBlockAdvice,
+    bits_to_int,
+    id_bit_width,
+    id_to_bits,
+    range_blocks,
+)
+from repro.infotheory.condense import num_ranges, range_of_size
+
+
+class TestBitHelpers:
+    def test_id_bit_width(self):
+        assert id_bit_width(2) == 1
+        assert id_bit_width(16) == 4
+        assert id_bit_width(17) == 5
+        assert id_bit_width(1) == 1
+
+    def test_id_to_bits_roundtrip(self):
+        for player_id in (0, 1, 5, 15):
+            assert bits_to_int(id_to_bits(player_id, 4)) == player_id
+
+    def test_id_to_bits_fixed_width(self):
+        assert id_to_bits(3, 5) == "00011"
+
+    def test_id_to_bits_overflow(self):
+        with pytest.raises(AdviceError, match="fit"):
+            id_to_bits(16, 4)
+
+    def test_bits_to_int_empty(self):
+        assert bits_to_int("") == 0
+
+    def test_bits_to_int_malformed(self):
+        with pytest.raises(AdviceError):
+            bits_to_int("01x")
+
+
+class TestRangeBlocks:
+    def test_zero_bits_single_block(self):
+        blocks = range_blocks(10, 0)
+        assert blocks == [list(range(1, 11))]
+
+    def test_partition_covers_all_ranges(self):
+        for bits in range(0, 5):
+            blocks = range_blocks(16, bits)
+            assert len(blocks) == 2**bits
+            flattened = [i for block in blocks for i in block]
+            assert sorted(flattened) == list(range(1, 17))
+
+    def test_blocks_are_consecutive(self):
+        for block in range_blocks(16, 2):
+            assert block == list(range(block[0], block[-1] + 1))
+
+    def test_excess_bits_gives_empty_tail_blocks(self):
+        blocks = range_blocks(3, 2)
+        assert [len(block) for block in blocks] == [1, 1, 1, 0]
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            range_blocks(0, 1)
+        with pytest.raises(ValueError):
+            range_blocks(4, -1)
+
+
+class TestNullAdvice:
+    def test_empty_string(self):
+        advice = NullAdvice()
+        assert advice.checked_advise({3, 5}, 16) == ""
+        assert advice.bits == 0
+
+
+class TestMinIdPrefixAdvice:
+    def test_prefix_of_min_id(self):
+        advice = MinIdPrefixAdvice(3)
+        assert advice.checked_advise({9, 5, 12}, 16) == id_to_bits(5, 4)[:3]
+
+    def test_zero_bits(self):
+        assert MinIdPrefixAdvice(0).checked_advise({7}, 16) == ""
+
+    def test_full_width(self):
+        advice = MinIdPrefixAdvice(4)
+        assert advice.checked_advise({9}, 16) == "1001"
+
+    def test_budget_exceeds_width(self):
+        with pytest.raises(AdviceError, match="exceeds"):
+            MinIdPrefixAdvice(5).checked_advise({0}, 16)
+
+    def test_min_participant_consistent_with_prefix(self):
+        advice = MinIdPrefixAdvice(2)
+        participants = {13, 14, 15}
+        prefix = advice.checked_advise(participants, 16)
+        assert id_to_bits(min(participants), 4).startswith(prefix)
+
+
+class TestRangeBlockAdvice:
+    def test_block_contains_true_range(self):
+        n = 2**10
+        for bits in (0, 1, 2, 3):
+            advice = RangeBlockAdvice(bits)
+            for k in (2, 9, 100, 1000):
+                participants = set(range(k))
+                block_index = bits_to_int(
+                    advice.checked_advise(participants, n)
+                )
+                block = range_blocks(num_ranges(n), bits)[block_index]
+                assert range_of_size(k) in block
+
+    def test_advice_length_exact(self):
+        advice = RangeBlockAdvice(3)
+        assert len(advice.checked_advise(set(range(5)), 2**10)) == 3
+
+    def test_single_participant_maps_to_first_range(self):
+        advice = RangeBlockAdvice(2)
+        block_index = bits_to_int(advice.checked_advise({0}, 2**10))
+        block = range_blocks(10, 2)[block_index]
+        assert 1 in block
+
+
+class TestFullIdAdvice:
+    def test_names_min_participant(self):
+        advice = FullIdAdvice(16)
+        assert advice.checked_advise({9, 12}, 16) == "1001"
+        assert advice.bits == 4
+
+    def test_rejects_other_n(self):
+        advice = FullIdAdvice(16)
+        with pytest.raises(AdviceError, match="built for"):
+            advice.checked_advise({1}, 32)
+
+
+class TestCheckedAdvise:
+    def test_rejects_empty_participants(self):
+        with pytest.raises(AdviceError, match="non-empty"):
+            NullAdvice().checked_advise(set(), 16)
+
+    def test_rejects_out_of_board_ids(self):
+        with pytest.raises(AdviceError, match="outside"):
+            NullAdvice().checked_advise({16}, 16)
+
+    def test_rejects_budget_violation(self):
+        class Liar(MinIdPrefixAdvice):
+            def advise(self, participants, n):
+                return "0" * (self.bits + 1)
+
+        with pytest.raises(AdviceError, match="budget"):
+            Liar(2).checked_advise({3}, 16)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AdviceError):
+            MinIdPrefixAdvice(-1)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.feedback."""
+
+import pytest
+
+from repro.core.feedback import (
+    Feedback,
+    Observation,
+    feedback_for_count,
+    observe,
+)
+
+
+class TestFeedbackForCount:
+    def test_zero_is_silence(self):
+        assert feedback_for_count(0) is Feedback.SILENCE
+
+    def test_one_is_success(self):
+        assert feedback_for_count(1) is Feedback.SUCCESS
+
+    @pytest.mark.parametrize("count", [2, 3, 10, 1000])
+    def test_many_is_collision(self, count):
+        assert feedback_for_count(count) is Feedback.COLLISION
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            feedback_for_count(-1)
+
+
+class TestObserve:
+    def test_cd_passes_through(self):
+        assert (
+            observe(Feedback.SILENCE, collision_detection=True)
+            is Observation.SILENCE
+        )
+        assert (
+            observe(Feedback.COLLISION, collision_detection=True)
+            is Observation.COLLISION
+        )
+        assert (
+            observe(Feedback.SUCCESS, collision_detection=True)
+            is Observation.SUCCESS
+        )
+
+    def test_nocd_merges_silence_and_collision(self):
+        assert (
+            observe(Feedback.SILENCE, collision_detection=False)
+            is Observation.QUIET
+        )
+        assert (
+            observe(Feedback.COLLISION, collision_detection=False)
+            is Observation.QUIET
+        )
+
+    def test_nocd_success_visible(self):
+        assert (
+            observe(Feedback.SUCCESS, collision_detection=False)
+            is Observation.SUCCESS
+        )
+
+    def test_collision_bits_match_paper_encoding(self):
+        # Paper Section 2.1: b_i = 1 iff a collision in round i.
+        assert Observation.COLLISION.collision_bit == 1
+        assert Observation.SILENCE.collision_bit == 0
+        assert Observation.QUIET.collision_bit == 0

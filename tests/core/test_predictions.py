@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.predictions."""
+
+import pytest
+
+from repro.core.predictions import BudgetReport, Prediction
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.perturb import mix_with_uniform
+
+
+class TestBudgetReport:
+    def test_nocd_budget_formula(self):
+        report = BudgetReport(entropy_bits=2.0, divergence_bits=1.0)
+        assert report.nocd_exponent == pytest.approx(6.0)
+        assert report.nocd_budget_rounds == pytest.approx(64.0)
+
+    def test_cd_budget_formula(self):
+        report = BudgetReport(entropy_bits=2.0, divergence_bits=1.0)
+        assert report.cd_budget_rounds == pytest.approx(16.0)
+
+    def test_zero_entropy_budgets(self):
+        report = BudgetReport(entropy_bits=0.0, divergence_bits=0.0)
+        assert report.nocd_budget_rounds == 1.0
+        assert report.cd_budget_rounds == 1.0
+
+
+class TestPrediction:
+    def test_probe_order_most_likely_first(self):
+        d = SizeDistribution.from_weights(
+            2**6, {2: 0.1, 10: 0.6, 40: 0.3}
+        )
+        prediction = Prediction(d)
+        # ranges: 2 -> 1, 10 -> 4, 40 -> 6
+        assert prediction.probe_order[:3] == [4, 6, 1]
+
+    def test_probe_order_has_all_ranges(self):
+        d = SizeDistribution.point(2**8, 17)
+        prediction = Prediction(d)
+        assert sorted(prediction.probe_order) == list(range(1, 9))
+
+    def test_optimal_code_symbol_alignment(self):
+        d = SizeDistribution.point(2**8, 17)  # range 5
+        prediction = Prediction(d)
+        code = prediction.optimal_code
+        # Symbol 4 (range 5) must have the shortest codeword.
+        assert code.length(4) == min(code.lengths())
+
+    def test_code_length_classes_are_ranges(self):
+        d = SizeDistribution.range_uniform(2**8)
+        prediction = Prediction(d)
+        classes = prediction.code_length_classes()
+        flattened = sorted(
+            range_index
+            for members in classes.values()
+            for range_index in members
+        )
+        assert flattened == list(range(1, 9))
+
+    def test_code_length_classes_sorted_within(self):
+        d = SizeDistribution.range_uniform_subset(2**8, [1, 4, 7])
+        classes = Prediction(d).code_length_classes()
+        for members in classes.values():
+            assert members == sorted(members)
+
+    def test_budget_against_self_matches_self_budget(self):
+        d = SizeDistribution.range_uniform_subset(2**8, [2, 6])
+        prediction = Prediction(d)
+        against = prediction.budget_against(d)
+        self_budget = prediction.self_budget()
+        assert against.entropy_bits == pytest.approx(self_budget.entropy_bits)
+        assert against.divergence_bits == pytest.approx(0.0, abs=1e-12)
+
+    def test_budget_against_mismatched(self):
+        truth = SizeDistribution.range_uniform_subset(2**8, [2, 6])
+        predicted = mix_with_uniform(truth, 0.5)
+        report = Prediction(predicted).budget_against(truth)
+        assert report.divergence_bits > 0.0
+        assert report.nocd_budget_rounds > 2.0 ** (
+            2.0 * report.entropy_bits
+        )
+
+    def test_budget_against_rejects_different_n(self):
+        prediction = Prediction(SizeDistribution.uniform(2**8))
+        with pytest.raises(ValueError, match="n="):
+            prediction.budget_against(SizeDistribution.uniform(2**9))
+
+    def test_derived_values_cached(self):
+        prediction = Prediction(SizeDistribution.uniform(2**8))
+        assert prediction.optimal_code is prediction.optimal_code
+        assert prediction.condensed is prediction.condensed
+
+    def test_probe_order_returns_copy(self):
+        prediction = Prediction(SizeDistribution.uniform(2**8))
+        order = prediction.probe_order
+        order.append(99)
+        assert 99 not in prediction.probe_order

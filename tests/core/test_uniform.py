@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.uniform (schedules, history policies)."""
+
+import pytest
+
+from repro.core.feedback import Observation
+from repro.core.protocol import ProtocolError, ScheduleExhausted
+from repro.core.uniform import (
+    HistoryPolicy,
+    HistoryPolicyProtocol,
+    ProbabilitySchedule,
+    ScheduleProtocol,
+    validate_probability,
+)
+
+
+class TestValidateProbability:
+    def test_accepts_bounds(self):
+        assert validate_probability(0.0) == 0.0
+        assert validate_probability(1.0) == 1.0
+        assert validate_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ProtocolError):
+            validate_probability(p)
+
+
+class TestProbabilitySchedule:
+    def test_basic_access(self):
+        schedule = ProbabilitySchedule([0.5, 0.25], name="s")
+        assert len(schedule) == 2
+        assert schedule[0] == 0.5
+        assert list(schedule) == [0.5, 0.25]
+        assert schedule.probabilities == (0.5, 0.25)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProbabilitySchedule([])
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ProtocolError):
+            ProbabilitySchedule([0.5, 1.5])
+
+    def test_cycled_exact_length(self):
+        schedule = ProbabilitySchedule([0.5, 0.25])
+        extended = schedule.cycled(5)
+        assert len(extended) == 5
+        assert list(extended) == [0.5, 0.25, 0.5, 0.25, 0.5]
+
+    def test_cycled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProbabilitySchedule([0.5]).cycled(0)
+
+
+class TestScheduleSession:
+    def test_one_shot_exhausts(self):
+        protocol = ScheduleProtocol(
+            ProbabilitySchedule([0.5, 0.25]), cycle=False
+        )
+        session = protocol.session()
+        assert session.next_probability() == 0.5
+        session.observe(Observation.QUIET)
+        assert session.next_probability() == 0.25
+        session.observe(Observation.QUIET)
+        with pytest.raises(ScheduleExhausted):
+            session.next_probability()
+
+    def test_cycling_repeats(self):
+        protocol = ScheduleProtocol(
+            ProbabilitySchedule([0.5, 0.25]), cycle=True
+        )
+        session = protocol.session()
+        values = []
+        for _ in range(5):
+            values.append(session.next_probability())
+            session.observe(Observation.QUIET)
+        assert values == [0.5, 0.25, 0.5, 0.25, 0.5]
+
+    def test_sessions_independent(self):
+        protocol = ScheduleProtocol(ProbabilitySchedule([0.5, 0.25]))
+        first = protocol.session()
+        first.next_probability()
+        second = protocol.session()
+        assert second.next_probability() == 0.5
+
+    def test_observe_is_oblivious(self):
+        protocol = ScheduleProtocol(ProbabilitySchedule([0.5, 0.25]))
+        session = protocol.session()
+        session.next_probability()
+        # No-CD schedules ignore all observation kinds without error.
+        session.observe(Observation.QUIET)
+        session.observe(Observation.SILENCE)
+        assert session.rounds_played == 1
+
+
+class HalvingPolicy(HistoryPolicy):
+    """Probability halves after each collision, doubles after silence."""
+
+    name = "halving"
+
+    def probability(self, history: str) -> float:
+        self.validate_history(history)
+        exponent = 1 + history.count("1") - history.count("0")
+        return min(1.0, 2.0 ** -max(exponent, 0))
+
+
+class TestHistoryPolicySession:
+    def test_history_accumulates_collision_bits(self):
+        protocol = HistoryPolicyProtocol(HalvingPolicy())
+        session = protocol.session()
+        session.next_probability()
+        session.observe(Observation.COLLISION)
+        session.next_probability()
+        session.observe(Observation.SILENCE)
+        assert session.history == "10"
+
+    def test_probability_follows_policy(self):
+        protocol = HistoryPolicyProtocol(HalvingPolicy())
+        session = protocol.session()
+        assert session.next_probability() == 0.5
+        session.observe(Observation.COLLISION)
+        assert session.next_probability() == 0.25
+
+    def test_rejects_quiet_observation(self):
+        protocol = HistoryPolicyProtocol(HalvingPolicy())
+        session = protocol.session()
+        session.next_probability()
+        with pytest.raises(ProtocolError, match="collision detection"):
+            session.observe(Observation.QUIET)
+
+    def test_rejects_success_observation(self):
+        protocol = HistoryPolicyProtocol(HalvingPolicy())
+        session = protocol.session()
+        session.next_probability()
+        with pytest.raises(ProtocolError, match="success"):
+            session.observe(Observation.SUCCESS)
+
+    def test_requires_cd_flag(self):
+        protocol = HistoryPolicyProtocol(HalvingPolicy())
+        assert protocol.requires_collision_detection is True
+
+    def test_malformed_history_rejected(self):
+        policy = HalvingPolicy()
+        with pytest.raises(ProtocolError, match="malformed"):
+            policy.validate_history("0x1")

@@ -1,0 +1,148 @@
+"""Unit tests for repro.infotheory.coding (prefix codes, Kraft)."""
+
+import pytest
+
+from repro.infotheory.coding import (
+    CodewordError,
+    PrefixCode,
+    code_from_lengths,
+    kraft_lengths_realizable,
+    kraft_sum,
+    shannon_code_lengths,
+)
+
+
+class TestKraft:
+    def test_kraft_sum(self):
+        assert kraft_sum([1, 2, 2]) == pytest.approx(1.0)
+        assert kraft_sum([1, 1]) == pytest.approx(1.0)
+        assert kraft_sum([2, 2, 2]) == pytest.approx(0.75)
+
+    def test_realizable(self):
+        assert kraft_lengths_realizable([1, 2, 2])
+        assert kraft_lengths_realizable([3] * 8)
+        assert not kraft_lengths_realizable([1, 1, 2])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            kraft_sum([-1])
+
+
+class TestShannonLengths:
+    def test_dyadic_exact(self):
+        assert shannon_code_lengths([0.5, 0.25, 0.25]) == [1, 2, 2]
+
+    def test_non_dyadic_ceils(self):
+        lengths = shannon_code_lengths([0.4, 0.35, 0.25])
+        assert lengths == [2, 2, 2]
+
+    def test_always_kraft_feasible(self):
+        pmf = [0.4, 0.3, 0.2, 0.05, 0.05]
+        assert kraft_lengths_realizable(shannon_code_lengths(pmf))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            shannon_code_lengths([1.0, 0.0])
+
+
+class TestPrefixCode:
+    def test_valid_code(self):
+        code = PrefixCode(codewords=("0", "10", "11"))
+        assert code.num_symbols == 3
+        assert code.lengths() == [1, 2, 2]
+        assert code.max_length() == 2
+
+    def test_rejects_prefix_violation(self):
+        with pytest.raises(CodewordError, match="prefix"):
+            PrefixCode(codewords=("0", "01"))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(CodewordError, match="duplicate"):
+            PrefixCode(codewords=("0", "0"))
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(CodewordError, match="non-bits"):
+            PrefixCode(codewords=("0", "2"))
+
+    def test_rejects_empty_word_in_multi(self):
+        with pytest.raises(CodewordError, match="empty"):
+            PrefixCode(codewords=("", "1"))
+
+    def test_single_symbol_empty_word_allowed(self):
+        code = PrefixCode(codewords=("",))
+        assert code.length(0) == 0
+
+    def test_encode_decode_roundtrip(self):
+        code = PrefixCode(codewords=("0", "10", "110", "111"))
+        symbols = [0, 3, 1, 2, 2, 0, 1]
+        assert code.decode(code.encode_sequence(symbols)) == symbols
+
+    def test_decode_rejects_dangling_bits(self):
+        code = PrefixCode(codewords=("0", "10", "11"))
+        with pytest.raises(CodewordError, match="dangling"):
+            code.decode("01")
+
+    def test_decode_rejects_invalid_bit(self):
+        code = PrefixCode(codewords=("0", "1"))
+        with pytest.raises(CodewordError, match="invalid bit"):
+            code.decode("0x")
+
+    def test_encode_unknown_symbol(self):
+        code = PrefixCode(codewords=("0", "1"))
+        with pytest.raises(CodewordError, match="out of range"):
+            code.encode(2)
+
+    def test_expected_length(self):
+        code = PrefixCode(codewords=("0", "10", "11"))
+        assert code.expected_length([0.5, 0.25, 0.25]) == pytest.approx(1.5)
+
+    def test_expected_length_size_mismatch(self):
+        code = PrefixCode(codewords=("0", "1"))
+        with pytest.raises(ValueError, match="symbols"):
+            code.expected_length([1.0])
+
+    def test_is_complete(self):
+        assert PrefixCode(codewords=("0", "10", "11")).is_complete()
+        assert not PrefixCode(codewords=("00", "10", "11")).is_complete()
+
+    def test_symbols_by_length(self):
+        code = PrefixCode(codewords=("10", "0", "110", "111"))
+        assert code.symbols_by_length() == {1: [1], 2: [0], 3: [2, 3]}
+
+
+class TestCodeFromLengths:
+    def test_canonical_dyadic(self):
+        code = code_from_lengths([1, 2, 2])
+        assert sorted(code.codewords) == ["0", "10", "11"]
+
+    def test_respects_requested_lengths(self):
+        lengths = [3, 1, 3, 2]
+        code = code_from_lengths(lengths)
+        assert code.lengths() == lengths
+
+    def test_rejects_infeasible(self):
+        with pytest.raises(ValueError, match="Kraft"):
+            code_from_lengths([1, 1, 1])
+
+    def test_single_symbol(self):
+        assert code_from_lengths([0]).codewords == ("",)
+        assert code_from_lengths([3]).codewords == ("000",)
+
+    def test_rejects_zero_length_in_multi(self):
+        with pytest.raises(ValueError, match="positive"):
+            code_from_lengths([0, 1])
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            code_from_lengths([])
+
+    def test_large_profile_prefix_free(self):
+        lengths = [5] * 20 + [6] * 10
+        code = code_from_lengths(lengths)
+        # Construction already validates prefix-freeness on init.
+        assert code.num_symbols == 30
+
+    def test_decode_of_canonical_code(self):
+        code = code_from_lengths([2, 2, 2, 3, 3])
+        symbols = [4, 0, 3, 2, 1]
+        assert code.decode(code.encode_sequence(symbols)) == symbols

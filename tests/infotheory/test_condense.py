@@ -1,0 +1,165 @@
+"""Unit tests for repro.infotheory.condense."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.infotheory.condense import (
+    MIN_NETWORK_SIZE,
+    CondensedDistribution,
+    num_ranges,
+    range_interval,
+    range_of_size,
+    range_probability,
+    representative_size,
+)
+
+
+class TestRangeArithmetic:
+    def test_num_ranges_powers_of_two(self):
+        assert num_ranges(2) == 1
+        assert num_ranges(4) == 2
+        assert num_ranges(2**16) == 16
+
+    def test_num_ranges_non_powers(self):
+        assert num_ranges(3) == 2
+        assert num_ranges(1000) == 10
+
+    def test_num_ranges_rejects_small(self):
+        with pytest.raises(ValueError):
+            num_ranges(1)
+
+    def test_range_of_size_paper_examples(self):
+        # Paper: i=1 is just {2}, i=2 is 3..4, i=3 is 5..8.
+        assert range_of_size(2) == 1
+        assert range_of_size(3) == 2
+        assert range_of_size(4) == 2
+        assert range_of_size(5) == 3
+        assert range_of_size(8) == 3
+        assert range_of_size(9) == 4
+
+    def test_range_of_size_is_ceil_log2(self):
+        for k in range(2, 500):
+            assert range_of_size(k) == math.ceil(math.log2(k))
+
+    def test_range_of_size_rejects_below_min(self):
+        with pytest.raises(ValueError):
+            range_of_size(1)
+
+    def test_range_interval_consistency(self):
+        for i in range(1, 12):
+            low, high = range_interval(i)
+            for k in range(low, high + 1):
+                assert range_of_size(k) == i
+
+    def test_range_interval_clipped_by_n(self):
+        low, high = range_interval(10, n=1000)
+        assert (low, high) == (513, 1000)
+
+    def test_range_interval_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            range_interval(11, n=1000)
+
+    def test_representative_size_in_range(self):
+        for i in range(1, 12):
+            assert range_of_size(representative_size(i)) == i
+
+    def test_range_probability(self):
+        assert range_probability(1) == 0.5
+        assert range_probability(10) == 2.0**-10
+        with pytest.raises(ValueError):
+            range_probability(0)
+
+    def test_ranges_partition_sizes(self):
+        """Every size 2..n belongs to exactly one range of L(n)."""
+        n = 300
+        count = num_ranges(n)
+        seen = {}
+        for i in range(1, count + 1):
+            low, high = range_interval(i, n=n)
+            for k in range(low, high + 1):
+                assert k not in seen
+                seen[k] = i
+        assert sorted(seen) == list(range(MIN_NETWORK_SIZE, n + 1))
+
+
+class TestCondensedDistribution:
+    def test_from_size_pmf_aggregates(self):
+        n = 16
+        pmf = [0.0] * (n + 1)
+        pmf[2] = 0.5  # range 1
+        pmf[3] = 0.25  # range 2
+        pmf[4] = 0.25  # range 2
+        condensed = CondensedDistribution.from_size_pmf(n, pmf)
+        assert condensed.probability(1) == pytest.approx(0.5)
+        assert condensed.probability(2) == pytest.approx(0.5)
+        assert condensed.probability(3) == 0.0
+
+    def test_from_size_pmf_rejects_low_sizes(self):
+        pmf = [0.5, 0.5, 0.0, 0.0, 0.0]
+        with pytest.raises(ValueError, match="zero probability"):
+            CondensedDistribution.from_size_pmf(4, pmf)
+
+    def test_from_size_pmf_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            CondensedDistribution.from_size_pmf(4, [0.0, 0.0, 1.0])
+
+    def test_uniform_entropy(self):
+        condensed = CondensedDistribution.uniform(2**16)
+        assert condensed.entropy() == pytest.approx(4.0)
+
+    def test_point_entropy_zero(self):
+        condensed = CondensedDistribution.point(2**16, 7)
+        assert condensed.entropy() == pytest.approx(0.0, abs=1e-12)
+
+    def test_point_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            CondensedDistribution.point(16, 5)
+
+    def test_kl_divergence_zero_on_self(self):
+        condensed = CondensedDistribution.uniform(256)
+        assert condensed.kl_divergence(condensed) == 0.0
+
+    def test_kl_divergence_requires_same_n(self):
+        a = CondensedDistribution.uniform(256)
+        b = CondensedDistribution.uniform(512)
+        with pytest.raises(ValueError, match="different n"):
+            a.kl_divergence(b)
+
+    def test_sorted_ranges_most_likely_first(self):
+        condensed = CondensedDistribution(
+            n=16, q=(0.1, 0.6, 0.1, 0.2)
+        )
+        assert condensed.sorted_ranges() == [2, 4, 1, 3]
+
+    def test_sorted_ranges_tie_break_ascending(self):
+        condensed = CondensedDistribution.uniform(16)
+        assert condensed.sorted_ranges() == [1, 2, 3, 4]
+
+    def test_support(self):
+        condensed = CondensedDistribution(n=16, q=(0.0, 0.5, 0.0, 0.5))
+        assert condensed.support() == [2, 4]
+
+    def test_sample_range_respects_support(self, rng: np.random.Generator):
+        condensed = CondensedDistribution(n=16, q=(0.0, 0.5, 0.0, 0.5))
+        draws = {condensed.sample_range(rng) for _ in range(200)}
+        assert draws <= {2, 4}
+        assert draws == {2, 4}
+
+    def test_almost_equal(self):
+        a = CondensedDistribution.uniform(256)
+        b = CondensedDistribution(n=256, q=tuple([1 / 8 + 1e-12] * 4 + [1 / 8 - 1e-12] * 4))
+        assert a.almost_equal(b, tolerance=1e-9)
+        assert not a.almost_equal(CondensedDistribution.point(256, 1))
+
+    def test_wrong_probability_count_rejected(self):
+        with pytest.raises(ValueError, match="range probabilities"):
+            CondensedDistribution(n=256, q=(1.0,))
+
+    def test_probability_bounds_checked(self):
+        condensed = CondensedDistribution.uniform(256)
+        with pytest.raises(ValueError):
+            condensed.probability(0)
+        with pytest.raises(ValueError):
+            condensed.probability(9)

@@ -1,0 +1,160 @@
+"""Unit tests for repro.infotheory.entropy."""
+
+import math
+
+import pytest
+
+from repro.infotheory.entropy import (
+    cross_entropy,
+    entropy,
+    guesswork,
+    is_pmf,
+    kl_divergence,
+    max_entropy,
+    min_entropy,
+    normalize,
+    renyi_entropy,
+    total_variation,
+    validate_pmf,
+)
+
+
+class TestValidatePmf:
+    def test_accepts_valid_pmf(self):
+        validate_pmf([0.5, 0.25, 0.25])
+
+    def test_accepts_with_zero_atoms(self):
+        validate_pmf([0.0, 1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_pmf([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_pmf([0.5, -0.1, 0.6])
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError, match="sum"):
+            validate_pmf([0.5, 0.4])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            validate_pmf([float("nan"), 1.0])
+
+    def test_is_pmf_boolean_form(self):
+        assert is_pmf([1.0])
+        assert not is_pmf([0.9])
+
+
+class TestNormalize:
+    def test_normalizes_weights(self):
+        assert normalize([2.0, 2.0]) == [0.5, 0.5]
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="zero"):
+            normalize([0.0, 0.0])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match="negative"):
+            normalize([1.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalize([])
+
+
+class TestEntropy:
+    def test_point_mass_is_zero(self):
+        assert entropy([1.0]) == 0.0
+        assert entropy([0.0, 1.0, 0.0]) == 0.0
+
+    def test_uniform_is_log_n(self):
+        assert entropy([0.25] * 4) == pytest.approx(2.0)
+        assert entropy([1 / 8] * 8) == pytest.approx(3.0)
+
+    def test_dyadic(self):
+        assert entropy([0.5, 0.25, 0.25]) == pytest.approx(1.5)
+
+    def test_max_entropy_helper(self):
+        assert max_entropy(16) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            max_entropy(0)
+
+    def test_bounded_by_max_entropy(self):
+        pmf = [0.4, 0.3, 0.2, 0.1]
+        assert entropy(pmf) <= max_entropy(4)
+
+
+class TestKLDivergence:
+    def test_self_divergence_zero(self):
+        pmf = [0.5, 0.3, 0.2]
+        assert kl_divergence(pmf, pmf) == 0.0
+
+    def test_nonnegative(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0.0
+
+    def test_known_value(self):
+        # D([1,0] || [.5,.5]) = log2(2) = 1.
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_infinite_when_support_missing(self):
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == math.inf
+
+    def test_mismatched_supports_rejected(self):
+        with pytest.raises(ValueError, match="supports"):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_cross_entropy_decomposition(self):
+        p = [0.5, 0.25, 0.25]
+        q = [0.25, 0.5, 0.25]
+        assert cross_entropy(p, q) == pytest.approx(
+            entropy(p) + kl_divergence(p, q)
+        )
+
+
+class TestOtherFunctionals:
+    def test_total_variation_symmetric(self):
+        p, q = [0.7, 0.3], [0.3, 0.7]
+        assert total_variation(p, q) == pytest.approx(0.4)
+        assert total_variation(q, p) == pytest.approx(0.4)
+
+    def test_total_variation_zero_iff_equal(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_pinsker_inequality(self):
+        # TV <= sqrt(D_KL(ln 2) / 2): a classical consistency check.
+        p, q = [0.8, 0.2], [0.4, 0.6]
+        tv = total_variation(p, q)
+        kl_nats = kl_divergence(p, q) * math.log(2)
+        assert tv <= math.sqrt(kl_nats / 2.0) + 1e-12
+
+    def test_renyi_limits(self):
+        pmf = [0.5, 0.25, 0.25]
+        assert renyi_entropy(pmf, 1.0) == pytest.approx(entropy(pmf))
+        assert renyi_entropy(pmf, float("inf")) == pytest.approx(
+            min_entropy(pmf)
+        )
+        assert renyi_entropy(pmf, 0.0) == pytest.approx(math.log2(3))
+
+    def test_renyi_monotone_in_order(self):
+        pmf = [0.6, 0.3, 0.1]
+        orders = [0.0, 0.5, 1.0, 2.0, float("inf")]
+        values = [renyi_entropy(pmf, order) for order in orders]
+        assert values == sorted(values, reverse=True)
+
+    def test_min_entropy(self):
+        assert min_entropy([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_guesswork_uniform(self):
+        # Uniform over m: expected guesses (m+1)/2.
+        assert guesswork([0.25] * 4) == pytest.approx(2.5)
+
+    def test_guesswork_point(self):
+        assert guesswork([0.0, 1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_guesswork_orders_descending(self):
+        # Mass 0.9 found first regardless of its index.
+        assert guesswork([0.05, 0.9, 0.05]) == pytest.approx(
+            0.9 * 1 + 0.05 * 2 + 0.05 * 3
+        )

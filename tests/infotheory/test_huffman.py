@@ -1,0 +1,112 @@
+"""Unit tests for repro.infotheory.huffman."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.infotheory.coding import kraft_lengths_realizable
+from repro.infotheory.condense import CondensedDistribution
+from repro.infotheory.entropy import entropy
+from repro.infotheory.huffman import (
+    huffman_code,
+    huffman_code_lengths,
+    optimal_code_for,
+)
+
+
+def brute_force_optimal_length(pmf: list[float], max_len: int = 6) -> float:
+    """Minimal expected length over all Kraft-feasible length profiles."""
+    best = math.inf
+    m = len(pmf)
+    for profile in itertools.product(range(1, max_len + 1), repeat=m):
+        if not kraft_lengths_realizable(profile):
+            continue
+        expected = sum(p * length for p, length in zip(pmf, profile))
+        best = min(best, expected)
+    return best
+
+
+class TestHuffmanLengths:
+    def test_dyadic_exact(self):
+        assert sorted(huffman_code_lengths([0.5, 0.25, 0.25])) == [1, 2, 2]
+
+    def test_uniform_power_of_two(self):
+        lengths = huffman_code_lengths([0.25] * 4)
+        assert lengths == [2, 2, 2, 2]
+
+    def test_single_symbol(self):
+        assert huffman_code_lengths([1.0]) == [1]
+
+    def test_two_symbols(self):
+        assert huffman_code_lengths([0.9, 0.1]) == [1, 1]
+
+    def test_kraft_feasible_always(self):
+        pmf = [0.05, 0.1, 0.15, 0.2, 0.5]
+        assert kraft_lengths_realizable(huffman_code_lengths(pmf))
+
+    @pytest.mark.parametrize(
+        "pmf",
+        [
+            [0.4, 0.3, 0.2, 0.1],
+            [0.6, 0.2, 0.1, 0.1],
+            [0.25, 0.25, 0.25, 0.25],
+            [0.7, 0.1, 0.1, 0.05, 0.05],
+        ],
+    )
+    def test_optimal_vs_brute_force(self, pmf):
+        lengths = huffman_code_lengths(pmf)
+        huffman_expected = sum(p * length for p, length in zip(pmf, lengths))
+        assert huffman_expected == pytest.approx(
+            brute_force_optimal_length(pmf)
+        )
+
+    def test_deterministic_across_runs(self):
+        pmf = [0.2, 0.2, 0.2, 0.2, 0.2]
+        assert huffman_code_lengths(pmf) == huffman_code_lengths(pmf)
+
+    def test_entropy_sandwich(self):
+        pmf = [0.4, 0.25, 0.2, 0.1, 0.05]
+        lengths = huffman_code_lengths(pmf)
+        expected = sum(p * length for p, length in zip(pmf, lengths))
+        h = entropy(pmf)
+        assert h <= expected + 1e-12
+        assert expected < h + 1.0
+
+
+class TestHuffmanCode:
+    def test_roundtrip(self):
+        code = huffman_code([0.5, 0.2, 0.2, 0.1])
+        symbols = [0, 1, 2, 3, 0, 0, 2]
+        assert code.decode(code.encode_sequence(symbols)) == symbols
+
+    def test_more_likely_never_longer(self):
+        pmf = [0.5, 0.2, 0.2, 0.1]
+        code = huffman_code(pmf)
+        for a in range(len(pmf)):
+            for b in range(len(pmf)):
+                if pmf[a] > pmf[b]:
+                    assert code.length(a) <= code.length(b)
+
+
+class TestOptimalCodeFor:
+    def test_covers_all_ranges_even_zero_mass(self):
+        condensed = CondensedDistribution.point(2**8, 3)
+        code = optimal_code_for(condensed)
+        assert code.num_symbols == 8
+        # Every range decodes, including predicted-impossible ones.
+        for symbol in range(8):
+            assert code.decode(code.encode(symbol)) == [symbol]
+
+    def test_zero_mass_symbols_get_long_codes(self):
+        condensed = CondensedDistribution.point(2**8, 3)
+        code = optimal_code_for(condensed)
+        target_length = code.length(2)  # range 3 is symbol index 2
+        for symbol in range(8):
+            if symbol != 2:
+                assert code.length(symbol) >= target_length
+
+    def test_uniform_balanced(self):
+        condensed = CondensedDistribution.uniform(2**8)
+        code = optimal_code_for(condensed)
+        assert set(code.lengths()) == {3}

@@ -1,0 +1,158 @@
+"""Unit tests for repro.infotheory.perturb (prediction-error models)."""
+
+import math
+
+import pytest
+
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.perturb import (
+    divergence_between,
+    floor_support,
+    from_condensed_profile,
+    mix_with_uniform,
+    prediction_quality_sweep,
+    shift_ranges,
+    swap_extremes,
+    temperature,
+)
+
+
+@pytest.fixture
+def truth() -> SizeDistribution:
+    return SizeDistribution.range_uniform_subset(2**10, [2, 5, 8])
+
+
+class TestFromCondensedProfile:
+    def test_roundtrips_through_condense(self):
+        n = 2**10
+        masses = [0.0, 0.5, 0.0, 0.0, 0.3, 0.0, 0.0, 0.2, 0.0, 0.0]
+        d = from_condensed_profile(n, masses, name="probe")
+        for i, mass in enumerate(masses, start=1):
+            assert d.condense().probability(i) == pytest.approx(mass)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="range masses"):
+            from_condensed_profile(2**10, [1.0], name="bad")
+
+    def test_rejects_negative(self):
+        masses = [1.5, -0.5] + [0.0] * 8
+        with pytest.raises(ValueError, match="negative"):
+            from_condensed_profile(2**10, masses, name="bad")
+
+
+class TestMixWithUniform:
+    def test_zero_epsilon_is_truth(self, truth):
+        mixed = mix_with_uniform(truth, 0.0)
+        assert divergence_between(truth, mixed) == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_epsilon_is_uniform(self, truth):
+        mixed = mix_with_uniform(truth, 1.0)
+        condensed = mixed.condense()
+        assert condensed.entropy() == pytest.approx(
+            math.log2(condensed.num_ranges)
+        )
+
+    def test_divergence_monotone_in_epsilon(self, truth):
+        divergences = [
+            divergence_between(truth, mix_with_uniform(truth, eps))
+            for eps in (0.1, 0.3, 0.6, 0.9)
+        ]
+        assert divergences == sorted(divergences)
+
+    def test_always_finite_divergence(self, truth):
+        mixed = mix_with_uniform(truth, 0.01)
+        assert math.isfinite(divergence_between(truth, mixed))
+
+    def test_rejects_bad_epsilon(self, truth):
+        with pytest.raises(ValueError):
+            mix_with_uniform(truth, 1.5)
+
+
+class TestTemperature:
+    def test_beta_one_is_identity(self, truth):
+        assert divergence_between(truth, temperature(truth, 1.0)) == (
+            pytest.approx(0.0, abs=1e-12)
+        )
+
+    def test_beta_zero_flattens_support(self, truth):
+        flat = temperature(truth, 0.0)
+        condensed = flat.condense()
+        for i in (2, 5, 8):
+            assert condensed.probability(i) == pytest.approx(1 / 3)
+
+    def test_sharpening_concentrates(self):
+        skewed = SizeDistribution.from_weights(2**8, {4: 0.7, 100: 0.3})
+        sharp = temperature(skewed, 4.0)
+        assert max(sharp.condense().q) > max(skewed.condense().q)
+
+    def test_zero_ranges_stay_zero(self, truth):
+        warm = temperature(truth, 0.5)
+        assert warm.condense().support() == truth.condense().support()
+
+    def test_rejects_negative_beta(self, truth):
+        with pytest.raises(ValueError):
+            temperature(truth, -0.1)
+
+
+class TestShiftRanges:
+    def test_zero_shift_identity(self, truth):
+        assert divergence_between(truth, shift_ranges(truth, 0)) == (
+            pytest.approx(0.0, abs=1e-12)
+        )
+
+    def test_positive_shift_moves_mass_up(self, truth):
+        shifted = shift_ranges(truth, 2)
+        assert shifted.condense().support() == [4, 7, 10]
+
+    def test_shift_clamps_at_board_edges(self, truth):
+        shifted = shift_ranges(truth, 100)
+        assert shifted.condense().support() == [10]
+
+    def test_negative_shift(self, truth):
+        shifted = shift_ranges(truth, -1)
+        assert shifted.condense().support() == [1, 4, 7]
+
+    def test_shifted_prediction_has_infinite_divergence(self, truth):
+        shifted = shift_ranges(truth, 1)
+        assert divergence_between(truth, shifted) == math.inf
+
+
+class TestSwapExtremes:
+    def test_swap_moves_mass(self):
+        skewed = SizeDistribution.from_weights(2**8, {4: 0.7, 100: 0.3})
+        swapped = swap_extremes(skewed, 1.0)
+        condensed = swapped.condense()
+        # Range of 4 is 2; of 100 is 7: masses traded.
+        assert condensed.probability(7) > condensed.probability(2)
+
+    def test_zero_fraction_identity(self, truth):
+        assert divergence_between(truth, swap_extremes(truth, 0.0)) == (
+            pytest.approx(0.0, abs=1e-12)
+        )
+
+
+class TestFloorSupport:
+    def test_makes_divergence_finite(self, truth):
+        shifted = shift_ranges(truth, 3)
+        repaired = floor_support(shifted, 1e-3)
+        assert math.isfinite(divergence_between(truth, repaired))
+
+    def test_preserves_bulk_mass(self, truth):
+        repaired = floor_support(truth, 1e-4)
+        for i in (2, 5, 8):
+            assert repaired.condense().probability(i) == pytest.approx(
+                1 / 3, abs=1e-3
+            )
+
+    def test_rejects_bad_floor(self, truth):
+        with pytest.raises(ValueError):
+            floor_support(truth, 0.0)
+
+
+class TestSweep:
+    def test_sweep_sorted_and_monotone(self, truth):
+        rows = prediction_quality_sweep(truth, [0.5, 0.1, 0.9])
+        epsilons = [row[0] for row in rows]
+        divergences = [row[2] for row in rows]
+        assert epsilons == sorted(epsilons)
+        assert divergences == sorted(divergences)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.infotheory.source_coding (Theorems 2.2 / 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory.entropy import entropy, kl_divergence
+from repro.infotheory.source_coding import (
+    cross_coding_report,
+    expected_code_length,
+    shannon_code,
+    source_coding_report,
+)
+
+
+class TestShannonCode:
+    def test_dyadic_lengths(self):
+        code = shannon_code([0.5, 0.25, 0.25])
+        assert sorted(code.lengths()) == [1, 2, 2]
+
+    def test_expected_length_within_one_of_entropy(self):
+        pmf = [0.4, 0.3, 0.2, 0.1]
+        code = shannon_code(pmf)
+        expected = expected_code_length(code, pmf)
+        assert entropy(pmf) <= expected <= entropy(pmf) + 1.0
+
+
+class TestSourceCodingReport:
+    def test_matched_dyadic_tight(self):
+        report = source_coding_report([0.5, 0.25, 0.125, 0.125])
+        assert report.expected_length_bits == pytest.approx(
+            report.entropy_bits
+        )
+        assert report.satisfies_lower_bound()
+        assert report.satisfies_upper_bound()
+
+    def test_matched_generic(self):
+        report = source_coding_report([0.4, 0.3, 0.3])
+        assert report.satisfies_lower_bound()
+        assert report.satisfies_upper_bound()
+        assert report.divergence_bits == 0.0
+
+    def test_random_sources(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            pmf = rng.dirichlet(np.ones(10)).tolist()
+            report = source_coding_report(pmf)
+            assert report.satisfies_lower_bound()
+            assert report.satisfies_upper_bound()
+
+
+class TestCrossCodingReport:
+    def test_matched_pair_zero_divergence(self):
+        pmf = [0.5, 0.3, 0.2]
+        report = cross_coding_report(pmf, pmf)
+        assert report.divergence_bits == 0.0
+        assert report.satisfies_lower_bound()
+        assert report.satisfies_upper_bound()
+
+    def test_theorem_2_3_sandwich(self):
+        source = [0.7, 0.2, 0.1]
+        design = [0.2, 0.3, 0.5]
+        report = cross_coding_report(source, design)
+        assert report.divergence_bits == pytest.approx(
+            kl_divergence(source, design)
+        )
+        assert report.satisfies_lower_bound()
+        assert report.satisfies_upper_bound()
+
+    def test_random_pairs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            source = rng.dirichlet(np.ones(8)).tolist()
+            design = rng.dirichlet(np.ones(8)).tolist()
+            report = cross_coding_report(source, design)
+            assert report.satisfies_lower_bound()
+            assert report.satisfies_upper_bound()
+
+    def test_rejects_uncovered_source(self):
+        with pytest.raises(ValueError, match="infinite"):
+            cross_coding_report([0.5, 0.5], [1.0, 0.0])
+
+    def test_shared_zero_symbols_ignored(self):
+        # Both source and design put zero mass on symbol 2.
+        report = cross_coding_report([0.5, 0.5, 0.0], [0.25, 0.75, 0.0])
+        assert report.satisfies_lower_bound()
+        assert report.satisfies_upper_bound()
+
+    def test_huffman_mode_lower_bound_still_holds(self):
+        source = [0.6, 0.3, 0.1]
+        design = [0.1, 0.3, 0.6]
+        report = cross_coding_report(source, design, use_shannon_code=False)
+        # The Source Coding Theorem's H lower bound holds for any uniquely
+        # decodable code; the H+D form holds for codes optimal for the
+        # design, which Huffman is.
+        assert report.expected_length_bits >= report.entropy_bits - 1e-9
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            cross_coding_report([1.0], [0.5, 0.5])
+
+    def test_slack_fields(self):
+        report = cross_coding_report([0.7, 0.3], [0.5, 0.5])
+        assert report.lower_slack_bits >= 0
+        assert report.upper_slack_bits >= 0
+        assert report.lower_bound_bits == pytest.approx(
+            report.entropy_bits + report.divergence_bits
+        )
+        assert report.upper_bound_bits == pytest.approx(
+            report.lower_bound_bits + 1.0
+        )

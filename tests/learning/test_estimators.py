@@ -1,0 +1,116 @@
+"""Tests for the learned size predictors."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory.condense import range_of_size
+from repro.infotheory.distributions import SizeDistribution
+from repro.learning.estimators import (
+    DecayingHistogramLearner,
+    HistogramLearner,
+    SlidingWindowLearner,
+)
+
+
+@pytest.fixture
+def truth() -> SizeDistribution:
+    return SizeDistribution.range_uniform_subset(2**10, [3, 7])
+
+
+class TestHistogramLearner:
+    def test_prior_is_uniform(self):
+        learner = HistogramLearner(2**10)
+        condensed = learner.predict().condense()
+        assert all(
+            q == pytest.approx(1.0 / condensed.num_ranges)
+            for q in condensed.q
+        )
+
+    def test_observation_moves_mass(self):
+        learner = HistogramLearner(2**10)
+        for _ in range(50):
+            learner.observe(100)  # range 7
+        condensed = learner.predict().condense()
+        assert condensed.probability(7) > 0.7
+
+    def test_consistency(self, truth, rng: np.random.Generator):
+        """Divergence to the truth vanishes with observations (LLN)."""
+        learner = HistogramLearner(2**10)
+        divergences = []
+        for count in (10, 100, 1000):
+            while learner.observations < count:
+                learner.observe(int(truth.sample(rng)))
+            divergences.append(learner.divergence_from(truth))
+        assert divergences[-1] < divergences[0]
+        assert divergences[-1] < 0.05
+
+    def test_rejects_out_of_support(self):
+        learner = HistogramLearner(2**10)
+        with pytest.raises(ValueError):
+            learner.observe(1)
+        with pytest.raises(ValueError):
+            learner.observe(2**10 + 1)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            HistogramLearner(2**10, smoothing=0.0)
+
+    def test_observation_counter(self):
+        learner = HistogramLearner(2**10)
+        learner.observe(5)
+        learner.observe(9)
+        assert learner.observations == 2
+
+    def test_prediction_has_full_support(self):
+        """Smoothing keeps every range positive: finite divergence always."""
+        learner = HistogramLearner(2**10)
+        for _ in range(500):
+            learner.observe(2)
+        condensed = learner.predict().condense()
+        assert all(q > 0.0 for q in condensed.q)
+
+
+class TestDecayingHistogramLearner:
+    def test_tracks_drift(self, rng: np.random.Generator):
+        n = 2**10
+        learner = DecayingHistogramLearner(n, decay=0.9, smoothing=0.05)
+        for _ in range(100):
+            learner.observe(8)  # range 3
+        for _ in range(100):
+            learner.observe(500)  # range 9
+        condensed = learner.predict().condense()
+        assert condensed.probability(9) > 0.85
+        assert condensed.probability(3) < 0.05
+
+    def test_effective_memory(self):
+        learner = DecayingHistogramLearner(2**10, decay=0.98)
+        assert learner.effective_memory == pytest.approx(50.0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            DecayingHistogramLearner(2**10, decay=1.0)
+        with pytest.raises(ValueError):
+            DecayingHistogramLearner(2**10, decay=0.0)
+
+
+class TestSlidingWindowLearner:
+    def test_window_forgets(self):
+        learner = SlidingWindowLearner(2**10, window=10, smoothing=0.1)
+        for _ in range(20):
+            learner.observe(8)
+        for _ in range(10):
+            learner.observe(500)
+        condensed = learner.predict().condense()
+        # The window holds only the last 10 observations (range 9).
+        assert condensed.probability(9) > 0.8
+        assert condensed.probability(range_of_size(8)) < 0.1
+
+    def test_partial_window(self):
+        learner = SlidingWindowLearner(2**10, window=100)
+        learner.observe(8)
+        condensed = learner.predict().condense()
+        assert condensed.probability(3) == max(condensed.q)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowLearner(2**10, window=0)

@@ -1,0 +1,103 @@
+"""Tests for the online observe-predict-resolve loop."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import (
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.core.predictions import Prediction
+from repro.infotheory.distributions import SizeDistribution
+from repro.learning.estimators import HistogramLearner
+from repro.learning.online import prediction_protocol_for, run_online
+from repro.protocols.code_search import CodeSearchProtocol
+from repro.protocols.sorted_probing import SortedProbingProtocol
+
+
+class TestPredictionProtocolFor:
+    def test_channel_dispatch(self):
+        prediction = Prediction(SizeDistribution.uniform(2**8))
+        nocd = prediction_protocol_for(prediction, without_collision_detection())
+        cd = prediction_protocol_for(prediction, with_collision_detection())
+        assert isinstance(nocd, SortedProbingProtocol)
+        assert isinstance(cd, CodeSearchProtocol)
+
+
+class TestRunOnline:
+    def test_records_every_instance(self, rng: np.random.Generator):
+        truth = SizeDistribution.range_uniform_subset(2**8, [2, 6])
+        learner = HistogramLearner(2**8)
+        report = run_online(
+            lambda instance: truth,
+            learner,
+            without_collision_detection(),
+            rng,
+            instances=30,
+        )
+        assert len(report.records) == 30
+        assert learner.observations == 30
+        assert all(record.learner_rounds >= 1 for record in report.records)
+
+    def test_divergence_trajectory_decreases(self, rng: np.random.Generator):
+        truth = SizeDistribution.range_uniform_subset(2**8, [3])
+        learner = HistogramLearner(2**8)
+        report = run_online(
+            lambda instance: truth,
+            learner,
+            without_collision_detection(),
+            rng,
+            instances=80,
+        )
+        assert report.final_divergence() < report.records[0].divergence_bits
+
+    def test_cd_channel_loop(self, rng: np.random.Generator):
+        truth = SizeDistribution.range_uniform_subset(2**8, [2, 7])
+        learner = HistogramLearner(2**8)
+        report = run_online(
+            lambda instance: truth,
+            learner,
+            with_collision_detection(),
+            rng,
+            instances=20,
+        )
+        assert len(report.records) == 20
+
+    def test_slices_and_aggregates(self, rng: np.random.Generator):
+        truth = SizeDistribution.point(2**8, 20)
+        learner = HistogramLearner(2**8)
+        report = run_online(
+            lambda instance: truth,
+            learner,
+            without_collision_detection(),
+            rng,
+            instances=40,
+        )
+        assert report.mean_rounds() > 0
+        assert report.mean_rounds(first=10) >= 1.0
+        assert report.mean_rounds(last=10) >= 1.0
+        assert report.mean_oracle_rounds() >= 1.0
+        assert report.mean_baseline_rounds() >= 1.0
+        assert isinstance(report.learning_gap(10), float)
+
+    def test_rejects_bad_instances(self, rng: np.random.Generator):
+        learner = HistogramLearner(2**8)
+        with pytest.raises(ValueError):
+            run_online(
+                lambda instance: SizeDistribution.uniform(2**8),
+                learner,
+                without_collision_detection(),
+                rng,
+                instances=0,
+            )
+
+    def test_rejects_board_mismatch(self, rng: np.random.Generator):
+        learner = HistogramLearner(2**8)
+        with pytest.raises(ValueError, match="board"):
+            run_online(
+                lambda instance: SizeDistribution.uniform(2**9),
+                learner,
+                without_collision_detection(),
+                rng,
+                instances=2,
+            )

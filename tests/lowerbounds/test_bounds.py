@@ -1,0 +1,134 @@
+"""Tests for the closed-form Table 1 / Table 2 bound calculators."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.bounds import (
+    log2_clamped,
+    loglog,
+    logloglog,
+    loglogloglog,
+    table1_cd_lower,
+    table1_cd_upper,
+    table1_nocd_lower,
+    table1_nocd_upper,
+    table2_det_cd_lower,
+    table2_det_cd_upper,
+    table2_det_nocd_lower,
+    table2_det_nocd_upper,
+    table2_rand_cd,
+    table2_rand_nocd,
+)
+
+
+class TestIteratedLogs:
+    def test_values_at_2_64(self):
+        n = 2.0**64
+        assert loglog(n) == pytest.approx(6.0)
+        assert logloglog(n) == pytest.approx(math.log2(6.0))
+        assert loglogloglog(n) == pytest.approx(max(1.0, math.log2(math.log2(6.0))))
+
+    def test_clamping(self):
+        assert loglog(4) == 1.0
+        assert logloglog(4) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_clamped(0)
+
+
+class TestTable1:
+    def test_nocd_lower_matches_worst_case(self):
+        """At max entropy H = log log n the bound is log n / log log n."""
+        n = 2**16
+        bound = table1_nocd_lower(4.0, n)
+        assert bound == pytest.approx(16.0 / 4.0)
+
+    def test_nocd_lower_monotone_in_entropy(self):
+        values = [table1_nocd_lower(h, 2**16) for h in (0, 1, 2, 3, 4)]
+        assert values == sorted(values)
+
+    def test_nocd_upper_formula(self):
+        assert table1_nocd_upper(2.0) == pytest.approx(16.0)
+        assert table1_nocd_upper(2.0, 1.0) == pytest.approx(64.0)
+
+    def test_nocd_upper_dominates_lower(self):
+        for h in (0.5, 1.0, 2.0, 4.0):
+            assert table1_nocd_upper(h) >= table1_nocd_lower(h, 2**16)
+
+    def test_cd_lower_matches_willard_at_max_entropy(self):
+        """H = log log n gives ~ (log log n)/2 - slack (Theorem 2.8)."""
+        n = 2**16
+        assert table1_cd_lower(4.0, n) == pytest.approx(2.0 - loglogloglog(n))
+
+    def test_cd_lower_clamped_at_zero(self):
+        assert table1_cd_lower(0.0, 2**16) == 0.0
+
+    def test_cd_upper_formula(self):
+        assert table1_cd_upper(2.0) == pytest.approx(9.0)
+        assert table1_cd_upper(2.0, 1.0) == pytest.approx(16.0)
+
+    def test_cd_upper_dominates_lower(self):
+        for h in (0.5, 1.0, 2.0, 4.0):
+            assert table1_cd_upper(h) >= table1_cd_lower(h, 2**16)
+
+    def test_rejects_negative_entropy(self):
+        with pytest.raises(ValueError):
+            table1_nocd_upper(-1.0)
+        with pytest.raises(ValueError):
+            table1_cd_lower(-1.0, 2**16)
+
+
+class TestTable2:
+    def test_det_nocd_shapes(self):
+        n = 2**12
+        assert table2_det_nocd_lower(n, 0) == pytest.approx(n / 2)
+        assert table2_det_nocd_upper(n, 0) == n
+        # alpha = 1/2: lower ~ sqrt(n)/2.
+        assert table2_det_nocd_lower(n, 6) == pytest.approx(
+            n ** (1 - 0.5) / 2
+        )
+
+    def test_det_nocd_upper_dominates_lower(self):
+        n = 2**12
+        for b in range(0, 13):
+            assert table2_det_nocd_upper(n, b) >= table2_det_nocd_lower(n, b)
+
+    def test_det_cd_shapes(self):
+        n = 2**16
+        assert table2_det_cd_lower(n, 0) == 16.0
+        assert table2_det_cd_upper(n, 0) == 17.0
+        assert table2_det_cd_lower(n, 16) == 0.0
+        assert table2_det_cd_upper(n, 16) == 1.0
+
+    def test_rand_nocd_shape(self):
+        n = 2**16
+        assert table2_rand_nocd(n, 0) == 16.0
+        assert table2_rand_nocd(n, 2) == 4.0
+        assert table2_rand_nocd(n, 10) == 1.0  # clamped
+
+    def test_rand_cd_shape(self):
+        n = 2**16
+        assert table2_rand_cd(n, 0) == 4.0
+        assert table2_rand_cd(n, 2) == 2.0
+        assert table2_rand_cd(n, 4) == 1.0  # clamped at O(1)
+
+    def test_all_monotone_in_b(self):
+        n = 2**12
+        for formula in (
+            table2_det_nocd_lower,
+            table2_det_nocd_upper,
+            table2_det_cd_lower,
+            table2_det_cd_upper,
+            table2_rand_nocd,
+            table2_rand_cd,
+        ):
+            values = [formula(n, b) for b in range(0, 12)]
+            assert values == sorted(values, reverse=True), formula.__name__
+
+    def test_reject_bad_inputs(self):
+        with pytest.raises(ValueError):
+            table2_det_nocd_lower(1, 0)
+        with pytest.raises(ValueError):
+            table2_rand_cd(2, 0)

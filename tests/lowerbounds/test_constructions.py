@@ -1,0 +1,178 @@
+"""Tests for RF-Construction (Algorithm 1) and the CD tree construction."""
+
+import math
+
+import pytest
+
+from repro.core.uniform import ProbabilitySchedule
+from repro.infotheory.condense import num_ranges
+from repro.infotheory.distributions import SizeDistribution
+from repro.lowerbounds.range_finding import default_sequence_tolerance
+from repro.lowerbounds.rf_construction import (
+    guess_from_probability,
+    rf_construction,
+    rf_range_finder,
+)
+from repro.lowerbounds.tree_construction import (
+    build_range_finding_tree,
+    canonical_insert_depth,
+    canonical_range_tree,
+    relabel_with_guesses,
+    unfold_probability_tree,
+)
+from repro.protocols.adapters import as_history_policy
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+class TestGuessFromProbability:
+    def test_exact_powers(self):
+        assert guess_from_probability(0.5, 2**8) == 1
+        assert guess_from_probability(0.25, 2**8) == 2
+        assert guess_from_probability(2.0**-8, 2**8) == 8
+
+    def test_intermediate_rounds_up(self):
+        assert guess_from_probability(0.3, 2**8) == 2  # ceil(log2(1/0.3))
+
+    def test_clamps_low_probability(self):
+        assert guess_from_probability(1e-9, 2**8) == 8
+        assert guess_from_probability(0.0, 2**8) == 8
+
+    def test_clamps_high_probability(self):
+        assert guess_from_probability(1.0, 2**8) == 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            guess_from_probability(1.5, 2**8)
+
+
+class TestRFConstruction:
+    def test_interleaves_guess_and_cycle(self):
+        schedule = ProbabilitySchedule([0.5, 0.25, 0.125])
+        sequence = rf_construction(schedule, 2**4)
+        assert sequence == [1, 1, 2, 2, 3, 3]
+
+    def test_output_length_doubles(self):
+        schedule = DecayProtocol(2**8).schedule
+        assert len(rf_construction(schedule, 2**8)) == 2 * len(schedule)
+
+    def test_cycle_covers_all_ranges_in_two_logn_slots(self):
+        """Case 2 of Lemma 2.7: every range appears by position 2L."""
+        n = 2**8
+        count = num_ranges(n)
+        schedule = ProbabilitySchedule([0.5] * (2 * count))
+        sequence = rf_construction(schedule, n)
+        head = sequence[: 2 * count]
+        assert set(range(1, count + 1)) <= set(head)
+
+    def test_cycle_wraps(self):
+        n = 2**3
+        schedule = ProbabilitySchedule([0.5] * 5)
+        sequence = rf_construction(schedule, n)
+        # Cycle positions (odd indices): 1, 2, 3, 1, 2.
+        assert sequence[1::2] == [1, 2, 3, 1, 2]
+
+    def test_accepts_raw_probability_list(self):
+        assert rf_construction([0.5, 0.25], 2**4) == [1, 1, 2, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rf_construction([], 2**4)
+
+    def test_lemma_2_7_consistency_decay(self):
+        """E[Z] of RF(decay) is at most ~2x decay's expected rounds.
+
+        Exact version of the experiment check, on a small board where the
+        decay expectation is analytically ~ the probe position.
+        """
+        n = 2**8
+        truth = SizeDistribution.range_uniform_subset(n, [2, 6])
+        finder = rf_range_finder(
+            DecayProtocol(n).schedule.cycled(32), n, alpha=2.0
+        )
+        expected_z = finder.expected_time(truth.condense())
+        # Decay reaches range 2 at round 2 and range 6 at round 6; its
+        # expected solve times are lower-bounded by those positions.
+        assert expected_z <= 2.0 * (0.5 * 2 + 0.5 * 6) + 2.0
+
+    def test_finder_tolerance_default(self):
+        n = 2**16
+        finder = rf_range_finder(DecayProtocol(n).schedule, n)
+        assert finder.tolerance == pytest.approx(
+            default_sequence_tolerance(n)
+        )
+
+
+class TestTreeConstruction:
+    def test_canonical_insert_depth(self):
+        assert canonical_insert_depth(2**16) == 4
+        assert canonical_insert_depth(2**8) == 3
+
+    def test_canonical_range_tree_contains_all_ranges(self):
+        for n in (2**4, 2**8, 2**16):
+            tree = canonical_range_tree(n)
+            labels = {tree.label(path) for path in tree.paths()}
+            assert labels == set(range(1, num_ranges(n) + 1))
+
+    def test_canonical_range_tree_depth(self):
+        tree = canonical_range_tree(2**16)
+        assert tree.max_depth() == math.ceil(math.log2(16))
+
+    def test_unfold_probability_tree_depth(self):
+        policy = as_history_policy(WillardProtocol(2**8, repetitions=1))
+        tree = unfold_probability_tree(policy, depth=3)
+        assert set(len(path) for path in tree) == {0, 1, 2, 3}
+        assert len(tree) == 15
+
+    def test_unfold_respects_exhaustion(self):
+        protocol = WillardProtocol(
+            2**4, ranges=[2], restart=False, repetitions=1
+        )
+        tree = unfold_probability_tree(as_history_policy(protocol), depth=3)
+        # One probe only: just the root is defined.
+        assert list(tree) == [""]
+
+    def test_relabel_with_guesses(self):
+        tree = {"": 0.5, "0": 0.25, "1": 0.125}
+        relabelled = relabel_with_guesses(tree, 2**4)
+        assert relabelled == {"": 1, "0": 2, "1": 3}
+
+    def test_built_tree_solves_every_range(self):
+        """After the T* graft, every range is reachable (Case 2, L. 2.11)."""
+        n = 2**8
+        policy = as_history_policy(WillardProtocol(n, repetitions=1))
+        tree = build_range_finding_tree(policy, n)
+        for target in range(1, num_ranges(n) + 1):
+            assert tree.solve_depth(target, tolerance=0) is not None
+
+    def test_graft_depth_bound(self):
+        """All ranges appear within depth graft + ceil(log L) (Lemma 2.11)."""
+        n = 2**8
+        policy = as_history_policy(WillardProtocol(n, repetitions=1))
+        tree = build_range_finding_tree(policy, n)
+        bound = canonical_insert_depth(n) + 1 + math.ceil(
+            math.log2(num_ranges(n))
+        )
+        for target in range(1, num_ranges(n) + 1):
+            assert tree.solve_depth(target, tolerance=0) <= bound
+
+    def test_native_prefix_preserved(self):
+        """Above the graft, the tree mirrors the algorithm's probabilities."""
+        n = 2**8
+        protocol = WillardProtocol(n, repetitions=1)
+        policy = as_history_policy(protocol)
+        tree = build_range_finding_tree(policy, n)
+        # Root label = guess of the first probe (median range 4 of 8).
+        session = protocol.session()
+        first_probability = session.next_probability()
+        from repro.lowerbounds.rf_construction import guess_from_probability
+
+        assert tree.label("") == guess_from_probability(first_probability, n)
+
+    def test_decay_policy_tree(self):
+        """The construction also applies to oblivious schedules."""
+        n = 2**8
+        policy = as_history_policy(DecayProtocol(n))
+        tree = build_range_finding_tree(policy, n, extra_depth=2)
+        for target in range(1, num_ranges(n) + 1):
+            assert tree.solve_depth(target, tolerance=0) is not None

@@ -1,0 +1,106 @@
+"""Tests for the Theorem 3.6 parallel-advice reduction, executed."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.core.advice import bits_to_int
+from repro.core.protocol import ScheduleExhausted
+from repro.core.uniform import ProbabilitySchedule, ScheduleProtocol
+from repro.lowerbounds.parallel_advice import parallel_advice_protocol
+from repro.protocols.advice_randomized import (
+    TruncatedDecayProtocol,
+    block_index_for,
+)
+
+N = 2**12
+
+
+def truncated_decay_for_string(advice: str) -> TruncatedDecayProtocol:
+    """The protocol players would run given the advice string."""
+    bits = len(advice)
+    return TruncatedDecayProtocol(N, bits, bits_to_int(advice), cycle=True)
+
+
+class TestParallelAdviceReduction:
+    @pytest.mark.parametrize("b", [0, 1, 2])
+    def test_compiled_protocol_is_advice_free_and_solves(
+        self, b, rng, nocd_channel
+    ):
+        compiled = parallel_advice_protocol(b, truncated_decay_for_string)
+        assert compiled.fan_out == 2**b
+        for k in (2, 100, 3000):
+            result = estimate_uniform_rounds(
+                compiled, k, rng, channel=nocd_channel,
+                trials=200, max_rounds=5000,
+            )
+            assert result.success.rate == 1.0
+
+    def test_two_b_factor_accounting(self, rng, nocd_channel):
+        """Theorem 3.6's arithmetic: compiled rounds <= 2^b x advised
+        rounds (up to the round-robin alignment constant)."""
+        b, k = 2, 900
+        advised = estimate_uniform_rounds(
+            TruncatedDecayProtocol(N, b, block_index_for(N, b, k)),
+            k, rng, channel=nocd_channel, trials=2000, max_rounds=5000,
+        ).rounds.mean
+        compiled = estimate_uniform_rounds(
+            parallel_advice_protocol(b, truncated_decay_for_string),
+            k, rng, channel=nocd_channel, trials=2000, max_rounds=5000,
+        ).rounds.mean
+        assert compiled <= (2**b) * advised + 2**b
+
+    def test_compiled_comparable_to_no_advice_baseline(
+        self, rng, nocd_channel
+    ):
+        """Hedging across all blocks is within a constant of full decay -
+        the reduction's other direction: the compiled protocol cannot beat
+        the no-advice lower bound."""
+        from repro.protocols.decay import DecayProtocol
+
+        k = 900
+        compiled = estimate_uniform_rounds(
+            parallel_advice_protocol(2, truncated_decay_for_string),
+            k, rng, channel=nocd_channel, trials=2000, max_rounds=5000,
+        ).rounds.mean
+        decay = estimate_uniform_rounds(
+            DecayProtocol(N), k, rng, channel=nocd_channel,
+            trials=2000, max_rounds=5000,
+        ).rounds.mean
+        assert compiled >= decay / 4.0
+
+    def test_exhausted_subprotocols_skipped(self):
+        def one_shot_for(advice: str) -> ScheduleProtocol:
+            # The '0' protocol exhausts immediately; '1' keeps going.
+            if advice == "0":
+                return ScheduleProtocol(
+                    ProbabilitySchedule([0.5]), cycle=False
+                )
+            return ScheduleProtocol(ProbabilitySchedule([0.25]), cycle=True)
+
+        compiled = parallel_advice_protocol(1, one_shot_for)
+        session = compiled.session()
+        from repro.core.feedback import Observation
+
+        seen = []
+        for _ in range(4):
+            seen.append(session.next_probability())
+            session.observe(Observation.QUIET)
+        # After the one-shot's single round, only the cycling one remains.
+        assert seen == [0.5, 0.25, 0.25, 0.25]
+
+    def test_all_exhausted_raises(self):
+        def one_shot_for(advice: str) -> ScheduleProtocol:
+            return ScheduleProtocol(ProbabilitySchedule([0.5]), cycle=False)
+
+        session = parallel_advice_protocol(0, one_shot_for).session()
+        from repro.core.feedback import Observation
+
+        session.next_probability()
+        session.observe(Observation.QUIET)
+        with pytest.raises(ScheduleExhausted):
+            session.next_probability()
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            parallel_advice_protocol(-1, truncated_decay_for_string)

@@ -1,0 +1,147 @@
+"""Tests for range finding carriers (sequences and labelled trees)."""
+
+import math
+
+import pytest
+
+from repro.infotheory.condense import CondensedDistribution
+from repro.lowerbounds.range_finding import (
+    LabeledBinaryTree,
+    SequenceRangeFinder,
+    default_sequence_tolerance,
+    default_tree_tolerance,
+)
+
+
+class TestTolerances:
+    def test_sequence_tolerance_formula(self):
+        assert default_sequence_tolerance(2**16) == pytest.approx(4.0)
+        assert default_sequence_tolerance(2**16, alpha=2.0) == pytest.approx(8.0)
+
+    def test_tree_tolerance_formula(self):
+        assert default_tree_tolerance(2**16) == pytest.approx(2.0)
+
+    def test_clamped_at_one(self):
+        assert default_sequence_tolerance(2, alpha=0.1) == 1.0
+        assert default_tree_tolerance(4) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            default_sequence_tolerance(1)
+        with pytest.raises(ValueError):
+            default_sequence_tolerance(16, alpha=-1)
+
+
+class TestSequenceRangeFinder:
+    def test_solve_time_first_position(self):
+        finder = SequenceRangeFinder([5, 1, 3, 8], tolerance=0)
+        assert finder.solve_time(3) == 3
+        assert finder.solve_time(5) == 1
+
+    def test_tolerance_widens_matches(self):
+        finder = SequenceRangeFinder([5, 1, 3, 8], tolerance=1)
+        assert finder.solve_time(4) == 1  # |5 - 4| <= 1
+        assert finder.solve_time(2) == 2
+
+    def test_unsolved_returns_none(self):
+        finder = SequenceRangeFinder([1, 2], tolerance=0)
+        assert finder.solve_time(9) is None
+        assert not finder.solves_all([1, 9])
+
+    def test_expected_time_weighted(self):
+        finder = SequenceRangeFinder([1, 2, 3, 4], tolerance=0)
+        condensed = CondensedDistribution(n=16, q=(0.5, 0.0, 0.0, 0.5))
+        # Targets 1 (t=1) and 4 (t=4) with mass 1/2 each.
+        assert finder.expected_time(condensed) == pytest.approx(2.5)
+
+    def test_expected_time_infinite_when_uncovered(self):
+        finder = SequenceRangeFinder([1], tolerance=0)
+        condensed = CondensedDistribution(n=16, q=(0.5, 0.0, 0.0, 0.5))
+        assert finder.expected_time(condensed) == math.inf
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            SequenceRangeFinder([], tolerance=1)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            SequenceRangeFinder([1], tolerance=-1)
+
+
+class TestLabeledBinaryTree:
+    def test_requires_root(self):
+        with pytest.raises(ValueError, match="root"):
+            LabeledBinaryTree({"0": 1})
+
+    def test_rejects_disconnected_paths(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            LabeledBinaryTree({"": 1, "00": 2})
+
+    def test_rejects_malformed_paths(self):
+        with pytest.raises(ValueError, match="malformed"):
+            LabeledBinaryTree({"": 1, "2": 2})
+
+    def test_complete_tree_covers_values(self):
+        tree = LabeledBinaryTree.complete(2, [1, 2, 3, 4, 5, 6, 7])
+        assert len(tree) == 7
+        labels = {tree.label(path) for path in tree.paths()}
+        assert labels == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_complete_tree_cycles_values(self):
+        tree = LabeledBinaryTree.complete(2, [1, 2])
+        labels = [tree.label(path) for path in tree.paths()]
+        assert labels == [1, 2, 1, 2, 1, 2, 1]
+
+    def test_solve_depth_shallowest(self):
+        tree = LabeledBinaryTree({"": 9, "0": 5, "1": 3, "00": 3})
+        assert tree.solve_depth(3, tolerance=0) == 1  # "1" beats "00"
+        assert tree.solve_path(3, tolerance=0) == "1"
+
+    def test_solve_ties_break_lexicographically(self):
+        tree = LabeledBinaryTree({"": 9, "0": 3, "1": 3})
+        assert tree.solve_path(3, tolerance=0) == "0"
+
+    def test_solve_depth_none_when_absent(self):
+        tree = LabeledBinaryTree({"": 9})
+        assert tree.solve_depth(1, tolerance=0) is None
+
+    def test_expected_depth(self):
+        tree = LabeledBinaryTree({"": 1, "0": 4, "1": 2, "00": 3})
+        condensed = CondensedDistribution(n=16, q=(0.25, 0.25, 0.25, 0.25))
+        # depths: 1->0, 2->1, 3->2, 4->1.
+        assert tree.expected_depth(condensed, tolerance=0) == pytest.approx(1.0)
+
+    def test_expected_depth_infinite_when_uncovered(self):
+        tree = LabeledBinaryTree({"": 1})
+        condensed = CondensedDistribution(n=16, q=(0.5, 0.5, 0.0, 0.0))
+        assert tree.expected_depth(condensed, tolerance=0) == math.inf
+
+    def test_with_subtree_grafts(self):
+        base = LabeledBinaryTree({"": 1, "0": 2, "1": 3, "00": 4})
+        graft = LabeledBinaryTree({"": 7, "0": 8})
+        combined = base.with_subtree("00", graft)
+        assert combined.label("00") == 7
+        assert combined.label("000") == 8
+        assert combined.label("1") == 3
+
+    def test_with_subtree_replaces_descendants(self):
+        base = LabeledBinaryTree({"": 1, "0": 2, "00": 3, "000": 4})
+        graft = LabeledBinaryTree({"": 9})
+        combined = base.with_subtree("0", graft)
+        assert combined.label("0") == 9
+        assert "00" not in combined
+        assert "000" not in combined
+
+    def test_with_subtree_requires_parent(self):
+        base = LabeledBinaryTree({"": 1})
+        graft = LabeledBinaryTree({"": 9})
+        with pytest.raises(ValueError, match="parent"):
+            base.with_subtree("00", graft)
+
+    def test_max_depth(self):
+        tree = LabeledBinaryTree({"": 1, "0": 2, "01": 3})
+        assert tree.max_depth() == 2
+
+    def test_paths_sorted_by_depth(self):
+        tree = LabeledBinaryTree({"": 1, "0": 2, "1": 3, "01": 4})
+        assert tree.paths() == ["", "0", "1", "01"]

@@ -1,0 +1,227 @@
+"""Tests for success-probability lemmas, selective families and
+non-interactive contention resolution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import (
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.core.advice import MinIdPrefixAdvice
+from repro.lowerbounds.noninteractive import (
+    exhaustive_minimum_weak_family_size,
+    is_weakly_selective,
+    scheme_from_protocol,
+    theorem_3_3_bound,
+    verify_scheme,
+)
+from repro.lowerbounds.selective_families import (
+    bit_family,
+    exhaustive_minimum_family_size,
+    find_unselected_pair,
+    is_strongly_selective,
+    polynomial_family,
+    random_selectivity_counterexample,
+    singleton_family,
+    theorem_3_2_threshold,
+)
+from repro.lowerbounds.success_bounds import (
+    lemma_2_6_threshold,
+    lemma_2_6_window,
+    lemma_2_10_threshold,
+    lemma_2_10_window,
+    lemma_2_13_lower_bound,
+    single_success_probability,
+    window_violation,
+)
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+
+
+class TestSingleSuccessProbability:
+    def test_known_values(self):
+        assert single_success_probability(1, 1.0) == 1.0
+        assert single_success_probability(2, 0.5) == pytest.approx(0.5)
+        assert single_success_probability(2, 1.0) == 0.0
+        assert single_success_probability(5, 0.0) == 0.0
+
+    def test_matches_direct_formula(self):
+        for k in (2, 7, 100):
+            for p in (0.01, 0.1, 0.5):
+                direct = k * p * (1 - p) ** (k - 1)
+                assert single_success_probability(k, p) == pytest.approx(direct)
+
+    def test_stable_for_huge_k(self):
+        value = single_success_probability(2**40, 2.0**-40)
+        assert value == pytest.approx(1 / math.e, rel=1e-6)
+
+    def test_maximised_near_one_over_k(self):
+        k = 64
+        peak = single_success_probability(k, 1.0 / k)
+        for p in (0.5 / k, 2.0 / k, 8.0 / k):
+            assert single_success_probability(k, p) <= peak
+
+
+class TestLemmaWindows:
+    @pytest.mark.parametrize("k", [2, 10, 1000, 100_000])
+    def test_lemma_2_6_no_violations(self, k):
+        n = 2**16
+        window = lemma_2_6_window(k, n)
+        threshold = lemma_2_6_threshold(n)
+        for p in np.logspace(-9, 0, 200):
+            assert (
+                window_violation(
+                    k, n, float(p), window=window, threshold=threshold
+                )
+                is None
+            )
+
+    @pytest.mark.parametrize("k", [2, 10, 1000, 100_000])
+    def test_lemma_2_10_no_violations(self, k):
+        n = 2**16
+        window = lemma_2_10_window(k, n)
+        threshold = lemma_2_10_threshold(n)
+        for p in np.logspace(-9, 0, 200):
+            assert (
+                window_violation(
+                    k, n, float(p), window=window, threshold=threshold
+                )
+                is None
+            )
+
+    @pytest.mark.parametrize("k", [2, 3, 10, 1000, 10**6])
+    def test_lemma_2_13_floor(self, k):
+        """P(success) >= 1/8 throughout the probe interval (1/2k, 1/k]."""
+        for p in np.linspace(1.0 / (2 * k), 1.0 / k, 50):
+            assert single_success_probability(
+                k, float(p)
+            ) >= lemma_2_13_lower_bound()
+
+    def test_windows_widen_with_beta(self):
+        low6, high6 = lemma_2_6_window(100, 2**16, beta=6)
+        low12, high12 = lemma_2_6_window(100, 2**16, beta=12)
+        assert low12 < low6 and high12 >= high6
+
+    def test_in_window_points_never_flagged(self):
+        window = lemma_2_6_window(100, 2**16)
+        assert (
+            window_violation(
+                100,
+                2**16,
+                (window[0] + window[1]) / 2,
+                window=window,
+                threshold=lemma_2_6_threshold(2**16),
+            )
+            is None
+        )
+
+
+class TestSelectiveFamilies:
+    def test_singleton_family_strongly_selective(self):
+        assert is_strongly_selective(singleton_family(6), 6, 6)
+
+    def test_bit_family_selective_for_pairs(self):
+        assert is_strongly_selective(bit_family(16), 16, 2)
+
+    def test_bit_family_size(self):
+        assert len(bit_family(16)) == 8  # 2 * ceil(log2 16)
+
+    def test_bit_family_fails_for_triples(self):
+        # (n, 2)-selectivity does not extend to k = 3 in general.
+        witness = find_unselected_pair(bit_family(8), 8, 3)
+        assert witness is not None
+
+    def test_polynomial_family_small_exhaustive(self):
+        family = polynomial_family(16, 3)
+        assert is_strongly_selective(family, 16, 3)
+
+    def test_polynomial_family_larger_randomized(self, rng):
+        family = polynomial_family(128, 4)
+        assert (
+            random_selectivity_counterexample(family, 128, 4, rng, trials=800)
+            is None
+        )
+
+    def test_polynomial_family_size_quadratic_in_k(self):
+        small = len(polynomial_family(64, 2))
+        large = len(polynomial_family(64, 6))
+        assert small < large
+
+    def test_find_unselected_pair_detects_gap(self):
+        # Family missing any set containing element 3 alone.
+        family = [{0, 1}, {2}]
+        witness = find_unselected_pair(family, 4, 2)
+        assert witness is not None
+
+    def test_exhaustive_minimum_matches_theorem_3_2(self):
+        """For k = n >= sqrt(2n), the minimal strongly selective family
+        has exactly n sets (singletons are optimal)."""
+        for n in (2, 3, 4):
+            assert n >= theorem_3_2_threshold(n)
+            assert exhaustive_minimum_family_size(n, n, max_size=n) == n
+
+    def test_exhaustive_refuses_large_n(self):
+        with pytest.raises(ValueError):
+            exhaustive_minimum_family_size(10, 4, max_size=3)
+
+
+class TestNonInteractive:
+    def test_minimum_weak_family_equals_n(self):
+        """Theorem 3.3's conclusion, certified exhaustively for tiny n."""
+        for n in (2, 3, 4):
+            assert exhaustive_minimum_weak_family_size(n, max_size=n) == n
+
+    def test_weak_selectivity_of_singletons(self):
+        assert is_weakly_selective(singleton_family(4), 4)
+
+    def test_weak_selectivity_counterexample(self):
+        assert not is_weakly_selective([{0, 1}, {0, 2}], 3)
+
+    def test_theorem_3_3_bound_formula(self):
+        assert theorem_3_3_bound(16) == 4.0
+
+    @pytest.mark.parametrize("b", [0, 1, 2])
+    def test_scan_reduction_correct(self, b):
+        """Theorem 3.4: the compiled non-interactive scheme is correct."""
+        n = 8
+        protocol = DeterministicScanProtocol(b)
+        scheme, _ = scheme_from_protocol(
+            protocol,
+            MinIdPrefixAdvice(b),
+            n,
+            without_collision_detection(),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert verify_scheme(scheme) is None
+
+    @pytest.mark.parametrize("b", [0, 1, 2])
+    def test_descent_reduction_correct(self, b):
+        """Theorem 3.5: the CD reduction replays histories correctly."""
+        n = 8
+        protocol = DeterministicTreeDescentProtocol(b)
+        scheme, _ = scheme_from_protocol(
+            protocol,
+            MinIdPrefixAdvice(b),
+            n,
+            with_collision_detection(),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert verify_scheme(scheme) is None
+
+    def test_scheme_transmit_set_exactly_one(self):
+        n = 8
+        protocol = DeterministicScanProtocol(1)
+        scheme, _ = scheme_from_protocol(
+            protocol,
+            MinIdPrefixAdvice(1),
+            n,
+            without_collision_detection(),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        for participants in (frozenset({0}), frozenset({3, 5}), frozenset(range(8))):
+            assert len(scheme.transmit_set(participants)) == 1

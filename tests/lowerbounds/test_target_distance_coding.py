@@ -1,0 +1,147 @@
+"""Tests for target-distance codes (Lemmas 2.5 / 2.9 constructions)."""
+
+import pytest
+
+from repro.infotheory.condense import CondensedDistribution, num_ranges
+from repro.lowerbounds.range_finding import (
+    LabeledBinaryTree,
+    SequenceRangeFinder,
+)
+from repro.lowerbounds.target_distance_coding import (
+    SequenceTargetDistanceCode,
+    TreeTargetDistanceCode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+from repro.lowerbounds.tree_construction import build_range_finding_tree
+from repro.protocols.adapters import as_history_policy
+from repro.protocols.willard import WillardProtocol
+
+
+class TestEliasGamma:
+    @pytest.mark.parametrize("value", [1, 2, 3, 7, 8, 100, 12345])
+    def test_roundtrip(self, value):
+        bits = elias_gamma_encode(value)
+        decoded, offset = elias_gamma_decode(bits)
+        assert decoded == value
+        assert offset == len(bits)
+
+    def test_lengths(self):
+        assert len(elias_gamma_encode(1)) == 1
+        assert len(elias_gamma_encode(2)) == 3
+        assert len(elias_gamma_encode(8)) == 7
+
+    def test_prefix_free_concatenation(self):
+        values = [3, 1, 100, 7, 7, 2]
+        stream = "".join(elias_gamma_encode(value) for value in values)
+        decoded = []
+        offset = 0
+        while offset < len(stream):
+            value, offset = elias_gamma_decode(stream, offset)
+            decoded.append(value)
+        assert decoded == values
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            elias_gamma_encode(0)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            elias_gamma_decode("00")
+
+
+class TestSequenceTargetDistanceCode:
+    def test_roundtrip_all_targets(self):
+        finder = SequenceRangeFinder([4, 1, 7, 2, 5], tolerance=1)
+        code = SequenceTargetDistanceCode(finder)
+        for target in range(1, 9):
+            if finder.solve_time(target) is None:
+                continue
+            bits = code.encode(target)
+            decoded, offset = code.decode(bits)
+            assert decoded == target
+            assert offset == len(bits)
+
+    def test_rejects_unsolvable_target(self):
+        finder = SequenceRangeFinder([1], tolerance=0)
+        code = SequenceTargetDistanceCode(finder)
+        with pytest.raises(ValueError, match="never solves"):
+            code.encode(5)
+
+    def test_stream_decoding(self):
+        finder = SequenceRangeFinder([4, 1, 7], tolerance=1)
+        code = SequenceTargetDistanceCode(finder)
+        targets = [4, 1, 6, 8, 2]
+        stream = "".join(code.encode(target) for target in targets)
+        decoded = []
+        offset = 0
+        while offset < len(stream):
+            value, offset = code.decode(stream, offset)
+            decoded.append(value)
+        assert decoded == targets
+
+    def test_source_coding_floor(self):
+        """E[len] >= H(c(X)) for any uniquely decodable code (Thm 2.2)."""
+        n = 2**16
+        count = num_ranges(n)
+        sequence = list(range(1, count + 1)) * 2
+        finder = SequenceRangeFinder(sequence, tolerance=0)
+        code = SequenceTargetDistanceCode(finder)
+        for q in (
+            tuple([1.0 / count] * count),
+            tuple([0.5, 0.5] + [0.0] * (count - 2)),
+        ):
+            condensed = CondensedDistribution(n=n, q=q)
+            assert code.expected_length(condensed) >= condensed.entropy() - 1e-9
+
+    def test_early_solves_are_cheap(self):
+        finder = SequenceRangeFinder([3] + list(range(1, 9)), tolerance=0)
+        code = SequenceTargetDistanceCode(finder)
+        assert code.code_length(3) < code.code_length(8)
+
+
+class TestTreeTargetDistanceCode:
+    @pytest.fixture
+    def tree(self) -> LabeledBinaryTree:
+        policy = as_history_policy(WillardProtocol(2**8, repetitions=1))
+        return build_range_finding_tree(policy, 2**8, extra_depth=2)
+
+    def test_roundtrip_all_ranges(self, tree):
+        code = TreeTargetDistanceCode(tree, tolerance=1)
+        for target in range(1, 9):
+            bits = code.encode(target)
+            decoded, offset = code.decode(bits)
+            assert decoded == target
+            assert offset == len(bits)
+
+    def test_stream_decoding(self, tree):
+        code = TreeTargetDistanceCode(tree, tolerance=1)
+        targets = [1, 8, 4, 4, 2]
+        stream = "".join(code.encode(target) for target in targets)
+        decoded = []
+        offset = 0
+        while offset < len(stream):
+            value, offset = code.decode(stream, offset)
+            decoded.append(value)
+        assert decoded == targets
+
+    def test_source_coding_floor(self, tree):
+        code = TreeTargetDistanceCode(tree, tolerance=1)
+        condensed = CondensedDistribution.uniform(2**8)
+        assert code.expected_length(condensed) >= condensed.entropy() - 1e-9
+
+    def test_rejects_unsolvable(self):
+        tree = LabeledBinaryTree({"": 1})
+        code = TreeTargetDistanceCode(tree, tolerance=0)
+        with pytest.raises(ValueError, match="never solves"):
+            code.encode(7)
+
+    def test_rejects_negative_tolerance(self, tree):
+        with pytest.raises(ValueError):
+            TreeTargetDistanceCode(tree, tolerance=-1)
+
+    def test_code_length_grows_with_depth(self):
+        tree = LabeledBinaryTree({"": 1, "0": 2, "00": 3, "000": 4})
+        code = TreeTargetDistanceCode(tree, tolerance=0)
+        lengths = [code.code_length(target) for target in (1, 2, 3, 4)]
+        assert lengths == sorted(lengths)

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the information-theory substrate.
+
+These pin the invariants every reduction in the paper leans on: entropy
+bounds, Gibbs' inequality, Kraft feasibility, Huffman optimality-ish
+dominance, condensation mass preservation and prefix-code roundtrips.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory.coding import (
+    code_from_lengths,
+    kraft_lengths_realizable,
+    kraft_sum,
+    shannon_code_lengths,
+)
+from repro.infotheory.condense import (
+    CondensedDistribution,
+    num_ranges,
+    range_interval,
+    range_of_size,
+)
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.entropy import (
+    entropy,
+    kl_divergence,
+    total_variation,
+)
+from repro.infotheory.huffman import huffman_code, huffman_code_lengths
+
+
+def pmfs(min_size: int = 2, max_size: int = 12):
+    """Strategy: random pmfs with strictly positive atoms."""
+    return (
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1.0),
+            min_size=min_size,
+            max_size=max_size,
+        )
+        .map(lambda weights: [w / sum(weights) for w in weights])
+    )
+
+
+class TestEntropyProperties:
+    @given(pmfs())
+    def test_entropy_bounds(self, pmf):
+        h = entropy(pmf)
+        assert -1e-9 <= h <= math.log2(len(pmf)) + 1e-9
+
+    @given(pmfs())
+    def test_kl_self_zero(self, pmf):
+        assert kl_divergence(pmf, pmf) == 0.0
+
+    @given(pmfs(min_size=4, max_size=8), pmfs(min_size=4, max_size=8))
+    def test_gibbs_inequality(self, p, q):
+        if len(p) != len(q):
+            return
+        assert kl_divergence(p, q) >= 0.0
+
+    @given(pmfs(min_size=4, max_size=8), pmfs(min_size=4, max_size=8))
+    def test_pinsker(self, p, q):
+        if len(p) != len(q):
+            return
+        tv = total_variation(p, q)
+        kl_nats = kl_divergence(p, q) * math.log(2)
+        assert tv <= math.sqrt(kl_nats / 2.0) + 1e-9
+
+
+class TestCodingProperties:
+    @given(pmfs())
+    def test_shannon_lengths_kraft_feasible(self, pmf):
+        assert kraft_lengths_realizable(shannon_code_lengths(pmf))
+
+    @given(pmfs())
+    def test_huffman_lengths_kraft_tight(self, pmf):
+        lengths = huffman_code_lengths(pmf)
+        assert kraft_sum(lengths) == 1.0  # Huffman trees are full
+
+    @given(pmfs())
+    def test_huffman_sandwich(self, pmf):
+        lengths = huffman_code_lengths(pmf)
+        expected = sum(p * length for p, length in zip(pmf, lengths))
+        h = entropy(pmf)
+        assert h - 1e-9 <= expected < h + 1.0
+
+    @given(pmfs())
+    def test_huffman_dominates_shannon(self, pmf):
+        huffman_lengths = huffman_code_lengths(pmf)
+        shannon_lengths = shannon_code_lengths(pmf)
+        huffman_expected = sum(
+            p * length for p, length in zip(pmf, huffman_lengths)
+        )
+        shannon_expected = sum(
+            p * length for p, length in zip(pmf, shannon_lengths)
+        )
+        assert huffman_expected <= shannon_expected + 1e-9
+
+    @given(pmfs(), st.lists(st.integers(0, 11), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_huffman_roundtrip(self, pmf, raw_symbols):
+        code = huffman_code(pmf)
+        symbols = [s % len(pmf) for s in raw_symbols]
+        assert code.decode(code.encode_sequence(symbols)) == symbols
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10), min_size=2, max_size=16)
+    )
+    def test_code_from_lengths_exact(self, lengths):
+        if not kraft_lengths_realizable(lengths):
+            return
+        code = code_from_lengths(lengths)
+        assert code.lengths() == lengths
+
+
+class TestCondensationProperties:
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_range_of_size_in_interval(self, k):
+        i = range_of_size(k)
+        low, high = range_interval(i)
+        assert low <= k <= high
+
+    @given(st.integers(min_value=2, max_value=2**20))
+    def test_num_ranges_covers_n(self, n):
+        count = num_ranges(n)
+        assert 2**count >= n
+        assert range_of_size(n) <= count
+
+    @given(
+        st.integers(min_value=4, max_value=11),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=2, max_value=2**11),
+                st.floats(min_value=0.01, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=80)
+    def test_condensation_preserves_mass(self, exponent, sized_weights):
+        n = 2**exponent
+        weights = {}
+        for size, weight in sized_weights:
+            if 2 <= size <= n:
+                weights[size] = weights.get(size, 0.0) + weight
+        if not weights:
+            return
+        distribution = SizeDistribution.from_weights(n, weights)
+        condensed = distribution.condense()
+        assert sum(condensed.q) == 1.0 or abs(sum(condensed.q) - 1.0) < 1e-9
+        # Range masses equal the summed size masses.
+        for i in range(1, condensed.num_ranges + 1):
+            low, high = range_interval(i, n=n)
+            direct = sum(
+                distribution.probability(k) for k in range(low, high + 1)
+            )
+            assert abs(condensed.probability(i) - direct) < 1e-9
+
+    @given(st.integers(min_value=2, max_value=2**12))
+    def test_condensed_entropy_at_most_full_entropy(self, n):
+        """Grouping never increases entropy: H(c(X)) <= H(X)."""
+        distribution = SizeDistribution.uniform(n)
+        assert (
+            distribution.condensed_entropy()
+            <= distribution.entropy() + 1e-9
+        )
+
+    @given(pmfs(min_size=4, max_size=4))
+    def test_sorted_ranges_is_permutation(self, q):
+        condensed = CondensedDistribution(n=16, q=tuple(q))
+        order = condensed.sorted_ranges()
+        assert sorted(order) == [1, 2, 3, 4]
+        probabilities = [condensed.probability(i) for i in order]
+        assert probabilities == sorted(probabilities, reverse=True)

@@ -1,0 +1,239 @@
+"""Property-based tests for protocols, advice and the lower-bound objects."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.simulator import run_players, run_uniform
+from repro.channel.channel import (
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.core.advice import (
+    MinIdPrefixAdvice,
+    RangeBlockAdvice,
+    bits_to_int,
+    id_bit_width,
+    range_blocks,
+)
+from repro.infotheory.condense import num_ranges, range_of_size
+from repro.infotheory.distributions import SizeDistribution
+from repro.lowerbounds.range_finding import SequenceRangeFinder
+from repro.lowerbounds.rf_construction import rf_construction
+from repro.lowerbounds.success_bounds import single_success_probability
+from repro.lowerbounds.target_distance_coding import (
+    SequenceTargetDistanceCode,
+    elias_gamma_decode,
+    elias_gamma_encode,
+)
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+
+
+class TestSuccessProbabilityProperties:
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_is_probability(self, k, p):
+        value = single_success_probability(k, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(min_value=2, max_value=10**5))
+    def test_lemma_2_13_interval(self, k):
+        """The probe interval (1/2k, 1/k] keeps success >= 1/8 for all k."""
+        for fraction in (0.5, 0.6, 0.75, 0.9, 1.0):
+            p = fraction / k
+            if p <= 0.5:  # Lemma 2.13's premise: p <= 1/2 needs k >= 2
+                assert single_success_probability(k, p) >= 1.0 / 8.0
+
+
+class TestEliasGammaProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=20))
+    def test_stream_roundtrip(self, values):
+        stream = "".join(elias_gamma_encode(value) for value in values)
+        decoded = []
+        offset = 0
+        while offset < len(stream):
+            value, offset = elias_gamma_decode(stream, offset)
+            decoded.append(value)
+        assert decoded == values
+
+
+class TestRFConstructionProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=40
+        ),
+    )
+    @settings(max_examples=60)
+    def test_all_outputs_are_ranges(self, exponent, probabilities):
+        n = 2**exponent
+        sequence = rf_construction(probabilities, n)
+        assert len(sequence) == 2 * len(probabilities)
+        count = num_ranges(n)
+        assert all(1 <= value <= count for value in sequence)
+
+    @given(st.integers(min_value=3, max_value=10))
+    def test_long_enough_schedule_solves_everything(self, exponent):
+        n = 2**exponent
+        count = num_ranges(n)
+        sequence = rf_construction([0.5] * (2 * count), n)
+        finder = SequenceRangeFinder(sequence, tolerance=0)
+        assert finder.solves_all(range(1, count + 1))
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1.0), min_size=8, max_size=40
+        ),
+    )
+    @settings(max_examples=40)
+    def test_target_distance_code_roundtrip(self, exponent, probabilities):
+        n = 2**exponent
+        count = num_ranges(n)
+        sequence = rf_construction(
+            list(probabilities) + [0.5] * (2 * count), n
+        )
+        finder = SequenceRangeFinder(sequence, tolerance=2)
+        code = SequenceTargetDistanceCode(finder)
+        for target in range(1, count + 1):
+            decoded, _ = code.decode(code.encode(target))
+            assert decoded == target
+
+
+class TestAdviceProperties:
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=4),
+        st.sets(st.integers(min_value=0, max_value=500), min_size=1, max_size=12),
+    )
+    @settings(max_examples=80)
+    def test_min_id_prefix_consistency(self, exponent, b, raw_ids):
+        n = 2**exponent
+        width = id_bit_width(n)
+        if b > width:
+            return
+        participants = {player_id % n for player_id in raw_ids}
+        advice = MinIdPrefixAdvice(b).checked_advise(participants, n)
+        assert len(advice) == b
+        # The minimum id always lies in the advised subtree.
+        from repro.core.advice import id_to_bits
+
+        assert id_to_bits(min(participants), width).startswith(advice)
+
+    @given(
+        st.integers(min_value=4, max_value=14),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=2, max_value=2**14),
+    )
+    @settings(max_examples=80)
+    def test_range_block_advice_covers_true_range(self, exponent, b, k):
+        n = 2**exponent
+        if k > n:
+            return
+        advice = RangeBlockAdvice(b).checked_advise(set(range(k)), n)
+        block = range_blocks(num_ranges(n), b)[bits_to_int(advice)]
+        assert range_of_size(k) in block
+
+
+class TestDeterministicProtocolProperties:
+    @given(
+        st.integers(min_value=3, max_value=7),
+        st.integers(min_value=0, max_value=3),
+        st.sets(st.integers(min_value=0, max_value=127), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scan_always_solves_within_bound(self, exponent, b, raw_ids, seed):
+        n = 2**exponent
+        participants = frozenset(player_id % n for player_id in raw_ids)
+        protocol = DeterministicScanProtocol(b)
+        rng = np.random.default_rng(seed)
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=without_collision_detection(),
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.solved
+        assert result.rounds <= protocol.worst_case_rounds(n)
+
+    @given(
+        st.integers(min_value=3, max_value=7),
+        st.integers(min_value=0, max_value=3),
+        st.sets(st.integers(min_value=0, max_value=127), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_descent_always_solves_within_bound(
+        self, exponent, b, raw_ids, seed
+    ):
+        n = 2**exponent
+        participants = frozenset(player_id % n for player_id in raw_ids)
+        protocol = DeterministicTreeDescentProtocol(b)
+        rng = np.random.default_rng(seed)
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=with_collision_detection(),
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.solved
+        assert result.rounds <= protocol.worst_case_rounds(n)
+
+
+class TestSimulatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solved_iff_final_round_has_one_transmitter(self, k, p, seed):
+        from repro.core.uniform import ProbabilitySchedule, ScheduleProtocol
+
+        rng = np.random.default_rng(seed)
+        protocol = ScheduleProtocol(ProbabilitySchedule([p]), cycle=True)
+        result = run_uniform(
+            protocol,
+            k,
+            rng,
+            channel=without_collision_detection(),
+            max_rounds=64,
+            record_trace=True,
+        )
+        if result.solved:
+            assert result.trace[-1].transmit_count == 1
+            # No earlier round had exactly one transmitter.
+            assert all(
+                record.transmit_count != 1 for record in result.trace[:-1]
+            )
+        else:
+            assert all(
+                record.transmit_count != 1 for record in result.trace
+            )
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_size_draws_condense_consistently(self, k, seed):
+        n = 2**10
+        if k > n:
+            return
+        distribution = SizeDistribution.point(n, k)
+        rng = np.random.default_rng(seed)
+        drawn = distribution.sample(rng)
+        assert drawn == k
+        assert range_of_size(drawn) == range_of_size(k)

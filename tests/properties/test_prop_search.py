@@ -1,0 +1,121 @@
+"""Property-based tests coupling the search protocols to the exact solver.
+
+The exact DP (:mod:`repro.analysis.exact_search`) and the stateful session
+(:mod:`repro.protocols.searching`) implement the same automaton twice; the
+properties here pin them together over randomized protocol shapes, plus
+structural invariants of the search itself.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exact_search import phased_search_expected_rounds
+from repro.channel.channel import with_collision_detection
+from repro.channel.simulator import run_uniform
+from repro.core.feedback import Observation
+from repro.infotheory.condense import range_of_size
+from repro.protocols.searching import PhasedSearchProtocol
+
+
+def phase_strategies():
+    """Random valid phase structures over ranges 1..10."""
+    return st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=10), min_size=0, max_size=6
+        ).map(lambda members: sorted(set(members))),
+        min_size=1,
+        max_size=3,
+    ).filter(lambda phases: any(phases))
+
+
+class TestExactSolverAgainstSimulation:
+    @given(
+        phase_strategies(),
+        st.integers(min_value=2, max_value=600),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exact_mean_within_monte_carlo_interval(self, phases, k, seed):
+        protocol = PhasedSearchProtocol(phases, repetitions=1, restart=True)
+        exact = phased_search_expected_rounds(protocol, k)
+        if not np.isfinite(exact.expected_rounds) or exact.expected_rounds > 200:
+            # Degenerate search spaces (true range unreachable) diverge;
+            # the simulation cannot confirm an infinite expectation.
+            return
+        rng = np.random.default_rng(seed)
+        channel = with_collision_detection()
+        rounds = [
+            run_uniform(
+                protocol, k, rng, channel=channel, max_rounds=100_000
+            ).rounds
+            for _ in range(400)
+        ]
+        mean = float(np.mean(rounds))
+        sem = float(np.std(rounds) / np.sqrt(len(rounds)))
+        assert abs(mean - exact.expected_rounds) <= max(5 * sem, 0.35)
+
+    @given(
+        st.integers(min_value=2, max_value=1000),
+        st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_full_board_search_is_finite(self, k, reps_half):
+        repetitions = 2 * reps_half - 1
+        protocol = PhasedSearchProtocol(
+            [list(range(1, 11))], repetitions=repetitions, restart=True
+        )
+        if k > 2**10:
+            return
+        exact = phased_search_expected_rounds(protocol, k)
+        assert np.isfinite(exact.expected_rounds)
+        assert exact.expected_rounds >= 1.0
+        assert 0.0 < exact.success_probability_per_pass <= 1.0
+
+
+class TestSearchInvariants:
+    @given(
+        st.integers(min_value=2, max_value=900),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_probes_stay_within_board(self, k, seed):
+        """Every probability the search emits belongs to some range."""
+        protocol = PhasedSearchProtocol(
+            [list(range(1, 11))], repetitions=3, restart=True
+        )
+        session = protocol.session()
+        rng = np.random.default_rng(seed)
+        valid = {2.0**-i for i in range(1, 11)}
+        for _ in range(30):
+            probability = session.next_probability()
+            assert probability in valid
+            outcome = rng.random()
+            if outcome < 0.5:
+                session.observe(Observation.SILENCE)
+            else:
+                session.observe(Observation.COLLISION)
+
+    @given(st.integers(min_value=2, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_noiseless_comparisons_would_find_the_range(self, k):
+        """If every comparison answered correctly, the binary search lands
+        within one range of the target - the intuition behind Willard's
+        analysis, checked combinatorially."""
+        board = list(range(1, 11))
+        target = min(range_of_size(k), 10)
+        lo, hi = 0, len(board) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if board[mid] < target:
+                lo = mid + 1  # "collision": probe too aggressive
+            elif board[mid] > target:
+                hi = mid - 1  # "silence": probe too timid
+            else:
+                break
+        else:
+            # Loop ended without an exact hit - the final interval
+            # boundary is adjacent to the target.
+            assert abs(board[max(0, min(lo, len(board) - 1))] - target) <= 1
+            return
+        assert board[(lo + hi) // 2] == target

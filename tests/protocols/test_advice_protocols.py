@@ -1,0 +1,264 @@
+"""Tests for the Section 3 perfect-advice protocols (Table 2 upper bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.network import (
+    ClusteredAdversary,
+    RandomAdversary,
+    SpreadAdversary,
+    SuffixAdversary,
+)
+from repro.channel.simulator import run_players, run_uniform
+from repro.core.advice import MinIdPrefixAdvice, id_bit_width
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from repro.protocols.advice_randomized import (
+    TruncatedDecayProtocol,
+    advised_block,
+    block_index_for,
+    true_range_for_count,
+    truncated_willard_for_count,
+)
+
+
+class TestDeterministicScan:
+    @pytest.mark.parametrize("b", [0, 2, 4, 8])
+    def test_always_solves_within_bound(self, b, rng, nocd_channel):
+        n = 2**8
+        protocol = DeterministicScanProtocol(b)
+        for adversary in (RandomAdversary(), SuffixAdversary(), SpreadAdversary()):
+            participants = adversary.checked_select(n, 5, rng)
+            result = run_players(
+                protocol,
+                participants,
+                n,
+                rng,
+                channel=nocd_channel,
+                advice_function=MinIdPrefixAdvice(b),
+                max_rounds=protocol.worst_case_rounds(n),
+            )
+            assert result.solved
+            assert result.rounds <= protocol.worst_case_rounds(n)
+
+    def test_worst_case_bound_formula(self):
+        assert DeterministicScanProtocol(0).worst_case_rounds(2**8) == 256
+        assert DeterministicScanProtocol(3).worst_case_rounds(2**8) == 32
+        assert DeterministicScanProtocol(8).worst_case_rounds(2**8) == 1
+
+    def test_worst_case_achieved_by_suffix_adversary(self, rng, nocd_channel):
+        """Participants at the top of the advised subtree force ~2^(w-b)."""
+        n, b = 2**8, 2
+        protocol = DeterministicScanProtocol(b)
+        participants = frozenset({n - 2, n - 1})
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.rounds >= protocol.worst_case_rounds(n) - 1
+
+    def test_full_advice_one_round(self, rng, nocd_channel):
+        n = 2**8
+        b = id_bit_width(n)
+        protocol = DeterministicScanProtocol(b)
+        participants = frozenset({57, 123, 200})
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=2,
+        )
+        assert result.solved and result.rounds == 1
+
+    def test_each_round_at_most_one_transmitter(self, rng, nocd_channel):
+        """The scan never collides: candidate slots are disjoint."""
+        n = 2**6
+        protocol = DeterministicScanProtocol(1)
+        participants = frozenset({33, 40, 50, 63})
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=MinIdPrefixAdvice(1),
+            max_rounds=protocol.worst_case_rounds(n),
+            record_trace=True,
+        )
+        assert all(record.transmit_count <= 1 for record in result.trace)
+
+    def test_non_power_of_two_n(self, rng, nocd_channel):
+        n = 100
+        protocol = DeterministicScanProtocol(2)
+        participants = frozenset({97, 99})
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=MinIdPrefixAdvice(2),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.solved
+
+
+class TestDeterministicTreeDescent:
+    @pytest.mark.parametrize("b", [0, 2, 4])
+    @pytest.mark.parametrize(
+        "adversary",
+        [RandomAdversary(), ClusteredAdversary(), SpreadAdversary()],
+        ids=lambda adversary: adversary.name,
+    )
+    def test_solves_within_bound(self, b, adversary, rng, cd_channel):
+        n = 2**8
+        protocol = DeterministicTreeDescentProtocol(b)
+        participants = adversary.checked_select(n, 7, rng)
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=cd_channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.solved
+        assert result.rounds <= protocol.worst_case_rounds(n)
+
+    def test_worst_case_bound_formula(self):
+        assert DeterministicTreeDescentProtocol(0).worst_case_rounds(2**8) == 9
+        assert DeterministicTreeDescentProtocol(8).worst_case_rounds(2**8) == 1
+
+    def test_adjacent_participants_force_full_descent(self, rng, cd_channel):
+        n, b = 2**8, 0
+        protocol = DeterministicTreeDescentProtocol(b)
+        participants = frozenset({n - 2, n - 1})
+        result = run_players(
+            protocol,
+            participants,
+            n,
+            rng,
+            channel=cd_channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        # Ids differing only in the last bit are separated at the last level.
+        assert result.rounds >= id_bit_width(n) - b - 1
+
+    def test_single_participant(self, rng, cd_channel):
+        n = 2**6
+        protocol = DeterministicTreeDescentProtocol(0)
+        result = run_players(
+            protocol,
+            frozenset({42}),
+            n,
+            rng,
+            channel=cd_channel,
+            advice_function=MinIdPrefixAdvice(0),
+            max_rounds=protocol.worst_case_rounds(n),
+        )
+        assert result.solved
+
+    def test_descent_tracks_min_id_subtree(self, rng, cd_channel):
+        """With advice pointing at the min id, it is always reachable."""
+        n = 2**6
+        for b in (1, 3, 5):
+            protocol = DeterministicTreeDescentProtocol(b)
+            participants = frozenset({7, 9, 50})
+            result = run_players(
+                protocol,
+                participants,
+                n,
+                rng,
+                channel=cd_channel,
+                advice_function=MinIdPrefixAdvice(b),
+                max_rounds=protocol.worst_case_rounds(n),
+            )
+            assert result.solved
+
+
+class TestTruncatedDecay:
+    def test_block_contains_true_range(self):
+        n = 2**12
+        for b in (0, 1, 2, 3):
+            for k in (2, 10, 500, 4000):
+                protocol = TruncatedDecayProtocol.for_count(n, b, k)
+                assert true_range_for_count(k) in protocol.block
+
+    def test_pass_length_shrinks_with_b(self):
+        n = 2**12
+        lengths = [
+            len(TruncatedDecayProtocol.for_count(n, b, 100).block)
+            for b in range(0, 4)
+        ]
+        assert lengths == sorted(lengths, reverse=True)
+        assert lengths[0] == 12
+
+    @pytest.mark.parametrize("b", [0, 2, 3])
+    def test_solves(self, b, rng, nocd_channel):
+        n, k = 2**12, 700
+        protocol = TruncatedDecayProtocol.for_count(n, b, k)
+        assert run_uniform(protocol, k, rng, channel=nocd_channel).solved
+
+    def test_expected_rounds_improve_with_b(self, rng, nocd_channel):
+        n, k = 2**12, 700
+        means = []
+        for b in (0, 2):
+            protocol = TruncatedDecayProtocol.for_count(n, b, k)
+            rounds = [
+                run_uniform(protocol, k, rng, channel=nocd_channel).rounds
+                for _ in range(800)
+            ]
+            means.append(np.mean(rounds))
+        assert means[1] < means[0]
+
+    def test_empty_block_rejected(self):
+        # 2^4 = 16 blocks over 12 ranges: the last blocks are empty.
+        with pytest.raises(ValueError, match="empty"):
+            advised_block(2**12, 4, 15)
+
+    def test_block_index_for_matches_advice_function(self):
+        n = 2**12
+        for k in (2, 100, 3000):
+            for b in (1, 2):
+                index = block_index_for(n, b, k)
+                assert true_range_for_count(k) in advised_block(n, b, index)
+
+
+class TestTruncatedWillard:
+    @pytest.mark.parametrize("b", [0, 1, 3])
+    def test_solves(self, b, rng, cd_channel):
+        n, k = 2**12, 700
+        protocol = truncated_willard_for_count(n, b, k)
+        assert run_uniform(protocol, k, rng, channel=cd_channel).solved
+
+    def test_search_space_shrinks(self):
+        n = 2**12
+        sizes = [
+            len(truncated_willard_for_count(n, b, 700).phases[0])
+            for b in (0, 1, 2, 3)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_advice_singleton_block(self, rng, cd_channel):
+        n, k = 2**16, 700
+        b = 4  # 16 blocks over 16 ranges: singleton
+        protocol = truncated_willard_for_count(n, b, k)
+        assert len(protocol.phases[0]) == 1
+        rounds = [
+            run_uniform(protocol, k, rng, channel=cd_channel).rounds
+            for _ in range(400)
+        ]
+        # Single-range search: expected O(1) rounds (repetition-bounded).
+        assert np.mean(rounds) <= 7

@@ -1,0 +1,169 @@
+"""Tests for the baseline protocols: decay, Willard, fixed-p, BEB."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import run_players, run_uniform
+from repro.core.protocol import ProtocolError
+from repro.infotheory.condense import num_ranges
+from repro.protocols.backoff import BinaryExponentialBackoff
+from repro.protocols.decay import DecayProtocol, decay_schedule
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+class TestDecay:
+    def test_schedule_is_geometric(self):
+        schedule = decay_schedule(2**8)
+        assert list(schedule) == [2.0**-i for i in range(1, 9)]
+
+    def test_handle_k1_prepends_one(self):
+        schedule = decay_schedule(2**8, handle_k1=True)
+        assert schedule[0] == 1.0
+        assert len(schedule) == 9
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            DecayProtocol(1)
+
+    @pytest.mark.parametrize("k", [2, 10, 100, 900])
+    def test_solves_all_sizes(self, k, rng, nocd_channel):
+        protocol = DecayProtocol(2**10)
+        result = run_uniform(protocol, k, rng, channel=nocd_channel)
+        assert result.solved
+
+    def test_expected_rounds_scale_with_log_n(self, rng, nocd_channel):
+        """Decay's expected time grows with log n for worst-case k."""
+        means = []
+        for exponent in (6, 10, 14):
+            n = 2**exponent
+            k = n // 2  # worst case: last probability of the pass
+            rounds = [
+                run_uniform(
+                    DecayProtocol(n), k, rng, channel=nocd_channel
+                ).rounds
+                for _ in range(400)
+            ]
+            means.append(np.mean(rounds))
+        assert means[0] < means[1] < means[2]
+
+    def test_k1_solved_with_handle_flag(self, rng, nocd_channel):
+        protocol = DecayProtocol(2**8, handle_k1=True)
+        result = run_uniform(protocol, 1, rng, channel=nocd_channel)
+        assert result.solved and result.rounds == 1
+
+
+class TestFixedProbability:
+    def test_constant_schedule(self):
+        protocol = FixedProbabilityProtocol(8)
+        session = protocol.session()
+        for _ in range(5):
+            assert session.next_probability() == pytest.approx(1 / 8)
+
+    def test_o1_rounds_with_good_estimate(self, rng, nocd_channel):
+        k = 64
+        rounds = [
+            run_uniform(
+                FixedProbabilityProtocol(k), k, rng, channel=nocd_channel
+            ).rounds
+            for _ in range(2000)
+        ]
+        # Success probability ~ 1/e per round => mean ~ e.
+        assert np.mean(rounds) == pytest.approx(math.e, rel=0.15)
+
+    def test_rejects_bad_estimate(self):
+        with pytest.raises(ValueError):
+            FixedProbabilityProtocol(0.5)
+
+
+class TestWillard:
+    def test_requires_cd(self):
+        assert WillardProtocol(2**8).requires_collision_detection
+
+    @pytest.mark.parametrize("k", [2, 5, 37, 200])
+    def test_solves_all_sizes(self, k, rng, cd_channel):
+        protocol = WillardProtocol(2**8)
+        result = run_uniform(protocol, k, rng, channel=cd_channel)
+        assert result.solved
+
+    def test_loglog_scaling(self, rng, cd_channel):
+        """Willard's expected rounds grow slowly (log log n)."""
+        means = []
+        for exponent in (4, 16):
+            n = 2**exponent
+            k = max(2, n // 2)
+            rounds = [
+                run_uniform(
+                    WillardProtocol(n), k, rng, channel=cd_channel
+                ).rounds
+                for _ in range(400)
+            ]
+            means.append(np.mean(rounds))
+        # 4x exponent growth => roughly +2 rounds of binary search (x3 reps),
+        # far below linear scaling.
+        assert means[1] < means[0] + 9
+
+    def test_restricted_ranges(self, rng, cd_channel):
+        protocol = WillardProtocol(2**10, ranges=[5, 6, 7])
+        result = run_uniform(protocol, 64, rng, channel=cd_channel)
+        assert result.solved  # 64 is in range 6
+
+    def test_even_repetitions_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            WillardProtocol(2**8, repetitions=2)
+
+    def test_one_shot_exhausts_cleanly(self, rng, cd_channel):
+        protocol = WillardProtocol(2**8, ranges=[1], restart=False)
+        # k=200 is far above range 1; the single-range search fails fast.
+        result = run_uniform(protocol, 200, rng, channel=cd_channel)
+        assert not result.solved
+
+    def test_handle_k1(self, rng, cd_channel):
+        protocol = WillardProtocol(2**8, handle_k1=True)
+        result = run_uniform(protocol, 1, rng, channel=cd_channel)
+        assert result.solved and result.rounds == 1
+
+
+class TestBinaryExponentialBackoff:
+    def test_requires_cd(self, rng, nocd_channel):
+        protocol = BinaryExponentialBackoff()
+        with pytest.raises(ProtocolError):
+            run_players(
+                protocol, frozenset({1, 2}), 8, rng, channel=nocd_channel
+            )
+
+    @pytest.mark.parametrize("k", [1, 2, 20, 100])
+    def test_solves(self, k, rng, cd_channel):
+        protocol = BinaryExponentialBackoff()
+        result = run_players(
+            protocol,
+            frozenset(range(k)),
+            256,
+            rng,
+            channel=cd_channel,
+            max_rounds=20_000,
+        )
+        assert result.solved
+
+    def test_needs_rng(self):
+        protocol = BinaryExponentialBackoff()
+        with pytest.raises(ProtocolError, match="rng"):
+            protocol.session(0, 8, "", rng=None)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BinaryExponentialBackoff(initial_window=0.5)
+        with pytest.raises(ValueError):
+            BinaryExponentialBackoff(initial_window=8, max_window=4)
+
+    def test_window_dynamics(self, rng):
+        from repro.core.feedback import Observation
+
+        session = BinaryExponentialBackoff().session(0, 8, "", rng=rng)
+        start = session.window
+        session.observe(Observation.COLLISION, transmitted=True)
+        assert session.window == start * 2
+        session.observe(Observation.SILENCE, transmitted=False)
+        assert session.window == start

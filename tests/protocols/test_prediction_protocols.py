@@ -1,0 +1,176 @@
+"""Tests for the paper's prediction algorithms (Sections 2.5 and 2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import estimate_success_within
+from repro.channel.simulator import run_uniform
+from repro.core.predictions import Prediction
+from repro.infotheory.condense import range_of_size, range_probability
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.perturb import floor_support, shift_ranges
+from repro.protocols.code_search import CodeSearchProtocol
+from repro.protocols.sorted_probing import (
+    SortedProbingProtocol,
+    sorted_probing_schedule,
+)
+
+
+class TestSortedProbingSchedule:
+    def test_probe_order_probabilities(self):
+        d = SizeDistribution.from_weights(2**6, {40: 0.7, 3: 0.3})
+        schedule = sorted_probing_schedule(Prediction(d))
+        # Range of 40 is 6 (likelier), of 3 is 2.
+        assert schedule[0] == range_probability(6)
+        assert schedule[1] == range_probability(2)
+
+    def test_one_pass_length_is_num_ranges(self):
+        d = SizeDistribution.uniform(2**6)
+        schedule = sorted_probing_schedule(Prediction(d))
+        assert len(schedule) == 6
+
+    def test_support_only_drops_zero_ranges(self):
+        d = SizeDistribution.range_uniform_subset(2**6, [2, 5])
+        schedule = sorted_probing_schedule(Prediction(d), support_only=True)
+        assert len(schedule) == 2
+
+    def test_handle_k1(self):
+        d = SizeDistribution.uniform(2**6)
+        schedule = sorted_probing_schedule(Prediction(d), handle_k1=True)
+        assert schedule[0] == 1.0
+
+
+class TestSortedProbingProtocol:
+    def test_one_shot_gives_up_after_pass(self, rng, nocd_channel):
+        d = SizeDistribution.point(2**6, 3)
+        protocol = SortedProbingProtocol(Prediction(d), one_shot=True)
+        result = run_uniform(protocol, 64, rng, channel=nocd_channel, max_rounds=50)
+        assert result.rounds <= 6
+
+    def test_theorem_2_12_success_floor_perfect_prediction(
+        self, rng, nocd_channel
+    ):
+        """Cor 2.15: success w.p. >= 1/16 within 2^(2H) rounds when Y = X."""
+        n = 2**10
+        for ranges in ([4], [2, 6], [1, 4, 7, 9]):
+            truth = SizeDistribution.range_uniform_subset(n, ranges)
+            entropy_bits = truth.condensed_entropy()
+            budget = max(1, int(np.ceil(2.0 ** (2 * entropy_bits))))
+            protocol = SortedProbingProtocol(Prediction(truth), one_shot=True)
+            estimate = estimate_success_within(
+                protocol,
+                truth,
+                rng,
+                channel=nocd_channel,
+                trials=1500,
+                budget_rounds=budget,
+            )
+            assert estimate.lower >= 1.0 / 16.0
+
+    def test_lemma_2_13_success_floor_at_correct_probe(self, rng, nocd_channel):
+        """Success probability >= 1/8 in the round probing the true range."""
+        n = 2**10
+        for k in (3, 10, 100, 700):
+            truth = SizeDistribution.point(n, k)
+            protocol = SortedProbingProtocol(Prediction(truth), one_shot=True)
+            # First probe targets the true range; measure round-1 success.
+            successes = sum(
+                run_uniform(
+                    protocol, k, rng, channel=nocd_channel, max_rounds=1
+                ).solved
+                for _ in range(2000)
+            )
+            assert successes / 2000 >= 1.0 / 8.0
+
+    def test_cycling_variant_always_solves(self, rng, nocd_channel):
+        d = SizeDistribution.range_uniform_subset(2**8, [1, 5])
+        protocol = SortedProbingProtocol(Prediction(d), one_shot=False)
+        for _ in range(20):
+            k = d.sample(rng)
+            assert run_uniform(protocol, k, rng, channel=nocd_channel).solved
+
+    def test_shifted_prediction_still_solves_with_floor(self, rng, nocd_channel):
+        truth = SizeDistribution.point(2**8, 17)
+        prediction = floor_support(shift_ranges(truth, 2), 0.05)
+        protocol = SortedProbingProtocol(Prediction(prediction), one_shot=False)
+        result = run_uniform(protocol, 17, rng, channel=nocd_channel)
+        assert result.solved
+
+    def test_accepts_raw_distribution(self):
+        d = SizeDistribution.uniform(2**6)
+        protocol = SortedProbingProtocol(d)
+        assert protocol.prediction.n == 2**6
+
+    def test_probe_order_exposed(self):
+        d = SizeDistribution.point(2**6, 33)  # range 6
+        protocol = SortedProbingProtocol(Prediction(d))
+        assert protocol.probe_order()[0] == 6
+
+
+class TestCodeSearchProtocol:
+    def test_requires_cd(self):
+        d = SizeDistribution.uniform(2**8)
+        assert CodeSearchProtocol(Prediction(d)).requires_collision_detection
+
+    def test_phases_ordered_by_code_length(self):
+        d = SizeDistribution.from_weights(
+            2**8, {4: 0.6, 30: 0.25, 200: 0.15}
+        )
+        protocol = CodeSearchProtocol(Prediction(d))
+        classes = protocol.length_classes()
+        lengths = sorted(classes)
+        # The likeliest range must be in the shortest class.
+        assert range_of_size(4) in classes[lengths[0]]
+
+    @pytest.mark.parametrize("k", [2, 17, 100, 250])
+    def test_cycling_solves_all_sizes(self, k, rng, cd_channel):
+        d = SizeDistribution.uniform(2**8)
+        protocol = CodeSearchProtocol(Prediction(d), one_shot=False)
+        assert run_uniform(protocol, k, rng, channel=cd_channel).solved
+
+    def test_one_shot_constant_success_perfect_prediction(self, rng, cd_channel):
+        n = 2**10
+        truth = SizeDistribution.range_uniform_subset(n, [2, 5, 8])
+        protocol = CodeSearchProtocol(Prediction(truth), one_shot=True)
+        estimate = estimate_success_within(
+            protocol,
+            truth,
+            rng,
+            channel=cd_channel,
+            trials=1000,
+            budget_rounds=200,
+        )
+        assert estimate.lower >= 0.25
+
+    def test_point_prediction_probes_target_class_first(self, rng, cd_channel):
+        truth = SizeDistribution.point(2**10, 100)
+        protocol = CodeSearchProtocol(Prediction(truth), one_shot=True)
+        rounds = [
+            run_uniform(protocol, 100, rng, channel=cd_channel, max_rounds=100).rounds
+            for _ in range(300)
+        ]
+        # The true range is in phase 1 (singleton class): most successes
+        # land in the first few probe rounds.
+        assert np.median(rounds) <= 6
+
+    def test_support_only_restricts_phases(self):
+        d = SizeDistribution.range_uniform_subset(2**8, [3, 6])
+        protocol = CodeSearchProtocol(Prediction(d), support_only=True)
+        searched = {i for phase in protocol.phases for i in phase}
+        assert searched == {3, 6}
+
+    def test_zero_mass_true_range_still_reachable_one_shot(
+        self, rng, cd_channel
+    ):
+        """A ruled-out true range is probed in a late phase (long codeword)."""
+        prediction = SizeDistribution.point(2**8, 100)  # range 7
+        protocol = CodeSearchProtocol(Prediction(prediction), one_shot=True)
+        searched = {i for phase in protocol.phases for i in phase}
+        assert searched == set(range(1, 9))
+
+    def test_mispredicted_cycling_still_solves(self, rng, cd_channel):
+        prediction = SizeDistribution.point(2**8, 100)
+        protocol = CodeSearchProtocol(Prediction(prediction), one_shot=False)
+        # True size is in range 2; the prediction said range 7.
+        result = run_uniform(protocol, 3, rng, channel=cd_channel)
+        assert result.solved

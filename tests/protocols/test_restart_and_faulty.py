@@ -1,0 +1,246 @@
+"""Tests for restart/fallback combinators and faulty advice models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import run_players, run_uniform
+from repro.core.advice import MinIdPrefixAdvice
+from repro.core.faulty_advice import AdversarialAdvice, BitFlipAdvice
+from repro.core.uniform import ProbabilitySchedule, ScheduleProtocol
+from repro.protocols.adapters import UniformAsPlayerProtocol
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.restart import FallbackPlayerProtocol, RestartProtocol
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+from repro.infotheory.distributions import SizeDistribution
+
+
+class TestRestartProtocol:
+    def test_restarts_one_shot_schedule(self, rng, nocd_channel):
+        inner = ScheduleProtocol(
+            ProbabilitySchedule([1.0 / 64] * 4), cycle=False
+        )
+        wrapped = RestartProtocol(inner)
+        result = run_uniform(wrapped, 64, rng, channel=nocd_channel)
+        assert result.solved  # the bare one-shot would often fail in 4 rounds
+
+    def test_equivalent_to_cycling(self, rng, nocd_channel):
+        """Restarting a one-shot pass equals the cycling variant."""
+        d = SizeDistribution.range_uniform_subset(2**8, [3, 6])
+        one_shot = SortedProbingProtocol(d, one_shot=True)
+        wrapped = RestartProtocol(one_shot)
+        rounds_wrapped = [
+            run_uniform(wrapped, 40, rng, channel=nocd_channel).rounds
+            for _ in range(600)
+        ]
+        cycling = SortedProbingProtocol(d, one_shot=False)
+        rounds_cycling = [
+            run_uniform(cycling, 40, rng, channel=nocd_channel).rounds
+            for _ in range(600)
+        ]
+        assert np.mean(rounds_wrapped) == pytest.approx(
+            np.mean(rounds_cycling), rel=0.25
+        )
+
+    def test_inherits_cd_requirement(self):
+        wrapped = RestartProtocol(WillardProtocol(2**8, restart=False))
+        assert wrapped.requires_collision_detection
+
+    def test_factory_form(self, rng, nocd_channel):
+        wrapped = RestartProtocol(
+            lambda: ScheduleProtocol(ProbabilitySchedule([0.1]), cycle=False)
+        )
+        result = run_uniform(wrapped, 10, rng, channel=nocd_channel)
+        assert result.solved
+
+    def test_attempt_counter(self, rng, nocd_channel):
+        inner = ScheduleProtocol(ProbabilitySchedule([1e-9]), cycle=False)
+        session = RestartProtocol(inner).session()
+        for _ in range(5):
+            session.next_probability()
+        assert session.attempts == 5
+
+
+class TestFallbackPlayerProtocol:
+    def test_correct_advice_never_falls_back(self, rng, nocd_channel):
+        n, b = 2**8, 2
+        primary = DeterministicScanProtocol(b)
+        fallback = FallbackPlayerProtocol(
+            primary,
+            UniformAsPlayerProtocol(DecayProtocol(n)),
+            primary.worst_case_rounds(n),
+        )
+        result = run_players(
+            fallback,
+            frozenset({200, 220}),
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=primary.worst_case_rounds(n),
+        )
+        assert result.solved  # within the primary's own budget
+
+    def test_faulty_advice_recovered_by_fallback(self, rng, nocd_channel):
+        n, b = 2**8, 3
+        primary = DeterministicScanProtocol(b)
+        budget = primary.worst_case_rounds(n)
+        fallback = FallbackPlayerProtocol(
+            primary, UniformAsPlayerProtocol(DecayProtocol(n)), budget
+        )
+        # Advice always complemented: the scan looks in the wrong subtree.
+        advice = AdversarialAdvice(MinIdPrefixAdvice(b), 1.0, rng)
+        bare_result = run_players(
+            primary,
+            frozenset({200, 220}),
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=advice,
+            max_rounds=budget,
+        )
+        assert not bare_result.solved
+        repaired_result = run_players(
+            fallback,
+            frozenset({200, 220}),
+            n,
+            rng,
+            channel=nocd_channel,
+            advice_function=advice,
+            max_rounds=100 * budget,
+        )
+        assert repaired_result.solved
+
+    def test_cd_descent_fallback(self, rng, cd_channel):
+        n, b = 2**8, 3
+        primary = DeterministicTreeDescentProtocol(b)
+        budget = primary.worst_case_rounds(n)
+        fallback = FallbackPlayerProtocol(
+            primary, UniformAsPlayerProtocol(WillardProtocol(n)), budget
+        )
+        advice = AdversarialAdvice(MinIdPrefixAdvice(b), 1.0, rng)
+        result = run_players(
+            fallback,
+            frozenset({200, 201}),
+            n,
+            rng,
+            channel=cd_channel,
+            advice_function=advice,
+            max_rounds=100 * budget,
+        )
+        assert result.solved
+
+    def test_rejects_advice_needing_fallback(self):
+        with pytest.raises(ValueError, match="advice"):
+            FallbackPlayerProtocol(
+                DeterministicScanProtocol(2),
+                DeterministicScanProtocol(2),
+                4,
+            )
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            FallbackPlayerProtocol(
+                DeterministicScanProtocol(2),
+                UniformAsPlayerProtocol(DecayProtocol(2**8)),
+                0,
+            )
+
+
+class TestFaultyAdviceModels:
+    def test_zero_flip_is_clean(self, rng):
+        base = MinIdPrefixAdvice(4)
+        faulty = BitFlipAdvice(base, 0.0, rng)
+        participants = {9, 12}
+        assert faulty.checked_advise(participants, 16) == base.checked_advise(
+            participants, 16
+        )
+
+    def test_full_flip_is_complement(self, rng):
+        base = MinIdPrefixAdvice(4)
+        faulty = BitFlipAdvice(base, 1.0, rng)
+        clean = base.checked_advise({9}, 16)
+        corrupted = faulty.checked_advise({9}, 16)
+        assert corrupted == "".join(
+            "1" if bit == "0" else "0" for bit in clean
+        )
+
+    def test_flip_preserves_length(self, rng):
+        faulty = BitFlipAdvice(MinIdPrefixAdvice(3), 0.5, rng)
+        assert len(faulty.checked_advise({5, 9}, 16)) == 3
+
+    def test_flip_rate_statistics(self, rng):
+        base = MinIdPrefixAdvice(4)
+        faulty = BitFlipAdvice(base, 0.25, rng)
+        clean = base.checked_advise({0}, 16)
+        flips = 0
+        trials = 2000
+        for _ in range(trials):
+            corrupted = faulty.advise({0}, 16)
+            flips += sum(a != b for a, b in zip(clean, corrupted))
+        rate = flips / (trials * 4)
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+    def test_adversarial_probability(self, rng):
+        base = MinIdPrefixAdvice(4)
+        adversarial = AdversarialAdvice(base, 0.5, rng)
+        clean = base.checked_advise({3}, 16)
+        outcomes = {adversarial.advise({3}, 16) for _ in range(200)}
+        complement = "".join("1" if bit == "0" else "0" for bit in clean)
+        assert outcomes == {clean, complement}
+
+    def test_invalid_probabilities_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BitFlipAdvice(MinIdPrefixAdvice(2), 1.5, rng)
+        with pytest.raises(ValueError):
+            AdversarialAdvice(MinIdPrefixAdvice(2), -0.1, rng)
+
+
+class TestUniformAsPlayerProtocol:
+    def test_matches_uniform_semantics(self, rng, nocd_channel):
+        n, k = 2**8, 50
+        protocol = UniformAsPlayerProtocol(DecayProtocol(n))
+        rounds = [
+            run_players(
+                protocol,
+                frozenset(range(k)),
+                n,
+                rng,
+                channel=nocd_channel,
+                max_rounds=1000,
+            ).rounds
+            for _ in range(300)
+        ]
+        uniform_rounds = [
+            run_uniform(
+                DecayProtocol(n), k, rng, channel=nocd_channel, max_rounds=1000
+            ).rounds
+            for _ in range(300)
+        ]
+        assert np.mean(rounds) == pytest.approx(
+            np.mean(uniform_rounds), rel=0.25
+        )
+
+    def test_needs_rng(self):
+        protocol = UniformAsPlayerProtocol(DecayProtocol(2**8))
+        from repro.core.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError, match="rng"):
+            protocol.session(0, 2**8, "", rng=None)
+
+    def test_cd_sessions_stay_synchronised(self, rng, cd_channel):
+        n = 2**8
+        protocol = UniformAsPlayerProtocol(WillardProtocol(n))
+        result = run_players(
+            protocol,
+            frozenset(range(30)),
+            n,
+            rng,
+            channel=cd_channel,
+            max_rounds=2000,
+        )
+        assert result.solved

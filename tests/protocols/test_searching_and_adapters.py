@@ -1,0 +1,149 @@
+"""Tests for the phased-search engine and protocol adapters."""
+
+import pytest
+
+from repro.channel.simulator import run_uniform
+from repro.core.feedback import Observation
+from repro.core.protocol import ProtocolError, ScheduleExhausted
+from repro.infotheory.condense import range_probability
+from repro.protocols.adapters import as_history_policy
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.searching import PhasedSearchProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+class TestPhasedSearchValidation:
+    def test_rejects_unsorted_phase(self):
+        with pytest.raises(ValueError, match="ascending"):
+            PhasedSearchProtocol([[3, 1]])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PhasedSearchProtocol([[1, 1]])
+
+    def test_rejects_all_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PhasedSearchProtocol([[], []])
+
+    def test_rejects_non_positive_ranges(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            PhasedSearchProtocol([[0, 1]])
+
+    def test_rejects_even_repetitions(self):
+        with pytest.raises(ValueError, match="odd"):
+            PhasedSearchProtocol([[1, 2]], repetitions=4)
+
+    def test_empty_interior_phases_skipped(self, rng, cd_channel):
+        protocol = PhasedSearchProtocol([[], [3, 4], []], repetitions=1)
+        result = run_uniform(protocol, 10, rng, channel=cd_channel)
+        assert result.solved  # range 4 covers k=10
+
+
+class TestPhasedSearchMechanics:
+    def test_binary_search_direction(self):
+        """Collision => probe larger ranges; silence => smaller."""
+        protocol = PhasedSearchProtocol([[1, 2, 3, 4, 5]], repetitions=1)
+        session = protocol.session()
+        first = session.next_probability()
+        assert first == range_probability(3)  # median
+        session.observe(Observation.COLLISION)
+        assert session.next_probability() == range_probability(4)
+        session.observe(Observation.SILENCE)
+        # Interval [4,5] -> after silence at 4... hi moves below lo ->
+        # wait: median of [4,5] is 4; silence => hi = 3 < lo = 4 -> next
+        # phase (restart).
+        assert session.next_probability() == range_probability(3)
+
+    def test_majority_vote_waits_for_repetitions(self):
+        protocol = PhasedSearchProtocol([[1, 2, 3]], repetitions=3)
+        session = protocol.session()
+        first = session.next_probability()
+        session.observe(Observation.COLLISION)
+        # Same probe until 3 votes are cast.
+        assert session.next_probability() == first
+        session.observe(Observation.SILENCE)
+        assert session.next_probability() == first
+        session.observe(Observation.COLLISION)
+        # Majority collision: move right.
+        assert session.next_probability() == range_probability(3)
+
+    def test_one_shot_exhaustion(self):
+        protocol = PhasedSearchProtocol([[2]], repetitions=1, restart=False)
+        session = protocol.session()
+        session.next_probability()
+        session.observe(Observation.SILENCE)
+        with pytest.raises(ScheduleExhausted):
+            session.next_probability()
+
+    def test_restart_loops_to_first_phase(self):
+        protocol = PhasedSearchProtocol([[2], [5]], repetitions=1, restart=True)
+        session = protocol.session()
+        probes = []
+        for _ in range(4):
+            probes.append(session.next_probability())
+            session.observe(Observation.SILENCE)
+        assert probes == [
+            range_probability(2),
+            range_probability(5),
+            range_probability(2),
+            range_probability(5),
+        ]
+
+    def test_quiet_observation_rejected(self):
+        protocol = PhasedSearchProtocol([[1, 2]])
+        session = protocol.session()
+        session.next_probability()
+        with pytest.raises(ProtocolError, match="collision detection"):
+            session.observe(Observation.QUIET)
+
+    def test_handle_k1_round_is_informationless(self):
+        protocol = PhasedSearchProtocol([[2, 3]], repetitions=1, handle_k1=True)
+        session = protocol.session()
+        assert session.next_probability() == 1.0
+        session.observe(Observation.COLLISION)  # k >= 2 always collides
+        # Search state untouched: first real probe is the median.
+        assert session.next_probability() == range_probability(2)
+
+    def test_worst_case_rounds_per_pass(self):
+        protocol = PhasedSearchProtocol(
+            [[1, 2, 3], [7]], repetitions=3, handle_k1=True
+        )
+        # ceil(log2(4)) * 3 + ceil(log2(2)) * 3 + 1 = 6 + 3 + 1.
+        assert protocol.worst_case_rounds_per_pass() == 10
+
+
+class TestSessionReplayPolicy:
+    def test_schedule_policy_depends_only_on_round(self):
+        """Oblivious schedules see the round number (history length), not
+        the history content."""
+        policy = as_history_policy(DecayProtocol(2**6))
+        assert policy.probability("0") == policy.probability("1")
+        assert policy.probability("00") == policy.probability("11")
+        assert policy.probability("") == 0.5
+        assert policy.probability("0") == 0.25
+
+    def test_willard_policy_matches_session(self, cd_channel):
+        protocol = WillardProtocol(2**8, repetitions=1)
+        policy = as_history_policy(protocol)
+        session = protocol.session()
+        history = ""
+        for bit in "101":
+            expected = session.next_probability()
+            assert policy.probability(history) == expected
+            observation = (
+                Observation.COLLISION if bit == "1" else Observation.SILENCE
+            )
+            session.observe(observation)
+            history += bit
+
+    def test_defined_on_exhaustable_protocol(self):
+        protocol = WillardProtocol(2**4, ranges=[2], restart=False, repetitions=1)
+        policy = as_history_policy(protocol)
+        assert policy.defined_on("")
+        # After one failed probe the one-shot search is exhausted.
+        assert not policy.defined_on("0")
+
+    def test_malformed_history_rejected(self):
+        policy = as_history_policy(DecayProtocol(2**6))
+        with pytest.raises(ProtocolError, match="malformed"):
+            policy.probability("0a")

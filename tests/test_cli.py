@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "SRC-CODE", "--quick", "--trials", "50", "--n", "1024"]
+        )
+        assert args.experiments == ["SRC-CODE"]
+        assert args.quick and args.trials == 50 and args.n == 1024
+
+    def test_report_command(self):
+        args = build_parser().parse_args(["report", "--seed", "9"])
+        assert args.command == "report" and args.seed == 9
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "T1-NCD-UP" in output and "SSF" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "BOGUS"]) == 2
+        assert "known ids" in capsys.readouterr().err
+
+    def test_run_quick_experiment(self, capsys):
+        code = main(
+            ["run", "SRC-CODE", "--quick", "--n", "1024", "--trials", "100"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "SRC-CODE" in output
+        assert "[PASS]" in output
+
+    def test_run_with_csv(self, capsys):
+        code = main(
+            [
+                "run",
+                "LEMMA-PROBS",
+                "--quick",
+                "--n",
+                "1024",
+                "--trials",
+                "100",
+                "--csv",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "," in output  # CSV block emitted

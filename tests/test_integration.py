@@ -1,0 +1,189 @@
+"""End-to-end integration tests across the library's layers.
+
+Each test tells one complete story from the paper: build a workload,
+derive a prediction, run protocols on the simulated channel, and compare
+against the information-theoretic budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CodeSearchProtocol,
+    DecayProtocol,
+    ExperimentConfig,
+    MinIdPrefixAdvice,
+    Prediction,
+    SizeDistribution,
+    SortedProbingProtocol,
+    WillardProtocol,
+    estimate_uniform_rounds,
+    mix_with_uniform,
+    run_players,
+    run_uniform,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.protocols import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+    TruncatedDecayProtocol,
+    truncated_willard_for_count,
+)
+
+
+class TestPredictionPipeline:
+    """Section 2's story: learn a distribution, exploit it, pay for error."""
+
+    def test_good_prediction_beats_decay(self):
+        rng = np.random.default_rng(21)
+        n = 2**12
+        channel = without_collision_detection()
+        truth = SizeDistribution.bimodal(n, low_size=8, high_size=1500)
+        prediction = Prediction(truth)
+
+        informed = estimate_uniform_rounds(
+            SortedProbingProtocol(prediction, one_shot=False, support_only=True),
+            truth, rng, channel=channel, trials=1500, max_rounds=4000,
+        )
+        baseline = estimate_uniform_rounds(
+            DecayProtocol(n), truth, rng, channel=channel,
+            trials=1500, max_rounds=4000,
+        )
+        assert informed.rounds.mean < baseline.rounds.mean
+
+    def test_budget_report_predicts_measured_success(self):
+        rng = np.random.default_rng(22)
+        n = 2**12
+        channel = without_collision_detection()
+        truth = SizeDistribution.range_uniform_subset(n, [2, 5, 8, 11])
+        predicted = mix_with_uniform(truth, 0.4)
+        prediction = Prediction(predicted)
+        budget = prediction.budget_against(truth)
+
+        protocol = SortedProbingProtocol(prediction, one_shot=True)
+        successes = sum(
+            run_uniform(
+                protocol,
+                truth.sample(rng),
+                rng,
+                channel=channel,
+                max_rounds=max(1, int(np.ceil(budget.nocd_budget_rounds))),
+            ).solved
+            for _ in range(1200)
+        )
+        assert successes / 1200 >= 1.0 / 16.0
+
+    def test_cd_pipeline_with_mispredicted_distribution(self):
+        rng = np.random.default_rng(23)
+        n = 2**12
+        channel = with_collision_detection()
+        truth = SizeDistribution.range_uniform_subset(n, [3, 9])
+        predicted = mix_with_uniform(truth, 0.3)
+        protocol = CodeSearchProtocol(Prediction(predicted), one_shot=False)
+        for _ in range(25):
+            k = truth.sample(rng)
+            assert run_uniform(protocol, k, rng, channel=channel).solved
+
+
+class TestAdvicePipeline:
+    """Section 3's story: b bits of perfect advice buy bounded speed-up."""
+
+    def test_deterministic_advice_speedup_chain(self):
+        rng = np.random.default_rng(31)
+        n = 2**10
+        channel = without_collision_detection()
+        participants = frozenset({n - 3, n - 2, n - 1})
+        rounds_by_budget = []
+        for b in (0, 2, 4, 6):
+            protocol = DeterministicScanProtocol(b)
+            result = run_players(
+                protocol, participants, n, rng,
+                channel=channel,
+                advice_function=MinIdPrefixAdvice(b),
+                max_rounds=protocol.worst_case_rounds(n),
+            )
+            assert result.solved
+            rounds_by_budget.append(result.rounds)
+        assert rounds_by_budget == sorted(rounds_by_budget, reverse=True)
+
+    def test_cd_advice_speedup_chain(self):
+        rng = np.random.default_rng(32)
+        n = 2**10
+        channel = with_collision_detection()
+        participants = frozenset({n - 2, n - 1})
+        rounds_by_budget = []
+        for b in (0, 3, 6, 9):
+            protocol = DeterministicTreeDescentProtocol(b)
+            result = run_players(
+                protocol, participants, n, rng,
+                channel=channel,
+                advice_function=MinIdPrefixAdvice(b),
+                max_rounds=protocol.worst_case_rounds(n),
+            )
+            assert result.solved
+            rounds_by_budget.append(result.rounds)
+        assert rounds_by_budget == sorted(rounds_by_budget, reverse=True)
+
+    def test_randomized_advice_improves_expectations(self):
+        rng = np.random.default_rng(33)
+        n, k = 2**12, 900
+        nocd = without_collision_detection()
+        cd = with_collision_detection()
+        decay_means, willard_means = [], []
+        for b in (0, 2):
+            decay_means.append(
+                estimate_uniform_rounds(
+                    TruncatedDecayProtocol.for_count(n, b, k), k, rng,
+                    channel=nocd, trials=1200, max_rounds=2000,
+                ).rounds.mean
+            )
+            willard_means.append(
+                estimate_uniform_rounds(
+                    truncated_willard_for_count(n, b, k), k, rng,
+                    channel=cd, trials=1200, max_rounds=2000,
+                ).rounds.mean
+            )
+        assert decay_means[1] < decay_means[0]
+        assert willard_means[1] <= willard_means[0] + 0.5
+
+
+class TestWorstCaseBaselinesMatchTheory:
+    def test_decay_within_constant_of_log_n(self):
+        rng = np.random.default_rng(41)
+        n = 2**10
+        channel = without_collision_detection()
+        worst = 0.0
+        for k in (2, 30, 1000):
+            estimate = estimate_uniform_rounds(
+                DecayProtocol(n), k, rng, channel=channel,
+                trials=800, max_rounds=2000,
+            )
+            worst = max(worst, estimate.rounds.mean)
+        assert worst <= 4 * np.log2(n)
+
+    def test_willard_within_constant_of_loglog_n(self):
+        rng = np.random.default_rng(42)
+        n = 2**16
+        channel = with_collision_detection()
+        worst = 0.0
+        for k in (2, 300, 60_000):
+            estimate = estimate_uniform_rounds(
+                WillardProtocol(n), k, rng, channel=channel,
+                trials=800, max_rounds=2000,
+            )
+            worst = max(worst, estimate.rounds.mean)
+        # 3 repetitions x binary search of depth ~4 plus restarts.
+        assert worst <= 10 * np.log2(np.log2(n))
+
+
+class TestConfigPlumbing:
+    def test_experiment_config_defaults(self):
+        config = ExperimentConfig()
+        assert config.n == 2**16
+        assert not config.quick
+
+    def test_library_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
