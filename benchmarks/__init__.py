@@ -1,0 +1,9 @@
+"""The benchmark suite, as an importable package.
+
+Being a package (rather than a loose directory of modules) lets the
+benchmark modules use relative imports of their shared harness in
+``conftest.py`` under pytest's default import mode, so collecting from
+the repository root never errors.  Benchmarks are opt-in: plain
+``pytest`` runs only ``tests/`` (see ``pytest.ini``); run them with
+``pytest benchmarks/``.
+"""

@@ -1,0 +1,109 @@
+"""Batch vs scalar Monte Carlo estimation at Table-1 scale.
+
+The acceptance benchmark for the vectorized engine: a benchmark-scale
+Table 1 no-CD estimate (sorted probing over an entropy workload on the
+full board) must run >= 10x faster on the batch substrate than on the
+scalar reference loop, with matching statistics.  The CD comparison is
+reported for the trajectory but only gated loosely - the history-grouped
+engine's advantage grows with the trial count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.channel import with_collision_detection, without_collision_detection
+from repro.experiments.table1_nocd import entropy_sweep_distributions
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+
+N = 2**16
+TRIALS = 6000
+MAX_ROUNDS = 1024
+SEED = 2021
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_bench_batch_vs_scalar_nocd(benchmark):
+    """Table 1 no-CD cell: sorted probing, cycling, mid-entropy workload."""
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    protocol = SortedProbingProtocol(distribution, one_shot=False)
+    channel = without_collision_detection()
+
+    def estimate(batch):
+        return estimate_uniform_rounds(
+            protocol,
+            distribution,
+            np.random.default_rng(SEED),
+            channel=channel,
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            batch=batch,
+        )
+
+    scalar, scalar_seconds = _timed(lambda: estimate(False))
+    batched, batch_seconds = _timed(lambda: estimate(True))
+    benchmark.pedantic(
+        lambda: estimate(True), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    speedup = scalar_seconds / batch_seconds
+    print(
+        f"\nno-CD sorted probing, trials={TRIALS}: "
+        f"scalar={scalar_seconds:.3f}s batch={batch_seconds:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    assert batched.success.rate == scalar.success.rate == 1.0
+    assert abs(batched.rounds.mean - scalar.rounds.mean) <= (
+        0.1 * scalar.rounds.mean
+    )
+    assert speedup >= 10.0, (
+        f"batch engine only {speedup:.1f}x faster than scalar "
+        f"({batch_seconds:.3f}s vs {scalar_seconds:.3f}s)"
+    )
+
+
+def test_bench_batch_vs_scalar_cd(benchmark):
+    """Table 1 CD flavour: Willard's search on the history-grouped engine."""
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    protocol = WillardProtocol(N)
+    channel = with_collision_detection()
+
+    def estimate(batch):
+        return estimate_uniform_rounds(
+            protocol,
+            distribution,
+            np.random.default_rng(SEED),
+            channel=channel,
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            batch=batch,
+        )
+
+    scalar, scalar_seconds = _timed(lambda: estimate(False))
+    batched, batch_seconds = _timed(lambda: estimate(True))
+    benchmark.pedantic(
+        lambda: estimate(True), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    speedup = scalar_seconds / batch_seconds
+    print(
+        f"\nCD willard, trials={TRIALS}: "
+        f"scalar={scalar_seconds:.3f}s batch={batch_seconds:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    assert batched.success.rate == scalar.success.rate == 1.0
+    assert abs(batched.rounds.mean - scalar.rounds.mean) <= (
+        0.1 * scalar.rounds.mean
+    )
+    assert speedup >= 2.0, (
+        f"history-grouped engine slower than expected: {speedup:.1f}x"
+    )

@@ -1,8 +1,13 @@
 """Legacy setuptools shim.
 
-The offline reproduction environment lacks the ``wheel`` package, so PEP
-517/660 builds are unavailable; this shim lets ``pip install -e .`` take the
-legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+Metadata lives in ``setup.cfg``; pytest configuration in ``pytest.ini``.
+There is deliberately no ``pyproject.toml``: its presence forces pip onto
+the PEP 517/660 build path, which requires the ``wheel`` package the
+offline reproduction environment does not ship.  (Recent pip versions
+attempt PEP 660 editable builds even without one, so the supported ways
+to use the package offline are ``PYTHONPATH=src`` - what the tier-1
+command does - or ``pip install -e . --no-build-isolation`` on an
+environment that has ``wheel``.)
 """
 
 from setuptools import setup

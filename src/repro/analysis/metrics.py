@@ -26,7 +26,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Summary:
-    """Summary statistics of a sample of round counts (or any scalars)."""
+    """Summary statistics of a sample of round counts (or any scalars).
+
+    ``count == 0`` is a legal state (see :meth:`empty`): a Monte Carlo
+    batch in which *no* trial succeeded has no solving-round samples, and
+    the summary says so explicitly (NaN statistics) instead of fabricating
+    a sample pinned at the budget.
+    """
 
     count: int
     mean: float
@@ -37,9 +43,21 @@ class Summary:
     p90: float
 
     @classmethod
+    def empty(cls) -> "Summary":
+        """The explicit zero-sample summary: nothing to summarise."""
+        nan = float("nan")
+        return cls(
+            count=0, mean=nan, std=nan, minimum=nan, maximum=nan,
+            median=nan, p90=nan,
+        )
+
+    @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "Summary":
         if len(samples) == 0:
-            raise ValueError("cannot summarise an empty sample")
+            raise ValueError(
+                "cannot summarise an empty sample; use Summary.empty() for "
+                "the explicit no-samples state"
+            )
         data = np.asarray(samples, dtype=float)
         return cls(
             count=int(data.size),

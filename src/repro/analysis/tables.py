@@ -14,13 +14,20 @@ from collections.abc import Mapping, Sequence
 __all__ = ["format_cell", "render_table", "render_csv", "rows_to_columns"]
 
 
-def format_cell(value: object, *, precision: int = 3) -> str:
-    """Render one table cell: floats rounded, everything else ``str()``."""
+def format_cell(
+    value: object, *, precision: int = 3, nan_text: str = "n/a"
+) -> str:
+    """Render one table cell: floats rounded, everything else ``str()``.
+
+    NaN marks "no data" (e.g. a rounds summary with zero successful
+    trials) and renders as ``nan_text`` - ``n/a`` in human-facing tables,
+    ``nan`` in CSV so numeric parsers keep working.
+    """
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
         if value != value:  # NaN
-            return "nan"
+            return nan_text
         if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
             return f"{value:.{precision}e}"
         return f"{value:.{precision}f}"
@@ -71,7 +78,11 @@ def render_csv(
     for row in rows:
         if len(row) != len(headers):
             raise ValueError("row width does not match headers")
-        lines.append(",".join(format_cell(value, precision=6) for value in row))
+        lines.append(
+            ",".join(
+                format_cell(value, precision=6, nan_text="nan") for value in row
+            )
+        )
     return "\n".join(lines) + "\n"
 
 

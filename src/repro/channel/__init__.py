@@ -16,8 +16,9 @@ from .network import (
     SuffixAdversary,
     validate_participants,
 )
+from .batch import is_batchable, run_uniform_batch
 from .simulator import DEFAULT_MAX_ROUNDS, run_players, run_uniform
-from .trace import ExecutionResult, RoundRecord
+from .trace import BatchExecutionResult, ExecutionResult, RoundRecord
 
 __all__ = [
     "Channel",
@@ -31,8 +32,11 @@ __all__ = [
     "ClusteredAdversary",
     "validate_participants",
     "run_uniform",
+    "run_uniform_batch",
+    "is_batchable",
     "run_players",
     "DEFAULT_MAX_ROUNDS",
+    "BatchExecutionResult",
     "ExecutionResult",
     "RoundRecord",
 ]

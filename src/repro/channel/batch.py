@@ -1,0 +1,228 @@
+"""Vectorized batch execution of uniform protocols.
+
+The scalar engine (:mod:`repro.channel.simulator`) runs one execution at a
+time: a Python loop per round, one ``rng.binomial(k, p)`` call per round,
+per trial.  Monte Carlo estimation repeats that thousands of times.  This
+module advances **all trials of a batch in lockstep** instead, one round
+per iteration, retiring solved trials as it goes.
+
+Why the batch draw is faithful (paper Section 2.2)
+--------------------------------------------------
+Uniform protocols are identity-oblivious: in every round all ``k``
+participants transmit independently with the *same* probability ``p``, so
+the channel state of the round is **exactly** ``Binomial(k, p)`` - which
+participants transmitted is irrelevant to both the channel outcome and the
+protocol's future behaviour.  A round of a whole batch of independent
+executions is therefore exactly a vector of independent binomial draws,
+``rng.binomial(k_vec, p)``, and simulating it that way is not an
+approximation but the same distribution computed with one NumPy call
+instead of ``trials`` Python-level calls.  (This mirrors how round-driven
+network simulators batch their event loops.)
+
+Two engines, chosen by protocol capability:
+
+* **Schedule engine** - for protocols whose full probability sequence is
+  known in advance (:meth:`~repro.core.protocol.UniformProtocol.batch_schedule`
+  returns a :class:`~repro.core.protocol.BatchSchedule`; the no-CD family
+  of Section 2.1).  No session objects at all: round ``r``'s probability is
+  an array lookup, and the round costs a single vectorized binomial draw
+  over the still-live trials.
+
+* **History engine** - for feedback-driven (CD) protocols with
+  deterministic sessions.  All players of a CD execution see the same
+  collision history ``b_1 b_2 ... b_r``, and a uniform CD algorithm is a
+  deterministic function of that history (Section 2.1) - so two trials
+  with identical histories will use identical probabilities forever until
+  their histories diverge.  The engine keeps one representative session
+  per distinct history, advancing *groups* of trials: each round costs one
+  ``next_probability()`` call per live group plus one vectorized binomial
+  draw per group, instead of per-trial session machinery.  On a no-CD
+  channel every observation is ``QUIET``, so there is exactly one group
+  and the engine degenerates to the schedule engine with a live session.
+
+Both match the scalar engine's termination conventions exactly: a trial
+retires at its first single-transmitter round (``rounds`` = that 1-based
+round), at schedule exhaustion (``solved=False``, ``rounds`` = rounds
+actually played) or at the budget (``solved=False``, ``rounds =
+max_rounds``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.feedback import Observation
+from ..core.protocol import (
+    BatchSchedule,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
+from .channel import Channel
+from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
+from .trace import BatchExecutionResult
+
+__all__ = ["run_uniform_batch", "is_batchable"]
+
+
+def is_batchable(protocol: UniformProtocol) -> bool:
+    """Whether :func:`run_uniform_batch` can execute ``protocol``.
+
+    True when the protocol either publishes its schedule in advance or
+    guarantees deterministic (history-driven) sessions; the Monte Carlo
+    harness uses this to auto-select the batch substrate and fall back to
+    the scalar reference loop otherwise.
+    """
+    return (
+        protocol.batch_schedule() is not None or protocol.deterministic_sessions
+    )
+
+
+def _validated_ks(ks: Sequence[int] | np.ndarray) -> np.ndarray:
+    array = np.asarray(ks, dtype=np.int64)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("ks must be a non-empty 1-d array of trial sizes")
+    if (array < 1).any():
+        raise ValueError("participant counts must all be >= 1")
+    return array
+
+
+def run_uniform_batch(
+    protocol: UniformProtocol,
+    ks: Sequence[int] | np.ndarray,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> BatchExecutionResult:
+    """Execute one uniform-protocol trial per entry of ``ks``, in lockstep.
+
+    The batch counterpart of :func:`repro.channel.simulator.run_uniform`:
+    ``ks[i]`` is trial ``i``'s participant count, and entry ``i`` of the
+    returned :class:`~repro.channel.trace.BatchExecutionResult` is
+    distributed exactly as a scalar execution with that count (see the
+    module docstring for why).  Raises :class:`ValueError` for protocols
+    that are not :func:`is_batchable` - callers wanting transparent
+    fallback should test the capability first.
+    """
+    ks = _validated_ks(ks)
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    _check_channel(protocol.requires_collision_detection, channel)
+
+    schedule = protocol.batch_schedule()
+    if schedule is not None:
+        return _run_schedule_batch(schedule, ks, rng, max_rounds)
+    if not protocol.deterministic_sessions:
+        raise ValueError(
+            f"protocol {protocol.name!r} has randomized sessions; use the "
+            "scalar engine (run_uniform) instead"
+        )
+    return _run_history_batch(protocol, ks, rng, channel, max_rounds)
+
+
+def _run_schedule_batch(
+    schedule: BatchSchedule,
+    ks: np.ndarray,
+    rng: np.random.Generator,
+    max_rounds: int,
+) -> BatchExecutionResult:
+    """Advance every trial through a precomputed probability schedule."""
+    trials = ks.size
+    solved = np.zeros(trials, dtype=bool)
+    rounds = np.zeros(trials, dtype=np.int64)
+    probabilities = np.asarray(schedule.probabilities, dtype=float)
+    period = probabilities.size
+    horizon = schedule.horizon(max_rounds)
+    live = np.arange(trials)
+    for round_index in range(1, horizon + 1):
+        p = probabilities[(round_index - 1) % period]
+        counts = rng.binomial(ks[live], p)
+        hit = counts == 1
+        if hit.any():
+            winners = live[hit]
+            solved[winners] = True
+            rounds[winners] = round_index
+            live = live[~hit]
+            if live.size == 0:
+                break
+    # Whatever survives was right-censored: by the budget (rounds played =
+    # max_rounds) or by one-shot exhaustion (rounds played = schedule
+    # length), matching the scalar engine's ExecutionResult convention.
+    rounds[live] = horizon
+    return BatchExecutionResult(
+        solved=solved, rounds=rounds, max_rounds=max_rounds, ks=ks
+    )
+
+
+def _run_history_batch(
+    protocol: UniformProtocol,
+    ks: np.ndarray,
+    rng: np.random.Generator,
+    channel: Channel,
+    max_rounds: int,
+) -> BatchExecutionResult:
+    """Advance trials grouped by shared observation history.
+
+    Each group is ``(session, trial indices)``; all members have fed the
+    session an identical observation sequence, so the session's next
+    probability is valid for every one of them.  After the round's draw a
+    group splits at most once (collision vs silence on CD channels; no-CD
+    groups never split), the representative session is reused for one
+    branch and deep-copied for the other.
+    """
+    trials = ks.size
+    solved = np.zeros(trials, dtype=bool)
+    rounds = np.zeros(trials, dtype=np.int64)
+    groups: list[tuple[UniformSession, np.ndarray]] = [
+        (protocol.session(), np.arange(trials))
+    ]
+    for round_index in range(1, max_rounds + 1):
+        next_groups: list[tuple[UniformSession, np.ndarray]] = []
+        for session, members in groups:
+            try:
+                p = session.next_probability()
+            except ScheduleExhausted:
+                # Clean one-shot give-up: rounds actually played.
+                rounds[members] = round_index - 1
+                continue
+            counts = rng.binomial(ks[members], p)
+            hit = counts == 1
+            winners = members[hit]
+            solved[winners] = True
+            rounds[winners] = round_index
+            survivors = members[~hit]
+            if survivors.size == 0:
+                continue
+            if channel.collision_detection:
+                collided = counts[~hit] >= 2
+                partitions = [
+                    (Observation.COLLISION, survivors[collided]),
+                    (Observation.SILENCE, survivors[~collided]),
+                ]
+            else:
+                partitions = [(Observation.QUIET, survivors)]
+            branches = [
+                (observation, subset)
+                for observation, subset in partitions
+                if subset.size
+            ]
+            for index, (observation, subset) in enumerate(branches):
+                # The representative session continues down the *last*
+                # branch; earlier branches get forks taken before any
+                # branch observes, so no branch sees another's history.
+                branch_session = (
+                    session if index == len(branches) - 1 else session.fork()
+                )
+                branch_session.observe(observation)
+                next_groups.append((branch_session, subset))
+        groups = next_groups
+        if not groups:
+            break
+    for _, members in groups:
+        rounds[members] = max_rounds
+    return BatchExecutionResult(
+        solved=solved, rounds=rounds, max_rounds=max_rounds, ks=ks
+    )

@@ -8,10 +8,16 @@ consumed by tests, debugging helpers and the worked examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..core.feedback import Feedback, Observation
 
-__all__ = ["RoundRecord", "ExecutionResult"]
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from ..analysis.metrics import ProportionEstimate, Summary
+
+__all__ = ["RoundRecord", "ExecutionResult", "BatchExecutionResult"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +91,96 @@ class ExecutionResult:
         truncated round count.
         """
         return self.rounds if self.solved else penalty
+
+
+@dataclass
+class BatchExecutionResult:
+    """Outcome of a whole Monte Carlo batch of uniform executions.
+
+    The vectorized counterpart of :class:`ExecutionResult`: the batch
+    engine (:func:`repro.channel.batch.run_uniform_batch`) advances all
+    trials in lockstep and returns one of these instead of a list of
+    per-trial objects.  Traces are deliberately absent - batches exist for
+    throughput; use the scalar engine when you need per-round records.
+
+    Attributes
+    ----------
+    solved:
+        Boolean array, one entry per trial.
+    rounds:
+        Integer array: 1-based solving round for solved trials; rounds
+        actually played (budget spent, or schedule length on exhaustion)
+        for unsolved trials - the same convention as
+        :attr:`ExecutionResult.rounds`.
+    max_rounds:
+        The round budget the batch ran under.
+    ks:
+        Per-trial participant counts.
+    """
+
+    solved: np.ndarray
+    rounds: np.ndarray
+    max_rounds: int
+    ks: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.solved = np.asarray(self.solved, dtype=bool)
+        self.rounds = np.asarray(self.rounds, dtype=np.int64)
+        self.ks = np.asarray(self.ks, dtype=np.int64)
+        if not (self.solved.shape == self.rounds.shape == self.ks.shape):
+            raise ValueError(
+                "solved/rounds/ks arrays must share one shape, got "
+                f"{self.solved.shape}/{self.rounds.shape}/{self.ks.shape}"
+            )
+        if self.solved.ndim != 1 or self.solved.size == 0:
+            raise ValueError("a batch holds a non-empty 1-d array of trials")
+        if (self.rounds < 0).any():
+            raise ValueError("rounds must be >= 0")
+        if (self.rounds[self.solved] == 0).any():
+            raise ValueError("a solved execution takes at least one round")
+
+    @property
+    def trials(self) -> int:
+        """Number of executions in the batch."""
+        return int(self.solved.size)
+
+    @property
+    def num_solved(self) -> int:
+        """Number of trials that solved within the budget."""
+        return int(self.solved.sum())
+
+    def solved_rounds(self) -> np.ndarray:
+        """Solving rounds of the successful trials only."""
+        return self.rounds[self.solved]
+
+    def rounds_summary(self) -> "Summary":
+        """Summary of the solving round over *successful* trials.
+
+        A batch with no successes yields the explicit zero-sample summary
+        (NaN statistics) rather than a fabricated sample - unsolved trials
+        are right-censored at the budget, not data points.
+        """
+        from ..analysis.metrics import Summary
+
+        solved = self.solved_rounds()
+        if solved.size == 0:
+            return Summary.empty()
+        return Summary.from_samples(solved)
+
+    def success_estimate(self) -> "ProportionEstimate":
+        """Solved-within-budget proportion with its Wilson interval."""
+        from ..analysis.metrics import ProportionEstimate
+
+        return ProportionEstimate(successes=self.num_solved, trials=self.trials)
+
+    def to_execution_results(self) -> list[ExecutionResult]:
+        """Per-trial views, for interop with scalar-path consumers."""
+        return [
+            ExecutionResult(
+                solved=bool(self.solved[i]),
+                rounds=int(self.rounds[i]),
+                max_rounds=self.max_rounds,
+                k=int(self.ks[i]),
+            )
+            for i in range(self.trials)
+        ]

@@ -77,11 +77,24 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="thin sweeps and trials for a fast smoke run",
     )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "run uniform Monte Carlo on the vectorized batch engine "
+            "(default); --no-batch forces the scalar reference loop"
+        ),
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
-        n=args.n, trials=args.trials, seed=args.seed, quick=args.quick
+        n=args.n,
+        trials=args.trials,
+        seed=args.seed,
+        quick=args.quick,
+        batch=args.batch,
     )
 
 

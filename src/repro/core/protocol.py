@@ -22,6 +22,7 @@ leakage.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .feedback import Observation
@@ -30,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     import numpy as np
 
 __all__ = [
+    "BatchSchedule",
     "UniformSession",
     "UniformProtocol",
     "PlayerSession",
@@ -57,6 +59,34 @@ class ScheduleExhausted(ProtocolError):
     """
 
 
+@dataclass(frozen=True)
+class BatchSchedule:
+    """A uniform protocol's full probability schedule, known in advance.
+
+    The vectorizable description of an *oblivious* (feedback-ignoring)
+    uniform protocol: round ``r`` uses ``probabilities[(r - 1) % len]``
+    when ``cycle`` is true, and the protocol exhausts after
+    ``len(probabilities)`` rounds otherwise.  Returned by
+    :meth:`UniformProtocol.batch_schedule` and consumed by the batch
+    simulation engine (:mod:`repro.channel.batch`), which advances every
+    Monte Carlo trial through the same precomputed schedule with one
+    vectorized binomial draw per round.
+    """
+
+    probabilities: tuple[float, ...]
+    cycle: bool
+
+    def __post_init__(self) -> None:
+        if len(self.probabilities) == 0:
+            raise ValueError("batch schedule must contain at least one round")
+
+    def horizon(self, max_rounds: int) -> int:
+        """Rounds actually playable within ``max_rounds``."""
+        if self.cycle:
+            return max_rounds
+        return min(max_rounds, len(self.probabilities))
+
+
 class UniformSession(abc.ABC):
     """Per-execution state of a uniform protocol.
 
@@ -64,6 +94,19 @@ class UniformSession(abc.ABC):
     and :meth:`observe` (after the round) until success or the round budget
     runs out.
     """
+
+    def fork(self) -> "UniformSession":
+        """An independent copy that continues from the same state.
+
+        The batch engine forks a group's representative session when its
+        trials' observation histories diverge (collision vs silence).  The
+        default deep copy is always safe; sessions whose mutable state is
+        all scalars/immutables override with a shallow copy to keep group
+        splits cheap.
+        """
+        import copy
+
+        return copy.deepcopy(self)
 
     @abc.abstractmethod
     def next_probability(self) -> float:
@@ -95,14 +138,37 @@ class UniformProtocol(abc.ABC):
         Whether sessions branch on collision-vs-silence observations.  The
         simulator refuses to run such a protocol on a no-CD channel rather
         than silently feeding it degraded observations.
+    deterministic_sessions:
+        Whether every session is a deterministic function of its
+        observation sequence.  True for all of the paper's uniform
+        algorithms (``session()`` takes no randomness: no-CD schedules are
+        fixed in advance, CD policies are functions of the shared collision
+        history - Section 2.1), which is what lets the batch engine advance
+        many trials through one representative session per distinct
+        history.  Wrappers that inject per-session randomness must set this
+        to ``False`` to keep the scalar path authoritative.
     """
 
     name: str = "uniform-protocol"
     requires_collision_detection: bool = False
+    deterministic_sessions: bool = True
 
     @abc.abstractmethod
     def session(self) -> UniformSession:
         """Start a fresh execution."""
+
+    def batch_schedule(self) -> BatchSchedule | None:
+        """The full probability schedule, when it is known in advance.
+
+        Oblivious protocols (the no-CD family of Section 2.1) override
+        this to return a :class:`BatchSchedule`, unlocking the batch
+        engine's fastest path: the per-round probability is an array
+        lookup, with no session objects at all.  The default ``None``
+        means the probability depends on feedback; the batch engine then
+        falls back to history-grouped sessions (CD protocols) or the
+        scalar reference loop.
+        """
+        return None
 
     def __repr__(self) -> str:
         detector = "CD" if self.requires_collision_detection else "no-CD"

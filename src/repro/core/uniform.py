@@ -18,10 +18,12 @@ algorithm, both realised here:
 from __future__ import annotations
 
 import abc
+import copy
 from collections.abc import Sequence
 
 from .feedback import Observation
 from .protocol import (
+    BatchSchedule,
     ProtocolError,
     ScheduleExhausted,
     UniformProtocol,
@@ -113,6 +115,10 @@ class ScheduleSession(UniformSession):
         # advance (paper Section 2.1), so feedback is deliberately ignored.
         del observation
 
+    def fork(self) -> "ScheduleSession":
+        # Mutable state is one int; the schedule itself is immutable.
+        return copy.copy(self)
+
     @property
     def rounds_played(self) -> int:
         """Number of probabilities handed out so far."""
@@ -147,6 +153,10 @@ class ScheduleProtocol(UniformProtocol):
 
     def session(self) -> ScheduleSession:
         return ScheduleSession(self.schedule, cycle=self.cycle)
+
+    def batch_schedule(self) -> BatchSchedule:
+        """Schedule protocols are oblivious: the whole schedule is known."""
+        return BatchSchedule(self.schedule.probabilities, self.cycle)
 
 
 class HistoryPolicy(abc.ABC):
@@ -191,6 +201,10 @@ class HistoryPolicySession(UniformSession):
         if observation is Observation.SUCCESS:
             raise ProtocolError("success ends the execution; nothing to observe")
         self._history += str(observation.collision_bit)
+
+    def fork(self) -> "HistoryPolicySession":
+        # The history string is immutable and the policy is shared.
+        return copy.copy(self)
 
     @property
     def history(self) -> str:

@@ -34,12 +34,19 @@ class ExperimentConfig:
     quick:
         Thinned sweeps and reduced trials, for benchmarks and CI.  The
         full scale is the documented EXPERIMENTS.md configuration.
+    batch:
+        Run uniform Monte Carlo estimation on the vectorized batch engine
+        (the default; protocols that cannot batch fall back to the scalar
+        loop automatically).  ``False`` forces the scalar reference loop
+        everywhere - the ``--no-batch`` escape hatch for A/B-ing the two
+        substrates.
     """
 
     n: int = 2**16
     trials: int = 3000
     seed: int = 2021
     quick: bool = False
+    batch: bool = True
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded from :attr:`seed`."""
@@ -48,6 +55,16 @@ class ExperimentConfig:
     def effective_trials(self, quick_trials: int = 400) -> int:
         """Trial count honouring the quick flag."""
         return min(self.trials, quick_trials) if self.quick else self.trials
+
+    def batch_mode(self) -> bool | None:
+        """The estimators' ``batch`` argument for this config.
+
+        ``None`` (auto-detect with scalar fallback) when batching is on,
+        ``False`` (forced scalar) when it is off - the config never forces
+        ``batch=True`` because registry experiments mix batchable and
+        non-batchable protocols.
+        """
+        return None if self.batch else False
 
 
 @dataclass

@@ -55,6 +55,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             channel=nocd,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         ).rounds.mean
         decay_rounds = estimate_uniform_rounds(
             DecayProtocol(config.n),
@@ -63,6 +64,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             channel=nocd,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         ).rounds.mean
         code_rounds = estimate_uniform_rounds(
             CodeSearchProtocol(prediction, one_shot=False, support_only=True),
@@ -71,6 +73,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             channel=cd,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         ).rounds.mean
         willard_rounds = estimate_uniform_rounds(
             WillardProtocol(config.n),
@@ -79,6 +82,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             channel=cd,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         ).rounds.mean
         rows.append(
             [

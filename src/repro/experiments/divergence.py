@@ -103,6 +103,7 @@ def run_nocd(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         )
         rows.append(
             [
@@ -180,6 +181,7 @@ def run_cd(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         )
         rows.append(
             [

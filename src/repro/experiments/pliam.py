@@ -79,6 +79,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=256 * count,
+            batch=config.batch_mode(),
         ).rounds.mean
         ratio = guesswork / power
         ratios.append(ratio)

@@ -73,6 +73,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             def draw_participants(generator):
                 return adversary.checked_select(n, k, generator)
 
+            # batch is threaded for signature parity; the player engine has
+            # no vectorized path yet, so these stay on the scalar loop.
             bare = estimate_player_rounds(
                 primary,
                 draw_participants,
@@ -82,6 +84,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 advice_function=advice,
                 trials=trials,
                 max_rounds=budget,
+                batch=config.batch_mode(),
             )
             repaired = estimate_player_rounds(
                 fallback,
@@ -92,6 +95,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 advice_function=advice,
                 trials=trials,
                 max_rounds=100 * budget,
+                batch=config.batch_mode(),
             )
             bare_failure = 1.0 - bare.success.rate
             bare_failure_rates.append(bare_failure)

@@ -77,6 +77,7 @@ def run_upper(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         )
         rows.append(
             [
@@ -160,6 +161,7 @@ def run_lower(config: ExperimentConfig) -> ExperimentResult:
                 channel=channel,
                 trials=trials,
                 max_rounds=32 * count,
+                batch=config.batch_mode(),
             ).rounds.mean
             paper_floor = max(0.0, entropy_bits - slack)
             rows.append(
@@ -200,6 +202,7 @@ def run_lower(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=32 * num_ranges(cross_n),
+            batch=config.batch_mode(),
         ).rounds.mean
         cross_rows.append((cross_n, cross_entropy_bits, cross_rounds))
         rows.append(

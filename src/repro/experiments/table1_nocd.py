@@ -101,6 +101,7 @@ def run_upper(config: ExperimentConfig) -> ExperimentResult:
             channel=channel,
             trials=trials,
             max_rounds=budget,
+            batch=config.batch_mode(),
         )
         lower_shape = table1_nocd_lower(entropy_bits, config.n)
         rows.append(
@@ -216,6 +217,7 @@ def run_lower(config: ExperimentConfig) -> ExperimentResult:
                     channel=channel,
                     trials=trials,
                     max_rounds=64 * count,
+                    batch=config.batch_mode(),
                 ).rounds.mean
             else:
                 algorithm_rounds = float("nan")

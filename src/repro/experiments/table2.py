@@ -245,8 +245,14 @@ def run_rand_cd(config: ExperimentConfig) -> ExperimentResult:
                 channel=channel,
                 trials=trials,
                 max_rounds=1024,
+                batch=config.batch_mode(),
             )
-            worst = max(worst, estimate.rounds.mean)
+            # max() would silently discard a NaN mean; a block size that
+            # never solves must fail the shape checks loudly instead.
+            worst = max(
+                worst,
+                estimate.rounds.mean if estimate.any_successes else math.inf,
+            )
         shape = table2_rand_cd(n, b)
         rows.append([b, worst, shape, worst / shape])
         measured.append(worst)

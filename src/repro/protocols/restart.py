@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.feedback import Observation
 from ..core.protocol import (
+    BatchSchedule,
     PlayerProtocol,
     PlayerSession,
     ScheduleExhausted,
@@ -71,15 +72,33 @@ class RestartProtocol(UniformProtocol):
     ) -> None:
         if isinstance(inner, UniformProtocol):
             self._factory: Callable[[], UniformProtocol] = lambda: inner
+            self._shared_inner: UniformProtocol | None = inner
+            # Restarted sessions are only as deterministic as the inner
+            # protocol's own sessions.
+            self.deterministic_sessions = inner.deterministic_sessions
             base = inner
         else:
             self._factory = inner
+            # Each attempt may rebuild the protocol with fresh randomness,
+            # so restarted sessions are not deterministic functions of the
+            # observation history: keep such wrappers on the scalar path.
+            self._shared_inner = None
+            self.deterministic_sessions = False
             base = inner()
         self.requires_collision_detection = base.requires_collision_detection
         self.name = name or f"restart({base.name})"
 
     def session(self) -> _RestartSession:
         return _RestartSession(lambda: self._factory().session())
+
+    def batch_schedule(self) -> BatchSchedule | None:
+        """Restarting a shared oblivious one-shot is a cycling schedule."""
+        if self._shared_inner is None:
+            return None
+        inner_spec = self._shared_inner.batch_schedule()
+        if inner_spec is None:
+            return None
+        return BatchSchedule(inner_spec.probabilities, True)
 
 
 class _FallbackSession(PlayerSession):

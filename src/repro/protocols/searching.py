@@ -24,6 +24,7 @@ all phases it either restarts (expected-time variants) or raises
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Sequence
 
 from ..core.feedback import Observation
@@ -118,6 +119,11 @@ class PhasedSearchSession(UniformSession):
             else:
                 self._hi = self._mid - 1
             self._mid = None
+
+    def fork(self) -> "PhasedSearchSession":
+        # Mutable state is all ints/bools; the phase lists are never
+        # mutated after validation, so sharing them across forks is safe.
+        return copy.copy(self)
 
     # ------------------------------------------------------------------
     @property

@@ -97,7 +97,10 @@ class TestTables:
         assert format_cell(1.23456) == "1.235"
         assert format_cell(True) == "yes"
         assert format_cell("abc") == "abc"
-        assert format_cell(float("nan")) == "nan"
+        # NaN marks "no data" (zero-success rounds summaries): legible in
+        # tables, parseable in CSV.
+        assert format_cell(float("nan")) == "n/a"
+        assert format_cell(float("nan"), nan_text="nan") == "nan"
         assert "e" in format_cell(1.5e9)
 
     def test_render_table_alignment(self):

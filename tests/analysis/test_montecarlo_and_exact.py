@@ -171,13 +171,21 @@ class TestMonteCarloHarness:
         )
         assert estimate.success.rate == 1.0
 
-    def test_universal_failure_pins_budget(self, rng, nocd_channel):
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_universal_failure_reports_no_samples(
+        self, rng, nocd_channel, batch
+    ):
+        """No successes => an explicit empty rounds summary, not a
+        fabricated sample pinned at the budget."""
         protocol = ScheduleProtocol(ProbabilitySchedule([1e-15]), cycle=True)
         estimate = estimate_uniform_rounds(
-            protocol, 5, rng, channel=nocd_channel, trials=50, max_rounds=10
+            protocol, 5, rng, channel=nocd_channel, trials=50, max_rounds=10,
+            batch=batch,
         )
         assert estimate.success.rate == 0.0
-        assert estimate.rounds.mean == 10.0
+        assert not estimate.any_successes
+        assert estimate.rounds.count == 0
+        assert estimate.rounds.mean != estimate.rounds.mean  # NaN
 
     def test_success_within_tracks_exact(self, rng, nocd_channel):
         n, k, budget = 2**8, 37, 8

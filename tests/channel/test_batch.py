@@ -1,0 +1,300 @@
+"""Batch/scalar equivalence for the vectorized execution engine.
+
+The batch engine draws the *same distribution* as the scalar reference
+loop (the per-round channel state of a uniform execution is exactly
+``Binomial(k, p)``; see ``channel/batch.py``), but consumes the RNG
+stream in a different order, so per-trial outcomes differ for one seed.
+Equivalence is therefore asserted two ways:
+
+* **exactly**, wherever the outcome is deterministic (probability-0/1
+  schedules, exhaustion and budget bookkeeping);
+* **statistically**, on solved/rounds statistics of fixed-seed batches -
+  both paths run with their own deterministic generator and must agree
+  within tolerances sized for the trial counts used (the comparisons are
+  deterministic given the seeds, so these never flake).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.channel import (
+    is_batchable,
+    run_uniform,
+    run_uniform_batch,
+)
+from repro.core.protocol import BatchSchedule, ProtocolError
+from repro.core.uniform import (
+    HistoryPolicy,
+    HistoryPolicyProtocol,
+    ProbabilitySchedule,
+    ScheduleProtocol,
+)
+from repro.infotheory.distributions import SizeDistribution
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.restart import RestartProtocol
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+
+N = 2**10
+
+
+class _HalvingPolicy(HistoryPolicy):
+    """Tiny CD policy: halve the probability after every collision."""
+
+    name = "halving"
+
+    def probability(self, history: str) -> float:
+        collisions = history.count("1")
+        return 0.5 ** min(collisions + 1, 30)
+
+
+def _scalar_stats(protocol_factory, ks, channel, max_rounds, seed):
+    rng = np.random.default_rng(seed)
+    solved, rounds = [], []
+    for k in ks:
+        result = run_uniform(
+            protocol_factory(), int(k), rng, channel=channel,
+            max_rounds=max_rounds,
+        )
+        solved.append(result.solved)
+        rounds.append(result.rounds)
+    return np.asarray(solved), np.asarray(rounds)
+
+
+def _sizes(rng, trials):
+    distribution = SizeDistribution.range_uniform_subset(N, [2, 5, 8])
+    return np.asarray(distribution.sample_many(rng, trials), dtype=np.int64)
+
+
+class TestBatchScalarEquivalence:
+    """Fixed-seed statistical agreement across the protocol families."""
+
+    @pytest.mark.parametrize(
+        "label,make_protocol,cd",
+        [
+            ("cycling-schedule", lambda: DecayProtocol(N), False),
+            (
+                "one-shot-schedule",
+                lambda: SortedProbingProtocol(
+                    SizeDistribution.range_uniform_subset(N, [2, 5, 8]),
+                    one_shot=True,
+                ),
+                False,
+            ),
+            (
+                "history-policy",
+                lambda: HistoryPolicyProtocol(_HalvingPolicy()),
+                True,
+            ),
+            ("phased-search", lambda: WillardProtocol(N), True),
+        ],
+    )
+    def test_statistics_agree(
+        self, label, make_protocol, cd, nocd_channel, cd_channel
+    ):
+        channel = cd_channel if cd else nocd_channel
+        trials, max_rounds = 3000, 400
+        ks = _sizes(np.random.default_rng(7), trials)
+        protocol = make_protocol()
+        assert is_batchable(protocol)
+
+        scalar_solved, scalar_rounds = _scalar_stats(
+            make_protocol, ks, channel, max_rounds, seed=11
+        )
+        batch = run_uniform_batch(
+            protocol, ks, np.random.default_rng(13), channel=channel,
+            max_rounds=max_rounds,
+        )
+
+        scalar_rate = scalar_solved.mean()
+        batch_rate = batch.solved.mean()
+        assert batch_rate == pytest.approx(scalar_rate, abs=0.05), label
+
+        if scalar_solved.any() and batch.num_solved:
+            scalar_mean = scalar_rounds[scalar_solved].mean()
+            batch_mean = batch.solved_rounds().mean()
+            assert batch_mean == pytest.approx(
+                scalar_mean, rel=0.1, abs=0.5
+            ), label
+
+    def test_unsolved_bookkeeping_matches_scalar_convention(
+        self, nocd_channel
+    ):
+        """Budget-censored trials report rounds == max_rounds, like the
+        scalar engine."""
+        protocol = ScheduleProtocol(ProbabilitySchedule([1e-12]), cycle=True)
+        batch = run_uniform_batch(
+            protocol, [5, 9, 17], np.random.default_rng(0),
+            channel=nocd_channel, max_rounds=25,
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == 25).all()
+
+
+class TestDeterministicExactness:
+    """Where outcomes are deterministic, batch and scalar match exactly."""
+
+    def test_certain_success_first_round(self, rng, nocd_channel):
+        protocol = ScheduleProtocol(ProbabilitySchedule([1.0]), cycle=True)
+        ks = np.ones(40, dtype=np.int64)  # k=1, p=1 -> success in round 1
+        batch = run_uniform_batch(
+            protocol, ks, rng, channel=nocd_channel, max_rounds=10
+        )
+        assert batch.solved.all()
+        assert (batch.rounds == 1).all()
+        scalar = run_uniform(
+            protocol, 1, rng, channel=nocd_channel, max_rounds=10
+        )
+        assert scalar.solved and scalar.rounds == 1
+
+    def test_schedule_exhaustion_rounds(self, rng, nocd_channel):
+        """One-shot exhaustion censors at the schedule length, both paths."""
+        schedule = ProbabilitySchedule([0.0, 0.0, 0.0])
+        protocol = ScheduleProtocol(schedule, cycle=False)
+        batch = run_uniform_batch(
+            protocol, [4, 6], rng, channel=nocd_channel, max_rounds=50
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == 3).all()
+        scalar = run_uniform(
+            protocol, 4, rng, channel=nocd_channel, max_rounds=50
+        )
+        assert not scalar.solved and scalar.rounds == 3
+
+    def test_budget_shorter_than_schedule(self, rng, nocd_channel):
+        protocol = ScheduleProtocol(
+            ProbabilitySchedule([0.0] * 10), cycle=False
+        )
+        batch = run_uniform_batch(
+            protocol, [4], rng, channel=nocd_channel, max_rounds=4
+        )
+        assert batch.rounds[0] == 4
+
+    def test_history_engine_exhaustion(self, rng, cd_channel):
+        """One-shot phased search exhausts cleanly on the history engine
+        with the scalar rounds-played convention."""
+        protocol = WillardProtocol(N, restart=False, repetitions=1)
+        ks = np.full(64, 700, dtype=np.int64)  # large k: collisions abound
+        batch = run_uniform_batch(
+            protocol, ks, rng, channel=cd_channel, max_rounds=500
+        )
+        per_pass = protocol.worst_case_rounds_per_pass()
+        unsolved = ~batch.solved
+        assert (batch.rounds[unsolved] <= per_pass).all()
+        assert (batch.rounds[batch.solved] >= 1).all()
+
+
+class TestBatchEngineContracts:
+    def test_rejects_bad_inputs(self, rng, nocd_channel):
+        protocol = DecayProtocol(N)
+        with pytest.raises(ValueError, match="non-empty"):
+            run_uniform_batch(
+                protocol, [], rng, channel=nocd_channel, max_rounds=5
+            )
+        with pytest.raises(ValueError, match=">= 1"):
+            run_uniform_batch(
+                protocol, [0, 3], rng, channel=nocd_channel, max_rounds=5
+            )
+        with pytest.raises(ValueError, match="budget"):
+            run_uniform_batch(
+                protocol, [3], rng, channel=nocd_channel, max_rounds=0
+            )
+
+    def test_cd_protocol_needs_cd_channel(self, rng, nocd_channel):
+        with pytest.raises(ProtocolError):
+            run_uniform_batch(
+                WillardProtocol(N), [5], rng, channel=nocd_channel,
+                max_rounds=5,
+            )
+
+    def test_randomized_restart_is_not_batchable(self):
+        factory_restart = RestartProtocol(
+            lambda: DecayProtocol(N, cycle=False)
+        )
+        assert not factory_restart.deterministic_sessions
+        assert factory_restart.batch_schedule() is None
+        assert not is_batchable(factory_restart)
+
+    def test_restart_propagates_inner_nondeterminism(self):
+        """Wrapping a randomized-session instance keeps it off the batch
+        path: determinism is inherited, not reset to the class default."""
+        randomized_inner = RestartProtocol(
+            lambda: DecayProtocol(N, cycle=False)
+        )
+        outer = RestartProtocol(randomized_inner)
+        assert not outer.deterministic_sessions
+        assert outer.batch_schedule() is None
+        assert not is_batchable(outer)
+
+    def test_instance_restart_is_a_cycling_schedule(self, rng, nocd_channel):
+        one_shot = DecayProtocol(N, cycle=False)
+        restart = RestartProtocol(one_shot)
+        spec = restart.batch_schedule()
+        assert spec is not None and spec.cycle
+        assert spec.probabilities == one_shot.schedule.probabilities
+        batch = run_uniform_batch(
+            restart, [10] * 200, rng, channel=nocd_channel, max_rounds=300
+        )
+        assert batch.solved.all()
+
+    def test_batch_schedule_validation(self):
+        with pytest.raises(ValueError, match="at least one round"):
+            BatchSchedule((), True)
+        assert BatchSchedule((0.5,), True).horizon(9) == 9
+        assert BatchSchedule((0.5, 0.5), False).horizon(9) == 2
+
+    def test_result_conversions(self, rng, nocd_channel):
+        batch = run_uniform_batch(
+            DecayProtocol(N), [8, 8, 8], rng, channel=nocd_channel,
+            max_rounds=200,
+        )
+        results = batch.to_execution_results()
+        assert len(results) == 3
+        assert [r.solved for r in results] == list(batch.solved)
+        assert [r.rounds for r in results] == list(batch.rounds)
+        summary = batch.rounds_summary()
+        assert summary.count == batch.num_solved
+        proportion = batch.success_estimate()
+        assert proportion.trials == 3
+
+
+class TestMonteCarloWiring:
+    """estimate_uniform_rounds routes to the batch engine correctly."""
+
+    def test_auto_uses_batch_and_agrees_with_scalar(self, nocd_channel):
+        protocol = DecayProtocol(N)
+        kwargs = dict(
+            channel=nocd_channel, trials=2500, max_rounds=400
+        )
+        auto = estimate_uniform_rounds(
+            protocol, 30, np.random.default_rng(5), **kwargs
+        )
+        scalar = estimate_uniform_rounds(
+            protocol, 30, np.random.default_rng(5), batch=False, **kwargs
+        )
+        assert auto.success.rate == pytest.approx(scalar.success.rate, abs=0.02)
+        assert auto.rounds.mean == pytest.approx(scalar.rounds.mean, rel=0.08)
+
+    def test_factory_protocols_fall_back_to_scalar(self, rng, nocd_channel):
+        estimate = estimate_uniform_rounds(
+            lambda: DecayProtocol(N), 16, rng, channel=nocd_channel,
+            trials=100, max_rounds=300,
+        )
+        assert estimate.success.rate == 1.0
+
+    def test_batch_true_rejects_factories(self, rng, nocd_channel):
+        with pytest.raises(ValueError, match="batchable"):
+            estimate_uniform_rounds(
+                lambda: DecayProtocol(N), 16, rng, channel=nocd_channel,
+                trials=10, max_rounds=10, batch=True,
+            )
+
+    def test_callable_size_source_batches(self, rng, nocd_channel):
+        estimate = estimate_uniform_rounds(
+            DecayProtocol(N), lambda generator: 12, rng,
+            channel=nocd_channel, trials=100, max_rounds=300, batch=True,
+        )
+        assert estimate.success.rate == 1.0

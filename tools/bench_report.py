@@ -1,0 +1,140 @@
+"""Emit a JSON perf snapshot of the Monte Carlo substrate.
+
+Times the scalar reference loop against the vectorized batch engine on
+benchmark-scale Table 1 workloads (no-CD schedule path and CD
+history-grouped path) and writes a ``BENCH_*.json`` snapshot, so future
+PRs can track the performance trajectory with a one-line diff instead of
+re-deriving numbers from benchmark logs.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/bench_report.py [--output BENCH_BATCH.json]
+
+The snapshot records the environment (python/numpy versions), the
+workload configuration, per-substrate wall-clock seconds and the
+speedups.  Timings are medians over ``--repeats`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.channel import with_collision_detection, without_collision_detection
+from repro.experiments.table1_nocd import entropy_sweep_distributions
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+
+N = 2**16
+MAX_ROUNDS = 1024
+SEED = 2021
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _measure(protocol, distribution, channel, trials: int, repeats: int):
+    def estimate(batch: bool):
+        return estimate_uniform_rounds(
+            protocol,
+            distribution,
+            np.random.default_rng(SEED),
+            channel=channel,
+            trials=trials,
+            max_rounds=MAX_ROUNDS,
+            batch=batch,
+        )
+
+    scalar_seconds = _median_seconds(lambda: estimate(False), repeats)
+    batch_seconds = _median_seconds(lambda: estimate(True), repeats)
+    batched = estimate(True)
+    return {
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "success_rate": batched.success.rate,
+        "mean_rounds": (
+            None if not batched.any_successes else round(batched.rounds.mean, 4)
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_BATCH.json"),
+        help="snapshot path (default: BENCH_BATCH.json in the cwd)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=6000,
+        help="Monte Carlo trials per measurement (default 6000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats; the median is recorded (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    measurements = {
+        "nocd_sorted_probing": _measure(
+            SortedProbingProtocol(distribution, one_shot=False),
+            distribution,
+            without_collision_detection(),
+            args.trials,
+            args.repeats,
+        ),
+        "cd_willard": _measure(
+            WillardProtocol(N),
+            distribution,
+            with_collision_detection(),
+            args.trials,
+            args.repeats,
+        ),
+    }
+    snapshot = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "n": N,
+            "trials": args.trials,
+            "max_rounds": MAX_ROUNDS,
+            "seed": SEED,
+            "repeats": args.repeats,
+            "workload": distribution.name,
+        },
+        "measurements": measurements,
+    }
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    for name, row in measurements.items():
+        print(
+            f"{name}: scalar={row['scalar_seconds']:.3f}s "
+            f"batch={row['batch_seconds']:.3f}s speedup={row['speedup']}x"
+        )
+    print(f"snapshot written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
