@@ -1,0 +1,51 @@
+"""The shared sweep-executor benchmark workload.
+
+One definition consumed by both the opt-in benchmark gate
+(:mod:`benchmarks.test_bench_sweep`) and the snapshot tool
+(``tools/bench_report.py``), so the >= 2x gate and the
+``sweep_executor`` section of ``BENCH_BATCH.json`` always measure the
+same grid: eight entropy-dial points at Table-1 scale, each heavy
+enough (200k trials by default) to dwarf the process pool's spawn cost.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import ScenarioSpec, Sweep
+
+N = 2**16
+TRIALS_PER_POINT = 200_000
+MAX_ROUNDS = 1024
+SEED = 2021
+
+#: Eight entropy-dial points (n = 2^16 has 16 condensed ranges).
+RANGE_SETS: list[list[int]] = [
+    [8],
+    [4, 12],
+    [2, 8, 14],
+    [2, 6, 10, 14],
+    [3, 7, 11, 15],
+    [2, 5, 8, 11, 14],
+    [2, 4, 6, 8, 10, 12],
+    [2, 4, 6, 8, 10, 12, 14, 16],
+]
+
+
+def executor_sweep(trials: int = TRIALS_PER_POINT) -> Sweep:
+    """The benchmark sweep: cycling sorted probing across the dial."""
+    base = ScenarioSpec.from_dict(
+        {
+            "name": "bench-sweep",
+            "protocol": {"id": "sorted-probing", "params": {"one_shot": False}},
+            "prediction": "truth",
+            "workload": {
+                "kind": "distribution",
+                "params": {"family": "range_uniform_subset", "ranges": [8]},
+            },
+            "channel": "nocd",
+            "n": N,
+            "trials": trials,
+            "max_rounds": MAX_ROUNDS,
+            "seed": SEED,
+        }
+    )
+    return Sweep(base=base, grid={"workload.params.ranges": RANGE_SETS})

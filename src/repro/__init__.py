@@ -94,6 +94,14 @@ from .learning import (
     SlidingWindowLearner,
     run_online,
 )
+from .scenarios import (
+    ScenarioResult,
+    ScenarioSpec,
+    Sweep,
+    SweepResult,
+    run_scenario,
+    run_sweep,
+)
 from .protocols import (
     BinaryExponentialBackoff,
     CodeSearchProtocol,
@@ -180,4 +188,11 @@ __all__ = [
     "experiment_ids",
     "run_experiment",
     "run_all",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -20,8 +20,10 @@ just with a different consumption order of the RNG stream.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
@@ -38,10 +40,40 @@ __all__ = [
     "estimate_uniform_rounds",
     "estimate_success_within",
     "estimate_player_rounds",
+    "select_uniform_engine",
+    "ENGINE_BATCH_SCHEDULE",
+    "ENGINE_BATCH_HISTORY",
+    "ENGINE_SCALAR_UNIFORM",
+    "ENGINE_SCALAR_PLAYER",
 ]
 
 UniformFactory = Callable[[], UniformProtocol] | UniformProtocol
-SizeSource = int | SizeDistribution | Callable[[np.random.Generator], int]
+
+
+class SupportsSampleMany(Protocol):
+    """Structural size-source interface: per-trial participant counts.
+
+    Satisfied by :class:`SizeDistribution` and the arrival models of
+    :mod:`repro.channel.arrivals`; ``sample_many`` is the vectorized
+    batch-path draw, ``sample`` the scalar-path draw.
+    """
+
+    def sample(self, rng: np.random.Generator) -> int: ...
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray: ...
+
+
+#: A size source is a fixed ``k``, any :class:`SupportsSampleMany` object,
+#: or a bare per-trial callable (always the scalar sampling path).
+SizeSource = int | SupportsSampleMany | Callable[[np.random.Generator], int]
+
+#: Engine labels returned by :func:`select_uniform_engine` and surfaced in
+#: scenario metadata: the two vectorized batch paths, the scalar uniform
+#: reference loop, and the per-player loop (which has no batch path yet).
+ENGINE_BATCH_SCHEDULE = "batch-schedule"
+ENGINE_BATCH_HISTORY = "batch-history"
+ENGINE_SCALAR_UNIFORM = "scalar-uniform"
+ENGINE_SCALAR_PLAYER = "scalar-player"
 
 
 @dataclass(frozen=True)
@@ -84,7 +116,7 @@ def _resolve_size(source: SizeSource) -> Callable[[np.random.Generator], int]:
         if source < 1:
             raise ValueError(f"fixed size must be >= 1, got {source}")
         return lambda rng: source
-    if isinstance(source, SizeDistribution):
+    if hasattr(source, "sample"):
         return source.sample
     return source
 
@@ -92,14 +124,46 @@ def _resolve_size(source: SizeSource) -> Callable[[np.random.Generator], int]:
 def _draw_size_batch(
     source: SizeSource, rng: np.random.Generator, trials: int
 ) -> np.ndarray:
-    """Per-trial participant counts as one vector (batch-path sampling)."""
+    """Per-trial participant counts as one vector (batch-path sampling).
+
+    Any source exposing ``sample_many`` (distributions, arrival models)
+    is drawn in one vectorized call; bare callables fall back to the
+    per-trial loop.
+    """
     if isinstance(source, int):
         if source < 1:
             raise ValueError(f"fixed size must be >= 1, got {source}")
         return np.full(trials, source, dtype=np.int64)
-    if isinstance(source, SizeDistribution):
+    if hasattr(source, "sample_many"):
         return np.asarray(source.sample_many(rng, trials), dtype=np.int64)
     return np.asarray([source(rng) for _ in range(trials)], dtype=np.int64)
+
+
+def select_uniform_engine(
+    protocol: UniformFactory, batch: bool | None = None
+) -> str:
+    """Which execution engine :func:`estimate_uniform_rounds` will use.
+
+    Pure routing (no simulation): :data:`ENGINE_BATCH_SCHEDULE` for
+    batchable protocols that publish their full probability schedule,
+    :data:`ENGINE_BATCH_HISTORY` for feedback-driven protocols with
+    deterministic sessions, :data:`ENGINE_SCALAR_UNIFORM` otherwise
+    (factories, randomized sessions, or ``batch=False``).  Raises
+    ``ValueError`` when ``batch=True`` insists on an impossible batch run,
+    mirroring the estimator.
+    """
+    batchable = isinstance(protocol, UniformProtocol) and is_batchable(protocol)
+    if batch is True and not batchable:
+        raise ValueError(
+            "batch=True requires a batchable UniformProtocol instance "
+            "(got a factory or a randomized-session protocol)"
+        )
+    if batch is not False and batchable:
+        assert isinstance(protocol, UniformProtocol)
+        if protocol.batch_schedule() is not None:
+            return ENGINE_BATCH_SCHEDULE
+        return ENGINE_BATCH_HISTORY
+    return ENGINE_SCALAR_UNIFORM
 
 
 def estimate_uniform_rounds(
@@ -129,13 +193,9 @@ def estimate_uniform_rounds(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    batchable = isinstance(protocol, UniformProtocol) and is_batchable(protocol)
-    if batch is True and not batchable:
-        raise ValueError(
-            "batch=True requires a batchable UniformProtocol instance "
-            "(got a factory or a randomized-session protocol)"
-        )
-    if batch is not False and batchable:
+    engine = select_uniform_engine(protocol, batch)
+    if engine != ENGINE_SCALAR_UNIFORM:
+        assert isinstance(protocol, UniformProtocol)
         ks = _draw_size_batch(size_source, rng, trials)
         result = run_uniform_batch(
             protocol, ks, rng, channel=channel, max_rounds=max_rounds
@@ -212,13 +272,21 @@ def estimate_player_rounds(
     ``participant_source`` draws a participant set per trial (typically an
     :class:`~repro.channel.network.Adversary` bound to a size schedule).
 
-    ``batch`` is accepted for signature parity with
-    :func:`estimate_uniform_rounds` but currently ignored: per-player
-    sessions carry identity-dependent state (and private randomness), so
-    there is no vectorized player engine yet and every trial runs on the
-    scalar per-player loop.
+    ``batch`` keeps signature parity with :func:`estimate_uniform_rounds`:
+    per-player sessions carry identity-dependent state (and private
+    randomness), so there is no vectorized player engine yet and
+    ``batch=None`` / ``batch=False`` both run the scalar per-player loop.
+    ``batch=True`` *requests* vectorization the engine cannot provide, so
+    it warns (``RuntimeWarning``) before falling back rather than
+    silently pretending the request was honoured.
     """
-    del batch
+    if batch:
+        warnings.warn(
+            "estimate_player_rounds has no vectorized engine yet; "
+            "batch=True falls back to the scalar per-player loop",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     solved_rounds: list[int] = []

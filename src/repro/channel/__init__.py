@@ -6,6 +6,7 @@ round-by-round execution engine that drives protocols to the first
 single-transmitter round.
 """
 
+from .arrivals import MarkovBurstArrivals, TraceArrivals
 from .channel import Channel, with_collision_detection, without_collision_detection
 from .network import (
     Adversary,
@@ -31,6 +32,8 @@ __all__ = [
     "SpreadAdversary",
     "ClusteredAdversary",
     "validate_participants",
+    "MarkovBurstArrivals",
+    "TraceArrivals",
     "run_uniform",
     "run_uniform_batch",
     "is_batchable",

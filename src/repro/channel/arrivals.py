@@ -1,0 +1,188 @@
+"""Arrival models: non-i.i.d. participant-count processes.
+
+The Monte Carlo estimators accept any *size source* exposing
+``sample(rng)`` / ``sample_many(rng, count)`` (the duck-typed protocol of
+:mod:`repro.analysis.montecarlo`).  :class:`~repro.infotheory.distributions.
+SizeDistribution` covers the i.i.d. workloads of Section 2.2; this module
+adds processes whose per-trial counts are *correlated across trials* - the
+adversarial arrival territory surveyed by the contention-resolution
+literature that a fixed pmf cannot express.
+
+* :class:`MarkovBurstArrivals` - a two-regime Markov-modulated activation
+  model: the network idles in a *calm* regime (each of ``devices`` nodes
+  awake independently with a small probability) and occasionally enters a
+  *burst* regime (a correlated wake-up - alarm fan-out, synchronized
+  retries - activating a large fraction).  Regime sojourns are geometric,
+  so a whole batch of trials is sampled with a handful of vectorized
+  draws: run lengths via ``rng.geometric``, counts via one
+  ``rng.binomial`` over the per-trial rate vector.
+
+* :class:`TraceArrivals` - replay an explicit count sequence (measured
+  traces, hand-crafted adversarial schedules), cycling when the batch
+  outruns the trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["MarkovBurstArrivals", "TraceArrivals"]
+
+#: Counts below 2 are clamped up: contention resolution is only defined
+#: for k >= 1 and the paper's distributional setting assumes k >= 2.
+MIN_COUNT = 2
+
+
+class MarkovBurstArrivals:
+    """Bursty activation: a two-state Markov chain modulating wake-up rates.
+
+    Each trial the process sits in the *calm* or *burst* regime; the count
+    is ``Binomial(devices, rate)`` for the regime's rate, clamped into
+    ``[2, devices]`` (an empty or singleton round is not a contention
+    instance).  The regime persists between trials: transitions happen
+    with probability ``burst_arrival`` (calm -> burst) and
+    ``burst_departure`` (burst -> calm) per trial, giving geometric
+    sojourn times - consecutive trials of a batch see correlated load,
+    which is exactly what an i.i.d. :class:`SizeDistribution` cannot
+    model.
+
+    Parameters
+    ----------
+    devices:
+        Population size ``n`` (counts never exceed it).
+    calm_rate / burst_rate:
+        Per-device activation probability in each regime.
+    burst_arrival / burst_departure:
+        Per-trial regime switch probabilities (``0`` pins the regime).
+    start_in_burst:
+        Initial regime (default calm).
+    """
+
+    def __init__(
+        self,
+        devices: int,
+        *,
+        calm_rate: float,
+        burst_rate: float,
+        burst_arrival: float,
+        burst_departure: float,
+        start_in_burst: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if devices < MIN_COUNT:
+            raise ValueError(f"devices must be >= {MIN_COUNT}, got {devices}")
+        for label, value in (
+            ("calm_rate", calm_rate),
+            ("burst_rate", burst_rate),
+            ("burst_arrival", burst_arrival),
+            ("burst_departure", burst_departure),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {value}")
+        self.devices = devices
+        self.calm_rate = float(calm_rate)
+        self.burst_rate = float(burst_rate)
+        self.burst_arrival = float(burst_arrival)
+        self.burst_departure = float(burst_departure)
+        self.start_in_burst = bool(start_in_burst)
+        self._in_burst = self.start_in_burst
+        self.name = name or (
+            f"markov-burst(n={devices},calm={calm_rate:g},burst={burst_rate:g})"
+        )
+
+    @property
+    def n(self) -> int:
+        """Maximum possible count (size-source interface parity)."""
+        return self.devices
+
+    def reset(self) -> None:
+        """Return the regime chain to its initial state."""
+        self._in_burst = self.start_in_burst
+
+    def _regimes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Per-trial regime flags (True = burst) for the next ``count`` trials.
+
+        Sampled run-by-run: a geometric sojourn in the current regime is
+        one ``rng.geometric`` draw, then the regime flips - so the cost is
+        proportional to the number of regime *switches*, not trials.
+        """
+        regimes = np.empty(count, dtype=bool)
+        position = 0
+        while position < count:
+            leave = self.burst_departure if self._in_burst else self.burst_arrival
+            if leave <= 0.0:
+                # Zero switch probability pins the regime: fill the rest of
+                # the batch and leave the chain state untouched.
+                regimes[position:] = self._in_burst
+                break
+            sojourn = int(rng.geometric(leave))
+            take = min(sojourn, count - position)
+            regimes[position : position + take] = self._in_burst
+            position += take
+            if take == sojourn:
+                # The sojourn completed inside this batch: switch regime.
+                self._in_burst = not self._in_burst
+        return regimes
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` consecutive participant counts (vectorized)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        regimes = self._regimes(rng, count)
+        rates = np.where(regimes, self.burst_rate, self.calm_rate)
+        draws = rng.binomial(self.devices, rates)
+        return np.clip(draws, MIN_COUNT, self.devices).astype(np.int64)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw the next participant count (one chain step)."""
+        return int(self.sample_many(rng, 1)[0])
+
+    def __repr__(self) -> str:
+        return f"<MarkovBurstArrivals {self.name!r}>"
+
+
+class TraceArrivals:
+    """Replay an explicit participant-count sequence, cycling at the end.
+
+    Wraps measured traces or hand-built adversarial schedules as a size
+    source; ``sample_many`` hands out consecutive trace entries (one
+    vectorized slice, no per-trial Python work) and a cursor keeps scalar
+    and batch consumption consistent.
+    """
+
+    def __init__(self, counts: Sequence[int], *, name: str = "trace") -> None:
+        trace = np.asarray(list(counts), dtype=np.int64)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ValueError("trace must be a non-empty 1-d count sequence")
+        if (trace < 1).any():
+            raise ValueError("trace counts must all be >= 1")
+        self._trace = trace
+        self._position = 0
+        self.name = name
+
+    @property
+    def n(self) -> int:
+        """Largest count in the trace."""
+        return int(self._trace.max())
+
+    def reset(self) -> None:
+        """Rewind the replay cursor."""
+        self._position = 0
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """The next ``count`` trace entries (cycling past the end)."""
+        del rng  # replay is deterministic
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        indices = (self._position + np.arange(count)) % self._trace.size
+        self._position = int((self._position + count) % self._trace.size)
+        return self._trace[indices]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """The next trace entry."""
+        return int(self.sample_many(rng, 1)[0])
+
+    def __repr__(self) -> str:
+        return f"<TraceArrivals {self.name!r} length={self._trace.size}>"

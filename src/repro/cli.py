@@ -6,20 +6,34 @@ Subcommands:
 * ``repro run <ID> [...]`` - run experiments and print their reports
   (``all`` runs the full registry);
 * ``repro report [...]`` - run the full registry and emit the
-  EXPERIMENTS.md-style paper-vs-measured summary.
+  EXPERIMENTS.md-style paper-vs-measured summary;
+* ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
+* ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
+  grid through the serial or process-pool executor;
+* ``repro scenario example [--sweep]`` - print a ready-to-run spec.
 
-Every run is reproducible from ``--seed``; ``--quick`` thins the sweeps
-for smoke-testing.
+Every run is reproducible from its seed; ``--quick`` thins the
+experiment sweeps for smoke-testing, and ``--json`` switches the
+scenario commands to machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .experiments.base import ExperimentConfig
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from .scenarios import (
+    ScenarioError,
+    ScenarioSpec,
+    Sweep,
+    run_scenario,
+    run_sweep,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -56,6 +70,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full registry and print a paper-vs-measured summary",
     )
     _add_config_arguments(report_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run declarative scenarios (see docs/SCENARIOS.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="execute one ScenarioSpec JSON file ('-' reads stdin)"
+    )
+    scenario_run.add_argument("spec", help="path to a ScenarioSpec JSON file, or '-'")
+    scenario_run.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="expand and execute a sweep JSON file ('-' reads stdin)"
+    )
+    scenario_sweep.add_argument(
+        "spec", help="path to a sweep JSON file ({base, grid, vary_seed}), or '-'"
+    )
+    scenario_sweep.add_argument(
+        "--executor",
+        choices=["serial", "process"],
+        default="serial",
+        help="point executor: in-process serial (default) or a process pool",
+    )
+    scenario_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: min(points, cpu count))",
+    )
+    scenario_sweep.add_argument(
+        "--json", action="store_true", help="emit all point results as JSON"
+    )
+
+    scenario_example = scenario_sub.add_parser(
+        "example", help="print a ready-to-run example spec"
+    )
+    scenario_example.add_argument(
+        "--sweep",
+        action="store_true",
+        help="print a sweep ({base, grid}) instead of a single scenario",
+    )
     return parser
 
 
@@ -111,14 +171,20 @@ def _command_run(args: argparse.Namespace) -> int:
         if any(name.lower() == "all" for name in args.experiments)
         else args.experiments
     )
+    # Validate the whole request before running anything: a typo in the
+    # last id must not cost the first ids' (possibly long) runs.
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment id(s): {', '.join(unknown)}; known ids: "
+            f"{', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
     config = _config_from(args)
     exit_code = 0
     for experiment_id in requested:
-        try:
-            result = run_experiment(experiment_id, config)
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
+        result = run_experiment(experiment_id, config)
         print(result.render())
         if args.csv:
             print(result.to_csv())
@@ -149,6 +215,68 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The example scenario: the paper's headline no-CD prediction protocol
+#: against a 2-bit workload, small enough to finish in well under a second.
+EXAMPLE_SCENARIO: dict = {
+    "name": "sorted-probing-demo",
+    "protocol": {"id": "sorted-probing", "params": {"one_shot": False}},
+    "prediction": "truth",
+    "workload": {
+        "kind": "distribution",
+        "params": {"family": "range_uniform_subset", "ranges": [2, 4, 6, 8]},
+    },
+    "channel": "nocd",
+    "n": 2**10,
+    "trials": 1000,
+    "max_rounds": 512,
+    "seed": 2021,
+}
+
+#: The example sweep: the same scenario across an entropy dial.
+EXAMPLE_SWEEP: dict = {
+    "base": EXAMPLE_SCENARIO,
+    "grid": {
+        "workload.params.ranges": [[5], [3, 7], [2, 5, 8], [2, 4, 6, 8]],
+    },
+    "vary_seed": True,
+}
+
+
+def _read_spec_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "example":
+        payload = EXAMPLE_SWEEP if args.sweep else EXAMPLE_SCENARIO
+        print(json.dumps(payload, indent=2))
+        return 0
+    try:
+        text = _read_spec_text(args.spec)
+    except OSError as error:
+        print(f"cannot read spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.scenario_command == "run":
+            result = run_scenario(ScenarioSpec.from_json(text))
+            print(result.to_json() if args.json else result.render())
+            return 0
+        if args.scenario_command == "sweep":
+            sweep_result = run_sweep(
+                Sweep.from_json(text),
+                executor=args.executor,
+                max_workers=args.workers,
+            )
+            print(sweep_result.to_json() if args.json else sweep_result.render())
+            return 0
+    except ScenarioError as error:
+        print(f"scenario error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled scenario command {args.scenario_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -158,6 +286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

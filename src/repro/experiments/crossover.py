@@ -11,79 +11,82 @@ This experiment sweeps entropy and races, per channel model:
 
 The headline numbers are the low-entropy speed-up factors and the
 high-entropy overhead factors.
+
+Each race arm is a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+executed through :func:`~repro.scenarios.runner.run_scenario` with the
+experiment's shared generator - the four arms per entropy point are
+literally four scenario points differing only in protocol id and channel,
+and the RNG stream (hence the measured table) is identical to the former
+hand-wired estimator calls (guarded by the scenario-equivalence tests).
 """
 
 from __future__ import annotations
 
-from ..analysis.montecarlo import estimate_uniform_rounds
-from ..channel.channel import with_collision_detection, without_collision_detection
-from ..core.predictions import Prediction
 from ..infotheory.condense import num_ranges
-from ..protocols.code_search import CodeSearchProtocol
-from ..protocols.decay import DecayProtocol
-from ..protocols.sorted_probing import SortedProbingProtocol
-from ..protocols.willard import WillardProtocol
+from ..infotheory.distributions import SizeDistribution
+from ..scenarios import (
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
 from .base import ExperimentConfig, ExperimentResult
-from .table1_nocd import entropy_sweep_distributions
+from .table1_nocd import entropy_sweep_range_sets, entropy_workload_spec
 
 __all__ = ["run"]
+
+#: The four race arms: (protocol spec, needs prediction, CD channel).
+_ARMS: list[tuple[ProtocolSpec, bool, bool]] = [
+    (
+        ProtocolSpec("sorted-probing", {"one_shot": False, "support_only": True}),
+        True,
+        False,
+    ),
+    (ProtocolSpec("decay", {}), False, False),
+    (
+        ProtocolSpec("code-search", {"one_shot": False, "support_only": True}),
+        True,
+        True,
+    ),
+    (ProtocolSpec("willard", {}), False, True),
+]
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
     rng = config.rng()
-    nocd = without_collision_detection()
-    cd = with_collision_detection()
     trials = config.effective_trials()
     count = num_ranges(config.n)
     budget = 64 * count
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
-    sweep = entropy_sweep_distributions(config.n, quick=config.quick)
+    range_sets = entropy_sweep_range_sets(config.n, quick=config.quick)
 
     ratio_low_nocd = ratio_high_nocd = None
     ratio_low_cd = ratio_high_cd = None
 
-    for distribution in sweep:
-        entropy_bits = distribution.condensed_entropy()
-        prediction = Prediction(distribution)
-        sorted_rounds = estimate_uniform_rounds(
-            SortedProbingProtocol(
-                prediction, one_shot=False, support_only=True
-            ),
-            distribution,
-            rng,
-            channel=nocd,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
-        ).rounds.mean
-        decay_rounds = estimate_uniform_rounds(
-            DecayProtocol(config.n),
-            distribution,
-            rng,
-            channel=nocd,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
-        ).rounds.mean
-        code_rounds = estimate_uniform_rounds(
-            CodeSearchProtocol(prediction, one_shot=False, support_only=True),
-            distribution,
-            rng,
-            channel=cd,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
-        ).rounds.mean
-        willard_rounds = estimate_uniform_rounds(
-            WillardProtocol(config.n),
-            distribution,
-            rng,
-            channel=cd,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
-        ).rounds.mean
+    for index, ranges in enumerate(range_sets):
+        workload = entropy_workload_spec(ranges)
+        entropy_bits = SizeDistribution.range_uniform_subset(
+            config.n, ranges
+        ).condensed_entropy()
+        arm_rounds: list[float] = []
+        for protocol, needs_prediction, collision_detection in _ARMS:
+            result = run_scenario(
+                _arm_spec(
+                    config,
+                    protocol,
+                    needs_prediction,
+                    collision_detection,
+                    workload,
+                    trials,
+                    budget,
+                ),
+                rng=rng,
+            )
+            arm_rounds.append(result.rounds.mean)
+        sorted_rounds, decay_rounds, code_rounds, willard_rounds = arm_rounds
         rows.append(
             [
                 entropy_bits,
@@ -95,10 +98,10 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 willard_rounds / code_rounds,
             ]
         )
-        if distribution is sweep[0]:
+        if index == 0:
             ratio_low_nocd = decay_rounds / sorted_rounds
             ratio_low_cd = willard_rounds / code_rounds
-        if distribution is sweep[-1]:
+        if index == len(range_sets) - 1:
             ratio_high_nocd = sorted_rounds / decay_rounds
             ratio_high_cd = code_rounds / willard_rounds
 
@@ -134,4 +137,27 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             " cycling (expected-time) variants; entries are mean rounds",
             "speed-up = baseline rounds / prediction-protocol rounds",
         ],
+    )
+
+
+def _arm_spec(
+    config: ExperimentConfig,
+    protocol: ProtocolSpec,
+    needs_prediction: bool,
+    collision_detection: bool,
+    workload: WorkloadSpec,
+    trials: int,
+    budget: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"baseline-x/{protocol.id}/{workload.params['name']}",
+        protocol=protocol,
+        prediction=PredictionSpec("truth") if needs_prediction else None,
+        workload=workload,
+        channel=ChannelSpec(collision_detection=collision_detection),
+        n=config.n,
+        trials=trials,
+        max_rounds=budget,
+        seed=config.seed,
+        batch=config.batch_mode(),
     )

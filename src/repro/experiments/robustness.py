@@ -14,26 +14,48 @@ the advice bits of the Section 3.2 deterministic protocols and measures:
   restore a 100% solve rate at a cost that degrades smoothly with the
   corruption level: the ski-rental-flavoured robustness the
   predictions-literature the paper cites aims for.
+
+Every measured cell is a declarative :class:`~repro.scenarios.spec.
+ScenarioSpec`: the bare and repaired protocols are registry references
+(the repaired one a nested ``fallback`` wrapper spec), corruption is an
+advice-spec field, and :func:`~repro.scenarios.runner.run_scenario` with
+the shared generator reproduces the pre-migration tables bit-for-bit
+(guarded by the scenario-equivalence tests).
 """
 
 from __future__ import annotations
 
-from ..analysis.montecarlo import estimate_player_rounds
 from ..channel.channel import with_collision_detection, without_collision_detection
-from ..channel.network import RandomAdversary
-from ..core.advice import MinIdPrefixAdvice
-from ..core.faulty_advice import BitFlipAdvice
-from ..protocols.adapters import UniformAsPlayerProtocol
 from ..protocols.advice_deterministic import (
     DeterministicScanProtocol,
     DeterministicTreeDescentProtocol,
 )
-from ..protocols.decay import DecayProtocol
-from ..protocols.restart import FallbackPlayerProtocol
-from ..protocols.willard import WillardProtocol
+from ..scenarios import (
+    AdviceSpec,
+    ChannelSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
 from .base import ExperimentConfig, ExperimentResult
 
 __all__ = ["run"]
+
+
+def _fallback_spec(primary: dict, fallback_inner: str) -> ProtocolSpec:
+    """The repaired protocol: primary + uniform fallback after its budget."""
+    return ProtocolSpec(
+        "fallback",
+        {
+            "primary": primary,
+            "fallback": {
+                "id": "uniform-as-player",
+                "params": {"inner": {"id": fallback_inner, "params": {}}},
+            },
+            "budget_rounds": "worst-case",
+        },
+    )
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
@@ -42,7 +64,6 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     b = 4
     k = 6
     trials = max(150, config.effective_trials() // 4)
-    adversary = RandomAdversary()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
 
@@ -51,51 +72,56 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     settings = [
         (
             "scan",
+            {"id": "deterministic-scan", "params": {"advice_bits": b}},
+            "decay",
             DeterministicScanProtocol(b),
-            UniformAsPlayerProtocol(DecayProtocol(n)),
             without_collision_detection(),
         ),
         (
             "descent",
+            {"id": "tree-descent", "params": {"advice_bits": b}},
+            "willard",
             DeterministicTreeDescentProtocol(b),
-            UniformAsPlayerProtocol(WillardProtocol(n)),
             with_collision_detection(),
         ),
     ]
-    for label, primary, fallback_protocol, channel in settings:
-        budget = primary.worst_case_rounds(n)
-        fallback = FallbackPlayerProtocol(primary, fallback_protocol, budget)
+    for label, primary, fallback_inner, primary_protocol, channel in settings:
+        budget = primary_protocol.worst_case_rounds(n)
         bare_failure_rates = []
         repaired_means = []
         for flip in flip_levels:
-            advice = BitFlipAdvice(MinIdPrefixAdvice(b), flip, rng)
-
-            def draw_participants(generator):
-                return adversary.checked_select(n, k, generator)
-
-            # batch is threaded for signature parity; the player engine has
-            # no vectorized path yet, so these stay on the scalar loop.
-            bare = estimate_player_rounds(
-                primary,
-                draw_participants,
-                n,
-                rng,
-                channel=channel,
-                advice_function=advice,
-                trials=trials,
-                max_rounds=budget,
-                batch=config.batch_mode(),
+            advice = AdviceSpec(
+                function="min-id-prefix",
+                bits=b,
+                corruption={"model": "bit-flip", "probability": flip},
             )
-            repaired = estimate_player_rounds(
-                fallback,
-                draw_participants,
-                n,
-                rng,
-                channel=channel,
-                advice_function=advice,
-                trials=trials,
-                max_rounds=100 * budget,
-                batch=config.batch_mode(),
+
+            def cell_spec(protocol: ProtocolSpec, max_rounds: int, tag: str):
+                return ScenarioSpec(
+                    name=f"advice-robust/{label}/{tag}/flip={flip}",
+                    protocol=protocol,
+                    workload=WorkloadSpec("fixed", {"k": k}),
+                    channel=ChannelSpec(channel.collision_detection),
+                    advice=advice,
+                    adversary="random",
+                    n=n,
+                    trials=trials,
+                    max_rounds=max_rounds,
+                    seed=config.seed,
+                    batch=config.batch_mode(),
+                )
+
+            bare = run_scenario(
+                cell_spec(ProtocolSpec.from_dict(primary), budget, "bare"),
+                rng=rng,
+            )
+            repaired = run_scenario(
+                cell_spec(
+                    _fallback_spec(primary, fallback_inner),
+                    100 * budget,
+                    "repaired",
+                ),
+                rng=rng,
             )
             bare_failure = 1.0 - bare.success.rate
             bare_failure_rates.append(bare_failure)

@@ -25,11 +25,23 @@ from ..lowerbounds.bounds import loglogloglog, table1_cd_upper
 from ..lowerbounds.range_finding import default_tree_tolerance
 from ..lowerbounds.target_distance_coding import TreeTargetDistanceCode
 from ..lowerbounds.tree_construction import build_range_finding_tree
+from ..infotheory.distributions import SizeDistribution
 from ..protocols.adapters import as_history_policy
 from ..protocols.code_search import CodeSearchProtocol
 from ..protocols.willard import WillardProtocol
+from ..scenarios import (
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    run_scenario,
+)
 from .base import ExperimentConfig, ExperimentResult
-from .table1_nocd import entropy_sweep_distributions
+from .table1_nocd import (
+    entropy_sweep_distributions,
+    entropy_sweep_range_sets,
+    entropy_workload_spec,
+)
 
 __all__ = ["run_upper", "run_lower"]
 
@@ -54,9 +66,13 @@ def cd_budget(entropy_bits: float, repetitions: int) -> int:
 
 
 def run_upper(config: ExperimentConfig) -> ExperimentResult:
-    """``T1-CD-UP``: code-class search within the ``O(H^2)`` budget."""
+    """``T1-CD-UP``: code-class search within the ``O(H^2)`` budget.
+
+    Migrated onto the scenario API (declarative sweep points through
+    :func:`run_scenario` with the shared generator - same RNG stream,
+    same table as the former hand-wired estimator calls).
+    """
     rng = config.rng()
-    channel = with_collision_detection()
     trials = config.effective_trials()
     repetitions = 3
     rows: list[list[object]] = []
@@ -64,20 +80,30 @@ def run_upper(config: ExperimentConfig) -> ExperimentResult:
     entropies: list[float] = []
     means: list[float] = []
 
-    for distribution in entropy_sweep_distributions(config.n, quick=config.quick):
+    for ranges in entropy_sweep_range_sets(config.n, quick=config.quick):
+        workload = entropy_workload_spec(ranges)
+        distribution = SizeDistribution.range_uniform_subset(
+            config.n, ranges, name=workload.params["name"]
+        )
         entropy_bits = distribution.condensed_entropy()
         budget = cd_budget(entropy_bits, repetitions)
-        protocol = CodeSearchProtocol(
-            Prediction(distribution), repetitions=repetitions, one_shot=True
-        )
-        estimate = estimate_uniform_rounds(
-            protocol,
-            distribution,
-            rng,
-            channel=channel,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
+        estimate = run_scenario(
+            ScenarioSpec(
+                name=f"t1-cd-up/{workload.params['name']}",
+                protocol=ProtocolSpec(
+                    "code-search",
+                    {"repetitions": repetitions, "one_shot": True},
+                ),
+                prediction=PredictionSpec("truth"),
+                workload=workload,
+                channel=ChannelSpec(collision_detection=True),
+                n=config.n,
+                trials=trials,
+                max_rounds=budget,
+                seed=config.seed,
+                batch=config.batch_mode(),
+            ),
+            rng=rng,
         )
         rows.append(
             [

@@ -34,10 +34,24 @@ from ..lowerbounds.rf_construction import rf_range_finder
 from ..lowerbounds.target_distance_coding import SequenceTargetDistanceCode
 from ..protocols.decay import DecayProtocol
 from ..protocols.sorted_probing import SortedProbingProtocol
+from ..scenarios import (
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
 from .base import ExperimentConfig, ExperimentResult
 from .pliam import exact_guesswork
 
-__all__ = ["run_upper", "run_lower", "entropy_sweep_distributions"]
+__all__ = [
+    "run_upper",
+    "run_lower",
+    "entropy_sweep_distributions",
+    "entropy_sweep_range_sets",
+    "entropy_workload_spec",
+]
 
 #: Success-probability floor of Theorem 2.12.
 SUCCESS_FLOOR = 1.0 / 16.0
@@ -48,16 +62,16 @@ SUCCESS_FLOOR = 1.0 / 16.0
 RF_ALPHA = 2.0
 
 
-def entropy_sweep_distributions(
-    n: int, *, quick: bool = False
-) -> list[SizeDistribution]:
-    """Workloads with ``H(c(X)) = log2 m`` for ``m = 1, 2, 4, ..., L``.
+def entropy_sweep_range_sets(n: int, *, quick: bool = False) -> list[list[int]]:
+    """The range subsets behind the entropy sweep, ``m = 1, 2, 4, ..., L``.
 
-    The ``m`` selected ranges are spread evenly over ``L(n)`` so the
-    workloads exercise small and large sizes alike.
+    The declarative form of the sweep: each entry is the ``ranges``
+    parameter of a ``range_uniform_subset`` workload spec (the
+    distributions themselves come from :func:`entropy_sweep_distributions`
+    or scenario resolution).
     """
     count = num_ranges(n)
-    sweep: list[SizeDistribution] = []
+    sets: list[list[int]] = []
     m = 1
     while m <= count:
         # Centre the selected ranges in their strides so the m=1 workload
@@ -69,39 +83,80 @@ def entropy_sweep_distributions(
                 for i in range(m)
             }
         )
-        sweep.append(
-            SizeDistribution.range_uniform_subset(
-                n, ranges, name=f"H={math.log2(len(ranges)):.2f}b"
-            )
-        )
+        sets.append(ranges)
         m *= 4 if quick else 2
-    return sweep
+    return sets
+
+
+def _sweep_name(ranges: list[int]) -> str:
+    return f"H={math.log2(len(ranges)):.2f}b"
+
+
+def entropy_workload_spec(ranges: list[int]) -> WorkloadSpec:
+    """The scenario workload spec for one entropy-sweep range subset."""
+    return WorkloadSpec(
+        kind="distribution",
+        params={
+            "family": "range_uniform_subset",
+            "ranges": list(ranges),
+            "name": _sweep_name(ranges),
+        },
+    )
+
+
+def entropy_sweep_distributions(
+    n: int, *, quick: bool = False
+) -> list[SizeDistribution]:
+    """Workloads with ``H(c(X)) = log2 m`` for ``m = 1, 2, 4, ..., L``.
+
+    The ``m`` selected ranges are spread evenly over ``L(n)`` so the
+    workloads exercise small and large sizes alike.
+    """
+    return [
+        SizeDistribution.range_uniform_subset(n, ranges, name=_sweep_name(ranges))
+        for ranges in entropy_sweep_range_sets(n, quick=quick)
+    ]
 
 
 def run_upper(config: ExperimentConfig) -> ExperimentResult:
-    """``T1-NCD-UP``: sorted probing within the ``2^{2H}`` budget."""
+    """``T1-NCD-UP``: sorted probing within the ``2^{2H}`` budget.
+
+    Migrated onto the scenario API: each sweep point is a declarative
+    :class:`ScenarioSpec` executed by :func:`run_scenario` with the
+    experiment's shared generator, which keeps the RNG stream - and hence
+    the measured table - identical to the former hand-wired estimator
+    calls (guarded by the scenario-equivalence tests).
+    """
     rng = config.rng()
-    channel = without_collision_detection()
     trials = config.effective_trials()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
     entropies: list[float] = []
     mean_rounds: list[float] = []
 
-    for distribution in entropy_sweep_distributions(config.n, quick=config.quick):
+    for ranges in entropy_sweep_range_sets(config.n, quick=config.quick):
+        workload = entropy_workload_spec(ranges)
+        distribution = SizeDistribution.range_uniform_subset(
+            config.n, ranges, name=_sweep_name(ranges)
+        )
         entropy_bits = distribution.condensed_entropy()
         budget = max(1, math.ceil(table1_nocd_upper(entropy_bits)))
         # One pass of sorted probing is at most L rounds; the budget may be
         # smaller at low entropy, which is the point of the theorem.
-        protocol = SortedProbingProtocol(Prediction(distribution), one_shot=True)
-        estimate = estimate_uniform_rounds(
-            protocol,
-            distribution,
-            rng,
-            channel=channel,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
+        estimate = run_scenario(
+            ScenarioSpec(
+                name=f"t1-ncd-up/{workload.params['name']}",
+                protocol=ProtocolSpec("sorted-probing", {"one_shot": True}),
+                prediction=PredictionSpec("truth"),
+                workload=workload,
+                channel=ChannelSpec(collision_detection=False),
+                n=config.n,
+                trials=trials,
+                max_rounds=budget,
+                seed=config.seed,
+                batch=config.batch_mode(),
+            ),
+            rng=rng,
         )
         lower_shape = table1_nocd_lower(entropy_bits, config.n)
         rows.append(

@@ -25,7 +25,6 @@ from __future__ import annotations
 import math
 
 from ..analysis.exact import schedule_solve_time
-from ..analysis.montecarlo import estimate_uniform_rounds
 from ..channel.channel import with_collision_detection, without_collision_detection
 from ..channel.simulator import run_players
 from ..core.advice import MinIdPrefixAdvice, id_bit_width
@@ -46,7 +45,13 @@ from ..protocols.advice_randomized import (
     TruncatedDecayProtocol,
     advised_block,
     block_index_for,
-    truncated_willard_protocol,
+)
+from ..scenarios import (
+    ChannelSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
 )
 from .base import ExperimentConfig, ExperimentResult
 
@@ -216,12 +221,17 @@ def run_rand_nocd(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_rand_cd(config: ExperimentConfig) -> ExperimentResult:
-    """``T2-RAND-CD``: truncated Willard vs ``Theta(log log n - b)``."""
+    """``T2-RAND-CD``: truncated Willard vs ``Theta(log log n - b)``.
+
+    Migrated onto the scenario API: each ``(b, k)`` cell is a declarative
+    :class:`ScenarioSpec` (truncated Willard via the protocol registry,
+    fixed-``k`` workload) executed with the shared generator, preserving
+    the pre-migration RNG stream and table.
+    """
     n = config.n
     count = num_ranges(n)
     max_b = max(1, math.ceil(math.log2(count)))
     rng = config.rng()
-    channel = with_collision_detection()
     trials = config.effective_trials()
     repetitions = 3
     rows: list[list[object]] = []
@@ -231,21 +241,27 @@ def run_rand_cd(config: ExperimentConfig) -> ExperimentResult:
     for b in _advice_sweep(max_b, quick=config.quick):
         worst = 0.0
         for k in _worst_block_sizes(n, b):
-            protocol = truncated_willard_protocol(
-                n,
-                b,
-                block_index_for(n, b, k),
-                repetitions=repetitions,
-                restart=True,
-            )
-            estimate = estimate_uniform_rounds(
-                protocol,
-                k,
-                rng,
-                channel=channel,
-                trials=trials,
-                max_rounds=1024,
-                batch=config.batch_mode(),
+            estimate = run_scenario(
+                ScenarioSpec(
+                    name=f"t2-rand-cd/b={b}/k={k}",
+                    protocol=ProtocolSpec(
+                        "truncated-willard",
+                        {
+                            "advice_bits": b,
+                            "k": k,
+                            "repetitions": repetitions,
+                            "restart": True,
+                        },
+                    ),
+                    workload=WorkloadSpec("fixed", {"k": k}),
+                    channel=ChannelSpec(collision_detection=True),
+                    n=n,
+                    trials=trials,
+                    max_rounds=1024,
+                    seed=config.seed,
+                    batch=config.batch_mode(),
+                ),
+                rng=rng,
             )
             # max() would silently discard a NaN mean; a block size that
             # never solves must fail the shape checks loudly instead.

@@ -1,0 +1,93 @@
+"""Declarative scenario API: specs, protocol registry, runner and sweeps.
+
+The single configuration-driven entry point into the simulation stack:
+
+* :mod:`~repro.scenarios.spec` - serializable scenario descriptions
+  (:class:`ScenarioSpec` and its protocol / channel / workload /
+  prediction / advice sub-specs);
+* :mod:`~repro.scenarios.registry` - string id -> constructor for every
+  protocol in :mod:`repro.protocols`;
+* :mod:`~repro.scenarios.workloads` - workload resolution, including the
+  :class:`SizeDistribution` families and the bursty arrival model;
+* :mod:`~repro.scenarios.runner` - :func:`run_scenario`, which
+  auto-routes to the batch / history-grouped / scalar / per-player
+  engine and returns a JSON-round-trippable :class:`ScenarioResult`;
+* :mod:`~repro.scenarios.sweep` - grid expansion plus serial and
+  process-pool executors for multi-core scaling.
+
+Quick start::
+
+    from repro.scenarios import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.from_dict({
+        "name": "sorted-probing vs a 2-bit workload",
+        "protocol": {"id": "sorted-probing", "params": {"one_shot": False}},
+        "prediction": "truth",
+        "workload": {"kind": "distribution",
+                     "params": {"family": "range_uniform_subset",
+                                "ranges": [3, 6, 9, 12]}},
+        "channel": "nocd",
+        "n": 2**16, "trials": 2000, "max_rounds": 1024, "seed": 2021,
+    })
+    result = run_scenario(spec)
+    print(result.render())
+"""
+
+from .registry import (
+    BuildContext,
+    RegisteredProtocol,
+    build_protocol,
+    get_protocol,
+    protocol_ids,
+    register_protocol,
+)
+from .runner import ADVERSARIES, ScenarioResult, run_scenario
+from .spec import (
+    AdviceSpec,
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from .sweep import EXECUTORS, Sweep, SweepResult, register_executor, run_sweep
+from .workloads import (
+    DISTRIBUTION_FAMILIES,
+    register_distribution_family,
+    resolve_distribution,
+    resolve_workload,
+)
+
+__all__ = [
+    # specs
+    "ScenarioSpec",
+    "ProtocolSpec",
+    "ChannelSpec",
+    "WorkloadSpec",
+    "PredictionSpec",
+    "AdviceSpec",
+    "ScenarioError",
+    # registry
+    "RegisteredProtocol",
+    "BuildContext",
+    "register_protocol",
+    "get_protocol",
+    "protocol_ids",
+    "build_protocol",
+    # workloads
+    "DISTRIBUTION_FAMILIES",
+    "register_distribution_family",
+    "resolve_distribution",
+    "resolve_workload",
+    # runner
+    "run_scenario",
+    "ScenarioResult",
+    "ADVERSARIES",
+    # sweeps
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
+    "EXECUTORS",
+    "register_executor",
+]

@@ -1,0 +1,397 @@
+"""The protocol registry: string id -> constructor, for every protocol.
+
+Scenario specs reference protocols by id; this registry maps each id to a
+builder that constructs the protocol from JSON-native parameters plus a
+:class:`BuildContext` (the scenario's ``n`` and resolved
+:class:`~repro.core.predictions.Prediction`).  Every protocol class in
+:mod:`repro.protocols` is registered - baselines, the paper's prediction
+and advice algorithms, and the wrapper/combinator protocols, which nest
+further protocol specs inside their parameters (e.g. a fallback player
+protocol naming its primary and fallback halves declaratively).
+
+Builders validate their parameters strictly: unknown keys raise
+:class:`~repro.scenarios.spec.ScenarioError` instead of being silently
+dropped, so spec typos fail loudly at resolution time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..core.predictions import Prediction
+from ..core.protocol import PlayerProtocol, UniformProtocol
+from ..protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from ..protocols.advice_randomized import (
+    TruncatedDecayProtocol,
+    block_index_for,
+    truncated_willard_protocol,
+)
+from ..protocols.adapters import UniformAsPlayerProtocol
+from ..protocols.backoff import BinaryExponentialBackoff
+from ..protocols.code_search import CodeSearchProtocol
+from ..protocols.decay import DecayProtocol
+from ..protocols.fixed_probability import FixedProbabilityProtocol
+from ..protocols.restart import FallbackPlayerProtocol, RestartProtocol
+from ..protocols.searching import PhasedSearchProtocol
+from ..protocols.sorted_probing import SortedProbingProtocol
+from ..protocols.willard import WillardProtocol
+from .spec import ProtocolSpec, ScenarioError
+
+__all__ = [
+    "UNIFORM",
+    "PLAYER",
+    "RegisteredProtocol",
+    "BuildContext",
+    "register_protocol",
+    "get_protocol",
+    "protocol_ids",
+    "build_protocol",
+]
+
+UNIFORM = "uniform"
+PLAYER = "player"
+
+Builder = Callable[["BuildContext", dict], UniformProtocol | PlayerProtocol]
+
+
+@dataclass(frozen=True)
+class RegisteredProtocol:
+    """One registry entry: id, engine family and builder."""
+
+    id: str
+    kind: str  # UNIFORM or PLAYER
+    description: str
+    builder: Builder
+
+
+_REGISTRY: dict[str, RegisteredProtocol] = {}
+
+
+def register_protocol(
+    protocol_id: str, kind: str, description: str
+) -> Callable[[Builder], Builder]:
+    """Decorator registering a builder under ``protocol_id``."""
+    if kind not in (UNIFORM, PLAYER):
+        raise ValueError(f"kind must be {UNIFORM!r} or {PLAYER!r}, got {kind!r}")
+
+    def decorate(builder: Builder) -> Builder:
+        if protocol_id in _REGISTRY:
+            raise ValueError(f"protocol id {protocol_id!r} already registered")
+        _REGISTRY[protocol_id] = RegisteredProtocol(
+            id=protocol_id, kind=kind, description=description, builder=builder
+        )
+        return builder
+
+    return decorate
+
+
+def get_protocol(protocol_id: str) -> RegisteredProtocol:
+    """The registry entry for ``protocol_id`` (with options on miss)."""
+    try:
+        return _REGISTRY[protocol_id]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown protocol id {protocol_id!r}; known ids: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def protocol_ids() -> list[str]:
+    """All registered protocol ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+@dataclass
+class BuildContext:
+    """What builders may depend on besides their own parameters."""
+
+    n: int
+    prediction: Prediction | None = None
+    _stack: list[str] = field(default_factory=list)
+
+    def require_prediction(self, protocol_id: str) -> Prediction:
+        if self.prediction is None:
+            raise ScenarioError(
+                f"protocol {protocol_id!r} needs a prediction spec "
+                "(set 'prediction' on the scenario)"
+            )
+        return self.prediction
+
+    def build(self, spec_like: ProtocolSpec | Mapping | str):
+        """Resolve a nested protocol spec (wrapper parameters)."""
+        spec = (
+            spec_like
+            if isinstance(spec_like, ProtocolSpec)
+            else ProtocolSpec.from_dict(spec_like)
+        )
+        if spec.id in self._stack:
+            raise ScenarioError(
+                f"recursive protocol nesting: {' -> '.join(self._stack + [spec.id])}"
+            )
+        entry = get_protocol(spec.id)
+        self._stack.append(spec.id)
+        try:
+            return entry.builder(self, dict(spec.params))
+        except ScenarioError:
+            raise
+        except (TypeError, ValueError) as error:
+            # Constructor validation (bad values, not just bad names) also
+            # surfaces as a spec error with the protocol's identity attached.
+            raise ScenarioError(
+                f"invalid parameters for protocol {spec.id!r}: {error}"
+            ) from None
+        finally:
+            self._stack.pop()
+
+    def build_uniform(self, spec_like, *, wrapper: str) -> UniformProtocol:
+        protocol = self.build(spec_like)
+        if not isinstance(protocol, UniformProtocol):
+            raise ScenarioError(
+                f"{wrapper} needs a uniform inner protocol, got "
+                f"{type(protocol).__name__}"
+            )
+        return protocol
+
+    def build_player(self, spec_like, *, wrapper: str) -> PlayerProtocol:
+        protocol = self.build(spec_like)
+        if not isinstance(protocol, PlayerProtocol):
+            raise ScenarioError(
+                f"{wrapper} needs a player inner protocol, got "
+                f"{type(protocol).__name__}"
+            )
+        return protocol
+
+
+def build_protocol(
+    spec: ProtocolSpec, context: BuildContext
+) -> UniformProtocol | PlayerProtocol:
+    """Construct the protocol a spec references, via the registry."""
+    return context.build(spec)
+
+
+# ----------------------------------------------------------------------
+# Builder helpers
+# ----------------------------------------------------------------------
+_MISSING = object()
+
+
+def _take(params: dict, name: str, default=_MISSING):
+    if name in params:
+        return params.pop(name)
+    if default is _MISSING:
+        raise ScenarioError(f"protocol params missing required {name!r}")
+    return default
+
+
+def _done(params: dict, protocol_id: str) -> None:
+    if params:
+        raise ScenarioError(
+            f"unknown parameter(s) for protocol {protocol_id!r}: "
+            f"{', '.join(sorted(params))}"
+        )
+
+
+def _block_index(context: BuildContext, params: dict, protocol_id: str, bits: int) -> int:
+    """Advised-block selection: explicit ``block_index`` or perfect-advice ``k``."""
+    block_index = _take(params, "block_index", None)
+    k = _take(params, "k", None)
+    if (block_index is None) == (k is None):
+        raise ScenarioError(
+            f"protocol {protocol_id!r} needs exactly one of 'block_index' "
+            "(explicit) or 'k' (the count a perfect advice function sees)"
+        )
+    if block_index is not None:
+        return int(block_index)
+    return block_index_for(context.n, bits, int(k))
+
+
+# ----------------------------------------------------------------------
+# Uniform protocols
+# ----------------------------------------------------------------------
+@register_protocol("decay", UNIFORM, "cycling decay baseline, O(log n) no-CD [2]")
+def _build_decay(context: BuildContext, params: dict) -> DecayProtocol:
+    protocol = DecayProtocol(
+        int(_take(params, "n", context.n)),
+        cycle=bool(_take(params, "cycle", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+    )
+    _done(params, "decay")
+    return protocol
+
+
+@register_protocol("willard", UNIFORM, "Willard CD binary search, O(log log n) [22]")
+def _build_willard(context: BuildContext, params: dict) -> WillardProtocol:
+    ranges = _take(params, "ranges", None)
+    protocol = WillardProtocol(
+        int(_take(params, "n", context.n)),
+        ranges=list(ranges) if ranges is not None else None,
+        repetitions=int(_take(params, "repetitions", 3)),
+        restart=bool(_take(params, "restart", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+    )
+    _done(params, "willard")
+    return protocol
+
+
+@register_protocol(
+    "fixed-probability", UNIFORM, "transmit with 1/k_hat, the perfect-estimate O(1) anchor"
+)
+def _build_fixed(context: BuildContext, params: dict) -> FixedProbabilityProtocol:
+    protocol = FixedProbabilityProtocol(float(_take(params, "k_hat")))
+    _done(params, "fixed-probability")
+    return protocol
+
+
+@register_protocol(
+    "sorted-probing", UNIFORM, "no-CD prediction algorithm of Thm 2.12 (Section 2.5)"
+)
+def _build_sorted_probing(context: BuildContext, params: dict) -> SortedProbingProtocol:
+    protocol = SortedProbingProtocol(
+        context.require_prediction("sorted-probing"),
+        one_shot=bool(_take(params, "one_shot", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+        support_only=bool(_take(params, "support_only", False)),
+    )
+    _done(params, "sorted-probing")
+    return protocol
+
+
+@register_protocol(
+    "code-search", UNIFORM, "CD prediction algorithm of Thm 2.16 (Section 2.6)"
+)
+def _build_code_search(context: BuildContext, params: dict) -> CodeSearchProtocol:
+    protocol = CodeSearchProtocol(
+        context.require_prediction("code-search"),
+        repetitions=int(_take(params, "repetitions", 3)),
+        one_shot=bool(_take(params, "one_shot", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+        support_only=bool(_take(params, "support_only", False)),
+    )
+    _done(params, "code-search")
+    return protocol
+
+
+@register_protocol(
+    "phased-search", UNIFORM, "generic CD phase search over explicit range phases"
+)
+def _build_phased_search(context: BuildContext, params: dict) -> PhasedSearchProtocol:
+    phases = _take(params, "phases")
+    protocol = PhasedSearchProtocol(
+        [list(phase) for phase in phases],
+        repetitions=int(_take(params, "repetitions", 3)),
+        restart=bool(_take(params, "restart", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+    )
+    _done(params, "phased-search")
+    return protocol
+
+
+@register_protocol(
+    "truncated-decay", UNIFORM, "decay on the advised range block (Thm 3.6)"
+)
+def _build_truncated_decay(context: BuildContext, params: dict) -> TruncatedDecayProtocol:
+    bits = int(_take(params, "advice_bits"))
+    block = _block_index(context, params, "truncated-decay", bits)
+    protocol = TruncatedDecayProtocol(
+        context.n,
+        bits,
+        block,
+        cycle=bool(_take(params, "cycle", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+    )
+    _done(params, "truncated-decay")
+    return protocol
+
+
+@register_protocol(
+    "truncated-willard", UNIFORM, "Willard search on the advised block (Thm 3.7)"
+)
+def _build_truncated_willard(context: BuildContext, params: dict) -> WillardProtocol:
+    bits = int(_take(params, "advice_bits"))
+    block = _block_index(context, params, "truncated-willard", bits)
+    protocol = truncated_willard_protocol(
+        context.n,
+        bits,
+        block,
+        repetitions=int(_take(params, "repetitions", 3)),
+        restart=bool(_take(params, "restart", True)),
+        handle_k1=bool(_take(params, "handle_k1", False)),
+    )
+    _done(params, "truncated-willard")
+    return protocol
+
+
+@register_protocol(
+    "restart", UNIFORM, "re-run a one-shot uniform protocol until stopped"
+)
+def _build_restart(context: BuildContext, params: dict) -> RestartProtocol:
+    inner = context.build_uniform(_take(params, "inner"), wrapper="restart")
+    _done(params, "restart")
+    return RestartProtocol(inner)
+
+
+# ----------------------------------------------------------------------
+# Player protocols
+# ----------------------------------------------------------------------
+@register_protocol(
+    "backoff", PLAYER, "binary exponential backoff, the practical CD comparator"
+)
+def _build_backoff(context: BuildContext, params: dict) -> BinaryExponentialBackoff:
+    protocol = BinaryExponentialBackoff(
+        initial_window=float(_take(params, "initial_window", 2.0)),
+        max_window=float(_take(params, "max_window", float(2**20))),
+    )
+    _done(params, "backoff")
+    return protocol
+
+
+@register_protocol(
+    "deterministic-scan", PLAYER, "no-CD candidate scan on advised subtree (Sec 3.2)"
+)
+def _build_scan(context: BuildContext, params: dict) -> DeterministicScanProtocol:
+    protocol = DeterministicScanProtocol(int(_take(params, "advice_bits")))
+    _done(params, "deterministic-scan")
+    return protocol
+
+
+@register_protocol(
+    "tree-descent", PLAYER, "CD tree descent with collision votes (Sec 3.2)"
+)
+def _build_descent(context: BuildContext, params: dict) -> DeterministicTreeDescentProtocol:
+    protocol = DeterministicTreeDescentProtocol(int(_take(params, "advice_bits")))
+    _done(params, "tree-descent")
+    return protocol
+
+
+@register_protocol(
+    "uniform-as-player", PLAYER, "per-player view of a uniform protocol"
+)
+def _build_uniform_as_player(
+    context: BuildContext, params: dict
+) -> UniformAsPlayerProtocol:
+    inner = context.build_uniform(_take(params, "inner"), wrapper="uniform-as-player")
+    _done(params, "uniform-as-player")
+    return UniformAsPlayerProtocol(inner)
+
+
+@register_protocol(
+    "fallback", PLAYER, "primary player protocol with a budgeted fallback switch"
+)
+def _build_fallback(context: BuildContext, params: dict) -> FallbackPlayerProtocol:
+    primary = context.build_player(_take(params, "primary"), wrapper="fallback")
+    fallback = context.build_player(_take(params, "fallback"), wrapper="fallback")
+    budget = _take(params, "budget_rounds", "worst-case")
+    _done(params, "fallback")
+    if budget == "worst-case":
+        worst_case = getattr(primary, "worst_case_rounds", None)
+        if worst_case is None:
+            raise ScenarioError(
+                "budget_rounds='worst-case' needs a primary protocol with a "
+                f"worst_case_rounds(n) bound; {primary.name!r} has none"
+            )
+        budget = worst_case(context.n)
+    return FallbackPlayerProtocol(primary, fallback, int(budget))

@@ -1,0 +1,339 @@
+"""The single simulation entry point: resolve a spec, route, execute.
+
+:func:`run_scenario` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into a :class:`ScenarioResult`: it resolves the workload, prediction,
+advice and protocol, then routes to the right execution engine through
+the existing capability hooks - the vectorized batch-schedule or
+history-grouped engines, the scalar uniform reference loop, or the
+per-player loop - and records which engine actually ran in the result
+metadata.  Experiments, the CLI and the sweep executors all call this
+one facade, so a scenario behaves identically however it is launched.
+
+Results are JSON-round-trippable (:meth:`ScenarioResult.to_dict` /
+``from_dict``), and a spec plus its seed fully determines the result:
+re-loading a serialized spec and re-running reproduces the tables
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.metrics import ProportionEstimate, Summary
+from ..analysis.montecarlo import (
+    ENGINE_SCALAR_PLAYER,
+    estimate_player_rounds,
+    estimate_uniform_rounds,
+    select_uniform_engine,
+)
+from ..channel.channel import Channel
+from ..channel.network import (
+    Adversary,
+    ClusteredAdversary,
+    PrefixAdversary,
+    RandomAdversary,
+    SpreadAdversary,
+    SuffixAdversary,
+)
+from ..core.advice import (
+    AdviceFunction,
+    FullIdAdvice,
+    MinIdPrefixAdvice,
+    NullAdvice,
+    RangeBlockAdvice,
+)
+from ..core.faulty_advice import AdversarialAdvice, BitFlipAdvice
+from ..core.protocol import PlayerProtocol
+from .registry import PLAYER, BuildContext, build_protocol, get_protocol
+from .spec import AdviceSpec, ScenarioError, ScenarioSpec
+from .workloads import resolve_prediction, resolve_workload, workload_label
+
+__all__ = ["ScenarioResult", "run_scenario", "ADVERSARIES"]
+
+#: Adversary name -> constructor, for player scenarios.
+ADVERSARIES: dict[str, type[Adversary]] = {
+    "random": RandomAdversary,
+    "prefix": PrefixAdversary,
+    "suffix": SuffixAdversary,
+    "spread": SpreadAdversary,
+    "clustered": ClusteredAdversary,
+}
+
+
+def _nan_to_none(value: float) -> float | None:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _none_to_nan(value) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def _summary_to_dict(summary: Summary) -> dict:
+    return {
+        "count": summary.count,
+        "mean": _nan_to_none(summary.mean),
+        "std": _nan_to_none(summary.std),
+        "minimum": _nan_to_none(summary.minimum),
+        "maximum": _nan_to_none(summary.maximum),
+        "median": _nan_to_none(summary.median),
+        "p90": _nan_to_none(summary.p90),
+    }
+
+
+def _summary_from_dict(data: Mapping) -> Summary:
+    return Summary(
+        count=int(data["count"]),
+        mean=_none_to_nan(data["mean"]),
+        std=_none_to_nan(data["std"]),
+        minimum=_none_to_nan(data["minimum"]),
+        maximum=_none_to_nan(data["maximum"]),
+        median=_none_to_nan(data["median"]),
+        p90=_none_to_nan(data["p90"]),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run, ready to serialize.
+
+    Attributes
+    ----------
+    spec:
+        The exact spec that produced this result (round-trips with it).
+    engine:
+        Which execution engine ran - one of the
+        :mod:`repro.analysis.montecarlo` engine labels.
+    rounds:
+        Solving-round summary over successful trials.
+    success:
+        Solved-within-budget proportion with its Wilson interval.
+    metadata:
+        Resolution details: protocol name and kind, channel kind,
+        workload label, requested batch mode.
+    elapsed_seconds:
+        Wall-clock execution time (excluded from equality - two runs of
+        the same spec are equal results even if one machine was slower).
+    """
+
+    spec: ScenarioSpec
+    engine: str
+    rounds: Summary
+    success: ProportionEstimate
+    metadata: dict = field(default_factory=dict)
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def mean_rounds(self) -> float:
+        return self.rounds.mean
+
+    @property
+    def success_rate(self) -> float:
+        return self.success.rate
+
+    @property
+    def any_successes(self) -> bool:
+        return self.rounds.count > 0
+
+    def to_dict(self) -> dict:
+        """JSON-native dict (NaN statistics encode as ``null``)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "engine": self.engine,
+            "rounds": _summary_to_dict(self.rounds),
+            "success": {
+                "successes": self.success.successes,
+                "trials": self.success.trials,
+            },
+            "metadata": dict(self.metadata),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            engine=str(data["engine"]),
+            rounds=_summary_from_dict(data["rounds"]),
+            success=ProportionEstimate(
+                successes=int(data["success"]["successes"]),
+                trials=int(data["success"]["trials"]),
+            ),
+            metadata=dict(data.get("metadata", {})),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [
+            f"scenario: {self.spec.label()}",
+            f"  protocol: {self.metadata.get('protocol', self.spec.protocol.id)}"
+            f" ({self.metadata.get('kind', '?')})",
+            f"  channel:  {self.metadata.get('channel', self.spec.channel.kind)}"
+            f"    workload: {self.metadata.get('workload', self.spec.workload.kind)}",
+            f"  engine:   {self.engine}    trials: {self.success.trials}"
+            f"    budget: {self.spec.max_rounds} rounds    seed: {self.spec.seed}",
+            f"  success:  {self.success.rate:.4f} "
+            f"(Wilson 95% [{self.success.lower:.4f}, {self.success.upper:.4f}])",
+        ]
+        if self.any_successes:
+            lines.append(
+                f"  rounds:   mean {self.rounds.mean:.3f}  median "
+                f"{self.rounds.median:.1f}  p90 {self.rounds.p90:.1f}  "
+                f"max {self.rounds.maximum:.0f}"
+            )
+        else:
+            lines.append("  rounds:   n/a (no trial solved within the budget)")
+        lines.append(f"  elapsed:  {self.elapsed_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def _resolve_advice(
+    spec: AdviceSpec | None, n: int, rng: np.random.Generator
+) -> AdviceFunction | None:
+    if spec is None:
+        return None
+    if spec.function == "null":
+        base: AdviceFunction = NullAdvice()
+    elif spec.function == "min-id-prefix":
+        base = MinIdPrefixAdvice(spec.bits)
+    elif spec.function == "range-block":
+        base = RangeBlockAdvice(spec.bits)
+    elif spec.function == "full-id":
+        base = FullIdAdvice(n)
+    else:
+        raise ScenarioError(
+            f"unknown advice function {spec.function!r}; "
+            "known: null, min-id-prefix, range-block, full-id"
+        )
+    if spec.corruption is None:
+        return base
+    corruption = dict(spec.corruption)
+    model = corruption.pop("model", None)
+    probability = corruption.pop("probability", None)
+    if corruption:
+        raise ScenarioError(
+            f"unknown advice corruption field(s): {', '.join(sorted(corruption))}"
+        )
+    if probability is None:
+        raise ScenarioError("advice corruption needs a 'probability'")
+    try:
+        if model == "bit-flip":
+            return BitFlipAdvice(base, float(probability), rng)
+        if model == "adversarial":
+            return AdversarialAdvice(base, float(probability), rng)
+    except (TypeError, ValueError) as error:
+        raise ScenarioError(f"bad advice corruption parameters: {error}") from None
+    raise ScenarioError(
+        f"unknown advice corruption model {model!r}; known: bit-flip, adversarial"
+    )
+
+
+def _resolve_adversary(name: str) -> Adversary:
+    try:
+        return ADVERSARIES[name]()
+    except KeyError:
+        raise ScenarioError(
+            f"unknown adversary {name!r}; known: {', '.join(sorted(ADVERSARIES))}"
+        ) from None
+
+
+def run_scenario(
+    spec: ScenarioSpec, *, rng: np.random.Generator | None = None
+) -> ScenarioResult:
+    """Execute one scenario and return its serializable result.
+
+    ``rng`` defaults to a fresh generator seeded from ``spec.seed`` - the
+    standalone, reproducible-from-JSON mode.  Experiments composing many
+    scenarios into one measurement pass their shared generator instead,
+    which keeps the RNG stream (and hence every table) identical to
+    hand-wired estimator calls in the same order.
+    """
+    started = time.perf_counter()
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
+    channel = Channel(collision_detection=spec.channel.collision_detection)
+    size_source = resolve_workload(spec.workload, spec.n)
+    prediction = resolve_prediction(spec.prediction, size_source, spec.n)
+    entry = get_protocol(spec.protocol.id)
+    context = BuildContext(n=spec.n, prediction=prediction)
+    protocol = build_protocol(spec.protocol, context)
+
+    if entry.kind == PLAYER:
+        assert isinstance(protocol, PlayerProtocol)
+        if not isinstance(size_source, int):
+            raise ScenarioError(
+                f"player protocol {spec.protocol.id!r} needs a 'fixed' "
+                f"workload (the adversary picks *which* k ids participate); "
+                f"got workload kind {spec.workload.kind!r}"
+            )
+        advice = _resolve_advice(spec.advice, spec.n, rng)
+        adversary = _resolve_adversary(spec.adversary)
+        k = size_source
+
+        def participant_source(generator: np.random.Generator) -> frozenset[int]:
+            return adversary.checked_select(spec.n, k, generator)
+
+        engine = ENGINE_SCALAR_PLAYER
+        estimate = estimate_player_rounds(
+            protocol,
+            participant_source,
+            spec.n,
+            rng,
+            channel=channel,
+            advice_function=advice,
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+            batch=spec.batch,
+        )
+        extra = {"adversary": adversary.name, "advice_bits": getattr(advice, "bits", 0)}
+    else:
+        if spec.advice is not None:
+            raise ScenarioError(
+                f"uniform protocol {spec.protocol.id!r} takes no advice spec "
+                "(advice is a player-protocol input)"
+            )
+        engine = select_uniform_engine(protocol, spec.batch)
+        estimate = estimate_uniform_rounds(
+            protocol,
+            size_source,
+            rng,
+            channel=channel,
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+            batch=spec.batch,
+        )
+        extra = {}
+
+    metadata = {
+        "protocol": protocol.name,
+        "kind": entry.kind,
+        "channel": channel.kind,
+        "workload": workload_label(size_source),
+        "engine": engine,
+        "batch_requested": spec.batch,
+        **extra,
+    }
+    return ScenarioResult(
+        spec=spec,
+        engine=engine,
+        rounds=estimate.rounds,
+        success=estimate.success,
+        metadata=metadata,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,378 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` is the complete, JSON-round-trippable description
+of one simulation: which protocol (by registry id + parameters), which
+channel, which workload, what prediction / advice quality, and the
+trials / round-budget / seed knobs.  Resolving and executing a spec is
+the runner's job (:mod:`repro.scenarios.runner`); this module is pure
+data, so specs can be stored, diffed, swept over and shipped across
+process boundaries.
+
+Design rules:
+
+* every field is a JSON-native value or a nested spec of JSON-native
+  values - ``spec.from_json(spec.to_json())`` is the identity;
+* a spec plus its ``seed`` fully determines the result: two processes
+  loading the same JSON produce bit-identical
+  :class:`~repro.scenarios.runner.ScenarioResult` tables;
+* cross-field requirements (e.g. prediction protocols needing a
+  prediction spec) are enforced at *resolution* time, keeping the data
+  layer decoupled from the protocol registry.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+__all__ = [
+    "ScenarioError",
+    "ProtocolSpec",
+    "ChannelSpec",
+    "WorkloadSpec",
+    "PredictionSpec",
+    "AdviceSpec",
+    "ScenarioSpec",
+]
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed or unresolvable scenario specifications."""
+
+
+def _require_mapping(data: object, what: str) -> dict:
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"{what} must be a mapping, got {type(data).__name__}")
+    return dict(data)
+
+
+def _check_known_keys(data: Mapping, allowed: set[str], what: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ScenarioError(
+            f"unknown {what} field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol reference: registry id plus constructor parameters.
+
+    ``params`` values must be JSON-native; wrapper protocols (restart,
+    fallback, uniform-as-player) nest further protocol specs as plain
+    ``{"id": ..., "params": {...}}`` mappings inside ``params``.
+    """
+
+    id: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ScenarioError("protocol spec needs a non-empty id")
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "ProtocolSpec":
+        if isinstance(data, str):  # shorthand: bare id, no params
+            return cls(id=data)
+        data = _require_mapping(data, "protocol spec")
+        _check_known_keys(data, {"id", "params"}, "protocol spec")
+        return cls(
+            id=str(data.get("id", "")),
+            params=copy.deepcopy(_require_mapping(data.get("params", {}), "protocol params")),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """The channel model: with or without collision detection."""
+
+    collision_detection: bool
+
+    @property
+    def kind(self) -> str:
+        return "CD" if self.collision_detection else "no-CD"
+
+    def to_dict(self) -> dict:
+        return {"collision_detection": self.collision_detection}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "ChannelSpec":
+        if isinstance(data, str):  # shorthand: "cd" / "nocd"
+            label = data.lower().replace("-", "").replace("_", "")
+            if label == "cd":
+                return cls(collision_detection=True)
+            if label in ("nocd", "noncd"):
+                return cls(collision_detection=False)
+            raise ScenarioError(f"unknown channel shorthand {data!r}")
+        data = _require_mapping(data, "channel spec")
+        _check_known_keys(data, {"collision_detection"}, "channel spec")
+        if "collision_detection" not in data:
+            raise ScenarioError("channel spec needs 'collision_detection'")
+        return cls(collision_detection=bool(data["collision_detection"]))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How per-trial participant counts are produced.
+
+    Kinds (resolved by :mod:`repro.scenarios.workloads`):
+
+    * ``"fixed"`` - params ``{"k": int}``: every trial has exactly ``k``
+      participants (the Section 3 setting);
+    * ``"distribution"`` - params ``{"family": <name>, ...}``: an i.i.d.
+      draw per trial from a :class:`SizeDistribution` constructor family
+      (the Section 2.2 setting);
+    * ``"bursty"`` - Markov-modulated burst arrivals
+      (:class:`~repro.channel.arrivals.MarkovBurstArrivals` params);
+    * ``"trace"`` - params ``{"ks": [int, ...]}``: replay an explicit
+      count sequence.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ScenarioError("workload spec needs a non-empty kind")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        data = _require_mapping(data, "workload spec")
+        _check_known_keys(data, {"kind", "params"}, "workload spec")
+        return cls(
+            kind=str(data.get("kind", "")),
+            params=copy.deepcopy(_require_mapping(data.get("params", {}), "workload params")),
+        )
+
+
+@dataclass(frozen=True)
+class PredictionSpec:
+    """Where a prediction protocol's predicted distribution ``Y`` comes from.
+
+    ``source="truth"`` hands the protocol the workload's own distribution
+    (the clairvoyant ``Y = X`` of Corollaries 2.15/2.18; requires a
+    ``distribution`` workload).  ``source="distribution"`` supplies an
+    explicit distribution family - divergence between it and the workload
+    is the prediction-quality dial of Theorems 2.12/2.16.
+    """
+
+    source: str = "truth"
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"source": self.source, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "PredictionSpec":
+        if isinstance(data, str):  # shorthand: "truth"
+            return cls(source=data)
+        data = _require_mapping(data, "prediction spec")
+        _check_known_keys(data, {"source", "params"}, "prediction spec")
+        return cls(
+            source=str(data.get("source", "truth")),
+            params=copy.deepcopy(_require_mapping(data.get("params", {}), "prediction params")),
+        )
+
+
+@dataclass(frozen=True)
+class AdviceSpec:
+    """Advice function (and optional corruption) for player protocols.
+
+    ``function`` is one of ``"null"``, ``"min-id-prefix"``,
+    ``"range-block"``, ``"full-id"``; ``bits`` is the advice budget ``b``
+    (ignored by ``full-id``, which always uses the full id width).
+    ``corruption`` models faulty advice:
+    ``{"model": "bit-flip", "probability": p}`` or
+    ``{"model": "adversarial", "probability": p}``.
+    """
+
+    function: str
+    bits: int = 0
+    corruption: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ScenarioError(f"advice bits must be >= 0, got {self.bits}")
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "bits": self.bits,
+            "corruption": copy.deepcopy(self.corruption),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AdviceSpec":
+        data = _require_mapping(data, "advice spec")
+        _check_known_keys(data, {"function", "bits", "corruption"}, "advice spec")
+        corruption = data.get("corruption")
+        return cls(
+            function=str(data.get("function", "null")),
+            bits=int(data.get("bits", 0)),
+            corruption=(
+                copy.deepcopy(_require_mapping(corruption, "advice corruption"))
+                if corruption is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete simulation scenario, ready to serialize or run.
+
+    Attributes
+    ----------
+    protocol:
+        Registry reference of the protocol under test.
+    workload:
+        Participant-count process.
+    channel:
+        Collision-detection capability.
+    n:
+        Maximum network size (board size for distributions, id space for
+        player protocols).
+    trials:
+        Monte Carlo trials.
+    max_rounds:
+        Round budget per trial.
+    seed:
+        Root RNG seed - a spec plus its seed fully determines the result.
+    batch:
+        Engine selection forwarded to the estimators: ``None`` auto-routes
+        to the fastest capable engine, ``False`` forces the scalar
+        reference loop, ``True`` insists on a batch engine.
+    prediction:
+        Predicted-distribution source for prediction protocols
+        (sorted probing / code search); ``None`` otherwise.
+    advice:
+        Advice function for player protocols; ``None`` otherwise.
+    adversary:
+        Participant-set strategy for player protocols (a
+        :mod:`repro.channel.network` adversary name; default random).
+    name:
+        Free-form label carried into results and sweep tables.
+    """
+
+    protocol: ProtocolSpec
+    workload: WorkloadSpec
+    channel: ChannelSpec
+    n: int
+    trials: int
+    max_rounds: int
+    seed: int = 2021
+    batch: bool | None = None
+    prediction: PredictionSpec | None = None
+    advice: AdviceSpec | None = None
+    adversary: str = "random"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ScenarioError(f"n must be >= 2, got {self.n}")
+        if self.trials < 1:
+            raise ScenarioError(f"trials must be >= 1, got {self.trials}")
+        if self.max_rounds < 1:
+            raise ScenarioError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native dict; ``from_dict`` inverts it exactly."""
+        return {
+            "protocol": self.protocol.to_dict(),
+            "workload": self.workload.to_dict(),
+            "channel": self.channel.to_dict(),
+            "n": self.n,
+            "trials": self.trials,
+            "max_rounds": self.max_rounds,
+            "seed": self.seed,
+            "batch": self.batch,
+            "prediction": self.prediction.to_dict() if self.prediction else None,
+            "advice": self.advice.to_dict() if self.advice else None,
+            "adversary": self.adversary,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        data = _require_mapping(data, "scenario spec")
+        allowed = {f.name for f in fields(cls)}
+        _check_known_keys(data, allowed, "scenario spec")
+        for required in ("protocol", "workload", "channel", "n", "trials", "max_rounds"):
+            if required not in data:
+                raise ScenarioError(f"scenario spec needs {required!r}")
+        batch = data.get("batch")
+        if batch is not None:
+            batch = bool(batch)
+        prediction = data.get("prediction")
+        advice = data.get("advice")
+        return cls(
+            protocol=ProtocolSpec.from_dict(data["protocol"]),
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            channel=ChannelSpec.from_dict(data["channel"]),
+            n=int(data["n"]),
+            trials=int(data["trials"]),
+            max_rounds=int(data["max_rounds"]),
+            seed=int(data.get("seed", 2021)),
+            batch=batch,
+            prediction=(
+                PredictionSpec.from_dict(prediction) if prediction is not None else None
+            ),
+            advice=AdviceSpec.from_dict(advice) if advice is not None else None,
+            adversary=str(data.get("adversary", "random")),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid scenario JSON: {error}") from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def override(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A new spec with dotted-path fields replaced.
+
+        Keys are dotted paths into :meth:`to_dict` - e.g. ``"trials"``,
+        ``"workload.params.k"``, ``"protocol.params.one_shot"`` - and the
+        whole dict is re-validated through :meth:`from_dict`, so an
+        override can never produce a spec that would not load from JSON.
+        Intermediate mappings are created as needed (overriding
+        ``"prediction.source"`` on a spec without a prediction starts one
+        from an empty mapping).
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            node = data
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {}
+                    node[part] = child
+                node = child
+            node[parts[-1]] = copy.deepcopy(value)
+        return type(self).from_dict(data)
+
+    def label(self) -> str:
+        """Short human-readable identity for tables and progress lines."""
+        return self.name or f"{self.protocol.id}/{self.workload.kind}"

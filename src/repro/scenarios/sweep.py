@@ -1,0 +1,256 @@
+"""Sweeps: expand a spec grid and run the points through an executor.
+
+A :class:`Sweep` is a base :class:`~repro.scenarios.spec.ScenarioSpec`
+plus a grid of dotted-path overrides; :meth:`Sweep.points` expands the
+cartesian product into concrete specs, and :func:`run_sweep` executes
+them through a pluggable executor:
+
+* ``"serial"`` - run points in-process, in order (the reference);
+* ``"process"`` - fan points out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Points are
+  independent scenarios with their own seeds, so the two executors
+  produce *identical* results - the pool only changes wall-clock time,
+  scaling the lockstep batch engine across cores (the axis it cannot
+  use by itself).
+
+Specs and results cross the process boundary as JSON-native dicts, so
+the pool never pickles protocol objects or RNG state - workers rebuild
+everything from the spec, exactly as a fresh process loading the JSON
+would.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .runner import ScenarioResult, run_scenario
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
+    "EXECUTORS",
+    "register_executor",
+]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A grid of scenario variations around a base spec.
+
+    ``grid`` maps dotted override paths (see
+    :meth:`ScenarioSpec.override`) to value lists; points are the
+    cartesian product in row-major order (last key varies fastest).
+    With ``vary_seed`` (default), each point's seed is offset by its
+    index unless the grid itself sweeps ``seed`` - the derived seed is
+    *part of the point's spec*, so a point re-run from its serialized
+    form reproduces identically.
+    """
+
+    base: ScenarioSpec
+    grid: dict = field(default_factory=dict)
+    vary_seed: bool = True
+
+    def __post_init__(self) -> None:
+        for path, values in self.grid.items():
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+                raise ScenarioError(
+                    f"grid values for {path!r} must be a list, got "
+                    f"{type(values).__name__}"
+                )
+            if len(values) == 0:
+                raise ScenarioError(f"grid values for {path!r} must be non-empty")
+
+    def points(self) -> list[ScenarioSpec]:
+        """The expanded scenario specs, in deterministic grid order."""
+        paths = list(self.grid)
+        specs: list[ScenarioSpec] = []
+        for index, combo in enumerate(
+            itertools.product(*(self.grid[path] for path in paths))
+        ):
+            overrides = dict(zip(paths, combo))
+            if self.vary_seed and "seed" not in overrides:
+                overrides["seed"] = self.base.seed + index
+            if "name" not in overrides:
+                overrides["name"] = (
+                    f"{self.base.name}[{index}]" if self.base.name else f"point-{index}"
+                )
+            specs.append(self.base.override(overrides))
+        return specs
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.to_dict(),
+            "grid": {path: list(values) for path, values in self.grid.items()},
+            "vary_seed": self.vary_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Sweep":
+        if not isinstance(data, Mapping):
+            raise ScenarioError("sweep spec must be a mapping")
+        unknown = sorted(set(data) - {"base", "grid", "vary_seed"})
+        if unknown:
+            raise ScenarioError(
+                f"unknown sweep field(s): {', '.join(map(repr, unknown))}"
+            )
+        if "base" not in data:
+            raise ScenarioError("sweep spec needs a 'base' scenario")
+        grid = data.get("grid", {})
+        if not isinstance(grid, Mapping):
+            raise ScenarioError("sweep 'grid' must be a mapping")
+        return cls(
+            base=ScenarioSpec.from_dict(data["base"]),
+            grid={str(path): list(values) for path, values in grid.items()},
+            vary_seed=bool(data.get("vary_seed", True)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid sweep JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep execution."""
+
+    results: list[ScenarioResult]
+    executor: str
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "elapsed_seconds": self.elapsed_seconds,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepResult":
+        return cls(
+            results=[ScenarioResult.from_dict(row) for row in data["results"]],
+            executor=str(data.get("executor", "serial")),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Plain-text sweep table for the CLI."""
+        from ..analysis.tables import render_table
+
+        headers = ["point", "engine", "trials", "success", "mean rounds", "p90"]
+        rows: list[list[object]] = []
+        for result in self.results:
+            rows.append(
+                [
+                    result.spec.label(),
+                    result.engine,
+                    result.success.trials,
+                    result.success.rate,
+                    result.rounds.mean if result.any_successes else float("nan"),
+                    result.rounds.p90 if result.any_successes else float("nan"),
+                ]
+            )
+        table = render_table(headers, rows, precision=3)
+        return (
+            f"sweep: {len(self.results)} point(s), executor={self.executor}, "
+            f"wall {self.elapsed_seconds:.3f}s\n{table}"
+        )
+
+
+def _run_point_payload(spec_data: dict) -> dict:
+    """Worker entry: spec dict in, result dict out (picklable both ways)."""
+    return run_scenario(ScenarioSpec.from_dict(spec_data)).to_dict()
+
+
+def _run_serial(
+    points: Sequence[ScenarioSpec], max_workers: int | None
+) -> list[ScenarioResult]:
+    del max_workers
+    return [run_scenario(point) for point in points]
+
+
+def _pool_context():
+    """Prefer fork where available: no re-import cost per worker."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _run_process_pool(
+    points: Sequence[ScenarioSpec], max_workers: int | None
+) -> list[ScenarioResult]:
+    if max_workers is None:
+        max_workers = min(len(points), multiprocessing.cpu_count())
+    max_workers = max(1, max_workers)
+    payloads = [point.to_dict() for point in points]
+    with ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=_pool_context()
+    ) as pool:
+        result_dicts = list(pool.map(_run_point_payload, payloads))
+    return [ScenarioResult.from_dict(data) for data in result_dicts]
+
+
+Executor = Callable[[Sequence[ScenarioSpec], "int | None"], list[ScenarioResult]]
+
+#: Executor name -> callable ``(points, max_workers) -> results``.
+EXECUTORS: dict[str, Executor] = {
+    "serial": _run_serial,
+    "process": _run_process_pool,
+}
+
+
+def register_executor(name: str, executor: Executor) -> None:
+    """Register a custom sweep executor (e.g. a cluster dispatcher)."""
+    if name in EXECUTORS:
+        raise ScenarioError(f"executor {name!r} already registered")
+    EXECUTORS[name] = executor
+
+
+def run_sweep(
+    sweep: Sweep | Sequence[ScenarioSpec],
+    *,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Execute a sweep (or an explicit point list) through an executor.
+
+    Point results are returned in grid order regardless of executor;
+    because every point is reproducible from its own spec, executors are
+    interchangeable - asserting serial/process agreement is a test, not
+    a hope.
+    """
+    points = sweep.points() if isinstance(sweep, Sweep) else list(sweep)
+    if not points:
+        raise ScenarioError("sweep expanded to zero points")
+    try:
+        run = EXECUTORS[executor]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown executor {executor!r}; known: {', '.join(sorted(EXECUTORS))}"
+        ) from None
+    started = time.perf_counter()
+    results = run(points, max_workers)
+    return SweepResult(
+        results=results,
+        executor=executor,
+        elapsed_seconds=time.perf_counter() - started,
+    )

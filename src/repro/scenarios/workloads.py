@@ -1,0 +1,163 @@
+"""Resolving workload and prediction specs into runnable size sources.
+
+The bridge between the declarative layer (:mod:`repro.scenarios.spec`)
+and the concrete workload objects the estimators consume:
+
+* ``"fixed"`` workloads resolve to a plain ``int`` (the estimators'
+  fast path for a constant participant count);
+* ``"distribution"`` workloads resolve through
+  :data:`DISTRIBUTION_FAMILIES` - a name -> constructor registry over
+  the :class:`~repro.infotheory.distributions.SizeDistribution`
+  families (every public constructor is registered);
+* ``"bursty"`` workloads build the Markov-modulated arrival model of
+  :mod:`repro.channel.arrivals` - the correlated-across-trials process
+  an i.i.d. distribution cannot express;
+* ``"trace"`` workloads replay explicit count sequences.
+
+Prediction specs resolve to :class:`~repro.core.predictions.Prediction`
+objects here too, since "the truth" - the most common prediction source -
+is the resolved workload distribution itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..channel.arrivals import MarkovBurstArrivals, TraceArrivals
+from ..core.predictions import Prediction
+from ..infotheory.distributions import SizeDistribution
+from .spec import PredictionSpec, ScenarioError, WorkloadSpec
+
+__all__ = [
+    "DISTRIBUTION_FAMILIES",
+    "register_distribution_family",
+    "resolve_distribution",
+    "resolve_workload",
+    "resolve_prediction",
+    "workload_label",
+]
+
+#: Distribution family name -> constructor ``(n, **params) -> SizeDistribution``.
+DISTRIBUTION_FAMILIES: dict[str, Callable[..., SizeDistribution]] = {
+    "point": SizeDistribution.point,
+    "uniform": SizeDistribution.uniform,
+    "range_uniform": SizeDistribution.range_uniform,
+    "range_uniform_subset": SizeDistribution.range_uniform_subset,
+    "interpolated_entropy": SizeDistribution.interpolated_entropy,
+    "geometric": SizeDistribution.geometric,
+    "zipf": SizeDistribution.zipf,
+    "bimodal": SizeDistribution.bimodal,
+    "pliam": SizeDistribution.pliam,
+}
+
+
+def register_distribution_family(
+    name: str, constructor: Callable[..., SizeDistribution]
+) -> None:
+    """Register a custom distribution family for workload/prediction specs."""
+    if name in DISTRIBUTION_FAMILIES:
+        raise ScenarioError(f"distribution family {name!r} already registered")
+    DISTRIBUTION_FAMILIES[name] = constructor
+
+
+def resolve_distribution(n: int, params: Mapping) -> SizeDistribution:
+    """Build the distribution a ``{"family": ..., **kwargs}`` mapping names."""
+    params = dict(params)
+    family = params.pop("family", None)
+    if not family:
+        raise ScenarioError("distribution params need a 'family' name")
+    try:
+        constructor = DISTRIBUTION_FAMILIES[family]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown distribution family {family!r}; known: "
+            f"{', '.join(sorted(DISTRIBUTION_FAMILIES))}"
+        ) from None
+    try:
+        return constructor(n, **params)
+    except (TypeError, ValueError) as error:
+        # Bad names *and* bad values both surface as spec errors, so the
+        # CLI reports them cleanly instead of leaking a traceback.
+        raise ScenarioError(
+            f"bad parameters for distribution family {family!r}: {error}"
+        ) from None
+
+
+def resolve_workload(spec: WorkloadSpec, n: int):
+    """The runnable size source a workload spec describes.
+
+    Returns an ``int`` (fixed workloads) or an object with
+    ``sample`` / ``sample_many`` - exactly the estimators'
+    ``SizeSource`` protocol.
+    """
+    params = dict(spec.params)
+    if spec.kind == "fixed":
+        k = params.pop("k", None)
+        _reject_extras(params, "fixed workload")
+        if not isinstance(k, int) or k < 1:
+            raise ScenarioError(f"fixed workload needs an integer k >= 1, got {k!r}")
+        if k > n:
+            raise ScenarioError(f"fixed workload k={k} exceeds n={n}")
+        return k
+    if spec.kind == "distribution":
+        return resolve_distribution(n, params)
+    if spec.kind == "bursty":
+        try:
+            return MarkovBurstArrivals(n, **params)
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(f"bad bursty workload parameters: {error}") from None
+    if spec.kind == "trace":
+        ks = params.pop("ks", None)
+        name = params.pop("name", "trace")
+        _reject_extras(params, "trace workload")
+        if not ks:
+            raise ScenarioError("trace workload needs a non-empty 'ks' list")
+        try:
+            return TraceArrivals(ks, name=name)
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(f"bad trace workload parameters: {error}") from None
+    raise ScenarioError(
+        f"unknown workload kind {spec.kind!r}; "
+        "known: fixed, distribution, bursty, trace"
+    )
+
+
+def workload_label(source) -> str:
+    """Human-readable workload identity for result metadata."""
+    if isinstance(source, int):
+        return f"fixed(k={source})"
+    return getattr(source, "name", type(source).__name__)
+
+
+def resolve_prediction(
+    spec: PredictionSpec | None, workload_source, n: int
+) -> Prediction | None:
+    """The prediction a spec describes, given the resolved workload.
+
+    ``source="truth"`` wraps the workload's own distribution (requires a
+    distribution workload - there is no "true distribution" for fixed,
+    bursty or trace workloads); ``source="distribution"`` builds an
+    explicit predicted distribution, whose divergence from the workload
+    is then the scenario's prediction-quality knob.
+    """
+    if spec is None:
+        return None
+    if spec.source == "truth":
+        if not isinstance(workload_source, SizeDistribution):
+            raise ScenarioError(
+                "prediction source 'truth' needs a 'distribution' workload; "
+                f"got workload {workload_label(workload_source)!r}"
+            )
+        return Prediction(workload_source)
+    if spec.source == "distribution":
+        return Prediction(resolve_distribution(n, spec.params))
+    raise ScenarioError(
+        f"unknown prediction source {spec.source!r}; known: truth, distribution"
+    )
+
+
+def _reject_extras(params: dict, what: str) -> None:
+    if params:
+        raise ScenarioError(
+            f"unknown {what} parameter(s): {', '.join(sorted(params))}"
+        )

@@ -1,0 +1,77 @@
+"""Tests for estimator engine routing and the player-batch contract."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    ENGINE_BATCH_HISTORY,
+    ENGINE_BATCH_SCHEDULE,
+    ENGINE_SCALAR_UNIFORM,
+    estimate_player_rounds,
+    select_uniform_engine,
+)
+from repro.channel.channel import with_collision_detection
+from repro.channel.network import RandomAdversary
+from repro.protocols.backoff import BinaryExponentialBackoff
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.willard import WillardProtocol
+
+
+class TestSelectUniformEngine:
+    def test_schedule_protocols_hit_the_schedule_engine(self):
+        assert select_uniform_engine(DecayProtocol(256)) == ENGINE_BATCH_SCHEDULE
+
+    def test_cd_search_hits_the_history_engine(self):
+        assert select_uniform_engine(WillardProtocol(256)) == ENGINE_BATCH_HISTORY
+
+    def test_batch_false_forces_scalar(self):
+        assert (
+            select_uniform_engine(DecayProtocol(256), False)
+            == ENGINE_SCALAR_UNIFORM
+        )
+
+    def test_factories_run_scalar(self):
+        assert (
+            select_uniform_engine(lambda: DecayProtocol(256))
+            == ENGINE_SCALAR_UNIFORM
+        )
+
+    def test_batch_true_on_factory_raises(self):
+        with pytest.raises(ValueError, match="batch=True"):
+            select_uniform_engine(lambda: DecayProtocol(256), True)
+
+
+class TestPlayerBatchContract:
+    def _estimate(self, batch):
+        adversary = RandomAdversary()
+        return estimate_player_rounds(
+            BinaryExponentialBackoff(),
+            lambda rng: adversary.checked_select(64, 3, rng),
+            64,
+            np.random.default_rng(0),
+            channel=with_collision_detection(),
+            trials=10,
+            max_rounds=200,
+            batch=batch,
+        )
+
+    def test_batch_true_warns_and_falls_back(self):
+        """batch=True is an unsupported request, not a silent no-op."""
+        with pytest.warns(RuntimeWarning, match="no vectorized engine"):
+            warned = self._estimate(True)
+        assert warned.success.trials == 10
+
+    def test_batch_none_and_false_are_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            silent_none = self._estimate(None)
+            silent_false = self._estimate(False)
+        assert silent_none.success.trials == silent_false.success.trials == 10
+
+    def test_scalar_semantics_unchanged_by_batch_flag(self):
+        """The flag must not perturb the RNG stream or the results."""
+        with pytest.warns(RuntimeWarning):
+            via_true = self._estimate(True)
+        assert via_true.rounds == self._estimate(None).rounds

@@ -1,0 +1,104 @@
+"""Tests for the non-i.i.d. arrival models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.arrivals import MarkovBurstArrivals, TraceArrivals
+
+
+def model(**overrides) -> MarkovBurstArrivals:
+    params = dict(
+        devices=1000,
+        calm_rate=0.002,
+        burst_rate=0.3,
+        burst_arrival=0.1,
+        burst_departure=0.25,
+    )
+    params.update(overrides)
+    return MarkovBurstArrivals(**params)
+
+
+class TestMarkovBurstArrivals:
+    def test_counts_stay_in_bounds(self):
+        draws = model().sample_many(np.random.default_rng(0), 5000)
+        assert draws.min() >= 2 and draws.max() <= 1000
+
+    def test_deterministic_given_seed(self):
+        a = model().sample_many(np.random.default_rng(42), 500)
+        b = model().sample_many(np.random.default_rng(42), 500)
+        assert (a == b).all()
+
+    def test_regimes_produce_bimodal_load(self):
+        draws = model().sample_many(np.random.default_rng(7), 20_000)
+        # Calm draws cluster near 2 (0.002*1000 clamped up), burst draws
+        # near 300; both regimes must actually occur.
+        assert (draws < 30).any() and (draws > 200).any()
+
+    def test_zero_switch_probabilities_pin_the_regime(self):
+        calm_only = model(burst_arrival=0.0)
+        draws = calm_only.sample_many(np.random.default_rng(1), 2000)
+        assert (draws < 50).all()
+        burst_only = model(start_in_burst=True, burst_departure=0.0)
+        draws = burst_only.sample_many(np.random.default_rng(1), 2000)
+        assert (draws > 200).all()
+
+    def test_pinned_regime_persists_across_batches_and_scalar_calls(self):
+        """A truncated fill must not flip the chain at batch boundaries."""
+        calm_only = model(burst_arrival=0.0)
+        rng = np.random.default_rng(2)
+        first = calm_only.sample_many(rng, 100)
+        second = calm_only.sample_many(rng, 100)
+        scalars = [calm_only.sample(rng) for _ in range(20)]
+        assert (first < 50).all() and (second < 50).all()
+        assert max(scalars) < 50
+
+    def test_sojourns_correlate_consecutive_trials(self):
+        """Neighbouring trials share a regime far more often than chance."""
+        draws = model(burst_arrival=0.02, burst_departure=0.05).sample_many(
+            np.random.default_rng(3), 20_000
+        )
+        burst = draws > 150
+        agree = (burst[1:] == burst[:-1]).mean()
+        assert agree > 0.9  # i.i.d. sampling would sit near p^2 + (1-p)^2 < 0.9
+
+    def test_scalar_sample_advances_the_chain(self):
+        chain = model()
+        rng = np.random.default_rng(5)
+        draws = [chain.sample(rng) for _ in range(50)]
+        assert min(draws) >= 2 and max(draws) <= 1000
+
+    def test_reset_restores_initial_regime(self):
+        chain = model(burst_arrival=1.0)  # switches to burst immediately
+        chain.sample_many(np.random.default_rng(0), 10)
+        chain.reset()
+        assert chain.sample_many(np.random.default_rng(9), 1) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="devices"):
+            model(devices=1)
+        with pytest.raises(ValueError, match="burst_rate"):
+            model(burst_rate=1.5)
+
+
+class TestTraceArrivals:
+    def test_replays_and_cycles(self):
+        trace = TraceArrivals([3, 5, 7])
+        rng = np.random.default_rng(0)
+        assert list(trace.sample_many(rng, 5)) == [3, 5, 7, 3, 5]
+        assert trace.sample(rng) == 7  # cursor continues
+
+    def test_reset(self):
+        trace = TraceArrivals([4, 6])
+        rng = np.random.default_rng(0)
+        trace.sample(rng)
+        trace.reset()
+        assert trace.sample(rng) == 4
+
+    def test_n_is_trace_maximum(self):
+        assert TraceArrivals([3, 9, 2]).n == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TraceArrivals([])
+        with pytest.raises(ValueError, match=">= 1"):
+            TraceArrivals([2, 0])

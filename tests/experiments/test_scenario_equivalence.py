@@ -1,0 +1,255 @@
+"""Equivalence guards for the scenario-API experiment migrations.
+
+Five registry experiments (BASELINE-X, ADVICE-ROBUST, T2-RAND-CD,
+T1-NCD-UP, T1-CD-UP) were migrated from hand-wired estimator calls onto
+declarative :class:`ScenarioSpec` points executed by ``run_scenario``
+with the experiment's shared generator.  The migration contract is
+*bit-identical tables*: the scenario layer must resolve protocols,
+workloads and advice into exactly the objects the old code built, and
+consume the RNG stream in exactly the same order.  Each test here
+replays the pre-migration wiring verbatim (same estimator calls, same
+order, same shared generator) and compares against the migrated
+experiment's measured rows.
+
+These tests pin semantics, not just statistics: a refactor that changes
+protocol construction order, RNG threading or workload resolution will
+show up as an exact-value mismatch even when the statistics stay
+plausible.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    estimate_player_rounds,
+    estimate_uniform_rounds,
+)
+from repro.channel.channel import (
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.channel.network import RandomAdversary
+from repro.core.advice import MinIdPrefixAdvice
+from repro.core.faulty_advice import BitFlipAdvice
+from repro.core.predictions import Prediction
+from repro.experiments import crossover, robustness, table1_cd, table1_nocd, table2
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.table1_nocd import entropy_sweep_distributions
+from repro.experiments.table2 import _advice_sweep, _worst_block_sizes
+from repro.infotheory.condense import num_ranges
+from repro.lowerbounds.bounds import table1_nocd_upper
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from repro.protocols.advice_randomized import (
+    block_index_for,
+    truncated_willard_protocol,
+)
+from repro.protocols.adapters import UniformAsPlayerProtocol
+from repro.protocols.code_search import CodeSearchProtocol
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.restart import FallbackPlayerProtocol
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+
+CONFIG = ExperimentConfig(n=2**10, trials=120, seed=13, quick=True)
+
+
+def test_crossover_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    nocd, cd = without_collision_detection(), with_collision_detection()
+    trials = CONFIG.effective_trials()
+    budget = 64 * num_ranges(CONFIG.n)
+    expected_rows = []
+    for distribution in entropy_sweep_distributions(CONFIG.n, quick=True):
+        entropy_bits = distribution.condensed_entropy()
+        prediction = Prediction(distribution)
+        means = []
+        for protocol, channel in (
+            (
+                SortedProbingProtocol(prediction, one_shot=False, support_only=True),
+                nocd,
+            ),
+            (DecayProtocol(CONFIG.n), nocd),
+            (
+                CodeSearchProtocol(prediction, one_shot=False, support_only=True),
+                cd,
+            ),
+            (WillardProtocol(CONFIG.n), cd),
+        ):
+            means.append(
+                estimate_uniform_rounds(
+                    protocol,
+                    distribution,
+                    rng,
+                    channel=channel,
+                    trials=trials,
+                    max_rounds=budget,
+                    batch=CONFIG.batch_mode(),
+                ).rounds.mean
+            )
+        sorted_rounds, decay_rounds, code_rounds, willard_rounds = means
+        expected_rows.append(
+            [
+                entropy_bits,
+                sorted_rounds,
+                decay_rounds,
+                decay_rounds / sorted_rounds,
+                code_rounds,
+                willard_rounds,
+                willard_rounds / code_rounds,
+            ]
+        )
+    assert crossover.run(CONFIG).rows == expected_rows
+
+
+def test_t1_nocd_upper_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    channel = without_collision_detection()
+    trials = CONFIG.effective_trials()
+    measured = []
+    for distribution in entropy_sweep_distributions(CONFIG.n, quick=True):
+        entropy_bits = distribution.condensed_entropy()
+        budget = max(1, math.ceil(table1_nocd_upper(entropy_bits)))
+        estimate = estimate_uniform_rounds(
+            SortedProbingProtocol(Prediction(distribution), one_shot=True),
+            distribution,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=budget,
+            batch=CONFIG.batch_mode(),
+        )
+        measured.append(
+            (estimate.success.rate, estimate.success.lower, estimate.rounds.mean)
+        )
+    rows = table1_nocd.run_upper(CONFIG).rows
+    assert [(row[3], row[4], row[5]) for row in rows] == measured
+
+
+def test_t1_cd_upper_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    channel = with_collision_detection()
+    trials = CONFIG.effective_trials()
+    repetitions = 3
+    measured = []
+    for distribution in entropy_sweep_distributions(CONFIG.n, quick=True):
+        entropy_bits = distribution.condensed_entropy()
+        budget = table1_cd.cd_budget(entropy_bits, repetitions)
+        estimate = estimate_uniform_rounds(
+            CodeSearchProtocol(
+                Prediction(distribution), repetitions=repetitions, one_shot=True
+            ),
+            distribution,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=budget,
+            batch=CONFIG.batch_mode(),
+        )
+        measured.append(
+            (estimate.success.rate, estimate.success.lower, estimate.rounds.mean)
+        )
+    rows = table1_cd.run_upper(CONFIG).rows
+    assert [(row[3], row[4], row[5]) for row in rows] == measured
+
+
+def test_t2_rand_cd_rows_match_direct_estimator_wiring():
+    n = CONFIG.n
+    rng = CONFIG.rng()
+    channel = with_collision_detection()
+    trials = CONFIG.effective_trials()
+    repetitions = 3
+    max_b = max(1, math.ceil(math.log2(num_ranges(n))))
+    expected_worsts = []
+    for b in _advice_sweep(max_b, quick=True):
+        worst = 0.0
+        for k in _worst_block_sizes(n, b):
+            protocol = truncated_willard_protocol(
+                n, b, block_index_for(n, b, k), repetitions=repetitions, restart=True
+            )
+            estimate = estimate_uniform_rounds(
+                protocol,
+                k,
+                rng,
+                channel=channel,
+                trials=trials,
+                max_rounds=1024,
+                batch=CONFIG.batch_mode(),
+            )
+            worst = max(
+                worst,
+                estimate.rounds.mean if estimate.any_successes else math.inf,
+            )
+        expected_worsts.append(worst)
+    rows = table2.run_rand_cd(CONFIG).rows
+    assert [row[1] for row in rows] == expected_worsts
+
+
+def test_robustness_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    n = min(CONFIG.n, 2**10)
+    b, k = 4, 6
+    trials = max(150, CONFIG.effective_trials() // 4)
+    adversary = RandomAdversary()
+    expected_rows = []
+    for label, primary, fallback_protocol, channel in (
+        (
+            "scan",
+            DeterministicScanProtocol(b),
+            UniformAsPlayerProtocol(DecayProtocol(n)),
+            without_collision_detection(),
+        ),
+        (
+            "descent",
+            DeterministicTreeDescentProtocol(b),
+            UniformAsPlayerProtocol(WillardProtocol(n)),
+            with_collision_detection(),
+        ),
+    ):
+        budget = primary.worst_case_rounds(n)
+        fallback = FallbackPlayerProtocol(primary, fallback_protocol, budget)
+        for flip in (0.0, 0.25):
+            advice = BitFlipAdvice(MinIdPrefixAdvice(b), flip, rng)
+
+            def draw(generator):
+                return adversary.checked_select(n, k, generator)
+
+            bare = estimate_player_rounds(
+                primary, draw, n, rng,
+                channel=channel, advice_function=advice,
+                trials=trials, max_rounds=budget, batch=CONFIG.batch_mode(),
+            )
+            repaired = estimate_player_rounds(
+                fallback, draw, n, rng,
+                channel=channel, advice_function=advice,
+                trials=trials, max_rounds=100 * budget, batch=CONFIG.batch_mode(),
+            )
+            expected_rows.append(
+                [
+                    label,
+                    flip,
+                    1.0 - bare.success.rate,
+                    repaired.success.rate,
+                    repaired.rounds.mean,
+                    budget,
+                ]
+            )
+    assert robustness.run(CONFIG).rows == expected_rows
+
+
+def test_batch_and_scalar_substrates_both_reproduce():
+    """The migration preserves the --no-batch escape hatch end to end."""
+    scalar_config = ExperimentConfig(n=2**10, trials=60, seed=13, quick=True, batch=False)
+    result = crossover.run(scalar_config)
+    assert len(result.rows) == len(
+        entropy_sweep_distributions(scalar_config.n, quick=True)
+    )
+
+
+def test_migrated_experiments_stay_deterministic():
+    for run in (crossover.run, table2.run_rand_cd):
+        assert run(CONFIG).rows == run(CONFIG).rows

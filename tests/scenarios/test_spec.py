@@ -1,0 +1,116 @@
+"""Tests for the declarative spec layer: construction, JSON, overrides."""
+
+import pytest
+
+from repro.scenarios.spec import (
+    AdviceSpec,
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        protocol=ProtocolSpec("decay"),
+        workload=WorkloadSpec("fixed", {"k": 8}),
+        channel=ChannelSpec(collision_detection=False),
+        n=1024,
+        trials=100,
+        max_rounds=256,
+        seed=11,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSubSpecs:
+    def test_protocol_shorthand(self):
+        assert ProtocolSpec.from_dict("decay") == ProtocolSpec("decay")
+
+    def test_protocol_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown protocol spec"):
+            ProtocolSpec.from_dict({"id": "decay", "prams": {}})
+
+    def test_channel_shorthands(self):
+        assert ChannelSpec.from_dict("cd").collision_detection
+        assert not ChannelSpec.from_dict("nocd").collision_detection
+        assert not ChannelSpec.from_dict("no-cd").collision_detection
+        with pytest.raises(ScenarioError, match="shorthand"):
+            ChannelSpec.from_dict("loud")
+
+    def test_prediction_shorthand(self):
+        assert PredictionSpec.from_dict("truth") == PredictionSpec("truth")
+
+    def test_advice_negative_bits_rejected(self):
+        with pytest.raises(ScenarioError, match="bits"):
+            AdviceSpec(function="null", bits=-1)
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ScenarioError, match="trials"):
+            make_spec(trials=0)
+        with pytest.raises(ScenarioError, match="max_rounds"):
+            make_spec(max_rounds=0)
+        with pytest.raises(ScenarioError, match="n must"):
+            make_spec(n=1)
+
+    def test_json_round_trip_is_identity(self):
+        spec = make_spec(
+            prediction=PredictionSpec("distribution", {"family": "geometric"}),
+            advice=AdviceSpec(
+                "min-id-prefix", 3, {"model": "bit-flip", "probability": 0.1}
+            ),
+            batch=False,
+            name="rt",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_from_dict_requires_core_fields(self):
+        with pytest.raises(ScenarioError, match="'workload'"):
+            ScenarioSpec.from_dict(
+                {
+                    "protocol": "decay",
+                    "channel": "nocd",
+                    "n": 64,
+                    "trials": 10,
+                    "max_rounds": 8,
+                }
+            )
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = make_spec().to_dict()
+        data["trails"] = 5
+        with pytest.raises(ScenarioError, match="'trails'"):
+            ScenarioSpec.from_dict(data)
+
+    def test_invalid_json_reports_cleanly(self):
+        with pytest.raises(ScenarioError, match="invalid scenario JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_override_dotted_paths(self):
+        spec = make_spec()
+        derived = spec.override(
+            {"trials": 500, "workload.params.k": 3, "protocol.params.cycle": False}
+        )
+        assert derived.trials == 500
+        assert derived.workload.params["k"] == 3
+        assert derived.protocol.params == {"cycle": False}
+        # the original is untouched (specs are immutable values)
+        assert spec.trials == 100 and spec.protocol.params == {}
+
+    def test_override_creates_intermediate_mappings(self):
+        derived = make_spec().override({"prediction.source": "truth"})
+        assert derived.prediction == PredictionSpec("truth")
+
+    def test_override_revalidates(self):
+        with pytest.raises(ScenarioError, match="trials"):
+            make_spec().override({"trials": 0})
+
+    def test_label(self):
+        assert make_spec().label() == "decay/fixed"
+        assert make_spec(name="x").label() == "x"

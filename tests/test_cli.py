@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXAMPLE_SCENARIO, EXAMPLE_SWEEP, build_parser, main
+from repro.experiments.base import ExperimentResult
 
 
 class TestParser:
@@ -61,3 +64,158 @@ class TestMain:
         output = capsys.readouterr().out
         assert code == 0
         assert "," in output  # CSV block emitted
+
+    def test_run_validates_all_ids_before_running_any(self, capsys):
+        """A typo'd id must fail the whole request up front, not midway."""
+        code = main(["run", "SRC-CODE", "BOGUS", "--quick"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BOGUS" in captured.err and "known ids" in captured.err
+        assert "== SRC-CODE" not in captured.out  # nothing ran
+
+
+def _stub_result(experiment_id: str, passed: bool) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"stub {experiment_id}",
+        reference="stub reference",
+        headers=["x"],
+        rows=[[1]],
+        checks={"stub check": passed},
+    )
+
+
+class TestReport:
+    """The report command, against a stubbed registry (fast and exact)."""
+
+    @pytest.fixture
+    def stub_registry(self, monkeypatch):
+        registry = {
+            "GOOD": ((lambda config: _stub_result("GOOD", True)), "passes"),
+            "BAD": ((lambda config: _stub_result("BAD", False)), "fails"),
+        }
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", registry)
+        monkeypatch.setattr(cli, "experiment_ids", lambda: list(registry))
+        monkeypatch.setattr(
+            cli, "run_experiment", lambda eid, config: registry[eid][0](config)
+        )
+        return registry
+
+    def test_all_pass_exits_zero(self, stub_registry, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["GOOD"])
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] GOOD" in out
+        assert "all experiments reproduce" in out
+
+    def test_failure_exits_one_and_names_failures(self, stub_registry, capsys):
+        assert main(["report", "--quick"]) == 1
+        out = capsys.readouterr().out
+        assert "[PASS] GOOD" in out and "[FAIL] BAD" in out
+        assert "failed: stub check" in out
+        assert "1 experiment(s) failed: BAD" in out
+
+    def test_report_forwards_config(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        seen = {}
+
+        def capture(eid, config):
+            seen["config"] = config
+            return _stub_result(eid, True)
+
+        monkeypatch.setattr(cli, "experiment_ids", lambda: ["ONLY"])
+        monkeypatch.setattr(cli, "run_experiment", capture)
+        assert main(["report", "--quick", "--n", "512", "--seed", "3"]) == 0
+        config = seen["config"]
+        assert config.n == 512 and config.seed == 3 and config.quick
+
+
+class TestScenarioCommands:
+    def test_example_is_runnable_json(self, capsys):
+        assert main(["scenario", "example"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == EXAMPLE_SCENARIO
+
+    def test_run_example_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec = dict(EXAMPLE_SCENARIO, trials=80, n=256, max_rounds=128)
+        spec_path.write_text(json.dumps(spec))
+        assert main(["scenario", "run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out and "success:" in out
+
+    def test_run_json_output_round_trips(self, tmp_path, capsys):
+        from repro.scenarios import ScenarioResult
+
+        spec_path = tmp_path / "spec.json"
+        spec = dict(EXAMPLE_SCENARIO, trials=50, n=256, max_rounds=128)
+        spec_path.write_text(json.dumps(spec))
+        assert main(["scenario", "run", str(spec_path), "--json"]) == 0
+        result = ScenarioResult.from_dict(json.loads(capsys.readouterr().out))
+        assert result.success.trials == 50
+
+    def test_sweep_example(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        sweep = json.loads(json.dumps(EXAMPLE_SWEEP))
+        sweep["base"].update(trials=40, n=256, max_rounds=128)
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "sweep", str(sweep_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 point(s)" in out and "executor=serial" in out
+
+    def test_sweep_process_executor_matches_serial(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        sweep = json.loads(json.dumps(EXAMPLE_SWEEP))
+        sweep["base"].update(trials=40, n=256, max_rounds=128)
+        sweep["grid"] = {"workload.params.ranges": [[2], [2, 4]]}
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "sweep", str(sweep_path), "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    str(sweep_path),
+                    "--executor",
+                    "process",
+                    "--workers",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        pooled = json.loads(capsys.readouterr().out)
+
+        def strip(payload):
+            payload = dict(payload, executor=None, elapsed_seconds=None)
+            payload["results"] = [
+                dict(row, elapsed_seconds=None) for row in payload["results"]
+            ]
+            return payload
+
+        assert strip(serial) == strip(pooled)
+
+    def test_bad_spec_reports_scenario_error(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(dict(EXAMPLE_SCENARIO, protocol="warp-drive")))
+        assert main(["scenario", "run", str(spec_path)]) == 2
+        assert "scenario error" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["scenario", "run", "/does/not/exist.json"]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_stdin_spec(self, monkeypatch, capsys):
+        import io
+
+        spec = dict(EXAMPLE_SCENARIO, trials=30, n=256, max_rounds=128)
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
+        assert main(["scenario", "run", "-"]) == 0
+        assert "success:" in capsys.readouterr().out

@@ -2,15 +2,18 @@
 
 Times the scalar reference loop against the vectorized batch engine on
 benchmark-scale Table 1 workloads (no-CD schedule path and CD
-history-grouped path) and writes a ``BENCH_*.json`` snapshot, so future
-PRs can track the performance trajectory with a one-line diff instead of
-re-deriving numbers from benchmark logs.
+history-grouped path), plus the scenario sweep executors (serial vs
+process pool on a Table-1-scale point grid), and writes a
+``BENCH_*.json`` snapshot, so future PRs can track the performance
+trajectory with a one-line diff instead of re-deriving numbers from
+benchmark logs.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python tools/bench_report.py [--output BENCH_BATCH.json]
 
-The snapshot records the environment (python/numpy versions), the
+The snapshot records the environment (python/numpy versions, CPU count -
+the process-pool speedup is bounded by the cores available), the
 workload configuration, per-substrate wall-clock seconds and the
 speedups.  Timings are medians over ``--repeats`` runs.
 """
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -33,6 +37,13 @@ from repro.channel import with_collision_detection, without_collision_detection
 from repro.experiments.table1_nocd import entropy_sweep_distributions
 from repro.protocols.sorted_probing import SortedProbingProtocol
 from repro.protocols.willard import WillardProtocol
+from repro.scenarios import run_sweep
+
+# The sweep-executor benchmark workload is shared with the opt-in gate in
+# benchmarks/test_bench_sweep.py; running as a script puts tools/ (not the
+# repo root) on sys.path, so anchor the import at the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.sweep_workload import RANGE_SETS, executor_sweep  # noqa: E402
 
 N = 2**16
 MAX_ROUNDS = 1024
@@ -74,6 +85,36 @@ def _measure(protocol, distribution, channel, trials: int, repeats: int):
     }
 
 
+def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
+    """Serial vs process-pool wall clock on an 8-point Table-1-scale sweep.
+
+    Every point is an independent scenario (own seed), so the two
+    executors return identical results; only the wall clock differs.
+    The speedup is bounded by the machine's core count - the snapshot
+    records ``cpu_count`` so a single-core box's sub-1x reading is
+    legible rather than mysterious.
+    """
+    sweep = executor_sweep(trials)
+    if workers is None:
+        workers = min(len(RANGE_SETS), os.cpu_count() or 1)
+
+    serial_seconds = _median_seconds(
+        lambda: run_sweep(sweep, executor="serial"), repeats
+    )
+    process_seconds = _median_seconds(
+        lambda: run_sweep(sweep, executor="process", max_workers=workers), repeats
+    )
+    return {
+        "points": len(RANGE_SETS),
+        "trials_per_point": trials,
+        "max_workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 6),
+        "process_seconds": round(process_seconds, 6),
+        "speedup": round(serial_seconds / process_seconds, 2),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -89,6 +130,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats; the median is recorded (default 3)",
+    )
+    parser.add_argument(
+        "--sweep-trials", type=int, default=200_000,
+        help=(
+            "trials per sweep point for the executor benchmark; heavy on "
+            "purpose - each point must dwarf the pool's spawn cost "
+            "(default 200000)"
+        ),
+    )
+    parser.add_argument(
+        "--sweep-workers", type=int, default=None,
+        help="process-pool size for the sweep benchmark (default: cpu count)",
     )
     args = parser.parse_args(argv)
 
@@ -109,12 +162,14 @@ def main(argv: list[str] | None = None) -> int:
             args.repeats,
         ),
     }
+    sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "config": {
             "n": N,
@@ -125,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
             "workload": distribution.name,
         },
         "measurements": measurements,
+        "sweep_executor": sweep_executor,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     for name, row in measurements.items():
@@ -132,6 +188,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: scalar={row['scalar_seconds']:.3f}s "
             f"batch={row['batch_seconds']:.3f}s speedup={row['speedup']}x"
         )
+    print(
+        f"sweep_executor: serial={sweep_executor['serial_seconds']:.3f}s "
+        f"process={sweep_executor['process_seconds']:.3f}s "
+        f"speedup={sweep_executor['speedup']}x "
+        f"({sweep_executor['points']} points, "
+        f"{sweep_executor['max_workers']} workers, "
+        f"{sweep_executor['cpu_count']} cpu)"
+    )
     print(f"snapshot written to {args.output}")
     return 0
 
