@@ -1,0 +1,91 @@
+"""Shared Table-2-scale player-engine benchmark workload.
+
+Used by both the opt-in gate (``benchmarks/test_bench_player.py``) and
+the snapshot generator (``tools/bench_report.py``), so the recorded
+``player_engine`` numbers and the enforced floors measure exactly the
+same thing.
+
+The cells mirror the Table 2 experiments on the full board (n = 2^16):
+the deterministic no-CD candidate scan at its suffix-adversary worst
+case (the Table-2 workload proper - hundreds of rounds per trial is
+where the scalar per-player loop hurts most), the CD tree descent under
+a random adversary at practical contention, and binary exponential
+backoff (the practical MAC comparator driving the example scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.channel import (
+    Channel,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.channel.network import Adversary, RandomAdversary, SuffixAdversary
+from repro.core.advice import AdviceFunction, MinIdPrefixAdvice
+from repro.core.protocol import PlayerProtocol
+from repro.protocols.advice_deterministic import (
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+)
+from repro.protocols.backoff import BinaryExponentialBackoff
+
+N = 2**16
+
+
+@dataclass(frozen=True)
+class PlayerCell:
+    """One batch-vs-scalar player measurement: protocol + workload."""
+
+    name: str
+    protocol: PlayerProtocol
+    adversary: Adversary
+    k: int
+    channel: Channel
+    advice_function: AdviceFunction | None
+    trials: int
+    max_rounds: int
+    #: Enforced speedup floor (the scan cell carries the acceptance >= 5x).
+    min_speedup: float
+
+
+def player_cells(trials: int) -> list[PlayerCell]:
+    """The benchmark cells, with per-cell trial counts scaled from ``trials``."""
+    scan = DeterministicScanProtocol(8)
+    descent = DeterministicTreeDescentProtocol(0)
+    return [
+        PlayerCell(
+            name="det_scan_suffix",
+            protocol=scan,
+            adversary=SuffixAdversary(),
+            k=2,
+            channel=without_collision_detection(),
+            advice_function=MinIdPrefixAdvice(8),
+            trials=trials,
+            max_rounds=scan.worst_case_rounds(N) + 1,
+            min_speedup=5.0,
+        ),
+        PlayerCell(
+            name="tree_descent_random",
+            protocol=descent,
+            adversary=RandomAdversary(),
+            k=64,
+            channel=with_collision_detection(),
+            advice_function=MinIdPrefixAdvice(0),
+            trials=trials,
+            max_rounds=descent.worst_case_rounds(N) + 1,
+            min_speedup=2.0,
+        ),
+        PlayerCell(
+            name="backoff_random",
+            protocol=BinaryExponentialBackoff(),
+            adversary=RandomAdversary(),
+            k=64,
+            channel=with_collision_detection(),
+            advice_function=None,
+            trials=max(1, trials // 5),
+            max_rounds=4096,
+            min_speedup=3.0,
+        ),
+    ]

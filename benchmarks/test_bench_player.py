@@ -1,0 +1,76 @@
+"""Batch vs scalar player-protocol estimation at Table-2 scale.
+
+The acceptance benchmark for the vectorized player engine: the Table-2
+deterministic no-CD scan at its suffix-adversary worst case (n = 2^16,
+b = 8 -> 256-round executions) must run >= 5x faster on the batch
+substrate than on the scalar per-player loop, with matching statistics
+(exactly matching for the deterministic cells - the batch sessions run
+the same state machine).  The CD descent and binary-exponential-backoff
+cells are gated more loosely and reported for the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import estimate_player_rounds
+
+from .player_workload import N, PlayerCell, player_cells
+
+TRIALS = 2000
+SEED = 2021
+
+
+def _estimate(cell: PlayerCell, batch: bool):
+    return estimate_player_rounds(
+        cell.protocol,
+        lambda rng: cell.adversary.checked_select(N, cell.k, rng),
+        N,
+        np.random.default_rng(SEED),
+        channel=cell.channel,
+        advice_function=cell.advice_function,
+        trials=cell.trials,
+        max_rounds=cell.max_rounds,
+        batch=batch,
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.parametrize(
+    "cell", player_cells(TRIALS), ids=lambda cell: cell.name
+)
+def test_bench_player_batch_vs_scalar(benchmark, cell: PlayerCell):
+    scalar, scalar_seconds = _timed(lambda: _estimate(cell, False))
+    batched, batch_seconds = _timed(lambda: _estimate(cell, True))
+    benchmark.pedantic(
+        lambda: _estimate(cell, True), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    speedup = scalar_seconds / batch_seconds
+    print(
+        f"\n{cell.name} (k={cell.k}, trials={cell.trials}): "
+        f"scalar={scalar_seconds:.3f}s batch={batch_seconds:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    assert batched.success.rate == pytest.approx(scalar.success.rate, abs=0.03)
+    if cell.name != "backoff_random":
+        # Deterministic cells: the two engines run the same state machine
+        # on the same participant draws, so the statistics match exactly.
+        assert batched.rounds == scalar.rounds
+    elif scalar.any_successes and batched.any_successes:
+        assert batched.rounds.mean == pytest.approx(
+            scalar.rounds.mean, rel=0.1, abs=0.5
+        )
+    assert speedup >= cell.min_speedup, (
+        f"player batch engine only {speedup:.1f}x faster than the scalar "
+        f"per-player loop on {cell.name} "
+        f"({batch_seconds:.3f}s vs {scalar_seconds:.3f}s)"
+    )

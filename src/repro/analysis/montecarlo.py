@@ -7,27 +7,31 @@ points take an explicit ``numpy`` Generator so every experiment is
 reproducible from its seed, and protocols are passed as zero-argument
 *factories* when they carry per-execution state.
 
-Uniform estimation runs on the **vectorized batch engine**
-(:mod:`repro.channel.batch`) whenever the protocol supports it: all
-trials advance in lockstep with one binomial draw per round, which is
-10-100x faster than the per-trial scalar loop at experiment scale.  The
-scalar loop remains the reference implementation and correctness oracle
-(``batch=False`` forces it; factory protocols and randomized-session
-wrappers always take it), and the two paths agree statistically - the
-batch rounds/success arrays are drawn from exactly the same distribution,
-just with a different consumption order of the RNG stream.
+Estimation runs on the **vectorized batch engines**
+(:mod:`repro.channel.batch` for uniform protocols,
+:mod:`repro.channel.batch_players` for identity/advice-aware ones)
+whenever the protocol supports it: all trials advance in lockstep - one
+binomial draw per round on the uniform path, one array-state decide /
+observe per round on the player path - which is 5-100x faster than the
+per-trial scalar loops at experiment scale.  The scalar loops remain the
+reference implementations and correctness oracles (``batch=False``
+forces them; factory protocols, randomized-session wrappers and
+non-batchable player combinators always take them), and the two paths
+agree statistically - the batch rounds/success arrays are drawn from
+exactly the same distribution, just with a different consumption order
+of the RNG stream (deterministic player protocols agree exactly).
 """
 
 from __future__ import annotations
 
-import warnings
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
 
 from ..channel.batch import is_batchable, run_uniform_batch
+from ..channel.batch_players import is_player_batchable, run_players_batch
 from ..channel.channel import Channel
 from ..channel.simulator import run_players, run_uniform
 from ..core.advice import AdviceFunction
@@ -41,8 +45,10 @@ __all__ = [
     "estimate_success_within",
     "estimate_player_rounds",
     "select_uniform_engine",
+    "select_player_engine",
     "ENGINE_BATCH_SCHEDULE",
     "ENGINE_BATCH_HISTORY",
+    "ENGINE_BATCH_PLAYER",
     "ENGINE_SCALAR_UNIFORM",
     "ENGINE_SCALAR_PLAYER",
 ]
@@ -67,11 +73,12 @@ class SupportsSampleMany(Protocol):
 #: or a bare per-trial callable (always the scalar sampling path).
 SizeSource = int | SupportsSampleMany | Callable[[np.random.Generator], int]
 
-#: Engine labels returned by :func:`select_uniform_engine` and surfaced in
-#: scenario metadata: the two vectorized batch paths, the scalar uniform
-#: reference loop, and the per-player loop (which has no batch path yet).
+#: Engine labels returned by :func:`select_uniform_engine` /
+#: :func:`select_player_engine` and surfaced in scenario metadata: the
+#: three vectorized batch paths and the two scalar reference loops.
 ENGINE_BATCH_SCHEDULE = "batch-schedule"
 ENGINE_BATCH_HISTORY = "batch-history"
+ENGINE_BATCH_PLAYER = "batch-player"
 ENGINE_SCALAR_UNIFORM = "scalar-uniform"
 ENGINE_SCALAR_PLAYER = "scalar-player"
 
@@ -255,6 +262,29 @@ def estimate_success_within(
     return estimate.success
 
 
+def select_player_engine(
+    protocol: PlayerProtocol, batch: bool | None = None
+) -> str:
+    """Which execution engine :func:`estimate_player_rounds` will use.
+
+    Pure routing (no simulation), mirroring :func:`select_uniform_engine`
+    exactly: :data:`ENGINE_BATCH_PLAYER` for protocols implementing the
+    :meth:`~repro.core.protocol.PlayerProtocol.batch_sessions` capability
+    hook, :data:`ENGINE_SCALAR_PLAYER` otherwise (non-batchable
+    combinators, or ``batch=False``).  Raises ``ValueError`` when
+    ``batch=True`` insists on an impossible batch run.
+    """
+    batchable = is_player_batchable(protocol)
+    if batch is True and not batchable:
+        raise ValueError(
+            "batch=True requires a player protocol with batch sessions "
+            f"({protocol.name!r} supports only the scalar per-player loop)"
+        )
+    if batch is not False and batchable:
+        return ENGINE_BATCH_PLAYER
+    return ENGINE_SCALAR_PLAYER
+
+
 def estimate_player_rounds(
     protocol: PlayerProtocol,
     participant_source: Callable[[np.random.Generator], frozenset[int]],
@@ -272,23 +302,35 @@ def estimate_player_rounds(
     ``participant_source`` draws a participant set per trial (typically an
     :class:`~repro.channel.network.Adversary` bound to a size schedule).
 
-    ``batch`` keeps signature parity with :func:`estimate_uniform_rounds`:
-    per-player sessions carry identity-dependent state (and private
-    randomness), so there is no vectorized player engine yet and
-    ``batch=None`` / ``batch=False`` both run the scalar per-player loop.
-    ``batch=True`` *requests* vectorization the engine cannot provide, so
-    it warns (``RuntimeWarning``) before falling back rather than
-    silently pretending the request was honoured.
+    ``batch`` selects the execution substrate with the same semantics as
+    :func:`estimate_uniform_rounds`: ``None`` (default) uses the
+    vectorized player engine (:mod:`repro.channel.batch_players`)
+    whenever the protocol implements the ``batch_sessions`` capability
+    hook, ``True`` insists on it (raising ``ValueError`` for protocols
+    that cannot batch), ``False`` forces the scalar per-player reference
+    loop.  On the batch path all participant sets are drawn first, then
+    all advice strings - the same per-call draws as the scalar loop in a
+    different stream order, so deterministic protocols agree exactly
+    under a deterministic advice function and randomized ones agree
+    statistically.
     """
-    if batch:
-        warnings.warn(
-            "estimate_player_rounds has no vectorized engine yet; "
-            "batch=True falls back to the scalar per-player loop",
-            RuntimeWarning,
-            stacklevel=2,
-        )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    engine = select_player_engine(protocol, batch)
+    if engine == ENGINE_BATCH_PLAYER:
+        participant_sets = [participant_source(rng) for _ in range(trials)]
+        result = run_players_batch(
+            protocol,
+            participant_sets,
+            n,
+            rng,
+            channel=channel,
+            advice_function=advice_function,
+            max_rounds=max_rounds,
+        )
+        return RoundsEstimate(
+            rounds=result.rounds_summary(), success=result.success_estimate()
+        )
     solved_rounds: list[int] = []
     successes = 0
     for _ in range(trials):
@@ -317,6 +359,11 @@ def estimate_player_rounds(
 
 def sample_sizes(
     distribution: SizeDistribution, rng: np.random.Generator, trials: int
-) -> Sequence[int]:
-    """Draw a batch of sizes (convenience for custom experiment loops)."""
-    return [int(k) for k in distribution.sample_many(rng, trials)]
+) -> np.ndarray:
+    """Draw a batch of sizes (convenience for custom experiment loops).
+
+    Returns the ``sample_many`` int64 ndarray directly; callers needing a
+    plain ``list[int]`` should ``.tolist()`` it themselves rather than
+    paying a round-trip through a Python comprehension here.
+    """
+    return distribution.sample_many(rng, trials)

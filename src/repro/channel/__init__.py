@@ -18,6 +18,11 @@ from .network import (
     validate_participants,
 )
 from .batch import is_batchable, run_uniform_batch
+from .batch_players import (
+    is_player_batchable,
+    pack_participants,
+    run_players_batch,
+)
 from .simulator import DEFAULT_MAX_ROUNDS, run_players, run_uniform
 from .trace import BatchExecutionResult, ExecutionResult, RoundRecord
 
@@ -38,6 +43,9 @@ __all__ = [
     "run_uniform_batch",
     "is_batchable",
     "run_players",
+    "run_players_batch",
+    "is_player_batchable",
+    "pack_participants",
     "DEFAULT_MAX_ROUNDS",
     "BatchExecutionResult",
     "ExecutionResult",

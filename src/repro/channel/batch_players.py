@@ -1,0 +1,176 @@
+"""Vectorized batch execution of identity/advice-aware player protocols.
+
+The scalar engine (:func:`repro.channel.simulator.run_players`) keeps a
+Python dict of per-player sessions and pays one ``decide()`` call per
+player per round per trial - the dominant cost of every Section 3
+Monte Carlo estimate.  This module advances **all trials of a batch in
+lockstep** instead: protocols that implement the
+:meth:`~repro.core.protocol.PlayerProtocol.batch_sessions` capability
+hook hold the state of every ``(trial, player)`` pair in NumPy arrays of
+shape ``(trials, players)``, so a round costs one vectorized decide (a
+``rng.random(shape) < 1/window`` draw for backoff, integer compares
+against scan/descent positions for the deterministic advice protocols),
+one ``decisions.sum(axis=1)`` channel resolve across all live trials,
+and one vectorized observe that updates state only for unsolved rows.
+
+Faithfulness
+------------
+Unlike the uniform batch engines, nothing here changes the probability
+model: the batch sessions run the *same* per-player state machine as the
+scalar sessions, just stacked along a trial axis.  Deterministic
+protocols (candidate scan, tree descent) therefore match the scalar
+engine **exactly**, trial by trial; randomized protocols (backoff, the
+per-player view of the randomized advice protocols) draw the same
+per-player Bernoulli decisions from the same distribution, with the RNG
+stream consumed in batch order - the same statistical-equivalence
+contract as ``run_uniform_batch``.
+
+Participant sets may differ in size across trials; ids are packed into a
+right-padded ``(trials, players)`` array (:func:`pack_participants`) and
+padded slots never transmit.  Termination conventions mirror the scalar
+engine: a trial retires at its first single-transmitter round (``rounds``
+= that 1-based round), at schedule exhaustion (``solved=False``,
+``rounds`` = rounds actually played) or at the budget (``solved=False``,
+``rounds = max_rounds``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.advice import AdviceFunction, NullAdvice
+from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_QUIET,
+    OBS_SILENCE,
+    PlayerProtocol,
+    ProtocolError,
+)
+from .channel import Channel
+from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
+from .trace import BatchExecutionResult
+
+__all__ = ["run_players_batch", "is_player_batchable", "pack_participants"]
+
+
+def is_player_batchable(protocol: PlayerProtocol) -> bool:
+    """Whether :func:`run_players_batch` can execute ``protocol``.
+
+    Pure capability probe (no participant data needed): the Monte Carlo
+    harness uses it to auto-select the batch substrate and fall back to
+    the scalar reference loop otherwise, exactly like
+    :func:`repro.channel.batch.is_batchable` does for uniform protocols.
+    """
+    return protocol.supports_batch_sessions()
+
+
+def pack_participants(
+    participant_sets: Sequence[frozenset[int]],
+) -> np.ndarray:
+    """Participant sets as one right-padded ``(trials, players)`` id array.
+
+    Ids are sorted ascending within each trial (the scalar engine's fixed
+    player order); trials smaller than the widest set are padded with
+    ``-1``, which batch sessions treat as "no player in this slot".
+    """
+    if not participant_sets:
+        raise ValueError("participant batch must be non-empty")
+    widest = max(len(participants) for participants in participant_sets)
+    ids = np.full((len(participant_sets), widest), -1, dtype=np.int64)
+    for row, participants in enumerate(participant_sets):
+        if not participants:
+            raise ValueError("participant set must be non-empty")
+        ids[row, : len(participants)] = sorted(participants)
+    return ids
+
+
+def run_players_batch(
+    protocol: PlayerProtocol,
+    participant_sets: Sequence[frozenset[int]],
+    n: int,
+    rng: np.random.Generator,
+    *,
+    channel: Channel,
+    advice_function: AdviceFunction | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> BatchExecutionResult:
+    """Execute one player-protocol trial per participant set, in lockstep.
+
+    The batch counterpart of :func:`repro.channel.simulator.run_players`:
+    entry ``i`` of the returned
+    :class:`~repro.channel.trace.BatchExecutionResult` is an execution on
+    ``participant_sets[i]``, with the advice function evaluated once per
+    trial on its participant set (Section 3.1), exactly as the scalar
+    engine does.  Raises :class:`ValueError` for protocols that are not
+    :func:`is_player_batchable` - callers wanting transparent fallback
+    should test the capability first.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    _check_channel(protocol.requires_collision_detection, channel)
+    ids = pack_participants(participant_sets)
+    trials = ids.shape[0]
+
+    advice_source = advice_function if advice_function is not None else NullAdvice()
+    if advice_source.bits != protocol.advice_bits:
+        raise ProtocolError(
+            f"protocol expects {protocol.advice_bits} advice bits but the "
+            f"advice function provides {advice_source.bits}"
+        )
+    advice = tuple(
+        advice_source.checked_advise(participants, n)
+        for participants in participant_sets
+    )
+
+    sessions = protocol.batch_sessions(ids, n, advice, rng=rng)
+    if sessions is None:
+        raise ValueError(
+            f"protocol {protocol.name!r} has no batch player sessions; use "
+            "the scalar engine (run_players) instead"
+        )
+
+    solved = np.zeros(trials, dtype=bool)
+    rounds = np.zeros(trials, dtype=np.int64)
+    live = np.arange(trials)
+    for round_index in range(1, max_rounds + 1):
+        decisions, exhausted = sessions.decide(live)
+        if exhausted.any():
+            # Clean one-shot give-up: rounds actually played, like the
+            # scalar engine's ScheduleExhausted handling.
+            rounds[live[exhausted]] = round_index - 1
+            keep = ~exhausted
+            live = live[keep]
+            decisions = decisions[keep]
+            if live.size == 0:
+                return BatchExecutionResult(
+                    solved=solved, rounds=rounds, max_rounds=max_rounds,
+                    ks=_ks(ids),
+                )
+        counts = decisions.sum(axis=1)
+        hit = counts == 1
+        winners = live[hit]
+        solved[winners] = True
+        rounds[winners] = round_index
+        survivors = live[~hit]
+        if survivors.size == 0:
+            live = survivors
+            break
+        if channel.collision_detection:
+            observations = np.where(
+                counts[~hit] >= 2, OBS_COLLISION, OBS_SILENCE
+            ).astype(np.int8)
+        else:
+            observations = np.full(survivors.size, OBS_QUIET, dtype=np.int8)
+        sessions.observe(survivors, observations, decisions[~hit])
+        live = survivors
+    rounds[live] = max_rounds
+    return BatchExecutionResult(
+        solved=solved, rounds=rounds, max_rounds=max_rounds, ks=_ks(ids)
+    )
+
+
+def _ks(ids: np.ndarray) -> np.ndarray:
+    """Per-trial participant counts from the padded id array."""
+    return (ids >= 0).sum(axis=1).astype(np.int64)

@@ -15,7 +15,10 @@ Two simulation paths, matching the two protocol families:
 
 Both halt at the first round with exactly one transmitter (the problem's
 success condition) or when the round budget is spent, and both optionally
-record full traces.
+record full traces.  Each has a vectorized lockstep counterpart for Monte
+Carlo throughput (:mod:`repro.channel.batch` /
+:mod:`repro.channel.batch_players`); the loops here remain the reference
+implementations those engines are tested against.
 """
 
 from __future__ import annotations

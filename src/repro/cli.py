@@ -10,7 +10,8 @@ Subcommands:
 * ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
 * ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
   grid through the serial or process-pool executor;
-* ``repro scenario example [--sweep]`` - print a ready-to-run spec.
+* ``repro scenario example [--sweep|--player]`` - print a ready-to-run
+  spec.
 
 Every run is reproducible from its seed; ``--quick`` thins the
 experiment sweeps for smoke-testing, and ``--json`` switches the
@@ -111,10 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_example = scenario_sub.add_parser(
         "example", help="print a ready-to-run example spec"
     )
-    scenario_example.add_argument(
+    example_kind = scenario_example.add_mutually_exclusive_group()
+    example_kind.add_argument(
         "--sweep",
         action="store_true",
         help="print a sweep ({base, grid}) instead of a single scenario",
+    )
+    example_kind.add_argument(
+        "--player",
+        action="store_true",
+        help=(
+            "print a player-protocol scenario (advice + adversary on the "
+            "batch player engine) instead of the uniform demo"
+        ),
     )
     return parser
 
@@ -241,6 +251,25 @@ EXAMPLE_SWEEP: dict = {
     "vary_seed": True,
 }
 
+#: The example player scenario: a Section-3.2 tree descent under faulty
+#: advice against a clustered adversary, routed to the batch player engine.
+EXAMPLE_PLAYER_SCENARIO: dict = {
+    "name": "tree-descent-demo",
+    "protocol": {"id": "tree-descent", "params": {"advice_bits": 4}},
+    "workload": {"kind": "fixed", "params": {"k": 6}},
+    "channel": "cd",
+    "advice": {
+        "function": "min-id-prefix",
+        "bits": 4,
+        "corruption": {"model": "bit-flip", "probability": 0.1},
+    },
+    "adversary": "clustered",
+    "n": 2**10,
+    "trials": 1000,
+    "max_rounds": 64,
+    "seed": 2021,
+}
+
 
 def _read_spec_text(path: str) -> str:
     if path == "-":
@@ -250,7 +279,12 @@ def _read_spec_text(path: str) -> str:
 
 def _command_scenario(args: argparse.Namespace) -> int:
     if args.scenario_command == "example":
-        payload = EXAMPLE_SWEEP if args.sweep else EXAMPLE_SCENARIO
+        if args.sweep:
+            payload = EXAMPLE_SWEEP
+        elif args.player:
+            payload = EXAMPLE_PLAYER_SCENARIO
+        else:
+            payload = EXAMPLE_SCENARIO
         print(json.dumps(payload, indent=2))
         return 0
     try:

@@ -35,10 +35,24 @@ __all__ = [
     "UniformSession",
     "UniformProtocol",
     "PlayerSession",
+    "PlayerBatchSessions",
     "PlayerProtocol",
     "ProtocolError",
     "ScheduleExhausted",
+    "OBS_QUIET",
+    "OBS_SILENCE",
+    "OBS_COLLISION",
 ]
+
+#: Integer observation codes used on the batch player path.  The scalar
+#: engine hands each session an :class:`~repro.core.feedback.Observation`
+#: enum member; the batch engine advances thousands of trials per call and
+#: passes one int8 code per live trial instead, so sessions can branch with
+#: vectorized compares rather than per-trial enum dispatch.  ``SUCCESS``
+#: has no code - a successful trial retires and is never observed.
+OBS_QUIET = 0
+OBS_SILENCE = 1
+OBS_COLLISION = 2
 
 
 class ProtocolError(RuntimeError):
@@ -188,6 +202,52 @@ class PlayerSession(abc.ABC):
         player's own action (a transmitter knows it transmitted)."""
 
 
+class PlayerBatchSessions(abc.ABC):
+    """Array-state sessions of *all* trials of a player-protocol batch.
+
+    The per-player counterpart of the uniform batch hooks: one object
+    holds the state of every ``(trial, player)`` pair as NumPy arrays and
+    advances all live trials in lockstep.  The engine
+    (:func:`repro.channel.batch_players.run_players_batch`) drives it with
+    exactly one :meth:`decide` call per round, passing the indices of the
+    still-live trials; solved, exhausted and budget-censored trials are
+    never passed again, so state updates (and randomness consumption)
+    stop for a trial the moment it retires - mirroring the scalar loop,
+    where a finished execution's sessions are simply dropped.
+    """
+
+    @abc.abstractmethod
+    def decide(self, live: "np.ndarray") -> "tuple[np.ndarray, np.ndarray]":
+        """Transmission decisions for the live trials of the next round.
+
+        ``live`` is a 1-d int array of trial indices.  Returns
+        ``(decisions, exhausted)``: ``decisions`` is a boolean
+        ``(len(live), players)`` array (padded player slots must be
+        ``False``), ``exhausted`` a boolean ``(len(live),)`` array marking
+        trials whose schedule is spent - the batch analogue of a scalar
+        session raising :class:`ScheduleExhausted`.  Decision values of
+        exhausted rows are ignored.  Randomized protocols must draw only
+        for the ``live`` rows (retired trials stop consuming randomness).
+        """
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        live: "np.ndarray",
+        observations: "np.ndarray",
+        decisions: "np.ndarray",
+    ) -> None:
+        """Deliver the round's observation codes to the surviving trials.
+
+        ``observations`` holds one :data:`OBS_QUIET` / :data:`OBS_SILENCE`
+        / :data:`OBS_COLLISION` code per entry of ``live``; ``decisions``
+        echoes the rows of the preceding :meth:`decide` call for those
+        trials (a transmitter knows it transmitted).  Never called for
+        solved trials - success ends the execution, as in the scalar
+        engine.
+        """
+
+
 class PlayerProtocol(abc.ABC):
     """Factory of per-player sessions for identity/advice-aware algorithms.
 
@@ -217,6 +277,39 @@ class PlayerProtocol(abc.ABC):
         is the simulation generator; randomized player protocols draw from
         it, deterministic ones ignore it.
         """
+
+    def supports_batch_sessions(self) -> bool:
+        """Whether :meth:`batch_sessions` returns an engine-ready object.
+
+        The routing capability probe (no participant data needed): the
+        Monte Carlo harness auto-selects the vectorized player engine for
+        protocols returning ``True`` and keeps everything else on the
+        scalar reference loop.  Must agree with :meth:`batch_sessions` -
+        a protocol may only claim support when the hook never returns
+        ``None``.
+        """
+        return False
+
+    def batch_sessions(
+        self,
+        player_ids: "np.ndarray",
+        n: int,
+        advice: tuple[str, ...],
+        rng: "np.random.Generator | None" = None,
+    ) -> PlayerBatchSessions | None:
+        """Array-state sessions for a whole batch of executions.
+
+        ``player_ids`` is an int64 ``(trials, players)`` array of each
+        trial's participant ids in ascending order, right-padded with
+        ``-1`` where participant sets are smaller than the widest one;
+        ``advice`` holds one advice string per trial (all participants of
+        a trial share it, Section 3.1).  The default ``None`` keeps the
+        protocol on the scalar per-player loop - wrappers whose per-round
+        behaviour cannot be expressed as lockstep array updates (e.g. the
+        fallback combinator) simply never override it.
+        """
+        del player_ids, n, advice, rng
+        return None
 
     def __repr__(self) -> str:
         detector = "CD" if self.requires_collision_detection else "no-CD"

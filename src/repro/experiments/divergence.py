@@ -12,98 +12,145 @@ support-floored so the divergence stays finite), verifying that
   the paper's headline property), and
 * bounded-factor mispredictions cost ``O(1)``: small mixing noise leaves
   the rounds within a constant factor of the perfect-prediction rounds.
+
+Every measured rung is a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec`: the truth is a
+``range_uniform_subset`` workload, the degraded prediction a
+``perturbed``-family prediction spec (the declarative view of
+:mod:`repro.infotheory.perturb`), and
+:func:`~repro.scenarios.runner.run_scenario` with the shared generator
+reproduces the pre-migration tables bit-for-bit (guarded by the
+scenario-equivalence tests).
 """
 
 from __future__ import annotations
 
 import math
 
-from ..analysis.montecarlo import estimate_uniform_rounds
-from ..channel.channel import with_collision_detection, without_collision_detection
-from ..core.predictions import Prediction
+from ..infotheory.condense import num_ranges
 from ..infotheory.distributions import SizeDistribution
-from ..infotheory.perturb import (
-    divergence_between,
-    floor_support,
-    mix_with_uniform,
-    shift_ranges,
-)
+from ..infotheory.perturb import divergence_between
 from ..lowerbounds.bounds import table1_nocd_upper
-from ..protocols.code_search import CodeSearchProtocol
-from ..protocols.sorted_probing import SortedProbingProtocol
+from ..scenarios import (
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+from ..scenarios.workloads import resolve_distribution
 from .base import ExperimentConfig, ExperimentResult
 from .table1_cd import BUDGET_CONSTANT, SUCCESS_FLOOR as CD_SUCCESS_FLOOR
 from .table1_nocd import SUCCESS_FLOOR as NOCD_SUCCESS_FLOOR
 
-__all__ = ["run_nocd", "run_cd", "prediction_ladder"]
+__all__ = ["run_nocd", "run_cd", "prediction_ladder", "truth_params"]
+
+
+def truth_params(n: int) -> dict:
+    """Workload params of the mid-entropy truth: four mid-board ranges."""
+    count = num_ranges(n)
+    anchors = sorted({max(1, count // 5), max(2, 2 * count // 5),
+                      max(3, 3 * count // 5), max(4, 4 * count // 5)})
+    return {
+        "family": "range_uniform_subset",
+        "ranges": anchors,
+        "name": "truth-H2",
+    }
 
 
 def _truth(n: int) -> SizeDistribution:
     """A mid-entropy truth: equal mass on four mid-board ranges."""
-    from ..infotheory.condense import num_ranges
-
-    count = num_ranges(n)
-    anchors = sorted({max(1, count // 5), max(2, 2 * count // 5),
-                      max(3, 3 * count // 5), max(4, 4 * count // 5)})
-    return SizeDistribution.range_uniform_subset(n, anchors, name="truth-H2")
+    return resolve_distribution(n, truth_params(n))
 
 
 def prediction_ladder(
-    truth: SizeDistribution, *, quick: bool = False
-) -> list[tuple[str, SizeDistribution, float]]:
-    """Predictions of increasing divergence from ``truth``.
+    n: int, *, quick: bool = False
+) -> list[tuple[str, SizeDistribution, float, dict]]:
+    """Predictions of increasing divergence from the truth, as specs.
 
     Rungs: the truth itself, mild mixing noise (the bounded-constant-factor
     regime of the theorems' corollaries), then systematic range shifts of
-    growing magnitude (floored so ``D`` stays finite).  Returns
-    ``(label, prediction, divergence_bits)`` sorted by divergence.
+    growing magnitude (floored so ``D`` stays finite).  Each rung's
+    distribution is resolved through the same ``perturbed`` family its
+    declarative params name, so the spec *is* the prediction.  Returns
+    ``(label, prediction, divergence_bits, prediction_params)`` sorted by
+    divergence.
     """
-    rungs: list[tuple[str, SizeDistribution]] = [
-        ("perfect", truth),
-        ("mix 10%", mix_with_uniform(truth, 0.10)),
-        ("mix 50%", mix_with_uniform(truth, 0.50)),
+    truth = _truth(n)
+    rungs: list[tuple[str, dict | None]] = [
+        ("perfect", None),
+        ("mix 10%", {"mix": 0.10}),
+        ("mix 50%", {"mix": 0.50}),
     ]
     shifts = (1, 3) if quick else (1, 2, 3, 4)
     for delta in shifts:
-        rungs.append(
-            (
-                f"shift +{delta}",
-                floor_support(shift_ranges(truth, delta), 2e-2),
-            )
+        rungs.append((f"shift +{delta}", {"shift": delta, "floor": 2e-2}))
+    graded = []
+    for label, perturbation in rungs:
+        params = (
+            truth_params(n)
+            if perturbation is None
+            else {"family": "perturbed", "base": truth_params(n), **perturbation}
         )
-    graded = [
-        (label, prediction, divergence_between(truth, prediction))
-        for label, prediction in rungs
-    ]
+        prediction = resolve_distribution(n, params)
+        graded.append(
+            (label, prediction, divergence_between(truth, prediction), params)
+        )
     graded.sort(key=lambda item: item[2])
     return graded
+
+
+def _rung_spec(
+    config: ExperimentConfig,
+    *,
+    cell: str,
+    protocol: ProtocolSpec,
+    prediction_params: dict,
+    label: str,
+    budget: int,
+    collision_detection: bool,
+) -> ScenarioSpec:
+    """One divergence-ladder rung as a scenario point."""
+    return ScenarioSpec(
+        name=f"{cell}/{label}",
+        protocol=protocol,
+        workload=WorkloadSpec("distribution", truth_params(config.n)),
+        prediction=PredictionSpec("distribution", prediction_params),
+        channel=ChannelSpec(collision_detection=collision_detection),
+        n=config.n,
+        trials=config.effective_trials(),
+        max_rounds=budget,
+        seed=config.seed,
+        batch=config.batch_mode(),
+    )
 
 
 def run_nocd(config: ExperimentConfig) -> ExperimentResult:
     """``KL-NCD``: sorted probing under degrading predictions."""
     rng = config.rng()
-    channel = without_collision_detection()
     trials = config.effective_trials()
-    truth = _truth(config.n)
-    entropy_bits = truth.condensed_entropy()
+    entropy_bits = _truth(config.n).condensed_entropy()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
     means: list[float] = []
     divergences: list[float] = []
 
-    for label, prediction, divergence in prediction_ladder(
-        truth, quick=config.quick
+    for label, _, divergence, params in prediction_ladder(
+        config.n, quick=config.quick
     ):
         budget = max(1, math.ceil(table1_nocd_upper(entropy_bits, divergence)))
-        protocol = SortedProbingProtocol(Prediction(prediction), one_shot=True)
-        estimate = estimate_uniform_rounds(
-            protocol,
-            truth,
-            rng,
-            channel=channel,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
+        estimate = run_scenario(
+            _rung_spec(
+                config,
+                cell="kl-ncd",
+                protocol=ProtocolSpec("sorted-probing", {"one_shot": True}),
+                prediction_params=params,
+                label=label,
+                budget=budget,
+                collision_detection=False,
+            ),
+            rng=rng,
         )
         rows.append(
             [
@@ -157,31 +204,32 @@ def run_nocd(config: ExperimentConfig) -> ExperimentResult:
 def run_cd(config: ExperimentConfig) -> ExperimentResult:
     """``KL-CD``: code-class search under degrading predictions."""
     rng = config.rng()
-    channel = with_collision_detection()
     trials = config.effective_trials()
     repetitions = 3
-    truth = _truth(config.n)
-    entropy_bits = truth.condensed_entropy()
+    entropy_bits = _truth(config.n).condensed_entropy()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
     means: list[float] = []
 
-    for label, prediction, divergence in prediction_ladder(
-        truth, quick=config.quick
+    for label, _, divergence, params in prediction_ladder(
+        config.n, quick=config.quick
     ):
         base = entropy_bits + divergence + 1.0
         budget = max(1, math.ceil(BUDGET_CONSTANT * repetitions * base * base))
-        protocol = CodeSearchProtocol(
-            Prediction(prediction), repetitions=repetitions, one_shot=True
-        )
-        estimate = estimate_uniform_rounds(
-            protocol,
-            truth,
-            rng,
-            channel=channel,
-            trials=trials,
-            max_rounds=budget,
-            batch=config.batch_mode(),
+        estimate = run_scenario(
+            _rung_spec(
+                config,
+                cell="kl-cd",
+                protocol=ProtocolSpec(
+                    "code-search",
+                    {"repetitions": repetitions, "one_shot": True},
+                ),
+                prediction_params=params,
+                label=label,
+                budget=budget,
+                collision_detection=True,
+            ),
+            rng=rng,
         )
         rows.append(
             [

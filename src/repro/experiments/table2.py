@@ -14,10 +14,18 @@ round complexity against the paper's tight bound for that cell:
 
 Deterministic rows use worst-case adversarial participant sets (the scan's
 worst case packs participants at the top of the advised subtree; the
-descent's worst case keeps them adjacent).  Randomized rows report the
-worst expected time over the ranges of the advised block; truncated decay
-is evaluated *exactly* (it is oblivious), truncated Willard by Monte
-Carlo.
+descent's worst case keeps them adjacent - both are the ``suffix``
+adversary with ``k = 2``).  Randomized rows report the worst expected
+time over the ranges of the advised block; truncated decay is evaluated
+*exactly* (it is oblivious), truncated Willard by Monte Carlo.
+
+Every measured cell is a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` executed through
+:func:`~repro.scenarios.runner.run_scenario` with the experiment's shared
+generator (the deterministic cells route to the vectorized player engine;
+being deterministic, they reproduce the pre-migration direct
+``run_players`` executions exactly - guarded by the scenario-equivalence
+tests).
 """
 
 from __future__ import annotations
@@ -25,9 +33,7 @@ from __future__ import annotations
 import math
 
 from ..analysis.exact import schedule_solve_time
-from ..channel.channel import with_collision_detection, without_collision_detection
-from ..channel.simulator import run_players
-from ..core.advice import MinIdPrefixAdvice, id_bit_width
+from ..core.advice import id_bit_width
 from ..infotheory.condense import num_ranges, representative_size
 from ..lowerbounds.bounds import (
     table2_det_cd_lower,
@@ -47,6 +53,7 @@ from ..protocols.advice_randomized import (
     block_index_for,
 )
 from ..scenarios import (
+    AdviceSpec,
     ChannelSpec,
     ProtocolSpec,
     ScenarioSpec,
@@ -63,40 +70,70 @@ def _advice_sweep(maximum: int, *, quick: bool) -> list[int]:
     return list(range(0, maximum + 1, step))
 
 
+def _det_cell_spec(
+    config: ExperimentConfig,
+    *,
+    protocol_id: str,
+    n: int,
+    b: int,
+    max_rounds: int,
+    collision_detection: bool,
+) -> ScenarioSpec:
+    """One deterministic Table-2 cell as a scenario point.
+
+    A single worst-case execution: the ``suffix`` adversary packs both
+    participants at the very top of the id space (``{n-2, n-1}``), which
+    scans the advised subtree nearly to its end (no-CD) and forces a
+    full descent to the participants' last differing bit (CD).
+    """
+    return ScenarioSpec(
+        name=f"t2-{protocol_id}/b={b}",
+        protocol=ProtocolSpec(protocol_id, {"advice_bits": b}),
+        workload=WorkloadSpec("fixed", {"k": 2}),
+        channel=ChannelSpec(collision_detection=collision_detection),
+        advice=AdviceSpec(function="min-id-prefix", bits=b),
+        adversary="suffix",
+        n=n,
+        trials=1,
+        max_rounds=max_rounds,
+        seed=config.seed,
+        batch=config.batch_mode(),
+    )
+
+
 def run_det_nocd(config: ExperimentConfig) -> ExperimentResult:
     """``T2-DET-NCD``: candidate scan vs ``Theta(n / 2^b)``."""
     # Keep the worst case affordable: the b=0 scan visits up to n ids.
     n = min(config.n, 2**12)
     width = id_bit_width(n)
     rng = config.rng()
-    channel = without_collision_detection()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
 
     for b in _advice_sweep(width, quick=config.quick):
         protocol = DeterministicScanProtocol(b)
-        advice_function = MinIdPrefixAdvice(b)
-        # Worst case: both participants at the very top of the id space, so
-        # the advised subtree is scanned nearly to its end.
-        participants = frozenset({n - 2, n - 1})
-        result = run_players(
-            protocol,
-            participants,
-            n,
-            rng,
-            channel=channel,
-            advice_function=advice_function,
-            max_rounds=protocol.worst_case_rounds(n) + 1,
+        result = run_scenario(
+            _det_cell_spec(
+                config,
+                protocol_id="deterministic-scan",
+                n=n,
+                b=b,
+                max_rounds=protocol.worst_case_rounds(n) + 1,
+                collision_detection=False,
+            ),
+            rng=rng,
         )
+        solved = result.success.rate == 1.0
+        rounds = int(result.rounds.mean) if solved else math.nan
         upper = table2_det_nocd_upper(n, b)
         lower = table2_det_nocd_lower(n, b)
-        rows.append([b, result.rounds, lower, upper, result.solved])
+        rows.append([b, rounds, lower, upper, solved])
         checks[f"b={b}: solved within the upper bound {upper:.0f}"] = (
-            result.solved and result.rounds <= upper
+            solved and rounds <= upper
         )
         checks[
             f"b={b}: worst-case rounds >= lower bound n/2^b/2 = {lower:.1f}"
-        ] = result.rounds >= lower - 1e-9
+        ] = rounds >= lower - 1e-9
     ratios = [row[1] / max(row[3], 1.0) for row in rows]
     checks["worst-case rounds track the Theta(n/2^b) shape (ratio >= 1/4)"] = all(
         ratio >= 0.25 for ratio in ratios
@@ -109,8 +146,8 @@ def run_det_nocd(config: ExperimentConfig) -> ExperimentResult:
         rows=rows,
         checks=checks,
         notes=[
-            f"n={n} (capped for the b=0 scan), adversary packs participants "
-            "at the top of the advised subtree",
+            f"n={n} (capped for the b=0 scan), suffix adversary packs "
+            "participants at the top of the advised subtree",
             "deterministic protocol: a single worst-case execution per b",
         ],
     )
@@ -121,35 +158,36 @@ def run_det_cd(config: ExperimentConfig) -> ExperimentResult:
     n = config.n
     width = id_bit_width(n)
     rng = config.rng()
-    channel = with_collision_detection()
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
 
     for b in _advice_sweep(width, quick=config.quick):
         protocol = DeterministicTreeDescentProtocol(b)
-        advice_function = MinIdPrefixAdvice(b)
         # Worst case: adjacent participants - the descent cannot isolate
         # either until it reaches their last differing bit.
-        participants = frozenset({n - 2, n - 1})
-        result = run_players(
-            protocol,
-            participants,
-            n,
-            rng,
-            channel=channel,
-            advice_function=advice_function,
-            max_rounds=protocol.worst_case_rounds(n) + 1,
+        result = run_scenario(
+            _det_cell_spec(
+                config,
+                protocol_id="tree-descent",
+                n=n,
+                b=b,
+                max_rounds=protocol.worst_case_rounds(n) + 1,
+                collision_detection=True,
+            ),
+            rng=rng,
         )
+        solved = result.success.rate == 1.0
+        rounds = int(result.rounds.mean) if solved else math.nan
         upper = table2_det_cd_upper(n, b)
         lower = table2_det_cd_lower(n, b)
-        rows.append([b, result.rounds, lower, upper, result.solved])
+        rows.append([b, rounds, lower, upper, solved])
         checks[f"b={b}: solved within the upper bound {upper:.0f}"] = (
-            result.solved and result.rounds <= upper
+            solved and rounds <= upper
         )
         checks[
             f"b={b}: worst-case rounds >= max(1, log n - b) - 1 = "
             f"{max(1.0, lower) - 1:.1f}"
-        ] = result.rounds >= max(1.0, lower) - 1.0 - 1e-9
+        ] = rounds >= max(1.0, lower) - 1.0 - 1e-9
     return ExperimentResult(
         experiment_id="T2-DET-CD",
         title="Deterministic advice with collision detection",
@@ -158,7 +196,8 @@ def run_det_cd(config: ExperimentConfig) -> ExperimentResult:
         rows=rows,
         checks=checks,
         notes=[
-            f"n={n}, adjacent-participant adversary forces a full descent",
+            f"n={n}, adjacent-participant suffix adversary forces a full "
+            "descent",
             "upper bound is exact: w - b + 1 rounds with w = ceil(log2 n)",
         ],
     )

@@ -18,8 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..channel.batch import is_batchable
 from ..core.feedback import Observation
 from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_SILENCE,
+    PlayerBatchSessions,
     PlayerProtocol,
     PlayerSession,
     ProtocolError,
@@ -103,6 +107,95 @@ class _UniformPlayerSession(PlayerSession):
         self._inner.observe(observation)
 
 
+#: Batch observation code -> the Observation fed to scalar uniform
+#: sessions on the per-trial path (QUIET is the no-CD default).
+_OBSERVATION_FROM_CODE = {
+    OBS_SILENCE: Observation.SILENCE,
+    OBS_COLLISION: Observation.COLLISION,
+}
+
+
+class _UniformPlayerBatchSessions(PlayerBatchSessions):
+    """Per-player Bernoulli draws against each trial's shared probability.
+
+    Two inner representations, mirroring the uniform batch engines:
+
+    * an oblivious inner protocol publishes its whole schedule
+      (:meth:`~repro.core.protocol.UniformProtocol.batch_schedule`), so
+      the round probability is an array lookup shared by every trial and
+      no session objects exist at all;
+    * a feedback-driven inner protocol with deterministic sessions keeps
+      one scalar :class:`UniformSession` per trial - O(trials) Python
+      calls per round instead of the scalar player engine's
+      O(trials x players).
+
+    Either way the round's decisions are one vectorized uniform draw over
+    the live rows, so each player still transmits independently with the
+    shared probability - semantically identical to the scalar adapter.
+    """
+
+    def __init__(
+        self,
+        uniform: UniformProtocol,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        self._mask = mask
+        self._rng = rng
+        self._schedule = uniform.batch_schedule()
+        self._round = 0
+        if self._schedule is None:
+            self._sessions: list[UniformSession | None] = [
+                uniform.session() for _ in range(mask.shape[0])
+            ]
+
+    def _probabilities(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-live-trial round probabilities plus the exhausted mask."""
+        if self._schedule is not None:
+            spec = self._schedule
+            if not spec.cycle and self._round >= len(spec.probabilities):
+                return (
+                    np.zeros(live.size),
+                    np.ones(live.size, dtype=bool),
+                )
+            p = spec.probabilities[self._round % len(spec.probabilities)]
+            return np.full(live.size, p), np.zeros(live.size, dtype=bool)
+        probabilities = np.zeros(live.size)
+        exhausted = np.zeros(live.size, dtype=bool)
+        for row, trial in enumerate(live):
+            session = self._sessions[trial]
+            assert session is not None  # retired trials are never live
+            try:
+                probabilities[row] = session.next_probability()
+            except ScheduleExhausted:
+                exhausted[row] = True
+                self._sessions[trial] = None
+        return probabilities, exhausted
+
+    def decide(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        probabilities, exhausted = self._probabilities(live)
+        self._round += 1
+        draws = self._rng.random((live.size, self._mask.shape[1]))
+        decisions = (draws < probabilities[:, None]) & self._mask[live]
+        decisions[exhausted] = False
+        return decisions, exhausted
+
+    def observe(
+        self, live: np.ndarray, observations: np.ndarray, decisions: np.ndarray
+    ) -> None:
+        del decisions
+        if self._schedule is not None:
+            return  # oblivious: the schedule ignores feedback
+        for row, trial in enumerate(live):
+            session = self._sessions[trial]
+            assert session is not None
+            session.observe(
+                _OBSERVATION_FROM_CODE.get(
+                    int(observations[row]), Observation.QUIET
+                )
+            )
+
+
 class UniformAsPlayerProtocol(PlayerProtocol):
     """Per-player view of a uniform protocol.
 
@@ -137,3 +230,30 @@ class UniformAsPlayerProtocol(PlayerProtocol):
                 "UniformAsPlayerProtocol needs the simulation rng"
             )
         return _UniformPlayerSession(self._uniform.session(), rng)
+
+    def supports_batch_sessions(self) -> bool:
+        """Batchable exactly when the wrapped uniform protocol is.
+
+        A schedule-publishing or deterministic-session inner protocol
+        (every uniform algorithm in the library, including the truncated
+        advice protocols of Section 3) vectorizes; randomized-session
+        wrappers keep the scalar path authoritative, mirroring
+        :func:`repro.channel.batch.is_batchable`.
+        """
+        return is_batchable(self._uniform)
+
+    def batch_sessions(
+        self,
+        player_ids: np.ndarray,
+        n: int,
+        advice: tuple[str, ...],
+        rng: np.random.Generator | None = None,
+    ) -> _UniformPlayerBatchSessions | None:
+        del n, advice
+        if rng is None:
+            raise ProtocolError(
+                "UniformAsPlayerProtocol needs the simulation rng"
+            )
+        if not self.supports_batch_sessions():
+            return None
+        return _UniformPlayerBatchSessions(self._uniform, player_ids >= 0, rng)

@@ -31,6 +31,9 @@ import numpy as np
 from ..core.advice import AdviceError, bits_to_int, id_bit_width, id_to_bits
 from ..core.feedback import Observation
 from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_QUIET,
+    PlayerBatchSessions,
     PlayerProtocol,
     PlayerSession,
     ProtocolError,
@@ -75,6 +78,58 @@ class _ScanSession(PlayerSession):
         del observation, transmitted
 
 
+def _advice_ints(advice: tuple[str, ...], width: int, n: int) -> np.ndarray:
+    """Per-trial advice strings decoded to integers, with scalar-path checks."""
+    values = np.empty(len(advice), dtype=np.int64)
+    for row, bits in enumerate(advice):
+        if len(bits) > width:
+            raise AdviceError(
+                f"advice {bits!r} longer than id width {width} for n={n}"
+            )
+        values[row] = bits_to_int(bits)
+    return values
+
+
+class _ScanBatchSessions(PlayerBatchSessions):
+    """The candidate scan as integer compares against precomputed slots.
+
+    A player's whole schedule is one number: the slot of its id within
+    the advised subtree (or -1 when the advice excludes it), so round
+    ``r`` of every trial is a single ``slots == r - 1`` compare.  The
+    scan is oblivious and all trials share the advice length, so the
+    round counter is global and exhaustion hits every live trial at once.
+    """
+
+    def __init__(
+        self, ids: np.ndarray, n: int, advice: tuple[str, ...], bits: int
+    ) -> None:
+        width = id_bit_width(n)
+        targets = _advice_ints(advice, width, n)
+        self._rounds_total = 2 ** (width - bits)
+        valid = ids >= 0
+        prefixes = np.where(valid, ids, 0) >> (width - bits)
+        advised = valid & (prefixes == targets[:, None])
+        # Slot index = position of this id within the advised subtree.
+        self._slots = np.where(advised, ids & (self._rounds_total - 1), -1)
+        self._round = 0
+
+    def decide(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._round >= self._rounds_total:
+            return (
+                np.zeros((live.size, self._slots.shape[1]), dtype=bool),
+                np.ones(live.size, dtype=bool),
+            )
+        decisions = self._slots[live] == self._round
+        self._round += 1
+        return decisions, np.zeros(live.size, dtype=bool)
+
+    def observe(
+        self, live: np.ndarray, observations: np.ndarray, decisions: np.ndarray
+    ) -> None:
+        # Oblivious: the scan schedule is fixed by the advice alone.
+        del live, observations, decisions
+
+
 class DeterministicScanProtocol(PlayerProtocol):
     """No-CD deterministic protocol: one round per candidate id.
 
@@ -104,6 +159,19 @@ class DeterministicScanProtocol(PlayerProtocol):
     ) -> _ScanSession:
         del rng  # deterministic protocol
         return _ScanSession(player_id, n, advice)
+
+    def supports_batch_sessions(self) -> bool:
+        return True
+
+    def batch_sessions(
+        self,
+        player_ids: np.ndarray,
+        n: int,
+        advice: tuple[str, ...],
+        rng: np.random.Generator | None = None,
+    ) -> _ScanBatchSessions:
+        del rng  # deterministic protocol
+        return _ScanBatchSessions(player_ids, n, advice, self.advice_bits)
 
     def worst_case_rounds(self, n: int) -> int:
         """The exact worst-case round count ``2^(w - b)``."""
@@ -158,6 +226,69 @@ class _TreeDescentSession(PlayerSession):
             self._prefix += "1"
 
 
+class _TreeDescentBatchSessions(PlayerBatchSessions):
+    """All trials' descents as one integer prefix per trial.
+
+    The scalar session's bit-string prefix becomes an int64 column (the
+    value of the first ``depth`` traversal bits); a collision appends a 0
+    (descend left, ``prefix * 2``), silence a 1 (``prefix * 2 + 1``).
+    All trials start from the same advice length and descend one level
+    per round, so the depth is global while the prefix values and the
+    failed-at-leaf flags are per-trial.
+    """
+
+    def __init__(
+        self, ids: np.ndarray, n: int, advice: tuple[str, ...], bits: int
+    ) -> None:
+        self._width = id_bit_width(n)
+        self._ids = ids
+        self._valid = ids >= 0
+        self._prefixes = _advice_ints(advice, self._width, n)
+        self._depth = bits
+        self._failed = np.zeros(len(advice), dtype=bool)
+
+    def decide(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # Faulty advice pointed at an empty subtree: the descent has
+        # provably failed, so those trials give up cleanly (the batch
+        # analogue of the scalar session's ScheduleExhausted).
+        exhausted = self._failed[live]
+        targets = self._prefixes[live][:, None]
+        if self._depth == self._width:
+            # Leaf reached: the unique candidate transmits alone.
+            decisions = self._valid[live] & (self._ids[live] == targets)
+        else:
+            # Probe the left child: active players under prefix+'0'
+            # transmit.
+            shift = self._width - self._depth - 1
+            decisions = self._valid[live] & (
+                (self._ids[live] >> shift) == targets * 2
+            )
+        decisions[exhausted] = False
+        return decisions, exhausted
+
+    def observe(
+        self, live: np.ndarray, observations: np.ndarray, decisions: np.ndarray
+    ) -> None:
+        del decisions
+        if (observations == OBS_QUIET).any():
+            raise ProtocolError(
+                "tree descent requires collision detection; got a no-CD "
+                "observation"
+            )
+        if self._depth == self._width:
+            # A leaf-round non-success means the advice was faulty (the
+            # advised subtree holds no active player): give up next round.
+            self._failed[live] = True
+            return
+        # Collision: >= 2 active players under the left child, descend
+        # left (append 0).  Silence: the left child is empty, descend
+        # right (append 1).
+        self._prefixes[live] = self._prefixes[live] * 2 + (
+            observations != OBS_COLLISION
+        )
+        self._depth += 1
+
+
 class DeterministicTreeDescentProtocol(PlayerProtocol):
     """CD deterministic protocol: collision-vote descent from the advice.
 
@@ -188,6 +319,19 @@ class DeterministicTreeDescentProtocol(PlayerProtocol):
     ) -> _TreeDescentSession:
         del rng  # deterministic protocol
         return _TreeDescentSession(player_id, n, advice)
+
+    def supports_batch_sessions(self) -> bool:
+        return True
+
+    def batch_sessions(
+        self,
+        player_ids: np.ndarray,
+        n: int,
+        advice: tuple[str, ...],
+        rng: np.random.Generator | None = None,
+    ) -> _TreeDescentBatchSessions:
+        del rng  # deterministic protocol
+        return _TreeDescentBatchSessions(player_ids, n, advice, self.advice_bits)
 
     def worst_case_rounds(self, n: int) -> int:
         """The exact worst-case round count ``w - b + 1``."""

@@ -19,7 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.feedback import Observation
-from ..core.protocol import PlayerProtocol, PlayerSession, ProtocolError
+from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_QUIET,
+    PlayerBatchSessions,
+    PlayerProtocol,
+    PlayerSession,
+    ProtocolError,
+)
 
 __all__ = ["BinaryExponentialBackoff"]
 
@@ -55,6 +62,53 @@ class _BackoffSession(PlayerSession):
     def window(self) -> float:
         """Current contention window (diagnostics)."""
         return self._window
+
+
+class _BackoffBatchSessions(PlayerBatchSessions):
+    """All trials' contention windows as one ``(trials, players)`` array.
+
+    The scalar session's multiplicative window updates become masked
+    vector operations; each round's decisions are one uniform draw over
+    the live rows (``rng.random(shape) < 1/window``), so retired trials
+    stop consuming randomness exactly as dropped scalar sessions do.
+    """
+
+    def __init__(
+        self,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+        initial_window: float,
+        min_window: float,
+        max_window: float,
+    ) -> None:
+        self._mask = mask
+        self._rng = rng
+        self._windows = np.full(mask.shape, initial_window, dtype=float)
+        self._min_window = min_window
+        self._max_window = max_window
+
+    def decide(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        draws = self._rng.random((live.size, self._mask.shape[1]))
+        decisions = (draws < 1.0 / self._windows[live]) & self._mask[live]
+        return decisions, np.zeros(live.size, dtype=bool)
+
+    def observe(
+        self, live: np.ndarray, observations: np.ndarray, decisions: np.ndarray
+    ) -> None:
+        del decisions
+        if (observations == OBS_QUIET).any():
+            raise ProtocolError(
+                "binary exponential backoff requires collision detection"
+            )
+        windows = self._windows[live]
+        collided = observations == OBS_COLLISION
+        windows[collided] = np.minimum(
+            windows[collided] * 2.0, self._max_window
+        )
+        windows[~collided] = np.maximum(
+            windows[~collided] / 2.0, self._min_window
+        )
+        self._windows[live] = windows
 
 
 class BinaryExponentialBackoff(PlayerProtocol):
@@ -98,4 +152,28 @@ class BinaryExponentialBackoff(PlayerProtocol):
             )
         return _BackoffSession(
             rng, self.initial_window, min_window=1.0, max_window=self.max_window
+        )
+
+    def supports_batch_sessions(self) -> bool:
+        return True
+
+    def batch_sessions(
+        self,
+        player_ids: np.ndarray,
+        n: int,
+        advice: tuple[str, ...],
+        rng: np.random.Generator | None = None,
+    ) -> _BackoffBatchSessions:
+        del n, advice  # identity- and advice-oblivious, like session()
+        if rng is None:
+            raise ProtocolError(
+                "binary exponential backoff is randomized and needs the "
+                "simulation rng"
+            )
+        return _BackoffBatchSessions(
+            player_ids >= 0,
+            rng,
+            self.initial_window,
+            min_window=1.0,
+            max_window=self.max_window,
         )

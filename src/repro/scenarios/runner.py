@@ -3,10 +3,10 @@
 :func:`run_scenario` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
 into a :class:`ScenarioResult`: it resolves the workload, prediction,
 advice and protocol, then routes to the right execution engine through
-the existing capability hooks - the vectorized batch-schedule or
-history-grouped engines, the scalar uniform reference loop, or the
-per-player loop - and records which engine actually ran in the result
-metadata.  Experiments, the CLI and the sweep executors all call this
+the existing capability hooks - the vectorized batch-schedule,
+history-grouped or batch-player engines, or the scalar uniform /
+per-player reference loops - and records which engine actually ran in
+the result metadata.  Experiments, the CLI and the sweep executors all call this
 one facade, so a scenario behaves identically however it is launched.
 
 Results are JSON-round-trippable (:meth:`ScenarioResult.to_dict` /
@@ -26,9 +26,9 @@ import numpy as np
 
 from ..analysis.metrics import ProportionEstimate, Summary
 from ..analysis.montecarlo import (
-    ENGINE_SCALAR_PLAYER,
     estimate_player_rounds,
     estimate_uniform_rounds,
+    select_player_engine,
     select_uniform_engine,
 )
 from ..channel.channel import Channel
@@ -289,7 +289,7 @@ def run_scenario(
         def participant_source(generator: np.random.Generator) -> frozenset[int]:
             return adversary.checked_select(spec.n, k, generator)
 
-        engine = ENGINE_SCALAR_PLAYER
+        engine = select_player_engine(protocol, spec.batch)
         estimate = estimate_player_rounds(
             protocol,
             participant_source,

@@ -26,6 +26,7 @@ from collections.abc import Callable, Mapping
 from ..channel.arrivals import MarkovBurstArrivals, TraceArrivals
 from ..core.predictions import Prediction
 from ..infotheory.distributions import SizeDistribution
+from ..infotheory.perturb import floor_support, mix_with_uniform, shift_ranges
 from .spec import PredictionSpec, ScenarioError, WorkloadSpec
 
 __all__ = [
@@ -36,6 +37,33 @@ __all__ = [
     "resolve_prediction",
     "workload_label",
 ]
+
+def _perturbed(
+    n: int,
+    *,
+    base: Mapping,
+    mix: float | None = None,
+    shift: int | None = None,
+    floor: float | None = None,
+) -> SizeDistribution:
+    """Prediction-error pipeline over a nested base family.
+
+    Declarative access to :mod:`repro.infotheory.perturb`: resolve the
+    ``base`` family spec, then optionally epsilon-contaminate
+    (``mix``), systematically bias by ``shift`` ranges, and support-floor
+    (``floor``) so the divergence against the base stays finite - the
+    transforms the divergence experiments dial predictions with, applied
+    in that order.
+    """
+    distribution = resolve_distribution(n, base)
+    if mix is not None:
+        distribution = mix_with_uniform(distribution, float(mix))
+    if shift is not None:
+        distribution = shift_ranges(distribution, int(shift))
+    if floor is not None:
+        distribution = floor_support(distribution, float(floor))
+    return distribution
+
 
 #: Distribution family name -> constructor ``(n, **params) -> SizeDistribution``.
 DISTRIBUTION_FAMILIES: dict[str, Callable[..., SizeDistribution]] = {
@@ -48,6 +76,7 @@ DISTRIBUTION_FAMILIES: dict[str, Callable[..., SizeDistribution]] = {
     "zipf": SizeDistribution.zipf,
     "bimodal": SizeDistribution.bimodal,
     "pliam": SizeDistribution.pliam,
+    "perturbed": _perturbed,
 }
 
 

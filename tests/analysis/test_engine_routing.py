@@ -5,15 +5,20 @@ import pytest
 
 from repro.analysis.montecarlo import (
     ENGINE_BATCH_HISTORY,
+    ENGINE_BATCH_PLAYER,
     ENGINE_BATCH_SCHEDULE,
+    ENGINE_SCALAR_PLAYER,
     ENGINE_SCALAR_UNIFORM,
     estimate_player_rounds,
+    select_player_engine,
     select_uniform_engine,
 )
 from repro.channel.channel import with_collision_detection
 from repro.channel.network import RandomAdversary
+from repro.protocols.adapters import UniformAsPlayerProtocol
 from repro.protocols.backoff import BinaryExponentialBackoff
 from repro.protocols.decay import DecayProtocol
+from repro.protocols.restart import FallbackPlayerProtocol
 from repro.protocols.willard import WillardProtocol
 
 
@@ -41,11 +46,43 @@ class TestSelectUniformEngine:
             select_uniform_engine(lambda: DecayProtocol(256), True)
 
 
+def _fallback_protocol() -> FallbackPlayerProtocol:
+    """The canonical non-batchable player combinator."""
+    return FallbackPlayerProtocol(
+        BinaryExponentialBackoff(),
+        UniformAsPlayerProtocol(WillardProtocol(64)),
+        budget_rounds=16,
+    )
+
+
+class TestSelectPlayerEngine:
+    """select_player_engine mirrors select_uniform_engine semantics."""
+
+    def test_batchable_protocols_hit_the_player_engine(self):
+        assert (
+            select_player_engine(BinaryExponentialBackoff())
+            == ENGINE_BATCH_PLAYER
+        )
+
+    def test_batch_false_forces_scalar(self):
+        assert (
+            select_player_engine(BinaryExponentialBackoff(), False)
+            == ENGINE_SCALAR_PLAYER
+        )
+
+    def test_non_batchable_combinators_run_scalar(self):
+        assert select_player_engine(_fallback_protocol()) == ENGINE_SCALAR_PLAYER
+
+    def test_batch_true_on_non_batchable_raises(self):
+        with pytest.raises(ValueError, match="batch=True"):
+            select_player_engine(_fallback_protocol(), True)
+
+
 class TestPlayerBatchContract:
-    def _estimate(self, batch):
+    def _estimate(self, batch, protocol=None):
         adversary = RandomAdversary()
         return estimate_player_rounds(
-            BinaryExponentialBackoff(),
+            protocol if protocol is not None else BinaryExponentialBackoff(),
             lambda rng: adversary.checked_select(64, 3, rng),
             64,
             np.random.default_rng(0),
@@ -55,23 +92,26 @@ class TestPlayerBatchContract:
             batch=batch,
         )
 
-    def test_batch_true_warns_and_falls_back(self):
-        """batch=True is an unsupported request, not a silent no-op."""
-        with pytest.warns(RuntimeWarning, match="no vectorized engine"):
-            warned = self._estimate(True)
-        assert warned.success.trials == 10
+    def test_batch_true_on_non_batchable_raises(self):
+        """batch=True insists on the vectorized engine - no silent (or
+        warned) fallback, exactly like the uniform estimator."""
+        with pytest.raises(ValueError, match="batch=True"):
+            self._estimate(True, protocol=_fallback_protocol())
 
-    def test_batch_none_and_false_are_silent(self):
+    def test_batch_true_runs_batchable_protocols(self):
+        assert self._estimate(True).success.trials == 10
+
+    def test_batch_none_and_false_both_complete(self):
         import warnings
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            silent_none = self._estimate(None)
-            silent_false = self._estimate(False)
-        assert silent_none.success.trials == silent_false.success.trials == 10
+            auto = self._estimate(None)
+            scalar = self._estimate(False)
+        assert auto.success.trials == scalar.success.trials == 10
 
-    def test_scalar_semantics_unchanged_by_batch_flag(self):
-        """The flag must not perturb the RNG stream or the results."""
-        with pytest.warns(RuntimeWarning):
-            via_true = self._estimate(True)
-        assert via_true.rounds == self._estimate(None).rounds
+    def test_batch_flag_ignored_for_non_batchable_protocols(self):
+        """None/False must not perturb the scalar RNG stream or results."""
+        protocol = _fallback_protocol()
+        auto = self._estimate(None, protocol=protocol)
+        assert auto.rounds == self._estimate(False, protocol=protocol).rounds

@@ -1,0 +1,420 @@
+"""Batch/scalar equivalence for the vectorized player engine.
+
+The batch player engine runs the *same* per-player state machine as the
+scalar per-player loop, stacked along a trial axis (``channel/
+batch_players.py``).  Equivalence is therefore asserted two ways:
+
+* **exactly**, trial by trial, for the deterministic advice protocols
+  (candidate scan, tree descent) - including under deterministic faulty
+  advice, which exercises the exhaustion path;
+* **statistically**, on solved/rounds statistics of fixed-seed batches,
+  for the randomized protocols (backoff, the per-player views of the
+  uniform/advice protocols) - both paths draw the same per-player
+  Bernoulli decisions, only the RNG stream order differs, so the
+  comparisons are deterministic given the seeds and never flake.
+
+Coverage spans every batchable registry player protocol x advice
+function x channel pairing, plus the engine contracts: solved rows must
+freeze (stop consuming randomness), non-batchable combinators must be
+rejected loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    ENGINE_BATCH_PLAYER,
+    ENGINE_SCALAR_PLAYER,
+    estimate_player_rounds,
+    select_player_engine,
+)
+from repro.channel import (
+    is_player_batchable,
+    pack_participants,
+    run_players,
+    run_players_batch,
+)
+from repro.channel.channel import Channel
+from repro.channel.network import (
+    ClusteredAdversary,
+    PrefixAdversary,
+    RandomAdversary,
+    SpreadAdversary,
+    SuffixAdversary,
+)
+from repro.core.advice import (
+    AdviceFunction,
+    FullIdAdvice,
+    MinIdPrefixAdvice,
+    NullAdvice,
+    RangeBlockAdvice,
+    id_bit_width,
+    id_to_bits,
+)
+from repro.core.protocol import ProtocolError
+from repro.protocols import (
+    BinaryExponentialBackoff,
+    DecayProtocol,
+    DeterministicScanProtocol,
+    DeterministicTreeDescentProtocol,
+    FallbackPlayerProtocol,
+    TruncatedDecayProtocol,
+    UniformAsPlayerProtocol,
+    WillardProtocol,
+    truncated_willard_protocol,
+)
+from repro.protocols.restart import RestartProtocol
+
+N = 2**8
+TRIALS = 300
+MAX_ROUNDS = 600
+
+
+class _WrongSubtreeAdvice(AdviceFunction):
+    """Deterministic faulty advice: points at the complement subtree.
+
+    Replaces the min-id prefix with its bitwise complement, so the scan /
+    descent trusts advice naming a subtree with no active player whenever
+    the participants share the true prefix - the exhaustion ("give up
+    cleanly") path, exercised identically by both engines because the
+    corruption consumes no randomness.
+    """
+
+    def advise(self, participants, n: int) -> str:
+        width = id_bit_width(n)
+        true_prefix = id_to_bits(min(participants), width)[: self.bits]
+        return "".join("1" if bit == "0" else "0" for bit in true_prefix)
+
+
+def _participant_batches(adversary, k: int, trials: int = TRIALS):
+    rng = np.random.default_rng(97)
+    return [adversary.checked_select(N, k, rng) for _ in range(trials)]
+
+
+def _scalar_results(protocol, sets, channel, advice_function, seed):
+    rng = np.random.default_rng(seed)
+    solved, rounds = [], []
+    for participants in sets:
+        result = run_players(
+            protocol,
+            participants,
+            N,
+            rng,
+            channel=channel,
+            advice_function=advice_function,
+            max_rounds=MAX_ROUNDS,
+        )
+        solved.append(result.solved)
+        rounds.append(result.rounds)
+    return np.asarray(solved), np.asarray(rounds)
+
+
+DETERMINISTIC_CASES = [
+    # (label, protocol factory, advice factory, cd, adversary)
+    ("scan/b=0/no-cd", lambda: DeterministicScanProtocol(0),
+     lambda: MinIdPrefixAdvice(0), False, RandomAdversary()),
+    ("scan/b=3/no-cd", lambda: DeterministicScanProtocol(3),
+     lambda: MinIdPrefixAdvice(3), False, RandomAdversary()),
+    ("scan/b=3/cd", lambda: DeterministicScanProtocol(3),
+     lambda: MinIdPrefixAdvice(3), True, SuffixAdversary()),
+    ("scan/b=3/faulty", lambda: DeterministicScanProtocol(3),
+     lambda: _WrongSubtreeAdvice(3), False, PrefixAdversary()),
+    # Wrong advice *family*: range-block bits fed to a subtree scan are
+    # budget-valid but point at the k-range, not the min id - a
+    # deterministic mis-advice both engines must handle identically.
+    ("scan/b=3/range-block", lambda: DeterministicScanProtocol(3),
+     lambda: RangeBlockAdvice(3), False, RandomAdversary()),
+    ("scan/full-id", lambda: DeterministicScanProtocol(id_bit_width(N)),
+     lambda: FullIdAdvice(N), False, ClusteredAdversary()),
+    ("descent/b=0", lambda: DeterministicTreeDescentProtocol(0),
+     lambda: MinIdPrefixAdvice(0), True, RandomAdversary()),
+    ("descent/b=4", lambda: DeterministicTreeDescentProtocol(4),
+     lambda: MinIdPrefixAdvice(4), True, SpreadAdversary()),
+    ("descent/b=4/faulty", lambda: DeterministicTreeDescentProtocol(4),
+     lambda: _WrongSubtreeAdvice(4), True, ClusteredAdversary()),
+    ("descent/full-id", lambda: DeterministicTreeDescentProtocol(id_bit_width(N)),
+     lambda: FullIdAdvice(N), True, SuffixAdversary()),
+]
+
+
+class TestDeterministicExactness:
+    """Deterministic protocols match the scalar engine trial by trial."""
+
+    @pytest.mark.parametrize(
+        "label,make_protocol,make_advice,cd,adversary",
+        DETERMINISTIC_CASES,
+        ids=[case[0] for case in DETERMINISTIC_CASES],
+    )
+    def test_batch_equals_scalar_per_trial(
+        self, label, make_protocol, make_advice, cd, adversary,
+        cd_channel, nocd_channel,
+    ):
+        channel = cd_channel if cd else nocd_channel
+        protocol = make_protocol()
+        assert is_player_batchable(protocol)
+        sets = _participant_batches(adversary, k=4, trials=64)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, channel, make_advice(), seed=5
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(6), channel=channel,
+            advice_function=make_advice(), max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.solved == scalar_solved).all(), label
+        assert (batch.rounds == scalar_rounds).all(), label
+
+    def test_varying_participant_sizes_pad_correctly(self, nocd_channel):
+        """Trials of different k share one padded id array."""
+        protocol = DeterministicScanProtocol(2)
+        sets = [frozenset({10}), frozenset(range(20, 26)), frozenset({1, 250})]
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, nocd_channel, MinIdPrefixAdvice(2), seed=0
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(0),
+            channel=nocd_channel, advice_function=MinIdPrefixAdvice(2),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.ks == np.array([1, 6, 2])).all()
+        assert (batch.solved == scalar_solved).all()
+        assert (batch.rounds == scalar_rounds).all()
+
+    def test_faulty_advice_exhaustion_bookkeeping(self, nocd_channel):
+        """A scan pointed at an empty subtree gives up after its pass with
+        the scalar rounds-played convention."""
+        protocol = DeterministicScanProtocol(3)
+        sets = [frozenset({0, 1})] * 5  # true prefix 000 -> advice says 111
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(0),
+            channel=nocd_channel, advice_function=_WrongSubtreeAdvice(3),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == protocol.worst_case_rounds(N)).all()
+
+
+RANDOMIZED_CASES = [
+    ("backoff", lambda: BinaryExponentialBackoff(), True),
+    ("uap-decay/no-cd", lambda: UniformAsPlayerProtocol(DecayProtocol(N)), False),
+    ("uap-decay-one-shot",
+     lambda: UniformAsPlayerProtocol(DecayProtocol(N, cycle=False)), False),
+    ("uap-willard/cd", lambda: UniformAsPlayerProtocol(WillardProtocol(N)), True),
+    ("uap-truncated-decay",
+     lambda: UniformAsPlayerProtocol(
+         TruncatedDecayProtocol.for_count(N, 1, 8)), False),
+    ("uap-truncated-willard",
+     lambda: UniformAsPlayerProtocol(
+         truncated_willard_protocol(N, 1, 0)), True),
+]
+
+
+class TestRandomizedStatistics:
+    """Randomized protocols agree statistically across the two engines."""
+
+    @pytest.mark.parametrize(
+        "label,make_protocol,cd",
+        RANDOMIZED_CASES,
+        ids=[case[0] for case in RANDOMIZED_CASES],
+    )
+    def test_statistics_agree(
+        self, label, make_protocol, cd, cd_channel, nocd_channel
+    ):
+        channel = cd_channel if cd else nocd_channel
+        protocol = make_protocol()
+        assert is_player_batchable(protocol)
+        sets = _participant_batches(RandomAdversary(), k=8)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, channel, None, seed=11
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(13), channel=channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        ), label
+        if scalar_solved.any() and batch.num_solved:
+            assert batch.solved_rounds().mean() == pytest.approx(
+                scalar_rounds[scalar_solved].mean(), rel=0.15, abs=0.75
+            ), label
+
+
+class _CountingRng:
+    """Duck-typed generator recording how many uniforms were requested."""
+
+    def __init__(self) -> None:
+        self.requested = 0
+        self._rng = np.random.default_rng(0)
+
+    def random(self, shape):
+        self.requested += int(np.prod(shape))
+        return self._rng.random(shape)
+
+
+class TestSolvedRowFreezing:
+    """Retired trials must stop consuming randomness immediately."""
+
+    @pytest.mark.parametrize(
+        "make_protocol",
+        [
+            lambda: BinaryExponentialBackoff(),
+            lambda: UniformAsPlayerProtocol(WillardProtocol(N)),
+        ],
+        ids=["backoff", "uap-willard"],
+    )
+    def test_decide_draws_shrink_with_live_set(self, make_protocol):
+        protocol = make_protocol()
+        ids = pack_participants(
+            [frozenset({1, 2, 3}), frozenset({4, 5, 6}), frozenset({7, 8, 9})]
+        )
+        counter = _CountingRng()
+        sessions = protocol.batch_sessions(ids, N, ("", "", ""), rng=counter)
+        sessions.decide(np.arange(3))
+        after_full_round = counter.requested
+        assert after_full_round == 9  # 3 live trials x 3 player slots
+        # Trial 1 retires: the next round may only draw for trials 0 and 2.
+        sessions.decide(np.asarray([0, 2]))
+        assert counter.requested - after_full_round == 6
+
+    def test_first_round_winner_consumes_one_round_of_randomness(
+        self, cd_channel
+    ):
+        """A trial that succeeds in round 1 is never drawn for again: the
+        total uniforms consumed equal the per-round live counts."""
+        protocol = BinaryExponentialBackoff(initial_window=1.0)
+        # k=1 with w0=1: every trial transmits alone in round 1 and wins.
+        sets = [frozenset({7}), frozenset({9})]
+        counter = _CountingRng()
+        batch = run_players_batch(
+            protocol, sets, N, counter, channel=cd_channel, max_rounds=50,
+        )
+        assert batch.solved.all()
+        assert (batch.rounds == 1).all()
+        assert counter.requested == 2  # one draw per trial, round 1 only
+
+
+class TestEngineContracts:
+    def test_rejects_non_batchable_protocols(self, cd_channel):
+        fallback = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(2),
+            UniformAsPlayerProtocol(WillardProtocol(N)),
+            budget_rounds=32,
+        )
+        assert not is_player_batchable(fallback)
+        with pytest.raises(ValueError, match="no batch player sessions"):
+            run_players_batch(
+                fallback, [frozenset({1, 2})], N, np.random.default_rng(0),
+                channel=cd_channel, advice_function=MinIdPrefixAdvice(2),
+                max_rounds=10,
+            )
+
+    def test_uniform_as_player_inherits_inner_batchability(self):
+        randomized = RestartProtocol(lambda: DecayProtocol(N, cycle=False))
+        assert not is_player_batchable(UniformAsPlayerProtocol(randomized))
+        assert is_player_batchable(UniformAsPlayerProtocol(DecayProtocol(N)))
+
+    def test_rejects_bad_inputs(self, cd_channel):
+        protocol = BinaryExponentialBackoff()
+        with pytest.raises(ValueError, match="non-empty"):
+            run_players_batch(
+                protocol, [], N, np.random.default_rng(0),
+                channel=cd_channel, max_rounds=5,
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            run_players_batch(
+                protocol, [frozenset()], N, np.random.default_rng(0),
+                channel=cd_channel, max_rounds=5,
+            )
+        with pytest.raises(ValueError, match="budget"):
+            run_players_batch(
+                protocol, [frozenset({1})], N, np.random.default_rng(0),
+                channel=cd_channel, max_rounds=0,
+            )
+
+    def test_cd_protocol_needs_cd_channel(self, nocd_channel):
+        with pytest.raises(ProtocolError):
+            run_players_batch(
+                BinaryExponentialBackoff(), [frozenset({1})], N,
+                np.random.default_rng(0), channel=nocd_channel, max_rounds=5,
+            )
+
+    def test_advice_budget_mismatch_rejected(self, cd_channel):
+        with pytest.raises(ProtocolError, match="advice bits"):
+            run_players_batch(
+                DeterministicTreeDescentProtocol(3), [frozenset({1, 2})], N,
+                np.random.default_rng(0), channel=cd_channel,
+                advice_function=NullAdvice(), max_rounds=5,
+            )
+
+    def test_budget_censoring_matches_scalar_convention(self, cd_channel):
+        """Trials alive at the budget report rounds == max_rounds."""
+        protocol = BinaryExponentialBackoff(initial_window=float(2**18))
+        sets = [frozenset(range(8))] * 6
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(0), channel=cd_channel,
+            max_rounds=7,
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == 7).all()
+
+    def test_pack_participants_orders_and_pads(self):
+        ids = pack_participants([frozenset({9, 3, 17}), frozenset({2})])
+        assert ids.tolist() == [[3, 9, 17], [2, -1, -1]]
+
+
+class TestMonteCarloWiring:
+    """estimate_player_rounds routes to the batch player engine."""
+
+    def _estimate(self, protocol, batch, seed=0, advice=None, trials=60):
+        adversary = RandomAdversary()
+        return estimate_player_rounds(
+            protocol,
+            lambda rng: adversary.checked_select(N, 5, rng),
+            N,
+            np.random.default_rng(seed),
+            channel=Channel(collision_detection=True),
+            advice_function=advice,
+            trials=trials,
+            max_rounds=MAX_ROUNDS,
+            batch=batch,
+        )
+
+    def test_auto_uses_batch_and_agrees_with_scalar(self):
+        protocol = DeterministicTreeDescentProtocol(2)
+        advice = MinIdPrefixAdvice(2)
+        auto = self._estimate(protocol, None, seed=3, advice=advice)
+        scalar = self._estimate(protocol, False, seed=3, advice=advice)
+        # Deterministic protocol + deterministic advice: only the stream
+        # *order* differs, and neither engine consumes simulation
+        # randomness, so the estimates agree exactly.
+        assert auto.rounds == scalar.rounds
+        assert auto.success == scalar.success
+
+    def test_batch_true_rejects_non_batchable(self):
+        fallback = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(0),
+            UniformAsPlayerProtocol(WillardProtocol(N)),
+            budget_rounds=16,
+        )
+        with pytest.raises(ValueError, match="batch=True"):
+            self._estimate(fallback, True)
+
+    def test_select_player_engine_routing(self):
+        assert (
+            select_player_engine(BinaryExponentialBackoff())
+            == ENGINE_BATCH_PLAYER
+        )
+        assert (
+            select_player_engine(BinaryExponentialBackoff(), False)
+            == ENGINE_SCALAR_PLAYER
+        )
+        fallback = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(0),
+            UniformAsPlayerProtocol(WillardProtocol(N)),
+            budget_rounds=16,
+        )
+        assert select_player_engine(fallback) == ENGINE_SCALAR_PLAYER
+        with pytest.raises(ValueError, match="batch=True"):
+            select_player_engine(fallback, True)

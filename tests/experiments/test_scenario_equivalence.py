@@ -1,11 +1,12 @@
 """Equivalence guards for the scenario-API experiment migrations.
 
-Five registry experiments (BASELINE-X, ADVICE-ROBUST, T2-RAND-CD,
-T1-NCD-UP, T1-CD-UP) were migrated from hand-wired estimator calls onto
-declarative :class:`ScenarioSpec` points executed by ``run_scenario``
-with the experiment's shared generator.  The migration contract is
-*bit-identical tables*: the scenario layer must resolve protocols,
-workloads and advice into exactly the objects the old code built, and
+Nine registry experiments (BASELINE-X, ADVICE-ROBUST, T2-RAND-CD,
+T2-DET-NCD, T2-DET-CD, T1-NCD-UP, T1-CD-UP, KL-NCD, KL-CD) were
+migrated from hand-wired estimator / simulator calls onto declarative
+:class:`ScenarioSpec` points executed by ``run_scenario`` with the
+experiment's shared generator.  The migration contract is *bit-identical
+tables*: the scenario layer must resolve protocols, workloads, advice
+and predictions into exactly the objects the old code built, and
 consume the RNG stream in exactly the same order.  Each test here
 replays the pre-migration wiring verbatim (same estimator calls, same
 order, same shared generator) and compares against the migrated
@@ -31,14 +32,30 @@ from repro.channel.channel import (
     without_collision_detection,
 )
 from repro.channel.network import RandomAdversary
+from repro.channel.simulator import run_players
 from repro.core.advice import MinIdPrefixAdvice
 from repro.core.faulty_advice import BitFlipAdvice
 from repro.core.predictions import Prediction
-from repro.experiments import crossover, robustness, table1_cd, table1_nocd, table2
+from repro.experiments import (
+    crossover,
+    divergence,
+    robustness,
+    table1_cd,
+    table1_nocd,
+    table2,
+)
 from repro.experiments.base import ExperimentConfig
+from repro.experiments.table1_cd import BUDGET_CONSTANT
 from repro.experiments.table1_nocd import entropy_sweep_distributions
 from repro.experiments.table2 import _advice_sweep, _worst_block_sizes
 from repro.infotheory.condense import num_ranges
+from repro.infotheory.distributions import SizeDistribution
+from repro.infotheory.perturb import (
+    divergence_between,
+    floor_support,
+    mix_with_uniform,
+    shift_ranges,
+)
 from repro.lowerbounds.bounds import table1_nocd_upper
 from repro.protocols.advice_deterministic import (
     DeterministicScanProtocol,
@@ -241,6 +258,120 @@ def test_robustness_rows_match_direct_estimator_wiring():
     assert robustness.run(CONFIG).rows == expected_rows
 
 
+def test_t2_det_rows_match_direct_player_executions():
+    """Both deterministic Table-2 cells replay their pre-migration
+    run_players wiring: a single worst-case execution on {n-2, n-1}."""
+    for runner, make_protocol, channel, cap in (
+        (
+            table2.run_det_nocd,
+            DeterministicScanProtocol,
+            without_collision_detection(),
+            min(CONFIG.n, 2**12),
+        ),
+        (
+            table2.run_det_cd,
+            DeterministicTreeDescentProtocol,
+            with_collision_detection(),
+            CONFIG.n,
+        ),
+    ):
+        n = cap
+        rng = CONFIG.rng()
+        expected = []
+        for b in _advice_sweep(
+            max(1, math.ceil(math.log2(n))), quick=True
+        ):
+            protocol = make_protocol(b)
+            result = run_players(
+                protocol,
+                frozenset({n - 2, n - 1}),
+                n,
+                rng,
+                channel=channel,
+                advice_function=MinIdPrefixAdvice(b),
+                max_rounds=protocol.worst_case_rounds(n) + 1,
+            )
+            expected.append((b, result.rounds, result.solved))
+        rows = runner(CONFIG).rows
+        assert [(row[0], row[1], row[4]) for row in rows] == expected
+
+
+def _divergence_ladder_direct(n: int):
+    """The pre-migration prediction ladder, built with perturb calls."""
+    truth = SizeDistribution.range_uniform_subset(
+        n, divergence.truth_params(n)["ranges"], name="truth-H2"
+    )
+    rungs = [
+        ("perfect", truth),
+        ("mix 10%", mix_with_uniform(truth, 0.10)),
+        ("mix 50%", mix_with_uniform(truth, 0.50)),
+    ]
+    for delta in (1, 3):  # the quick-mode shifts
+        rungs.append(
+            (f"shift +{delta}", floor_support(shift_ranges(truth, delta), 2e-2))
+        )
+    graded = [
+        (label, prediction, divergence_between(truth, prediction))
+        for label, prediction in rungs
+    ]
+    graded.sort(key=lambda item: item[2])
+    return truth, graded
+
+
+def test_kl_nocd_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    channel = without_collision_detection()
+    trials = CONFIG.effective_trials()
+    truth, ladder = _divergence_ladder_direct(CONFIG.n)
+    entropy_bits = truth.condensed_entropy()
+    measured = []
+    for label, prediction, div in ladder:
+        budget = max(1, math.ceil(table1_nocd_upper(entropy_bits, div)))
+        estimate = estimate_uniform_rounds(
+            SortedProbingProtocol(Prediction(prediction), one_shot=True),
+            truth,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=budget,
+            batch=CONFIG.batch_mode(),
+        )
+        measured.append(
+            (label, div, budget, estimate.success.rate, estimate.rounds.mean)
+        )
+    rows = divergence.run_nocd(CONFIG).rows
+    assert [(r[0], r[1], r[2], r[3], r[5]) for r in rows] == measured
+
+
+def test_kl_cd_rows_match_direct_estimator_wiring():
+    rng = CONFIG.rng()
+    channel = with_collision_detection()
+    trials = CONFIG.effective_trials()
+    repetitions = 3
+    truth, ladder = _divergence_ladder_direct(CONFIG.n)
+    entropy_bits = truth.condensed_entropy()
+    measured = []
+    for label, prediction, div in ladder:
+        base = entropy_bits + div + 1.0
+        budget = max(1, math.ceil(BUDGET_CONSTANT * repetitions * base * base))
+        estimate = estimate_uniform_rounds(
+            CodeSearchProtocol(
+                Prediction(prediction), repetitions=repetitions, one_shot=True
+            ),
+            truth,
+            rng,
+            channel=channel,
+            trials=trials,
+            max_rounds=budget,
+            batch=CONFIG.batch_mode(),
+        )
+        measured.append(
+            (label, div, budget, estimate.success.rate, estimate.rounds.mean)
+        )
+    rows = divergence.run_cd(CONFIG).rows
+    assert [(r[0], r[1], r[2], r[3], r[5]) for r in rows] == measured
+
+
 def test_batch_and_scalar_substrates_both_reproduce():
     """The migration preserves the --no-batch escape hatch end to end."""
     scalar_config = ExperimentConfig(n=2**10, trials=60, seed=13, quick=True, batch=False)
@@ -251,5 +382,10 @@ def test_batch_and_scalar_substrates_both_reproduce():
 
 
 def test_migrated_experiments_stay_deterministic():
-    for run in (crossover.run, table2.run_rand_cd):
+    for run in (
+        crossover.run,
+        table2.run_rand_cd,
+        table2.run_det_cd,
+        divergence.run_nocd,
+    ):
         assert run(CONFIG).rows == run(CONFIG).rows

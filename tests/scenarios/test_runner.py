@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.montecarlo import (
     ENGINE_BATCH_HISTORY,
+    ENGINE_BATCH_PLAYER,
     ENGINE_BATCH_SCHEDULE,
     ENGINE_SCALAR_PLAYER,
     ENGINE_SCALAR_UNIFORM,
@@ -43,14 +44,41 @@ class TestEngineRouting:
     def test_batch_false_forces_scalar(self):
         assert run(batch=False).engine == ENGINE_SCALAR_UNIFORM
 
-    def test_player_protocol_routes_to_player_loop(self):
+    def test_batchable_player_protocol_routes_to_player_engine(self):
         result = run(
             protocol={"id": "backoff", "params": {}},
             channel="cd",
             workload={"kind": "fixed", "params": {"k": 4}},
         )
-        assert result.engine == ENGINE_SCALAR_PLAYER
+        assert result.engine == ENGINE_BATCH_PLAYER
         assert result.metadata["adversary"] == "random"
+
+    def test_player_batch_false_forces_scalar_loop(self):
+        result = run(
+            protocol={"id": "backoff", "params": {}},
+            channel="cd",
+            workload={"kind": "fixed", "params": {"k": 4}},
+            batch=False,
+        )
+        assert result.engine == ENGINE_SCALAR_PLAYER
+
+    def test_non_batchable_player_combinator_routes_to_scalar_loop(self):
+        result = run(
+            protocol={
+                "id": "fallback",
+                "params": {
+                    "primary": {"id": "backoff", "params": {}},
+                    "fallback": {
+                        "id": "uniform-as-player",
+                        "params": {"inner": {"id": "willard", "params": {}}},
+                    },
+                    "budget_rounds": 64,
+                },
+            },
+            channel="cd",
+            workload={"kind": "fixed", "params": {"k": 4}},
+        )
+        assert result.engine == ENGINE_SCALAR_PLAYER
 
     def test_engine_recorded_in_metadata(self):
         result = run()

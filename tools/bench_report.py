@@ -1,12 +1,13 @@
 """Emit a JSON perf snapshot of the Monte Carlo substrate.
 
-Times the scalar reference loop against the vectorized batch engine on
+Times the scalar reference loops against the vectorized batch engines on
 benchmark-scale Table 1 workloads (no-CD schedule path and CD
-history-grouped path), plus the scenario sweep executors (serial vs
-process pool on a Table-1-scale point grid), and writes a
-``BENCH_*.json`` snapshot, so future PRs can track the performance
-trajectory with a one-line diff instead of re-deriving numbers from
-benchmark logs.
+history-grouped path) and Table 2 player workloads (deterministic scan /
+tree descent / backoff on the per-player engine), plus the scenario
+sweep executors (serial vs process pool on a Table-1-scale point grid),
+and writes a ``BENCH_*.json`` snapshot, so future PRs can track the
+performance trajectory with a one-line diff instead of re-deriving
+numbers from benchmark logs.
 
 Usage (from the repository root)::
 
@@ -32,17 +33,21 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.analysis.montecarlo import (
+    estimate_player_rounds,
+    estimate_uniform_rounds,
+)
 from repro.channel import with_collision_detection, without_collision_detection
 from repro.experiments.table1_nocd import entropy_sweep_distributions
 from repro.protocols.sorted_probing import SortedProbingProtocol
 from repro.protocols.willard import WillardProtocol
 from repro.scenarios import run_sweep
 
-# The sweep-executor benchmark workload is shared with the opt-in gate in
-# benchmarks/test_bench_sweep.py; running as a script puts tools/ (not the
+# The sweep-executor and player-engine benchmark workloads are shared with
+# the opt-in gates in benchmarks/; running as a script puts tools/ (not the
 # repo root) on sys.path, so anchor the import at the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
 from benchmarks.sweep_workload import RANGE_SETS, executor_sweep  # noqa: E402
 
 N = 2**16
@@ -83,6 +88,48 @@ def _measure(protocol, distribution, channel, trials: int, repeats: int):
             None if not batched.any_successes else round(batched.rounds.mean, 4)
         ),
     }
+
+
+def player_bench(trials: int, repeats: int) -> dict:
+    """Scalar per-player loop vs the batch player engine, per Table-2 cell.
+
+    The same cells the ``benchmarks/test_bench_player.py`` gate enforces
+    (deterministic suffix-adversary scan, random-adversary tree descent,
+    binary exponential backoff, all at n = 2^16).
+    """
+    measurements = {}
+    for cell in player_cells(trials):
+        def estimate(batch: bool, cell=cell):
+            return estimate_player_rounds(
+                cell.protocol,
+                lambda rng: cell.adversary.checked_select(PLAYER_N, cell.k, rng),
+                PLAYER_N,
+                np.random.default_rng(SEED),
+                channel=cell.channel,
+                advice_function=cell.advice_function,
+                trials=cell.trials,
+                max_rounds=cell.max_rounds,
+                batch=batch,
+            )
+
+        scalar_seconds = _median_seconds(lambda: estimate(False), repeats)
+        batch_seconds = _median_seconds(lambda: estimate(True), repeats)
+        batched = estimate(True)
+        measurements[cell.name] = {
+            "k": cell.k,
+            "trials": cell.trials,
+            "max_rounds": cell.max_rounds,
+            "scalar_seconds": round(scalar_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(scalar_seconds / batch_seconds, 2),
+            "success_rate": batched.success.rate,
+            "mean_rounds": (
+                None
+                if not batched.any_successes
+                else round(batched.rounds.mean, 4)
+            ),
+        }
+    return measurements
 
 
 def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
@@ -143,6 +190,13 @@ def main(argv: list[str] | None = None) -> int:
         "--sweep-workers", type=int, default=None,
         help="process-pool size for the sweep benchmark (default: cpu count)",
     )
+    parser.add_argument(
+        "--player-trials", type=int, default=2000,
+        help=(
+            "trials for the player-engine cells (default 2000; the backoff "
+            "cell scales this down - the scalar loop there is costly)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     distribution = entropy_sweep_distributions(N, quick=True)[1]
@@ -162,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
             args.repeats,
         ),
     }
+    player_engine = player_bench(args.player_trials, args.repeats)
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -180,10 +235,11 @@ def main(argv: list[str] | None = None) -> int:
             "workload": distribution.name,
         },
         "measurements": measurements,
+        "player_engine": player_engine,
         "sweep_executor": sweep_executor,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
-    for name, row in measurements.items():
+    for name, row in {**measurements, **player_engine}.items():
         print(
             f"{name}: scalar={row['scalar_seconds']:.3f}s "
             f"batch={row['batch_seconds']:.3f}s speedup={row['speedup']}x"
