@@ -1,11 +1,22 @@
-"""The shared sweep-executor benchmark workload.
+"""The shared sweep-executor benchmark workloads.
 
-One definition consumed by both the opt-in benchmark gate
-(:mod:`benchmarks.test_bench_sweep`) and the snapshot tool
-(``tools/bench_report.py``), so the >= 2x gate and the
-``sweep_executor`` section of ``BENCH_BATCH.json`` always measure the
-same grid: eight entropy-dial points at Table-1 scale, each heavy
-enough (200k trials by default) to dwarf the process pool's spawn cost.
+One definition consumed by both the opt-in benchmark gates
+(:mod:`benchmarks.test_bench_sweep`,
+:mod:`benchmarks.test_bench_sweep_fused`) and the snapshot tool
+(``tools/bench_report.py``), so the executor gates and the
+``sweep_executor`` / ``sweep_fused`` sections of ``BENCH_BATCH.json``
+always measure the same grids:
+
+* :func:`executor_sweep` - eight entropy-dial points at Table-1 scale,
+  each heavy enough (200k trials by default) to dwarf the process
+  pool's spawn cost (the multi-core axis);
+* :func:`fused_sweep` - a dense 32-point transmission-probability dial
+  of long-horizon ``fixed-probability`` points: many small engine-bound
+  points, the regime where the fused executor's stacked round loop wins
+  on a single core (the axis the pool cannot touch there);
+* :func:`fused_player_sweep` - a 16-point advice-corruption curve of
+  worst-case deterministic scans: long-horizon player points stacked
+  into one randomness-free array run.
 """
 
 from __future__ import annotations
@@ -16,6 +27,12 @@ N = 2**16
 TRIALS_PER_POINT = 200_000
 MAX_ROUNDS = 1024
 SEED = 2021
+
+#: The fused benchmark's dense single-core grid.
+FUSED_POINTS = 32
+FUSED_TRIALS_PER_POINT = 256
+FUSED_PLAYER_POINTS = 16
+FUSED_PLAYER_TRIALS = 48
 
 #: Eight entropy-dial points (n = 2^16 has 16 condensed ranges).
 RANGE_SETS: list[list[int]] = [
@@ -49,3 +66,66 @@ def executor_sweep(trials: int = TRIALS_PER_POINT) -> Sweep:
         }
     )
     return Sweep(base=base, grid={"workload.params.ranges": RANGE_SETS})
+
+
+def fused_sweep(trials: int = FUSED_TRIALS_PER_POINT) -> Sweep:
+    """The fused-executor gate grid: a dense transmission-probability dial.
+
+    32 ``fixed-probability`` points sweeping ``k_hat`` (hence the round
+    probability ``p = 1/k_hat``) against a fixed ``k = 4`` workload:
+    solve horizons grow to hundreds of rounds at the high-``k_hat`` end,
+    so the grid is engine-bound - per-round work dominates resolution -
+    which is exactly the regime the stacked schedule engine exists for.
+    """
+    base = ScenarioSpec.from_dict(
+        {
+            "name": "bench-fused",
+            "protocol": {"id": "fixed-probability", "params": {"k_hat": 64.0}},
+            "workload": {"kind": "fixed", "params": {"k": 4}},
+            "channel": "nocd",
+            "n": 2**10,
+            "trials": trials,
+            "max_rounds": 2048,
+            "seed": SEED,
+        }
+    )
+    k_hats = [
+        48.0 + (512.0 - 48.0) * index / (FUSED_POINTS - 1)
+        for index in range(FUSED_POINTS)
+    ]
+    return Sweep(base=base, grid={"protocol.params.k_hat": k_hats})
+
+
+def fused_player_sweep(trials: int = FUSED_PLAYER_TRIALS) -> Sweep:
+    """The fused player grid: worst-case scans across an advice-noise dial.
+
+    16 deterministic-scan points (b=2 at n=4096: a 1024-round worst-case
+    pass) sweeping the bit-flip corruption probability - the robustness
+    curve of Section 3.2, sampled densely.  The suffix adversary packs
+    participants at the top of the advised subtree, so uncorrupted trials
+    scan nearly the whole pass and corrupted ones exhaust it: every point
+    is engine-bound for its full horizon.
+    """
+    base = ScenarioSpec.from_dict(
+        {
+            "name": "bench-fused-player",
+            "protocol": {"id": "deterministic-scan", "params": {"advice_bits": 2}},
+            "workload": {"kind": "fixed", "params": {"k": 2}},
+            "channel": "nocd",
+            "advice": {
+                "function": "min-id-prefix",
+                "bits": 2,
+                "corruption": {"model": "bit-flip", "probability": 0.0},
+            },
+            "adversary": "suffix",
+            "n": 2**12,
+            "trials": trials,
+            "max_rounds": 1025,
+            "seed": SEED,
+        }
+    )
+    probabilities = [
+        round(index / (2 * (FUSED_PLAYER_POINTS - 1)), 6)
+        for index in range(FUSED_PLAYER_POINTS)
+    ]
+    return Sweep(base=base, grid={"advice.corruption.probability": probabilities})

@@ -1,0 +1,76 @@
+"""Fused-executor benchmark: stacked grids vs point-serial batch runs.
+
+The acceptance benchmark for the fused sweep engine: a dense 32-point
+single-core grid of engine-bound schedule points must run >= 3x faster
+through the ``fused`` executor than through point-serial batch runs,
+with per-point statistics *identical* to the serial reference (every
+point consumes its own seed-derived stream in solo order, stacked or
+not).  Unlike the process-pool gate next door, this one needs no extra
+cores - fusing amortizes the per-round engine work across grid points,
+the axis a single core can actually exploit - so it never skips.  The
+player-grid measurement rides along informationally (asserted identical,
+logged, not gated) and both workloads are shared with
+``tools/bench_report.py`` via :mod:`benchmarks.sweep_workload`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenarios import run_sweep
+
+from .sweep_workload import FUSED_POINTS, fused_player_sweep, fused_sweep
+
+
+def _assert_identical(serial, fused) -> None:
+    for point_serial, point_fused in zip(serial.results, fused.results):
+        assert point_fused.spec == point_serial.spec
+        assert point_fused.rounds == point_serial.rounds
+        assert point_fused.success == point_serial.success
+
+
+@pytest.mark.benchmark
+def test_bench_sweep_fused_vs_point_serial(benchmark):
+    sweep = fused_sweep()
+    assert len(sweep.points()) == FUSED_POINTS >= 16
+
+    start = time.perf_counter()
+    serial = run_sweep(sweep, executor="serial")
+    serial_seconds = time.perf_counter() - start
+
+    fused = benchmark.pedantic(
+        lambda: run_sweep(sweep, executor="fused"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    fused_seconds = fused.elapsed_seconds
+
+    # Correctness first: identical statistics, point for point.
+    _assert_identical(serial, fused)
+
+    # The player grid rides along: identity asserted, speedup logged.
+    player = fused_player_sweep()
+    start = time.perf_counter()
+    player_serial = run_sweep(player, executor="serial")
+    player_serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    player_fused = run_sweep(player, executor="fused")
+    player_fused_seconds = time.perf_counter() - start
+    _assert_identical(player_serial, player_fused)
+
+    speedup = serial_seconds / fused_seconds
+    print(
+        f"\nfused sweep: serial={serial_seconds:.3f}s "
+        f"fused={fused_seconds:.3f}s speedup={speedup:.2f}x "
+        f"({FUSED_POINTS} schedule points); player grid "
+        f"serial={player_serial_seconds:.3f}s "
+        f"fused={player_fused_seconds:.3f}s "
+        f"speedup={player_serial_seconds / player_fused_seconds:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"fused executor only {speedup:.2f}x over point-serial batch on "
+        f"the {FUSED_POINTS}-point grid; expected >= 3x"
+    )

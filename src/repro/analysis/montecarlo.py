@@ -24,16 +24,22 @@ of the RNG stream (deterministic player protocols agree exactly).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
 
-from ..channel.batch import is_batchable, run_uniform_batch
-from ..channel.batch_players import is_player_batchable, run_players_batch
+from ..channel.batch import is_batchable, run_schedule_stacked, run_uniform_batch
+from ..channel.batch_players import (
+    checked_advice_source,
+    is_player_batchable,
+    is_player_fusable,
+    run_players_batch,
+    run_players_stacked,
+)
 from ..channel.channel import Channel
-from ..channel.simulator import run_players, run_uniform
+from ..channel.simulator import _check_channel, run_players, run_uniform
 from ..core.advice import AdviceFunction
 from ..core.protocol import PlayerProtocol, UniformProtocol
 from ..infotheory.distributions import SizeDistribution
@@ -42,8 +48,10 @@ from .metrics import ProportionEstimate, Summary
 __all__ = [
     "RoundsEstimate",
     "estimate_uniform_rounds",
+    "estimate_uniform_rounds_many",
     "estimate_success_within",
     "estimate_player_rounds",
+    "estimate_player_rounds_many",
     "select_uniform_engine",
     "select_player_engine",
     "ENGINE_BATCH_SCHEDULE",
@@ -51,6 +59,8 @@ __all__ = [
     "ENGINE_BATCH_PLAYER",
     "ENGINE_SCALAR_UNIFORM",
     "ENGINE_SCALAR_PLAYER",
+    "ENGINE_FUSED_SCHEDULE",
+    "ENGINE_FUSED_PLAYER",
 ]
 
 UniformFactory = Callable[[], UniformProtocol] | UniformProtocol
@@ -81,6 +91,13 @@ ENGINE_BATCH_HISTORY = "batch-history"
 ENGINE_BATCH_PLAYER = "batch-player"
 ENGINE_SCALAR_UNIFORM = "scalar-uniform"
 ENGINE_SCALAR_PLAYER = "scalar-player"
+
+#: Labels recorded by the fused sweep executor when it stacks several
+#: compatible scenario points into one engine run (statistics stay
+#: bit-identical to the per-point labels above; only the label differs,
+#: recording what actually executed).
+ENGINE_FUSED_SCHEDULE = "fused-schedule"
+ENGINE_FUSED_PLAYER = "fused-player"
 
 
 @dataclass(frozen=True)
@@ -233,6 +250,57 @@ def estimate_uniform_rounds(
     )
 
 
+def estimate_uniform_rounds_many(
+    protocols: Sequence[UniformProtocol],
+    size_sources: Sequence[SizeSource],
+    rngs: Sequence[np.random.Generator],
+    *,
+    channel: Channel,
+    trials: int,
+    max_rounds: int,
+) -> list[RoundsEstimate]:
+    """Estimate many schedule-protocol points in one stacked engine run.
+
+    The fused counterpart of calling :func:`estimate_uniform_rounds` once
+    per point: point ``j`` pairs ``protocols[j]`` (which must publish its
+    :meth:`~repro.core.protocol.UniformProtocol.batch_schedule`) with
+    ``size_sources[j]`` and its own generator ``rngs[j]``.  Per-point
+    randomness is consumed exactly as the solo estimator consumes it -
+    the size batch first, then one uniform per live trial per round - so
+    entry ``j`` of the result is **bit-identical** to the solo call; the
+    stacking only amortizes the per-round engine work across points.
+    """
+    if not (len(protocols) == len(size_sources) == len(rngs)):
+        raise ValueError(
+            "need one protocol, size source and rng per point; got "
+            f"{len(protocols)}/{len(size_sources)}/{len(rngs)}"
+        )
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    schedules = []
+    for protocol in protocols:
+        if select_uniform_engine(protocol) != ENGINE_BATCH_SCHEDULE:
+            raise ValueError(
+                f"protocol {getattr(protocol, 'name', protocol)!r} does not "
+                "publish a batch schedule; fuse only schedule-engine points"
+            )
+        _check_channel(protocol.requires_collision_detection, channel)
+        schedules.append(protocol.batch_schedule())
+    ks_list = [
+        _draw_size_batch(source, rng, trials)
+        for source, rng in zip(size_sources, rngs)
+    ]
+    results = run_schedule_stacked(
+        schedules, ks_list, rngs, max_rounds=max_rounds
+    )
+    return [
+        RoundsEstimate(
+            rounds=result.rounds_summary(), success=result.success_estimate()
+        )
+        for result in results
+    ]
+
+
 def estimate_success_within(
     protocol: UniformFactory,
     size_source: SizeSource,
@@ -355,6 +423,69 @@ def estimate_player_rounds(
         ),
         success=ProportionEstimate(successes=successes, trials=trials),
     )
+
+
+def estimate_player_rounds_many(
+    protocol: PlayerProtocol,
+    participant_sources: Sequence[Callable[[np.random.Generator], frozenset[int]]],
+    n: int,
+    rngs: Sequence[np.random.Generator],
+    *,
+    channel: Channel,
+    advice_functions: Sequence[AdviceFunction | None],
+    trials: int,
+    max_rounds: int,
+) -> list[RoundsEstimate]:
+    """Estimate many player-protocol points in one stacked engine run.
+
+    The fused counterpart of calling :func:`estimate_player_rounds` once
+    per point, for points sharing one *fusable* protocol (randomness-free
+    batch sessions - deterministic scan / tree descent and their fallback
+    wrappers) but differing in adversary, advice quality or seed.  Point
+    ``j`` first draws its participant sets, then its advice strings, from
+    its own ``rngs[j]`` - exactly the solo estimator's consumption order;
+    the engine itself draws nothing, so entry ``j`` of the result is
+    **bit-identical** to the solo call.
+    """
+    if not (len(participant_sources) == len(rngs) == len(advice_functions)):
+        raise ValueError(
+            "need one participant source, advice function and rng per "
+            f"point; got {len(participant_sources)}/{len(advice_functions)}/"
+            f"{len(rngs)}"
+        )
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not is_player_fusable(protocol):
+        raise ValueError(
+            f"protocol {protocol.name!r} has no randomness-free batch "
+            "sessions; run its points through estimate_player_rounds"
+        )
+    all_sets: list[frozenset[int]] = []
+    all_advice: list[str] = []
+    for source, advice_function, rng in zip(
+        participant_sources, advice_functions, rngs
+    ):
+        advice_source = checked_advice_source(protocol, advice_function)
+        point_sets = [source(rng) for _ in range(trials)]
+        all_sets.extend(point_sets)
+        all_advice.extend(
+            advice_source.checked_advise(participants, n)
+            for participants in point_sets
+        )
+    stacked = run_players_stacked(
+        protocol, all_sets, n, all_advice, channel=channel,
+        max_rounds=max_rounds,
+    )
+    estimates = []
+    for point in range(len(rngs)):
+        segment = stacked.sliced(point * trials, (point + 1) * trials)
+        estimates.append(
+            RoundsEstimate(
+                rounds=segment.rounds_summary(),
+                success=segment.success_estimate(),
+            )
+        )
+    return estimates
 
 
 def sample_sizes(

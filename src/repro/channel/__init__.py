@@ -17,11 +17,13 @@ from .network import (
     SuffixAdversary,
     validate_participants,
 )
-from .batch import is_batchable, run_uniform_batch
+from .batch import is_batchable, run_schedule_stacked, run_uniform_batch
 from .batch_players import (
     is_player_batchable,
+    is_player_fusable,
     pack_participants,
     run_players_batch,
+    run_players_stacked,
 )
 from .simulator import DEFAULT_MAX_ROUNDS, run_players, run_uniform
 from .trace import BatchExecutionResult, ExecutionResult, RoundRecord
@@ -41,10 +43,13 @@ __all__ = [
     "TraceArrivals",
     "run_uniform",
     "run_uniform_batch",
+    "run_schedule_stacked",
     "is_batchable",
     "run_players",
     "run_players_batch",
+    "run_players_stacked",
     "is_player_batchable",
+    "is_player_fusable",
     "pack_participants",
     "DEFAULT_MAX_ROUNDS",
     "BatchExecutionResult",

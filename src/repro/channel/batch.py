@@ -1,10 +1,10 @@
 """Vectorized batch execution of uniform protocols.
 
 The scalar engine (:mod:`repro.channel.simulator`) runs one execution at a
-time: a Python loop per round, one ``rng.binomial(k, p)`` call per round,
-per trial.  Monte Carlo estimation repeats that thousands of times.  This
-module advances **all trials of a batch in lockstep** instead, one round
-per iteration, retiring solved trials as it goes.
+time: a Python loop per round, one channel draw per round, per trial.
+Monte Carlo estimation repeats that thousands of times.  This module
+advances **all trials of a batch in lockstep** instead, one round per
+iteration, retiring solved trials as it goes.
 
 Why the batch draw is faithful (paper Section 2.2)
 --------------------------------------------------
@@ -12,21 +12,32 @@ Uniform protocols are identity-oblivious: in every round all ``k``
 participants transmit independently with the *same* probability ``p``, so
 the channel state of the round is **exactly** ``Binomial(k, p)`` - which
 participants transmitted is irrelevant to both the channel outcome and the
-protocol's future behaviour.  A round of a whole batch of independent
-executions is therefore exactly a vector of independent binomial draws,
-``rng.binomial(k_vec, p)``, and simulating it that way is not an
-approximation but the same distribution computed with one NumPy call
-instead of ``trials`` Python-level calls.  (This mirrors how round-driven
-network simulators batch their event loops.)
+protocol's future behaviour.  Moreover the engines never consume the count
+itself, only the trichotomy silence / success / collision, whose exact
+probabilities are ``(1-p)^k``, ``kp(1-p)^(k-1)`` and the remainder.  A
+round of a trial is therefore simulated exactly by **one uniform draw**
+``u`` compared against those two precomputed band edges - the same
+distribution as drawing the binomial count, computed with one vectorized
+``rng.random`` call over the still-live trials instead of per-trial
+Python-level calls.  (This mirrors how round-driven network simulators
+batch their event loops.)
 
 Two engines, chosen by protocol capability:
 
 * **Schedule engine** - for protocols whose full probability sequence is
   known in advance (:meth:`~repro.core.protocol.UniformProtocol.batch_schedule`
   returns a :class:`~repro.core.protocol.BatchSchedule`; the no-CD family
-  of Section 2.1).  No session objects at all: round ``r``'s probability is
-  an array lookup, and the round costs a single vectorized binomial draw
-  over the still-live trials.
+  of Section 2.1).  No session objects at all: round ``r``'s success band
+  is a precomputed array lookup, uniforms are pre-drawn in 16-round
+  blocks per live trial, and a round costs one gather plus two
+  compares.  The engine also has a
+  **stacked** entry point (:func:`run_schedule_stacked`) advancing many
+  *independent points* - each with its own generator, participant counts
+  and schedule - through one shared round loop: point ``j``'s draws come
+  from ``rngs[j]`` in exactly the order a solo run would consume them, so
+  a stacked run is bit-identical per point to running the points one at a
+  time (the fused sweep executor's contract), while all per-round masking
+  and retirement work is amortized across the whole stack.
 
 * **History engine** - for feedback-driven (CD) protocols with
   deterministic sessions.  All players of a CD execution see the same
@@ -64,7 +75,7 @@ from .channel import Channel
 from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
 from .trace import BatchExecutionResult
 
-__all__ = ["run_uniform_batch", "is_batchable"]
+__all__ = ["run_uniform_batch", "run_schedule_stacked", "is_batchable"]
 
 
 def is_batchable(protocol: UniformProtocol) -> bool:
@@ -129,32 +140,214 @@ def _run_schedule_batch(
     rng: np.random.Generator,
     max_rounds: int,
 ) -> BatchExecutionResult:
-    """Advance every trial through a precomputed probability schedule."""
-    trials = ks.size
-    solved = np.zeros(trials, dtype=bool)
-    rounds = np.zeros(trials, dtype=np.int64)
+    """Advance every trial through a precomputed probability schedule.
+
+    A one-point stacked run: the single-scenario path and the fused sweep
+    path share one implementation, which is what makes a fused point
+    bit-identical to its standalone re-run.
+    """
+    return run_schedule_stacked(
+        [schedule], [ks], [rng], max_rounds=max_rounds
+    )[0]
+
+
+#: Rounds of success-band thresholds precomputed per table build.  Bands
+#: are pure functions of (k, round probability), so the chunk size only
+#: trades table-build frequency against memory - it never affects results.
+_BAND_CHUNK_ROUNDS = 512
+
+#: Rounds of uniforms pre-drawn per point at each absolute block
+#: boundary (rounds 1, 1+B, 1+2B, ...).  Part of the engine's stream
+#: contract: a trial that retires mid-block leaves its remaining
+#: pre-drawn uniforms unused (discarding i.i.d. draws is
+#: distribution-neutral), and a point stops drawing entirely once all
+#: its trials have retired.  Because boundaries are absolute and the
+#: draw shape depends only on the point's own live count and horizon,
+#: stacked and solo runs consume identical per-point streams.
+_DRAW_BLOCK_ROUNDS = 16
+
+
+def _success_bands(
+    schedule: BatchSchedule,
+    unique_ks: np.ndarray,
+    start_round: int,
+    length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Success-band edges for ``length`` rounds from ``start_round``.
+
+    Returns ``(lo, hi)`` of shape ``(length, unique_ks.size)``: round
+    ``start_round + i`` of a ``k = unique_ks[c]`` trial succeeds iff its
+    uniform draw lands in ``[lo[i, c], hi[i, c])``, where
+    ``lo = (1-p)^k`` (the silence mass) and ``hi - lo = kp(1-p)^(k-1)``
+    (the exactly-one-transmitter mass).  Rounds past a one-shot schedule's
+    end clamp to the last scheduled round; the engine retires those trials
+    before ever reading such a row.
+    """
     probabilities = np.asarray(schedule.probabilities, dtype=float)
-    period = probabilities.size
-    horizon = schedule.horizon(max_rounds)
-    live = np.arange(trials)
-    for round_index in range(1, horizon + 1):
-        p = probabilities[(round_index - 1) % period]
-        counts = rng.binomial(ks[live], p)
-        hit = counts == 1
+    indices = start_round - 1 + np.arange(length)
+    if schedule.cycle:
+        indices %= probabilities.size
+    else:
+        indices = np.minimum(indices, probabilities.size - 1)
+    p = probabilities[indices][:, None]
+    ks = unique_ks[None, :]
+    miss = 1.0 - p
+    lo = miss**ks
+    hi = lo + ks * p * miss ** (ks - 1)
+    return lo, hi
+
+
+def run_schedule_stacked(
+    schedules: Sequence[BatchSchedule],
+    ks_list: Sequence[np.ndarray],
+    rngs: Sequence[np.random.Generator],
+    *,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[BatchExecutionResult]:
+    """Advance many independent schedule-protocol points in one loop.
+
+    Point ``j`` is a whole Monte Carlo batch (schedule, per-trial
+    participant counts, own generator); entry ``j`` of the returned list
+    is **bit-identical** to ``run_uniform_batch`` on that point alone:
+    point ``j`` draws from ``rngs[j]`` in :data:`_DRAW_BLOCK_ROUNDS`-round
+    blocks whose boundaries are absolute and whose shapes depend only on
+    the point's own live count and horizon, so a solo run consumes the
+    identical stream, and a point stops consuming randomness at the
+    first block boundary after its last trial retires.  Stacking changes
+    only *where* the per-round bookkeeping happens - once over the flat
+    ``(point, trial)`` rows instead of per point - which is the fused
+    sweep executor's wall-clock lever on dense grids.
+    """
+    points = len(schedules)
+    if not (points == len(ks_list) == len(rngs)):
+        raise ValueError(
+            f"stacked run needs one schedule, ks array and rng per point; "
+            f"got {points}/{len(ks_list)}/{len(rngs)}"
+        )
+    if points == 0:
+        raise ValueError("stacked run needs at least one point")
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    ks_arrays = [_validated_ks(ks) for ks in ks_list]
+    trials = np.asarray([ks.size for ks in ks_arrays])
+    horizons = np.asarray([s.horizon(max_rounds) for s in schedules])
+
+    total = int(trials.sum())
+    solved = np.zeros(total, dtype=bool)
+    rounds = np.zeros(total, dtype=np.int64)
+
+    # Success bands depend only on (point, k): index the distinct pairs
+    # once ("combos") so each round's thresholds are two row gathers.
+    unique_ks: list[np.ndarray] = []
+    flat_cidx = np.empty(total, dtype=np.int64)
+    combo_offset = 0
+    cursor = 0
+    for ks in ks_arrays:
+        uniques, inverse = np.unique(ks, return_inverse=True)
+        unique_ks.append(uniques.astype(float))
+        flat_cidx[cursor : cursor + ks.size] = inverse + combo_offset
+        combo_offset += uniques.size
+        cursor += ks.size
+
+    # Live rows, grouped by point in point order (each point's rows stay
+    # in trial order, exactly the order a solo run draws them in).
+    flat_trial = np.arange(total)
+    flat_point = np.repeat(np.arange(points), trials)
+    counts = trials.copy()
+
+    horizon_steps = set(int(h) for h in horizons)
+    lo_table = hi_table = None
+    chunk_base = 0  # bands cover rounds (chunk_base, chunk_base + length]
+    draw_buffer = np.empty((0, 0))
+    buffer_row = np.arange(total)  # rewritten at the first block boundary
+
+    for round_index in range(1, int(horizons.max()) + 1):
+        # Retire whole points whose (one-shot) horizon just ended: their
+        # surviving trials censor at rounds-actually-played = horizon.
+        if round_index - 1 in horizon_steps:
+            expired = horizons[flat_point] < round_index
+            if expired.any():
+                gone = flat_trial[expired]
+                rounds[gone] = horizons[flat_point[expired]]
+                keep = ~expired
+                flat_trial = flat_trial[keep]
+                flat_point = flat_point[keep]
+                flat_cidx = flat_cidx[keep]
+                buffer_row = buffer_row[keep]
+                counts = np.bincount(flat_point, minlength=points)
+        if flat_trial.size == 0:
+            break
+
+        if lo_table is None or round_index > chunk_base + lo_table.shape[0]:
+            chunk_base = round_index - 1
+            length = min(_BAND_CHUNK_ROUNDS, int(horizons.max()) - chunk_base)
+            blocks = [
+                _success_bands(schedule, uniques, round_index, length)
+                for schedule, uniques in zip(schedules, unique_ks)
+            ]
+            lo_table = np.concatenate([lo for lo, _ in blocks], axis=1)
+            hi_table = np.concatenate([hi for _, hi in blocks], axis=1)
+        row = round_index - chunk_base - 1
+        lo = lo_table[row]
+        hi = hi_table[row]
+
+        # Uniform draws come in *absolute* blocks of _DRAW_BLOCK_ROUNDS
+        # rounds: at each block boundary every live point pre-draws one
+        # row of uniforms per live trial (clipped to its own horizon)
+        # from its own generator.  Block boundaries and per-point shapes
+        # depend only on the point's own trajectory, so a solo run
+        # consumes the identical stream; between boundaries a round costs
+        # one gather instead of one generator call per point.
+        column = (round_index - 1) % _DRAW_BLOCK_ROUNDS
+        if column == 0:
+            width = min(
+                _DRAW_BLOCK_ROUNDS, int(horizons.max()) - round_index + 1
+            )
+            draw_buffer = np.empty((flat_trial.size, width))
+            buffer_row = np.arange(flat_trial.size)
+            start = 0
+            for point in np.flatnonzero(counts):
+                stop = start + counts[point]
+                effective = min(
+                    _DRAW_BLOCK_ROUNDS, int(horizons[point]) - round_index + 1
+                )
+                draw_buffer[start:stop, :effective] = rngs[point].random(
+                    (stop - start, effective)
+                )
+                start = stop
+        draws = draw_buffer[buffer_row, column]
+
+        hit = (draws >= lo[flat_cidx]) & (draws < hi[flat_cidx])
         if hit.any():
-            winners = live[hit]
+            winners = flat_trial[hit]
             solved[winners] = True
             rounds[winners] = round_index
-            live = live[~hit]
-            if live.size == 0:
-                break
+            keep = ~hit
+            flat_trial = flat_trial[keep]
+            flat_point = flat_point[keep]
+            flat_cidx = flat_cidx[keep]
+            buffer_row = buffer_row[keep]
+            counts = np.bincount(flat_point, minlength=points)
+
     # Whatever survives was right-censored: by the budget (rounds played =
     # max_rounds) or by one-shot exhaustion (rounds played = schedule
     # length), matching the scalar engine's ExecutionResult convention.
-    rounds[live] = horizon
-    return BatchExecutionResult(
-        solved=solved, rounds=rounds, max_rounds=max_rounds, ks=ks
-    )
+    rounds[flat_trial] = horizons[flat_point]
+
+    results = []
+    cursor = 0
+    for point, ks in enumerate(ks_arrays):
+        stop = cursor + ks.size
+        results.append(
+            BatchExecutionResult(
+                solved=solved[cursor:stop],
+                rounds=rounds[cursor:stop],
+                max_rounds=max_rounds,
+                ks=ks,
+            )
+        )
+        cursor = stop
+    return results
 
 
 def _run_history_batch(

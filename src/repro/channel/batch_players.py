@@ -52,7 +52,14 @@ from .channel import Channel
 from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
 from .trace import BatchExecutionResult
 
-__all__ = ["run_players_batch", "is_player_batchable", "pack_participants"]
+__all__ = [
+    "run_players_batch",
+    "run_players_stacked",
+    "is_player_batchable",
+    "is_player_fusable",
+    "pack_participants",
+    "checked_advice_source",
+]
 
 
 def is_player_batchable(protocol: PlayerProtocol) -> bool:
@@ -64,6 +71,39 @@ def is_player_batchable(protocol: PlayerProtocol) -> bool:
     :func:`repro.channel.batch.is_batchable` does for uniform protocols.
     """
     return protocol.supports_batch_sessions()
+
+
+def is_player_fusable(protocol: PlayerProtocol) -> bool:
+    """Whether :func:`run_players_stacked` can stack ``protocol`` trials
+    from *different scenario points* into one batch.
+
+    Requires batch sessions that consume no engine randomness
+    (:meth:`~repro.core.protocol.PlayerProtocol.supports_fused_sessions`):
+    with nothing drawn inside the engine, a stacked run is bit-identical
+    per point to running each point's batch alone, which is the fused
+    sweep executor's contract.
+    """
+    return protocol.supports_batch_sessions() and protocol.supports_fused_sessions()
+
+
+def checked_advice_source(
+    protocol: PlayerProtocol, advice_function: AdviceFunction | None
+) -> AdviceFunction:
+    """The advice function to evaluate, with the budget contract enforced.
+
+    ``None`` means :class:`~repro.core.advice.NullAdvice`; a mismatch
+    between the protocol's declared ``advice_bits`` and the function's
+    budget is an error - the pair is co-designed (Section 3.1).  Shared
+    by the batch engine and the fused estimators so the contract (and
+    its message) lives in one place.
+    """
+    advice_source = advice_function if advice_function is not None else NullAdvice()
+    if advice_source.bits != protocol.advice_bits:
+        raise ProtocolError(
+            f"protocol expects {protocol.advice_bits} advice bits but the "
+            f"advice function provides {advice_source.bits}"
+        )
+    return advice_source
 
 
 def pack_participants(
@@ -111,19 +151,74 @@ def run_players_batch(
         raise ValueError(f"round budget must be >= 1, got {max_rounds}")
     _check_channel(protocol.requires_collision_detection, channel)
     ids = pack_participants(participant_sets)
-    trials = ids.shape[0]
 
-    advice_source = advice_function if advice_function is not None else NullAdvice()
-    if advice_source.bits != protocol.advice_bits:
-        raise ProtocolError(
-            f"protocol expects {protocol.advice_bits} advice bits but the "
-            f"advice function provides {advice_source.bits}"
-        )
+    advice_source = checked_advice_source(protocol, advice_function)
     advice = tuple(
         advice_source.checked_advise(participants, n)
         for participants in participant_sets
     )
+    return _drive_batch_sessions(
+        protocol, ids, n, advice, rng, channel=channel, max_rounds=max_rounds
+    )
 
+
+def run_players_stacked(
+    protocol: PlayerProtocol,
+    participant_sets: Sequence[frozenset[int]],
+    n: int,
+    advice: Sequence[str],
+    *,
+    channel: Channel,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> BatchExecutionResult:
+    """Execute trials of *many scenario points* as one stacked batch.
+
+    The fused sweep executor's player substrate: the caller has already
+    drawn each point's participant sets and advice strings from that
+    point's own generator (in exactly the per-point order), concatenated
+    them, and hands the engine pure data.  Because the protocol's batch
+    sessions consume no randomness (:func:`is_player_fusable`), driving
+    the concatenation through one lockstep loop produces, for every
+    point's slice of trials, **bit-identical** results to running that
+    point's batch alone - rows retire independently and the session state
+    of one trial never reads another's.
+
+    ``advice`` holds one pre-computed advice string per trial (aligned
+    with ``participant_sets``).  Raises :class:`ValueError` for protocols
+    that are not :func:`is_player_fusable`.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    _check_channel(protocol.requires_collision_detection, channel)
+    if not is_player_fusable(protocol):
+        raise ValueError(
+            f"protocol {protocol.name!r} has no randomness-free batch "
+            "sessions; stack its points with the serial executor instead"
+        )
+    if len(advice) != len(participant_sets):
+        raise ValueError(
+            f"need one advice string per trial; got {len(advice)} for "
+            f"{len(participant_sets)} trials"
+        )
+    ids = pack_participants(participant_sets)
+    return _drive_batch_sessions(
+        protocol, ids, n, tuple(advice), None, channel=channel,
+        max_rounds=max_rounds,
+    )
+
+
+def _drive_batch_sessions(
+    protocol: PlayerProtocol,
+    ids: np.ndarray,
+    n: int,
+    advice: tuple[str, ...],
+    rng: np.random.Generator | None,
+    *,
+    channel: Channel,
+    max_rounds: int,
+) -> BatchExecutionResult:
+    """The shared lockstep loop behind the batch and stacked entry points."""
+    trials = ids.shape[0]
     sessions = protocol.batch_sessions(ids, n, advice, rng=rng)
     if sessions is None:
         raise ValueError(

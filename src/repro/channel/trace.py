@@ -153,6 +153,24 @@ class BatchExecutionResult:
         """Solving rounds of the successful trials only."""
         return self.rounds[self.solved]
 
+    def sliced(self, start: int, stop: int) -> "BatchExecutionResult":
+        """The trials ``[start, stop)`` as their own batch result.
+
+        The fused engines stack several scenario points' trials into one
+        run and carve the per-point results back out with this; slices
+        are views, so carving allocates nothing per point.
+        """
+        if not 0 <= start < stop <= self.trials:
+            raise ValueError(
+                f"slice [{start}, {stop}) out of range for {self.trials} trials"
+            )
+        return BatchExecutionResult(
+            solved=self.solved[start:stop],
+            rounds=self.rounds[start:stop],
+            max_rounds=self.max_rounds,
+            ks=self.ks[start:stop],
+        )
+
     def rounds_summary(self) -> "Summary":
         """Summary of the solving round over *successful* trials.
 

@@ -9,7 +9,7 @@ Subcommands:
   EXPERIMENTS.md-style paper-vs-measured summary;
 * ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
 * ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
-  grid through the serial or process-pool executor;
+  grid through the serial, process-pool or fused executor;
 * ``repro scenario example [--sweep|--player]`` - print a ready-to-run
   spec.
 
@@ -95,9 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.add_argument(
         "--executor",
-        choices=["serial", "process"],
+        choices=["serial", "process", "fused"],
         default="serial",
-        help="point executor: in-process serial (default) or a process pool",
+        help=(
+            "point executor: in-process serial (default), a process pool, "
+            "or fused - compatible points stacked into one vectorized "
+            "engine run (single-core speedup; statistics identical to "
+            "serial)"
+        ),
     )
     scenario_sweep.add_argument(
         "--workers",

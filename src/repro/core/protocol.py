@@ -290,6 +290,23 @@ class PlayerProtocol(abc.ABC):
         """
         return False
 
+    def supports_fused_sessions(self) -> bool:
+        """Whether batch sessions are randomness-free and row-independent.
+
+        The fused sweep executor stacks trials of *different scenario
+        points* into one :meth:`batch_sessions` run.  That is bit-identical
+        per point only when the sessions (a) never draw from the engine
+        ``rng`` - each point's stream must be consumed exactly as a solo
+        run would - and (b) keep per-trial state independent given the
+        engine's lockstep round counter, so one point's rows never
+        perturb another's.  The deterministic Section 3.2 protocols
+        qualify and override this to ``True``; randomized sessions
+        (backoff, per-player uniform views) must keep the default
+        ``False`` - they stay vectorized *within* a point but their
+        points cannot fuse.
+        """
+        return False
+
     def batch_sessions(
         self,
         player_ids: "np.ndarray",

@@ -163,6 +163,10 @@ class DeterministicScanProtocol(PlayerProtocol):
     def supports_batch_sessions(self) -> bool:
         return True
 
+    def supports_fused_sessions(self) -> bool:
+        """Fully deterministic: nothing drawn, rows never interact."""
+        return True
+
     def batch_sessions(
         self,
         player_ids: np.ndarray,
@@ -321,6 +325,10 @@ class DeterministicTreeDescentProtocol(PlayerProtocol):
         return _TreeDescentSession(player_id, n, advice)
 
     def supports_batch_sessions(self) -> bool:
+        return True
+
+    def supports_fused_sessions(self) -> bool:
+        """Fully deterministic: nothing drawn, rows never interact."""
         return True
 
     def batch_sessions(

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.feedback import Observation
 from ..core.protocol import (
     BatchSchedule,
+    PlayerBatchSessions,
     PlayerProtocol,
     PlayerSession,
     ScheduleExhausted,
@@ -136,6 +137,96 @@ class _FallbackSession(PlayerSession):
             self._primary.observe(observation, transmitted=transmitted)
 
 
+class _FallbackBatchSessions(PlayerBatchSessions):
+    """Array-state fallback: per-trial primary/fallback phase tracking.
+
+    The batch counterpart of :class:`_FallbackSession`: each round the
+    live rows split between the primary's batch sessions and the
+    fallback's.  The round counter is global (rounds are synchronous, as
+    in the scalar wrapper), so the budget switch hits every live trial
+    at once; early switches - the primary's batch sessions reporting
+    exhaustion, e.g. faulty advice pointing nowhere - flip individual
+    rows, which then get their fallback decision *in the same round*,
+    exactly like the scalar session's ``ScheduleExhausted`` catch.
+
+    The scalar wrapper creates each trial's fallback session fresh *at
+    its switch round*, so a trial's fallback schedule always starts from
+    its own round 1.  Rows may switch at different rounds (a custom
+    primary may exhaust rows unevenly), and batch-session state such as
+    the scan's global round counter cannot represent per-row offsets -
+    so rows are grouped into **cohorts** by switch round, one fallback
+    batch-sessions object per cohort, created fresh when its rows
+    switch.  In-repo primaries exhaust all rows together, giving at most
+    two cohorts (early exhaustion + budget); the per-cohort split is
+    what keeps the batch/scalar equivalence exact for any primary.
+    """
+
+    def __init__(
+        self,
+        primary: PlayerBatchSessions,
+        make_fallback: Callable[[], PlayerBatchSessions],
+        budget_rounds: int,
+        trials: int,
+        players: int,
+    ) -> None:
+        self._primary = primary
+        self._make_fallback = make_fallback
+        self._cohorts: list[PlayerBatchSessions] = []
+        self._cohort_of = np.full(trials, -1, dtype=np.int64)  # -1: primary
+        self._budget = budget_rounds
+        self._players = players
+        self._round = 0
+
+    def _switch(self, rows: np.ndarray) -> None:
+        """Move ``rows`` onto a fresh fallback cohort, created this round."""
+        self._cohorts.append(self._make_fallback())
+        self._cohort_of[rows] = len(self._cohorts) - 1
+
+    def decide(self, live: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self._round += 1
+        decisions = np.zeros((live.size, self._players), dtype=bool)
+        exhausted = np.zeros(live.size, dtype=bool)
+        on_primary = self._cohort_of[live] < 0
+        if self._round > self._budget:
+            if on_primary.any():
+                self._switch(live[on_primary])
+        elif on_primary.any():
+            primary_rows = live[on_primary]
+            primary_decisions, primary_exhausted = self._primary.decide(
+                primary_rows
+            )
+            decisions[on_primary] = primary_decisions
+            if primary_exhausted.any():
+                # Primary gave up early (e.g. faulty advice): switch now;
+                # the fallback decides for these rows this same round.
+                self._switch(primary_rows[primary_exhausted])
+        for cohort, sessions in enumerate(self._cohorts):
+            member = self._cohort_of[live] == cohort
+            if not member.any():
+                continue
+            cohort_decisions, cohort_exhausted = sessions.decide(live[member])
+            decisions[member] = cohort_decisions
+            exhausted[member] = cohort_exhausted
+        return decisions, exhausted
+
+    def observe(
+        self, live: np.ndarray, observations: np.ndarray, decisions: np.ndarray
+    ) -> None:
+        on_primary = self._cohort_of[live] < 0
+        if on_primary.any():
+            self._primary.observe(
+                live[on_primary],
+                observations[on_primary],
+                decisions[on_primary],
+            )
+        for cohort, sessions in enumerate(self._cohorts):
+            member = self._cohort_of[live] == cohort
+            if member.any():
+                sessions.observe(
+                    live[member], observations[member], decisions[member]
+                )
+
+
 class FallbackPlayerProtocol(PlayerProtocol):
     """Primary player protocol with a budgeted switch to a fallback.
 
@@ -186,4 +277,51 @@ class FallbackPlayerProtocol(PlayerProtocol):
             self.primary.session(player_id, n, advice, rng=rng),
             lambda: self.fallback.session(player_id, n, "", rng=rng),
             self.budget_rounds,
+        )
+
+    def supports_batch_sessions(self) -> bool:
+        """Batchable exactly when both halves are.
+
+        The wrapper itself adds only per-trial phase bookkeeping, so the
+        combinator vectorizes whenever the primary's and the fallback's
+        own batch sessions exist - e.g. deterministic scan falling back to
+        a per-player decay view, the ADVICE-ROBUST configuration.
+        """
+        return (
+            self.primary.supports_batch_sessions()
+            and self.fallback.supports_batch_sessions()
+        )
+
+    def supports_fused_sessions(self) -> bool:
+        """Fusable only when both halves are randomness-free."""
+        return (
+            self.primary.supports_fused_sessions()
+            and self.fallback.supports_fused_sessions()
+        )
+
+    def batch_sessions(
+        self,
+        player_ids: np.ndarray,
+        n: int,
+        advice: tuple[str, ...],
+        rng: np.random.Generator | None = None,
+    ) -> _FallbackBatchSessions | None:
+        if not self.supports_batch_sessions():
+            return None
+        primary = self.primary.batch_sessions(player_ids, n, advice, rng=rng)
+        assert primary is not None  # guaranteed by supports_batch_sessions
+        trials = player_ids.shape[0]
+        # The scalar wrapper hands the fallback an empty advice string
+        # (it must not trust advice); mirror that per trial.  Creation is
+        # deferred to the first switch, like the scalar lazy factory -
+        # batch-session constructors consume no randomness, so laziness
+        # is a convenience, not a correctness requirement.
+        return _FallbackBatchSessions(
+            primary,
+            lambda: self.fallback.batch_sessions(
+                player_ids, n, ("",) * trials, rng=rng
+            ),
+            self.budget_rounds,
+            trials,
+            player_ids.shape[1],
         )

@@ -12,8 +12,8 @@ The single configuration-driven entry point into the simulation stack:
 * :mod:`~repro.scenarios.runner` - :func:`run_scenario`, which
   auto-routes to the batch / history-grouped / scalar / per-player
   engine and returns a JSON-round-trippable :class:`ScenarioResult`;
-* :mod:`~repro.scenarios.sweep` - grid expansion plus serial and
-  process-pool executors for multi-core scaling.
+* :mod:`~repro.scenarios.sweep` - grid expansion plus serial,
+  process-pool (multi-core) and fused (stacked single-core) executors.
 
 Quick start::
 
@@ -51,7 +51,16 @@ from .spec import (
     ScenarioSpec,
     WorkloadSpec,
 )
-from .sweep import EXECUTORS, Sweep, SweepResult, register_executor, run_sweep
+from .sweep import (
+    EXECUTORS,
+    Sweep,
+    SweepResult,
+    derive_point_seeds,
+    fusion_groups,
+    fusion_key,
+    register_executor,
+    run_sweep,
+)
 from .workloads import (
     DISTRIBUTION_FAMILIES,
     register_distribution_family,
@@ -88,6 +97,9 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "run_sweep",
+    "derive_point_seeds",
+    "fusion_key",
+    "fusion_groups",
     "EXECUTORS",
     "register_executor",
 ]

@@ -53,7 +53,14 @@ from .registry import PLAYER, BuildContext, build_protocol, get_protocol
 from .spec import AdviceSpec, ScenarioError, ScenarioSpec
 from .workloads import resolve_prediction, resolve_workload, workload_label
 
-__all__ = ["ScenarioResult", "run_scenario", "ADVERSARIES"]
+__all__ = [
+    "ScenarioResult",
+    "ResolvedScenario",
+    "run_scenario",
+    "resolve_scenario",
+    "package_result",
+    "ADVERSARIES",
+]
 
 #: Adversary name -> constructor, for player scenarios.
 ADVERSARIES: dict[str, type[Adversary]] = {
@@ -253,18 +260,62 @@ def _resolve_adversary(name: str) -> Adversary:
         ) from None
 
 
-def run_scenario(
-    spec: ScenarioSpec, *, rng: np.random.Generator | None = None
-) -> ScenarioResult:
-    """Execute one scenario and return its serializable result.
+@dataclass
+class ResolvedScenario:
+    """A spec resolved into runnable objects, not yet executed.
 
-    ``rng`` defaults to a fresh generator seeded from ``spec.seed`` - the
-    standalone, reproducible-from-JSON mode.  Experiments composing many
-    scenarios into one measurement pass their shared generator instead,
-    which keeps the RNG stream (and hence every table) identical to
-    hand-wired estimator calls in the same order.
+    The preparation half of :func:`run_scenario`, split out so the fused
+    sweep executor can resolve every point, group compatible ones, and
+    execute whole groups through the stacked engines.  Resolution never
+    consumes from ``rng`` (corruption wrappers are merely *bound* to it),
+    so resolving all points up front leaves each point's stream exactly
+    where a solo :func:`run_scenario` would start drawing.
     """
-    started = time.perf_counter()
+
+    spec: ScenarioSpec
+    rng: np.random.Generator
+    channel: Channel
+    kind: str  # registry kind: "uniform" or "player"
+    protocol: object  # UniformProtocol | PlayerProtocol
+    engine: str  # the per-point engine select_*_engine chose
+    size_source: object  # int | SupportsSampleMany | callable
+    advice: AdviceFunction | None = None
+    adversary: object | None = None
+
+    def participant_source(self):
+        """Per-trial participant draw (player scenarios only)."""
+        adversary, n, k = self.adversary, self.spec.n, self.size_source
+
+        def draw(generator: np.random.Generator) -> frozenset[int]:
+            return adversary.checked_select(n, k, generator)
+
+        return draw
+
+    def metadata(self) -> dict:
+        base = {
+            "protocol": self.protocol.name,
+            "kind": self.kind,
+            "channel": self.channel.kind,
+            "workload": workload_label(self.size_source),
+            "engine": self.engine,
+            "batch_requested": self.spec.batch,
+        }
+        if self.kind == PLAYER:
+            base["adversary"] = self.adversary.name
+            base["advice_bits"] = getattr(self.advice, "bits", 0)
+        return base
+
+
+def resolve_scenario(
+    spec: ScenarioSpec, *, rng: np.random.Generator | None = None
+) -> ResolvedScenario:
+    """Resolve a spec into the objects :func:`run_scenario` would execute.
+
+    Raises :class:`ScenarioError` for anything a run would reject -
+    unknown ids, missing predictions, advice on uniform protocols - so
+    callers (the fused executor, validation tooling) fail before any
+    point has consumed randomness.
+    """
     if rng is None:
         rng = np.random.default_rng(spec.seed)
     channel = Channel(collision_detection=spec.channel.collision_detection)
@@ -282,58 +333,97 @@ def run_scenario(
                 f"workload (the adversary picks *which* k ids participate); "
                 f"got workload kind {spec.workload.kind!r}"
             )
-        advice = _resolve_advice(spec.advice, spec.n, rng)
-        adversary = _resolve_adversary(spec.adversary)
-        k = size_source
-
-        def participant_source(generator: np.random.Generator) -> frozenset[int]:
-            return adversary.checked_select(spec.n, k, generator)
-
-        engine = select_player_engine(protocol, spec.batch)
-        estimate = estimate_player_rounds(
-            protocol,
-            participant_source,
-            spec.n,
-            rng,
+        return ResolvedScenario(
+            spec=spec,
+            rng=rng,
             channel=channel,
-            advice_function=advice,
-            trials=spec.trials,
-            max_rounds=spec.max_rounds,
-            batch=spec.batch,
+            kind=entry.kind,
+            protocol=protocol,
+            engine=select_player_engine(protocol, spec.batch),
+            size_source=size_source,
+            advice=_resolve_advice(spec.advice, spec.n, rng),
+            adversary=_resolve_adversary(spec.adversary),
         )
-        extra = {"adversary": adversary.name, "advice_bits": getattr(advice, "bits", 0)}
-    else:
-        if spec.advice is not None:
-            raise ScenarioError(
-                f"uniform protocol {spec.protocol.id!r} takes no advice spec "
-                "(advice is a player-protocol input)"
-            )
-        engine = select_uniform_engine(protocol, spec.batch)
-        estimate = estimate_uniform_rounds(
-            protocol,
-            size_source,
-            rng,
-            channel=channel,
-            trials=spec.trials,
-            max_rounds=spec.max_rounds,
-            batch=spec.batch,
+    if spec.advice is not None:
+        raise ScenarioError(
+            f"uniform protocol {spec.protocol.id!r} takes no advice spec "
+            "(advice is a player-protocol input)"
         )
-        extra = {}
-
-    metadata = {
-        "protocol": protocol.name,
-        "kind": entry.kind,
-        "channel": channel.kind,
-        "workload": workload_label(size_source),
-        "engine": engine,
-        "batch_requested": spec.batch,
-        **extra,
-    }
-    return ScenarioResult(
+    return ResolvedScenario(
         spec=spec,
-        engine=engine,
+        rng=rng,
+        channel=channel,
+        kind=entry.kind,
+        protocol=protocol,
+        engine=select_uniform_engine(protocol, spec.batch),
+        size_source=size_source,
+    )
+
+
+def package_result(
+    resolved: ResolvedScenario,
+    estimate,
+    *,
+    engine: str | None = None,
+    elapsed_seconds: float = 0.0,
+) -> ScenarioResult:
+    """Wrap an estimate into the :class:`ScenarioResult` a run returns.
+
+    ``engine`` overrides the recorded label (the fused executor stamps
+    ``fused-schedule`` / ``fused-player`` over the per-point routing
+    label); statistics and spec are untouched either way.
+    """
+    metadata = resolved.metadata()
+    label = engine if engine is not None else resolved.engine
+    metadata["engine"] = label
+    return ScenarioResult(
+        spec=resolved.spec,
+        engine=label,
         rounds=estimate.rounds,
         success=estimate.success,
         metadata=metadata,
+        elapsed_seconds=elapsed_seconds,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec, *, rng: np.random.Generator | None = None
+) -> ScenarioResult:
+    """Execute one scenario and return its serializable result.
+
+    ``rng`` defaults to a fresh generator seeded from ``spec.seed`` - the
+    standalone, reproducible-from-JSON mode.  Experiments composing many
+    scenarios into one measurement pass their shared generator instead,
+    which keeps the RNG stream (and hence every table) identical to
+    hand-wired estimator calls in the same order.
+    """
+    started = time.perf_counter()
+    resolved = resolve_scenario(spec, rng=rng)
+
+    if resolved.kind == PLAYER:
+        estimate = estimate_player_rounds(
+            resolved.protocol,
+            resolved.participant_source(),
+            spec.n,
+            resolved.rng,
+            channel=resolved.channel,
+            advice_function=resolved.advice,
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+            batch=spec.batch,
+        )
+    else:
+        estimate = estimate_uniform_rounds(
+            resolved.protocol,
+            resolved.size_source,
+            resolved.rng,
+            channel=resolved.channel,
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+            batch=spec.batch,
+        )
+    return package_result(
+        resolved,
+        estimate,
         elapsed_seconds=time.perf_counter() - started,
     )

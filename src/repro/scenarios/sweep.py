@@ -11,7 +11,19 @@ them through a pluggable executor:
   independent scenarios with their own seeds, so the two executors
   produce *identical* results - the pool only changes wall-clock time,
   scaling the lockstep batch engine across cores (the axis it cannot
-  use by itself).
+  use by itself);
+* ``"fused"`` - partition the points into compatibility groups
+  (:func:`fusion_key`) and advance each group through one *stacked*
+  engine run (:mod:`repro.channel.batch` /
+  :mod:`repro.channel.batch_players`): the single-core counterpart of
+  the process pool, amortizing the per-round engine work across a whole
+  grid instead of across cores.  Every point draws from its own
+  seed-derived generator in exactly the order a solo run would, so the
+  fused statistics are bit-identical to the serial executor's; only the
+  recorded engine label differs (``fused-schedule`` / ``fused-player``
+  says what actually executed).  Incompatible points - and singleton
+  groups, where stacking buys nothing - transparently fall back to
+  serial in-place runs.
 
 Specs and results cross the process boundary as JSON-native dicts, so
 the pool never pickles protocol objects or RNG state - workers rebuild
@@ -29,16 +41,50 @@ from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from .runner import ScenarioResult, run_scenario
+import numpy as np
+
+from ..analysis.montecarlo import (
+    ENGINE_BATCH_PLAYER,
+    ENGINE_BATCH_SCHEDULE,
+    ENGINE_FUSED_PLAYER,
+    ENGINE_FUSED_SCHEDULE,
+    estimate_player_rounds_many,
+    estimate_uniform_rounds_many,
+)
+from .runner import (
+    ResolvedScenario,
+    ScenarioResult,
+    package_result,
+    resolve_scenario,
+    run_scenario,
+)
 from .spec import ScenarioError, ScenarioSpec
 
 __all__ = [
     "Sweep",
     "SweepResult",
     "run_sweep",
+    "derive_point_seeds",
+    "fusion_key",
+    "fusion_groups",
     "EXECUTORS",
     "register_executor",
 ]
+
+
+def derive_point_seeds(base_seed: int, count: int) -> list[int]:
+    """Independent per-point seeds derived from one base seed.
+
+    ``np.random.SeedSequence(base_seed).spawn(count)`` children, each
+    collapsed to a 64-bit integer so it serializes into the point's spec
+    (a re-run from the serialized point reproduces identically).  Unlike
+    the old ``base_seed + index`` derivation, adjacent points get
+    unrelated PCG64 streams instead of trivially correlated ones.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0]) for child in children
+    ]
 
 
 @dataclass(frozen=True)
@@ -71,13 +117,17 @@ class Sweep:
     def points(self) -> list[ScenarioSpec]:
         """The expanded scenario specs, in deterministic grid order."""
         paths = list(self.grid)
+        combos = list(itertools.product(*(self.grid[path] for path in paths)))
+        seeds = (
+            derive_point_seeds(self.base.seed, len(combos))
+            if self.vary_seed and "seed" not in paths
+            else None
+        )
         specs: list[ScenarioSpec] = []
-        for index, combo in enumerate(
-            itertools.product(*(self.grid[path] for path in paths))
-        ):
+        for index, combo in enumerate(combos):
             overrides = dict(zip(paths, combo))
-            if self.vary_seed and "seed" not in overrides:
-                overrides["seed"] = self.base.seed + index
+            if seeds is not None:
+                overrides["seed"] = seeds[index]
             if "name" not in overrides:
                 overrides["name"] = (
                     f"{self.base.name}[{index}]" if self.base.name else f"point-{index}"
@@ -209,12 +259,143 @@ def _run_process_pool(
     return [ScenarioResult.from_dict(data) for data in result_dicts]
 
 
+def fusion_key(resolved: ResolvedScenario) -> tuple | None:
+    """The compatibility class of a resolved point, or ``None``.
+
+    Points sharing a key can be stacked into one engine run with
+    bit-identical per-point results; ``None`` marks points the fused
+    executor must run serially.  Two fusable shapes exist:
+
+    * **schedule points** - uniform protocols routed to the batch
+      schedule engine.  The stacked engine takes per-point schedules and
+      size batches, so swept protocol parameters (``p``, prediction
+      quality, window base) and workloads fuse freely; only the trial
+      count, round budget and channel must agree (the engine advances
+      one shared round loop over a rectangular trial block).
+    * **player points** - player protocols routed to the batch player
+      engine whose sessions are randomness-free
+      (:meth:`~repro.core.protocol.PlayerProtocol.supports_fused_sessions`).
+      The whole group executes through *one* protocol object, so
+      everything protocol construction consumes must match: the protocol
+      spec, ``n``, and the prediction spec (no in-repo player protocol
+      takes a prediction, but registration is open); adversary, advice
+      quality and seed sweep freely - exactly the robustness-curve axis.
+    """
+    spec = resolved.spec
+    shared = (
+        spec.trials,
+        spec.max_rounds,
+        spec.channel.collision_detection,
+    )
+    if resolved.engine == ENGINE_BATCH_SCHEDULE:
+        return ("schedule",) + shared
+    if resolved.engine == ENGINE_BATCH_PLAYER and resolved.protocol.supports_fused_sessions():
+        return (
+            ("player",)
+            + shared
+            + (
+                spec.n,
+                json.dumps(spec.protocol.to_dict(), sort_keys=True),
+                json.dumps(
+                    spec.prediction.to_dict() if spec.prediction else None,
+                    sort_keys=True,
+                ),
+            )
+        )
+    return None
+
+
+def fusion_groups(
+    resolved_points: Sequence[ResolvedScenario],
+) -> list[list[int]]:
+    """Partition point indices into stackable groups, in first-seen order.
+
+    Unfusable points come back as singleton groups; fusable points group
+    by :func:`fusion_key`.  Grouping never reorders results - indices map
+    back into the sweep's point order.
+    """
+    groups: dict[object, list[int]] = {}
+    order: list[list[int]] = []
+    for index, resolved in enumerate(resolved_points):
+        key = fusion_key(resolved)
+        if key is None:
+            order.append([index])
+            continue
+        if key not in groups:
+            groups[key] = []
+            order.append(groups[key])
+        groups[key].append(index)
+    return order
+
+
+def _run_fused_group(
+    members: Sequence[ResolvedScenario],
+) -> list[ScenarioResult]:
+    """Execute one compatibility group through the stacked engines."""
+    first = members[0]
+    spec = first.spec
+    started = time.perf_counter()
+    if first.kind == "player":
+        estimates = estimate_player_rounds_many(
+            first.protocol,
+            [resolved.participant_source() for resolved in members],
+            spec.n,
+            [resolved.rng for resolved in members],
+            channel=first.channel,
+            advice_functions=[resolved.advice for resolved in members],
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+        )
+        label = ENGINE_FUSED_PLAYER
+    else:
+        estimates = estimate_uniform_rounds_many(
+            [resolved.protocol for resolved in members],
+            [resolved.size_source for resolved in members],
+            [resolved.rng for resolved in members],
+            channel=first.channel,
+            trials=spec.trials,
+            max_rounds=spec.max_rounds,
+        )
+        label = ENGINE_FUSED_SCHEDULE
+    # One stacked run has no meaningful per-point wall clock; record the
+    # group's amortized share so sweep totals still add up.
+    share = (time.perf_counter() - started) / len(members)
+    return [
+        package_result(resolved, estimate, engine=label, elapsed_seconds=share)
+        for resolved, estimate in zip(members, estimates)
+    ]
+
+
+def _run_fused(
+    points: Sequence[ScenarioSpec], max_workers: int | None
+) -> list[ScenarioResult]:
+    """The fused executor: stack compatible points, serial-run the rest."""
+    del max_workers
+    resolved_points = [resolve_scenario(point) for point in points]
+    results: list[ScenarioResult | None] = [None] * len(points)
+    for group in fusion_groups(resolved_points):
+        if len(group) == 1:
+            # Nothing to amortize (or unfusable): the serial reference
+            # run, which re-resolves from the spec - resolution consumes
+            # no randomness, so the duplicate resolution is free of
+            # stream effects.
+            index = group[0]
+            results[index] = run_scenario(points[index])
+        else:
+            for index, result in zip(
+                group, _run_fused_group([resolved_points[i] for i in group])
+            ):
+                results[index] = result
+    return results  # type: ignore[return-value]
+
+
 Executor = Callable[[Sequence[ScenarioSpec], "int | None"], list[ScenarioResult]]
 
 #: Executor name -> callable ``(points, max_workers) -> results``.
 EXECUTORS: dict[str, Executor] = {
     "serial": _run_serial,
     "process": _run_process_pool,
+    "fused": _run_fused,
 }
 
 

@@ -18,7 +18,7 @@ from repro.channel.network import RandomAdversary
 from repro.protocols.adapters import UniformAsPlayerProtocol
 from repro.protocols.backoff import BinaryExponentialBackoff
 from repro.protocols.decay import DecayProtocol
-from repro.protocols.restart import FallbackPlayerProtocol
+from repro.protocols.restart import FallbackPlayerProtocol, RestartProtocol
 from repro.protocols.willard import WillardProtocol
 
 
@@ -47,10 +47,11 @@ class TestSelectUniformEngine:
 
 
 def _fallback_protocol() -> FallbackPlayerProtocol:
-    """The canonical non-batchable player combinator."""
+    """A genuinely non-batchable combinator: one half has randomized
+    sessions (a factory restart), so no batch sessions exist."""
     return FallbackPlayerProtocol(
         BinaryExponentialBackoff(),
-        UniformAsPlayerProtocol(WillardProtocol(64)),
+        UniformAsPlayerProtocol(RestartProtocol(lambda: WillardProtocol(64))),
         budget_rounds=16,
     )
 
@@ -69,6 +70,14 @@ class TestSelectPlayerEngine:
             select_player_engine(BinaryExponentialBackoff(), False)
             == ENGINE_SCALAR_PLAYER
         )
+
+    def test_fallback_combinator_batches_when_halves_do(self):
+        protocol = FallbackPlayerProtocol(
+            BinaryExponentialBackoff(),
+            UniformAsPlayerProtocol(WillardProtocol(64)),
+            budget_rounds=16,
+        )
+        assert select_player_engine(protocol) == ENGINE_BATCH_PLAYER
 
     def test_non_batchable_combinators_run_scalar(self):
         assert select_player_engine(_fallback_protocol()) == ENGINE_SCALAR_PLAYER

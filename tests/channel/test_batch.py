@@ -22,6 +22,7 @@ import pytest
 from repro.analysis.montecarlo import estimate_uniform_rounds
 from repro.channel import (
     is_batchable,
+    run_schedule_stacked,
     run_uniform,
     run_uniform_batch,
 )
@@ -185,6 +186,87 @@ class TestDeterministicExactness:
         unsolved = ~batch.solved
         assert (batch.rounds[unsolved] <= per_pass).all()
         assert (batch.rounds[batch.solved] >= 1).all()
+
+
+class TestStackedScheduleEngine:
+    """run_schedule_stacked: per-point bit-identity with solo batches."""
+
+    def _protocols(self):
+        return [
+            DecayProtocol(N),
+            SortedProbingProtocol(
+                SizeDistribution.range_uniform_subset(N, [2, 5, 8]),
+                one_shot=True,
+            ),
+            DecayProtocol(N, cycle=False),
+        ]
+
+    def test_stacked_points_match_solo_runs_exactly(self, nocd_channel):
+        """Each point of a stacked run consumes its own generator exactly
+        as a solo run would, so results agree bit for bit - including
+        across mixed cycling/one-shot horizons."""
+        protocols = self._protocols()
+        ks_list = [
+            _sizes(np.random.default_rng(40 + i), 150) for i in range(3)
+        ]
+        stacked = run_schedule_stacked(
+            [p.batch_schedule() for p in protocols],
+            ks_list,
+            [np.random.default_rng(70 + i) for i in range(3)],
+            max_rounds=300,
+        )
+        for i, (protocol, ks) in enumerate(zip(protocols, ks_list)):
+            solo = run_uniform_batch(
+                protocol, ks, np.random.default_rng(70 + i),
+                channel=nocd_channel, max_rounds=300,
+            )
+            assert (stacked[i].solved == solo.solved).all(), i
+            assert (stacked[i].rounds == solo.rounds).all(), i
+            assert (stacked[i].ks == solo.ks).all(), i
+
+    def test_point_stops_consuming_randomness_when_done(self):
+        """A point whose trials all retired must never be drawn for again
+        (the stacked counterpart of the solo engine's early break).
+        Draws come in 16-round blocks per live trial, so a point solved
+        in round 1 consumes exactly one block row per trial and a point
+        alive to the budget consumes one uniform per trial-round."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        instant = BatchSchedule((1.0,), True)  # k=1, p=1: solved round 1
+        never = BatchSchedule((1e-9,), True)
+        counters = [_CountingRng(), _CountingRng()]
+        results = run_schedule_stacked(
+            [instant, never],
+            [np.ones(5, dtype=np.int64), np.full(3, 2, dtype=np.int64)],
+            counters,
+            max_rounds=50,
+        )
+        assert results[0].solved.all() and (results[0].rounds == 1).all()
+        assert counters[0].requested == 5 * 16  # one block row per trial
+        assert counters[1].requested == 3 * 50  # alive to the budget
+
+    def test_stacked_validates_inputs(self):
+        schedule = BatchSchedule((0.5,), True)
+        with pytest.raises(ValueError, match="per point"):
+            run_schedule_stacked(
+                [schedule], [], [np.random.default_rng(0)], max_rounds=5
+            )
+        with pytest.raises(ValueError, match="at least one point"):
+            run_schedule_stacked([], [], [], max_rounds=5)
+        with pytest.raises(ValueError, match="budget"):
+            run_schedule_stacked(
+                [schedule], [np.ones(1, dtype=np.int64)],
+                [np.random.default_rng(0)], max_rounds=0,
+            )
 
 
 class TestBatchEngineContracts:

@@ -32,9 +32,11 @@ from repro.analysis.montecarlo import (
 )
 from repro.channel import (
     is_player_batchable,
+    is_player_fusable,
     pack_participants,
     run_players,
     run_players_batch,
+    run_players_stacked,
 )
 from repro.channel.channel import Channel
 from repro.channel.network import (
@@ -241,6 +243,249 @@ class TestRandomizedStatistics:
             ), label
 
 
+class TestFallbackCombinator:
+    """The vectorized fallback wrapper against its scalar reference."""
+
+    def test_deterministic_fallback_matches_scalar_exactly(
+        self, nocd_channel
+    ):
+        """scan(b) under wrong-subtree advice exhausts its pass, switches
+        every trial to the advice-free scan(0), and must reproduce the
+        scalar wrapper trial by trial (everything is deterministic)."""
+        protocol = FallbackPlayerProtocol(
+            DeterministicScanProtocol(3),
+            DeterministicScanProtocol(0),
+            budget_rounds=DeterministicScanProtocol(3).worst_case_rounds(N),
+        )
+        assert is_player_batchable(protocol)
+        assert protocol.supports_fused_sessions()
+        sets = _participant_batches(PrefixAdversary(), k=3, trials=48)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, nocd_channel, _WrongSubtreeAdvice(3), seed=2
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(3), channel=nocd_channel,
+            advice_function=_WrongSubtreeAdvice(3), max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.solved == scalar_solved).all()
+        assert (batch.rounds == scalar_rounds).all()
+        assert batch.solved.any()  # the fallback actually rescued trials
+
+    def test_descent_fallback_matches_scalar_exactly(self, cd_channel):
+        """Tree descent under faulty advice gives up at the leaf and
+        switches early (per-trial phase flip); the advice-free descent
+        then recovers - exact agreement again."""
+        protocol = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(4),
+            DeterministicTreeDescentProtocol(0),
+            budget_rounds=DeterministicTreeDescentProtocol(4).worst_case_rounds(N),
+        )
+        sets = _participant_batches(ClusteredAdversary(), k=4, trials=48)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, cd_channel, _WrongSubtreeAdvice(4), seed=4
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(5), channel=cd_channel,
+            advice_function=_WrongSubtreeAdvice(4), max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.solved == scalar_solved).all()
+        assert (batch.rounds == scalar_rounds).all()
+        assert batch.solved.any()
+
+    def test_randomized_fallback_agrees_statistically(self, nocd_channel):
+        """The ADVICE-ROBUST shape: deterministic scan falling back to a
+        per-player decay view (randomized decisions)."""
+        def make() -> FallbackPlayerProtocol:
+            return FallbackPlayerProtocol(
+                DeterministicScanProtocol(3),
+                UniformAsPlayerProtocol(DecayProtocol(N)),
+                budget_rounds=DeterministicScanProtocol(3).worst_case_rounds(N),
+            )
+
+        assert is_player_batchable(make())
+        assert not make().supports_fused_sessions()  # randomized half
+        sets = _participant_batches(RandomAdversary(), k=6)
+        scalar_solved, scalar_rounds = _scalar_results(
+            make(), sets, nocd_channel, _WrongSubtreeAdvice(3), seed=21
+        )
+        batch = run_players_batch(
+            make(), sets, N, np.random.default_rng(23), channel=nocd_channel,
+            advice_function=_WrongSubtreeAdvice(3), max_rounds=MAX_ROUNDS,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        )
+        if scalar_solved.any() and batch.num_solved:
+            assert batch.solved_rounds().mean() == pytest.approx(
+                scalar_rounds[scalar_solved].mean(), rel=0.15, abs=1.0
+            )
+
+    def test_staggered_exhaustion_gets_fresh_fallback_per_switch_round(
+        self, nocd_channel
+    ):
+        """A primary may exhaust different rows at different rounds; each
+        row's fallback must start from its own round 1 (the scalar
+        wrapper creates the fallback session at the switch round), so
+        late-switching rows may not join an already-advanced fallback."""
+        from repro.core.protocol import (
+            PlayerBatchSessions,
+            PlayerProtocol,
+            PlayerSession,
+            ScheduleExhausted,
+        )
+
+        exhaust_rounds = (3, 4)  # trial 0 gives up at round 3, trial 1 at 4
+
+        class _StaggeredSession(PlayerSession):
+            def __init__(self, limit):
+                self._limit = limit
+                self._round = 0
+
+            def decide(self):
+                self._round += 1
+                if self._round >= self._limit:
+                    raise ScheduleExhausted("staggered give-up")
+                return False
+
+            def observe(self, observation, *, transmitted):
+                del observation, transmitted
+
+        class _StaggeredBatch(PlayerBatchSessions):
+            def __init__(self, trials, players):
+                self._shape = (trials, players)
+                self._round = 0
+
+            def decide(self, live):
+                self._round += 1
+                limits = np.asarray([exhaust_rounds[t] for t in live])
+                return (
+                    np.zeros((live.size, self._shape[1]), dtype=bool),
+                    self._round >= limits,
+                )
+
+            def observe(self, live, observations, decisions):
+                del live, observations, decisions
+
+        class _StaggeredPrimary(PlayerProtocol):
+            advice_bits = 0
+            name = "staggered"
+
+            def __init__(self):
+                self._sessions_made = 0
+
+            def session(self, player_id, n, advice, rng=None):
+                # One player per trial, trials run in order: the session
+                # index is the trial index.
+                limit = exhaust_rounds[self._sessions_made]
+                self._sessions_made += 1
+                return _StaggeredSession(limit)
+
+            def supports_batch_sessions(self):
+                return True
+
+            def batch_sessions(self, player_ids, n, advice, rng=None):
+                return _StaggeredBatch(*player_ids.shape)
+
+        def make_protocol() -> FallbackPlayerProtocol:
+            return FallbackPlayerProtocol(
+                _StaggeredPrimary(),
+                DeterministicScanProtocol(0),
+                budget_rounds=10,
+            )
+
+        sets = [frozenset({5}), frozenset({5})]
+        scalar_solved, scalar_rounds = _scalar_results(
+            make_protocol(), sets, nocd_channel, NullAdvice(), seed=0
+        )
+        assert scalar_rounds.tolist() == [
+            exhaust_rounds[0] + 5,  # fallback scan reaches slot 5 in
+            exhaust_rounds[1] + 5,  # its own rounds 1..6 after switching
+        ]
+        batch = run_players_batch(
+            make_protocol(), sets, N, np.random.default_rng(0),
+            channel=nocd_channel, advice_function=NullAdvice(),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.solved == scalar_solved).all()
+        assert (batch.rounds == scalar_rounds).all()
+
+    def test_budget_switch_hits_all_trials_at_once(self, nocd_channel):
+        """With correct advice and a tiny budget, every trial flips to
+        the fallback at round budget+1, like the scalar global counter."""
+        protocol = FallbackPlayerProtocol(
+            DeterministicScanProtocol(2),
+            DeterministicScanProtocol(0),
+            budget_rounds=1,
+        )
+        sets = [frozenset({200, 201}), frozenset({100, 110})]
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, nocd_channel, MinIdPrefixAdvice(2), seed=0
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(0),
+            channel=nocd_channel, advice_function=MinIdPrefixAdvice(2),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert (batch.solved == scalar_solved).all()
+        assert (batch.rounds == scalar_rounds).all()
+
+
+class TestStackedPlayerEngine:
+    """run_players_stacked: points stacked into one randomness-free run."""
+
+    def test_stacked_slices_match_solo_batches_exactly(self, cd_channel):
+        """Two points' trials concatenated into one stacked run reproduce
+        each point's solo batch bit for bit - including the wider id
+        padding the stack imposes on the smaller point."""
+        protocol = DeterministicTreeDescentProtocol(3)
+        advice_fn = MinIdPrefixAdvice(3)
+        point_sets = [
+            _participant_batches(RandomAdversary(), k=3, trials=40),
+            _participant_batches(ClusteredAdversary(), k=7, trials=40),
+        ]
+        point_advice = [
+            [advice_fn.checked_advise(s, N) for s in sets]
+            for sets in point_sets
+        ]
+        stacked = run_players_stacked(
+            protocol,
+            point_sets[0] + point_sets[1],
+            N,
+            point_advice[0] + point_advice[1],
+            channel=cd_channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        for index, sets in enumerate(point_sets):
+            solo = run_players_batch(
+                protocol, sets, N, np.random.default_rng(0),
+                channel=cd_channel, advice_function=advice_fn,
+                max_rounds=MAX_ROUNDS,
+            )
+            segment = stacked.sliced(index * 40, (index + 1) * 40)
+            assert (segment.solved == solo.solved).all(), index
+            assert (segment.rounds == solo.rounds).all(), index
+            assert (segment.ks == solo.ks).all(), index
+
+    def test_rejects_non_fusable_protocols(self, cd_channel):
+        assert not is_player_fusable(BinaryExponentialBackoff())
+        with pytest.raises(ValueError, match="randomness-free"):
+            run_players_stacked(
+                BinaryExponentialBackoff(), [frozenset({1})], N, [""],
+                channel=cd_channel, max_rounds=5,
+            )
+
+    def test_rejects_misaligned_advice(self, cd_channel):
+        with pytest.raises(ValueError, match="advice string per trial"):
+            run_players_stacked(
+                DeterministicTreeDescentProtocol(0),
+                [frozenset({1, 2}), frozenset({3, 4})],
+                N,
+                [""],
+                channel=cd_channel,
+                max_rounds=5,
+            )
+
+
 class _CountingRng:
     """Duck-typed generator recording how many uniforms were requested."""
 
@@ -296,10 +541,21 @@ class TestSolvedRowFreezing:
 
 
 class TestEngineContracts:
-    def test_rejects_non_batchable_protocols(self, cd_channel):
+    def test_fallback_combinator_is_batchable_when_halves_are(self):
         fallback = FallbackPlayerProtocol(
             DeterministicTreeDescentProtocol(2),
             UniformAsPlayerProtocol(WillardProtocol(N)),
+            budget_rounds=32,
+        )
+        assert is_player_batchable(fallback)
+
+    def test_rejects_non_batchable_protocols(self, cd_channel):
+        randomized_half = UniformAsPlayerProtocol(
+            RestartProtocol(lambda: WillardProtocol(N))
+        )
+        fallback = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(2),
+            randomized_half,
             budget_rounds=32,
         )
         assert not is_player_batchable(fallback)
@@ -395,7 +651,7 @@ class TestMonteCarloWiring:
     def test_batch_true_rejects_non_batchable(self):
         fallback = FallbackPlayerProtocol(
             DeterministicTreeDescentProtocol(0),
-            UniformAsPlayerProtocol(WillardProtocol(N)),
+            UniformAsPlayerProtocol(RestartProtocol(lambda: WillardProtocol(N))),
             budget_rounds=16,
         )
         with pytest.raises(ValueError, match="batch=True"):
@@ -410,9 +666,17 @@ class TestMonteCarloWiring:
             select_player_engine(BinaryExponentialBackoff(), False)
             == ENGINE_SCALAR_PLAYER
         )
-        fallback = FallbackPlayerProtocol(
+        # The fallback combinator batches when both halves do...
+        batchable = FallbackPlayerProtocol(
             DeterministicTreeDescentProtocol(0),
             UniformAsPlayerProtocol(WillardProtocol(N)),
+            budget_rounds=16,
+        )
+        assert select_player_engine(batchable) == ENGINE_BATCH_PLAYER
+        # ...and stays scalar when a half cannot (randomized sessions).
+        fallback = FallbackPlayerProtocol(
+            DeterministicTreeDescentProtocol(0),
+            UniformAsPlayerProtocol(RestartProtocol(lambda: WillardProtocol(N))),
             budget_rounds=16,
         )
         assert select_player_engine(fallback) == ENGINE_SCALAR_PLAYER

@@ -258,6 +258,40 @@ def test_robustness_rows_match_direct_estimator_wiring():
     assert robustness.run(CONFIG).rows == expected_rows
 
 
+def test_ssf_reduction_executions_match_direct_player_wiring():
+    """The SSF budget-certification rows (the experiment's only protocol
+    executions outside the reduction compiler) replay their direct
+    ``run_players`` wiring: one worst-case suffix-adversary execution per
+    deterministic protocol at the reduction's n=16, b=2."""
+    from repro.experiments import ssf
+
+    n_red, b = 16, 2
+    rng = CONFIG.rng()
+    expected = {}
+    for label, protocol, channel in (
+        ("deterministic-scan", DeterministicScanProtocol(b), without_collision_detection()),
+        ("tree-descent", DeterministicTreeDescentProtocol(b), with_collision_detection()),
+    ):
+        result = run_players(
+            protocol,
+            frozenset({n_red - 2, n_red - 1}),  # the suffix adversary's pick
+            n_red,
+            rng,
+            channel=channel,
+            advice_function=MinIdPrefixAdvice(b),
+            max_rounds=protocol.worst_case_rounds(n_red) + 1,
+        )
+        assert result.solved
+        expected[f"{label}-exec(b={b})"] = f"{result.rounds} rounds"
+
+    measured = {
+        row[0]: row[3]
+        for row in ssf.run(CONFIG).rows
+        if str(row[0]).endswith(f"-exec(b={b})")
+    }
+    assert measured == expected
+
+
 def test_t2_det_rows_match_direct_player_executions():
     """Both deterministic Table-2 cells replay their pre-migration
     run_players wiring: a single worst-case execution on {n-2, n-1}."""

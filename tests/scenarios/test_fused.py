@@ -1,0 +1,400 @@
+"""Fused executor: partitioning, bit-identity with serial, and labels.
+
+The fused executor's contract is *exact* agreement with the serial
+reference on every point's statistics: each point draws from its own
+seed-derived generator in precisely the order a solo run would, whether
+its rounds execute stacked or alone.  The only permitted difference is
+the recorded engine label (``fused-schedule`` / ``fused-player`` records
+what actually executed).  These tests sweep the registry protocol
+families across channels and workloads, mix compatible and incompatible
+points in one grid, and unit-test the compatibility analyzer itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    ENGINE_BATCH_HISTORY,
+    ENGINE_BATCH_PLAYER,
+    ENGINE_BATCH_SCHEDULE,
+    ENGINE_FUSED_PLAYER,
+    ENGINE_FUSED_SCHEDULE,
+    ENGINE_SCALAR_UNIFORM,
+)
+from repro.scenarios import (
+    ScenarioSpec,
+    Sweep,
+    fusion_groups,
+    fusion_key,
+    run_sweep,
+)
+from repro.scenarios.runner import resolve_scenario
+
+#: Serial label -> the label the fused executor stamps on stacked points.
+_FUSED_LABEL = {
+    ENGINE_BATCH_SCHEDULE: ENGINE_FUSED_SCHEDULE,
+    ENGINE_BATCH_PLAYER: ENGINE_FUSED_PLAYER,
+}
+
+
+def assert_identical_results(sweep: Sweep) -> list[str]:
+    """Run serial and fused; assert per-point statistics are identical.
+
+    Returns the fused engine labels (for callers asserting what fused).
+    """
+    serial = run_sweep(sweep, executor="serial")
+    fused = run_sweep(sweep, executor="fused")
+    assert len(serial.results) == len(fused.results)
+    for point_serial, point_fused in zip(serial.results, fused.results):
+        label = point_serial.spec.label()
+        assert point_fused.spec == point_serial.spec, label
+        assert point_fused.rounds == point_serial.rounds, label
+        assert point_fused.success == point_serial.success, label
+        strip = lambda meta: {k: v for k, v in meta.items() if k != "engine"}
+        assert strip(point_fused.metadata) == strip(point_serial.metadata), label
+        # The engine label may only change along the documented mapping.
+        assert point_fused.engine in (
+            point_serial.engine,
+            _FUSED_LABEL.get(point_serial.engine),
+        ), label
+    return [point.engine for point in fused.results]
+
+
+def uniform_base(**overrides) -> ScenarioSpec:
+    data = {
+        "name": "fz",
+        "protocol": {"id": "decay", "params": {}},
+        "workload": {"kind": "fixed", "params": {"k": 8}},
+        "channel": "nocd",
+        "n": 1024,
+        "trials": 90,
+        "max_rounds": 300,
+        "seed": 11,
+    }
+    data.update(overrides)
+    return ScenarioSpec.from_dict(data)
+
+
+def player_base(**overrides) -> ScenarioSpec:
+    data = {
+        "name": "fz-p",
+        "protocol": {"id": "tree-descent", "params": {"advice_bits": 3}},
+        "workload": {"kind": "fixed", "params": {"k": 5}},
+        "channel": "cd",
+        "advice": {"function": "min-id-prefix", "bits": 3},
+        "adversary": "random",
+        "n": 256,
+        "trials": 80,
+        "max_rounds": 120,
+        "seed": 17,
+    }
+    data.update(overrides)
+    return ScenarioSpec.from_dict(data)
+
+
+SCHEDULE_GRIDS = [
+    (
+        "decay/nocd/fixed-k",
+        uniform_base(),
+        {"workload.params.k": [2, 4, 8, 16, 32]},
+    ),
+    (
+        "decay/cd-channel",
+        uniform_base(channel="cd"),
+        {"workload.params.k": [3, 9, 27]},
+    ),
+    (
+        "fixed-probability/p-sweep",
+        uniform_base(protocol={"id": "fixed-probability", "params": {"k_hat": 8}}),
+        {"protocol.params.k_hat": [4.0, 8.0, 16.0, 32.0]},
+    ),
+    (
+        "sorted-probing/distribution",
+        uniform_base(
+            protocol={"id": "sorted-probing", "params": {"one_shot": False}},
+            prediction="truth",
+            workload={
+                "kind": "distribution",
+                "params": {"family": "range_uniform_subset", "ranges": [2, 5]},
+            },
+        ),
+        {"workload.params.ranges": [[2], [5], [2, 5], [3, 6], [2, 4, 7]]},
+    ),
+    (
+        "sorted-probing/one-shot-horizons",
+        uniform_base(
+            protocol={"id": "sorted-probing", "params": {"one_shot": True}},
+            prediction="truth",
+            workload={
+                "kind": "distribution",
+                "params": {"family": "range_uniform_subset", "ranges": [2, 5]},
+            },
+        ),
+        # Different range sets give one-shot schedules of different
+        # lengths: mixed horizons inside a single fused group.
+        {"workload.params.ranges": [[2], [2, 5], [2, 4, 7]]},
+    ),
+    (
+        "truncated-decay/advice-blocks",
+        uniform_base(
+            protocol={
+                "id": "truncated-decay",
+                "params": {"advice_bits": 2, "k": 8},
+            }
+        ),
+        {"protocol.params.k": [2, 8, 30], "workload.params.k": [2, 8]},
+    ),
+    (
+        "restart(one-shot)/cycling",
+        uniform_base(
+            protocol={
+                "id": "restart",
+                "params": {"inner": {"id": "decay", "params": {"cycle": False}}},
+            }
+        ),
+        {"workload.params.k": [4, 12]},
+    ),
+    (
+        "bursty-workload",
+        uniform_base(
+            workload={
+                "kind": "bursty",
+                "params": {
+                    "calm_rate": 0.004,
+                    "burst_rate": 0.2,
+                    "burst_arrival": 0.05,
+                    "burst_departure": 0.2,
+                },
+            }
+        ),
+        {"workload.params.burst_rate": [0.1, 0.2, 0.4]},
+    ),
+    (
+        "trace-workload",
+        uniform_base(workload={"kind": "trace", "params": {"ks": [4, 9]}}),
+        {"workload.params.ks": [[4, 9], [2, 2, 17], [30]]},
+    ),
+    (
+        "explicit-seed-sweep",
+        uniform_base(),
+        {"seed": [1, 2, 3, 4]},
+    ),
+]
+
+
+PLAYER_GRIDS = [
+    (
+        "tree-descent/bit-flip-curve",
+        player_base(
+            advice={
+                "function": "min-id-prefix",
+                "bits": 3,
+                "corruption": {"model": "bit-flip", "probability": 0.0},
+            }
+        ),
+        {"advice.corruption.probability": [0.0, 0.1, 0.25, 0.5, 0.9]},
+    ),
+    (
+        "deterministic-scan/adversaries",
+        player_base(
+            protocol={"id": "deterministic-scan", "params": {"advice_bits": 3}},
+            channel="nocd",
+        ),
+        {"adversary": ["random", "prefix", "suffix", "spread", "clustered"]},
+    ),
+    (
+        "deterministic-scan/advice-families",
+        player_base(
+            protocol={"id": "deterministic-scan", "params": {"advice_bits": 3}},
+            channel="nocd",
+        ),
+        {"advice.function": ["min-id-prefix", "range-block"]},
+    ),
+    (
+        "fused-fallback/corruption-curve",
+        player_base(
+            protocol={
+                "id": "fallback",
+                "params": {
+                    "primary": {
+                        "id": "deterministic-scan",
+                        "params": {"advice_bits": 3},
+                    },
+                    "fallback": {
+                        "id": "deterministic-scan",
+                        "params": {"advice_bits": 0},
+                    },
+                    "budget_rounds": "worst-case",
+                },
+            },
+            channel="nocd",
+            max_rounds=300,
+        ),
+        {
+            "advice.corruption.probability": [0.0, 0.3, 0.8],
+            "advice.corruption.model": ["bit-flip", "adversarial"],
+        },
+    ),
+    (
+        "player-seed-sweep",
+        player_base(
+            advice={
+                "function": "min-id-prefix",
+                "bits": 3,
+                "corruption": {"model": "adversarial", "probability": 0.4},
+            }
+        ),
+        {"seed": [5, 6, 7]},
+    ),
+]
+
+
+class TestFusedSerialEquivalence:
+    @pytest.mark.parametrize(
+        "label,base,grid",
+        SCHEDULE_GRIDS,
+        ids=[case[0] for case in SCHEDULE_GRIDS],
+    )
+    def test_schedule_grids_bit_identical(self, label, base, grid):
+        labels = assert_identical_results(Sweep(base=base, grid=grid))
+        assert ENGINE_FUSED_SCHEDULE in labels, label
+
+    @pytest.mark.parametrize(
+        "label,base,grid",
+        PLAYER_GRIDS,
+        ids=[case[0] for case in PLAYER_GRIDS],
+    )
+    def test_player_grids_bit_identical(self, label, base, grid):
+        labels = assert_identical_results(Sweep(base=base, grid=grid))
+        assert ENGINE_FUSED_PLAYER in labels, label
+
+    def test_fused_point_reruns_identically_standalone(self):
+        """Any fused point re-run alone from its serialized spec must
+        reproduce its statistics - fusion cannot leak across points."""
+        from repro.scenarios import run_scenario
+
+        sweep = Sweep(
+            base=uniform_base(), grid={"workload.params.k": [2, 8, 32]}
+        )
+        fused = run_sweep(sweep, executor="fused")
+        for point in fused.results:
+            solo = run_scenario(ScenarioSpec.from_json(point.spec.to_json()))
+            assert solo.rounds == point.rounds
+            assert solo.success == point.success
+
+
+class TestMixedGrids:
+    def test_incompatible_points_fall_back_serially(self):
+        """A grid mixing batch and forced-scalar points: the scalar
+        points keep their serial label and exact results."""
+        sweep = Sweep(
+            base=uniform_base(trials=40),
+            grid={"workload.params.k": [4, 8], "batch": [None, False]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels.count(ENGINE_FUSED_SCHEDULE) == 2
+        assert labels.count(ENGINE_SCALAR_UNIFORM) == 2
+
+    def test_history_engine_points_stay_serial(self):
+        """Willard (history engine) cannot stack; decay points fuse
+        around it within the same grid."""
+        sweep = Sweep(
+            base=uniform_base(channel="cd", trials=40),
+            grid={"protocol.id": ["decay", "willard"], "workload.params.k": [3, 9]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels.count(ENGINE_FUSED_SCHEDULE) == 2
+        assert labels.count(ENGINE_BATCH_HISTORY) == 2
+
+    def test_randomized_player_points_stay_serial(self):
+        """Backoff batches within a point but cannot fuse across points
+        (randomized sessions)."""
+        sweep = Sweep(
+            base=player_base(
+                protocol={"id": "backoff", "params": {}},
+                advice=None,
+                trials=30,
+            ),
+            grid={"workload.params.k": [3, 6]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_BATCH_PLAYER, ENGINE_BATCH_PLAYER]
+
+    def test_differing_trials_split_schedule_groups(self):
+        sweep = Sweep(
+            base=uniform_base(),
+            grid={"trials": [30, 60], "workload.params.k": [4, 8]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels.count(ENGINE_FUSED_SCHEDULE) == 4  # two groups of two
+
+
+class TestFusionAnalyzer:
+    """Unit tests for fusion_key / fusion_groups on resolved points."""
+
+    def _resolve(self, spec: ScenarioSpec):
+        return resolve_scenario(spec)
+
+    def test_schedule_points_share_a_key_across_params(self):
+        a = self._resolve(uniform_base())
+        b = self._resolve(
+            uniform_base(
+                protocol={"id": "fixed-probability", "params": {"k_hat": 9}},
+                seed=99,
+            )
+        )
+        assert fusion_key(a) == fusion_key(b) is not None
+
+    def test_trials_budget_and_channel_split_schedule_keys(self):
+        base = self._resolve(uniform_base())
+        assert fusion_key(self._resolve(uniform_base(trials=91))) != fusion_key(base)
+        assert fusion_key(self._resolve(uniform_base(max_rounds=301))) != fusion_key(base)
+        assert fusion_key(self._resolve(uniform_base(channel="cd"))) != fusion_key(base)
+
+    def test_player_keys_require_identical_protocol_spec(self):
+        a = self._resolve(player_base())
+        same = self._resolve(player_base(adversary="suffix", seed=3))
+        other_params = self._resolve(
+            player_base(
+                protocol={"id": "tree-descent", "params": {"advice_bits": 2}},
+                advice={"function": "min-id-prefix", "bits": 2},
+            )
+        )
+        assert fusion_key(a) == fusion_key(same) is not None
+        assert fusion_key(a) != fusion_key(other_params)
+
+    def test_player_keys_split_on_prediction_spec(self):
+        """Protocol construction consumes the prediction (via
+        BuildContext), so player points differing only there must not
+        share the first point's protocol object."""
+        plain = self._resolve(player_base())
+        predicted = self._resolve(
+            player_base(
+                prediction={
+                    "source": "distribution",
+                    "params": {"family": "uniform"},
+                }
+            )
+        )
+        assert fusion_key(plain) != fusion_key(predicted)
+
+    def test_unfusable_points_get_no_key(self):
+        scalar = self._resolve(uniform_base(batch=False))
+        history = self._resolve(uniform_base(protocol="willard", channel="cd"))
+        randomized_player = self._resolve(
+            player_base(protocol={"id": "backoff", "params": {}}, advice=None)
+        )
+        assert fusion_key(scalar) is None
+        assert fusion_key(history) is None
+        assert fusion_key(randomized_player) is None
+
+    def test_groups_preserve_first_seen_order(self):
+        resolved = [
+            self._resolve(uniform_base(seed=1)),
+            self._resolve(uniform_base(batch=False)),
+            self._resolve(uniform_base(seed=2)),
+            self._resolve(player_base(seed=1)),
+            self._resolve(player_base(seed=2)),
+        ]
+        assert fusion_groups(resolved) == [[0, 2], [1], [3, 4]]

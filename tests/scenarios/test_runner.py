@@ -62,7 +62,10 @@ class TestEngineRouting:
         )
         assert result.engine == ENGINE_SCALAR_PLAYER
 
-    def test_non_batchable_player_combinator_routes_to_scalar_loop(self):
+    def test_fallback_combinator_routes_to_player_engine(self):
+        """The fallback wrapper batches whenever both halves do (it was
+        the last scalar-only combinator before the array-state phase
+        tracking landed)."""
         result = run(
             protocol={
                 "id": "fallback",
@@ -78,7 +81,7 @@ class TestEngineRouting:
             channel="cd",
             workload={"kind": "fixed", "params": {"k": 4}},
         )
-        assert result.engine == ENGINE_SCALAR_PLAYER
+        assert result.engine == ENGINE_BATCH_PLAYER
 
     def test_engine_recorded_in_metadata(self):
         result = run()

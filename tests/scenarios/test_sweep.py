@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.scenarios import Sweep, SweepResult, run_sweep
+from repro.scenarios import Sweep, SweepResult, derive_point_seeds, run_sweep
 from repro.scenarios.spec import ScenarioError, ScenarioSpec
 
 
@@ -32,9 +32,22 @@ class TestExpansion:
             (2, 10), (2, 20), (4, 10), (4, 20),
         ]
 
-    def test_vary_seed_offsets_each_point(self):
+    def test_vary_seed_derives_independent_spawned_seeds(self):
+        """Point seeds come from SeedSequence.spawn (not base + index), so
+        adjacent points get unrelated streams; the derived seed still
+        lands in the point's spec for standalone reproduction."""
         points = Sweep(base=base_spec(), grid={"trials": [10, 20, 30]}).points()
-        assert [p.seed for p in points] == [100, 101, 102]
+        expected = derive_point_seeds(100, 3)
+        assert [p.seed for p in points] == expected
+        assert len(set(expected)) == 3
+        assert expected != [100, 101, 102]
+
+    def test_derived_seeds_are_deterministic_and_json_native(self):
+        first = derive_point_seeds(42, 4)
+        assert first == derive_point_seeds(42, 4)
+        assert all(isinstance(seed, int) and seed >= 0 for seed in first)
+        # A longer sweep extends, not reshuffles, the seed list.
+        assert derive_point_seeds(42, 6)[:4] == first
 
     def test_vary_seed_off_keeps_base_seed(self):
         points = Sweep(

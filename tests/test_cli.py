@@ -202,6 +202,48 @@ class TestScenarioCommands:
 
         assert strip(serial) == strip(pooled)
 
+    def test_sweep_fused_executor_matches_serial_statistics(
+        self, tmp_path, capsys
+    ):
+        sweep_path = tmp_path / "sweep.json"
+        sweep = json.loads(json.dumps(EXAMPLE_SWEEP))
+        sweep["base"].update(trials=40, n=256, max_rounds=128)
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "sweep", str(sweep_path), "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    str(sweep_path),
+                    "--executor",
+                    "fused",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        fused = json.loads(capsys.readouterr().out)
+        assert fused["executor"] == "fused"
+        engines = {row["engine"] for row in fused["results"]}
+        assert engines == {"fused-schedule"}
+
+        def strip(payload):
+            payload = dict(payload, executor=None, elapsed_seconds=None)
+            payload["results"] = [
+                dict(
+                    row,
+                    elapsed_seconds=None,
+                    engine=None,
+                    metadata=dict(row["metadata"], engine=None),
+                )
+                for row in payload["results"]
+            ]
+            return payload
+
+        assert strip(serial) == strip(fused)
+
     def test_bad_spec_reports_scenario_error(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.json"
         spec_path.write_text(json.dumps(dict(EXAMPLE_SCENARIO, protocol="warp-drive")))

@@ -48,7 +48,12 @@ from repro.scenarios import run_sweep
 # repo root) on sys.path, so anchor the import at the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
-from benchmarks.sweep_workload import RANGE_SETS, executor_sweep  # noqa: E402
+from benchmarks.sweep_workload import (  # noqa: E402
+    RANGE_SETS,
+    executor_sweep,
+    fused_player_sweep,
+    fused_sweep,
+)
 
 N = 2**16
 MAX_ROUNDS = 1024
@@ -162,6 +167,37 @@ def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
     }
 
 
+def fused_bench(repeats: int) -> dict:
+    """Fused executor vs point-serial batch on the dense single-core grids.
+
+    The same grids the ``benchmarks/test_bench_sweep_fused.py`` gate
+    enforces (>= 3x on the 32-point schedule grid; the 16-point player
+    grid is informational): many small engine-bound points whose round
+    loops fuse into one stacked run.  Unlike the process pool this axis
+    needs no extra cores, so the snapshot is meaningful on 1-CPU boxes.
+    """
+    measurements = {}
+    for name, sweep in (
+        ("schedule_grid", fused_sweep()),
+        ("player_grid", fused_player_sweep()),
+    ):
+        serial_seconds = _median_seconds(
+            lambda sweep=sweep: run_sweep(sweep, executor="serial"), repeats
+        )
+        fused_seconds = _median_seconds(
+            lambda sweep=sweep: run_sweep(sweep, executor="fused"), repeats
+        )
+        points = sweep.points()
+        measurements[name] = {
+            "points": len(points),
+            "trials_per_point": points[0].trials,
+            "serial_seconds": round(serial_seconds, 6),
+            "fused_seconds": round(fused_seconds, 6),
+            "speedup": round(serial_seconds / fused_seconds, 2),
+        }
+    return measurements
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -218,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     player_engine = player_bench(args.player_trials, args.repeats)
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
+    sweep_fused = fused_bench(args.repeats)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
@@ -237,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         "measurements": measurements,
         "player_engine": player_engine,
         "sweep_executor": sweep_executor,
+        "sweep_fused": sweep_fused,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     for name, row in {**measurements, **player_engine}.items():
@@ -252,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{sweep_executor['max_workers']} workers, "
         f"{sweep_executor['cpu_count']} cpu)"
     )
+    for name, row in sweep_fused.items():
+        print(
+            f"sweep_fused/{name}: serial={row['serial_seconds']:.3f}s "
+            f"fused={row['fused_seconds']:.3f}s speedup={row['speedup']}x "
+            f"({row['points']} points)"
+        )
     print(f"snapshot written to {args.output}")
     return 0
 
