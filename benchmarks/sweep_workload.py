@@ -16,12 +16,20 @@ always measure the same grids:
   on a single core (the axis the pool cannot touch there);
 * :func:`fused_player_sweep` - a 16-point advice-corruption curve of
   worst-case deterministic scans: long-horizon player points stacked
-  into one randomness-free array run.
+  into one randomness-free array run;
+* :func:`cd_grid_sweep` - the dense CD grid (Willard / decay /
+  code-search under clean and shifted predictions), built from the same
+  :data:`repro.scenarios.EXAMPLE_CD_SWEEP` definition the CLI prints via
+  ``repro scenario example --cd-grid``, so the fused-CD benchmark gate
+  and the docs exercise one workload.  Its history points stack through
+  :func:`repro.channel.batch.run_history_stacked` (``fused-history``).
 """
 
 from __future__ import annotations
 
-from repro.scenarios import ScenarioSpec, Sweep
+import copy
+
+from repro.scenarios import EXAMPLE_CD_SWEEP, ScenarioSpec, Sweep
 
 N = 2**16
 TRIALS_PER_POINT = 200_000
@@ -33,6 +41,11 @@ FUSED_POINTS = 32
 FUSED_TRIALS_PER_POINT = 256
 FUSED_PLAYER_POINTS = 16
 FUSED_PLAYER_TRIALS = 48
+
+#: The dense CD grid (4 protocols x 2 prediction qualities x 4
+#: workloads; 24 history points + 8 schedule points).
+CD_GRID_POINTS = 32
+CD_GRID_TRIALS = EXAMPLE_CD_SWEEP["base"]["trials"]
 
 #: Eight entropy-dial points (n = 2^16 has 16 condensed ranges).
 RANGE_SETS: list[list[int]] = [
@@ -129,3 +142,17 @@ def fused_player_sweep(trials: int = FUSED_PLAYER_TRIALS) -> Sweep:
         for index in range(FUSED_PLAYER_POINTS)
     ]
     return Sweep(base=base, grid={"advice.corruption.probability": probabilities})
+
+
+def cd_grid_sweep(trials: int = CD_GRID_TRIALS) -> Sweep:
+    """The fused-CD gate grid: the CLI's ``--cd-grid`` sweep, verbatim.
+
+    Willard at two vote repetitions and cycling code search run on the
+    history engine (24 points sharing tries where the protocol spec
+    repeats); the decay baseline rides along as an 8-point schedule
+    group.  Points are small and engine-bound - the regime where the
+    stacked history loop amortizes per-round work across the grid.
+    """
+    data = copy.deepcopy(EXAMPLE_CD_SWEEP)
+    data["base"]["trials"] = trials
+    return Sweep.from_dict(data)

@@ -30,7 +30,12 @@ from typing import Protocol
 
 import numpy as np
 
-from ..channel.batch import is_batchable, run_schedule_stacked, run_uniform_batch
+from ..channel.batch import (
+    is_batchable,
+    run_history_stacked,
+    run_schedule_stacked,
+    run_uniform_batch,
+)
 from ..channel.batch_players import (
     checked_advice_source,
     is_player_batchable,
@@ -60,6 +65,7 @@ __all__ = [
     "ENGINE_SCALAR_UNIFORM",
     "ENGINE_SCALAR_PLAYER",
     "ENGINE_FUSED_SCHEDULE",
+    "ENGINE_FUSED_HISTORY",
     "ENGINE_FUSED_PLAYER",
 ]
 
@@ -97,6 +103,7 @@ ENGINE_SCALAR_PLAYER = "scalar-player"
 #: bit-identical to the per-point labels above; only the label differs,
 #: recording what actually executed).
 ENGINE_FUSED_SCHEDULE = "fused-schedule"
+ENGINE_FUSED_HISTORY = "fused-history"
 ENGINE_FUSED_PLAYER = "fused-player"
 
 
@@ -259,16 +266,22 @@ def estimate_uniform_rounds_many(
     trials: int,
     max_rounds: int,
 ) -> list[RoundsEstimate]:
-    """Estimate many schedule-protocol points in one stacked engine run.
+    """Estimate many uniform-protocol points in one stacked engine run.
 
     The fused counterpart of calling :func:`estimate_uniform_rounds` once
-    per point: point ``j`` pairs ``protocols[j]`` (which must publish its
-    :meth:`~repro.core.protocol.UniformProtocol.batch_schedule`) with
-    ``size_sources[j]`` and its own generator ``rngs[j]``.  Per-point
-    randomness is consumed exactly as the solo estimator consumes it -
-    the size batch first, then one uniform per live trial per round - so
-    entry ``j`` of the result is **bit-identical** to the solo call; the
-    stacking only amortizes the per-round engine work across points.
+    per point: point ``j`` pairs ``protocols[j]`` with ``size_sources[j]``
+    and its own generator ``rngs[j]``.  All points must route to the
+    *same* batch engine - either every protocol publishes its
+    :meth:`~repro.core.protocol.UniformProtocol.batch_schedule`
+    (:func:`~repro.channel.batch.run_schedule_stacked`) or every protocol
+    is a feedback-driven deterministic-session one
+    (:func:`~repro.channel.batch.run_history_stacked`, which also shares
+    one memoized history trie across points with equal
+    ``history_signature()``s).  Per-point randomness is consumed exactly
+    as the solo estimator consumes it - the size batch first, then one
+    uniform per live trial per round - so entry ``j`` of the result is
+    **bit-identical** to the solo call; the stacking only amortizes the
+    per-round engine work across points.
     """
     if not (len(protocols) == len(size_sources) == len(rngs)):
         raise ValueError(
@@ -277,22 +290,36 @@ def estimate_uniform_rounds_many(
         )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    schedules = []
+    engines = set()
     for protocol in protocols:
-        if select_uniform_engine(protocol) != ENGINE_BATCH_SCHEDULE:
+        engine = select_uniform_engine(protocol)
+        if engine == ENGINE_SCALAR_UNIFORM:
             raise ValueError(
-                f"protocol {getattr(protocol, 'name', protocol)!r} does not "
-                "publish a batch schedule; fuse only schedule-engine points"
+                f"protocol {getattr(protocol, 'name', protocol)!r} cannot "
+                "batch; fuse only batch-schedule or batch-history points"
             )
+        engines.add(engine)
         _check_channel(protocol.requires_collision_detection, channel)
-        schedules.append(protocol.batch_schedule())
+    if len(engines) != 1:
+        raise ValueError(
+            "stacked points must share one engine; got a mix of "
+            f"{', '.join(sorted(engines))}"
+        )
     ks_list = [
         _draw_size_batch(source, rng, trials)
         for source, rng in zip(size_sources, rngs)
     ]
-    results = run_schedule_stacked(
-        schedules, ks_list, rngs, max_rounds=max_rounds
-    )
+    if engines.pop() == ENGINE_BATCH_SCHEDULE:
+        results = run_schedule_stacked(
+            [protocol.batch_schedule() for protocol in protocols],
+            ks_list,
+            rngs,
+            max_rounds=max_rounds,
+        )
+    else:
+        results = run_history_stacked(
+            protocols, ks_list, rngs, channel=channel, max_rounds=max_rounds
+        )
     return [
         RoundsEstimate(
             rounds=result.rounds_summary(), success=result.success_estimate()

@@ -17,7 +17,12 @@ from .network import (
     SuffixAdversary,
     validate_participants,
 )
-from .batch import is_batchable, run_schedule_stacked, run_uniform_batch
+from .batch import (
+    is_batchable,
+    run_history_stacked,
+    run_schedule_stacked,
+    run_uniform_batch,
+)
 from .batch_players import (
     is_player_batchable,
     is_player_fusable,
@@ -44,6 +49,7 @@ __all__ = [
     "run_uniform",
     "run_uniform_batch",
     "run_schedule_stacked",
+    "run_history_stacked",
     "is_batchable",
     "run_players",
     "run_players_batch",

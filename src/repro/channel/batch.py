@@ -44,12 +44,22 @@ Two engines, chosen by protocol capability:
   collision history ``b_1 b_2 ... b_r``, and a uniform CD algorithm is a
   deterministic function of that history (Section 2.1) - so two trials
   with identical histories will use identical probabilities forever until
-  their histories diverge.  The engine keeps one representative session
-  per distinct history, advancing *groups* of trials: each round costs one
-  ``next_probability()`` call per live group plus one vectorized binomial
-  draw per group, instead of per-trial session machinery.  On a no-CD
-  channel every observation is ``QUIET``, so there is exactly one group
-  and the engine degenerates to the schedule engine with a live session.
+  their histories diverge.  The engine is fully array-based: each live
+  trial carries an integer node id into a **history trie**
+  (:class:`_HistoryArena`) memoizing the history -> probability function,
+  so a round costs one memoized ``next_probability()`` per *distinct
+  history ever seen* (one session fork per trie node, amortized over all
+  trials, rounds and stacked points - never a per-round ``fork()``), one
+  uniform draw per live trial compared against trichotomy band edges
+  gathered from a per-round ``(node, k)`` band cache, and one
+  ``np.unique``-compacted child gather that advances every trial's node
+  down its observed branch.  Like the schedule engine it has a
+  **stacked** entry point (:func:`run_history_stacked`): points sharing a
+  :meth:`~repro.core.protocol.UniformProtocol.history_signature` also
+  share one trie, and each point consumes its own generator exactly as a
+  solo run would, so a solo run *is* a 1-point stacked run.  On a no-CD
+  channel every observation is ``QUIET``, so the trie is a single path
+  and the engine degenerates to a schedule walk with a live session.
 
 Both match the scalar engine's termination conventions exactly: a trial
 retires at its first single-transmitter round (``rounds`` = that 1-based
@@ -60,12 +70,17 @@ max_rounds``).
 
 from __future__ import annotations
 
+import itertools
+import threading
 from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.feedback import Observation
 from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_QUIET,
+    OBS_SILENCE,
     BatchSchedule,
     ScheduleExhausted,
     UniformProtocol,
@@ -75,7 +90,12 @@ from .channel import Channel
 from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
 from .trace import BatchExecutionResult
 
-__all__ = ["run_uniform_batch", "run_schedule_stacked", "is_batchable"]
+__all__ = [
+    "run_uniform_batch",
+    "run_schedule_stacked",
+    "run_history_stacked",
+    "is_batchable",
+]
 
 
 def is_batchable(protocol: UniformProtocol) -> bool:
@@ -167,6 +187,83 @@ _BAND_CHUNK_ROUNDS = 512
 _DRAW_BLOCK_ROUNDS = 16
 
 
+def _index_trial_combos(
+    ks_arrays: Sequence[np.ndarray],
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Index the distinct ``(point, k)`` pairs of a stacked run.
+
+    Band edges depend only on the pair, so both stacked engines compute
+    them per distinct pair ("combo") and gather: returns each point's
+    unique ``k`` values (as floats, band-arithmetic-ready) plus one flat
+    per-trial index into their concatenation.
+    """
+    unique_ks: list[np.ndarray] = []
+    flat_cidx = np.empty(sum(ks.size for ks in ks_arrays), dtype=np.int64)
+    offset = 0
+    cursor = 0
+    for ks in ks_arrays:
+        uniques, inverse = np.unique(ks, return_inverse=True)
+        unique_ks.append(uniques.astype(float))
+        flat_cidx[cursor : cursor + ks.size] = inverse + offset
+        offset += uniques.size
+        cursor += ks.size
+    return unique_ks, flat_cidx
+
+
+def _refill_draw_block(
+    rngs: Sequence[np.random.Generator],
+    counts: np.ndarray,
+    horizons: np.ndarray,
+    round_index: int,
+    live: int,
+) -> np.ndarray:
+    """Pre-draw one :data:`_DRAW_BLOCK_ROUNDS` block of uniforms.
+
+    The shared half of both stacked engines' stream contract: one row
+    per live trial (in point order, each point's rows in trial order),
+    clipped per point to its own remaining horizon, drawn from the
+    point's own generator - so the shapes, and hence the streams, depend
+    only on the point's own trajectory and a solo run consumes the
+    identical sequence.
+    """
+    width = min(_DRAW_BLOCK_ROUNDS, int(horizons.max()) - round_index + 1)
+    draw_buffer = np.empty((live, width))
+    start = 0
+    for point in np.flatnonzero(counts):
+        stop = start + counts[point]
+        effective = min(
+            _DRAW_BLOCK_ROUNDS, int(horizons[point]) - round_index + 1
+        )
+        draw_buffer[start:stop, :effective] = rngs[point].random(
+            (stop - start, effective)
+        )
+        start = stop
+    return draw_buffer
+
+
+def _per_point_results(
+    solved: np.ndarray,
+    rounds: np.ndarray,
+    ks_arrays: Sequence[np.ndarray],
+    max_rounds: int,
+) -> list[BatchExecutionResult]:
+    """Carve a stacked run's flat arrays back into per-point results."""
+    results = []
+    cursor = 0
+    for ks in ks_arrays:
+        stop = cursor + ks.size
+        results.append(
+            BatchExecutionResult(
+                solved=solved[cursor:stop],
+                rounds=rounds[cursor:stop],
+                max_rounds=max_rounds,
+                ks=ks,
+            )
+        )
+        cursor = stop
+    return results
+
+
 def _success_bands(
     schedule: BatchSchedule,
     unique_ks: np.ndarray,
@@ -238,22 +335,12 @@ def run_schedule_stacked(
 
     # Success bands depend only on (point, k): index the distinct pairs
     # once ("combos") so each round's thresholds are two row gathers.
-    unique_ks: list[np.ndarray] = []
-    flat_cidx = np.empty(total, dtype=np.int64)
-    combo_offset = 0
-    cursor = 0
-    for ks in ks_arrays:
-        uniques, inverse = np.unique(ks, return_inverse=True)
-        unique_ks.append(uniques.astype(float))
-        flat_cidx[cursor : cursor + ks.size] = inverse + combo_offset
-        combo_offset += uniques.size
-        cursor += ks.size
+    unique_ks, flat_cidx = _index_trial_combos(ks_arrays)
 
     # Live rows, grouped by point in point order (each point's rows stay
     # in trial order, exactly the order a solo run draws them in).
     flat_trial = np.arange(total)
     flat_point = np.repeat(np.arange(points), trials)
-    counts = trials.copy()
 
     horizon_steps = set(int(h) for h in horizons)
     lo_table = hi_table = None
@@ -274,7 +361,6 @@ def run_schedule_stacked(
                 flat_point = flat_point[keep]
                 flat_cidx = flat_cidx[keep]
                 buffer_row = buffer_row[keep]
-                counts = np.bincount(flat_point, minlength=points)
         if flat_trial.size == 0:
             break
 
@@ -300,21 +386,13 @@ def run_schedule_stacked(
         # one gather instead of one generator call per point.
         column = (round_index - 1) % _DRAW_BLOCK_ROUNDS
         if column == 0:
-            width = min(
-                _DRAW_BLOCK_ROUNDS, int(horizons.max()) - round_index + 1
+            # The per-point live counts are only needed here, to shape
+            # the refill; between boundaries retirement just filters.
+            counts = np.bincount(flat_point, minlength=points)
+            draw_buffer = _refill_draw_block(
+                rngs, counts, horizons, round_index, flat_trial.size
             )
-            draw_buffer = np.empty((flat_trial.size, width))
             buffer_row = np.arange(flat_trial.size)
-            start = 0
-            for point in np.flatnonzero(counts):
-                stop = start + counts[point]
-                effective = min(
-                    _DRAW_BLOCK_ROUNDS, int(horizons[point]) - round_index + 1
-                )
-                draw_buffer[start:stop, :effective] = rngs[point].random(
-                    (stop - start, effective)
-                )
-                start = stop
         draws = draw_buffer[buffer_row, column]
 
         hit = (draws >= lo[flat_cidx]) & (draws < hi[flat_cidx])
@@ -327,27 +405,12 @@ def run_schedule_stacked(
             flat_point = flat_point[keep]
             flat_cidx = flat_cidx[keep]
             buffer_row = buffer_row[keep]
-            counts = np.bincount(flat_point, minlength=points)
 
     # Whatever survives was right-censored: by the budget (rounds played =
     # max_rounds) or by one-shot exhaustion (rounds played = schedule
     # length), matching the scalar engine's ExecutionResult convention.
     rounds[flat_trial] = horizons[flat_point]
-
-    results = []
-    cursor = 0
-    for point, ks in enumerate(ks_arrays):
-        stop = cursor + ks.size
-        results.append(
-            BatchExecutionResult(
-                solved=solved[cursor:stop],
-                rounds=rounds[cursor:stop],
-                max_rounds=max_rounds,
-                ks=ks,
-            )
-        )
-        cursor = stop
-    return results
+    return _per_point_results(solved, rounds, ks_arrays, max_rounds)
 
 
 def _run_history_batch(
@@ -357,65 +420,334 @@ def _run_history_batch(
     channel: Channel,
     max_rounds: int,
 ) -> BatchExecutionResult:
-    """Advance trials grouped by shared observation history.
+    """Advance one history-driven point: a one-point stacked run.
 
-    Each group is ``(session, trial indices)``; all members have fed the
-    session an identical observation sequence, so the session's next
-    probability is valid for every one of them.  After the round's draw a
-    group splits at most once (collision vs silence on CD channels; no-CD
-    groups never split), the representative session is reused for one
-    branch and deep-copied for the other.
+    As with the schedule engine, the single-scenario path and the fused
+    sweep path share one implementation, so a fused point is
+    bit-identical to its standalone re-run by construction.
     """
-    trials = ks.size
-    solved = np.zeros(trials, dtype=bool)
-    rounds = np.zeros(trials, dtype=np.int64)
-    groups: list[tuple[UniformSession, np.ndarray]] = [
-        (protocol.session(), np.arange(trials))
-    ]
-    for round_index in range(1, max_rounds + 1):
-        next_groups: list[tuple[UniformSession, np.ndarray]] = []
-        for session, members in groups:
+    return run_history_stacked(
+        [protocol], [ks], [rng], channel=channel, max_rounds=max_rounds
+    )[0]
+
+
+#: Observation-code -> enum for trie child expansion.  Indices match the
+#: :data:`~repro.core.protocol.OBS_QUIET` / ``OBS_SILENCE`` /
+#: ``OBS_COLLISION`` codes the player batch engine already uses.
+_OBSERVATION_OF = {
+    OBS_QUIET: Observation.QUIET,
+    OBS_SILENCE: Observation.SILENCE,
+    OBS_COLLISION: Observation.COLLISION,
+}
+
+
+class _HistoryArena:
+    """Node store of every distinct observation history of a stacked run.
+
+    A forest of history tries over one flat node space: each root is the
+    empty history of one protocol behaviour (keyed by
+    :meth:`~repro.core.protocol.UniformProtocol.history_signature`, so
+    same-spec points share a root and hence every descendant), and node
+    ``child[v][code]`` is the history ``v`` extended by the observation
+    ``code``.  Per node the arena memoizes the protocol's response - the
+    next-round probability, or schedule exhaustion - computed from a
+    representative session forked once when the node is created.  All
+    per-node attributes live in flat NumPy arrays so the round loop can
+    gather them for thousands of trials at once; capacity doubles as
+    nodes are added.
+    """
+
+    def __init__(self) -> None:
+        capacity = 64
+        self.probability = np.full(capacity, np.nan)
+        self.exhausted = np.zeros(capacity, dtype=bool)
+        self.child = np.full((capacity, 3), -1, dtype=np.int64)
+        self._resolved = np.zeros(capacity, dtype=bool)
+        self._sessions: list[UniformSession | None] = [None] * capacity
+        self._roots: dict[object, int] = {}
+        self.count = 0
+        #: Whether any resolved history has exhausted its schedule; the
+        #: round loop skips the per-trial give-up scan while this is
+        #: False (cycling protocols never set it).
+        self.any_exhausted = False
+
+    def _new_node(self, session: UniformSession) -> int:
+        if self.count == self.probability.size:
+            grow = self.count
+            self.probability = np.concatenate(
+                [self.probability, np.full(grow, np.nan)]
+            )
+            self.exhausted = np.concatenate(
+                [self.exhausted, np.zeros(grow, dtype=bool)]
+            )
+            self.child = np.concatenate(
+                [self.child, np.full((grow, 3), -1, dtype=np.int64)]
+            )
+            self._resolved = np.concatenate(
+                [self._resolved, np.zeros(grow, dtype=bool)]
+            )
+            self._sessions.extend([None] * grow)
+        node = self.count
+        self._sessions[node] = session
+        self.count += 1
+        return node
+
+    def root_for(self, protocol: UniformProtocol, private_key: object) -> int:
+        """The empty-history node of ``protocol``, shared where provable.
+
+        Protocols publishing equal ``history_signature()``s share one
+        root (and so one memoized trie) - across the points of a stacked
+        run *and* across runs, since the arena is shared per thread;
+        unsigned protocols get a private root under ``private_key``
+        (unique per run and point, so nothing is ever wrongly reused).
+        """
+        key = protocol.history_signature()
+        if key is None:
+            key = private_key
+        node = self._roots.get(key)
+        if node is None:
+            node = self._new_node(protocol.session())
+            self._roots[key] = node
+        return node
+
+    def resolve(self, nodes: np.ndarray) -> None:
+        """Memoize the next-round probability of each node in ``nodes``.
+
+        One ``next_probability()`` call per distinct history, ever: a
+        node revisited by later trials, points or (trie-sharing) runs is
+        a pure array lookup.  :class:`ScheduleExhausted` is memoized
+        too - a one-shot give-up is a property of the history, not of
+        the trial that first reached it.
+        """
+        for node in nodes[~self._resolved[nodes]]:
+            session = self._sessions[node]
+            assert session is not None
             try:
-                p = session.next_probability()
+                self.probability[node] = session.next_probability()
             except ScheduleExhausted:
-                # Clean one-shot give-up: rounds actually played.
-                rounds[members] = round_index - 1
-                continue
-            counts = rng.binomial(ks[members], p)
-            hit = counts == 1
-            winners = members[hit]
+                self.exhausted[node] = True
+                self.any_exhausted = True
+            self._resolved[node] = True
+
+    def descend(self, nodes: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Child node per ``(node, code)`` pair, expanding the trie lazily.
+
+        Missing children cost one session fork + ``observe()`` per
+        *distinct* pair (``np.unique``-compacted), then every trial's
+        descent is a single fancy-indexed gather - the array analogue of
+        the old per-group split, without per-round ``fork()`` copies.
+        """
+        found = self.child[nodes, codes]
+        missing = found < 0
+        if missing.any():
+            keys = np.unique(nodes[missing] * 3 + codes[missing])
+            for key in keys:
+                node, code = int(key) // 3, int(key) % 3
+                parent = self._sessions[node]
+                assert parent is not None
+                session = parent.fork()
+                session.observe(_OBSERVATION_OF[code])
+                self.child[node, code] = self._new_node(session)
+            found = self.child[nodes, codes]
+        return found
+
+
+#: Node budget of the shared arena.  The memoized tries are a cache:
+#: once the arena exceeds this many nodes a fresh one replaces it at the
+#: next run's start (never mid-run - live node ids must stay valid),
+#: bounding resident memory while keeping the steady-state case - many
+#: runs of the same protocol specs - one warm lookup.  Results are
+#: bit-identical warm or cold; only session construction work is saved.
+_SHARED_ARENA_NODE_BUDGET = 100_000
+
+#: The arena is shared across runs but *per thread* (``threading.local``):
+#: arena mutation (node allocation, array growth) is not synchronized, and
+#: the run-local engine this replaced was safe to call from threads - a
+#: property worth keeping for embedders, at the cost of one warm trie per
+#: thread.  Process pools are unaffected (each worker has its own module
+#: state).
+_run_state = threading.local()
+_run_tokens = itertools.count()
+
+
+def _arena_for_run() -> _HistoryArena:
+    arena = getattr(_run_state, "arena", None)
+    if arena is None or arena.count > _SHARED_ARENA_NODE_BUDGET:
+        arena = _HistoryArena()
+        _run_state.arena = arena
+    return arena
+
+
+def _reset_shared_arena() -> None:
+    """Drop this thread's memoized arena (tests pin warm/cold identity)."""
+    _run_state.arena = None
+
+
+def run_history_stacked(
+    protocols: Sequence[UniformProtocol],
+    ks_list: Sequence[np.ndarray],
+    rngs: Sequence[np.random.Generator],
+    *,
+    channel: Channel,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[BatchExecutionResult]:
+    """Advance many history-driven points in one array-based loop.
+
+    The CD counterpart of :func:`run_schedule_stacked`: point ``j`` is a
+    whole Monte Carlo batch of a deterministic-session uniform protocol
+    (typically feedback-driven - Willard/phased search, history
+    policies), and entry ``j`` of the result is **bit-identical** to
+    ``run_uniform_batch`` on that point alone.  Each live trial carries
+    a node id into the shared history-trie arena; a round is
+
+    1. one memoized ``next_probability()`` per distinct live history
+       (shared across trials, across points with equal
+       ``history_signature()``s, and - the arena being shared per
+       thread under a node budget - across whole runs; results are
+       bit-identical warm or cold);
+    2. retirement of trials whose history's schedule exhausted
+       (``rounds`` = rounds actually played, the scalar convention);
+    3. one uniform gather per live trial from per-point
+       :data:`_DRAW_BLOCK_ROUNDS`-round pre-drawn blocks (absolute
+       boundaries, shapes depending only on the point's own live count -
+       the same stream contract as the schedule engine) compared against
+       ``(1-p)^k`` / ``kp(1-p)^(k-1)`` trichotomy band edges gathered
+       from a ``(node, k)``-unique band cache;
+    4. a ``np.unique``-compacted trie descent moving every surviving
+       trial to its observed child history.
+
+    The trichotomy bands make the round distribution-exact (engines only
+    ever observe silence / success / collision; module docstring), so
+    the old per-group ``rng.binomial`` draws and per-split session
+    ``fork()``s are gone entirely.
+    """
+    points = len(protocols)
+    if not (points == len(ks_list) == len(rngs)):
+        raise ValueError(
+            f"stacked run needs one protocol, ks array and rng per point; "
+            f"got {points}/{len(ks_list)}/{len(rngs)}"
+        )
+    if points == 0:
+        raise ValueError("stacked run needs at least one point")
+    if max_rounds < 1:
+        raise ValueError(f"round budget must be >= 1, got {max_rounds}")
+    for protocol in protocols:
+        if not protocol.deterministic_sessions:
+            raise ValueError(
+                f"protocol {protocol.name!r} has randomized sessions; use "
+                "the scalar engine (run_uniform) instead"
+            )
+        _check_channel(protocol.requires_collision_detection, channel)
+    ks_arrays = [_validated_ks(ks) for ks in ks_list]
+    trials = np.asarray([ks.size for ks in ks_arrays])
+
+    total = int(trials.sum())
+    solved = np.zeros(total, dtype=bool)
+    rounds = np.zeros(total, dtype=np.int64)
+
+    # Band edges depend only on (history node, k): index the distinct
+    # per-point ks once ("combos"), exactly as the schedule engine does.
+    unique_ks, flat_cidx = _index_trial_combos(ks_arrays)
+    combo_ks = np.concatenate(unique_ks)
+
+    arena = _arena_for_run()
+    run_token = next(_run_tokens)
+    roots = np.asarray(
+        [
+            arena.root_for(protocol, ("unshared", run_token, j))
+            for j, protocol in enumerate(protocols)
+        ],
+        dtype=np.int64,
+    )
+
+    # Live rows, grouped by point in point order (each point's rows stay
+    # in trial order, exactly the order a solo run draws them in).
+    flat_trial = np.arange(total)
+    flat_point = np.repeat(np.arange(points), trials)
+    flat_node = roots[flat_point]
+
+    collision_detection = channel.collision_detection
+    horizons = np.full(points, max_rounds)  # no precomputable horizons
+    draw_buffer = np.empty((0, 0))
+    buffer_row = np.arange(total)  # rewritten at the first block boundary
+
+    for round_index in range(1, max_rounds + 1):
+        if flat_trial.size == 0:
+            break
+
+        # Per-round (node, k) band cache: one sort of the live pair keys
+        # yields the distinct (history, k) combinations *and* (via its
+        # quotients) the distinct live histories, so thresholds and
+        # memoized probabilities are computed once per distinct pair /
+        # node and gathered back to the trials.
+        pair = flat_node * combo_ks.size + flat_cidx
+        unique_pair, pair_inverse = np.unique(pair, return_inverse=True)
+        pair_node = unique_pair // combo_ks.size
+        arena.resolve(np.unique(pair_node))
+
+        # Clean one-shot give-ups retire *before* the round's draw, with
+        # rounds actually played - the scalar ScheduleExhausted path.
+        if arena.any_exhausted:
+            expired = arena.exhausted[flat_node]
+            if expired.any():
+                rounds[flat_trial[expired]] = round_index - 1
+                keep = ~expired
+                flat_trial = flat_trial[keep]
+                flat_point = flat_point[keep]
+                flat_node = flat_node[keep]
+                flat_cidx = flat_cidx[keep]
+                buffer_row = buffer_row[keep]
+                pair_inverse = pair_inverse[keep]
+                if flat_trial.size == 0:
+                    break
+
+        # Exhausted histories keep NaN probabilities; their band rows are
+        # never gathered - every trial on one just retired.
+        p = arena.probability[pair_node]
+        k = combo_ks[unique_pair % combo_ks.size]
+        miss = 1.0 - p
+        lo_pair = miss**k
+        hi_pair = lo_pair + k * p * miss ** (k - 1)
+        lo = lo_pair[pair_inverse]
+        hi = hi_pair[pair_inverse]
+
+        # Same absolute-block pre-draw contract as the schedule engine:
+        # per-point uniforms in trial order, shapes depending only on
+        # the point's own live count, unused draws of retired trials
+        # discarded (distribution-neutral).
+        column = (round_index - 1) % _DRAW_BLOCK_ROUNDS
+        if column == 0:
+            # The per-point live counts are only needed here, to shape
+            # the refill; between boundaries retirement just filters.
+            counts = np.bincount(flat_point, minlength=points)
+            draw_buffer = _refill_draw_block(
+                rngs, counts, horizons, round_index, flat_trial.size
+            )
+            buffer_row = np.arange(flat_trial.size)
+        draws = draw_buffer[buffer_row, column]
+
+        hit = (draws >= lo) & (draws < hi)
+        if hit.any():
+            winners = flat_trial[hit]
             solved[winners] = True
             rounds[winners] = round_index
-            survivors = members[~hit]
-            if survivors.size == 0:
-                continue
-            if channel.collision_detection:
-                collided = counts[~hit] >= 2
-                partitions = [
-                    (Observation.COLLISION, survivors[collided]),
-                    (Observation.SILENCE, survivors[~collided]),
-                ]
+            survive = ~hit
+            flat_trial = flat_trial[survive]
+            flat_point = flat_point[survive]
+            flat_node = flat_node[survive]
+            flat_cidx = flat_cidx[survive]
+            buffer_row = buffer_row[survive]
+            draws = draws[survive]
+            hi = hi[survive]
+
+        if flat_trial.size and round_index < max_rounds:
+            if collision_detection:
+                codes = np.where(draws >= hi, OBS_COLLISION, OBS_SILENCE)
             else:
-                partitions = [(Observation.QUIET, survivors)]
-            branches = [
-                (observation, subset)
-                for observation, subset in partitions
-                if subset.size
-            ]
-            for index, (observation, subset) in enumerate(branches):
-                # The representative session continues down the *last*
-                # branch; earlier branches get forks taken before any
-                # branch observes, so no branch sees another's history.
-                branch_session = (
-                    session if index == len(branches) - 1 else session.fork()
-                )
-                branch_session.observe(observation)
-                next_groups.append((branch_session, subset))
-        groups = next_groups
-        if not groups:
-            break
-    for _, members in groups:
-        rounds[members] = max_rounds
-    return BatchExecutionResult(
-        solved=solved, rounds=rounds, max_rounds=max_rounds, ks=ks
-    )
+                codes = np.full(flat_trial.size, OBS_QUIET, dtype=np.int64)
+            flat_node = arena.descend(flat_node, codes)
+
+    # Whatever survives was right-censored at the budget, matching the
+    # scalar engine's ExecutionResult convention.
+    rounds[flat_trial] = max_rounds
+    return _per_point_results(solved, rounds, ks_arrays, max_rounds)

@@ -153,6 +153,18 @@ class BatchExecutionResult:
         """Solving rounds of the successful trials only."""
         return self.rounds[self.solved]
 
+    def gave_up(self) -> np.ndarray:
+        """Trials that terminated cleanly before the budget, unsolved.
+
+        The one-shot give-up mask: an unsolved trial with ``rounds <
+        max_rounds`` exhausted its schedule (``ScheduleExhausted``) after
+        playing exactly ``rounds`` rounds, whereas an unsolved trial at
+        the budget was right-censored.  Both batch engines record the
+        distinction identically to the scalar loop; tests use this mask
+        to pin that bookkeeping.
+        """
+        return ~self.solved & (self.rounds < self.max_rounds)
+
     def sliced(self, start: int, stop: int) -> "BatchExecutionResult":
         """The trials ``[start, stop)`` as their own batch result.
 

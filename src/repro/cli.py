@@ -10,8 +10,9 @@ Subcommands:
 * ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
 * ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
   grid through the serial, process-pool or fused executor;
-* ``repro scenario example [--sweep|--player]`` - print a ready-to-run
-  spec.
+* ``repro scenario example [--sweep|--player|--cd-grid]`` - print a
+  ready-to-run spec (``--cd-grid`` is the dense collision-detection
+  sweep whose points stack through the fused history engine).
 
 Every run is reproducible from its seed; ``--quick`` thins the
 experiment sweeps for smoke-testing, and ``--json`` switches the
@@ -29,6 +30,7 @@ from pathlib import Path
 from .experiments.base import ExperimentConfig
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .scenarios import (
+    EXAMPLE_CD_SWEEP,
     ScenarioError,
     ScenarioSpec,
     Sweep,
@@ -129,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "print a player-protocol scenario (advice + adversary on the "
             "batch player engine) instead of the uniform demo"
+        ),
+    )
+    example_kind.add_argument(
+        "--cd-grid",
+        action="store_true",
+        help=(
+            "print the dense CD sweep (Willard/decay/code-search under "
+            "clean and faulty predictions); its history points stack "
+            "through the fused executor (engine label fused-history)"
         ),
     )
     return parser
@@ -288,6 +299,8 @@ def _command_scenario(args: argparse.Namespace) -> int:
             payload = EXAMPLE_SWEEP
         elif args.player:
             payload = EXAMPLE_PLAYER_SCENARIO
+        elif args.cd_grid:
+            payload = EXAMPLE_CD_SWEEP
         else:
             payload = EXAMPLE_SCENARIO
         print(json.dumps(payload, indent=2))

@@ -179,8 +179,28 @@ class UniformProtocol(abc.ABC):
         engine's fastest path: the per-round probability is an array
         lookup, with no session objects at all.  The default ``None``
         means the probability depends on feedback; the batch engine then
-        falls back to history-grouped sessions (CD protocols) or the
+        falls back to history-indexed sessions (CD protocols) or the
         scalar reference loop.
+        """
+        return None
+
+    def history_signature(self) -> tuple | None:
+        """Hashable identity of the session *behaviour*, or ``None``.
+
+        The memo hook of the array-based history engine
+        (:func:`repro.channel.batch.run_history_stacked`): a uniform
+        protocol with deterministic sessions is a function from
+        observation histories to probabilities (Section 2.1), so the
+        engine memoizes that function in a history trie - one
+        ``next_probability()`` call and one session fork per *distinct
+        history ever seen*.  Two protocols returning equal non-``None``
+        signatures promise interchangeable sessions (identical
+        probability / exhaustion responses to every observation
+        sequence), letting a stacked run share a single trie across all
+        scenario points with the same protocol spec.  The default
+        ``None`` claims nothing: the point still runs on the history
+        engine, it just keeps a private trie.  Protocols whose sessions
+        are not deterministic must leave this ``None``.
         """
         return None
 

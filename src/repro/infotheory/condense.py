@@ -149,11 +149,24 @@ class CondensedDistribution:
                 f"sizes below {MIN_NETWORK_SIZE} must have zero probability"
             )
         count = num_ranges(n)
-        masses = [0.0] * count
-        for size in range(MIN_NETWORK_SIZE, n + 1):
-            mass = pmf_by_size[size]
-            if mass > 0.0:
-                masses[range_of_size(size) - 1] += mass
+        # Vectorized condensation: range_of_size(k) = (k-1).bit_length()
+        # for k >= 2, which is exactly the frexp exponent of float(k - 1)
+        # (integers below 2^53 convert exactly).  bincount accumulates in
+        # ascending size order, matching the scalar loop bit for bit.
+        values = np.asarray(pmf_by_size, dtype=float)[MIN_NETWORK_SIZE:]
+        bad = (values < 0.0) | ~np.isfinite(values)
+        if bad.any():
+            index = int(np.argmax(bad)) + MIN_NETWORK_SIZE
+            raise ValueError(
+                f"invalid probability {float(values[index - MIN_NETWORK_SIZE])!r} "
+                f"for size {index} in size pmf"
+            )
+        exponents = np.frexp(
+            np.arange(MIN_NETWORK_SIZE - 1, n, dtype=float)
+        )[1]
+        masses = np.bincount(
+            exponents - 1, weights=values, minlength=count
+        ).tolist()
         total = math.fsum(masses)
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"size pmf sums to {total}, expected 1.0")

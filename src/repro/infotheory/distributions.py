@@ -103,7 +103,7 @@ class SizeDistribution:
             raise ValueError(
                 f"sizes below {MIN_NETWORK_SIZE} must have zero probability"
             )
-        validate_pmf(pmf.tolist())
+        validate_pmf(pmf)
         self.n = n
         self._pmf = pmf
         self.name = name
@@ -417,7 +417,7 @@ class SizeDistribution:
         """The condensed distribution ``c(X)`` (cached)."""
         if self._condensed is None:
             self._condensed = CondensedDistribution.from_size_pmf(
-                self.n, self._pmf.tolist()
+                self.n, self._pmf
             )
         return self._condensed
 

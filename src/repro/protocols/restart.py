@@ -101,6 +101,21 @@ class RestartProtocol(UniformProtocol):
             return None
         return BatchSchedule(inner_spec.probabilities, True)
 
+    def history_signature(self) -> tuple | None:
+        """Identified by the shared inner protocol's own signature.
+
+        Restarting is a deterministic transformation of the inner
+        session stream, so a restart around a signed deterministic inner
+        (e.g. a one-shot CD search) is itself trie-shareable; factory
+        restarts (fresh randomness per attempt) inherit ``None``.
+        """
+        if self._shared_inner is None or not self.deterministic_sessions:
+            return None
+        inner_signature = self._shared_inner.history_signature()
+        if inner_signature is None:
+            return None
+        return ("restart", inner_signature)
+
 
 class _FallbackSession(PlayerSession):
     def __init__(

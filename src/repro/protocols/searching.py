@@ -123,7 +123,11 @@ class PhasedSearchSession(UniformSession):
     def fork(self) -> "PhasedSearchSession":
         # Mutable state is all ints/bools; the phase lists are never
         # mutated after validation, so sharing them across forks is safe.
-        return copy.copy(self)
+        # The batch history engine forks once per distinct collision
+        # history, so this skips copy.copy's reduce protocol entirely.
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        return clone
 
     # ------------------------------------------------------------------
     @property
@@ -203,6 +207,23 @@ class PhasedSearchProtocol(UniformProtocol):
             repetitions=self.repetitions,
             restart=self.restart,
             handle_k1=self.handle_k1,
+        )
+
+    def history_signature(self) -> tuple:
+        """Sessions are a pure function of the constructor arguments.
+
+        Willard, code search and the truncated/advised variants are all
+        instances of this one engine, so equal ``(phases, repetitions,
+        restart, handle_k1)`` tuples - however the subclass derived them -
+        yield interchangeable sessions, and the batch history engine can
+        share one memoized trie across such points.
+        """
+        return (
+            "phased-search",
+            tuple(tuple(phase) for phase in self.phases),
+            self.repetitions,
+            self.restart,
+            self.handle_k1,
         )
 
     def worst_case_rounds_per_pass(self) -> int:

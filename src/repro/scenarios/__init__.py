@@ -10,10 +10,13 @@ The single configuration-driven entry point into the simulation stack:
 * :mod:`~repro.scenarios.workloads` - workload resolution, including the
   :class:`SizeDistribution` families and the bursty arrival model;
 * :mod:`~repro.scenarios.runner` - :func:`run_scenario`, which
-  auto-routes to the batch / history-grouped / scalar / per-player
-  engine and returns a JSON-round-trippable :class:`ScenarioResult`;
+  auto-routes to the batch-schedule / batch-history / scalar /
+  per-player engine and returns a JSON-round-trippable
+  :class:`ScenarioResult`;
 * :mod:`~repro.scenarios.sweep` - grid expansion plus serial,
-  process-pool (multi-core) and fused (stacked single-core) executors.
+  process-pool (multi-core) and fused (stacked single-core) executors;
+  the fused executor stacks compatible schedule, history (CD) and
+  player points into one engine run each.
 
 Quick start::
 
@@ -61,6 +64,7 @@ from .sweep import (
     register_executor,
     run_sweep,
 )
+from .examples import EXAMPLE_CD_SWEEP
 from .workloads import (
     DISTRIBUTION_FAMILIES,
     register_distribution_family,
@@ -102,4 +106,6 @@ __all__ = [
     "fusion_groups",
     "EXECUTORS",
     "register_executor",
+    # example payloads
+    "EXAMPLE_CD_SWEEP",
 ]

@@ -1,0 +1,67 @@
+"""Ready-to-run example payloads that are library data, not CLI strings.
+
+Example specs consumed beyond the CLI live here, next to the spec/sweep
+machinery they describe, so benchmarks and tooling can import them
+without dragging in the argparse entry point - the CLI imports *from*
+the library, never the other way around.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EXAMPLE_CD_SWEEP"]
+
+#: The dense CD sweep: the collision-detection arm of the robustness /
+#: crossover experiments as one declarative grid.  Willard (the classical
+#: CD baseline, at two vote repetitions) and cycling code search (the
+#: Section 2.6 prediction algorithm) are feedback-driven, so their points
+#: run on the history engine and stack into a single fused-history run;
+#: the decay points ride along as one fused-schedule group.  The
+#: prediction axis dials clean ("truth") against systematically faulty
+#: (range-shifted) predictions - only code search consumes it, which is
+#: the point: the baselines are the yardstick the prediction algorithm is
+#: measured against on every workload.  Printed by ``repro scenario
+#: example --cd-grid``; ``benchmarks/sweep_workload.py`` builds its
+#: fused-CD benchmark grid from this same definition.
+EXAMPLE_CD_SWEEP: dict = {
+    "base": {
+        "name": "cd-grid",
+        "protocol": {"id": "willard", "params": {}},
+        "workload": {
+            "kind": "distribution",
+            "params": {"family": "range_uniform_subset", "ranges": [2, 5, 8]},
+        },
+        "channel": "cd",
+        "prediction": "truth",
+        "n": 2**10,
+        "trials": 192,
+        "max_rounds": 512,
+        "seed": 2021,
+    },
+    "grid": {
+        "protocol": [
+            {"id": "willard", "params": {}},
+            {"id": "willard", "params": {"repetitions": 7}},
+            {"id": "decay", "params": {}},
+            {"id": "code-search", "params": {"one_shot": False, "repetitions": 5}},
+        ],
+        "prediction": [
+            "truth",
+            {
+                "source": "distribution",
+                "params": {
+                    "family": "perturbed",
+                    "base": {"family": "range_uniform_subset", "ranges": [2, 5, 8]},
+                    "shift": 3,
+                    "floor": 1e-6,
+                },
+            },
+        ],
+        "workload.params.ranges": [
+            [2, 5, 8],
+            [3, 6, 9],
+            [2, 4, 6, 8],
+            [2, 3, 5, 7, 9],
+        ],
+    },
+    "vary_seed": True,
+}

@@ -4,8 +4,8 @@
 into a :class:`ScenarioResult`: it resolves the workload, prediction,
 advice and protocol, then routes to the right execution engine through
 the existing capability hooks - the vectorized batch-schedule,
-history-grouped or batch-player engines, or the scalar uniform /
-per-player reference loops - and records which engine actually ran in
+history-indexed (trie-memoized CD) or batch-player engines, or the
+scalar uniform / per-player reference loops - and records which engine actually ran in
 the result metadata.  Experiments, the CLI and the sweep executors all call this
 one facade, so a scenario behaves identically however it is launched.
 

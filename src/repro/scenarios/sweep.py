@@ -20,10 +20,10 @@ them through a pluggable executor:
   grid instead of across cores.  Every point draws from its own
   seed-derived generator in exactly the order a solo run would, so the
   fused statistics are bit-identical to the serial executor's; only the
-  recorded engine label differs (``fused-schedule`` / ``fused-player``
-  says what actually executed).  Incompatible points - and singleton
-  groups, where stacking buys nothing - transparently fall back to
-  serial in-place runs.
+  recorded engine label differs (``fused-schedule`` / ``fused-history``
+  / ``fused-player`` says what actually executed).  Incompatible
+  points - and singleton groups, where stacking buys nothing -
+  transparently fall back to serial in-place runs.
 
 Specs and results cross the process boundary as JSON-native dicts, so
 the pool never pickles protocol objects or RNG state - workers rebuild
@@ -44,8 +44,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..analysis.montecarlo import (
+    ENGINE_BATCH_HISTORY,
     ENGINE_BATCH_PLAYER,
     ENGINE_BATCH_SCHEDULE,
+    ENGINE_FUSED_HISTORY,
     ENGINE_FUSED_PLAYER,
     ENGINE_FUSED_SCHEDULE,
     estimate_player_rounds_many,
@@ -264,7 +266,7 @@ def fusion_key(resolved: ResolvedScenario) -> tuple | None:
 
     Points sharing a key can be stacked into one engine run with
     bit-identical per-point results; ``None`` marks points the fused
-    executor must run serially.  Two fusable shapes exist:
+    executor must run serially.  Three fusable shapes exist:
 
     * **schedule points** - uniform protocols routed to the batch
       schedule engine.  The stacked engine takes per-point schedules and
@@ -272,6 +274,15 @@ def fusion_key(resolved: ResolvedScenario) -> tuple | None:
       quality, window base) and workloads fuse freely; only the trial
       count, round budget and channel must agree (the engine advances
       one shared round loop over a rectangular trial block).
+    * **history points** - uniform protocols routed to the batch history
+      engine (feedback-driven, deterministic sessions: Willard, code
+      search, phased search, history policies).  The stacked engine
+      keeps per-point protocols and a shared history-trie arena, so
+      protocol params, workloads, predictions and seeds all sweep
+      freely; as for schedule points, only trials, round budget and
+      channel must agree.  Points with equal
+      :meth:`~repro.core.protocol.UniformProtocol.history_signature`\\ s
+      additionally share one memoized trie inside the run.
     * **player points** - player protocols routed to the batch player
       engine whose sessions are randomness-free
       (:meth:`~repro.core.protocol.PlayerProtocol.supports_fused_sessions`).
@@ -289,6 +300,8 @@ def fusion_key(resolved: ResolvedScenario) -> tuple | None:
     )
     if resolved.engine == ENGINE_BATCH_SCHEDULE:
         return ("schedule",) + shared
+    if resolved.engine == ENGINE_BATCH_HISTORY:
+        return ("history",) + shared
     if resolved.engine == ENGINE_BATCH_PLAYER and resolved.protocol.supports_fused_sessions():
         return (
             ("player",)
@@ -356,7 +369,11 @@ def _run_fused_group(
             trials=spec.trials,
             max_rounds=spec.max_rounds,
         )
-        label = ENGINE_FUSED_SCHEDULE
+        label = (
+            ENGINE_FUSED_HISTORY
+            if first.engine == ENGINE_BATCH_HISTORY
+            else ENGINE_FUSED_SCHEDULE
+        )
     # One stacked run has no meaningful per-point wall clock; record the
     # group's amortized share so sweep totals still add up.
     share = (time.perf_counter() - started) / len(members)

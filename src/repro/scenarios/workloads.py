@@ -21,6 +21,7 @@ is the resolved workload distribution itself.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable, Mapping
 
 from ..channel.arrivals import MarkovBurstArrivals, TraceArrivals
@@ -89,12 +90,53 @@ def register_distribution_family(
     DISTRIBUTION_FAMILIES[name] = constructor
 
 
+# A sweep cycles through a handful of distinct distributions; keep the
+# cache small (FIFO-evicted) - full-board entries hold 65k-atom pmfs plus
+# lazily built sampler/condensation state, so a large cache would pin
+# real memory.
+_DISTRIBUTION_CACHE: dict[tuple[int, str, str], SizeDistribution] = {}
+_DISTRIBUTION_CACHE_MAX = 32
+
+
 def resolve_distribution(n: int, params: Mapping) -> SizeDistribution:
-    """Build the distribution a ``{"family": ..., **kwargs}`` mapping names."""
+    """Build the distribution a ``{"family": ..., **kwargs}`` mapping names.
+
+    Results are memoized on ``(n, family, params)``: a sweep re-resolves
+    the same handful of workload and prediction distributions for every
+    grid point, and full-board construction (pmf validation plus
+    condensation) is the dominant resolution cost.  Distributions are
+    immutable apart from internal caches, so sharing one instance across
+    points is safe - the solo runner already reuses one instance across
+    all trials of a scenario.  The constructor always receives the
+    caller's *original* params; only parameter sets that survive a JSON
+    round-trip unchanged are cached (custom families registered with
+    e.g. tuple values or int-keyed dicts simply bypass the memo rather
+    than being handed transformed arguments or colliding on a lossy
+    key).
+    """
     params = dict(params)
     family = params.pop("family", None)
     if not family:
         raise ScenarioError("distribution params need a 'family' name")
+    family = str(family)
+    try:
+        encoded = json.dumps(params, sort_keys=True)
+        cacheable = json.loads(encoded) == params
+    except TypeError:
+        cacheable = False
+    if not cacheable:
+        return _build_distribution(n, family, **params)
+    key = (n, family, encoded)
+    hit = _DISTRIBUTION_CACHE.get(key)
+    if hit is None:
+        hit = _build_distribution(n, family, **params)
+        if len(_DISTRIBUTION_CACHE) >= _DISTRIBUTION_CACHE_MAX:
+            _DISTRIBUTION_CACHE.pop(next(iter(_DISTRIBUTION_CACHE)))
+        _DISTRIBUTION_CACHE[key] = hit
+    return hit
+
+
+def _build_distribution(n: int, family: str, **params) -> SizeDistribution:
     try:
         constructor = DISTRIBUTION_FAMILIES[family]
     except KeyError:

@@ -22,11 +22,19 @@ import pytest
 from repro.analysis.montecarlo import estimate_uniform_rounds
 from repro.channel import (
     is_batchable,
+    run_history_stacked,
     run_schedule_stacked,
     run_uniform,
     run_uniform_batch,
 )
-from repro.core.protocol import BatchSchedule, ProtocolError
+from repro.core.feedback import Observation
+from repro.core.protocol import (
+    BatchSchedule,
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+    UniformSession,
+)
 from repro.core.uniform import (
     HistoryPolicy,
     HistoryPolicyProtocol,
@@ -50,6 +58,42 @@ class _HalvingPolicy(HistoryPolicy):
     def probability(self, history: str) -> float:
         collisions = history.count("1")
         return 0.5 ** min(collisions + 1, 30)
+
+
+class _OneShotProbeSession(UniformSession):
+    def __init__(self, probabilities: tuple[float, ...]) -> None:
+        self._probabilities = probabilities
+        self._position = 0
+
+    def next_probability(self) -> float:
+        if self._position >= len(self._probabilities):
+            raise ScheduleExhausted("probe schedule spent")
+        probability = self._probabilities[self._position]
+        self._position += 1
+        return probability
+
+    def observe(self, observation: Observation) -> None:
+        assert observation in (Observation.SILENCE, Observation.COLLISION)
+
+
+class _OneShotProbeProtocol(UniformProtocol):
+    """Deterministic-outcome CD one-shot: fixed 0/1 probabilities.
+
+    With probabilities in {0, 1} every trial's trajectory is
+    deterministic, so the scalar loop and the history engine must agree
+    *exactly* - the pin for ScheduleExhausted / give-up bookkeeping.
+    Deliberately publishes no batch schedule, keeping it on the history
+    engine even though it ignores feedback.
+    """
+
+    name = "one-shot-probe"
+    requires_collision_detection = True
+
+    def __init__(self, probabilities: tuple[float, ...]) -> None:
+        self.probabilities = tuple(probabilities)
+
+    def session(self) -> _OneShotProbeSession:
+        return _OneShotProbeSession(self.probabilities)
 
 
 def _scalar_stats(protocol_factory, ks, channel, max_rounds, seed):
@@ -269,6 +313,236 @@ class TestStackedScheduleEngine:
             )
 
 
+class TestStackedHistoryEngine:
+    """run_history_stacked: per-point bit-identity with solo batches."""
+
+    def _points(self):
+        protocols = [
+            WillardProtocol(N),
+            WillardProtocol(N, restart=False, repetitions=1),
+            HistoryPolicyProtocol(_HalvingPolicy()),
+            WillardProtocol(N),  # same signature as point 0: shared trie
+        ]
+        ks_list = [
+            _sizes(np.random.default_rng(40 + i), 120)
+            for i in range(len(protocols))
+        ]
+        return protocols, ks_list
+
+    def test_stacked_points_match_solo_runs_exactly(self, cd_channel):
+        """Each point of a stacked run consumes its own generator exactly
+        as a solo run would, so results agree bit for bit - including
+        one-shot give-ups mid-stack and trie sharing between the two
+        identical Willard points."""
+        protocols, ks_list = self._points()
+        stacked = run_history_stacked(
+            protocols,
+            ks_list,
+            [np.random.default_rng(70 + i) for i in range(len(protocols))],
+            channel=cd_channel,
+            max_rounds=300,
+        )
+        for i, (protocol, ks) in enumerate(zip(protocols, ks_list)):
+            solo = run_uniform_batch(
+                protocol, ks, np.random.default_rng(70 + i),
+                channel=cd_channel, max_rounds=300,
+            )
+            assert (stacked[i].solved == solo.solved).all(), i
+            assert (stacked[i].rounds == solo.rounds).all(), i
+            assert (stacked[i].ks == solo.ks).all(), i
+
+    def test_results_independent_of_trie_warmth(self, cd_channel):
+        """The shared history trie is a pure memo: a cold arena and a
+        warm one produce bit-identical results."""
+        import repro.channel.batch as batch_module
+
+        protocol = WillardProtocol(N)
+        ks = _sizes(np.random.default_rng(3), 200)
+
+        def run():
+            return run_uniform_batch(
+                protocol, ks, np.random.default_rng(9),
+                channel=cd_channel, max_rounds=200,
+            )
+
+        batch_module._reset_shared_arena()
+        cold = run()
+        warm = run()
+        assert (cold.solved == warm.solved).all()
+        assert (cold.rounds == warm.rounds).all()
+
+    def test_point_stops_consuming_randomness_when_done(self, cd_channel):
+        """History points pre-draw uniforms in 16-round blocks and stop
+        drawing once all their trials retired - the same stream contract
+        as the schedule engine."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        class _InstantPolicy(HistoryPolicy):
+            name = "instant"
+
+            def probability(self, history: str) -> float:
+                return 1.0
+
+        class _MutePolicy(HistoryPolicy):
+            name = "mute"
+
+            def probability(self, history: str) -> float:
+                return 0.0  # certain silence: alive to the budget
+
+        instant = HistoryPolicyProtocol(_InstantPolicy())  # k=1: round 1
+        never = HistoryPolicyProtocol(_MutePolicy())
+        counters = [_CountingRng(), _CountingRng()]
+        results = run_history_stacked(
+            [instant, never],
+            [np.ones(5, dtype=np.int64), np.full(3, 500, dtype=np.int64)],
+            counters,
+            channel=cd_channel,
+            max_rounds=50,
+        )
+        assert results[0].solved.all() and (results[0].rounds == 1).all()
+        assert counters[0].requested == 5 * 16  # one block row per trial
+        # Certain silence survives to the budget: one uniform per
+        # trial-round, block boundaries clipped to the budget.
+        assert not results[1].solved.any()
+        assert counters[1].requested == 3 * 50
+
+    def test_exhausted_trials_do_not_draw(self, cd_channel):
+        """A trial retiring via ScheduleExhausted consumes no uniform in
+        its give-up round, exactly like the scalar loop (the exception
+        fires before the round's binomial there)."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        protocol = _OneShotProbeProtocol((0.0, 0.0))
+        counter = _CountingRng()
+        result = run_history_stacked(
+            [protocol], [np.full(4, 7, dtype=np.int64)], [counter],
+            channel=cd_channel, max_rounds=10,
+        )[0]
+        assert (result.rounds == 2).all()
+        # One 10-wide block row per trial at round 1; the round-3 give-up
+        # consumed nothing further.
+        assert counter.requested == 4 * 10
+
+    def test_stacked_validates_inputs(self, cd_channel, rng):
+        protocol = WillardProtocol(N)
+        with pytest.raises(ValueError, match="per point"):
+            run_history_stacked(
+                [protocol], [], [rng], channel=cd_channel, max_rounds=5
+            )
+        with pytest.raises(ValueError, match="at least one point"):
+            run_history_stacked([], [], [], channel=cd_channel, max_rounds=5)
+        with pytest.raises(ValueError, match="budget"):
+            run_history_stacked(
+                [protocol], [np.ones(1, dtype=np.int64)], [rng],
+                channel=cd_channel, max_rounds=0,
+            )
+        randomized = RestartProtocol(lambda: DecayProtocol(N, cycle=False))
+        with pytest.raises(ValueError, match="randomized sessions"):
+            run_history_stacked(
+                [randomized], [np.ones(1, dtype=np.int64)], [rng],
+                channel=cd_channel, max_rounds=5,
+            )
+
+
+class TestGiveUpAgreement:
+    """Scalar-vs-batch agreement on the CD give-up and rejection paths."""
+
+    def test_exhaustion_bookkeeping_matches_scalar_exactly(self, cd_channel):
+        """Deterministic one-shot: both paths record rounds actually
+        played (= schedule length), unsolved, for every trial."""
+        protocol = _OneShotProbeProtocol((0.0, 0.0, 0.0))
+        batch = run_uniform_batch(
+            protocol, [2, 5, 40], np.random.default_rng(1),
+            channel=cd_channel, max_rounds=50,
+        )
+        scalar = [
+            run_uniform(
+                protocol, k, np.random.default_rng(1), channel=cd_channel,
+                max_rounds=50,
+            )
+            for k in (2, 5, 40)
+        ]
+        assert not batch.solved.any()
+        assert (batch.rounds == 3).all()
+        assert batch.gave_up().all()
+        for result in scalar:
+            assert not result.solved and result.rounds == 3
+
+    def test_budget_truncates_before_exhaustion_on_both_paths(
+        self, cd_channel
+    ):
+        protocol = _OneShotProbeProtocol((0.0,) * 10)
+        batch = run_uniform_batch(
+            protocol, [6], np.random.default_rng(1), channel=cd_channel,
+            max_rounds=4,
+        )
+        scalar = run_uniform(
+            protocol, 6, np.random.default_rng(1), channel=cd_channel,
+            max_rounds=4,
+        )
+        assert batch.rounds[0] == scalar.rounds == 4
+        assert not batch.gave_up().any()  # budget-censored, not a give-up
+
+    def test_deterministic_success_matches_scalar_exactly(self, cd_channel):
+        """p=1, k=1 solves in round 1 on both paths; p=1, k>=2 collides
+        forever and gives up at exhaustion on both paths."""
+        protocol = _OneShotProbeProtocol((1.0, 1.0))
+        batch = run_uniform_batch(
+            protocol, [1, 1, 3], np.random.default_rng(0),
+            channel=cd_channel, max_rounds=9,
+        )
+        assert list(batch.solved) == [True, True, False]
+        assert list(batch.rounds) == [1, 1, 2]
+        solo_one = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=cd_channel,
+            max_rounds=9,
+        )
+        solo_three = run_uniform(
+            protocol, 3, np.random.default_rng(0), channel=cd_channel,
+            max_rounds=9,
+        )
+        assert solo_one.solved and solo_one.rounds == 1
+        assert not solo_three.solved and solo_three.rounds == 2
+
+    def test_k0_and_empty_rows_rejected_on_both_paths(self, cd_channel, rng):
+        """The problem assumes non-empty participant sets: k = 0 rows and
+        empty workloads are rejected identically by both engines."""
+        protocol = WillardProtocol(N)
+        with pytest.raises(ValueError, match=">= 1"):
+            run_uniform(protocol, 0, rng, channel=cd_channel, max_rounds=5)
+        with pytest.raises(ValueError, match=">= 1"):
+            run_uniform_batch(
+                protocol, [4, 0, 9], rng, channel=cd_channel, max_rounds=5
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            run_uniform_batch(
+                protocol, [], rng, channel=cd_channel, max_rounds=5
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            run_history_stacked(
+                [protocol], [np.asarray([], dtype=np.int64)], [rng],
+                channel=cd_channel, max_rounds=5,
+            )
+
+
 class TestBatchEngineContracts:
     def test_rejects_bad_inputs(self, rng, nocd_channel):
         protocol = DecayProtocol(N)
@@ -321,6 +595,31 @@ class TestBatchEngineContracts:
             restart, [10] * 200, rng, channel=nocd_channel, max_rounds=300
         )
         assert batch.solved.all()
+
+    def test_history_signatures_identify_equal_behaviour(self):
+        """Equal constructor args -> equal signature (shared trie); any
+        parameter difference splits it; randomized wrappers sign nothing."""
+        assert (
+            WillardProtocol(N).history_signature()
+            == WillardProtocol(N).history_signature()
+            is not None
+        )
+        assert (
+            WillardProtocol(N).history_signature()
+            != WillardProtocol(N, repetitions=5).history_signature()
+        )
+        one_shot = WillardProtocol(N, restart=False)
+        assert RestartProtocol(one_shot).history_signature() == (
+            "restart",
+            one_shot.history_signature(),
+        )
+        assert (
+            RestartProtocol(
+                lambda: WillardProtocol(N, restart=False)
+            ).history_signature()
+            is None
+        )
+        assert HistoryPolicyProtocol(_HalvingPolicy()).history_signature() is None
 
     def test_batch_schedule_validation(self):
         with pytest.raises(ValueError, match="at least one round"):

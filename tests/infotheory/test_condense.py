@@ -105,6 +105,18 @@ class TestCondensedDistribution:
         with pytest.raises(ValueError, match="length"):
             CondensedDistribution.from_size_pmf(4, [0.0, 0.0, 1.0])
 
+    def test_from_size_pmf_rejects_negative_masses(self):
+        """A negative entry must not net out against positives that land
+        in the same range and slip past the sum-to-one check."""
+        with pytest.raises(ValueError, match="invalid probability"):
+            CondensedDistribution.from_size_pmf(
+                4, [0.0, 0.0, 0.5, 0.75, -0.25]
+            )
+        with pytest.raises(ValueError, match="invalid probability"):
+            CondensedDistribution.from_size_pmf(
+                4, [0.0, 0.0, 0.5, 0.5, float("nan")]
+            )
+
     def test_uniform_entropy(self):
         condensed = CondensedDistribution.uniform(2**16)
         assert condensed.entropy() == pytest.approx(4.0)

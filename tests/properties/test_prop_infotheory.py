@@ -159,6 +159,8 @@ class TestCondensationProperties:
             assert abs(condensed.probability(i) - direct) < 1e-9
 
     @given(st.integers(min_value=2, max_value=2**12))
+    @settings(deadline=None)  # large-n examples can exceed the default
+    # 200ms under full-suite load; the property itself is deterministic
     def test_condensed_entropy_at_most_full_entropy(self, n):
         """Grouping never increases entropy: H(c(X)) <= H(X)."""
         distribution = SizeDistribution.uniform(n)

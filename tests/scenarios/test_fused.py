@@ -4,10 +4,11 @@ The fused executor's contract is *exact* agreement with the serial
 reference on every point's statistics: each point draws from its own
 seed-derived generator in precisely the order a solo run would, whether
 its rounds execute stacked or alone.  The only permitted difference is
-the recorded engine label (``fused-schedule`` / ``fused-player`` records
-what actually executed).  These tests sweep the registry protocol
-families across channels and workloads, mix compatible and incompatible
-points in one grid, and unit-test the compatibility analyzer itself.
+the recorded engine label (``fused-schedule`` / ``fused-history`` /
+``fused-player`` records what actually executed).  These tests sweep the
+registry protocol families across channels and workloads, mix compatible
+and incompatible points in one grid, and unit-test the compatibility
+analyzer itself.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.analysis.montecarlo import (
     ENGINE_BATCH_HISTORY,
     ENGINE_BATCH_PLAYER,
     ENGINE_BATCH_SCHEDULE,
+    ENGINE_FUSED_HISTORY,
     ENGINE_FUSED_PLAYER,
     ENGINE_FUSED_SCHEDULE,
     ENGINE_SCALAR_UNIFORM,
@@ -34,6 +36,7 @@ from repro.scenarios.runner import resolve_scenario
 #: Serial label -> the label the fused executor stamps on stacked points.
 _FUSED_LABEL = {
     ENGINE_BATCH_SCHEDULE: ENGINE_FUSED_SCHEDULE,
+    ENGINE_BATCH_HISTORY: ENGINE_FUSED_HISTORY,
     ENGINE_BATCH_PLAYER: ENGINE_FUSED_PLAYER,
 }
 
@@ -183,6 +186,99 @@ SCHEDULE_GRIDS = [
 ]
 
 
+HISTORY_GRIDS = [
+    (
+        "willard/fixed-k",
+        uniform_base(protocol="willard", channel="cd"),
+        {"workload.params.k": [2, 5, 30, 200]},
+    ),
+    (
+        "willard/repetitions-and-k",
+        uniform_base(protocol="willard", channel="cd"),
+        {
+            "protocol.params.repetitions": [1, 3, 5],
+            "workload.params.k": [4, 64],
+        },
+    ),
+    (
+        # One-shot searches exhaust mid-stack: give-up bookkeeping
+        # (rounds actually played) must survive fusion bit for bit.
+        "willard/one-shot-exhaustion",
+        uniform_base(
+            protocol={
+                "id": "willard",
+                "params": {"restart": False, "repetitions": 1},
+            },
+            channel="cd",
+            max_rounds=40,
+        ),
+        {"workload.params.k": [100, 500, 900]},
+    ),
+    (
+        "code-search/prediction-quality",
+        uniform_base(
+            protocol={"id": "code-search", "params": {"one_shot": False}},
+            channel="cd",
+            prediction="truth",
+            workload={
+                "kind": "distribution",
+                "params": {
+                    "family": "range_uniform_subset",
+                    "ranges": [2, 5, 8],
+                },
+            },
+        ),
+        {
+            "prediction": [
+                "truth",
+                {"source": "distribution", "params": {"family": "uniform"}},
+            ],
+            "workload.params.ranges": [[2, 5, 8], [3, 6, 9]],
+        },
+    ),
+    (
+        "restart(one-shot-willard)/cycling",
+        uniform_base(
+            protocol={
+                "id": "restart",
+                "params": {
+                    "inner": {
+                        "id": "willard",
+                        "params": {"restart": False, "repetitions": 1},
+                    }
+                },
+            },
+            channel="cd",
+        ),
+        {"workload.params.k": [3, 40]},
+    ),
+    (
+        # Same protocol spec at every point: the stacked run shares one
+        # memoized history trie across the whole group.
+        "willard/seed-sweep",
+        uniform_base(protocol="willard", channel="cd"),
+        {"seed": [1, 2, 3, 4]},
+    ),
+    (
+        "willard/bursty-workload",
+        uniform_base(
+            protocol="willard",
+            channel="cd",
+            workload={
+                "kind": "bursty",
+                "params": {
+                    "calm_rate": 0.004,
+                    "burst_rate": 0.2,
+                    "burst_arrival": 0.05,
+                    "burst_departure": 0.2,
+                },
+            },
+        ),
+        {"workload.params.burst_rate": [0.1, 0.2, 0.4]},
+    ),
+]
+
+
 PLAYER_GRIDS = [
     (
         "tree-descent/bit-flip-curve",
@@ -262,12 +358,39 @@ class TestFusedSerialEquivalence:
 
     @pytest.mark.parametrize(
         "label,base,grid",
+        HISTORY_GRIDS,
+        ids=[case[0] for case in HISTORY_GRIDS],
+    )
+    def test_history_grids_bit_identical(self, label, base, grid):
+        labels = assert_identical_results(Sweep(base=base, grid=grid))
+        assert ENGINE_FUSED_HISTORY in labels, label
+
+    @pytest.mark.parametrize(
+        "label,base,grid",
         PLAYER_GRIDS,
         ids=[case[0] for case in PLAYER_GRIDS],
     )
     def test_player_grids_bit_identical(self, label, base, grid):
         labels = assert_identical_results(Sweep(base=base, grid=grid))
         assert ENGINE_FUSED_PLAYER in labels, label
+
+    def test_fused_history_point_reruns_identically_standalone(self):
+        """A fused CD point re-run alone from its serialized spec must
+        reproduce its statistics - trie sharing cannot leak anything."""
+        from repro.scenarios import run_scenario
+
+        sweep = Sweep(
+            base=uniform_base(protocol="willard", channel="cd"),
+            grid={"workload.params.k": [2, 9, 77]},
+        )
+        fused = run_sweep(sweep, executor="fused")
+        assert all(
+            point.engine == ENGINE_FUSED_HISTORY for point in fused.results
+        )
+        for point in fused.results:
+            solo = run_scenario(ScenarioSpec.from_json(point.spec.to_json()))
+            assert solo.rounds == point.rounds
+            assert solo.success == point.success
 
     def test_fused_point_reruns_identically_standalone(self):
         """Any fused point re-run alone from its serialized spec must
@@ -296,16 +419,26 @@ class TestMixedGrids:
         assert labels.count(ENGINE_FUSED_SCHEDULE) == 2
         assert labels.count(ENGINE_SCALAR_UNIFORM) == 2
 
-    def test_history_engine_points_stay_serial(self):
-        """Willard (history engine) cannot stack; decay points fuse
-        around it within the same grid."""
+    def test_history_and_schedule_points_fuse_as_separate_groups(self):
+        """One CD grid mixing decay (schedule engine) and Willard
+        (history engine): each family stacks with its own kind."""
         sweep = Sweep(
             base=uniform_base(channel="cd", trials=40),
             grid={"protocol.id": ["decay", "willard"], "workload.params.k": [3, 9]},
         )
         labels = assert_identical_results(sweep)
         assert labels.count(ENGINE_FUSED_SCHEDULE) == 2
-        assert labels.count(ENGINE_BATCH_HISTORY) == 2
+        assert labels.count(ENGINE_FUSED_HISTORY) == 2
+
+    def test_singleton_history_point_stays_serial(self):
+        """A lone history point has nothing to stack with: it runs (and
+        is labelled) as a plain batch-history scenario."""
+        sweep = Sweep(
+            base=uniform_base(channel="cd", trials=40),
+            grid={"protocol.id": ["decay", "willard"], "batch": [None]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_BATCH_SCHEDULE, ENGINE_BATCH_HISTORY]
 
     def test_randomized_player_points_stay_serial(self):
         """Backoff batches within a point but cannot fuse across points
@@ -379,14 +512,52 @@ class TestFusionAnalyzer:
         )
         assert fusion_key(plain) != fusion_key(predicted)
 
+    def test_history_points_share_a_key_across_params(self):
+        """Willard and code search on one CD channel fuse regardless of
+        protocol params, prediction quality or workload - exactly the
+        schedule-point rule, on the history engine."""
+        a = self._resolve(uniform_base(protocol="willard", channel="cd"))
+        b = self._resolve(
+            uniform_base(
+                protocol={"id": "willard", "params": {"repetitions": 5}},
+                channel="cd",
+                seed=99,
+            )
+        )
+        assert fusion_key(a) == fusion_key(b) is not None
+
+    def test_history_keys_never_collide_with_schedule_keys(self):
+        """Decay and Willard on the same CD channel must not stack into
+        one engine run - the key carries the engine family."""
+        schedule = self._resolve(uniform_base(channel="cd"))
+        history = self._resolve(uniform_base(protocol="willard", channel="cd"))
+        assert fusion_key(schedule) is not None
+        assert fusion_key(history) is not None
+        assert fusion_key(schedule) != fusion_key(history)
+
+    def test_trials_and_budget_split_history_keys(self):
+        base = self._resolve(uniform_base(protocol="willard", channel="cd"))
+        assert fusion_key(
+            self._resolve(
+                uniform_base(protocol="willard", channel="cd", trials=91)
+            )
+        ) != fusion_key(base)
+        assert fusion_key(
+            self._resolve(
+                uniform_base(protocol="willard", channel="cd", max_rounds=301)
+            )
+        ) != fusion_key(base)
+
     def test_unfusable_points_get_no_key(self):
         scalar = self._resolve(uniform_base(batch=False))
-        history = self._resolve(uniform_base(protocol="willard", channel="cd"))
+        scalar_history = self._resolve(
+            uniform_base(protocol="willard", channel="cd", batch=False)
+        )
         randomized_player = self._resolve(
             player_base(protocol={"id": "backoff", "params": {}}, advice=None)
         )
         assert fusion_key(scalar) is None
-        assert fusion_key(history) is None
+        assert fusion_key(scalar_history) is None
         assert fusion_key(randomized_player) is None
 
     def test_groups_preserve_first_seen_order(self):

@@ -1,13 +1,15 @@
 """Emit a JSON perf snapshot of the Monte Carlo substrate.
 
 Times the scalar reference loops against the vectorized batch engines on
-benchmark-scale Table 1 workloads (no-CD schedule path and CD
-history-grouped path) and Table 2 player workloads (deterministic scan /
-tree descent / backoff on the per-player engine), plus the scenario
-sweep executors (serial vs process pool on a Table-1-scale point grid),
-and writes a ``BENCH_*.json`` snapshot, so future PRs can track the
-performance trajectory with a one-line diff instead of re-deriving
-numbers from benchmark logs.
+benchmark-scale Table 1 workloads (no-CD schedule path and the CD
+history-trie path, solo and fused across the dense CD grid) and Table 2
+player workloads (deterministic scan / tree descent / backoff on the
+per-player engine), plus the scenario sweep executors (serial vs process
+pool on a Table-1-scale point grid; recorded as ``skipped`` on
+single-core boxes, where a pool physically cannot win), and writes a
+``BENCH_*.json`` snapshot, so future PRs can track the performance
+trajectory with a one-line diff instead of re-deriving numbers from
+benchmark logs.
 
 Usage (from the repository root)::
 
@@ -50,6 +52,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
 from benchmarks.sweep_workload import (  # noqa: E402
     RANGE_SETS,
+    cd_grid_sweep,
     executor_sweep,
     fused_player_sweep,
     fused_sweep,
@@ -142,13 +145,28 @@ def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
 
     Every point is an independent scenario (own seed), so the two
     executors return identical results; only the wall clock differs.
-    The speedup is bounded by the machine's core count - the snapshot
-    records ``cpu_count`` so a single-core box's sub-1x reading is
-    legible rather than mysterious.
+    The speedup is bounded by the machine's core count, so on a
+    single-core box the section records ``skipped: true`` (with
+    ``cpu_count``) instead of a physically meaningless ~1.0x reading -
+    matching the gate in ``benchmarks/test_bench_sweep.py``, which also
+    skips below two cores.
     """
+    cpu_count = os.cpu_count()
+    if (cpu_count or 1) < 2:
+        return {
+            "skipped": True,
+            "cpu_count": cpu_count,
+            "points": len(RANGE_SETS),
+            "trials_per_point": trials,
+            "reason": (
+                "single-core machine: a process pool cannot beat serial "
+                "without a second core, so timing it here would record "
+                "noise as data"
+            ),
+        }
     sweep = executor_sweep(trials)
     if workers is None:
-        workers = min(len(RANGE_SETS), os.cpu_count() or 1)
+        workers = min(len(RANGE_SETS), cpu_count or 1)
 
     serial_seconds = _median_seconds(
         lambda: run_sweep(sweep, executor="serial"), repeats
@@ -157,13 +175,43 @@ def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
         lambda: run_sweep(sweep, executor="process", max_workers=workers), repeats
     )
     return {
+        "skipped": False,
         "points": len(RANGE_SETS),
         "trials_per_point": trials,
         "max_workers": workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "serial_seconds": round(serial_seconds, 6),
         "process_seconds": round(process_seconds, 6),
         "speedup": round(serial_seconds / process_seconds, 2),
+    }
+
+
+def history_bench(cd_willard: dict, repeats: int) -> dict:
+    """The CD history-engine section: solo speedup plus the fused grid.
+
+    ``cd_willard`` is the solo batch-vs-scalar measurement already taken
+    for the ``measurements`` section (same workload as the >= 8x gate in
+    ``benchmarks/test_bench_history.py``); the fused half times the
+    dense CD grid (>= 3x gate) against the point-serial executor.
+    """
+    sweep = cd_grid_sweep()
+    run_sweep(sweep, executor="fused")  # warm caches: steady-state timing
+    serial_seconds = _median_seconds(
+        lambda: run_sweep(sweep, executor="serial"), repeats
+    )
+    fused_seconds = _median_seconds(
+        lambda: run_sweep(sweep, executor="fused"), repeats
+    )
+    points = sweep.points()
+    return {
+        "cd_willard": cd_willard,
+        "cd_grid": {
+            "points": len(points),
+            "trials_per_point": points[0].trials,
+            "serial_seconds": round(serial_seconds, 6),
+            "fused_seconds": round(fused_seconds, 6),
+            "speedup": round(serial_seconds / fused_seconds, 2),
+        },
     }
 
 
@@ -253,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
     player_engine = player_bench(args.player_trials, args.repeats)
+    history_engine = history_bench(measurements["cd_willard"], args.repeats)
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     sweep_fused = fused_bench(args.repeats)
     snapshot = {
@@ -273,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "measurements": measurements,
         "player_engine": player_engine,
+        "history_engine": history_engine,
         "sweep_executor": sweep_executor,
         "sweep_fused": sweep_fused,
     }
@@ -282,14 +332,26 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: scalar={row['scalar_seconds']:.3f}s "
             f"batch={row['batch_seconds']:.3f}s speedup={row['speedup']}x"
         )
+    cd_grid = history_engine["cd_grid"]
     print(
-        f"sweep_executor: serial={sweep_executor['serial_seconds']:.3f}s "
-        f"process={sweep_executor['process_seconds']:.3f}s "
-        f"speedup={sweep_executor['speedup']}x "
-        f"({sweep_executor['points']} points, "
-        f"{sweep_executor['max_workers']} workers, "
-        f"{sweep_executor['cpu_count']} cpu)"
+        f"history_engine/cd_grid: serial={cd_grid['serial_seconds']:.3f}s "
+        f"fused={cd_grid['fused_seconds']:.3f}s "
+        f"speedup={cd_grid['speedup']}x ({cd_grid['points']} points)"
     )
+    if sweep_executor.get("skipped"):
+        print(
+            f"sweep_executor: skipped ({sweep_executor['cpu_count']} cpu): "
+            f"{sweep_executor['reason']}"
+        )
+    else:
+        print(
+            f"sweep_executor: serial={sweep_executor['serial_seconds']:.3f}s "
+            f"process={sweep_executor['process_seconds']:.3f}s "
+            f"speedup={sweep_executor['speedup']}x "
+            f"({sweep_executor['points']} points, "
+            f"{sweep_executor['max_workers']} workers, "
+            f"{sweep_executor['cpu_count']} cpu)"
+        )
     for name, row in sweep_fused.items():
         print(
             f"sweep_fused/{name}: serial={row['serial_seconds']:.3f}s "
