@@ -1,0 +1,132 @@
+"""Fault-injection overhead on the batch engines.
+
+The adversarial channel models ride inside the vectorized round loop
+(one extra perturbation, plus one pre-drawn uniform block for the
+randomized models), so they must not forfeit the batch engines' speed:
+the acceptance gate is that a noisy batch run stays within 2x of the
+faithful batch run on the same workload, on both the schedule and the
+history engine.  Deterministic jammers consume no randomness at all and
+are gated tighter.  Statistics sanity-check the models at scale: jams
+and noise delay, they do not kill.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.montecarlo import estimate_uniform_rounds
+from repro.channel import (
+    NoisyChannel,
+    ObliviousJammer,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.experiments.table1_nocd import entropy_sweep_distributions
+from repro.protocols.sorted_probing import SortedProbingProtocol
+from repro.protocols.willard import WillardProtocol
+
+N = 2**16
+TRIALS = 6000
+MAX_ROUNDS = 1024
+SEED = 2021
+
+NOISE = NoisyChannel(
+    silence_to_collision=0.05, collision_to_silence=0.05, success_erasure=0.1
+)
+JAM = ObliviousJammer(budget=8)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _estimate(protocol, distribution, channel):
+    return estimate_uniform_rounds(
+        protocol,
+        distribution,
+        np.random.default_rng(SEED),
+        channel=channel,
+        trials=TRIALS,
+        max_rounds=MAX_ROUNDS,
+        batch=True,
+    )
+
+
+def _gate(benchmark, protocol_factory, base_channel, label):
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+
+    faithful, faithful_seconds = _timed(
+        lambda: _estimate(protocol_factory(), distribution, base_channel)
+    )
+    noisy, noisy_seconds = _timed(
+        lambda: _estimate(
+            protocol_factory(), distribution, base_channel.with_model(NOISE)
+        )
+    )
+    jammed, jammed_seconds = _timed(
+        lambda: _estimate(
+            protocol_factory(), distribution, base_channel.with_model(JAM)
+        )
+    )
+    benchmark.pedantic(
+        lambda: _estimate(
+            protocol_factory(), distribution, base_channel.with_model(NOISE)
+        ),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    noise_overhead = noisy_seconds / faithful_seconds
+    jam_overhead = jammed_seconds / faithful_seconds
+    print(
+        f"\n{label}, trials={TRIALS}: faithful={faithful_seconds:.3f}s "
+        f"noisy={noisy_seconds:.3f}s ({noise_overhead:.2f}x) "
+        f"jammed={jammed_seconds:.3f}s ({jam_overhead:.2f}x)"
+    )
+
+    # Statistics: the adversary delays but does not kill at this scale,
+    # and the jam floor shows up as a strictly larger round count.
+    assert faithful.success.rate == 1.0
+    assert noisy.success.rate >= 0.99, noisy.success.rate
+    assert jammed.success.rate >= 0.99, jammed.success.rate
+    assert jammed.rounds.mean > faithful.rounds.mean
+    assert jammed.rounds.minimum >= JAM.budget + 1
+
+    # The perf gates.  Absolute floors keep sub-10ms runs from flaking
+    # the ratio on timer noise.
+    assert noisy_seconds <= max(2.0 * faithful_seconds, 0.05), (
+        f"{label}: noisy batch {noise_overhead:.2f}x over faithful "
+        f"({noisy_seconds:.3f}s vs {faithful_seconds:.3f}s)"
+    )
+    # The jammed run plays ~budget extra rounds per trial (real extra
+    # work, not injection overhead), so it shares the noisy gate.
+    assert jammed_seconds <= max(2.0 * faithful_seconds, 0.05), (
+        f"{label}: jammed batch {jam_overhead:.2f}x over faithful "
+        f"({jammed_seconds:.3f}s vs {faithful_seconds:.3f}s)"
+    )
+
+
+def test_bench_adversary_schedule_engine(benchmark):
+    """No-CD sorted probing: fault overhead on the schedule engine."""
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    _gate(
+        benchmark,
+        lambda: SortedProbingProtocol(distribution, one_shot=False),
+        without_collision_detection(),
+        "no-CD sorted probing",
+    )
+
+
+def test_bench_adversary_history_engine(benchmark):
+    """CD Willard: fault overhead on the history-trie engine."""
+    _gate(
+        benchmark,
+        lambda: WillardProtocol(N),
+        with_collision_detection(),
+        "CD willard",
+    )

@@ -44,6 +44,7 @@ from ..channel.batch_players import (
     run_players_stacked,
 )
 from ..channel.channel import Channel
+from ..channel.models import ChannelModel
 from ..channel.simulator import _check_channel, run_players, run_uniform
 from ..core.advice import AdviceFunction
 from ..core.protocol import PlayerProtocol, UniformProtocol
@@ -171,7 +172,10 @@ def _draw_size_batch(
 
 
 def select_uniform_engine(
-    protocol: UniformFactory, batch: bool | None = None
+    protocol: UniformFactory,
+    batch: bool | None = None,
+    *,
+    model: ChannelModel | None = None,
 ) -> str:
     """Which execution engine :func:`estimate_uniform_rounds` will use.
 
@@ -182,8 +186,20 @@ def select_uniform_engine(
     (factories, randomized sessions, or ``batch=False``).  Raises
     ``ValueError`` when ``batch=True`` insists on an impossible batch run,
     mirroring the estimator.
+
+    ``model`` is the channel's *active* fault model: one that cannot run
+    vectorized (a crash model with a non-zero rejoin delay) forces the
+    scalar reference loop regardless of protocol capabilities.
     """
     batchable = isinstance(protocol, UniformProtocol) and is_batchable(protocol)
+    if model is not None and not model.batchable:
+        if batch is True:
+            raise ValueError(
+                f"batch=True but channel model {model.name!r} only runs on "
+                "the scalar engine (a non-zero crash rejoin delay changes "
+                "the live participant count mid-trial)"
+            )
+        return ENGINE_SCALAR_UNIFORM
     if batch is True and not batchable:
         raise ValueError(
             "batch=True requires a batchable UniformProtocol instance "
@@ -224,7 +240,7 @@ def estimate_uniform_rounds(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    engine = select_uniform_engine(protocol, batch)
+    engine = select_uniform_engine(protocol, batch, model=channel.active_model)
     if engine != ENGINE_SCALAR_UNIFORM:
         assert isinstance(protocol, UniformProtocol)
         ks = _draw_size_batch(size_source, rng, trials)
@@ -290,9 +306,15 @@ def estimate_uniform_rounds_many(
         )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    model = channel.active_model
+    if model is not None and not model.batchable:
+        raise ValueError(
+            f"channel model {model.name!r} only runs on the scalar engine; "
+            "its points cannot be stacked - estimate them one at a time"
+        )
     engines = set()
     for protocol in protocols:
-        engine = select_uniform_engine(protocol)
+        engine = select_uniform_engine(protocol, model=model)
         if engine == ENGINE_SCALAR_UNIFORM:
             raise ValueError(
                 f"protocol {getattr(protocol, 'name', protocol)!r} cannot "
@@ -314,6 +336,7 @@ def estimate_uniform_rounds_many(
             [protocol.batch_schedule() for protocol in protocols],
             ks_list,
             rngs,
+            channel=channel,
             max_rounds=max_rounds,
         )
     else:
@@ -358,7 +381,10 @@ def estimate_success_within(
 
 
 def select_player_engine(
-    protocol: PlayerProtocol, batch: bool | None = None
+    protocol: PlayerProtocol,
+    batch: bool | None = None,
+    *,
+    model: ChannelModel | None = None,
 ) -> str:
     """Which execution engine :func:`estimate_player_rounds` will use.
 
@@ -368,8 +394,20 @@ def select_player_engine(
     hook, :data:`ENGINE_SCALAR_PLAYER` otherwise (non-batchable
     combinators, or ``batch=False``).  Raises ``ValueError`` when
     ``batch=True`` insists on an impossible batch run.
+
+    ``model`` is the channel's *active* fault model: one that cannot run
+    vectorized (a crash model with a non-zero rejoin delay) forces the
+    scalar per-player loop regardless of protocol capabilities.
     """
     batchable = is_player_batchable(protocol)
+    if model is not None and not model.batchable:
+        if batch is True:
+            raise ValueError(
+                f"batch=True but channel model {model.name!r} only runs on "
+                "the scalar engine (a non-zero crash rejoin delay changes "
+                "the live participant set mid-trial)"
+            )
+        return ENGINE_SCALAR_PLAYER
     if batch is True and not batchable:
         raise ValueError(
             "batch=True requires a player protocol with batch sessions "
@@ -411,7 +449,7 @@ def estimate_player_rounds(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    engine = select_player_engine(protocol, batch)
+    engine = select_player_engine(protocol, batch, model=channel.active_model)
     if engine == ENGINE_BATCH_PLAYER:
         participant_sets = [participant_source(rng) for _ in range(trials)]
         result = run_players_batch(
@@ -482,6 +520,13 @@ def estimate_player_rounds_many(
         )
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    model = channel.active_model
+    if model is not None and (not model.batchable or model.needs_fault_draws):
+        raise ValueError(
+            f"channel model {model.name!r} cannot run on the stacked "
+            "(fused) player engine; run its points through "
+            "estimate_player_rounds"
+        )
     if not is_player_fusable(protocol):
         raise ValueError(
             f"protocol {protocol.name!r} has no randomness-free batch "

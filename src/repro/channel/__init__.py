@@ -8,6 +8,15 @@ single-transmitter round.
 
 from .arrivals import MarkovBurstArrivals, TraceArrivals
 from .channel import Channel, with_collision_detection, without_collision_detection
+from .models import (
+    CHANNEL_MODELS,
+    ChannelModel,
+    CrashModel,
+    NoisyChannel,
+    ObliviousJammer,
+    ReactiveJammer,
+    channel_model_from_dict,
+)
 from .network import (
     Adversary,
     ClusteredAdversary,
@@ -37,6 +46,13 @@ __all__ = [
     "Channel",
     "with_collision_detection",
     "without_collision_detection",
+    "ChannelModel",
+    "ObliviousJammer",
+    "ReactiveJammer",
+    "NoisyChannel",
+    "CrashModel",
+    "CHANNEL_MODELS",
+    "channel_model_from_dict",
     "Adversary",
     "RandomAdversary",
     "PrefixAdversary",

@@ -87,6 +87,7 @@ from ..core.protocol import (
     UniformSession,
 )
 from .channel import Channel
+from .models import FB_COLLISION, FB_SILENCE, FB_SUCCESS, ChannelModel
 from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
 from .trace import BatchExecutionResult
 
@@ -142,10 +143,11 @@ def run_uniform_batch(
     if max_rounds < 1:
         raise ValueError(f"round budget must be >= 1, got {max_rounds}")
     _check_channel(protocol.requires_collision_detection, channel)
+    _check_model_batchable(channel.active_model)
 
     schedule = protocol.batch_schedule()
     if schedule is not None:
-        return _run_schedule_batch(schedule, ks, rng, max_rounds)
+        return _run_schedule_batch(schedule, ks, rng, channel, max_rounds)
     if not protocol.deterministic_sessions:
         raise ValueError(
             f"protocol {protocol.name!r} has randomized sessions; use the "
@@ -154,10 +156,20 @@ def run_uniform_batch(
     return _run_history_batch(protocol, ks, rng, channel, max_rounds)
 
 
+def _check_model_batchable(model: ChannelModel | None) -> None:
+    if model is not None and not model.batchable:
+        raise ValueError(
+            f"channel model {model.name!r} cannot run on the batch engines "
+            "(a non-zero crash rejoin delay changes the live participant "
+            "count mid-trial); use the scalar engine (run_uniform) instead"
+        )
+
+
 def _run_schedule_batch(
     schedule: BatchSchedule,
     ks: np.ndarray,
     rng: np.random.Generator,
+    channel: Channel,
     max_rounds: int,
 ) -> BatchExecutionResult:
     """Advance every trial through a precomputed probability schedule.
@@ -167,7 +179,7 @@ def _run_schedule_batch(
     bit-identical to its standalone re-run.
     """
     return run_schedule_stacked(
-        [schedule], [ks], [rng], max_rounds=max_rounds
+        [schedule], [ks], [rng], channel=channel, max_rounds=max_rounds
     )[0]
 
 
@@ -216,7 +228,8 @@ def _refill_draw_block(
     horizons: np.ndarray,
     round_index: int,
     live: int,
-) -> np.ndarray:
+    with_fault: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None]:
     """Pre-draw one :data:`_DRAW_BLOCK_ROUNDS` block of uniforms.
 
     The shared half of both stacked engines' stream contract: one row
@@ -225,9 +238,16 @@ def _refill_draw_block(
     point's own generator - so the shapes, and hence the streams, depend
     only on the point's own trajectory and a solo run consumes the
     identical sequence.
+
+    With ``with_fault`` (randomized channel models), each point draws a
+    second, same-shaped block of fault uniforms immediately after its
+    faithful block - still from its own generator, so the per-point
+    stream stays solo-identical and the fused executor's bit-identity
+    contract survives fault injection.
     """
     width = min(_DRAW_BLOCK_ROUNDS, int(horizons.max()) - round_index + 1)
     draw_buffer = np.empty((live, width))
+    fault_buffer = np.empty((live, width)) if with_fault else None
     start = 0
     for point in np.flatnonzero(counts):
         stop = start + counts[point]
@@ -237,8 +257,12 @@ def _refill_draw_block(
         draw_buffer[start:stop, :effective] = rngs[point].random(
             (stop - start, effective)
         )
+        if fault_buffer is not None:
+            fault_buffer[start:stop, :effective] = rngs[point].random(
+                (stop - start, effective)
+            )
         start = stop
-    return draw_buffer
+    return draw_buffer, fault_buffer
 
 
 def _per_point_results(
@@ -299,6 +323,7 @@ def run_schedule_stacked(
     ks_list: Sequence[np.ndarray],
     rngs: Sequence[np.random.Generator],
     *,
+    channel: Channel | None = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
 ) -> list[BatchExecutionResult]:
     """Advance many independent schedule-protocol points in one loop.
@@ -314,6 +339,15 @@ def run_schedule_stacked(
     only *where* the per-round bookkeeping happens - once over the flat
     ``(point, trial)`` rows instead of per point - which is the fused
     sweep executor's wall-clock lever on dense grids.
+
+    ``channel`` is optional because schedule protocols never branch on
+    feedback; it matters only when it carries an active
+    :class:`~repro.channel.models.ChannelModel`, in which case the full
+    silence/success/collision code of each live round is computed from
+    the same band compares, perturbed *after* the faithful outcome
+    (randomized models consume one extra pre-drawn uniform per live
+    round; see :func:`_refill_draw_block`), and a trial retires on the
+    *delivered* success.
     """
     points = len(schedules)
     if not (points == len(ks_list) == len(rngs)):
@@ -329,9 +363,15 @@ def run_schedule_stacked(
     trials = np.asarray([ks.size for ks in ks_arrays])
     horizons = np.asarray([s.horizon(max_rounds) for s in schedules])
 
+    model = channel.active_model if channel is not None else None
+    _check_model_batchable(model)
+
     total = int(trials.sum())
     solved = np.zeros(total, dtype=bool)
     rounds = np.zeros(total, dtype=np.int64)
+    fault_state = model.batch_state(total) if model is not None else None
+    with_fault = model is not None and model.needs_fault_draws
+    fault_buffer: np.ndarray | None = None
 
     # Success bands depend only on (point, k): index the distinct pairs
     # once ("combos") so each round's thresholds are two row gathers.
@@ -361,6 +401,8 @@ def run_schedule_stacked(
                 flat_point = flat_point[keep]
                 flat_cidx = flat_cidx[keep]
                 buffer_row = buffer_row[keep]
+                if fault_state is not None:
+                    fault_state.filter(keep)
         if flat_trial.size == 0:
             break
 
@@ -389,13 +431,33 @@ def run_schedule_stacked(
             # The per-point live counts are only needed here, to shape
             # the refill; between boundaries retirement just filters.
             counts = np.bincount(flat_point, minlength=points)
-            draw_buffer = _refill_draw_block(
-                rngs, counts, horizons, round_index, flat_trial.size
+            draw_buffer, fault_buffer = _refill_draw_block(
+                rngs, counts, horizons, round_index, flat_trial.size,
+                with_fault,
             )
             buffer_row = np.arange(flat_trial.size)
         draws = draw_buffer[buffer_row, column]
 
-        hit = (draws >= lo[flat_cidx]) & (draws < hi[flat_cidx])
+        if fault_state is None:
+            hit = (draws >= lo[flat_cidx]) & (draws < hi[flat_cidx])
+        else:
+            # The same band compares, widened to the full trichotomy so
+            # the model can perturb the delivered feedback; a trial
+            # retires on the *delivered* success.
+            lo_trial = lo[flat_cidx]
+            hi_trial = hi[flat_cidx]
+            codes = np.where(
+                draws < lo_trial,
+                FB_SILENCE,
+                np.where(draws < hi_trial, FB_SUCCESS, FB_COLLISION),
+            )
+            fault_draws = (
+                fault_buffer[buffer_row, column]
+                if fault_buffer is not None
+                else None
+            )
+            codes = fault_state.perturb(round_index, codes, fault_draws)
+            hit = codes == FB_SUCCESS
         if hit.any():
             winners = flat_trial[hit]
             solved[winners] = True
@@ -405,6 +467,8 @@ def run_schedule_stacked(
             flat_point = flat_point[keep]
             flat_cidx = flat_cidx[keep]
             buffer_row = buffer_row[keep]
+            if fault_state is not None:
+                fault_state.filter(keep)
 
     # Whatever survives was right-censored: by the budget (rounds played =
     # max_rounds) or by one-shot exhaustion (rounds played = schedule
@@ -641,9 +705,15 @@ def run_history_stacked(
     ks_arrays = [_validated_ks(ks) for ks in ks_list]
     trials = np.asarray([ks.size for ks in ks_arrays])
 
+    model = channel.active_model
+    _check_model_batchable(model)
+
     total = int(trials.sum())
     solved = np.zeros(total, dtype=bool)
     rounds = np.zeros(total, dtype=np.int64)
+    fault_state = model.batch_state(total) if model is not None else None
+    with_fault = model is not None and model.needs_fault_draws
+    fault_buffer: np.ndarray | None = None
 
     # Band edges depend only on (history node, k): index the distinct
     # per-point ks once ("combos"), exactly as the schedule engine does.
@@ -698,6 +768,8 @@ def run_history_stacked(
                 flat_cidx = flat_cidx[keep]
                 buffer_row = buffer_row[keep]
                 pair_inverse = pair_inverse[keep]
+                if fault_state is not None:
+                    fault_state.filter(keep)
                 if flat_trial.size == 0:
                     break
 
@@ -720,13 +792,32 @@ def run_history_stacked(
             # The per-point live counts are only needed here, to shape
             # the refill; between boundaries retirement just filters.
             counts = np.bincount(flat_point, minlength=points)
-            draw_buffer = _refill_draw_block(
-                rngs, counts, horizons, round_index, flat_trial.size
+            draw_buffer, fault_buffer = _refill_draw_block(
+                rngs, counts, horizons, round_index, flat_trial.size,
+                with_fault,
             )
             buffer_row = np.arange(flat_trial.size)
         draws = draw_buffer[buffer_row, column]
 
-        hit = (draws >= lo) & (draws < hi)
+        if fault_state is None:
+            feedback = None
+            hit = (draws >= lo) & (draws < hi)
+        else:
+            # Full trichotomy from the same band compares, perturbed by
+            # the model *after* the faithful outcome; retirement and the
+            # observed history both follow the *delivered* feedback.
+            feedback = np.where(
+                draws < lo,
+                FB_SILENCE,
+                np.where(draws < hi, FB_SUCCESS, FB_COLLISION),
+            )
+            fault_draws = (
+                fault_buffer[buffer_row, column]
+                if fault_buffer is not None
+                else None
+            )
+            feedback = fault_state.perturb(round_index, feedback, fault_draws)
+            hit = feedback == FB_SUCCESS
         if hit.any():
             winners = flat_trial[hit]
             solved[winners] = True
@@ -739,12 +830,20 @@ def run_history_stacked(
             buffer_row = buffer_row[survive]
             draws = draws[survive]
             hi = hi[survive]
+            if feedback is not None:
+                feedback = feedback[survive]
+            if fault_state is not None:
+                fault_state.filter(survive)
 
         if flat_trial.size and round_index < max_rounds:
-            if collision_detection:
+            if not collision_detection:
+                codes = np.full(flat_trial.size, OBS_QUIET, dtype=np.int64)
+            elif feedback is None:
                 codes = np.where(draws >= hi, OBS_COLLISION, OBS_SILENCE)
             else:
-                codes = np.full(flat_trial.size, OBS_QUIET, dtype=np.int64)
+                codes = np.where(
+                    feedback == FB_COLLISION, OBS_COLLISION, OBS_SILENCE
+                )
             flat_node = arena.descend(flat_node, codes)
 
     # Whatever survives was right-censored at the budget, matching the

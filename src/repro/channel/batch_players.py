@@ -49,6 +49,7 @@ from ..core.protocol import (
     ProtocolError,
 )
 from .channel import Channel
+from .models import FB_COLLISION, FB_SILENCE, FB_SUCCESS
 from .simulator import DEFAULT_MAX_ROUNDS, _check_channel
 from .trace import BatchExecutionResult
 
@@ -219,12 +220,27 @@ def _drive_batch_sessions(
 ) -> BatchExecutionResult:
     """The shared lockstep loop behind the batch and stacked entry points."""
     trials = ids.shape[0]
+    model = channel.active_model
+    if model is not None and not model.batchable:
+        raise ValueError(
+            f"channel model {model.name!r} cannot run on the batch player "
+            "engine (a non-zero crash rejoin delay changes the live "
+            "participant set mid-trial); use the scalar engine "
+            "(run_players) instead"
+        )
+    if model is not None and model.needs_fault_draws and rng is None:
+        raise ValueError(
+            f"channel model {model.name!r} draws per-round fault randomness; "
+            "the stacked (fused) player engine runs without a generator - "
+            "run these points through the serial executor instead"
+        )
     sessions = protocol.batch_sessions(ids, n, advice, rng=rng)
     if sessions is None:
         raise ValueError(
             f"protocol {protocol.name!r} has no batch player sessions; use "
             "the scalar engine (run_players) instead"
         )
+    fault_state = model.batch_state(trials) if model is not None else None
 
     solved = np.zeros(trials, dtype=bool)
     rounds = np.zeros(trials, dtype=np.int64)
@@ -238,13 +254,31 @@ def _drive_batch_sessions(
             keep = ~exhausted
             live = live[keep]
             decisions = decisions[keep]
+            if fault_state is not None:
+                fault_state.filter(keep)
             if live.size == 0:
                 return BatchExecutionResult(
                     solved=solved, rounds=rounds, max_rounds=max_rounds,
                     ks=_ks(ids),
                 )
         counts = decisions.sum(axis=1)
-        hit = counts == 1
+        if fault_state is None:
+            feedback = None
+            hit = counts == 1
+        else:
+            # Ground-truth feedback from the transmit counts, perturbed by
+            # the model *after* the faithful outcome; retirement and the
+            # survivors' observations follow the *delivered* feedback.
+            feedback = np.where(
+                counts == 0,
+                FB_SILENCE,
+                np.where(counts == 1, FB_SUCCESS, FB_COLLISION),
+            )
+            fault_draws = (
+                rng.random(live.size) if model.needs_fault_draws else None
+            )
+            feedback = fault_state.perturb(round_index, feedback, fault_draws)
+            hit = feedback == FB_SUCCESS
         winners = live[hit]
         solved[winners] = True
         rounds[winners] = round_index
@@ -252,13 +286,19 @@ def _drive_batch_sessions(
         if survivors.size == 0:
             live = survivors
             break
-        if channel.collision_detection:
+        if not channel.collision_detection:
+            observations = np.full(survivors.size, OBS_QUIET, dtype=np.int8)
+        elif feedback is None:
             observations = np.where(
                 counts[~hit] >= 2, OBS_COLLISION, OBS_SILENCE
             ).astype(np.int8)
         else:
-            observations = np.full(survivors.size, OBS_QUIET, dtype=np.int8)
+            observations = np.where(
+                feedback[~hit] == FB_COLLISION, OBS_COLLISION, OBS_SILENCE
+            ).astype(np.int8)
         sessions.observe(survivors, observations, decisions[~hit])
+        if fault_state is not None:
+            fault_state.filter(~hit)
         live = survivors
     rounds[live] = max_rounds
     return BatchExecutionResult(

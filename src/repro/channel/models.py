@@ -1,0 +1,642 @@
+"""Adversarial channel models: fault injection between truth and observation.
+
+The faithful :class:`~repro.channel.channel.Channel` maps the round's
+transmitter count straight to ground-truth feedback.  A
+:class:`ChannelModel` sits between that ground truth and what the
+execution engines deliver to the protocols, injecting faults drawn from
+the adversarial contention-resolution literature:
+
+* :class:`ObliviousJammer` - a budgeted adversary that fixes its jam
+  schedule before the execution starts (round ``start``, then every
+  ``period`` rounds, until ``budget`` jams are spent).  A jammed round is
+  delivered as a collision whatever actually happened - including
+  destroying a success.
+* :class:`ReactiveJammer` - a budgeted adversary that listens: after
+  ``quiet_streak`` consecutive *delivered* silent rounds it jams the next
+  round (spending one unit of budget), modelling a jammer that waits for
+  the protocol to thin out before striking.
+* :class:`NoisyChannel` - unreliable feedback: each round, independently,
+  silence is reported as a collision with probability
+  ``silence_to_collision``, a collision as silence with probability
+  ``collision_to_silence``, and a success is erased (delivered as
+  silence; the execution does *not* halt) with probability
+  ``success_erasure``.
+* :class:`CrashModel` - a crash/restart fault: when a round has exactly
+  one transmitter, that transmitter crashes with probability
+  ``probability`` - its message is lost (the round is delivered as
+  silence).  With ``rejoin_after = 0`` the player itself survives (a pure
+  message-loss fault); with ``rejoin_after = d > 0`` it leaves the
+  execution for ``d`` rounds and rejoins with a fresh session; with
+  ``rejoin_after = None`` it never returns.
+
+Engine contract
+---------------
+Every model exposes two execution-side views:
+
+* :meth:`ChannelModel.scalar_state` - a scalar :class:`FaultState` consumed by
+  the reference loops in :mod:`repro.channel.simulator`; one state per
+  execution, ``deliver()`` called once per round on the ground-truth
+  feedback.
+* :meth:`ChannelModel.batch_state` - a vectorized
+  :class:`BatchFaultState` consumed by the lockstep engines; one state
+  per batch, ``perturb()`` called once per round on the live trials'
+  feedback-code array *after* the faithful trichotomy outcome was drawn,
+  so the band-sampling contract of :mod:`repro.channel.batch` is
+  untouched.  Models whose faults are random
+  (:attr:`ChannelModel.needs_fault_draws`) receive one extra uniform per
+  live trial per round, pre-drawn by the engine from the point's own
+  generator; deterministic jammers receive ``None`` and consume no
+  randomness at all.
+
+:attr:`ChannelModel.batchable` is the routing capability: crash models
+with a non-zero rejoin delay change the live participant count mid-trial,
+which the static ``(point, k)`` band tables of the batch engines cannot
+express - those models force the scalar reference loops (the Monte Carlo
+router and the fused sweep executor honour this automatically).
+
+A model whose parameters make it a no-op (zero budget, all-zero flip
+probabilities, zero crash probability) reports :meth:`ChannelModel.is_null`;
+:attr:`Channel.active_model <repro.channel.channel.Channel.active_model>`
+reduces such models to ``None`` so zero-fault runs are bit-identical to
+faithful ones on every engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from collections.abc import Mapping
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+import numpy as np
+
+from ..core.feedback import Feedback
+
+__all__ = [
+    "FB_SILENCE",
+    "FB_SUCCESS",
+    "FB_COLLISION",
+    "FaultState",
+    "BatchFaultState",
+    "ChannelModel",
+    "ObliviousJammer",
+    "ReactiveJammer",
+    "NoisyChannel",
+    "CrashModel",
+    "CHANNEL_MODELS",
+    "channel_model_from_dict",
+]
+
+#: Integer feedback codes used by the vectorized engines: the ground-truth
+#: trichotomy of a round.  Distinct from the OBS_* observation codes -
+#: feedback is what happened, observation is what protocols may see.
+FB_SILENCE = 0
+FB_SUCCESS = 1
+FB_COLLISION = 2
+
+_FEEDBACK_OF_CODE = {
+    FB_SILENCE: Feedback.SILENCE,
+    FB_SUCCESS: Feedback.SUCCESS,
+    FB_COLLISION: Feedback.COLLISION,
+}
+_CODE_OF_FEEDBACK = {feedback: code for code, feedback in _FEEDBACK_OF_CODE.items()}
+
+
+class FaultState:
+    """Scalar per-execution fault state (the reference-loop side).
+
+    The scalar engines call :meth:`active_count` before each round's
+    binomial draw (only the crash model shrinks it) and :meth:`deliver`
+    on each round's ground-truth feedback; :meth:`take_crash` reports -
+    and clears - a "the successful transmitter just crashed" event so the
+    player loop can suspend the right session.
+    """
+
+    def active_count(self, k: int, round_index: int) -> int:
+        """Live participant count for this round (crash faults shrink it)."""
+        return k
+
+    def take_crash(self) -> bool:
+        """Whether the last :meth:`deliver` crashed the transmitter."""
+        return False
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        """The feedback actually delivered to the protocol this round."""
+        raise NotImplementedError
+
+
+class BatchFaultState:
+    """Vectorized fault state over the live trials of one batch.
+
+    State arrays stay aligned with the engine's flat live-trial rows:
+    the engine calls :meth:`filter` with the same keep-mask it applies to
+    its own per-trial arrays whenever trials retire, and :meth:`perturb`
+    once per round with the live trials' faithful feedback codes (which
+    it may mutate in place and must return).
+    """
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def filter(self, keep: np.ndarray) -> None:  # stateless models: no-op
+        return None
+
+
+class ChannelModel(abc.ABC):
+    """A fault-injecting layer between ground truth and delivery.
+
+    Concrete models are frozen dataclasses (hashable, comparable - they
+    ride inside the frozen :class:`~repro.channel.channel.Channel`), and
+    serialize to ``{"name": ..., "params": {...}}`` mappings that
+    :func:`channel_model_from_dict` inverts exactly.
+    """
+
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def is_null(self) -> bool:
+        """Whether these parameters make the model a provable no-op."""
+
+    @property
+    def batchable(self) -> bool:
+        """Whether the lockstep batch engines can express this model."""
+        return True
+
+    @property
+    def needs_fault_draws(self) -> bool:
+        """Whether the batch state consumes one uniform per live round."""
+        return False
+
+    @abc.abstractmethod
+    def scalar_state(self) -> FaultState:
+        """A fresh scalar per-execution state."""
+
+    @abc.abstractmethod
+    def batch_state(self, trials: int) -> BatchFaultState:
+        """A fresh vectorized state over ``trials`` live rows."""
+
+    @abc.abstractmethod
+    def params(self) -> dict:
+        """JSON-native parameter mapping (full round-trip form)."""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": self.params()}
+
+    def label(self) -> str:
+        """Compact human-readable identity for metadata and tables."""
+        inner = ",".join(f"{key}={value}" for key, value in self.params().items())
+        return f"{self.name}({inner})"
+
+
+def _check_count(value: object, what: str, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{what} must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_probability(value: object, what: str) -> float:
+    try:
+        probability = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} must be a number, got {value!r}") from None
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"{what} must be in [0, 1], got {value!r}")
+    return probability
+
+
+# ----------------------------------------------------------------------
+# Jamming adversaries
+# ----------------------------------------------------------------------
+
+
+class _ObliviousJamState(FaultState):
+    def __init__(self, model: "ObliviousJammer") -> None:
+        self._model = model
+        self.jams_used = 0
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        if self._model.jams_round(round_index):
+            self.jams_used += 1
+            return Feedback.COLLISION
+        return feedback
+
+
+class _ObliviousJamBatchState(BatchFaultState):
+    def __init__(self, model: "ObliviousJammer") -> None:
+        self._model = model
+        self.jams_used = 0
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        if self._model.jams_round(round_index):
+            self.jams_used += 1
+            codes[:] = FB_COLLISION
+        return codes
+
+
+@dataclass(frozen=True)
+class ObliviousJammer(ChannelModel):
+    """A budgeted jammer whose round schedule is fixed in advance.
+
+    Jams rounds ``start, start + period, start + 2*period, ...`` until
+    ``budget`` jams are spent; a jammed round is delivered as a collision
+    regardless of the faithful outcome.  Deterministic: consumes no
+    randomness on any engine, so it stacks and fuses freely.
+    """
+
+    name: ClassVar[str] = "jam-oblivious"
+
+    budget: int
+    start: int = 1
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        _check_count(self.budget, "jam budget", 0)
+        _check_count(self.start, "jam start round", 1)
+        _check_count(self.period, "jam period", 1)
+
+    def jams_round(self, round_index: int) -> bool:
+        """Whether the fixed schedule jams this (1-based) round."""
+        if self.budget == 0 or round_index < self.start:
+            return False
+        offset = round_index - self.start
+        return offset % self.period == 0 and offset // self.period < self.budget
+
+    def is_null(self) -> bool:
+        return self.budget == 0
+
+    def scalar_state(self) -> FaultState:
+        return _ObliviousJamState(self)
+
+    def batch_state(self, trials: int) -> BatchFaultState:
+        return _ObliviousJamBatchState(self)
+
+    def params(self) -> dict:
+        return {"budget": self.budget, "start": self.start, "period": self.period}
+
+
+class _ReactiveJamState(FaultState):
+    def __init__(self, model: "ReactiveJammer") -> None:
+        self._need = model.quiet_streak
+        self.remaining = model.budget
+        self.streak = 0
+        self.jams_used = 0
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        if self.remaining > 0 and self.streak >= self._need:
+            self.remaining -= 1
+            self.jams_used += 1
+            delivered = Feedback.COLLISION
+        else:
+            delivered = feedback
+        self.streak = self.streak + 1 if delivered is Feedback.SILENCE else 0
+        return delivered
+
+
+class _ReactiveJamBatchState(BatchFaultState):
+    """Per-trial streak/budget arrays - the stackable reactive jammer."""
+
+    def __init__(self, model: "ReactiveJammer", trials: int) -> None:
+        self._need = model.quiet_streak
+        self.remaining = np.full(trials, model.budget, dtype=np.int64)
+        self.streak = np.zeros(trials, dtype=np.int64)
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        jam = (self.remaining > 0) & (self.streak >= self._need)
+        if jam.any():
+            codes[jam] = FB_COLLISION
+            self.remaining[jam] -= 1
+        silent = codes == FB_SILENCE
+        self.streak[silent] += 1
+        self.streak[~silent] = 0
+        return codes
+
+    def filter(self, keep: np.ndarray) -> None:
+        self.remaining = self.remaining[keep]
+        self.streak = self.streak[keep]
+
+
+@dataclass(frozen=True)
+class ReactiveJammer(ChannelModel):
+    """A budgeted jammer that strikes after a quiet streak.
+
+    Listens to the *delivered* feedback of its own trial: once
+    ``quiet_streak`` consecutive rounds were delivered silent, the next
+    round is jammed (one budget unit), delivered as a collision, and the
+    streak resets.  Deterministic given the trial's delivered sequence,
+    so it still stacks (per-trial state arrays) and fuses; it just cannot
+    share jam schedules across trials the way the oblivious variant does.
+    """
+
+    name: ClassVar[str] = "jam-reactive"
+
+    budget: int
+    quiet_streak: int = 1
+
+    def __post_init__(self) -> None:
+        _check_count(self.budget, "jam budget", 0)
+        _check_count(self.quiet_streak, "quiet streak", 1)
+
+    def is_null(self) -> bool:
+        return self.budget == 0
+
+    def scalar_state(self) -> FaultState:
+        return _ReactiveJamState(self)
+
+    def batch_state(self, trials: int) -> BatchFaultState:
+        return _ReactiveJamBatchState(self, trials)
+
+    def params(self) -> dict:
+        return {"budget": self.budget, "quiet_streak": self.quiet_streak}
+
+
+# ----------------------------------------------------------------------
+# Noisy feedback
+# ----------------------------------------------------------------------
+
+
+class _NoisyState(FaultState):
+    def __init__(self, model: "NoisyChannel") -> None:
+        self._threshold = {
+            Feedback.SILENCE: model.silence_to_collision,
+            Feedback.SUCCESS: model.success_erasure,
+            Feedback.COLLISION: model.collision_to_silence,
+        }
+        self._flip_to = {
+            Feedback.SILENCE: Feedback.COLLISION,
+            Feedback.SUCCESS: Feedback.SILENCE,
+            Feedback.COLLISION: Feedback.SILENCE,
+        }
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        # One uniform per round regardless of the feedback, matching the
+        # batch engines' one-fault-draw-per-live-trial-per-round stream.
+        if rng.random() < self._threshold[feedback]:
+            return self._flip_to[feedback]
+        return feedback
+
+
+class _NoisyBatchState(BatchFaultState):
+    def __init__(self, model: "NoisyChannel") -> None:
+        # Indexed by feedback code: flip threshold and flip target.
+        self._threshold = np.array(
+            [
+                model.silence_to_collision,
+                model.success_erasure,
+                model.collision_to_silence,
+            ]
+        )
+        self._flip_to = np.array(
+            [FB_COLLISION, FB_SILENCE, FB_SILENCE], dtype=np.int64
+        )
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        assert fault_draws is not None
+        flip = fault_draws < self._threshold[codes]
+        if flip.any():
+            codes[flip] = self._flip_to[codes[flip]]
+        return codes
+
+
+@dataclass(frozen=True)
+class NoisyChannel(ChannelModel):
+    """Unreliable feedback: independent per-round flips and erasures.
+
+    Each round, after the faithful outcome is drawn: silence is reported
+    as a collision with probability ``silence_to_collision``, a collision
+    as silence with probability ``collision_to_silence``, and a success
+    is erased - delivered as silence, execution continues - with
+    probability ``success_erasure``.  Consumes one uniform per live
+    trial per round on every engine.
+    """
+
+    name: ClassVar[str] = "noise"
+
+    silence_to_collision: float = 0.0
+    collision_to_silence: float = 0.0
+    success_erasure: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            _check_probability(getattr(self, field.name), field.name.replace("_", " "))
+
+    @property
+    def needs_fault_draws(self) -> bool:
+        return True
+
+    def is_null(self) -> bool:
+        return (
+            self.silence_to_collision == 0.0
+            and self.collision_to_silence == 0.0
+            and self.success_erasure == 0.0
+        )
+
+    def scalar_state(self) -> FaultState:
+        return _NoisyState(self)
+
+    def batch_state(self, trials: int) -> BatchFaultState:
+        return _NoisyBatchState(self)
+
+    def params(self) -> dict:
+        return {
+            "silence_to_collision": self.silence_to_collision,
+            "collision_to_silence": self.collision_to_silence,
+            "success_erasure": self.success_erasure,
+        }
+
+
+# ----------------------------------------------------------------------
+# Player crashes
+# ----------------------------------------------------------------------
+
+
+class _CrashState(FaultState):
+    def __init__(self, model: "CrashModel") -> None:
+        self._q = model.probability
+        self._rejoin_after = model.rejoin_after
+        self.dead = 0
+        self._rejoins: deque[int] = deque()  # absolute re-activation rounds
+        self._crashed_now = False
+
+    def active_count(self, k: int, round_index: int) -> int:
+        while self._rejoins and self._rejoins[0] <= round_index:
+            self._rejoins.popleft()
+            self.dead -= 1
+        return max(k - self.dead, 0)
+
+    def take_crash(self) -> bool:
+        crashed, self._crashed_now = self._crashed_now, False
+        return crashed
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        if feedback is not Feedback.SUCCESS:
+            return feedback
+        if rng.random() >= self._q:
+            return feedback
+        if self._rejoin_after != 0:
+            # rejoin_after = 0 is pure message loss: the player survives.
+            self._crashed_now = True
+            self.dead += 1
+            if self._rejoin_after is not None:
+                self._rejoins.append(round_index + self._rejoin_after + 1)
+        return Feedback.SILENCE
+
+
+class _CrashBatchState(BatchFaultState):
+    """The ``rejoin_after = 0`` crash: exactly a success erasure."""
+
+    def __init__(self, model: "CrashModel") -> None:
+        self._q = model.probability
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        assert fault_draws is not None
+        crash = (codes == FB_SUCCESS) & (fault_draws < self._q)
+        if crash.any():
+            codes[crash] = FB_SILENCE
+        return codes
+
+
+@dataclass(frozen=True)
+class CrashModel(ChannelModel):
+    """Crash the lone transmitter of a successful round with probability q.
+
+    The crashed round is delivered as silence (the message is lost).
+    ``rejoin_after`` controls what happens to the player itself:
+
+    * ``0`` - the player survives; only the message was lost.  This is
+      the batchable form (it is exactly a success erasure).
+    * ``d > 0`` - the player leaves the execution for ``d`` rounds and
+      rejoins with a **fresh** session (a restart, not a resume).
+    * ``None`` (default) - the player never returns.
+
+    Non-zero rejoin delays change the live participant count mid-trial,
+    which the static band tables of the batch engines cannot express -
+    those variants are :attr:`batchable` ``= False`` and route to the
+    scalar reference loops.
+    """
+
+    name: ClassVar[str] = "crash"
+
+    probability: float
+    rejoin_after: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "crash probability")
+        if self.rejoin_after is not None:
+            _check_count(self.rejoin_after, "rejoin delay", 0)
+
+    @property
+    def batchable(self) -> bool:
+        return self.rejoin_after == 0
+
+    @property
+    def needs_fault_draws(self) -> bool:
+        return True
+
+    def is_null(self) -> bool:
+        return self.probability == 0.0
+
+    def scalar_state(self) -> FaultState:
+        return _CrashState(self)
+
+    def batch_state(self, trials: int) -> BatchFaultState:
+        if not self.batchable:
+            raise ValueError(
+                "crash model with a non-zero rejoin delay changes the live "
+                "participant count mid-trial; use the scalar engine"
+            )
+        return _CrashBatchState(self)
+
+    def params(self) -> dict:
+        return {"probability": self.probability, "rejoin_after": self.rejoin_after}
+
+
+# ----------------------------------------------------------------------
+# Registry / serialization
+# ----------------------------------------------------------------------
+
+#: Model name -> constructor, the serializable channel-model vocabulary.
+CHANNEL_MODELS: dict[str, type[ChannelModel]] = {
+    ObliviousJammer.name: ObliviousJammer,
+    ReactiveJammer.name: ReactiveJammer,
+    NoisyChannel.name: NoisyChannel,
+    CrashModel.name: CrashModel,
+}
+
+
+def channel_model_from_dict(data: Mapping) -> ChannelModel:
+    """Build a model from its ``{"name": ..., "params": {...}}`` mapping.
+
+    Raises :class:`ValueError` with an actionable message for unknown
+    model names (listing the valid ones), unknown parameters, and
+    out-of-range values; the scenario layer wraps these into
+    :class:`~repro.scenarios.spec.ScenarioError` at spec-parse time so a
+    malformed sweep fails before any point runs.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"channel model must be a mapping, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"name", "params"})
+    if unknown:
+        raise ValueError(
+            f"unknown channel model field(s) {', '.join(map(repr, unknown))}; "
+            "allowed: name, params"
+        )
+    name = data.get("name")
+    if name not in CHANNEL_MODELS:
+        raise ValueError(
+            f"unknown channel model {name!r}; known models: "
+            f"{', '.join(sorted(CHANNEL_MODELS))}"
+        )
+    params = data.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ValueError(
+            f"channel model params must be a mapping, got {type(params).__name__}"
+        )
+    constructor = CHANNEL_MODELS[name]
+    allowed = [field.name for field in fields(constructor)]  # type: ignore[arg-type]
+    bad = sorted(set(params) - set(allowed))
+    if bad:
+        raise ValueError(
+            f"unknown parameter(s) {', '.join(map(repr, bad))} for channel "
+            f"model {name!r}; allowed: {', '.join(allowed)}"
+        )
+    return constructor(**dict(params))

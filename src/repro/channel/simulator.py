@@ -82,6 +82,8 @@ def run_uniform(
         raise ValueError(f"round budget must be >= 1, got {max_rounds}")
     _check_channel(protocol.requires_collision_detection, channel)
 
+    model = channel.active_model
+    fault = model.scalar_state() if model is not None else None
     session = protocol.session()
     trace: list[RoundRecord] = []
     for round_index in range(1, max_rounds + 1):
@@ -95,8 +97,13 @@ def run_uniform(
                 k=k,
                 trace=trace,
             )
-        transmit_count = int(rng.binomial(k, probability))
+        # Crash faults shrink the live participant count; every other
+        # model leaves it at k (the FaultState default).
+        k_active = fault.active_count(k, round_index) if fault is not None else k
+        transmit_count = int(rng.binomial(k_active, probability))
         feedback = channel.resolve(transmit_count)
+        if fault is not None:
+            feedback = fault.deliver(round_index, feedback, rng)
         observation = channel.observation(feedback)
         if record_trace:
             trace.append(
@@ -164,11 +171,28 @@ def run_players(
         for player_id in ordered
     }
 
+    model = channel.active_model
+    fault = model.scalar_state() if model is not None else None
+    # Crashed players: id -> round at which they re-enter (None = never).
+    # While dead a player neither decides nor observes; it rejoins with a
+    # *fresh* session (a restart, not a resume).
+    dead: dict[int, int | None] = {}
+
     trace: list[RoundRecord] = []
     for round_index in range(1, max_rounds + 1):
+        if dead:
+            for player_id in [
+                pid
+                for pid, rejoin in dead.items()
+                if rejoin is not None and rejoin <= round_index
+            ]:
+                del dead[player_id]
+                sessions[player_id] = protocol.session(
+                    player_id, n, advice, rng=rng
+                )
         try:
             decisions = {
-                player_id: session.decide()
+                player_id: False if player_id in dead else session.decide()
                 for player_id, session in sessions.items()
             }
         except ScheduleExhausted:
@@ -181,6 +205,17 @@ def run_players(
             )
         transmit_count = sum(1 for transmitted in decisions.values() if transmitted)
         feedback = channel.resolve(transmit_count)
+        if fault is not None:
+            feedback = fault.deliver(round_index, feedback, rng)
+            if fault.take_crash():
+                # The lone transmitter of this (erased) success crashed.
+                crashed_id = next(
+                    pid for pid, sent in decisions.items() if sent
+                )
+                rejoin = model.rejoin_after
+                dead[crashed_id] = (
+                    None if rejoin is None else round_index + rejoin + 1
+                )
         observation = channel.observation(feedback)
         if record_trace:
             trace.append(
@@ -201,6 +236,8 @@ def run_players(
                 trace=trace,
             )
         for player_id, session in sessions.items():
+            if player_id in dead:
+                continue
             session.observe(observation, transmitted=decisions[player_id])
     return ExecutionResult(
         solved=False,

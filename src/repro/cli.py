@@ -10,9 +10,11 @@ Subcommands:
 * ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
 * ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
   grid through the serial, process-pool or fused executor;
-* ``repro scenario example [--sweep|--player|--cd-grid]`` - print a
-  ready-to-run spec (``--cd-grid`` is the dense collision-detection
-  sweep whose points stack through the fused history engine).
+* ``repro scenario example [--sweep|--player|--cd-grid|--adversary]`` -
+  print a ready-to-run spec (``--cd-grid`` is the dense
+  collision-detection sweep whose points stack through the fused history
+  engine; ``--adversary`` is the jamming robustness grid, grouped by
+  channel model).
 
 Every run is reproducible from its seed; ``--quick`` thins the
 experiment sweeps for smoke-testing, and ``--json`` switches the
@@ -30,6 +32,7 @@ from pathlib import Path
 from .experiments.base import ExperimentConfig
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .scenarios import (
+    EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
     ScenarioError,
     ScenarioSpec,
@@ -140,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
             "print the dense CD sweep (Willard/decay/code-search under "
             "clean and faulty predictions); its history points stack "
             "through the fused executor (engine label fused-history)"
+        ),
+    )
+    example_kind.add_argument(
+        "--adversary",
+        action="store_true",
+        help=(
+            "print the adversary robustness sweep (rounds vs jamming "
+            "budget for willard/decay/sorted-probing under clean and "
+            "shifted predictions); points group by channel model in the "
+            "fused executor"
         ),
     )
     return parser
@@ -301,6 +314,8 @@ def _command_scenario(args: argparse.Namespace) -> int:
             payload = EXAMPLE_PLAYER_SCENARIO
         elif args.cd_grid:
             payload = EXAMPLE_CD_SWEEP
+        elif args.adversary:
+            payload = EXAMPLE_ADVERSARY_SWEEP
         else:
             payload = EXAMPLE_SCENARIO
         print(json.dumps(payload, indent=2))

@@ -1,0 +1,184 @@
+"""``JAM-ROBUST``: rounds-to-success under a budgeted jamming adversary.
+
+The paper's protocols are analysed on a faithful channel; the adversarial
+contention-resolution literature it sits in asks what happens when an
+adversary can force collisions for a bounded number of rounds.  This
+experiment runs the CD protocols - Willard (classical baseline), decay,
+and sorted probing (the Section 2.4 prediction algorithm, under clean and
+range-shifted predictions) - against the oblivious jammer of
+:mod:`repro.channel.models` at a ladder of budgets and records the
+robustness curve: mean rounds-to-success as a function of the adversary's
+budget.
+
+Shape checks pin the curve's anatomy rather than absolute constants:
+
+* the jam floor - the oblivious jammer forces collisions in rounds
+  ``1..B``, so no trial can solve before round ``B + 1``;
+* graceful degradation - every protocol still solves essentially every
+  trial at the largest budget (the adversary delays, it does not kill);
+* monotonicity - mean rounds never improve as the budget grows, and the
+  largest budget is strictly worse than the faithful channel (budget 0,
+  which the null-model reduction runs bit-identically to no model at
+  all).
+
+Every measured cell is a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` carrying the channel-model
+spec inline, so each cell is reproducible from its JSON serialization
+alone, and the cells route through the same engine selection the
+scenario CLI uses (batch history/schedule engines - the jammer is
+stackable per-trial state).
+"""
+
+from __future__ import annotations
+
+from ..scenarios import ScenarioSpec, run_scenario
+from .base import ExperimentConfig, ExperimentResult
+
+__all__ = ["run"]
+
+_RANGES = [2, 4, 6]
+
+_SHIFTED_PREDICTION = {
+    "source": "distribution",
+    "params": {
+        "family": "perturbed",
+        "base": {"family": "range_uniform_subset", "ranges": _RANGES},
+        "shift": 3,
+        "floor": 1e-6,
+    },
+}
+
+
+def _cell_spec(
+    label: str,
+    protocol: dict,
+    prediction: object,
+    budget: int,
+    *,
+    n: int,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    batch: bool | None,
+) -> ScenarioSpec:
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"jam-robust/{label}/budget={budget}",
+            "protocol": protocol,
+            "workload": {
+                "kind": "distribution",
+                "params": {
+                    "family": "range_uniform_subset",
+                    "ranges": _RANGES,
+                },
+            },
+            "channel": {
+                "collision_detection": True,
+                "model": {
+                    "name": "jam-oblivious",
+                    "params": {"budget": budget},
+                },
+            },
+            "prediction": prediction,
+            "n": n,
+            "trials": trials,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            **({"batch": batch} if batch is not None else {}),
+        }
+    )
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = config.rng()
+    n = min(config.n, 2**10)
+    trials = max(150, config.effective_trials() // 4)
+    max_rounds = 512
+    budgets = [0, 16] if config.quick else [0, 8, 16, 32]
+
+    settings = [
+        ("willard/truth", {"id": "willard", "params": {}}, "truth"),
+        ("decay/truth", {"id": "decay", "params": {}}, "truth"),
+        (
+            "sorted-probing/truth",
+            {"id": "sorted-probing", "params": {"one_shot": False}},
+            "truth",
+        ),
+        (
+            "sorted-probing/shifted",
+            {"id": "sorted-probing", "params": {"one_shot": False}},
+            _SHIFTED_PREDICTION,
+        ),
+    ]
+
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    for label, protocol, prediction in settings:
+        means: list[float] = []
+        for budget in budgets:
+            result = run_scenario(
+                _cell_spec(
+                    label,
+                    protocol,
+                    prediction,
+                    budget,
+                    n=n,
+                    trials=trials,
+                    max_rounds=max_rounds,
+                    seed=config.seed,
+                    batch=config.batch_mode(),
+                ),
+                rng=rng,
+            )
+            means.append(result.rounds.mean)
+            rows.append(
+                [
+                    label,
+                    budget,
+                    result.engine,
+                    result.success.rate,
+                    result.rounds.mean,
+                    result.rounds.p90,
+                ]
+            )
+            if budget > 0:
+                checks[
+                    f"{label} budget={budget}: no success before round "
+                    f"{budget + 1} (jam floor)"
+                ] = result.rounds.minimum >= budget + 1
+            checks[
+                f"{label} budget={budget}: solves >= 90% within the budget"
+            ] = result.success.rate >= 0.9
+        checks[f"{label}: mean rounds never improve with more jamming"] = all(
+            later >= earlier - 1e-9 for earlier, later in zip(means, means[1:])
+        )
+        checks[
+            f"{label}: the largest budget is strictly worse than faithful"
+        ] = means[-1] > means[0]
+    return ExperimentResult(
+        experiment_id="JAM-ROBUST",
+        title="Budgeted jamming: robustness curves for the CD protocols",
+        reference=(
+            "adversarial-channel extension of the paper's CD protocols "
+            "(prediction quality per Section 2.4)"
+        ),
+        headers=[
+            "protocol/prediction",
+            "jam budget",
+            "engine",
+            "success rate",
+            "mean rounds",
+            "p90 rounds",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={n}, trials/point={trials}, max_rounds={max_rounds}; "
+            "oblivious jammer forces collisions in rounds 1..budget",
+            "budget 0 reduces to the faithful channel (null-model "
+            "reduction), anchoring each curve's baseline",
+            "workload draws k from range_uniform_subset"
+            f"({_RANGES}); the shifted arm feeds sorted probing "
+            "systematically wrong predictions (shift 3)",
+        ],
+    )

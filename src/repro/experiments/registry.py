@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from . import coding, crossover, divergence, lemmas, pliam, ssf
-from . import learning_loop, robustness
+from . import jam_robust, learning_loop, robustness
 from . import table1_cd, table1_nocd, table2
 from .base import ExperimentConfig, ExperimentResult
 
@@ -93,6 +93,10 @@ EXPERIMENTS: dict[str, tuple[Runner, str]] = {
     "ADVICE-ROBUST": (
         robustness.run,
         "Faulty advice failure modes + fallback repair (Sec 1.3)",
+    ),
+    "JAM-ROBUST": (
+        jam_robust.run,
+        "Budgeted jamming robustness curves for the CD protocols",
     ),
 }
 

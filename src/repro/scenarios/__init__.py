@@ -64,7 +64,7 @@ from .sweep import (
     register_executor,
     run_sweep,
 )
-from .examples import EXAMPLE_CD_SWEEP
+from .examples import EXAMPLE_ADVERSARY_SWEEP, EXAMPLE_CD_SWEEP
 from .workloads import (
     DISTRIBUTION_FAMILIES,
     register_distribution_family,
@@ -108,4 +108,5 @@ __all__ = [
     "register_executor",
     # example payloads
     "EXAMPLE_CD_SWEEP",
+    "EXAMPLE_ADVERSARY_SWEEP",
 ]

@@ -8,7 +8,7 @@ the library, never the other way around.
 
 from __future__ import annotations
 
-__all__ = ["EXAMPLE_CD_SWEEP"]
+__all__ = ["EXAMPLE_CD_SWEEP", "EXAMPLE_ADVERSARY_SWEEP"]
 
 #: The dense CD sweep: the collision-detection arm of the robustness /
 #: crossover experiments as one declarative grid.  Willard (the classical
@@ -62,6 +62,62 @@ EXAMPLE_CD_SWEEP: dict = {
             [2, 4, 6, 8],
             [2, 3, 5, 7, 9],
         ],
+    },
+    "vary_seed": True,
+}
+
+#: The adversary robustness grid: rounds-to-success versus jamming budget
+#: for the CD protocols under clean ("truth") and range-shifted
+#: predictions.  The budget axis overrides
+#: ``channel.model.params.budget`` in place, so every point carries the
+#: full channel-model spec and the fused executor groups points *by
+#: model*: same-budget points stack into fused-history runs, points with
+#: different budgets (different adversaries) never share an engine run.
+#: Budget 0 is the faithful channel (the null jammer reduces to no model
+#: at all), anchoring each curve's clean baseline; the oblivious jammer
+#: forces collisions from round 1, so mean rounds degrade monotonically
+#: in the budget - the robustness curve the JAM-ROBUST experiment pins.
+#: Printed by ``repro scenario example --adversary``.
+EXAMPLE_ADVERSARY_SWEEP: dict = {
+    "base": {
+        "name": "adversary-grid",
+        "protocol": {"id": "willard", "params": {}},
+        "workload": {
+            "kind": "distribution",
+            "params": {"family": "range_uniform_subset", "ranges": [2, 4, 6]},
+        },
+        "channel": {
+            "collision_detection": True,
+            "model": {
+                "name": "jam-oblivious",
+                "params": {"budget": 0, "start": 1, "period": 1},
+            },
+        },
+        "prediction": "truth",
+        "n": 2**10,
+        "trials": 160,
+        "max_rounds": 512,
+        "seed": 2021,
+    },
+    "grid": {
+        "protocol": [
+            {"id": "willard", "params": {}},
+            {"id": "decay", "params": {}},
+            {"id": "sorted-probing", "params": {"one_shot": False}},
+        ],
+        "prediction": [
+            "truth",
+            {
+                "source": "distribution",
+                "params": {
+                    "family": "perturbed",
+                    "base": {"family": "range_uniform_subset", "ranges": [2, 4, 6]},
+                    "shift": 3,
+                    "floor": 1e-6,
+                },
+            },
+        ],
+        "channel.model.params.budget": [0, 8, 16, 32],
     },
     "vary_seed": True,
 }

@@ -296,6 +296,7 @@ class ResolvedScenario:
             "protocol": self.protocol.name,
             "kind": self.kind,
             "channel": self.channel.kind,
+            "channel_model": self.channel.model_label(),
             "workload": workload_label(self.size_source),
             "engine": self.engine,
             "batch_requested": self.spec.batch,
@@ -318,7 +319,13 @@ def resolve_scenario(
     """
     if rng is None:
         rng = np.random.default_rng(spec.seed)
-    channel = Channel(collision_detection=spec.channel.collision_detection)
+    try:
+        model = spec.channel.build_model()
+    except ValueError as exc:
+        raise ScenarioError(f"channel model spec: {exc}") from exc
+    channel = Channel(
+        collision_detection=spec.channel.collision_detection, model=model
+    )
     size_source = resolve_workload(spec.workload, spec.n)
     prediction = resolve_prediction(spec.prediction, size_source, spec.n)
     entry = get_protocol(spec.protocol.id)
@@ -339,7 +346,9 @@ def resolve_scenario(
             channel=channel,
             kind=entry.kind,
             protocol=protocol,
-            engine=select_player_engine(protocol, spec.batch),
+            engine=select_player_engine(
+                protocol, spec.batch, model=channel.active_model
+            ),
             size_source=size_source,
             advice=_resolve_advice(spec.advice, spec.n, rng),
             adversary=_resolve_adversary(spec.adversary),
@@ -355,7 +364,9 @@ def resolve_scenario(
         channel=channel,
         kind=entry.kind,
         protocol=protocol,
-        engine=select_uniform_engine(protocol, spec.batch),
+        engine=select_uniform_engine(
+            protocol, spec.batch, model=channel.active_model
+        ),
         size_source=size_source,
     )
 

@@ -91,16 +91,50 @@ class ProtocolSpec:
 
 @dataclass(frozen=True)
 class ChannelSpec:
-    """The channel model: with or without collision detection."""
+    """The channel: with or without collision detection, plus faults.
+
+    ``model`` is an optional fault-injecting channel-model spec, a
+    JSON-native mapping ``{"name": <model>, "params": {...}}`` naming one
+    of the models in :data:`repro.channel.models.CHANNEL_MODELS`
+    (jamming adversaries, noisy feedback, player crashes).  ``None`` is
+    the paper's faithful channel.  The mapping is validated eagerly at
+    spec-construction time so malformed specs (negative budget, flip
+    probability outside [0, 1], unknown model name) fail before any
+    simulation runs.
+    """
 
     collision_detection: bool
+    model: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.model is not None:
+            # Eager validation: build (and discard) the model so spec
+            # errors surface at construction, with the scenario-layer
+            # error type.
+            from ..channel.models import channel_model_from_dict
+
+            try:
+                channel_model_from_dict(self.model)
+            except ValueError as exc:
+                raise ScenarioError(f"channel model spec: {exc}") from exc
 
     @property
     def kind(self) -> str:
         return "CD" if self.collision_detection else "no-CD"
 
+    def build_model(self):
+        """The resolved :class:`~repro.channel.models.ChannelModel` or None."""
+        if self.model is None:
+            return None
+        from ..channel.models import channel_model_from_dict
+
+        return channel_model_from_dict(self.model)
+
     def to_dict(self) -> dict:
-        return {"collision_detection": self.collision_detection}
+        data: dict = {"collision_detection": self.collision_detection}
+        if self.model is not None:
+            data["model"] = copy.deepcopy(self.model)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping | str) -> "ChannelSpec":
@@ -112,10 +146,16 @@ class ChannelSpec:
                 return cls(collision_detection=False)
             raise ScenarioError(f"unknown channel shorthand {data!r}")
         data = _require_mapping(data, "channel spec")
-        _check_known_keys(data, {"collision_detection"}, "channel spec")
+        _check_known_keys(data, {"collision_detection", "model"}, "channel spec")
         if "collision_detection" not in data:
             raise ScenarioError("channel spec needs 'collision_detection'")
-        return cls(collision_detection=bool(data["collision_detection"]))
+        model = data.get("model")
+        if model is not None:
+            model = copy.deepcopy(_require_mapping(model, "channel model spec"))
+        return cls(
+            collision_detection=bool(data["collision_detection"]),
+            model=model,
+        )
 
 
 @dataclass(frozen=True)

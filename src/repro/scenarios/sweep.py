@@ -291,18 +291,36 @@ def fusion_key(resolved: ResolvedScenario) -> tuple | None:
       spec, ``n``, and the prediction spec (no in-repo player protocol
       takes a prediction, but registration is open); adversary, advice
       quality and seed sweep freely - exactly the robustness-curve axis.
+
+    The shared key includes the resolved channel *model* (the fault
+    adversary), so points under different adversaries - or under an
+    adversary and the faithful channel - are **never** stacked into one
+    run: the fault state is per-engine-run, and mixing models would
+    silently perturb the wrong points.  Player points additionally
+    require a model that draws no per-round fault randomness (the
+    stacked player engine runs without a generator); random models
+    (noise, crash) return ``None`` and degrade to the serial path, with
+    the point's recorded engine label saying so.
     """
     spec = resolved.spec
+    model = resolved.channel.active_model
     shared = (
         spec.trials,
         spec.max_rounds,
         spec.channel.collision_detection,
+        json.dumps(model.to_dict(), sort_keys=True)
+        if model is not None
+        else None,
     )
     if resolved.engine == ENGINE_BATCH_SCHEDULE:
         return ("schedule",) + shared
     if resolved.engine == ENGINE_BATCH_HISTORY:
         return ("history",) + shared
-    if resolved.engine == ENGINE_BATCH_PLAYER and resolved.protocol.supports_fused_sessions():
+    if (
+        resolved.engine == ENGINE_BATCH_PLAYER
+        and resolved.protocol.supports_fused_sessions()
+        and (model is None or not model.needs_fault_draws)
+    ):
         return (
             ("player",)
             + shared

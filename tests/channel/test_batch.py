@@ -21,6 +21,11 @@ import pytest
 
 from repro.analysis.montecarlo import estimate_uniform_rounds
 from repro.channel import (
+    Channel,
+    CrashModel,
+    NoisyChannel,
+    ObliviousJammer,
+    ReactiveJammer,
     is_batchable,
     run_history_stacked,
     run_schedule_stacked,
@@ -679,3 +684,279 @@ class TestMonteCarloWiring:
             channel=nocd_channel, trials=100, max_rounds=300, batch=True,
         )
         assert estimate.success.rate == 1.0
+
+
+class TestAdversarialAgreement:
+    """Scalar-vs-batch agreement under the fault-injecting channel models.
+
+    Jammers are deterministic, so deterministic protocols must agree
+    *exactly* across every engine; randomized models (noise, batchable
+    crash) agree statistically and bit-identically between solo and
+    stacked runs of the same generator.
+    """
+
+    def test_oblivious_jam_floor_exact_on_every_engine(self, rng):
+        """k=1 with a certain-transmit schedule solves the round after the
+        jam budget runs out - on the scalar loop, the solo batch and the
+        stacked engine alike."""
+        budget = 3
+        channel = Channel(False, ObliviousJammer(budget=budget))
+        protocol = ScheduleProtocol(ProbabilitySchedule([1.0]), cycle=True)
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=20,
+        )
+        assert scalar.solved and scalar.rounds == budget + 1
+
+        batch = run_uniform_batch(
+            protocol, np.ones(8, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=20,
+        )
+        assert batch.solved.all() and (batch.rounds == budget + 1).all()
+
+        stacked = run_schedule_stacked(
+            [BatchSchedule((1.0,), True)],
+            [np.ones(8, dtype=np.int64)],
+            [np.random.default_rng(0)],
+            channel=channel,
+            max_rounds=20,
+        )[0]
+        assert stacked.solved.all() and (stacked.rounds == budget + 1).all()
+
+    def test_reactive_jam_exact_on_history_engine(self, cd_channel, rng):
+        """Deterministic 0/1 probe under the reactive jammer: round 1 is
+        silent (streak builds), round 2's success is jammed, round 3's
+        success is delivered - exactly, scalar and batch."""
+        model = ReactiveJammer(budget=1, quiet_streak=1)
+        channel = cd_channel.with_model(model)
+        protocol = _OneShotProbeProtocol((0.0, 1.0, 1.0, 1.0))
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=10,
+        )
+        assert scalar.solved and scalar.rounds == 3
+
+        batch = run_uniform_batch(
+            protocol, np.ones(6, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=10,
+        )
+        assert batch.solved.all() and (batch.rounds == 3).all()
+
+    def test_certain_crash_erasure_exact_on_both_paths(self, cd_channel):
+        """rejoin_after=0 with probability 1 erases every success: the
+        deterministic probe exhausts unsolved, identically on the scalar
+        loop and the (batchable) crash batch path."""
+        channel = cd_channel.with_model(
+            CrashModel(probability=1.0, rejoin_after=0)
+        )
+        protocol = _OneShotProbeProtocol((1.0, 1.0))
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=10,
+        )
+        assert not scalar.solved and scalar.rounds == 2
+
+        batch = run_uniform_batch(
+            protocol, np.ones(5, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=10,
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == 2).all()
+
+    @pytest.mark.parametrize(
+        "null_model",
+        [ObliviousJammer(budget=0), NoisyChannel(), CrashModel(0.0)],
+    )
+    def test_null_models_bit_identical_to_faithful(
+        self, null_model, nocd_channel, cd_channel
+    ):
+        """Zero-fault parameters reduce to the faithful channel exactly
+        (same generator, same outcomes bit for bit) on both batch
+        engines."""
+        ks = _sizes(np.random.default_rng(3), 200)
+
+        schedule_protocol = DecayProtocol(N)
+        faithful = run_uniform_batch(
+            schedule_protocol, ks, np.random.default_rng(5),
+            channel=nocd_channel, max_rounds=200,
+        )
+        nulled = run_uniform_batch(
+            schedule_protocol, ks, np.random.default_rng(5),
+            channel=nocd_channel.with_model(null_model), max_rounds=200,
+        )
+        assert (faithful.solved == nulled.solved).all()
+        assert (faithful.rounds == nulled.rounds).all()
+
+        history_protocol = WillardProtocol(N)
+        faithful = run_uniform_batch(
+            history_protocol, ks, np.random.default_rng(5),
+            channel=cd_channel, max_rounds=200,
+        )
+        nulled = run_uniform_batch(
+            history_protocol, ks, np.random.default_rng(5),
+            channel=cd_channel.with_model(null_model), max_rounds=200,
+        )
+        assert (faithful.solved == nulled.solved).all()
+        assert (faithful.rounds == nulled.rounds).all()
+
+    def test_solo_and_stacked_agree_bit_for_bit_under_noise(
+        self, nocd_channel, cd_channel
+    ):
+        """Randomized fault models keep the stacked-stream contract: each
+        point consumes its own generator exactly as a solo run would, so
+        solo and stacked outcomes match bit for bit."""
+        model = NoisyChannel(
+            silence_to_collision=0.1, collision_to_silence=0.1,
+            success_erasure=0.2,
+        )
+        ks = _sizes(np.random.default_rng(11), 150)
+
+        solo = run_uniform_batch(
+            DecayProtocol(N), ks, np.random.default_rng(21),
+            channel=nocd_channel.with_model(model), max_rounds=300,
+        )
+        stacked = run_schedule_stacked(
+            [DecayProtocol(N).batch_schedule()],
+            [ks],
+            [np.random.default_rng(21)],
+            channel=nocd_channel.with_model(model),
+            max_rounds=300,
+        )[0]
+        assert (solo.solved == stacked.solved).all()
+        assert (solo.rounds == stacked.rounds).all()
+
+        solo = run_uniform_batch(
+            WillardProtocol(N), ks, np.random.default_rng(23),
+            channel=cd_channel.with_model(model), max_rounds=300,
+        )
+        stacked = run_history_stacked(
+            [WillardProtocol(N)],
+            [ks],
+            [np.random.default_rng(23)],
+            channel=cd_channel.with_model(model),
+            max_rounds=300,
+        )[0]
+        assert (solo.solved == stacked.solved).all()
+        assert (solo.rounds == stacked.rounds).all()
+
+    @pytest.mark.parametrize(
+        "make_protocol,cd",
+        [
+            (lambda: DecayProtocol(N), False),
+            (lambda: WillardProtocol(N), True),
+        ],
+    )
+    def test_statistics_agree_under_noise(
+        self, make_protocol, cd, nocd_channel, cd_channel
+    ):
+        """Fixed-seed statistical agreement between the scalar reference
+        loop and the batch engine with a randomized fault model in the
+        middle - the agreement pin for the noise perturbation path."""
+        model = NoisyChannel(
+            silence_to_collision=0.1, collision_to_silence=0.1,
+            success_erasure=0.15,
+        )
+        channel = (cd_channel if cd else nocd_channel).with_model(model)
+        trials, max_rounds = 1500, 400
+        ks = _sizes(np.random.default_rng(7), trials)
+
+        scalar_solved, scalar_rounds = _scalar_stats(
+            make_protocol, ks, channel, max_rounds, seed=11
+        )
+        batch = run_uniform_batch(
+            make_protocol(), ks, np.random.default_rng(13),
+            channel=channel, max_rounds=max_rounds,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        )
+        assert batch.solved_rounds().mean() == pytest.approx(
+            scalar_rounds[scalar_solved].mean(), rel=0.1, abs=0.5
+        )
+
+    def test_fault_draws_double_block_consumption(self, nocd_channel):
+        """needs_fault_draws models pre-draw one fault uniform alongside
+        every faithful block uniform - and retired points stop consuming
+        both streams."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        channel = nocd_channel.with_model(NoisyChannel(success_erasure=1e-12))
+        instant = BatchSchedule((1.0,), True)  # k=1, p=1: solved round 1
+        never = BatchSchedule((1e-9,), True)
+        counters = [_CountingRng(), _CountingRng()]
+        results = run_schedule_stacked(
+            [instant, never],
+            [np.ones(5, dtype=np.int64), np.full(3, 2, dtype=np.int64)],
+            counters,
+            channel=channel,
+            max_rounds=50,
+        )
+        assert results[0].solved.all() and (results[0].rounds == 1).all()
+        # One faithful block row + one fault block row per trial.
+        assert counters[0].requested == 2 * 5 * 16
+        # Alive to the budget: faithful + fault uniform per trial-round.
+        assert counters[1].requested == 2 * 3 * 50
+
+    def test_jammers_consume_no_extra_randomness(self, nocd_channel):
+        """Deterministic jammers leave the draw stream untouched: the
+        same block accounting as the faithful engine."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        channel = nocd_channel.with_model(ObliviousJammer(budget=2))
+        counter = _CountingRng()
+        result = run_schedule_stacked(
+            [BatchSchedule((1.0,), True)],
+            [np.ones(5, dtype=np.int64)],
+            [counter],
+            channel=channel,
+            max_rounds=50,
+        )[0]
+        # Jammed in rounds 1-2, solved in round 3: one 16-round block
+        # row per trial covers it, with no parallel fault block.
+        assert result.solved.all() and (result.rounds == 3).all()
+        assert counter.requested == 5 * 16
+
+    def test_unbatchable_crash_rejected_everywhere(self, rng, nocd_channel):
+        """Crash models with a non-zero rejoin delay route to the scalar
+        loop: every batch entry point refuses them with the pointer."""
+        channel = nocd_channel.with_model(
+            CrashModel(probability=0.5, rejoin_after=2)
+        )
+        protocol = DecayProtocol(N)
+        ks = np.ones(3, dtype=np.int64)
+        with pytest.raises(ValueError, match="scalar engine"):
+            run_uniform_batch(
+                protocol, ks, rng, channel=channel, max_rounds=10
+            )
+        with pytest.raises(ValueError, match="scalar engine"):
+            run_schedule_stacked(
+                [protocol.batch_schedule()], [ks], [rng],
+                channel=channel, max_rounds=10,
+            )
+        with pytest.raises(ValueError, match="scalar engine"):
+            run_history_stacked(
+                [WillardProtocol(N)], [ks], [rng],
+                channel=Channel(True, CrashModel(0.5, rejoin_after=2)),
+                max_rounds=10,
+            )

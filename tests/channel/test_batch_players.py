@@ -39,6 +39,12 @@ from repro.channel import (
     run_players_stacked,
 )
 from repro.channel.channel import Channel
+from repro.channel.models import (
+    CrashModel,
+    NoisyChannel,
+    ObliviousJammer,
+    ReactiveJammer,
+)
 from repro.channel.network import (
     ClusteredAdversary,
     PrefixAdversary,
@@ -682,3 +688,174 @@ class TestMonteCarloWiring:
         assert select_player_engine(fallback) == ENGINE_SCALAR_PLAYER
         with pytest.raises(ValueError, match="batch=True"):
             select_player_engine(fallback, True)
+
+
+class TestAdversarialPlayers:
+    """The fault-injecting channel models on the player engines."""
+
+    JAMMERS = [
+        ("jam-oblivious", lambda: ObliviousJammer(budget=2, start=1)),
+        ("jam-reactive", lambda: ReactiveJammer(budget=2, quiet_streak=2)),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,make_model", JAMMERS, ids=[case[0] for case in JAMMERS]
+    )
+    def test_jammed_deterministic_protocols_agree_exactly(
+        self, label, make_model, cd_channel, nocd_channel
+    ):
+        """Jammers consume no randomness, so the deterministic scan and
+        descent stay deterministic under them: batch equals scalar trial
+        by trial on both channels."""
+        cases = [
+            (DeterministicScanProtocol(3), MinIdPrefixAdvice(3),
+             nocd_channel.with_model(make_model())),
+            (DeterministicTreeDescentProtocol(4), MinIdPrefixAdvice(4),
+             cd_channel.with_model(make_model())),
+        ]
+        for protocol, advice_fn, channel in cases:
+            sets = _participant_batches(RandomAdversary(), k=4, trials=48)
+            scalar_solved, scalar_rounds = _scalar_results(
+                protocol, sets, channel, advice_fn, seed=5
+            )
+            batch = run_players_batch(
+                protocol, sets, N, np.random.default_rng(6), channel=channel,
+                advice_function=advice_fn, max_rounds=MAX_ROUNDS,
+            )
+            assert (batch.solved == scalar_solved).all(), label
+            assert (batch.rounds == scalar_rounds).all(), label
+
+    def test_jammed_stacked_matches_solo_batch_exactly(self, cd_channel):
+        """Jammers stay fusable: the stacked (randomness-free) player run
+        under a jam model reproduces the solo batch bit for bit."""
+        channel = cd_channel.with_model(ObliviousJammer(budget=3))
+        protocol = DeterministicTreeDescentProtocol(3)
+        advice_fn = MinIdPrefixAdvice(3)
+        sets = _participant_batches(ClusteredAdversary(), k=5, trials=40)
+        advice = [advice_fn.checked_advise(s, N) for s in sets]
+        stacked = run_players_stacked(
+            protocol, sets, N, advice, channel=channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        solo = run_players_batch(
+            protocol, sets, N, np.random.default_rng(0), channel=channel,
+            advice_function=advice_fn, max_rounds=MAX_ROUNDS,
+        )
+        assert (stacked.solved == solo.solved).all()
+        assert (stacked.rounds == solo.rounds).all()
+
+    def test_noise_statistics_agree(self, cd_channel):
+        """Backoff under noisy feedback: the scalar loop and the batch
+        player engine draw the same fault distribution (one uniform per
+        live trial per round), so fixed-seed statistics agree."""
+        channel = cd_channel.with_model(
+            NoisyChannel(collision_to_silence=0.1, success_erasure=0.2)
+        )
+        protocol = BinaryExponentialBackoff()
+        sets = _participant_batches(RandomAdversary(), k=6)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, channel, None, seed=11
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(13), channel=channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        )
+        assert batch.solved_rounds().mean() == pytest.approx(
+            scalar_rounds[scalar_solved].mean(), rel=0.15, abs=0.75
+        )
+
+    def test_null_model_bit_identical_on_player_batch(self, cd_channel):
+        """Zero-fault noise reduces to the faithful channel exactly."""
+        protocol = BinaryExponentialBackoff()
+        sets = _participant_batches(RandomAdversary(), k=5, trials=80)
+        faithful = run_players_batch(
+            protocol, sets, N, np.random.default_rng(9), channel=cd_channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        nulled = run_players_batch(
+            protocol, sets, N, np.random.default_rng(9),
+            channel=cd_channel.with_model(NoisyChannel()),
+            max_rounds=MAX_ROUNDS,
+        )
+        assert (faithful.solved == nulled.solved).all()
+        assert (faithful.rounds == nulled.rounds).all()
+
+    def test_stacked_rejects_random_fault_models(self, cd_channel):
+        """The randomness-free stacked engine cannot host models that
+        draw per-round faults - they must stay on the serial path."""
+        with pytest.raises(ValueError, match="serial executor"):
+            run_players_stacked(
+                DeterministicTreeDescentProtocol(0),
+                [frozenset({1})],
+                N,
+                [""],
+                channel=cd_channel.with_model(
+                    NoisyChannel(success_erasure=0.5)
+                ),
+                max_rounds=5,
+            )
+
+    def test_batch_rejects_unbatchable_crash(self, cd_channel):
+        """Crash models with a rejoin delay need the scalar player loop
+        (the live participant count changes mid-trial)."""
+        with pytest.raises(ValueError, match="scalar"):
+            run_players_batch(
+                BinaryExponentialBackoff(),
+                [frozenset({1, 2})],
+                N,
+                np.random.default_rng(0),
+                channel=cd_channel.with_model(
+                    CrashModel(probability=0.5, rejoin_after=2)
+                ),
+                max_rounds=5,
+            )
+
+    def test_scalar_crash_without_rejoin_kills_the_execution(self, cd_channel):
+        """q=1, never rejoin: every lone success crashes its sender, so
+        the execution can never deliver a message."""
+        channel = cd_channel.with_model(
+            CrashModel(probability=1.0, rejoin_after=None)
+        )
+        result = run_players(
+            BinaryExponentialBackoff(), frozenset({3, 7}), N,
+            np.random.default_rng(1), channel=channel, max_rounds=200,
+        )
+        assert not result.solved
+        assert result.rounds == 200
+
+    def test_scalar_crash_with_rejoin_recovers(self, cd_channel):
+        """A crashed player rejoins with a fresh session and the
+        execution still solves - crashes delay, they do not kill."""
+        channel = cd_channel.with_model(
+            CrashModel(probability=0.5, rejoin_after=2)
+        )
+        result = run_players(
+            BinaryExponentialBackoff(), frozenset({3, 7}), N,
+            np.random.default_rng(2), channel=channel, max_rounds=3000,
+        )
+        assert result.solved
+
+    def test_crash_rejoin_zero_agrees_with_batch(self, cd_channel):
+        """rejoin_after=0 is exactly a success erasure, hence batchable:
+        scalar and batch statistics agree under it."""
+        channel = cd_channel.with_model(
+            CrashModel(probability=0.3, rejoin_after=0)
+        )
+        protocol = BinaryExponentialBackoff()
+        sets = _participant_batches(RandomAdversary(), k=4, trials=200)
+        scalar_solved, scalar_rounds = _scalar_results(
+            protocol, sets, channel, None, seed=17
+        )
+        batch = run_players_batch(
+            protocol, sets, N, np.random.default_rng(19), channel=channel,
+            max_rounds=MAX_ROUNDS,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.06
+        )
+        assert batch.solved_rounds().mean() == pytest.approx(
+            scalar_rounds[scalar_solved].mean(), rel=0.15, abs=0.75
+        )

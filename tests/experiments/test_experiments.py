@@ -65,7 +65,7 @@ class TestRegistry:
             "T1-NCD-UP", "T1-NCD-LOW", "T1-CD-UP", "T1-CD-LOW",
             "T2-DET-NCD", "T2-DET-CD", "T2-RAND-NCD", "T2-RAND-CD",
             "KL-NCD", "KL-CD", "SRC-CODE", "PLIAM", "LEMMA-PROBS",
-            "BASELINE-X", "SSF", "LEARN", "ADVICE-ROBUST",
+            "BASELINE-X", "SSF", "LEARN", "ADVICE-ROBUST", "JAM-ROBUST",
         }
         assert set(experiment_ids()) == expected
 

@@ -569,3 +569,123 @@ class TestFusionAnalyzer:
             self._resolve(player_base(seed=2)),
         ]
         assert fusion_groups(resolved) == [[0, 2], [1], [3, 4]]
+
+
+class TestAdversarialFusion:
+    """Channel models in the fused executor: grouping and fallbacks."""
+
+    def _jam_channel(self, budget: int) -> dict:
+        return {
+            "collision_detection": False,
+            "model": {"name": "jam-oblivious", "params": {"budget": budget}},
+        }
+
+    def test_channel_models_split_fusion_groups(self):
+        """Points differing in their fault model never stack into one
+        engine run; a null model shares the faithful channel's group."""
+        faithful = resolve_scenario(uniform_base())
+        nulled = resolve_scenario(uniform_base(channel=self._jam_channel(0)))
+        jam_two = resolve_scenario(uniform_base(channel=self._jam_channel(2)))
+        jam_three = resolve_scenario(
+            uniform_base(channel=self._jam_channel(3))
+        )
+        assert fusion_key(faithful) == fusion_key(nulled) is not None
+        assert fusion_key(jam_two) not in (None, fusion_key(faithful))
+        assert fusion_key(jam_three) not in (
+            None, fusion_key(faithful), fusion_key(jam_two),
+        )
+
+    def test_jam_grid_bit_identical_and_grouped_by_model(self):
+        """A budget x k grid fuses per budget (two groups of two) and
+        reproduces the serial reference exactly."""
+        sweep = Sweep(
+            base=uniform_base(channel=self._jam_channel(0), trials=60),
+            grid={
+                "channel.model.params.budget": [0, 3],
+                "workload.params.k": [4, 8],
+            },
+        )
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_FUSED_SCHEDULE] * 4
+
+    def test_jammed_player_points_fuse(self):
+        """Deterministic jammers consume no randomness, so player points
+        carrying them still stack through the fused player engine."""
+        sweep = Sweep(
+            base=player_base(
+                channel={
+                    "collision_detection": True,
+                    "model": {"name": "jam-reactive",
+                              "params": {"budget": 2}},
+                },
+                trials=40,
+            ),
+            grid={"workload.params.k": [3, 6]},
+        )
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_FUSED_PLAYER] * 2
+
+    def test_noisy_player_points_stay_on_batch_player(self):
+        """Random fault models need per-round draws, which the
+        randomness-free stacked player engine cannot provide: the points
+        run serially (each still batching internally) and match serial."""
+        noisy = player_base(
+            channel={
+                "collision_detection": True,
+                "model": {"name": "noise",
+                          "params": {"success_erasure": 0.2}},
+            },
+            trials=40,
+        )
+        assert fusion_key(resolve_scenario(noisy)) is None
+        sweep = Sweep(base=noisy, grid={"workload.params.k": [3, 6]})
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_BATCH_PLAYER] * 2
+
+    def test_unbatchable_crash_forces_the_scalar_engine(self):
+        """A rejoin-delay crash routes to the scalar loop under every
+        executor - the fused executor must not try to stack it."""
+        from repro.analysis.montecarlo import ENGINE_SCALAR_PLAYER
+
+        crash = uniform_base(
+            channel={
+                "collision_detection": False,
+                "model": {"name": "crash",
+                          "params": {"probability": 0.3, "rejoin_after": 2}},
+            },
+            trials=25,
+        )
+        assert fusion_key(resolve_scenario(crash)) is None
+        sweep = Sweep(base=crash, grid={"workload.params.k": [4, 8]})
+        serial = run_sweep(sweep, executor="serial")
+        fused = run_sweep(sweep, executor="fused")
+        for point_serial, point_fused in zip(serial.results, fused.results):
+            assert point_serial.engine == ENGINE_SCALAR_UNIFORM
+            assert point_fused.engine == ENGINE_SCALAR_UNIFORM
+            assert point_fused.rounds == point_serial.rounds
+            assert point_fused.success == point_serial.success
+
+        player_crash = player_base(
+            channel={
+                "collision_detection": True,
+                "model": {"name": "crash",
+                          "params": {"probability": 0.2, "rejoin_after": 1}},
+            },
+            trials=20,
+        )
+        result = run_sweep(
+            Sweep(base=player_crash, grid={}), executor="fused"
+        ).results[0]
+        assert result.engine == ENGINE_SCALAR_PLAYER
+
+    def test_metadata_records_the_model(self):
+        jammed = run_sweep(
+            Sweep(base=uniform_base(channel=self._jam_channel(2), trials=30),
+                  grid={}),
+            executor="serial",
+        ).results[0]
+        assert jammed.metadata["channel_model"].startswith("jam-oblivious")
+        faithful = run_sweep(
+            Sweep(base=uniform_base(trials=30), grid={}), executor="serial"
+        ).results[0]
+        assert faithful.metadata["channel_model"] == "faithful"

@@ -114,3 +114,95 @@ class TestScenarioSpec:
     def test_label(self):
         assert make_spec().label() == "decay/fixed"
         assert make_spec(name="x").label() == "x"
+
+
+class TestChannelModelSpec:
+    """The channel-model slot: eager validation, resolution, round-trip."""
+
+    def test_shorthand_keeps_model_none(self):
+        assert ChannelSpec.from_dict("cd").model is None
+        assert ChannelSpec.from_dict("nocd").build_model() is None
+
+    def test_model_round_trips_through_dicts(self):
+        data = {
+            "collision_detection": True,
+            "model": {"name": "jam-oblivious", "params": {"budget": 4}},
+        }
+        spec = ChannelSpec.from_dict(data)
+        assert spec.to_dict() == data
+        assert ChannelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_model_omitted_from_dict_when_absent(self):
+        assert ChannelSpec(collision_detection=True).to_dict() == {
+            "collision_detection": True
+        }
+
+    def test_build_model_resolves_the_registry_model(self):
+        from repro.channel import NoisyChannel
+
+        spec = ChannelSpec.from_dict(
+            {
+                "collision_detection": False,
+                "model": {"name": "noise", "params": {"success_erasure": 0.2}},
+            }
+        )
+        assert spec.build_model() == NoisyChannel(success_erasure=0.2)
+
+    def test_scenario_json_round_trip_with_model(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "jammed",
+                "protocol": {"id": "decay", "params": {}},
+                "workload": {"kind": "fixed", "params": {"k": 4}},
+                "channel": {
+                    "collision_detection": False,
+                    "model": {"name": "jam-reactive",
+                              "params": {"budget": 2, "quiet_streak": 3}},
+                },
+                "n": 1024,
+                "trials": 50,
+                "max_rounds": 128,
+                "seed": 7,
+            }
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize(
+        "model,complaint",
+        [
+            ({"name": "nope"}, "unknown channel model"),
+            ({"name": "noise", "params": {"bogus": 1}}, "unknown parameter"),
+            ({"name": "jam-oblivious", "params": {"budget": -1}}, "budget"),
+            ({"name": "noise", "params": {"success_erasure": 1.5}},
+             r"\[0, 1\]"),
+            ("noise", "mapping"),
+            ({"name": "crash", "extra": True}, "allowed: name, params"),
+        ],
+    )
+    def test_malformed_models_fail_at_parse_time(self, model, complaint):
+        """Validation is eager: a bad model spec raises ScenarioError
+        before any point of a sweep runs."""
+        with pytest.raises(ScenarioError, match=complaint):
+            ChannelSpec.from_dict(
+                {"collision_detection": True, "model": model}
+            )
+
+    def test_dotted_override_reaches_model_params(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "jammed",
+                "protocol": {"id": "decay", "params": {}},
+                "workload": {"kind": "fixed", "params": {"k": 4}},
+                "channel": {
+                    "collision_detection": False,
+                    "model": {"name": "jam-oblivious", "params": {"budget": 0}},
+                },
+                "n": 1024,
+                "trials": 50,
+                "max_rounds": 128,
+                "seed": 7,
+            }
+        )
+        bumped = spec.override({"channel.model.params.budget": 9})
+        assert bumped.channel.model["params"]["budget"] == 9
+        assert spec.channel.model["params"]["budget"] == 0  # original intact

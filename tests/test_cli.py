@@ -261,3 +261,104 @@ class TestScenarioCommands:
         monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
         assert main(["scenario", "run", "-"]) == 0
         assert "success:" in capsys.readouterr().out
+
+
+class TestAdversaryCli:
+    """The adversary example payload and channel-model error paths."""
+
+    def test_adversary_example_is_runnable_json(self, capsys):
+        from repro.scenarios import EXAMPLE_ADVERSARY_SWEEP, Sweep
+
+        assert main(["scenario", "example", "--adversary"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == EXAMPLE_ADVERSARY_SWEEP
+        assert payload["base"]["channel"]["model"]["name"] == "jam-oblivious"
+        assert "channel.model.params.budget" in payload["grid"]
+        # The payload must expand cleanly into points.
+        sweep = Sweep.from_dict(payload)
+        assert len(sweep.points()) > 1
+
+    def test_example_kinds_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "example", "--adversary", "--cd-grid"]
+            )
+
+    def test_adversary_sweep_runs_fused(self, capsys):
+        """A thinned adversary grid executes end to end through the
+        fused executor and stamps fused engine labels."""
+        from repro.scenarios import EXAMPLE_ADVERSARY_SWEEP
+
+        sweep = json.loads(json.dumps(EXAMPLE_ADVERSARY_SWEEP))
+        sweep["base"].update(trials=30, n=256, max_rounds=256)
+        sweep["grid"] = {
+            "channel.model.params.budget": [0, 4],
+            "workload.params.ranges": [[2], [2, 4]],
+        }
+        import io
+
+        monkey_stdin = io.StringIO(json.dumps(sweep))
+        import sys as _sys
+
+        original = _sys.stdin
+        _sys.stdin = monkey_stdin
+        try:
+            assert main(["scenario", "sweep", "-", "--executor", "fused"]) == 0
+        finally:
+            _sys.stdin = original
+        out = capsys.readouterr().out
+        assert "fused-" in out
+
+    def test_malformed_model_fails_fast_with_exit_2(self, tmp_path, capsys):
+        spec = dict(
+            EXAMPLE_SCENARIO,
+            trials=30,
+            n=256,
+            channel={
+                "collision_detection": False,
+                "model": {"name": "warp-field"},
+            },
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main(["scenario", "run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err
+        assert "unknown channel model" in err
+        assert "jam-oblivious" in err  # the message lists the vocabulary
+
+    def test_out_of_range_model_param_fails_fast(self, tmp_path, capsys):
+        spec = dict(
+            EXAMPLE_SCENARIO,
+            channel={
+                "collision_detection": False,
+                "model": {
+                    "name": "noise",
+                    "params": {"success_erasure": 2.0},
+                },
+            },
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main(["scenario", "run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err and "[0, 1]" in err
+
+    def test_malformed_model_in_sweep_fails_before_any_point(
+        self, tmp_path, capsys
+    ):
+        sweep = {
+            "base": dict(
+                EXAMPLE_SCENARIO,
+                channel={
+                    "collision_detection": False,
+                    "model": {"name": "noise", "params": {"loudness": 11}},
+                },
+            ),
+            "grid": {"workload.params.ranges": [[2], [4]]},
+        }
+        sweep_path = tmp_path / "sweep.json"
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "sweep", str(sweep_path)]) == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err and "unknown parameter" in err

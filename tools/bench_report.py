@@ -39,7 +39,12 @@ from repro.analysis.montecarlo import (
     estimate_player_rounds,
     estimate_uniform_rounds,
 )
-from repro.channel import with_collision_detection, without_collision_detection
+from repro.channel import (
+    NoisyChannel,
+    ObliviousJammer,
+    with_collision_detection,
+    without_collision_detection,
+)
 from repro.experiments.table1_nocd import entropy_sweep_distributions
 from repro.protocols.sorted_probing import SortedProbingProtocol
 from repro.protocols.willard import WillardProtocol
@@ -246,6 +251,71 @@ def fused_bench(repeats: int) -> dict:
     return measurements
 
 
+
+def adversary_bench(trials: int, repeats: int) -> dict:
+    """Fault-model overhead on the batch engines.
+
+    Times the faithful batch run against the same workload with each
+    channel model injected (a deterministic budgeted jammer and a
+    randomized noisy channel), on both the no-CD schedule engine and the
+    CD history engine - the same cases the gate in
+    ``benchmarks/test_bench_adversary.py`` enforces (noisy and jammed both
+    within 2x of faithful).  ``overhead`` is the model's
+    batch-seconds over the faithful batch-seconds.
+    """
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    engines = {
+        "nocd_schedule": (
+            lambda: SortedProbingProtocol(distribution, one_shot=False),
+            without_collision_detection(),
+        ),
+        "cd_history": (lambda: WillardProtocol(N), with_collision_detection()),
+    }
+    models = {
+        "faithful": None,
+        "jam_oblivious": ObliviousJammer(budget=8),
+        "noise": NoisyChannel(
+            silence_to_collision=0.05,
+            collision_to_silence=0.05,
+            success_erasure=0.1,
+        ),
+    }
+    section: dict = {}
+    for engine_name, (make_protocol, base_channel) in engines.items():
+        rows: dict = {}
+        for model_name, model in models.items():
+            channel = base_channel.with_model(model)
+
+            def estimate():
+                return estimate_uniform_rounds(
+                    make_protocol(),
+                    distribution,
+                    np.random.default_rng(SEED),
+                    channel=channel,
+                    trials=trials,
+                    max_rounds=MAX_ROUNDS,
+                    batch=True,
+                )
+
+            seconds = _median_seconds(estimate, repeats)
+            estimated = estimate()
+            rows[model_name] = {
+                "batch_seconds": round(seconds, 6),
+                "success_rate": estimated.success.rate,
+                "mean_rounds": (
+                    None
+                    if not estimated.any_successes
+                    else round(estimated.rounds.mean, 4)
+                ),
+            }
+            if model_name != "faithful":
+                rows[model_name]["overhead"] = round(
+                    seconds / rows["faithful"]["batch_seconds"], 2
+                )
+        section[engine_name] = rows
+    return section
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -304,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
     history_engine = history_bench(measurements["cd_willard"], args.repeats)
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     sweep_fused = fused_bench(args.repeats)
+    adversary = adversary_bench(args.trials, args.repeats)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
@@ -325,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "history_engine": history_engine,
         "sweep_executor": sweep_executor,
         "sweep_fused": sweep_fused,
+        "adversary": adversary,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     for name, row in {**measurements, **player_engine}.items():
@@ -332,6 +404,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: scalar={row['scalar_seconds']:.3f}s "
             f"batch={row['batch_seconds']:.3f}s speedup={row['speedup']}x"
         )
+    for engine_name, rows in adversary.items():
+        overheads = ", ".join(
+            f"{model_name}={row['overhead']}x"
+            for model_name, row in rows.items()
+            if model_name != "faithful"
+        )
+        print(f"adversary/{engine_name}: {overheads} over faithful")
     cd_grid = history_engine["cd_grid"]
     print(
         f"history_engine/cd_grid: serial={cd_grid['serial_seconds']:.3f}s "
