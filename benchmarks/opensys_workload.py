@@ -1,0 +1,43 @@
+"""The shared open-system benchmark workload.
+
+One fixed load point consumed by both the opt-in benchmark gate
+(:mod:`benchmarks.test_bench_opensys`) and the snapshot tool
+(``tools/bench_report.py``), so the gate and the ``open_system`` section
+of ``BENCH_BATCH.json`` always measure the same run: decay serving a
+Poisson request stream at a stable offered load, on the vectorized
+open-schedule engine versus the scalar per-trial reference loop.
+
+The point is sized like the closed-engine workloads - enough trials and
+rounds that per-round numpy dispatch amortizes and the scalar loop's
+per-request Python overhead dominates - while staying below decay's
+service capacity so the backlog (and hence the work per round) remains
+representative of steady state rather than a saturated queue.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import ArrivalSpec, ChannelSpec, OpenScenarioSpec, ProtocolSpec
+
+N = 1024
+TRIALS = 512
+ROUNDS = 1024
+WARMUP = 128
+CAPACITY = 256
+RATE = 0.25
+SEED = 2021
+
+
+def open_point(*, trials: int = TRIALS, rounds: int = ROUNDS) -> OpenScenarioSpec:
+    """The fixed load point, optionally re-scaled for snapshot runs."""
+    return OpenScenarioSpec(
+        name="bench-open-decay-poisson",
+        protocol=ProtocolSpec(id="decay"),
+        arrivals=ArrivalSpec(family="poisson", params={"rate": RATE}),
+        channel=ChannelSpec(collision_detection=False),
+        n=N,
+        trials=trials,
+        rounds=rounds,
+        warmup=min(WARMUP, rounds - 1),
+        capacity=CAPACITY,
+        seed=SEED,
+    )

@@ -1,0 +1,61 @@
+"""Open-system engine benchmark: vectorized driver vs the scalar oracle.
+
+The acceptance gate for the open-loop driver: on the fixed load point of
+:mod:`benchmarks.opensys_workload` (decay serving Poisson arrivals below
+service capacity), the vectorized open-schedule engine must run >= 5x
+faster than the scalar per-trial reference loop - and, because both
+consume identical per-trial seed streams, produce a **bit-identical**
+latency store, not merely matching statistics.  Single-core, so the gate
+never skips.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.opensys import ENGINE_OPEN_SCALAR, ENGINE_OPEN_SCHEDULE
+from repro.scenarios import run_open_scenario
+
+from .opensys_workload import TRIALS, open_point
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark
+def test_bench_open_schedule_vs_scalar(benchmark):
+    spec = open_point()
+
+    scalar, scalar_seconds = _timed(
+        lambda: run_open_scenario(spec.override({"batch": False}))
+    )
+    vectorized, vector_seconds = _timed(lambda: run_open_scenario(spec))
+    benchmark.pedantic(
+        lambda: run_open_scenario(spec), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    # Correctness first: same seed streams, same trichotomy draws, same
+    # store - bitwise, not statistically.
+    assert scalar.engine == ENGINE_OPEN_SCALAR
+    assert vectorized.engine == ENGINE_OPEN_SCHEDULE
+    assert vectorized.store == scalar.store, (
+        "vectorized open run diverged from the scalar reference store"
+    )
+
+    speedup = scalar_seconds / vector_seconds
+    print(
+        f"\nopen decay/poisson, trials={TRIALS}: scalar={scalar_seconds:.3f}s "
+        f"vectorized={vector_seconds:.3f}s speedup={speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"open-schedule engine only {speedup:.1f}x faster than scalar "
+        f"({vector_seconds:.3f}s vs {scalar_seconds:.3f}s); "
+        f"expected >= {SPEEDUP_FLOOR:.0f}x"
+    )

@@ -14,7 +14,11 @@ Subcommands:
   print a ready-to-run spec (``--cd-grid`` is the dense
   collision-detection sweep whose points stack through the fused history
   engine; ``--adversary`` is the jamming robustness grid, grouped by
-  channel model).
+  channel model);
+* ``repro scenario open run|sweep|example`` - open-system runs: a
+  streaming arrival process served round by round, reporting per-request
+  sojourn percentiles and throughput; ``open sweep`` renders the
+  load -> latency curve.
 
 Every run is reproducible from its seed; ``--quick`` thins the
 experiment sweeps for smoke-testing, and ``--json`` switches the
@@ -34,9 +38,15 @@ from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .scenarios import (
     EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
+    EXAMPLE_OPEN_SCENARIO,
+    EXAMPLE_OPEN_SWEEP,
+    OpenScenarioSpec,
+    OpenSweep,
     ScenarioError,
     ScenarioSpec,
     Sweep,
+    run_open_scenario,
+    run_open_sweep,
     run_scenario,
     run_sweep,
 )
@@ -154,6 +164,48 @@ def build_parser() -> argparse.ArgumentParser:
             "shifted predictions); points group by channel model in the "
             "fused executor"
         ),
+    )
+
+    open_parser = scenario_sub.add_parser(
+        "open",
+        help=(
+            "open-system runs: streaming arrivals served round by round, "
+            "reporting sojourn-latency percentiles and throughput"
+        ),
+    )
+    open_sub = open_parser.add_subparsers(dest="open_command", required=True)
+
+    open_run = open_sub.add_parser(
+        "run", help="execute one OpenScenarioSpec JSON file ('-' reads stdin)"
+    )
+    open_run.add_argument(
+        "spec", help="path to an OpenScenarioSpec JSON file, or '-'"
+    )
+    open_run.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    open_sweep = open_sub.add_parser(
+        "sweep",
+        help=(
+            "expand and execute an open sweep JSON file ('-' reads stdin); "
+            "sweeping arrivals.params.rate yields the load -> latency curve"
+        ),
+    )
+    open_sweep.add_argument(
+        "spec", help="path to an open sweep JSON file ({base, grid}), or '-'"
+    )
+    open_sweep.add_argument(
+        "--json", action="store_true", help="emit all point results as JSON"
+    )
+
+    open_example = open_sub.add_parser(
+        "example", help="print a ready-to-run open-system spec"
+    )
+    open_example.add_argument(
+        "--sweep",
+        action="store_true",
+        help="print the 4-point load sweep instead of a single scenario",
     )
     return parser
 
@@ -306,7 +358,34 @@ def _read_spec_text(path: str) -> str:
     return Path(path).read_text()
 
 
+def _command_scenario_open(args: argparse.Namespace) -> int:
+    if args.open_command == "example":
+        payload = EXAMPLE_OPEN_SWEEP if args.sweep else EXAMPLE_OPEN_SCENARIO
+        print(json.dumps(payload, indent=2))
+        return 0
+    try:
+        text = _read_spec_text(args.spec)
+    except OSError as error:
+        print(f"cannot read spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.open_command == "run":
+            result = run_open_scenario(OpenScenarioSpec.from_json(text))
+            print(result.to_json() if args.json else result.render())
+            return 0
+        if args.open_command == "sweep":
+            sweep_result = run_open_sweep(OpenSweep.from_json(text))
+            print(sweep_result.to_json() if args.json else sweep_result.render())
+            return 0
+    except ScenarioError as error:
+        print(f"scenario error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled open command {args.open_command!r}")
+
+
 def _command_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "open":
+        return _command_scenario_open(args)
     if args.scenario_command == "example":
         if args.sweep:
             payload = EXAMPLE_SWEEP

@@ -1,0 +1,303 @@
+"""Streaming arrival processes for the open-system driver.
+
+A closed scenario draws one contender count and runs the batch to
+completion; the open system instead injects requests *per round* from an
+:class:`ArrivalProcess` and lets the live population rise and fall.  The
+registry mirrors ``scenarios/workloads.py``:
+
+* ``poisson`` - :class:`PoissonArrivals`, memoryless rate-``rate``
+  arrivals per round, the classic offered-load dial.
+* ``zipf-hotspot`` - :class:`ZipfHotspotArrivals`, Poisson *events* each
+  carrying a heavy-tailed (truncated-Zipf) batch of requests, modelling
+  hotspot keys whose fan-in bursts together.
+* ``bursty`` / ``trace`` - :class:`ThinnedArrivals` adapters that reuse
+  the closed-workload generators (:class:`MarkovBurstArrivals`,
+  :class:`TraceArrivals`) as per-round streams, thinned by a Bernoulli
+  factor so device-scale counts become per-round request rates.
+
+All processes draw exclusively from the generator handed to
+``sample_rounds`` - they hold no RNG of their own - so the driver's
+per-trial :class:`numpy.random.SeedSequence` streams fully determine the
+traffic and shards stay reproducible.
+
+:class:`ClampedArrivalSizeSource` adapts any arrival process the other
+way - into a closed-workload batch-size source - for the satellite
+``poisson``/``zipf-hotspot`` workload kinds.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..channel.arrivals import MIN_COUNT, MarkovBurstArrivals, TraceArrivals
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ZipfHotspotArrivals",
+    "ThinnedArrivals",
+    "ClampedArrivalSizeSource",
+    "ARRIVAL_FAMILIES",
+    "arrival_process_from_dict",
+]
+
+
+class ArrivalProcess(ABC):
+    """A streaming request source: per-round injection counts.
+
+    Subclasses must be stateless across ``sample_rounds`` calls *or*
+    restore their stream position on :meth:`reset`; the driver calls
+    :meth:`clone` once per trial so trials never share mutable state.
+    """
+
+    name: str
+
+    @abstractmethod
+    def sample_rounds(self, rng: np.random.Generator, rounds: int) -> np.ndarray:
+        """Draw the next ``rounds`` injection counts (int64 array)."""
+
+    @property
+    @abstractmethod
+    def offered_load(self) -> float:
+        """Mean requests injected per round."""
+
+    def clone(self) -> "ArrivalProcess":
+        """An independent copy with freshly-reset stream position."""
+        fresh = copy.deepcopy(self)
+        fresh.reset()
+        return fresh
+
+    def reset(self) -> None:
+        """Rewind any internal stream position (default: stateless)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: ``count ~ Poisson(rate)`` each round."""
+
+    def __init__(self, rate: float, *, name: str = "") -> None:
+        if not (rate > 0.0) or not math.isfinite(rate):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        self.rate = float(rate)
+        self.name = name or f"poisson(rate={self.rate:g})"
+
+    def sample_rounds(self, rng: np.random.Generator, rounds: int) -> np.ndarray:
+        return rng.poisson(self.rate, size=rounds).astype(np.int64)
+
+    @property
+    def offered_load(self) -> float:
+        return self.rate
+
+
+class ZipfHotspotArrivals(ArrivalProcess):
+    """Poisson events carrying truncated-Zipf batch sizes.
+
+    Each round draws ``events ~ Poisson(rate)``; each event injects a
+    batch of ``1..max_batch`` requests with ``P(size=i)`` proportional to
+    ``i**-alpha`` - the hotspot-key pattern where a popular object's
+    requesters collide together.  ``alpha`` large -> mostly singletons;
+    ``alpha`` near 0 -> near-uniform batch sizes up to ``max_batch``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        alpha: float = 1.5,
+        max_batch: int = 32,
+        name: str = "",
+    ) -> None:
+        if not (rate > 0.0) or not math.isfinite(rate):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        if not (alpha >= 0.0) or not math.isfinite(alpha):
+            raise ValueError(f"alpha must be >= 0 and finite, got {alpha}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.rate = float(rate)
+        self.alpha = float(alpha)
+        self.max_batch = int(max_batch)
+        weights = np.arange(1, self.max_batch + 1, dtype=np.float64) ** -self.alpha
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._mean_batch = float(
+            (np.arange(1, self.max_batch + 1) * np.diff(self._cdf, prepend=0.0)).sum()
+        )
+        self.name = name or (
+            f"zipf-hotspot(rate={self.rate:g}, alpha={self.alpha:g}, "
+            f"max_batch={self.max_batch})"
+        )
+
+    def sample_rounds(self, rng: np.random.Generator, rounds: int) -> np.ndarray:
+        events = rng.poisson(self.rate, size=rounds)
+        total = int(events.sum())
+        counts = np.zeros(rounds, dtype=np.int64)
+        if total == 0:
+            return counts
+        # Inverse-CDF draw of every event's batch size in one shot, then
+        # scatter the sizes back onto their rounds.
+        sizes = np.searchsorted(self._cdf, rng.random(total), side="right") + 1
+        np.add.at(counts, np.repeat(np.arange(rounds), events), sizes)
+        return counts
+
+    @property
+    def offered_load(self) -> float:
+        return self.rate * self._mean_batch
+
+
+def _source_mean(source) -> float:
+    """Stationary mean count of a closed-workload stream (pre-thinning).
+
+    An analytic estimate used only for the ``offered_load`` report - the
+    Markov chain's clamp into ``[MIN_COUNT, devices]`` is ignored, so the
+    value slightly undershoots at very low rates.
+    """
+    if isinstance(source, TraceArrivals):
+        return float(source._trace.mean())
+    if isinstance(source, MarkovBurstArrivals):
+        switching = source.burst_arrival + source.burst_departure
+        if switching > 0.0:
+            burst_share = source.burst_arrival / switching
+        else:
+            burst_share = 1.0 if source.start_in_burst else 0.0
+        rate = burst_share * source.burst_rate + (1.0 - burst_share) * source.calm_rate
+        return source.devices * rate
+    return float("nan")
+
+
+class ThinnedArrivals(ArrivalProcess):
+    """Adapter: a closed-workload device stream thinned to request rate.
+
+    Wraps a ``sample_many``-capable source (:class:`MarkovBurstArrivals`
+    or :class:`TraceArrivals`) and keeps each device's request with
+    probability ``thin`` - a Bernoulli thinning that turns device-scale
+    batch counts into per-round arrival counts while preserving the
+    wrapped stream's burst/trace structure.
+    """
+
+    def __init__(self, wrapped, *, thin: float, name: str = "") -> None:
+        if not hasattr(wrapped, "sample_many"):
+            raise TypeError(
+                f"wrapped source must support sample_many, got {type(wrapped).__name__}"
+            )
+        if not (0.0 < thin <= 1.0):
+            raise ValueError(f"thin must be in (0, 1], got {thin}")
+        self.wrapped = wrapped
+        self.thin = float(thin)
+        self.name = name or f"thinned({wrapped.name}, thin={self.thin:g})"
+
+    def sample_rounds(self, rng: np.random.Generator, rounds: int) -> np.ndarray:
+        base = np.asarray(self.wrapped.sample_many(rng, rounds), dtype=np.int64)
+        return rng.binomial(base, self.thin).astype(np.int64)
+
+    @property
+    def offered_load(self) -> float:
+        return _source_mean(self.wrapped) * self.thin
+
+    def reset(self) -> None:
+        reset = getattr(self.wrapped, "reset", None)
+        if reset is not None:
+            reset()
+
+
+class ClampedArrivalSizeSource:
+    """Closed-workload adapter: arrival counts as contender batch sizes.
+
+    Presents an :class:`ArrivalProcess` through the workload-source
+    interface (``sample`` / ``sample_many`` / ``n``) used by
+    ``resolve_workload``, clamping draws into ``[MIN_COUNT, n]`` the same
+    way the bursty/trace workloads clamp device counts.
+    """
+
+    def __init__(self, process: ArrivalProcess, n: int) -> None:
+        if n < MIN_COUNT:
+            raise ValueError(f"n must be >= {MIN_COUNT}, got {n}")
+        self.process = process
+        self.n = int(n)
+        self.name = f"clamped({process.name}, n={self.n})"
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(self.sample_many(rng, 1)[0])
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        draws = self.process.sample_rounds(rng, count)
+        return np.clip(draws, MIN_COUNT, self.n).astype(np.int64)
+
+
+def _take(params: dict, key: str, kind: str, *, default=None, required: bool = False):
+    if key in params:
+        return params.pop(key)
+    if required:
+        raise ValueError(f"arrival family {kind!r} requires parameter {key!r}")
+    return default
+
+
+def _done(params: dict, kind: str) -> None:
+    if params:
+        extras = ", ".join(sorted(params))
+        raise ValueError(f"unknown parameter(s) for arrival family {kind!r}: {extras}")
+
+
+def _build_poisson(params: dict) -> ArrivalProcess:
+    rate = float(_take(params, "rate", "poisson", required=True))
+    _done(params, "poisson")
+    return PoissonArrivals(rate)
+
+
+def _build_zipf_hotspot(params: dict) -> ArrivalProcess:
+    rate = float(_take(params, "rate", "zipf-hotspot", required=True))
+    alpha = float(_take(params, "alpha", "zipf-hotspot", default=1.5))
+    max_batch = int(_take(params, "max_batch", "zipf-hotspot", default=32))
+    _done(params, "zipf-hotspot")
+    return ZipfHotspotArrivals(rate, alpha=alpha, max_batch=max_batch)
+
+
+def _build_bursty(params: dict) -> ArrivalProcess:
+    devices = int(_take(params, "devices", "bursty", required=True))
+    thin = float(_take(params, "thin", "bursty", required=True))
+    calm_rate = float(_take(params, "calm_rate", "bursty", default=0.01))
+    burst_rate = float(_take(params, "burst_rate", "bursty", default=0.2))
+    burst_arrival = float(_take(params, "burst_arrival", "bursty", default=0.05))
+    burst_departure = float(_take(params, "burst_departure", "bursty", default=0.25))
+    start_in_burst = bool(_take(params, "start_in_burst", "bursty", default=False))
+    _done(params, "bursty")
+    burst = MarkovBurstArrivals(
+        devices,
+        calm_rate=calm_rate,
+        burst_rate=burst_rate,
+        burst_arrival=burst_arrival,
+        burst_departure=burst_departure,
+        start_in_burst=start_in_burst,
+    )
+    return ThinnedArrivals(burst, thin=thin)
+
+
+def _build_trace(params: dict) -> ArrivalProcess:
+    counts = _take(params, "counts", "trace", required=True)
+    thin = float(_take(params, "thin", "trace", default=1.0))
+    _done(params, "trace")
+    if not isinstance(counts, Sequence) or isinstance(counts, (str, bytes)):
+        raise ValueError("trace counts must be a sequence of integers")
+    return ThinnedArrivals(TraceArrivals([int(c) for c in counts]), thin=thin)
+
+
+ARRIVAL_FAMILIES = {
+    "poisson": _build_poisson,
+    "zipf-hotspot": _build_zipf_hotspot,
+    "bursty": _build_bursty,
+    "trace": _build_trace,
+}
+
+
+def arrival_process_from_dict(data: Mapping) -> ArrivalProcess:
+    """Build an arrival process from ``{"family": ..., **params}``."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"arrival spec must be a mapping, got {type(data).__name__}")
+    payload = dict(data)
+    family = payload.pop("family", None)
+    if family not in ARRIVAL_FAMILIES:
+        known = ", ".join(sorted(ARRIVAL_FAMILIES))
+        raise ValueError(f"unknown arrival family {family!r} (known: {known})")
+    return ARRIVAL_FAMILIES[family](payload)

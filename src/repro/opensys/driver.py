@@ -1,0 +1,649 @@
+"""Open-loop execution: a live contention population over streaming traffic.
+
+The closed engines answer "k players entered - how many rounds until the
+first success?".  This driver answers the deployment question instead: a
+channel serving *continuous* arrivals, where the contention level is the
+emergent backlog, a resolved request departs recording its sojourn time,
+and the survivors plus fresh arrivals contend again.  One trial is one
+independent channel; a run advances ``trials`` channels for ``rounds``
+rounds and accumulates every measured completion into one
+:class:`~repro.opensys.latency.LatencyStore`.
+
+Epoch semantics
+---------------
+The paper's protocols resolve one contention instance; an open system
+chains them.  A trial's protocol state lives in *epochs*: the state
+advances one step per contended round (exactly as in a closed execution),
+resets to the empty history after every delivered success (the remaining
+backlog plus newcomers start a fresh instance), resets when the backlog
+drains to zero (the channel goes idle), and - mirroring the closed
+engines' :class:`~repro.core.protocol.ScheduleExhausted` handling -
+restarts from the empty history when a one-shot schedule gives up with
+requests still pending.  Newcomers join the epoch in progress:
+identity-oblivious uniform protocols cannot tell, and this is precisely
+the unslotted-arrival regime the adversarial contention-resolution
+literature studies.
+
+Faithfulness and the stream contract
+------------------------------------
+A contended round with backlog ``k`` and probability ``p`` is simulated
+by the same trichotomy-band compare as the closed batch engines (one
+uniform against ``(1-p)^k`` / ``kp(1-p)^{k-1}``; see
+:mod:`repro.channel.batch`), which is distribution-exact because uniform
+protocols never see more than silence / success / collision.  An idle
+round (``k = 0``) needs no special case: ``lo = (1-p)^0 = 1``, so the
+draw always lands in the silence band.  On a delivered success one extra
+pre-drawn uniform picks the departing request uniformly from the backlog
+(uniform transmitters are exchangeable).  Fault models
+(:mod:`repro.channel.models`) perturb the faithful code after the band
+compare, exactly as in the closed engines; a success erased by noise or a
+crash keeps the request in the population - the message was lost.
+
+Randomness is drawn per trial from two :class:`numpy.random.SeedSequence`
+children (arrival stream, channel stream) spawned at
+``spawn_key = (trial_offset + t,)`` - the :func:`~repro.scenarios.sweep.
+derive_point_seeds` discipline - and consumed in fixed-width
+:data:`_OPEN_BLOCK_ROUNDS`-round blocks with absolute boundaries.  Both
+properties together make the engines *bit-identical per trial*: the
+vectorized drivers and the scalar oracle consume exactly the same
+per-trial streams (unused draws are discarded, which is
+distribution-neutral), and a run sharded as ``trial_offset = 0..a`` plus
+``a..a+b`` merges to the unsharded run's store exactly.
+
+Engines
+-------
+``open-schedule``
+    Schedule-publishing protocols: the per-epoch probability is an array
+    lookup on a per-trial epoch counter; rounds are fully vectorized
+    across trials.
+``open-history``
+    Deterministic feedback-driven (CD) protocols: each trial carries a
+    node id into the shared history-trie arena of
+    :mod:`repro.channel.batch`, so probabilities are memoized per
+    distinct history across trials, rounds and runs.
+``open-scalar``
+    The correctness oracle: a per-trial Python loop driving real
+    protocol sessions through the identical streams.  Also the only
+    engine for randomized-session protocols.
+
+Crash models with a non-zero rejoin delay are not expressible here (the
+open population *is* the live count; a crashed-but-rejoining requester
+would need per-request identity) and are rejected up front on every
+engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.batch import _arena_for_run, _check_model_batchable, _run_tokens
+from ..channel.channel import Channel
+from ..channel.models import FB_COLLISION, FB_SILENCE, FB_SUCCESS, ChannelModel
+from ..channel.simulator import _check_channel
+from ..core.feedback import Observation
+from ..core.protocol import (
+    OBS_COLLISION,
+    OBS_QUIET,
+    OBS_SILENCE,
+    ProtocolError,
+    ScheduleExhausted,
+    UniformProtocol,
+)
+from .arrivals import ArrivalProcess
+from .latency import LatencyStore
+
+__all__ = [
+    "ENGINE_OPEN_SCHEDULE",
+    "ENGINE_OPEN_HISTORY",
+    "ENGINE_OPEN_SCALAR",
+    "OpenRunResult",
+    "select_open_engine",
+    "run_open",
+]
+
+ENGINE_OPEN_SCHEDULE = "open-schedule"
+ENGINE_OPEN_HISTORY = "open-history"
+ENGINE_OPEN_SCALAR = "open-scalar"
+
+#: Rounds of arrivals and channel uniforms pre-drawn per trial at each
+#: absolute block boundary (rounds 1, 1+B, 1+2B, ...).  Boundaries and
+#: shapes depend only on (rounds, trial), never on the population, so
+#: every engine consumes identical per-trial streams.
+_OPEN_BLOCK_ROUNDS = 32
+
+#: Pre-drawn uniform columns per round: band draw, winner draw, and (for
+#: models that consume fault draws) one fault uniform.
+_COLS_FAITHFUL = 2
+_COLS_FAULT = 3
+
+
+@dataclass(frozen=True)
+class OpenRunResult:
+    """One open run: the accumulated latency store plus the engine used."""
+
+    store: LatencyStore
+    engine: str
+
+
+def select_open_engine(
+    protocol: UniformProtocol,
+    batch: bool | None = None,
+    *,
+    model: ChannelModel | None = None,
+) -> str:
+    """The open engine that will execute ``protocol``.
+
+    ``batch=None`` auto-selects (vectorized when the protocol supports
+    it), ``False`` forces the scalar oracle, ``True`` insists on a
+    vectorized engine and raises where none applies.  Mirrors
+    :func:`repro.analysis.montecarlo.select_uniform_engine`, except that
+    a non-batchable fault model is an error rather than a scalar
+    fallback: the open population cannot express mid-trial rejoins.
+    """
+    if not isinstance(protocol, UniformProtocol):
+        raise ValueError(
+            "the open-system driver runs uniform protocols only; "
+            f"got {type(protocol).__name__}"
+        )
+    _check_model_batchable(model)
+    if batch is False:
+        return ENGINE_OPEN_SCALAR
+    if protocol.batch_schedule() is not None:
+        return ENGINE_OPEN_SCHEDULE
+    if protocol.deterministic_sessions:
+        return ENGINE_OPEN_HISTORY
+    if batch is True:
+        raise ValueError(
+            f"protocol {protocol.name!r} has randomized sessions; only the "
+            "scalar open engine can execute it (pass batch=None or False)"
+        )
+    return ENGINE_OPEN_SCALAR
+
+
+def _trial_streams(
+    seed: int, trials: int, trial_offset: int
+) -> list[tuple[np.random.Generator, np.random.Generator]]:
+    """Per-trial (arrival, channel) generator pairs, prefix-stable.
+
+    Trial ``t`` is keyed by ``SeedSequence(seed, spawn_key=(offset+t,))``
+    - the same child :func:`~repro.scenarios.sweep.derive_point_seeds`
+    would hand out - so shards ``[0, a)`` and ``[a, a+b)`` reproduce
+    exactly the trials of one ``[0, a+b)`` run.
+    """
+    streams = []
+    for t in range(trials):
+        root = np.random.SeedSequence(entropy=seed, spawn_key=(trial_offset + t,))
+        arrival_seq, channel_seq = root.spawn(2)
+        streams.append(
+            (
+                np.random.default_rng(arrival_seq),
+                np.random.default_rng(channel_seq),
+            )
+        )
+    return streams
+
+
+def _refill_blocks(
+    processes: Sequence[ArrivalProcess],
+    streams: Sequence[tuple[np.random.Generator, np.random.Generator]],
+    round_index: int,
+    rounds: int,
+    columns: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-draw one block of per-trial arrivals and channel uniforms.
+
+    The shared half of the engines' stream contract (both vectorized
+    drivers and the scalar oracle call exactly this, the oracle with
+    one-trial slices): per trial, ``width`` arrival counts from its
+    arrival generator, then a ``(width, columns)`` uniform block from its
+    channel generator.
+    """
+    width = min(_OPEN_BLOCK_ROUNDS, rounds - round_index + 1)
+    trials = len(processes)
+    arrival_counts = np.empty((trials, width), dtype=np.int64)
+    channel_draws = np.empty((trials, width, columns))
+    for t in range(trials):
+        arrival_rng, channel_rng = streams[t]
+        counts = np.asarray(
+            processes[t].sample_rounds(arrival_rng, width), dtype=np.int64
+        )
+        if counts.shape != (width,):
+            raise ValueError(
+                f"arrival process {processes[t].name!r} returned shape "
+                f"{counts.shape}, expected ({width},)"
+            )
+        if (counts < 0).any():
+            raise ValueError(
+                f"arrival process {processes[t].name!r} returned negative counts"
+            )
+        arrival_counts[t] = counts
+        channel_draws[t] = channel_rng.random((width, columns))
+    return arrival_counts, channel_draws
+
+
+def _trichotomy(
+    u: np.ndarray, p: np.ndarray, k: np.ndarray
+) -> np.ndarray:
+    """Delivered-feedback codes of one round, vectorized across trials.
+
+    The closed engines' band compare extended to ``k = 0``: the silence
+    band is ``(1-p)^k = 1`` there, so idle channels hear silence without
+    a special case (``max(k-1, 0)`` keeps ``0 * 0**-1`` from producing
+    NaN when ``p = 1``).
+    """
+    k_f = k.astype(float)
+    miss = 1.0 - p
+    lo = miss**k_f
+    hi = lo + k_f * p * miss ** np.maximum(k_f - 1.0, 0.0)
+    return np.where(
+        u < lo, FB_SILENCE, np.where(u < hi, FB_SUCCESS, FB_COLLISION)
+    ).astype(np.int64)
+
+
+def _inject(
+    buffer: np.ndarray,
+    occupancy: np.ndarray,
+    counts: np.ndarray,
+    round_index: int,
+    capacity: int,
+    store: LatencyStore,
+) -> None:
+    """Admit this round's arrivals (capacity overflow is dropped)."""
+    store.arrivals += int(counts.sum())
+    admitted = np.minimum(counts, capacity - occupancy)
+    store.dropped += int((counts - admitted).sum())
+    total = int(admitted.sum())
+    if total == 0:
+        return
+    rows = np.flatnonzero(admitted)
+    per_row = admitted[rows]
+    # Flat scatter: row t's new requests land at slots occ[t] ... occ[t] +
+    # admitted[t] - 1 of its buffer row, all stamped with this round.
+    segment_starts = np.cumsum(per_row) - per_row
+    within = np.arange(total) - np.repeat(segment_starts, per_row)
+    flat = np.repeat(rows * buffer.shape[1] + occupancy[rows], per_row) + within
+    buffer.flat[flat] = round_index
+    occupancy += admitted
+
+
+def _expire(
+    buffer: np.ndarray,
+    occupancy: np.ndarray,
+    round_index: int,
+    timeout: int,
+    store: LatencyStore,
+) -> None:
+    """Drop requests whose sojourn reached ``timeout`` rounds (stable)."""
+    cutoff = round_index - timeout + 1  # arrivals <= cutoff give up now
+    width = int(occupancy.max())
+    if width == 0:
+        return
+    live = np.arange(width)[None, :] < occupancy[:, None]
+    expired = live & (buffer[:, :width] <= cutoff)
+    per_row = expired.sum(axis=1)
+    for t in np.flatnonzero(per_row):
+        kept = buffer[t, : occupancy[t]]
+        kept = kept[kept > cutoff]
+        buffer[t, : kept.size] = kept
+        occupancy[t] = kept.size
+    store.timed_out += int(per_row.sum())
+
+
+def _complete(
+    buffer: np.ndarray,
+    occupancy: np.ndarray,
+    success_rows: np.ndarray,
+    winner_draws: np.ndarray,
+    round_index: int,
+    warmup: int,
+    store: LatencyStore,
+) -> None:
+    """Depart one uniformly-drawn winner per successful trial (swap-remove)."""
+    winner = (winner_draws * occupancy[success_rows]).astype(np.int64)
+    arrived = buffer[success_rows, winner]
+    buffer[success_rows, winner] = buffer[success_rows, occupancy[success_rows] - 1]
+    occupancy[success_rows] -= 1
+    measured = arrived > warmup
+    if measured.any():
+        store.record_many(round_index - arrived[measured] + 1)
+
+
+def _run_open_schedule(
+    protocol: UniformProtocol,
+    processes: Sequence[ArrivalProcess],
+    streams: Sequence[tuple[np.random.Generator, np.random.Generator]],
+    model: ChannelModel | None,
+    rounds: int,
+    warmup: int,
+    capacity: int,
+    timeout: int | None,
+    store: LatencyStore,
+) -> None:
+    """Vectorized open loop for schedule-publishing protocols."""
+    schedule = protocol.batch_schedule()
+    assert schedule is not None
+    probabilities = np.asarray(schedule.probabilities, dtype=float)
+    length = probabilities.size
+
+    trials = len(processes)
+    buffer = np.zeros((trials, capacity), dtype=np.int64)
+    occupancy = np.zeros(trials, dtype=np.int64)
+    epoch_round = np.zeros(trials, dtype=np.int64)
+
+    fault_state = model.batch_state(trials) if model is not None else None
+    columns = (
+        _COLS_FAULT
+        if model is not None and model.needs_fault_draws
+        else _COLS_FAITHFUL
+    )
+
+    arrival_counts = channel_draws = None
+    for round_index in range(1, rounds + 1):
+        column = (round_index - 1) % _OPEN_BLOCK_ROUNDS
+        if column == 0:
+            arrival_counts, channel_draws = _refill_blocks(
+                processes, streams, round_index, rounds, columns
+            )
+        _inject(
+            buffer, occupancy, arrival_counts[:, column], round_index,
+            capacity, store,
+        )
+
+        # A one-shot schedule that ran out restarts from the top - the
+        # scalar oracle's fresh-session-after-ScheduleExhausted path.
+        if not schedule.cycle:
+            epoch_round[epoch_round >= length] = 0
+        p = probabilities[epoch_round % length]
+        codes = _trichotomy(channel_draws[:, column, 0], p, occupancy)
+        if fault_state is not None:
+            fault_draws = (
+                channel_draws[:, column, 2] if columns == _COLS_FAULT else None
+            )
+            codes = fault_state.perturb(round_index, codes, fault_draws)
+
+        success = (codes == FB_SUCCESS) & (occupancy > 0)
+        if success.any():
+            rows = np.flatnonzero(success)
+            _complete(
+                buffer, occupancy, rows, channel_draws[rows, column, 1],
+                round_index, warmup, store,
+            )
+            epoch_round[rows] = 0
+        # Contended non-success rows step their epoch (success rows just
+        # reset; their occupancy decrement cannot re-satisfy the mask).
+        epoch_round[~success & (occupancy > 0)] += 1
+
+        if timeout is not None:
+            _expire(buffer, occupancy, round_index, timeout, store)
+        epoch_round[occupancy == 0] = 0
+    store.in_flight += int(occupancy.sum())
+
+
+def _run_open_history(
+    protocol: UniformProtocol,
+    processes: Sequence[ArrivalProcess],
+    streams: Sequence[tuple[np.random.Generator, np.random.Generator]],
+    channel: Channel,
+    model: ChannelModel | None,
+    rounds: int,
+    warmup: int,
+    capacity: int,
+    timeout: int | None,
+    store: LatencyStore,
+) -> None:
+    """Vectorized open loop for deterministic history-driven protocols."""
+    arena = _arena_for_run()
+    root = arena.root_for(protocol, ("open", next(_run_tokens)))
+    arena.resolve(np.asarray([root]))
+    if arena.exhausted[root]:
+        raise ProtocolError(
+            f"protocol {protocol.name!r} exhausts its schedule before the "
+            "first round; it cannot serve an open system"
+        )
+
+    trials = len(processes)
+    buffer = np.zeros((trials, capacity), dtype=np.int64)
+    occupancy = np.zeros(trials, dtype=np.int64)
+    node = np.full(trials, root, dtype=np.int64)
+    collision_detection = channel.collision_detection
+
+    fault_state = model.batch_state(trials) if model is not None else None
+    columns = (
+        _COLS_FAULT
+        if model is not None and model.needs_fault_draws
+        else _COLS_FAITHFUL
+    )
+
+    arrival_counts = channel_draws = None
+    for round_index in range(1, rounds + 1):
+        column = (round_index - 1) % _OPEN_BLOCK_ROUNDS
+        if column == 0:
+            arrival_counts, channel_draws = _refill_blocks(
+                processes, streams, round_index, rounds, columns
+            )
+        _inject(
+            buffer, occupancy, arrival_counts[:, column], round_index,
+            capacity, store,
+        )
+
+        # Memoized probability per distinct live history; a history whose
+        # one-shot schedule exhausted restarts at the empty history (the
+        # scalar oracle's fresh-session path - the root is known good).
+        arena.resolve(np.unique(node))
+        if arena.any_exhausted:
+            exhausted = arena.exhausted[node]
+            if exhausted.any():
+                node[exhausted] = root
+        p = arena.probability[node]
+        codes = _trichotomy(channel_draws[:, column, 0], p, occupancy)
+        if fault_state is not None:
+            fault_draws = (
+                channel_draws[:, column, 2] if columns == _COLS_FAULT else None
+            )
+            codes = fault_state.perturb(round_index, codes, fault_draws)
+
+        success = (codes == FB_SUCCESS) & (occupancy > 0)
+        if success.any():
+            rows = np.flatnonzero(success)
+            _complete(
+                buffer, occupancy, rows, channel_draws[rows, column, 1],
+                round_index, warmup, store,
+            )
+            node[rows] = root
+        advance = ~success & (occupancy > 0)
+        if advance.any() and round_index < rounds:
+            if not collision_detection:
+                observed = np.full(int(advance.sum()), OBS_QUIET, dtype=np.int64)
+            else:
+                observed = np.where(
+                    codes[advance] == FB_COLLISION, OBS_COLLISION, OBS_SILENCE
+                )
+            node[advance] = arena.descend(node[advance], observed)
+
+        if timeout is not None:
+            _expire(buffer, occupancy, round_index, timeout, store)
+        node[occupancy == 0] = root
+    store.in_flight += int(occupancy.sum())
+
+
+def _run_open_scalar(
+    protocol: UniformProtocol,
+    processes: Sequence[ArrivalProcess],
+    streams: Sequence[tuple[np.random.Generator, np.random.Generator]],
+    channel: Channel,
+    model: ChannelModel | None,
+    rounds: int,
+    warmup: int,
+    capacity: int,
+    timeout: int | None,
+    store: LatencyStore,
+) -> None:
+    """The per-trial reference loop: real sessions, identical streams.
+
+    Probabilities come from live :class:`~repro.core.protocol.
+    UniformSession` objects instead of schedule arrays or the memoized
+    trie, but every random draw is consumed through the same
+    :func:`_refill_blocks` contract (one-trial slices), so for
+    deterministic protocols the resulting store is bit-identical to the
+    vectorized engines'.
+    """
+    collision_detection = channel.collision_detection
+    columns = (
+        _COLS_FAULT
+        if model is not None and model.needs_fault_draws
+        else _COLS_FAITHFUL
+    )
+    in_flight = 0
+    for t in range(len(processes)):
+        fault_state = model.batch_state(1) if model is not None else None
+        pending: list[int] = []
+        session = None
+        arrival_counts = channel_draws = None
+        for round_index in range(1, rounds + 1):
+            column = (round_index - 1) % _OPEN_BLOCK_ROUNDS
+            if column == 0:
+                arrival_counts, channel_draws = _refill_blocks(
+                    processes[t : t + 1], streams[t : t + 1], round_index,
+                    rounds, columns,
+                )
+            count = int(arrival_counts[0, column])
+            store.arrivals += count
+            admitted = min(count, capacity - len(pending))
+            store.dropped += count - admitted
+            pending.extend([round_index] * admitted)
+
+            k = len(pending)
+            if k == 0:
+                code = FB_SILENCE
+            else:
+                if session is None:
+                    session = protocol.session()
+                try:
+                    p = session.next_probability()
+                except ScheduleExhausted:
+                    session = protocol.session()
+                    try:
+                        p = session.next_probability()
+                    except ScheduleExhausted:
+                        raise ProtocolError(
+                            f"protocol {protocol.name!r} exhausts its "
+                            "schedule before the first round; it cannot "
+                            "serve an open system"
+                        ) from None
+                u = float(channel_draws[0, column, 0])
+                lo = (1.0 - p) ** k
+                hi = lo + k * p * (1.0 - p) ** max(k - 1, 0)
+                code = (
+                    FB_SILENCE
+                    if u < lo
+                    else (FB_SUCCESS if u < hi else FB_COLLISION)
+                )
+            if fault_state is not None:
+                fault_draws = (
+                    channel_draws[:, column, 2]
+                    if columns == _COLS_FAULT
+                    else None
+                )
+                code = int(
+                    fault_state.perturb(
+                        round_index,
+                        np.asarray([code], dtype=np.int64),
+                        fault_draws,
+                    )[0]
+                )
+
+            if code == FB_SUCCESS and k > 0:
+                winner = int(channel_draws[0, column, 1] * len(pending))
+                arrived = pending[winner]
+                pending[winner] = pending[-1]
+                pending.pop()
+                if arrived > warmup:
+                    store.record(round_index - arrived + 1)
+                session = None
+            elif k > 0 and round_index < rounds:
+                if not collision_detection:
+                    session.observe(Observation.QUIET)
+                elif code == FB_COLLISION:
+                    session.observe(Observation.COLLISION)
+                else:
+                    session.observe(Observation.SILENCE)
+
+            if timeout is not None:
+                cutoff = round_index - timeout + 1
+                survivors = [a for a in pending if a > cutoff]
+                store.timed_out += len(pending) - len(survivors)
+                pending = survivors
+            if not pending:
+                session = None
+        in_flight += len(pending)
+    store.in_flight += in_flight
+
+
+def run_open(
+    protocol: UniformProtocol,
+    arrivals: ArrivalProcess,
+    *,
+    channel: Channel,
+    trials: int,
+    rounds: int,
+    warmup: int = 0,
+    capacity: int = 256,
+    timeout: int | None = None,
+    seed: int = 2021,
+    trial_offset: int = 0,
+    batch: bool | None = None,
+) -> OpenRunResult:
+    """Serve ``arrivals`` with ``protocol`` on ``trials`` open channels.
+
+    Each trial is one independent channel observed for ``rounds`` rounds:
+    requests stream in from a private clone of ``arrivals``, at most
+    ``capacity`` wait at once (overflow is dropped), an optional
+    ``timeout`` abandons requests after that many rounds in the system,
+    and completions whose request arrived after round ``warmup`` are
+    recorded in the returned :class:`~repro.opensys.latency.LatencyStore`.
+
+    Two runs with the same ``seed`` and consecutive ``trial_offset``
+    windows merge (``store.merge``) to exactly the store of one combined
+    run - the sharding contract of the satellite seed-hygiene task.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if not 0 <= warmup < rounds:
+        raise ValueError(
+            f"warmup must be in [0, rounds), got {warmup} of {rounds}"
+        )
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if timeout is not None and timeout < 1:
+        raise ValueError(f"timeout must be >= 1 or None, got {timeout}")
+    if trial_offset < 0:
+        raise ValueError(f"trial_offset must be >= 0, got {trial_offset}")
+    _check_channel(protocol.requires_collision_detection, channel)
+    model = channel.active_model
+    engine = select_open_engine(protocol, batch, model=model)
+
+    processes = [arrivals.clone() for _ in range(trials)]
+    streams = _trial_streams(seed, trials, trial_offset)
+    store = LatencyStore()
+    if engine == ENGINE_OPEN_SCHEDULE:
+        _run_open_schedule(
+            protocol, processes, streams, model, rounds, warmup, capacity,
+            timeout, store,
+        )
+    elif engine == ENGINE_OPEN_HISTORY:
+        _run_open_history(
+            protocol, processes, streams, channel, model, rounds, warmup,
+            capacity, timeout, store,
+        )
+    else:
+        _run_open_scalar(
+            protocol, processes, streams, channel, model, rounds, warmup,
+            capacity, timeout, store,
+        )
+    store.round_slots += trials * (rounds - warmup)
+    return OpenRunResult(store=store, engine=engine)

@@ -16,7 +16,11 @@ The single configuration-driven entry point into the simulation stack:
 * :mod:`~repro.scenarios.sweep` - grid expansion plus serial,
   process-pool (multi-core) and fused (stacked single-core) executors;
   the fused executor stacks compatible schedule, history (CD) and
-  player points into one engine run each.
+  player points into one engine run each;
+* :mod:`~repro.scenarios.open` - open-system scenarios over streaming
+  arrivals (:class:`OpenScenarioSpec`, :func:`run_open_scenario`) and
+  the load -> latency sweep family (:class:`OpenSweep`,
+  :func:`run_open_sweep`).
 
 Quick start::
 
@@ -64,7 +68,22 @@ from .sweep import (
     register_executor,
     run_sweep,
 )
-from .examples import EXAMPLE_ADVERSARY_SWEEP, EXAMPLE_CD_SWEEP
+from .examples import (
+    EXAMPLE_ADVERSARY_SWEEP,
+    EXAMPLE_CD_SWEEP,
+    EXAMPLE_OPEN_SCENARIO,
+    EXAMPLE_OPEN_SWEEP,
+)
+from .open import (
+    ArrivalSpec,
+    OpenScenarioResult,
+    OpenScenarioSpec,
+    OpenSweep,
+    OpenSweepResult,
+    resolve_open_scenario,
+    run_open_scenario,
+    run_open_sweep,
+)
 from .workloads import (
     DISTRIBUTION_FAMILIES,
     register_distribution_family,
@@ -106,7 +125,18 @@ __all__ = [
     "fusion_groups",
     "EXECUTORS",
     "register_executor",
+    # open system
+    "ArrivalSpec",
+    "OpenScenarioSpec",
+    "OpenScenarioResult",
+    "resolve_open_scenario",
+    "run_open_scenario",
+    "OpenSweep",
+    "OpenSweepResult",
+    "run_open_sweep",
     # example payloads
     "EXAMPLE_CD_SWEEP",
     "EXAMPLE_ADVERSARY_SWEEP",
+    "EXAMPLE_OPEN_SCENARIO",
+    "EXAMPLE_OPEN_SWEEP",
 ]

@@ -8,7 +8,14 @@ the library, never the other way around.
 
 from __future__ import annotations
 
-__all__ = ["EXAMPLE_CD_SWEEP", "EXAMPLE_ADVERSARY_SWEEP"]
+import copy
+
+__all__ = [
+    "EXAMPLE_CD_SWEEP",
+    "EXAMPLE_ADVERSARY_SWEEP",
+    "EXAMPLE_OPEN_SCENARIO",
+    "EXAMPLE_OPEN_SWEEP",
+]
 
 #: The dense CD sweep: the collision-detection arm of the robustness /
 #: crossover experiments as one declarative grid.  Willard (the classical
@@ -78,6 +85,37 @@ EXAMPLE_CD_SWEEP: dict = {
 #: forces collisions from round 1, so mean rounds degrade monotonically
 #: in the budget - the robustness curve the JAM-ROBUST experiment pins.
 #: Printed by ``repro scenario example --adversary``.
+#: One open-system point: decay serving a Poisson request stream on the
+#: no-CD channel - the canonical latency-under-load measurement.  Offered
+#: load 0.2 requests/round sits comfortably below decay's service
+#: capacity, so the backlog stays stable and the sojourn percentiles are
+#: finite; warmup 64 discards the empty-system transient.  Printed by
+#: ``repro scenario open example``.
+EXAMPLE_OPEN_SCENARIO: dict = {
+    "name": "open-decay-poisson",
+    "protocol": {"id": "decay", "params": {}},
+    "arrivals": {"family": "poisson", "params": {"rate": 0.2}},
+    "channel": "nocd",
+    "n": 256,
+    "trials": 64,
+    "rounds": 512,
+    "warmup": 64,
+    "capacity": 128,
+    "seed": 2021,
+}
+
+#: The load -> latency curve: the open-decay point swept over a 4-point
+#: offered-load grid.  p50/p99 sojourn rise monotonically with load as
+#: the live population (hence per-epoch contention) grows - the
+#: open-system tail-latency story in one table.  Printed by ``repro
+#: scenario open example --sweep``; the CI smoke and
+#: ``benchmarks/opensys_workload.py`` reuse this grid shape.
+EXAMPLE_OPEN_SWEEP: dict = {
+    "base": copy.deepcopy(EXAMPLE_OPEN_SCENARIO),
+    "grid": {"arrivals.params.rate": [0.05, 0.1, 0.2, 0.35]},
+    "vary_seed": True,
+}
+
 EXAMPLE_ADVERSARY_SWEEP: dict = {
     "base": {
         "name": "adversary-grid",

@@ -1,0 +1,588 @@
+"""Open-system scenarios: declarative specs and sweeps over offered load.
+
+The open-system counterpart of the spec/runner/sweep stack: an
+:class:`OpenScenarioSpec` names a protocol (registry id), a streaming
+arrival process (:data:`repro.opensys.arrivals.ARRIVAL_FAMILIES`), a
+channel, and the open-run knobs (rounds, warmup, capacity, timeout,
+seed); :func:`run_open_scenario` resolves and executes it through the
+open-loop driver (:func:`repro.opensys.driver.run_open`), and
+:class:`OpenSweep` expands dotted-path grids - most usefully over
+``arrivals.params.rate`` - into the load -> latency curves that are the
+whole point of the subsystem.
+
+The same design rules as the closed layer apply: specs are pure
+JSON-native data (``from_json(to_json())`` is the identity), a spec plus
+its seed fully determines the result, and grid overrides re-validate
+through ``from_dict`` so a sweep can never build a point that would not
+load from JSON.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import math
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from ..channel.channel import Channel
+from ..core.protocol import UniformProtocol
+from ..opensys.arrivals import ArrivalProcess, arrival_process_from_dict
+from ..opensys.driver import run_open, select_open_engine
+from ..opensys.latency import LatencyStore, LatencySummary
+from .registry import PLAYER, BuildContext, build_protocol, get_protocol
+from .spec import (
+    ChannelSpec,
+    PredictionSpec,
+    ProtocolSpec,
+    ScenarioError,
+    _check_known_keys,
+    _require_mapping,
+)
+from .workloads import resolve_prediction
+
+__all__ = [
+    "ArrivalSpec",
+    "OpenScenarioSpec",
+    "OpenScenarioResult",
+    "ResolvedOpenScenario",
+    "resolve_open_scenario",
+    "run_open_scenario",
+    "OpenSweep",
+    "OpenSweepResult",
+    "run_open_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A streaming arrival process: family name plus parameters.
+
+    Families are the :data:`repro.opensys.arrivals.ARRIVAL_FAMILIES`
+    registry (``poisson``, ``zipf-hotspot``, ``bursty``, ``trace``).
+    Validated eagerly - the process is built and discarded at
+    construction - so malformed specs fail before any simulation runs.
+    """
+
+    family: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            raise ScenarioError("arrival spec needs a non-empty family")
+        try:
+            self.build()
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"arrival spec: {exc}") from exc
+
+    def build(self) -> ArrivalProcess:
+        """The resolved :class:`~repro.opensys.arrivals.ArrivalProcess`."""
+        return arrival_process_from_dict(
+            {"family": self.family, **copy.deepcopy(self.params)}
+        )
+
+    def to_dict(self) -> dict:
+        return {"family": self.family, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "ArrivalSpec":
+        if isinstance(data, str):  # shorthand: bare family, no params
+            return cls(family=data)
+        data = _require_mapping(data, "arrival spec")
+        _check_known_keys(data, {"family", "params"}, "arrival spec")
+        return cls(
+            family=str(data.get("family", "")),
+            params=copy.deepcopy(
+                _require_mapping(data.get("params", {}), "arrival params")
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class OpenScenarioSpec:
+    """One open-system simulation, ready to serialize or run.
+
+    Attributes
+    ----------
+    protocol:
+        Registry reference of the (uniform) protocol under test.
+    arrivals:
+        Streaming request source.
+    channel:
+        Collision-detection capability plus optional fault model.
+    n:
+        Network-size context handed to protocol construction (board size
+        for prediction protocols); the live population is emergent.
+    trials:
+        Independent open channels to simulate.
+    rounds:
+        Rounds each channel is observed for.
+    warmup:
+        Completions of requests arriving in rounds ``1..warmup`` are not
+        measured (transient before the backlog reaches steady state).
+    capacity:
+        Maximum pending requests per channel; overflow arrivals drop.
+    timeout:
+        Optional per-request round budget - a request abandons (counted,
+        not measured) after this many rounds in the system.
+    seed / batch / prediction / name:
+        As in :class:`~repro.scenarios.spec.ScenarioSpec`; prediction
+        source ``"truth"`` is rejected (an open scenario has no workload
+        distribution to be clairvoyant about - use ``"distribution"``).
+    """
+
+    protocol: ProtocolSpec
+    arrivals: ArrivalSpec
+    channel: ChannelSpec
+    n: int
+    trials: int
+    rounds: int
+    warmup: int = 0
+    capacity: int = 256
+    timeout: int | None = None
+    seed: int = 2021
+    batch: bool | None = None
+    prediction: PredictionSpec | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ScenarioError(f"n must be >= 2, got {self.n}")
+        if self.trials < 1:
+            raise ScenarioError(f"trials must be >= 1, got {self.trials}")
+        if self.rounds < 1:
+            raise ScenarioError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0 <= self.warmup < self.rounds:
+            raise ScenarioError(
+                f"warmup must be in [0, rounds), got {self.warmup} of "
+                f"{self.rounds}"
+            )
+        if self.capacity < 1:
+            raise ScenarioError(f"capacity must be >= 1, got {self.capacity}")
+        if self.timeout is not None and self.timeout < 1:
+            raise ScenarioError(
+                f"timeout must be >= 1 or None, got {self.timeout}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native dict; ``from_dict`` inverts it exactly."""
+        return {
+            "protocol": self.protocol.to_dict(),
+            "arrivals": self.arrivals.to_dict(),
+            "channel": self.channel.to_dict(),
+            "n": self.n,
+            "trials": self.trials,
+            "rounds": self.rounds,
+            "warmup": self.warmup,
+            "capacity": self.capacity,
+            "timeout": self.timeout,
+            "seed": self.seed,
+            "batch": self.batch,
+            "prediction": self.prediction.to_dict() if self.prediction else None,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OpenScenarioSpec":
+        data = _require_mapping(data, "open scenario spec")
+        allowed = {f.name for f in fields(cls)}
+        _check_known_keys(data, allowed, "open scenario spec")
+        for required in ("protocol", "arrivals", "channel", "n", "trials", "rounds"):
+            if required not in data:
+                raise ScenarioError(f"open scenario spec needs {required!r}")
+        batch = data.get("batch")
+        if batch is not None:
+            batch = bool(batch)
+        timeout = data.get("timeout")
+        prediction = data.get("prediction")
+        return cls(
+            protocol=ProtocolSpec.from_dict(data["protocol"]),
+            arrivals=ArrivalSpec.from_dict(data["arrivals"]),
+            channel=ChannelSpec.from_dict(data["channel"]),
+            n=int(data["n"]),
+            trials=int(data["trials"]),
+            rounds=int(data["rounds"]),
+            warmup=int(data.get("warmup", 0)),
+            capacity=int(data.get("capacity", 256)),
+            timeout=int(timeout) if timeout is not None else None,
+            seed=int(data.get("seed", 2021)),
+            batch=batch,
+            prediction=(
+                PredictionSpec.from_dict(prediction)
+                if prediction is not None
+                else None
+            ),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpenScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid open scenario JSON: {error}") from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def override(self, overrides: Mapping[str, Any]) -> "OpenScenarioSpec":
+        """A new spec with dotted-path fields replaced (re-validated).
+
+        Same contract as :meth:`ScenarioSpec.override`: paths index into
+        :meth:`to_dict` (``"trials"``, ``"arrivals.params.rate"``,
+        ``"channel.model.params.budget"``) and the result re-loads
+        through :meth:`from_dict`.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            node = data
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {}
+                    node[part] = child
+                node = child
+            node[parts[-1]] = copy.deepcopy(value)
+        return type(self).from_dict(data)
+
+    def label(self) -> str:
+        """Short human-readable identity for tables and progress lines."""
+        return self.name or f"{self.protocol.id}/{self.arrivals.family}"
+
+
+@dataclass
+class ResolvedOpenScenario:
+    """An open spec resolved into runnable objects, not yet executed."""
+
+    spec: OpenScenarioSpec
+    channel: Channel
+    protocol: UniformProtocol
+    arrivals: ArrivalProcess
+    engine: str
+
+    def metadata(self) -> dict:
+        offered = self.arrivals.offered_load
+        return {
+            "protocol": self.protocol.name,
+            "kind": "uniform",
+            "channel": self.channel.kind,
+            "channel_model": self.channel.model_label(),
+            "arrivals": self.arrivals.name,
+            "offered_load": None if math.isnan(offered) else offered,
+            "engine": self.engine,
+            "batch_requested": self.spec.batch,
+        }
+
+
+def resolve_open_scenario(spec: OpenScenarioSpec) -> ResolvedOpenScenario:
+    """Resolve an open spec, raising :class:`ScenarioError` where a run would.
+
+    Rejects player protocols (an open channel serves anonymous uniform
+    epochs; per-player identity has no meaning there), clairvoyant
+    ``"truth"`` predictions, and fault models the open driver cannot
+    express - all before any randomness is consumed.
+    """
+    try:
+        model = spec.channel.build_model()
+    except ValueError as exc:
+        raise ScenarioError(f"channel model spec: {exc}") from exc
+    channel = Channel(
+        collision_detection=spec.channel.collision_detection, model=model
+    )
+
+    entry = get_protocol(spec.protocol.id)
+    if entry.kind == PLAYER:
+        raise ScenarioError(
+            f"open scenarios run uniform protocols only; "
+            f"{spec.protocol.id!r} is a player protocol"
+        )
+    if spec.prediction is not None and spec.prediction.source == "truth":
+        raise ScenarioError(
+            "open scenarios have no workload distribution for prediction "
+            "source 'truth'; supply an explicit source 'distribution'"
+        )
+    prediction = resolve_prediction(spec.prediction, None, spec.n)
+    protocol = build_protocol(
+        spec.protocol, BuildContext(n=spec.n, prediction=prediction)
+    )
+    assert isinstance(protocol, UniformProtocol)
+    try:
+        engine = select_open_engine(
+            protocol, spec.batch, model=channel.active_model
+        )
+    except ValueError as exc:
+        raise ScenarioError(str(exc)) from exc
+    return ResolvedOpenScenario(
+        spec=spec,
+        channel=channel,
+        protocol=protocol,
+        arrivals=spec.arrivals.build(),
+        engine=engine,
+    )
+
+
+@dataclass
+class OpenScenarioResult:
+    """Outcome of one open-system run, ready to serialize.
+
+    Carries the full :class:`~repro.opensys.latency.LatencyStore` (not
+    just its summary) so results merge: two shards of the same spec run
+    at different ``trial_offset``\\ s combine with ``store.merge`` into
+    exactly the unsharded result's store.
+    """
+
+    spec: OpenScenarioSpec
+    engine: str
+    store: LatencyStore
+    metadata: dict = field(default_factory=dict)
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def summary(self) -> LatencySummary:
+        return self.store.summary()
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "engine": self.engine,
+            "store": self.store.to_dict(),
+            "summary": self.store.summary().to_dict(),
+            "metadata": dict(self.metadata),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OpenScenarioResult":
+        return cls(
+            spec=OpenScenarioSpec.from_dict(data["spec"]),
+            engine=str(data["engine"]),
+            store=LatencyStore.from_dict(
+                _require_mapping(data["store"], "latency store")
+            ),
+            metadata=dict(data.get("metadata", {})),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpenScenarioResult":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable report for the CLI."""
+        summary = self.summary
+        offered = self.metadata.get("offered_load")
+        load = "n/a" if offered is None else f"{offered:.4g} req/round"
+        lines = [
+            f"open scenario: {self.spec.label()}",
+            f"  protocol: {self.metadata.get('protocol', self.spec.protocol.id)}"
+            f"    channel: {self.metadata.get('channel', self.spec.channel.kind)}"
+            f" ({self.metadata.get('channel_model', 'faithful')})",
+            f"  arrivals: {self.metadata.get('arrivals', self.spec.arrivals.family)}"
+            f"    offered load: {load}",
+            f"  engine:   {self.engine}    trials: {self.spec.trials}"
+            f"    rounds: {self.spec.rounds} (warmup {self.spec.warmup})"
+            f"    seed: {self.spec.seed}",
+            f"  latency:  {summary.render()}",
+            f"  elapsed:  {self.elapsed_seconds:.3f}s",
+        ]
+        return "\n".join(lines)
+
+
+def run_open_scenario(spec: OpenScenarioSpec) -> OpenScenarioResult:
+    """Execute one open scenario and return its serializable result."""
+    started = time.perf_counter()
+    resolved = resolve_open_scenario(spec)
+    outcome = run_open(
+        resolved.protocol,
+        resolved.arrivals,
+        channel=resolved.channel,
+        trials=spec.trials,
+        rounds=spec.rounds,
+        warmup=spec.warmup,
+        capacity=spec.capacity,
+        timeout=spec.timeout,
+        seed=spec.seed,
+        batch=spec.batch,
+    )
+    metadata = resolved.metadata()
+    metadata["engine"] = outcome.engine
+    return OpenScenarioResult(
+        spec=spec,
+        engine=outcome.engine,
+        store=outcome.store,
+        metadata=metadata,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class OpenSweep:
+    """A grid of open-scenario variations around a base spec.
+
+    The load -> latency curve is the canonical use: sweep
+    ``arrivals.params.rate`` and read p50/p99 against offered load.  As
+    with the closed :class:`~repro.scenarios.sweep.Sweep`, points expand
+    in row-major grid order and - with ``vary_seed`` (default) - each
+    point's seed is a :func:`~repro.scenarios.sweep.derive_point_seeds`
+    child of the base seed, recorded in the point's own spec so any
+    point re-runs identically from its serialized form.
+    """
+
+    base: OpenScenarioSpec
+    grid: dict = field(default_factory=dict)
+    vary_seed: bool = True
+
+    def __post_init__(self) -> None:
+        for path, values in self.grid.items():
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+                raise ScenarioError(
+                    f"grid values for {path!r} must be a list, got "
+                    f"{type(values).__name__}"
+                )
+            if len(values) == 0:
+                raise ScenarioError(f"grid values for {path!r} must be non-empty")
+
+    def points(self) -> list[OpenScenarioSpec]:
+        """The expanded open specs, in deterministic grid order."""
+        from .sweep import derive_point_seeds
+
+        paths = list(self.grid)
+        combos = list(itertools.product(*(self.grid[path] for path in paths)))
+        seeds = (
+            derive_point_seeds(self.base.seed, len(combos))
+            if self.vary_seed and "seed" not in paths
+            else None
+        )
+        specs: list[OpenScenarioSpec] = []
+        for index, combo in enumerate(combos):
+            overrides = dict(zip(paths, combo))
+            if seeds is not None:
+                overrides["seed"] = seeds[index]
+            if "name" not in overrides:
+                overrides["name"] = (
+                    f"{self.base.name}[{index}]"
+                    if self.base.name
+                    else f"point-{index}"
+                )
+            specs.append(self.base.override(overrides))
+        return specs
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.to_dict(),
+            "grid": {path: list(values) for path, values in self.grid.items()},
+            "vary_seed": self.vary_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OpenSweep":
+        data = _require_mapping(data, "open sweep spec")
+        _check_known_keys(data, {"base", "grid", "vary_seed"}, "open sweep spec")
+        if "base" not in data:
+            raise ScenarioError("open sweep spec needs a 'base' scenario")
+        grid = data.get("grid", {})
+        if not isinstance(grid, Mapping):
+            raise ScenarioError("open sweep 'grid' must be a mapping")
+        return cls(
+            base=OpenScenarioSpec.from_dict(data["base"]),
+            grid={str(path): list(values) for path, values in grid.items()},
+            vary_seed=bool(data.get("vary_seed", True)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpenSweep":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid open sweep JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+@dataclass
+class OpenSweepResult:
+    """All point results of one open sweep execution."""
+
+    results: list[OpenScenarioResult]
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OpenSweepResult":
+        return cls(
+            results=[
+                OpenScenarioResult.from_dict(row) for row in data["results"]
+            ],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """The load -> latency curve as a plain-text table."""
+        from ..analysis.tables import render_table
+
+        headers = [
+            "point", "engine", "load", "p50", "p90", "p99",
+            "throughput", "dropped", "timed-out",
+        ]
+        rows: list[list[object]] = []
+        for result in self.results:
+            summary = result.summary
+            offered = result.metadata.get("offered_load")
+            rows.append(
+                [
+                    result.spec.label(),
+                    result.engine,
+                    float("nan") if offered is None else offered,
+                    summary.p50,
+                    summary.p90,
+                    summary.p99,
+                    summary.throughput,
+                    summary.dropped,
+                    summary.timed_out,
+                ]
+            )
+        table = render_table(headers, rows, precision=3)
+        return (
+            f"open sweep: {len(self.results)} point(s), "
+            f"wall {self.elapsed_seconds:.3f}s\n{table}"
+        )
+
+
+def run_open_sweep(sweep: OpenSweep | Sequence[OpenScenarioSpec]) -> OpenSweepResult:
+    """Execute an open sweep (or explicit point list), serially, in order."""
+    points = sweep.points() if isinstance(sweep, OpenSweep) else list(sweep)
+    if not points:
+        raise ScenarioError("open sweep expanded to zero points")
+    started = time.perf_counter()
+    results = [run_open_scenario(point) for point in points]
+    return OpenSweepResult(
+        results=results,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -172,7 +172,10 @@ class WorkloadSpec:
     * ``"bursty"`` - Markov-modulated burst arrivals
       (:class:`~repro.channel.arrivals.MarkovBurstArrivals` params);
     * ``"trace"`` - params ``{"ks": [int, ...]}``: replay an explicit
-      count sequence.
+      count sequence;
+    * ``"poisson"`` / ``"zipf-hotspot"`` - the open-system arrival
+      families (:mod:`repro.opensys.arrivals` params) doubling as
+      batch-size sources, clamped into the valid contender range.
     """
 
     kind: str

@@ -12,7 +12,11 @@ and the concrete workload objects the estimators consume:
 * ``"bursty"`` workloads build the Markov-modulated arrival model of
   :mod:`repro.channel.arrivals` - the correlated-across-trials process
   an i.i.d. distribution cannot express;
-* ``"trace"`` workloads replay explicit count sequences.
+* ``"trace"`` workloads replay explicit count sequences;
+* ``"poisson"`` / ``"zipf-hotspot"`` workloads reuse the open-system
+  arrival families (:mod:`repro.opensys.arrivals`) as batch-size
+  sources, clamped into the valid contender range - the closed-world
+  view of the same traffic the open driver streams.
 
 Prediction specs resolve to :class:`~repro.core.predictions.Prediction`
 objects here too, since "the truth" - the most common prediction source -
@@ -187,9 +191,25 @@ def resolve_workload(spec: WorkloadSpec, n: int):
             return TraceArrivals(ks, name=name)
         except (TypeError, ValueError) as error:
             raise ScenarioError(f"bad trace workload parameters: {error}") from None
+    if spec.kind in ("poisson", "zipf-hotspot"):
+        # Open-system arrival families doubling as closed batch-size
+        # sources: each trial's contender count is one round's arrival
+        # draw, clamped into [MIN_COUNT, n] like the bursty/trace kinds.
+        from ..opensys.arrivals import (
+            ClampedArrivalSizeSource,
+            arrival_process_from_dict,
+        )
+
+        try:
+            process = arrival_process_from_dict({"family": spec.kind, **params})
+            return ClampedArrivalSizeSource(process, n)
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(
+                f"bad {spec.kind} workload parameters: {error}"
+            ) from None
     raise ScenarioError(
         f"unknown workload kind {spec.kind!r}; "
-        "known: fixed, distribution, bursty, trace"
+        "known: fixed, distribution, bursty, trace, poisson, zipf-hotspot"
     )
 
 

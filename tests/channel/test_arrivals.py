@@ -102,3 +102,51 @@ class TestTraceArrivals:
             TraceArrivals([])
         with pytest.raises(ValueError, match=">= 1"):
             TraceArrivals([2, 0])
+
+
+class TestStreamSemantics:
+    """Stream-position contracts the open-system adapters depend on."""
+
+    def test_trace_cursor_spans_chunked_sample_many(self):
+        whole = TraceArrivals([2, 4, 6, 8, 10])
+        chunked = TraceArrivals([2, 4, 6, 8, 10])
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        one_shot = whole.sample_many(rng_a, 9)
+        parts = np.concatenate(
+            [chunked.sample_many(rng_b, size) for size in (3, 1, 5)]
+        )
+        assert (one_shot == parts).all()
+
+    def test_trace_reset_restores_the_stream_exactly(self):
+        trace = TraceArrivals([5, 1, 9])
+        rng = np.random.default_rng(0)
+        first = trace.sample_many(rng, 7)
+        trace.reset()
+        again = trace.sample_many(rng, 7)
+        assert (first == again).all()
+
+    def test_markov_reset_restores_the_stream_exactly(self):
+        chain = model(start_in_burst=True)
+        first = chain.sample_many(np.random.default_rng(6), 200)
+        chain.reset()
+        again = chain.sample_many(np.random.default_rng(6), 200)
+        assert (first == again).all()
+
+    def test_markov_chunked_draws_match_one_shot_in_distribution(self):
+        """Chunk boundaries redraw the (memoryless) regime sojourn, so
+        chunked streams are not bitwise equal to one-shot draws - but the
+        regime mix they produce must match in distribution."""
+        one_shot = model().sample_many(np.random.default_rng(8), 40_000)
+        chunked_chain = model()
+        rng = np.random.default_rng(8)
+        chunked = np.concatenate(
+            [chunked_chain.sample_many(rng, 400) for _ in range(100)]
+        )
+        assert abs((one_shot > 150).mean() - (chunked > 150).mean()) < 0.05
+
+    def test_fresh_instances_share_no_state(self):
+        a, b = model(), model()
+        a.sample_many(np.random.default_rng(0), 500)
+        draws = b.sample_many(np.random.default_rng(0), 500)
+        again = model().sample_many(np.random.default_rng(0), 500)
+        assert (draws == again).all()

@@ -1,0 +1,272 @@
+"""Tests for the open-loop driver: routing, bit-identity, and edge cases.
+
+The load-bearing property is **bit-identity**: the vectorized engines and
+the scalar per-trial oracle consume the same per-trial seed streams and
+must produce byte-for-byte equal latency stores - under every batchable
+channel model, not just the faithful channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    CrashModel,
+    NoisyChannel,
+    ObliviousJammer,
+    ReactiveJammer,
+    with_collision_detection,
+    without_collision_detection,
+)
+from repro.opensys import (
+    ENGINE_OPEN_HISTORY,
+    ENGINE_OPEN_SCALAR,
+    ENGINE_OPEN_SCHEDULE,
+    ArrivalProcess,
+    PoissonArrivals,
+    ZipfHotspotArrivals,
+    run_open,
+    select_open_engine,
+)
+from repro.core.protocol import ProtocolError
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.willard import WillardProtocol
+
+N = 128
+
+
+class SilentArrivals(ArrivalProcess):
+    """A degenerate stream that never injects anything."""
+
+    name = "silent"
+
+    def sample_rounds(self, rng, rounds):
+        return np.zeros(rounds, dtype=np.int64)
+
+    @property
+    def offered_load(self):
+        return 0.0
+
+
+def run_pair(protocol, channel, *, arrivals=None, **kwargs):
+    """(vectorized, scalar) results for one workload, same seed streams."""
+    arrivals = arrivals or PoissonArrivals(0.15)
+    common = dict(channel=channel, trials=12, rounds=256, warmup=32, seed=7)
+    common.update(kwargs)
+    vectorized = run_open(protocol, arrivals, **common)
+    scalar = run_open(protocol, arrivals, batch=False, **common)
+    return vectorized, scalar
+
+
+class TestEngineSelection:
+    def test_schedule_protocol_routes_to_open_schedule(self):
+        assert (
+            select_open_engine(DecayProtocol(N)) == ENGINE_OPEN_SCHEDULE
+        )
+
+    def test_history_protocol_routes_to_open_history(self):
+        assert select_open_engine(WillardProtocol(N)) == ENGINE_OPEN_HISTORY
+
+    def test_batch_false_forces_the_scalar_oracle(self):
+        assert (
+            select_open_engine(DecayProtocol(N), False) == ENGINE_OPEN_SCALAR
+        )
+
+    def test_non_batchable_crash_model_is_rejected_everywhere(self):
+        rejoining = CrashModel(0.1, rejoin_after=3)
+        for batch in (None, True, False):
+            with pytest.raises(ValueError, match="rejoin"):
+                select_open_engine(DecayProtocol(N), batch, model=rejoining)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "name,protocol,channel",
+        [
+            ("decay-nocd", DecayProtocol(N), without_collision_detection()),
+            ("willard-cd", WillardProtocol(N), with_collision_detection()),
+            (
+                "fixedp-nocd",
+                FixedProbabilityProtocol(12),
+                without_collision_detection(),
+            ),
+            (
+                "decay-noise",
+                DecayProtocol(N),
+                without_collision_detection(
+                    NoisyChannel(
+                        silence_to_collision=0.08,
+                        collision_to_silence=0.05,
+                        success_erasure=0.1,
+                    )
+                ),
+            ),
+            (
+                "willard-jam",
+                WillardProtocol(N),
+                with_collision_detection(ObliviousJammer(budget=40, period=3)),
+            ),
+            (
+                "willard-reactive",
+                WillardProtocol(N),
+                with_collision_detection(
+                    ReactiveJammer(budget=30, quiet_streak=2)
+                ),
+            ),
+            (
+                "decay-crash",
+                DecayProtocol(N),
+                without_collision_detection(
+                    CrashModel(0.05, rejoin_after=0)
+                ),
+            ),
+        ],
+    )
+    def test_vectorized_matches_scalar_store(self, name, protocol, channel):
+        vectorized, scalar = run_pair(protocol, channel)
+        assert scalar.engine == ENGINE_OPEN_SCALAR
+        assert vectorized.engine != ENGINE_OPEN_SCALAR
+        assert vectorized.store == scalar.store, name
+
+    def test_identity_holds_with_timeout_and_bursty_arrivals(self):
+        vectorized, scalar = run_pair(
+            DecayProtocol(N),
+            without_collision_detection(),
+            arrivals=ZipfHotspotArrivals(0.12, alpha=1.0, max_batch=6),
+            timeout=40,
+            capacity=32,
+        )
+        assert vectorized.store == scalar.store
+        assert vectorized.store.timed_out == scalar.store.timed_out
+
+
+class TestDeterminismAndSharding:
+    def test_same_seed_reproduces_the_store(self):
+        first, _ = run_pair(DecayProtocol(N), without_collision_detection())
+        second, _ = run_pair(DecayProtocol(N), without_collision_detection())
+        assert first.store == second.store
+
+    def test_shards_merge_to_the_whole_run(self):
+        protocol, channel = DecayProtocol(N), without_collision_detection()
+        arrivals = PoissonArrivals(0.2)
+        common = dict(channel=channel, rounds=200, warmup=20, seed=11)
+        whole = run_open(protocol, arrivals, trials=13, **common)
+        left = run_open(protocol, arrivals, trials=8, **common)
+        right = run_open(
+            protocol, arrivals, trials=5, trial_offset=8, **common
+        )
+        assert left.store.merge(right.store) == whole.store
+
+    def test_trial_offset_changes_the_streams(self):
+        protocol, channel = DecayProtocol(N), without_collision_detection()
+        arrivals = PoissonArrivals(0.2)
+        common = dict(channel=channel, trials=4, rounds=128, seed=11)
+        base = run_open(protocol, arrivals, **common)
+        offset = run_open(protocol, arrivals, trial_offset=4, **common)
+        assert base.store != offset.store
+
+
+class TestAccounting:
+    def test_requests_are_conserved_without_warmup(self):
+        result = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.3),
+            channel=without_collision_detection(),
+            trials=8,
+            rounds=300,
+            warmup=0,
+            capacity=16,
+            timeout=60,
+            seed=3,
+        )
+        store = result.store
+        assert store.arrivals > 0
+        assert store.arrivals == (
+            store.completed + store.dropped + store.timed_out + store.in_flight
+        )
+
+    def test_capacity_overflow_drops(self):
+        result = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(2.0),  # far beyond service capacity
+            channel=without_collision_detection(),
+            trials=4,
+            rounds=200,
+            capacity=8,
+            seed=0,
+        )
+        assert result.store.dropped > 0
+
+    def test_timeout_bounds_the_measured_sojourns(self):
+        result = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.6),
+            channel=without_collision_detection(),
+            trials=8,
+            rounds=300,
+            timeout=25,
+            seed=5,
+        )
+        summary = result.store.summary()
+        assert result.store.timed_out > 0
+        assert summary.maximum <= 25
+
+    def test_silent_stream_measures_nothing(self):
+        result = run_open(
+            DecayProtocol(N),
+            SilentArrivals(),
+            channel=without_collision_detection(),
+            trials=4,
+            rounds=64,
+            seed=0,
+        )
+        store = result.store
+        assert store.arrivals == 0 and store.completed == 0
+        assert store.round_slots == 4 * 64
+        assert "n/a" in store.summary().render()
+
+    def test_warmup_excludes_early_completions(self):
+        kwargs = dict(
+            channel=without_collision_detection(),
+            trials=8,
+            rounds=256,
+            seed=9,
+        )
+        cold = run_open(DecayProtocol(N), PoissonArrivals(0.2), **kwargs)
+        warm = run_open(
+            DecayProtocol(N), PoissonArrivals(0.2), warmup=128, **kwargs
+        )
+        assert warm.store.completed < cold.store.completed
+        assert warm.store.round_slots == 8 * 128
+
+
+class TestValidation:
+    def test_cd_protocol_needs_cd_channel(self):
+        with pytest.raises(ProtocolError):
+            run_open(
+                WillardProtocol(N),
+                PoissonArrivals(0.1),
+                channel=without_collision_detection(),
+                trials=2,
+                rounds=16,
+            )
+
+    def test_parameter_bounds(self):
+        good = dict(
+            channel=without_collision_detection(), trials=2, rounds=16
+        )
+        for bad in (
+            {"trials": 0},
+            {"rounds": 0},
+            {"warmup": 16},
+            {"warmup": -1},
+            {"capacity": 0},
+            {"timeout": 0},
+            {"trial_offset": -1},
+        ):
+            with pytest.raises(ValueError):
+                run_open(
+                    DecayProtocol(N),
+                    PoissonArrivals(0.1),
+                    **{**good, **bad},
+                )

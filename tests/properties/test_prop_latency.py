@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for the sojourn-latency store.
+
+The invariants the open-system reporting leans on:
+
+* nearest-rank percentiles are monotone in the level and always land on
+  an observed sojourn;
+* merge is exactly associative and commutative (bin-wise integer
+  addition), and merging equals recording the concatenated samples;
+* serialization round-trips exactly, and the empty store renders an
+  explicit no-data state instead of fabricating statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opensys import LatencyStore
+
+sojourns = st.lists(st.integers(min_value=1, max_value=400), max_size=200)
+levels = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def store_of(samples) -> LatencyStore:
+    store = LatencyStore()
+    store.record_many(samples)
+    return store
+
+
+@given(samples=sojourns.filter(bool), low=levels, high=levels)
+@settings(max_examples=150, deadline=None)
+def test_percentiles_are_monotone_and_observed(samples, low, high):
+    if low > high:
+        low, high = high, low
+    store = store_of(samples)
+    assert store.percentile(low) <= store.percentile(high)
+    assert store.percentile(high) in set(samples)
+    assert store.percentile(0.0) == min(samples)
+    assert store.percentile(1.0) == max(samples)
+
+
+@given(a=sojourns, b=sojourns, c=sojourns)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_associative_commutative_and_exact(a, b, c):
+    sa, sb, sc = store_of(a), store_of(b), store_of(c)
+    assert sa.merge(sb) == sb.merge(sa)
+    assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+    assert sa.merge(sb).merge(sc) == store_of(a + b + c)
+
+
+@given(samples=sojourns, arrivals=st.integers(0, 10_000), slots=st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_serialization_round_trips_exactly(samples, arrivals, slots):
+    store = store_of(samples)
+    store.arrivals = arrivals
+    store.round_slots = slots
+    assert LatencyStore.from_dict(store.to_dict()) == store
+
+
+@given(samples=sojourns)
+@settings(max_examples=100, deadline=None)
+def test_summary_is_consistent_with_the_samples(samples):
+    store = store_of(samples)
+    summary = store.summary()
+    assert summary.completed == len(samples)
+    if samples:
+        assert summary.maximum == max(samples)
+        assert summary.mean == sum(samples) / len(samples)
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+    else:
+        assert math.isnan(summary.p50) and math.isnan(summary.mean)
+        assert "n/a" in summary.render()

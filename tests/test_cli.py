@@ -362,3 +362,83 @@ class TestAdversaryCli:
         assert main(["scenario", "sweep", str(sweep_path)]) == 2
         err = capsys.readouterr().err
         assert "scenario error" in err and "unknown parameter" in err
+
+
+class TestOpenCli:
+    """The ``scenario open`` command family."""
+
+    def _quick(self, payload):
+        quick = json.loads(json.dumps(payload))
+        quick.update(trials=4, rounds=96, warmup=16)
+        return quick
+
+    def test_open_example_is_runnable_json(self, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SCENARIO, OpenScenarioSpec
+
+        assert main(["scenario", "open", "example"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == EXAMPLE_OPEN_SCENARIO
+        OpenScenarioSpec.from_dict(payload)  # loads cleanly
+
+    def test_open_example_sweep_expands(self, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SWEEP, OpenSweep
+
+        assert main(["scenario", "open", "example", "--sweep"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == EXAMPLE_OPEN_SWEEP
+        assert len(OpenSweep.from_dict(payload).points()) == 4
+
+    def test_open_run_renders_latency(self, tmp_path, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SCENARIO
+
+        spec_path = tmp_path / "open.json"
+        spec_path.write_text(json.dumps(self._quick(EXAMPLE_OPEN_SCENARIO)))
+        assert main(["scenario", "open", "run", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "open-schedule" in output and "p99" in output
+
+    def test_open_run_json_round_trips(self, tmp_path, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SCENARIO, OpenScenarioResult
+
+        spec_path = tmp_path / "open.json"
+        spec_path.write_text(json.dumps(self._quick(EXAMPLE_OPEN_SCENARIO)))
+        assert main(["scenario", "open", "run", str(spec_path), "--json"]) == 0
+        result = OpenScenarioResult.from_json(capsys.readouterr().out)
+        assert result.engine == "open-schedule"
+        assert result.store.completed > 0
+
+    def test_open_sweep_renders_the_load_curve(self, tmp_path, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SWEEP
+
+        sweep = json.loads(json.dumps(EXAMPLE_OPEN_SWEEP))
+        sweep["base"].update(trials=4, rounds=96, warmup=16)
+        sweep["grid"] = {"arrivals.params.rate": [0.05, 0.2]}
+        sweep_path = tmp_path / "sweep.json"
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "open", "sweep", str(sweep_path)]) == 0
+        table = capsys.readouterr().out
+        assert "open sweep: 2 point(s)" in table
+        assert "open-schedule" in table and "p99" in table
+
+    def test_open_bad_spec_exits_two(self, tmp_path, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_SCENARIO
+
+        bad = dict(EXAMPLE_OPEN_SCENARIO, arrivals={"family": "fractal"})
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps(bad))
+        assert main(["scenario", "open", "run", str(spec_path)]) == 2
+        assert "scenario error" in capsys.readouterr().err
+
+    def test_open_missing_spec_file(self, capsys):
+        assert main(["scenario", "open", "run", "/does/not/exist.json"]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_open_stdin_spec(self, monkeypatch, capsys):
+        import io
+
+        from repro.scenarios import EXAMPLE_OPEN_SCENARIO
+
+        payload = self._quick(EXAMPLE_OPEN_SCENARIO)
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(payload)))
+        assert main(["scenario", "open", "run", "-"]) == 0
+        assert "latency:" in capsys.readouterr().out

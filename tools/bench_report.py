@@ -6,7 +6,9 @@ history-trie path, solo and fused across the dense CD grid) and Table 2
 player workloads (deterministic scan / tree descent / backoff on the
 per-player engine), plus the scenario sweep executors (serial vs process
 pool on a Table-1-scale point grid; recorded as ``skipped`` on
-single-core boxes, where a pool physically cannot win), and writes a
+single-core boxes, where a pool physically cannot win) and the
+open-system driver (vectorized open-schedule loop vs the scalar
+per-trial reference on a fixed Poisson load point), and writes a
 ``BENCH_*.json`` snapshot, so future PRs can track the performance
 trajectory with a one-line diff instead of re-deriving numbers from
 benchmark logs.
@@ -54,6 +56,7 @@ from repro.scenarios import run_sweep
 # the opt-in gates in benchmarks/; running as a script puts tools/ (not the
 # repo root) on sys.path, so anchor the import at the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.opensys_workload import open_point  # noqa: E402
 from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
 from benchmarks.sweep_workload import (  # noqa: E402
     RANGE_SETS,
@@ -316,6 +319,40 @@ def adversary_bench(trials: int, repeats: int) -> dict:
     return section
 
 
+def open_system_bench(repeats: int) -> dict:
+    """Vectorized open-loop driver vs the scalar per-trial reference.
+
+    The fixed load point of ``benchmarks/opensys_workload.py`` (decay
+    serving Poisson arrivals below service capacity) - the same run the
+    >= 5x gate in ``benchmarks/test_bench_opensys.py`` enforces, with the
+    same bit-identity guarantee between the two engines.  Single-core.
+    """
+    from repro.scenarios import run_open_scenario
+
+    spec = open_point()
+    scalar_seconds = _median_seconds(
+        lambda: run_open_scenario(spec.override({"batch": False})), repeats
+    )
+    vector_seconds = _median_seconds(lambda: run_open_scenario(spec), repeats)
+    result = run_open_scenario(spec)
+    summary = result.summary
+    return {
+        "protocol": spec.protocol.id,
+        "arrivals": spec.arrivals.family,
+        "offered_load": spec.arrivals.params.get("rate"),
+        "trials": spec.trials,
+        "rounds": spec.rounds,
+        "warmup": spec.warmup,
+        "engine": result.engine,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(vector_seconds, 6),
+        "speedup": round(scalar_seconds / vector_seconds, 2),
+        "p50": summary.p50,
+        "p99": summary.p99,
+        "throughput": round(summary.throughput, 6),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -375,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     sweep_fused = fused_bench(args.repeats)
     adversary = adversary_bench(args.trials, args.repeats)
+    open_system = open_system_bench(args.repeats)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
@@ -397,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep_executor": sweep_executor,
         "sweep_fused": sweep_fused,
         "adversary": adversary,
+        "open_system": open_system,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     for name, row in {**measurements, **player_engine}.items():
@@ -437,6 +476,12 @@ def main(argv: list[str] | None = None) -> int:
             f"fused={row['fused_seconds']:.3f}s speedup={row['speedup']}x "
             f"({row['points']} points)"
         )
+    print(
+        f"open_system: scalar={open_system['scalar_seconds']:.3f}s "
+        f"vectorized={open_system['batch_seconds']:.3f}s "
+        f"speedup={open_system['speedup']}x ({open_system['engine']}, "
+        f"load {open_system['offered_load']})"
+    )
     print(f"snapshot written to {args.output}")
     return 0
 
