@@ -18,9 +18,12 @@ import pytest
 from repro.opensys import ENGINE_OPEN_SCALAR, ENGINE_OPEN_SCHEDULE
 from repro.scenarios import run_open_scenario
 
-from .opensys_workload import TRIALS, open_point
+from .opensys_workload import TRIALS, open_point, open_retry_point
 
 SPEEDUP_FLOOR = 5.0
+#: The full request lifecycle (orbit, admission, timeout retries) may
+#: cost at most this factor over the plain give-up/capacity driver.
+RETRY_OVERHEAD_CEILING = 2.0
 
 
 def _timed(fn):
@@ -58,4 +61,64 @@ def test_bench_open_schedule_vs_scalar(benchmark):
         f"open-schedule engine only {speedup:.1f}x faster than scalar "
         f"({vector_seconds:.3f}s vs {scalar_seconds:.3f}s); "
         f"expected >= {SPEEDUP_FLOOR:.0f}x"
+    )
+
+
+@pytest.mark.benchmark
+def test_bench_open_retry_lifecycle(benchmark):
+    """The lifecycle gate: retry + admission policies stay cheap.
+
+    Three asserts on the backoff+shed point: the vectorized driver with
+    the full lifecycle active (1) stays bit-identical to the scalar
+    oracle running the same policies, (2) remains >= 5x faster than that
+    oracle, and (3) costs at most 2x the plain open driver - the same
+    traffic point with the zero policies (give-up / hard capacity), i.e.
+    exactly PR 7's fast path - so the orbit, admission, and expiry
+    machinery never taxes runs that do not use it.
+    """
+    retry_spec = open_retry_point()
+    plain_spec = retry_spec.override(
+        {
+            "name": "bench-open-decay-retry-baseline",
+            "retry": "give-up",
+            "admission": "capacity",
+        }
+    )
+
+    scalar, scalar_seconds = _timed(
+        lambda: run_open_scenario(retry_spec.override({"batch": False}))
+    )
+    vectorized, vector_seconds = _timed(lambda: run_open_scenario(retry_spec))
+    _, plain_seconds = _timed(lambda: run_open_scenario(plain_spec))
+    benchmark.pedantic(
+        lambda: run_open_scenario(retry_spec),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    assert scalar.engine == ENGINE_OPEN_SCALAR
+    assert vectorized.engine == ENGINE_OPEN_SCHEDULE
+    assert vectorized.store == scalar.store, (
+        "retry-enabled vectorized run diverged from the scalar reference"
+    )
+    assert vectorized.store.retried > 0, (
+        "benchmark point produced no retries; the lifecycle is not hot"
+    )
+
+    speedup = scalar_seconds / vector_seconds
+    overhead = vector_seconds / plain_seconds
+    print(
+        f"\nopen retry lifecycle, trials={TRIALS}: "
+        f"scalar={scalar_seconds:.3f}s vectorized={vector_seconds:.3f}s "
+        f"plain={plain_seconds:.3f}s speedup={speedup:.1f}x "
+        f"overhead={overhead:.2f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"retry-enabled engine only {speedup:.1f}x faster than scalar; "
+        f"expected >= {SPEEDUP_FLOOR:.0f}x"
+    )
+    assert overhead <= RETRY_OVERHEAD_CEILING, (
+        f"request lifecycle costs {overhead:.2f}x over the plain open "
+        f"driver; ceiling is {RETRY_OVERHEAD_CEILING:.1f}x"
     )

@@ -38,6 +38,7 @@ from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .scenarios import (
     EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
+    EXAMPLE_OPEN_RETRY_SWEEP,
     EXAMPLE_OPEN_SCENARIO,
     EXAMPLE_OPEN_SWEEP,
     OpenScenarioSpec,
@@ -202,10 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     open_example = open_sub.add_parser(
         "example", help="print a ready-to-run open-system spec"
     )
-    open_example.add_argument(
+    open_kind = open_example.add_mutually_exclusive_group()
+    open_kind.add_argument(
         "--sweep",
         action="store_true",
         help="print the 4-point load sweep instead of a single scenario",
+    )
+    open_kind.add_argument(
+        "--retry",
+        action="store_true",
+        help=(
+            "print the graceful-degradation sweep (retry kind x offered "
+            "load, with shedding admission and a request timeout)"
+        ),
     )
     return parser
 
@@ -360,7 +370,12 @@ def _read_spec_text(path: str) -> str:
 
 def _command_scenario_open(args: argparse.Namespace) -> int:
     if args.open_command == "example":
-        payload = EXAMPLE_OPEN_SWEEP if args.sweep else EXAMPLE_OPEN_SCENARIO
+        if args.retry:
+            payload = EXAMPLE_OPEN_RETRY_SWEEP
+        elif args.sweep:
+            payload = EXAMPLE_OPEN_SWEEP
+        else:
+            payload = EXAMPLE_OPEN_SCENARIO
         print(json.dumps(payload, indent=2))
         return 0
     try:

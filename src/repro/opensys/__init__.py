@@ -14,6 +14,9 @@ percentiles and throughput as a function of offered load.
   consuming identical per-trial seed streams.
 * :mod:`repro.opensys.latency` - the exact, mergeable sojourn-time
   histogram behind p50/p90/p99/throughput reporting.
+* :mod:`repro.opensys.policies` - request-lifecycle policies: retry
+  (give-up / immediate / capped backoff with jitter and budgets) and
+  admission (hard capacity / token bucket / occupancy shedding).
 
 Scenario/CLI integration lives in :mod:`repro.scenarios.open`.
 """
@@ -36,6 +39,20 @@ from .driver import (
     select_open_engine,
 )
 from .latency import LatencyStore, LatencySummary
+from .policies import (
+    ADMISSION_POLICIES,
+    RETRY_POLICIES,
+    AdmissionPolicy,
+    ExponentialBackoffPolicy,
+    GiveUpPolicy,
+    HardCapacityPolicy,
+    ImmediateRetryPolicy,
+    OccupancySheddingPolicy,
+    RetryPolicy,
+    TokenBucketPolicy,
+    admission_policy_from_dict,
+    retry_policy_from_dict,
+)
 
 __all__ = [
     "ARRIVAL_FAMILIES",
@@ -53,4 +70,16 @@ __all__ = [
     "select_open_engine",
     "LatencyStore",
     "LatencySummary",
+    "ADMISSION_POLICIES",
+    "RETRY_POLICIES",
+    "AdmissionPolicy",
+    "ExponentialBackoffPolicy",
+    "GiveUpPolicy",
+    "HardCapacityPolicy",
+    "ImmediateRetryPolicy",
+    "OccupancySheddingPolicy",
+    "RetryPolicy",
+    "TokenBucketPolicy",
+    "admission_policy_from_dict",
+    "retry_policy_from_dict",
 ]

@@ -9,6 +9,33 @@ independent channel; a run advances ``trials`` channels for ``rounds``
 rounds and accumulates every measured completion into one
 :class:`~repro.opensys.latency.LatencyStore`.
 
+Request lifecycle
+-----------------
+Every round, each trial's requests move through a fixed pipeline:
+
+1. **Orbit release** - requests whose backoff expired leave the orbit
+   (the retry queue) and present for admission again, oldest first.
+2. **Admission** - orbit rejoiners (first) and fresh arrivals (second)
+   pass the :class:`~repro.opensys.policies.AdmissionPolicy`; the grant
+   is additionally clamped by the physical ``capacity``.  Admitted
+   requests join the service buffer and contend from this round on.
+3. **Channel round** - the backlog contends exactly as before: one
+   trichotomy-band draw, optional fault perturbation, a delivered
+   success departs one uniformly-drawn request (recording its
+   per-request sojourn, measured from its *first* arrival).
+4. **Timeout expiry** - requests whose current stay in the buffer
+   reached ``timeout`` rounds are evicted (the timeout clock restarts
+   on each re-admission; the sojourn clock never does).
+5. **Retry resolution** - every refused or expired request asks the
+   :class:`~repro.opensys.policies.RetryPolicy` what to do: enter the
+   orbit with a policy-chosen rejoin round, or die (``dropped`` /
+   ``timed_out`` on a first failure, ``abandoned`` once it has
+   retried).
+
+With the default policies (``give-up`` retry, ``capacity`` admission)
+steps 1 and 5 are no-ops and the driver reproduces the PR 7 behaviour
+bit for bit.
+
 Epoch semantics
 ---------------
 The paper's protocols resolve one contention instance; an open system
@@ -43,10 +70,14 @@ Randomness is drawn per trial from two :class:`numpy.random.SeedSequence`
 children (arrival stream, channel stream) spawned at
 ``spawn_key = (trial_offset + t,)`` - the :func:`~repro.scenarios.sweep.
 derive_point_seeds` discipline - and consumed in fixed-width
-:data:`_OPEN_BLOCK_ROUNDS`-round blocks with absolute boundaries.  Both
-properties together make the engines *bit-identical per trial*: the
-vectorized drivers and the scalar oracle consume exactly the same
-per-trial streams (unused draws are discarded, which is
+:data:`_OPEN_BLOCK_ROUNDS`-round blocks with absolute boundaries.  The
+uniform columns per round are positional - band draw, winner draw, then
+one fault column (fault-drawing models), one admission column
+(``shed``), and one retry column (``backoff`` with jitter) - so the
+block shape depends only on the run's *specification*, never on the
+population.  Both properties together make the engines *bit-identical
+per trial*: the vectorized drivers and the scalar oracle consume exactly
+the same per-trial streams (unused draws are discarded, which is
 distribution-neutral), and a run sharded as ``trial_offset = 0..a`` plus
 ``a..a+b`` merges to the unsharded run's store exactly.
 
@@ -63,8 +94,9 @@ Engines
     distinct history across trials, rounds and runs.
 ``open-scalar``
     The correctness oracle: a per-trial Python loop driving real
-    protocol sessions through the identical streams.  Also the only
-    engine for randomized-session protocols.
+    protocol sessions and a plain-list request lifecycle through the
+    identical streams.  Also the only engine for randomized-session
+    protocols.
 
 Crash models with a non-zero rejoin delay are not expressible here (the
 open population *is* the live count; a crashed-but-rejoining requester
@@ -94,6 +126,13 @@ from ..core.protocol import (
 )
 from .arrivals import ArrivalProcess
 from .latency import LatencyStore
+from .policies import (
+    AdmissionPolicy,
+    GiveUpPolicy,
+    HardCapacityPolicy,
+    RetryPolicy,
+    weyl_uniforms,
+)
 
 __all__ = [
     "ENGINE_OPEN_SCHEDULE",
@@ -114,10 +153,52 @@ ENGINE_OPEN_SCALAR = "open-scalar"
 #: every engine consumes identical per-trial streams.
 _OPEN_BLOCK_ROUNDS = 32
 
-#: Pre-drawn uniform columns per round: band draw, winner draw, and (for
-#: models that consume fault draws) one fault uniform.
-_COLS_FAITHFUL = 2
-_COLS_FAULT = 3
+#: Failure kinds handed to the retry policy (they differ only in which
+#: counter a first-attempt death lands in).
+_FAIL_ADMISSION = 0
+_FAIL_TIMEOUT = 1
+
+#: Planes of the packed per-request buffer (tracked lifecycle only).
+_F_BORN = 0
+_F_ADMITTED = 1
+_F_TRIES = 2
+
+
+@dataclass(frozen=True)
+class _Columns:
+    """Positional layout of the pre-drawn per-round uniform columns.
+
+    Band and winner draws are always columns 0 and 1 - the PR 7 layout -
+    and optional columns append in a fixed order (fault, admission,
+    retry), so a zero-policy faithful run consumes exactly the PR 7
+    stream.
+    """
+
+    fault: int | None
+    admission: int | None
+    retry: int | None
+    total: int
+
+
+def _column_layout(
+    model: ChannelModel | None,
+    admission: AdmissionPolicy,
+    retry: RetryPolicy,
+) -> _Columns:
+    index = 2
+    fault = admission_col = retry_col = None
+    if model is not None and model.needs_fault_draws:
+        fault = index
+        index += 1
+    if admission.needs_draws:
+        admission_col = index
+        index += 1
+    if retry.needs_draws:
+        retry_col = index
+        index += 1
+    return _Columns(
+        fault=fault, admission=admission_col, retry=retry_col, total=index
+    )
 
 
 @dataclass(frozen=True)
@@ -142,6 +223,8 @@ def select_open_engine(
     :func:`repro.analysis.montecarlo.select_uniform_engine`, except that
     a non-batchable fault model is an error rather than a scalar
     fallback: the open population cannot express mid-trial rejoins.
+    Retry/admission policies never affect routing - the lifecycle runs
+    identically on every engine.
     """
     if not isinstance(protocol, UniformProtocol):
         raise ValueError(
@@ -243,72 +326,475 @@ def _trichotomy(
     ).astype(np.int64)
 
 
-def _inject(
-    buffer: np.ndarray,
-    occupancy: np.ndarray,
-    counts: np.ndarray,
-    round_index: int,
-    capacity: int,
-    store: LatencyStore,
-) -> None:
-    """Admit this round's arrivals (capacity overflow is dropped)."""
-    store.arrivals += int(counts.sum())
-    admitted = np.minimum(counts, capacity - occupancy)
-    store.dropped += int((counts - admitted).sum())
-    total = int(admitted.sum())
-    if total == 0:
-        return
-    rows = np.flatnonzero(admitted)
-    per_row = admitted[rows]
-    # Flat scatter: row t's new requests land at slots occ[t] ... occ[t] +
-    # admitted[t] - 1 of its buffer row, all stamped with this round.
-    segment_starts = np.cumsum(per_row) - per_row
-    within = np.arange(total) - np.repeat(segment_starts, per_row)
-    flat = np.repeat(rows * buffer.shape[1] + occupancy[rows], per_row) + within
-    buffer.flat[flat] = round_index
-    occupancy += admitted
+def _row_ranks(rows: np.ndarray, trials: int) -> tuple[np.ndarray, np.ndarray]:
+    """Within-trial ranks of a row-major flat group, plus per-trial counts.
+
+    ``rows`` must be sorted ascending (the order ``np.nonzero`` emits),
+    so entries of one trial are contiguous; the rank is each entry's
+    0-based position within its trial's segment.
+    """
+    counts = np.bincount(rows, minlength=trials)
+    segments = np.cumsum(counts) - counts
+    return np.arange(rows.size) - segments[rows], counts
 
 
-def _expire(
-    buffer: np.ndarray,
-    occupancy: np.ndarray,
-    round_index: int,
-    timeout: int,
-    store: LatencyStore,
-) -> None:
-    """Drop requests whose sojourn reached ``timeout`` rounds (stable)."""
-    cutoff = round_index - timeout + 1  # arrivals <= cutoff give up now
-    width = int(occupancy.max())
-    if width == 0:
-        return
-    live = np.arange(width)[None, :] < occupancy[:, None]
-    expired = live & (buffer[:, :width] <= cutoff)
-    per_row = expired.sum(axis=1)
-    for t in np.flatnonzero(per_row):
-        kept = buffer[t, : occupancy[t]]
-        kept = kept[kept > cutoff]
-        buffer[t, : kept.size] = kept
-        occupancy[t] = kept.size
-    store.timed_out += int(per_row.sum())
+class _BatchLifecycle:
+    """Vectorized request-lifecycle state shared by the open engines.
+
+    Holds the service buffer (parallel ``(trials, capacity)`` arrays:
+    first-arrival round, plus current-admission round and retry count
+    when a retry policy can populate them), the orbit (chunks of pending
+    rejoiners bucketed by rejoin round, so release is O(due entries)
+    with no per-round scan of the waiting mass), and the admission
+    state.  All mutations preserve the deterministic orderings the
+    scalar oracle mirrors with plain lists: orbit release is stable
+    (by trial, then insertion order), timeout expiry is a stable
+    compaction, buffer departure is the winner swap-remove, and the
+    j-th retry scheduled in a round takes the j-th Weyl rotation of the
+    round's retry draw.
+    """
+
+    def __init__(
+        self,
+        trials: int,
+        capacity: int,
+        timeout: int | None,
+        warmup: int,
+        admission: AdmissionPolicy,
+        retry: RetryPolicy,
+        store: LatencyStore,
+    ) -> None:
+        self.trials = trials
+        self.capacity = capacity
+        self.timeout = timeout
+        self.warmup = warmup
+        self.retry = retry
+        self.store = store
+        self.occupancy = np.zeros(trials, dtype=np.int64)
+        # With a zero-retry policy nothing ever re-enters, so the
+        # admission round equals the birth round and the retry count is
+        # identically zero - a lone ``born`` plane suffices and the
+        # default-policy fast path does exactly PR 7's work.  With a
+        # live retry policy the three per-request fields are packed into
+        # one (trials, capacity, 3) array so every buffer move (append,
+        # swap-remove, expiry compaction) is a single gather/scatter.
+        self._plain = retry.budget == 0
+        self._track = timeout is not None and not self._plain
+        if self._track:
+            self._buf = np.zeros((trials, capacity, 3), dtype=np.int64)
+            self.born = self._buf[:, :, _F_BORN]
+            self.admitted_at = self._buf[:, :, _F_ADMITTED]
+            self.tries = self._buf[:, :, _F_TRIES]
+        else:
+            self._buf = None
+            self.born = np.zeros((trials, capacity), dtype=np.int64)
+        self._adm_state = admission.state(trials)
+        # Expiry ring: per-trial counts of live buffer entries keyed by
+        # admission round mod timeout.  An entry expires exactly when
+        # the eviction cutoff reaches its admission round (end_round
+        # runs every round), so one ring column names every victim of a
+        # round: expiry-free rounds exit after an O(trials) check and
+        # eviction scans only the trials that actually lose requests.
+        self._ring = (
+            np.zeros((trials, timeout), dtype=np.int64)
+            if timeout is not None
+            else None
+        )
+        # Orbit buckets: rejoin round -> list of (rows, born, tries)
+        # chunks, appended in failure order.  Delays are >= 1 and rounds
+        # are processed consecutively, so a bucket is drained exactly at
+        # its key and never goes stale.
+        self._orbit: dict[int, list[tuple[np.ndarray, ...]]] = {}
+        self.orb_n = np.zeros(trials, dtype=np.int64)
+        self._fail_rank = np.zeros(trials, dtype=np.int64)
+        self._trial_ids = np.arange(trials, dtype=np.int64)
+        self._slot_ids = np.arange(capacity, dtype=np.int64)
+        self._round = 0
+        self._retry_draws: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Round pipeline
+    # ------------------------------------------------------------------
+    def begin_round(
+        self,
+        round_index: int,
+        fresh: np.ndarray,
+        adm_draws: np.ndarray | None,
+        retry_draws: np.ndarray | None,
+    ) -> None:
+        """Orbit release, admission, and admission-failure resolution."""
+        self._round = round_index
+        self._retry_draws = retry_draws
+        if not self._plain:
+            self._fail_rank[:] = 0
+        store = self.store
+        store.arrivals += int(fresh.sum())
+
+        due_rows, due_born, due_tries, n_due = self._release(round_index)
+        candidates = n_due + fresh
+        store.attempts += int(candidates.sum())
+        quota = self._adm_state.quota(
+            self.occupancy, candidates, self.capacity, adm_draws
+        )
+        admitted = np.minimum(
+            np.minimum(candidates, quota), self.capacity - self.occupancy
+        )
+        self._adm_state.commit(admitted)
+
+        admit_rejoin = np.minimum(n_due, admitted)
+        if due_rows.size:
+            ranks, _ = _row_ranks(due_rows, self.trials)
+            taken = ranks < admit_rejoin[due_rows]
+            self._append_buffer(
+                due_rows[taken], due_born[taken], due_tries[taken]
+            )
+        admit_fresh = admitted - admit_rejoin
+        if admit_fresh.any():
+            rows = np.repeat(self._trial_ids, admit_fresh)
+            self._append_buffer(
+                rows,
+                np.full(rows.size, round_index, dtype=np.int64),
+                np.zeros(rows.size, dtype=np.int64),
+            )
+
+        # Refusals, in candidate order: surplus rejoiners first, then
+        # surplus fresh arrivals.
+        parts = []
+        if due_rows.size:
+            refused = ranks >= admit_rejoin[due_rows]
+            if refused.any():
+                parts.append(
+                    (due_rows[refused], due_born[refused], due_tries[refused])
+                )
+        refused_fresh = fresh - admit_fresh
+        if refused_fresh.any():
+            rows = np.repeat(self._trial_ids, refused_fresh)
+            parts.append((
+                rows,
+                np.full(rows.size, round_index, dtype=np.int64),
+                np.zeros(rows.size, dtype=np.int64),
+            ))
+        if len(parts) == 2:
+            # One batched failure: a stable sort by trial keeps each
+            # trial's surplus rejoiners ahead of its surplus fresh
+            # arrivals, i.e. exactly the candidate order.
+            rows = np.concatenate((parts[0][0], parts[1][0]))
+            order = np.argsort(rows, kind="stable")
+            parts = [(
+                rows[order],
+                np.concatenate((parts[0][1], parts[1][1]))[order],
+                np.concatenate((parts[0][2], parts[1][2]))[order],
+            )]
+        if parts:
+            self._fail(*parts[0], _FAIL_ADMISSION)
+
+    def complete(
+        self, rows: np.ndarray, winner_draws: np.ndarray, round_index: int
+    ) -> None:
+        """Depart one uniformly-drawn winner per successful trial."""
+        winner = (winner_draws * self.occupancy[rows]).astype(np.int64)
+        last = self.occupancy[rows] - 1
+        if self._track:
+            departed = self._buf[rows, winner]
+            born = departed[:, _F_BORN]
+            admitted = departed[:, _F_ADMITTED]
+            self._buf[rows, winner] = self._buf[rows, last]
+        else:
+            born = self.born[rows, winner]
+            admitted = born
+            self.born[rows, winner] = self.born[rows, last]
+        if self._ring is not None:
+            self._ring[rows, admitted % self.timeout] -= 1
+        self.occupancy[rows] -= 1
+        measured = born > self.warmup
+        if measured.any():
+            self.store.record_many(round_index - born[measured] + 1)
+
+    def end_round(self, round_index: int) -> None:
+        """Evict requests whose current buffer stay hit the timeout."""
+        if self.timeout is None:
+            return
+        cutoff = round_index - self.timeout + 1
+        if cutoff < 0:
+            return
+        col = cutoff % self.timeout
+        affected = np.flatnonzero(self._ring[:, col])
+        if affected.size == 0:
+            return
+        occ = self.occupancy[affected]
+        width = int(occ.max())
+        stamps = (self.admitted_at if self._track else self.born)[
+            affected, :width
+        ]
+        live = self._slot_ids[None, :width] < occ[:, None]
+        expired = live & (stamps == cutoff)
+        local_rows, slots = np.nonzero(expired)
+        keep_local, keep_slots = np.nonzero(live & ~expired)
+        keep_ranks, keep_counts = _row_ranks(keep_local, affected.size)
+        rows = affected[local_rows]
+        keep_rows = affected[keep_local]
+        if self._track:
+            victims = self._buf[rows, slots]
+            born = victims[:, _F_BORN]
+            tries = victims[:, _F_TRIES]
+            self._buf[keep_rows, keep_ranks] = self._buf[keep_rows, keep_slots]
+        else:
+            born = self.born[rows, slots]
+            tries = np.zeros(rows.size, dtype=np.int64)
+            self.born[keep_rows, keep_ranks] = self.born[keep_rows, keep_slots]
+        self.occupancy[affected] = keep_counts
+        self._ring[:, col] = 0
+        self._fail(rows, born, tries, _FAIL_TIMEOUT)
+
+    def finish(self) -> None:
+        self.store.in_flight += int(self.occupancy.sum())
+        self.store.in_orbit += int(self.orb_n.sum())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _append_buffer(
+        self, rows: np.ndarray, born: np.ndarray, tries: np.ndarray
+    ) -> None:
+        if rows.size == 0:
+            return
+        ranks, counts = _row_ranks(rows, self.trials)
+        slots = self.occupancy[rows] + ranks
+        if self._track:
+            entry = np.empty((rows.size, 3), dtype=np.int64)
+            entry[:, _F_BORN] = born
+            entry[:, _F_ADMITTED] = self._round
+            entry[:, _F_TRIES] = tries
+            self._buf[rows, slots] = entry
+        else:
+            self.born[rows, slots] = born
+        if self._ring is not None:
+            self._ring[:, self._round % self.timeout] += counts
+        self.occupancy += counts
+
+    def _release(
+        self, round_index: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Due orbit entries, stable: by trial, then insertion order."""
+        empty = np.empty(0, dtype=np.int64)
+        none = np.zeros(self.trials, dtype=np.int64)
+        chunks = self._orbit.pop(round_index, None)
+        if chunks is None:
+            return empty, empty, empty, none
+        if len(chunks) == 1:
+            # A lone chunk is already row-major (one _fail batch).
+            rows, born, tries = chunks[0]
+        else:
+            rows = np.concatenate([chunk[0] for chunk in chunks])
+            born = np.concatenate([chunk[1] for chunk in chunks])
+            tries = np.concatenate([chunk[2] for chunk in chunks])
+            # Chunks arrive in insertion order and are each row-major,
+            # so a stable sort by trial recovers the release order the
+            # scalar oracle's list scan produces.
+            order = np.argsort(rows, kind="stable")
+            rows = rows[order]
+            born = born[order]
+            tries = tries[order]
+        n_due = np.bincount(rows, minlength=self.trials)
+        self.orb_n -= n_due
+        return rows, born, tries, n_due
+
+    def _append_orbit(
+        self,
+        rows: np.ndarray,
+        rejoin: np.ndarray,
+        born: np.ndarray,
+        tries: np.ndarray,
+    ) -> None:
+        self.orb_n += np.bincount(rows, minlength=self.trials)
+        # One stable sort groups the batch by rejoin round while keeping
+        # the row-major failure order within each group; the buckets
+        # then take contiguous slices instead of per-value masks.
+        order = np.argsort(rejoin, kind="stable")
+        rejoin = rejoin[order]
+        rows = rows[order]
+        born = born[order]
+        tries = tries[order]
+        bounds = np.flatnonzero(rejoin[1:] != rejoin[:-1]) + 1
+        starts = (0, *bounds.tolist(), rejoin.size)
+        for lo, hi in zip(starts, starts[1:]):
+            self._orbit.setdefault(int(rejoin[lo]), []).append(
+                (rows[lo:hi], born[lo:hi], tries[lo:hi])
+            )
+
+    def _fail(
+        self,
+        rows: np.ndarray,
+        born: np.ndarray,
+        tries: np.ndarray,
+        kind: int,
+    ) -> None:
+        """Resolve failure events (row-major order) through the policy."""
+        store = self.store
+        allowed = self.retry.allows(tries)
+        if allowed is True:
+            allowed = np.ones(rows.size, dtype=bool)
+        deaths = ~allowed
+        if deaths.any():
+            first = int((tries[deaths] == 0).sum())
+            if kind == _FAIL_ADMISSION:
+                store.dropped += first
+            else:
+                store.timed_out += first
+            store.abandoned += int(deaths.sum()) - first
+        if not allowed.any():
+            return
+        retry_rows = rows[allowed]
+        retry_tries = tries[allowed]
+        store.retried += retry_rows.size
+        jitter_u = None
+        if self.retry.needs_draws:
+            ranks, counts = _row_ranks(retry_rows, self.trials)
+            offsets = self._fail_rank[retry_rows] + ranks
+            self._fail_rank += counts
+            jitter_u = weyl_uniforms(self._retry_draws[retry_rows], offsets)
+        delays = self.retry.delays(retry_tries + 1, jitter_u)
+        self._append_orbit(
+            retry_rows, self._round + delays, born[allowed], retry_tries + 1
+        )
 
 
-def _complete(
-    buffer: np.ndarray,
-    occupancy: np.ndarray,
-    success_rows: np.ndarray,
-    winner_draws: np.ndarray,
-    round_index: int,
-    warmup: int,
-    store: LatencyStore,
-) -> None:
-    """Depart one uniformly-drawn winner per successful trial (swap-remove)."""
-    winner = (winner_draws * occupancy[success_rows]).astype(np.int64)
-    arrived = buffer[success_rows, winner]
-    buffer[success_rows, winner] = buffer[success_rows, occupancy[success_rows] - 1]
-    occupancy[success_rows] -= 1
-    measured = arrived > warmup
-    if measured.any():
-        store.record_many(round_index - arrived[measured] + 1)
+class _ScalarLifecycle:
+    """The oracle's request lifecycle: one trial, plain Python lists.
+
+    An independent reimplementation of the contract `_BatchLifecycle`
+    vectorizes - stable orbit/buffer orderings, rejoiners-before-fresh
+    admission, swap-remove departures - sharing only the numeric policy
+    kernels (quota, delays, Weyl jitter) so bit-identity rests on the
+    lifecycle logic, not on floating-point coincidences.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        timeout: int | None,
+        warmup: int,
+        admission: AdmissionPolicy,
+        retry: RetryPolicy,
+        store: LatencyStore,
+    ) -> None:
+        self.capacity = capacity
+        self.timeout = timeout
+        self.warmup = warmup
+        self.retry = retry
+        self.store = store
+        self.pending: list[tuple[int, int, int]] = []  # (born, admitted, tries)
+        self.orbit: list[tuple[int, int, int]] = []  # (rejoin, born, tries)
+        self._adm_state = admission.state(1)
+        self._round = 0
+        self._retry_draw = 0.0
+        self._fail_rank = 0
+
+    def begin_round(
+        self,
+        round_index: int,
+        fresh: int,
+        adm_draw: float | None,
+        retry_draw: float | None,
+    ) -> None:
+        self._round = round_index
+        self._retry_draw = retry_draw
+        self._fail_rank = 0
+        store = self.store
+        store.arrivals += fresh
+
+        due = [entry for entry in self.orbit if entry[0] <= round_index]
+        self.orbit = [entry for entry in self.orbit if entry[0] > round_index]
+        candidates = len(due) + fresh
+        store.attempts += candidates
+        quota = int(
+            self._adm_state.quota(
+                np.asarray([len(self.pending)], dtype=np.int64),
+                np.asarray([candidates], dtype=np.int64),
+                self.capacity,
+                None if adm_draw is None else np.asarray([adm_draw]),
+            )[0]
+        )
+        admitted = min(candidates, quota, self.capacity - len(self.pending))
+        self._adm_state.commit(np.asarray([admitted], dtype=np.int64))
+
+        admit_rejoin = min(len(due), admitted)
+        for _, born, tries in due[:admit_rejoin]:
+            self.pending.append((born, round_index, tries))
+        admit_fresh = admitted - admit_rejoin
+        for _ in range(admit_fresh):
+            self.pending.append((round_index, round_index, 0))
+        for _, born, tries in due[admit_rejoin:]:
+            self._fail(born, tries, _FAIL_ADMISSION)
+        for _ in range(fresh - admit_fresh):
+            self._fail(round_index, 0, _FAIL_ADMISSION)
+
+    def complete(self, winner_draw: float, round_index: int) -> None:
+        winner = int(winner_draw * len(self.pending))
+        born, _, _ = self.pending[winner]
+        self.pending[winner] = self.pending[-1]
+        self.pending.pop()
+        if born > self.warmup:
+            self.store.record(round_index - born + 1)
+
+    def end_round(self, round_index: int) -> None:
+        if self.timeout is None:
+            return
+        cutoff = round_index - self.timeout + 1
+        expired = [entry for entry in self.pending if entry[1] <= cutoff]
+        if not expired:
+            return
+        self.pending = [entry for entry in self.pending if entry[1] > cutoff]
+        for born, _, tries in expired:
+            self._fail(born, tries, _FAIL_TIMEOUT)
+
+    def finish(self) -> None:
+        self.store.in_flight += len(self.pending)
+        self.store.in_orbit += len(self.orbit)
+
+    def _fail(self, born: int, tries: int, kind: int) -> None:
+        store = self.store
+        if not self.retry.allows(tries):
+            if tries > 0:
+                store.abandoned += 1
+            elif kind == _FAIL_ADMISSION:
+                store.dropped += 1
+            else:
+                store.timed_out += 1
+            return
+        store.retried += 1
+        jitter_u = None
+        if self.retry.needs_draws:
+            jitter_u = weyl_uniforms(
+                self._retry_draw, np.asarray([self._fail_rank], dtype=np.int64)
+            )
+        self._fail_rank += 1
+        delay = int(
+            self.retry.delays(np.asarray([tries + 1], dtype=np.int64), jitter_u)[0]
+        )
+        self.orbit.append((self._round + delay, born, tries + 1))
+
+
+def _round_draws(
+    channel_draws: np.ndarray, column: int, layout: _Columns
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """(fault, admission, retry) draw vectors of one round (or None)."""
+    fault = (
+        channel_draws[:, column, layout.fault]
+        if layout.fault is not None
+        else None
+    )
+    admission = (
+        channel_draws[:, column, layout.admission]
+        if layout.admission is not None
+        else None
+    )
+    retry = (
+        channel_draws[:, column, layout.retry]
+        if layout.retry is not None
+        else None
+    )
+    return fault, admission, retry
 
 
 def _run_open_schedule(
@@ -320,6 +806,8 @@ def _run_open_schedule(
     warmup: int,
     capacity: int,
     timeout: int | None,
+    admission: AdmissionPolicy,
+    retry: RetryPolicy,
     store: LatencyStore,
 ) -> None:
     """Vectorized open loop for schedule-publishing protocols."""
@@ -329,28 +817,28 @@ def _run_open_schedule(
     length = probabilities.size
 
     trials = len(processes)
-    buffer = np.zeros((trials, capacity), dtype=np.int64)
-    occupancy = np.zeros(trials, dtype=np.int64)
+    lifecycle = _BatchLifecycle(
+        trials, capacity, timeout, warmup, admission, retry, store
+    )
     epoch_round = np.zeros(trials, dtype=np.int64)
 
     fault_state = model.batch_state(trials) if model is not None else None
-    columns = (
-        _COLS_FAULT
-        if model is not None and model.needs_fault_draws
-        else _COLS_FAITHFUL
-    )
+    layout = _column_layout(model, admission, retry)
 
     arrival_counts = channel_draws = None
     for round_index in range(1, rounds + 1):
         column = (round_index - 1) % _OPEN_BLOCK_ROUNDS
         if column == 0:
             arrival_counts, channel_draws = _refill_blocks(
-                processes, streams, round_index, rounds, columns
+                processes, streams, round_index, rounds, layout.total
             )
-        _inject(
-            buffer, occupancy, arrival_counts[:, column], round_index,
-            capacity, store,
+        fault_draws, adm_draws, retry_draws = _round_draws(
+            channel_draws, column, layout
         )
+        lifecycle.begin_round(
+            round_index, arrival_counts[:, column], adm_draws, retry_draws
+        )
+        occupancy = lifecycle.occupancy
 
         # A one-shot schedule that ran out restarts from the top - the
         # scalar oracle's fresh-session-after-ScheduleExhausted path.
@@ -359,27 +847,20 @@ def _run_open_schedule(
         p = probabilities[epoch_round % length]
         codes = _trichotomy(channel_draws[:, column, 0], p, occupancy)
         if fault_state is not None:
-            fault_draws = (
-                channel_draws[:, column, 2] if columns == _COLS_FAULT else None
-            )
             codes = fault_state.perturb(round_index, codes, fault_draws)
 
         success = (codes == FB_SUCCESS) & (occupancy > 0)
         if success.any():
             rows = np.flatnonzero(success)
-            _complete(
-                buffer, occupancy, rows, channel_draws[rows, column, 1],
-                round_index, warmup, store,
-            )
+            lifecycle.complete(rows, channel_draws[rows, column, 1], round_index)
             epoch_round[rows] = 0
         # Contended non-success rows step their epoch (success rows just
         # reset; their occupancy decrement cannot re-satisfy the mask).
         epoch_round[~success & (occupancy > 0)] += 1
 
-        if timeout is not None:
-            _expire(buffer, occupancy, round_index, timeout, store)
-        epoch_round[occupancy == 0] = 0
-    store.in_flight += int(occupancy.sum())
+        lifecycle.end_round(round_index)
+        epoch_round[lifecycle.occupancy == 0] = 0
+    lifecycle.finish()
 
 
 def _run_open_history(
@@ -392,6 +873,8 @@ def _run_open_history(
     warmup: int,
     capacity: int,
     timeout: int | None,
+    admission: AdmissionPolicy,
+    retry: RetryPolicy,
     store: LatencyStore,
 ) -> None:
     """Vectorized open loop for deterministic history-driven protocols."""
@@ -405,29 +888,29 @@ def _run_open_history(
         )
 
     trials = len(processes)
-    buffer = np.zeros((trials, capacity), dtype=np.int64)
-    occupancy = np.zeros(trials, dtype=np.int64)
+    lifecycle = _BatchLifecycle(
+        trials, capacity, timeout, warmup, admission, retry, store
+    )
     node = np.full(trials, root, dtype=np.int64)
     collision_detection = channel.collision_detection
 
     fault_state = model.batch_state(trials) if model is not None else None
-    columns = (
-        _COLS_FAULT
-        if model is not None and model.needs_fault_draws
-        else _COLS_FAITHFUL
-    )
+    layout = _column_layout(model, admission, retry)
 
     arrival_counts = channel_draws = None
     for round_index in range(1, rounds + 1):
         column = (round_index - 1) % _OPEN_BLOCK_ROUNDS
         if column == 0:
             arrival_counts, channel_draws = _refill_blocks(
-                processes, streams, round_index, rounds, columns
+                processes, streams, round_index, rounds, layout.total
             )
-        _inject(
-            buffer, occupancy, arrival_counts[:, column], round_index,
-            capacity, store,
+        fault_draws, adm_draws, retry_draws = _round_draws(
+            channel_draws, column, layout
         )
+        lifecycle.begin_round(
+            round_index, arrival_counts[:, column], adm_draws, retry_draws
+        )
+        occupancy = lifecycle.occupancy
 
         # Memoized probability per distinct live history; a history whose
         # one-shot schedule exhausted restarts at the empty history (the
@@ -440,18 +923,12 @@ def _run_open_history(
         p = arena.probability[node]
         codes = _trichotomy(channel_draws[:, column, 0], p, occupancy)
         if fault_state is not None:
-            fault_draws = (
-                channel_draws[:, column, 2] if columns == _COLS_FAULT else None
-            )
             codes = fault_state.perturb(round_index, codes, fault_draws)
 
         success = (codes == FB_SUCCESS) & (occupancy > 0)
         if success.any():
             rows = np.flatnonzero(success)
-            _complete(
-                buffer, occupancy, rows, channel_draws[rows, column, 1],
-                round_index, warmup, store,
-            )
+            lifecycle.complete(rows, channel_draws[rows, column, 1], round_index)
             node[rows] = root
         advance = ~success & (occupancy > 0)
         if advance.any() and round_index < rounds:
@@ -463,10 +940,9 @@ def _run_open_history(
                 )
             node[advance] = arena.descend(node[advance], observed)
 
-        if timeout is not None:
-            _expire(buffer, occupancy, round_index, timeout, store)
-        node[occupancy == 0] = root
-    store.in_flight += int(occupancy.sum())
+        lifecycle.end_round(round_index)
+        node[lifecycle.occupancy == 0] = root
+    lifecycle.finish()
 
 
 def _run_open_scalar(
@@ -479,27 +955,27 @@ def _run_open_scalar(
     warmup: int,
     capacity: int,
     timeout: int | None,
+    admission: AdmissionPolicy,
+    retry: RetryPolicy,
     store: LatencyStore,
 ) -> None:
     """The per-trial reference loop: real sessions, identical streams.
 
     Probabilities come from live :class:`~repro.core.protocol.
     UniformSession` objects instead of schedule arrays or the memoized
-    trie, but every random draw is consumed through the same
-    :func:`_refill_blocks` contract (one-trial slices), so for
-    deterministic protocols the resulting store is bit-identical to the
-    vectorized engines'.
+    trie, and the request lifecycle runs on plain Python lists
+    (:class:`_ScalarLifecycle`), but every random draw is consumed
+    through the same :func:`_refill_blocks` contract (one-trial slices),
+    so for deterministic protocols the resulting store is bit-identical
+    to the vectorized engines'.
     """
     collision_detection = channel.collision_detection
-    columns = (
-        _COLS_FAULT
-        if model is not None and model.needs_fault_draws
-        else _COLS_FAITHFUL
-    )
-    in_flight = 0
+    layout = _column_layout(model, admission, retry)
     for t in range(len(processes)):
         fault_state = model.batch_state(1) if model is not None else None
-        pending: list[int] = []
+        lifecycle = _ScalarLifecycle(
+            capacity, timeout, warmup, admission, retry, store
+        )
         session = None
         arrival_counts = channel_draws = None
         for round_index in range(1, rounds + 1):
@@ -507,15 +983,19 @@ def _run_open_scalar(
             if column == 0:
                 arrival_counts, channel_draws = _refill_blocks(
                     processes[t : t + 1], streams[t : t + 1], round_index,
-                    rounds, columns,
+                    rounds, layout.total,
                 )
-            count = int(arrival_counts[0, column])
-            store.arrivals += count
-            admitted = min(count, capacity - len(pending))
-            store.dropped += count - admitted
-            pending.extend([round_index] * admitted)
+            fault_draws, adm_draws, retry_draws = _round_draws(
+                channel_draws, column, layout
+            )
+            lifecycle.begin_round(
+                round_index,
+                int(arrival_counts[0, column]),
+                None if adm_draws is None else float(adm_draws[0]),
+                None if retry_draws is None else float(retry_draws[0]),
+            )
 
-            k = len(pending)
+            k = len(lifecycle.pending)
             if k == 0:
                 code = FB_SILENCE
             else:
@@ -542,11 +1022,6 @@ def _run_open_scalar(
                     else (FB_SUCCESS if u < hi else FB_COLLISION)
                 )
             if fault_state is not None:
-                fault_draws = (
-                    channel_draws[:, column, 2]
-                    if columns == _COLS_FAULT
-                    else None
-                )
                 code = int(
                     fault_state.perturb(
                         round_index,
@@ -556,12 +1031,9 @@ def _run_open_scalar(
                 )
 
             if code == FB_SUCCESS and k > 0:
-                winner = int(channel_draws[0, column, 1] * len(pending))
-                arrived = pending[winner]
-                pending[winner] = pending[-1]
-                pending.pop()
-                if arrived > warmup:
-                    store.record(round_index - arrived + 1)
+                lifecycle.complete(
+                    float(channel_draws[0, column, 1]), round_index
+                )
                 session = None
             elif k > 0 and round_index < rounds:
                 if not collision_detection:
@@ -571,15 +1043,10 @@ def _run_open_scalar(
                 else:
                     session.observe(Observation.SILENCE)
 
-            if timeout is not None:
-                cutoff = round_index - timeout + 1
-                survivors = [a for a in pending if a > cutoff]
-                store.timed_out += len(pending) - len(survivors)
-                pending = survivors
-            if not pending:
+            lifecycle.end_round(round_index)
+            if not lifecycle.pending:
                 session = None
-        in_flight += len(pending)
-    store.in_flight += in_flight
+        lifecycle.finish()
 
 
 def run_open(
@@ -592,6 +1059,8 @@ def run_open(
     warmup: int = 0,
     capacity: int = 256,
     timeout: int | None = None,
+    retry: RetryPolicy | None = None,
+    admission: AdmissionPolicy | None = None,
     seed: int = 2021,
     trial_offset: int = 0,
     batch: bool | None = None,
@@ -599,11 +1068,15 @@ def run_open(
     """Serve ``arrivals`` with ``protocol`` on ``trials`` open channels.
 
     Each trial is one independent channel observed for ``rounds`` rounds:
-    requests stream in from a private clone of ``arrivals``, at most
-    ``capacity`` wait at once (overflow is dropped), an optional
-    ``timeout`` abandons requests after that many rounds in the system,
-    and completions whose request arrived after round ``warmup`` are
-    recorded in the returned :class:`~repro.opensys.latency.LatencyStore`.
+    requests stream in from a private clone of ``arrivals``, the
+    ``admission`` policy (default: the hard ``capacity`` cap only)
+    gates entry to the service buffer, an optional ``timeout`` evicts
+    requests after that many rounds in the buffer, and the ``retry``
+    policy (default: give up, exactly PR 7's drop) decides whether
+    refused or evicted requests back off in the orbit and rejoin.
+    Completions whose request first arrived after round ``warmup`` are
+    recorded in the returned :class:`~repro.opensys.latency.
+    LatencyStore` with their full per-request sojourn.
 
     Two runs with the same ``seed`` and consecutive ``trial_offset``
     windows merge (``store.merge``) to exactly the store of one combined
@@ -618,11 +1091,25 @@ def run_open(
             f"warmup must be in [0, rounds), got {warmup} of {rounds}"
         )
     if capacity < 1:
-        raise ValueError(f"capacity must be >= 1, got {capacity}")
+        raise ValueError(
+            f"capacity must be >= 1, got {capacity} (a zero-capacity "
+            "buffer would silently drop every request)"
+        )
     if timeout is not None and timeout < 1:
         raise ValueError(f"timeout must be >= 1 or None, got {timeout}")
     if trial_offset < 0:
         raise ValueError(f"trial_offset must be >= 0, got {trial_offset}")
+    retry = retry if retry is not None else GiveUpPolicy()
+    admission = admission if admission is not None else HardCapacityPolicy()
+    if not isinstance(retry, RetryPolicy):
+        raise ValueError(
+            f"retry must be a RetryPolicy, got {type(retry).__name__}"
+        )
+    if not isinstance(admission, AdmissionPolicy):
+        raise ValueError(
+            f"admission must be an AdmissionPolicy, got "
+            f"{type(admission).__name__}"
+        )
     _check_channel(protocol.requires_collision_detection, channel)
     model = channel.active_model
     engine = select_open_engine(protocol, batch, model=model)
@@ -633,17 +1120,17 @@ def run_open(
     if engine == ENGINE_OPEN_SCHEDULE:
         _run_open_schedule(
             protocol, processes, streams, model, rounds, warmup, capacity,
-            timeout, store,
+            timeout, admission, retry, store,
         )
     elif engine == ENGINE_OPEN_HISTORY:
         _run_open_history(
             protocol, processes, streams, channel, model, rounds, warmup,
-            capacity, timeout, store,
+            capacity, timeout, admission, retry, store,
         )
     else:
         _run_open_scalar(
             protocol, processes, streams, channel, model, rounds, warmup,
-            capacity, timeout, store,
+            capacity, timeout, admission, retry, store,
         )
     store.round_slots += trials * (rounds - warmup)
     return OpenRunResult(store=store, engine=engine)

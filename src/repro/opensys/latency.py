@@ -59,11 +59,23 @@ class LatencySummary:
     throughput:
         Measured completions per trial-round: ``completed / round_slots``
         (NaN when no rounds were measured).  Per *trial*-round so merged
-        shards report the same per-channel rate as their parts.
+        shards report the same per-channel rate as their parts.  Because
+        ``completed`` counts only delivered successes, this is the run's
+        *goodput* - retries that never complete contribute nothing.
     arrivals / dropped / timed_out / in_flight:
-        Whole-run load counters: requests generated, refused at the
-        capacity limit, abandoned at the sojourn timeout, and still
-        pending when the run ended.
+        Whole-run load counters: fresh requests generated, requests that
+        died at a refused first admission, requests that died at their
+        first sojourn timeout, and requests still pending in the service
+        buffer when the run ended.
+    attempts / retried / abandoned / in_orbit:
+        Lifecycle counters (all zero under the default give-up/capacity
+        policies): admission presentations (fresh arrivals plus orbit
+        rejoins - equals ``arrivals`` when nothing retries), orbit
+        entries (retry events), requests that died after exhausting
+        their retry budget, and requests still waiting in the orbit
+        when the run ended.  At ``warmup = 0`` requests are conserved:
+        ``arrivals == completed + dropped + timed_out + abandoned +
+        in_flight + in_orbit``.
     round_slots:
         Measured trial-rounds (trials x post-warmup rounds).
     """
@@ -80,6 +92,10 @@ class LatencySummary:
     timed_out: int
     in_flight: int
     round_slots: int
+    attempts: int = 0
+    retried: int = 0
+    abandoned: int = 0
+    in_orbit: int = 0
 
     def to_dict(self) -> dict:
         """JSON-native dict (NaN statistics encode as ``null``)."""
@@ -96,6 +112,10 @@ class LatencySummary:
             "timed_out": self.timed_out,
             "in_flight": self.in_flight,
             "round_slots": self.round_slots,
+            "attempts": self.attempts,
+            "retried": self.retried,
+            "abandoned": self.abandoned,
+            "in_orbit": self.in_orbit,
         }
 
     @classmethod
@@ -113,6 +133,10 @@ class LatencySummary:
             timed_out=int(data["timed_out"]),
             in_flight=int(data["in_flight"]),
             round_slots=int(data["round_slots"]),
+            attempts=int(data.get("attempts", 0)),
+            retried=int(data.get("retried", 0)),
+            abandoned=int(data.get("abandoned", 0)),
+            in_orbit=int(data.get("in_orbit", 0)),
         )
 
     def render(self) -> str:
@@ -127,10 +151,17 @@ class LatencySummary:
         throughput = (
             "n/a" if math.isnan(self.throughput) else f"{self.throughput:.4f}"
         )
+        lifecycle = ""
+        if self.retried or self.abandoned or self.in_orbit:
+            lifecycle = (
+                f"  retried {self.retried}  abandoned {self.abandoned}  "
+                f"in-orbit {self.in_orbit}"
+            )
         return (
             f"{stats}  throughput {throughput}/round  "
             f"completed {self.completed}  dropped {self.dropped}  "
             f"timed-out {self.timed_out}  in-flight {self.in_flight}"
+            f"{lifecycle}"
         )
 
 
@@ -144,13 +175,24 @@ class LatencyStore:
     grouping yields bit-identical state.
     """
 
+    #: Counter attributes merged, serialized and compared alongside the
+    #: histogram; single source of truth for :meth:`merge` / dict I/O.
+    COUNTERS = (
+        "arrivals",
+        "dropped",
+        "timed_out",
+        "in_flight",
+        "round_slots",
+        "attempts",
+        "retried",
+        "abandoned",
+        "in_orbit",
+    )
+
     def __init__(self) -> None:
         self._hist = np.zeros(0, dtype=np.int64)
-        self.arrivals = 0
-        self.dropped = 0
-        self.timed_out = 0
-        self.in_flight = 0
-        self.round_slots = 0
+        for counter in self.COUNTERS:
+            setattr(self, counter, 0)
 
     # ------------------------------------------------------------------
     # Recording
@@ -231,6 +273,10 @@ class LatencyStore:
             timed_out=self.timed_out,
             in_flight=self.in_flight,
             round_slots=self.round_slots,
+            attempts=self.attempts,
+            retried=self.retried,
+            abandoned=self.abandoned,
+            in_orbit=self.in_orbit,
         )
 
     # ------------------------------------------------------------------
@@ -243,11 +289,10 @@ class LatencyStore:
         merged._ensure(size)
         merged._hist[: self._hist.size] += self._hist
         merged._hist[: other._hist.size] += other._hist
-        merged.arrivals = self.arrivals + other.arrivals
-        merged.dropped = self.dropped + other.dropped
-        merged.timed_out = self.timed_out + other.timed_out
-        merged.in_flight = self.in_flight + other.in_flight
-        merged.round_slots = self.round_slots + other.round_slots
+        for counter in self.COUNTERS:
+            setattr(
+                merged, counter, getattr(self, counter) + getattr(other, counter)
+            )
         return merged
 
     def to_dict(self) -> dict:
@@ -259,14 +304,10 @@ class LatencyStore:
         """
         nonzero = np.flatnonzero(self._hist)
         top = int(nonzero[-1]) + 1 if nonzero.size else 0
-        return {
-            "hist": self._hist[:top].tolist(),
-            "arrivals": self.arrivals,
-            "dropped": self.dropped,
-            "timed_out": self.timed_out,
-            "in_flight": self.in_flight,
-            "round_slots": self.round_slots,
-        }
+        data = {"hist": self._hist[:top].tolist()}
+        for counter in self.COUNTERS:
+            data[counter] = getattr(self, counter)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "LatencyStore":
@@ -277,11 +318,8 @@ class LatencyStore:
         if hist.size and hist[0] != 0:
             raise ValueError("latency histogram bin 0 must be zero")
         store._hist = hist
-        store.arrivals = int(data.get("arrivals", 0))
-        store.dropped = int(data.get("dropped", 0))
-        store.timed_out = int(data.get("timed_out", 0))
-        store.in_flight = int(data.get("in_flight", 0))
-        store.round_slots = int(data.get("round_slots", 0))
+        for counter in cls.COUNTERS:
+            setattr(store, counter, int(data.get(counter, 0)))
         return store
 
     def __eq__(self, other: object) -> bool:

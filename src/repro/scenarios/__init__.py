@@ -71,13 +71,16 @@ from .sweep import (
 from .examples import (
     EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
+    EXAMPLE_OPEN_RETRY_SWEEP,
     EXAMPLE_OPEN_SCENARIO,
     EXAMPLE_OPEN_SWEEP,
 )
 from .open import (
+    AdmissionSpec,
     ArrivalSpec,
     OpenScenarioResult,
     OpenScenarioSpec,
+    RetrySpec,
     OpenSweep,
     OpenSweepResult,
     resolve_open_scenario,
@@ -127,6 +130,8 @@ __all__ = [
     "register_executor",
     # open system
     "ArrivalSpec",
+    "RetrySpec",
+    "AdmissionSpec",
     "OpenScenarioSpec",
     "OpenScenarioResult",
     "resolve_open_scenario",
@@ -139,4 +144,5 @@ __all__ = [
     "EXAMPLE_ADVERSARY_SWEEP",
     "EXAMPLE_OPEN_SCENARIO",
     "EXAMPLE_OPEN_SWEEP",
+    "EXAMPLE_OPEN_RETRY_SWEEP",
 ]

@@ -15,6 +15,7 @@ __all__ = [
     "EXAMPLE_ADVERSARY_SWEEP",
     "EXAMPLE_OPEN_SCENARIO",
     "EXAMPLE_OPEN_SWEEP",
+    "EXAMPLE_OPEN_RETRY_SWEEP",
 ]
 
 #: The dense CD sweep: the collision-detection arm of the robustness /
@@ -113,6 +114,39 @@ EXAMPLE_OPEN_SCENARIO: dict = {
 EXAMPLE_OPEN_SWEEP: dict = {
     "base": copy.deepcopy(EXAMPLE_OPEN_SCENARIO),
     "grid": {"arrivals.params.rate": [0.05, 0.1, 0.2, 0.35]},
+    "vary_seed": True,
+}
+
+#: The graceful-degradation grid: a small open point with a tight buffer
+#: and timeout, swept over retry kind x offered load.  At the overload
+#: rates the ``immediate`` column shows the retry storm (attempts and
+#: retried explode, goodput sags) while ``backoff`` keeps the orbit
+#: drained and the ``give-up`` row is the PR 7 baseline.  Printed by
+#: ``repro scenario open example --retry``; the CI smoke runs exactly
+#: this sweep and greps the retried/abandoned counters.
+EXAMPLE_OPEN_RETRY_SWEEP: dict = {
+    "base": {
+        "name": "open-decay-retry",
+        "protocol": {"id": "decay", "params": {}},
+        "arrivals": {"family": "poisson", "params": {"rate": 0.2}},
+        "channel": "nocd",
+        "n": 64,
+        "trials": 16,
+        "rounds": 256,
+        "warmup": 32,
+        "capacity": 16,
+        "timeout": 24,
+        # params stay empty so the grid can swap 'kind' freely: a dotted
+        # override of retry.kind keeps the base params, and give-up /
+        # immediate reject backoff-only knobs.
+        "retry": {"kind": "backoff", "params": {}},
+        "admission": {"kind": "shed", "params": {"threshold": 0.5}},
+        "seed": 2021,
+    },
+    "grid": {
+        "retry.kind": ["give-up", "immediate", "backoff"],
+        "arrivals.params.rate": [0.15, 0.45],
+    },
     "vary_seed": True,
 }
 

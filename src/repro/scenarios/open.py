@@ -33,6 +33,12 @@ from ..core.protocol import UniformProtocol
 from ..opensys.arrivals import ArrivalProcess, arrival_process_from_dict
 from ..opensys.driver import run_open, select_open_engine
 from ..opensys.latency import LatencyStore, LatencySummary
+from ..opensys.policies import (
+    AdmissionPolicy,
+    RetryPolicy,
+    admission_policy_from_dict,
+    retry_policy_from_dict,
+)
 from .registry import PLAYER, BuildContext, build_protocol, get_protocol
 from .spec import (
     ChannelSpec,
@@ -46,6 +52,8 @@ from .workloads import resolve_prediction
 
 __all__ = [
     "ArrivalSpec",
+    "RetrySpec",
+    "AdmissionSpec",
     "OpenScenarioSpec",
     "OpenScenarioResult",
     "ResolvedOpenScenario",
@@ -102,6 +110,93 @@ class ArrivalSpec:
 
 
 @dataclass(frozen=True)
+class RetrySpec:
+    """A retry policy: registry kind plus parameters.
+
+    Kinds are the :data:`repro.opensys.policies.RETRY_POLICIES` registry
+    (``give-up``, ``immediate``, ``backoff``).  Validated eagerly, like
+    :class:`ArrivalSpec`; a bare kind string is accepted as shorthand in
+    ``from_dict``.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ScenarioError("retry spec needs a non-empty kind")
+        try:
+            self.build()
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"retry spec: {exc}") from exc
+
+    def build(self) -> RetryPolicy:
+        """The resolved :class:`~repro.opensys.policies.RetryPolicy`."""
+        return retry_policy_from_dict(
+            {"kind": self.kind, **copy.deepcopy(self.params)}
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "RetrySpec":
+        if isinstance(data, str):  # shorthand: bare kind, no params
+            return cls(kind=data)
+        data = _require_mapping(data, "retry spec")
+        _check_known_keys(data, {"kind", "params"}, "retry spec")
+        return cls(
+            kind=str(data.get("kind", "")),
+            params=copy.deepcopy(
+                _require_mapping(data.get("params", {}), "retry params")
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """An admission policy: registry kind plus parameters.
+
+    Kinds are the :data:`repro.opensys.policies.ADMISSION_POLICIES`
+    registry (``capacity``, ``token-bucket``, ``shed``); same eager
+    validation and string shorthand as :class:`RetrySpec`.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ScenarioError("admission spec needs a non-empty kind")
+        try:
+            self.build()
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"admission spec: {exc}") from exc
+
+    def build(self) -> AdmissionPolicy:
+        """The resolved :class:`~repro.opensys.policies.AdmissionPolicy`."""
+        return admission_policy_from_dict(
+            {"kind": self.kind, **copy.deepcopy(self.params)}
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": copy.deepcopy(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping | str) -> "AdmissionSpec":
+        if isinstance(data, str):  # shorthand: bare kind, no params
+            return cls(kind=data)
+        data = _require_mapping(data, "admission spec")
+        _check_known_keys(data, {"kind", "params"}, "admission spec")
+        return cls(
+            kind=str(data.get("kind", "")),
+            params=copy.deepcopy(
+                _require_mapping(data.get("params", {}), "admission params")
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class OpenScenarioSpec:
     """One open-system simulation, ready to serialize or run.
 
@@ -128,6 +223,12 @@ class OpenScenarioSpec:
     timeout:
         Optional per-request round budget - a request abandons (counted,
         not measured) after this many rounds in the system.
+    retry:
+        What a refused or timed-out request does next (default
+        ``give-up``: it dies, exactly the pre-policy behaviour).
+    admission:
+        Gate in front of the service buffer (default ``capacity``: the
+        hard buffer limit is the only gate).
     seed / batch / prediction / name:
         As in :class:`~repro.scenarios.spec.ScenarioSpec`; prediction
         source ``"truth"`` is rejected (an open scenario has no workload
@@ -143,6 +244,10 @@ class OpenScenarioSpec:
     warmup: int = 0
     capacity: int = 256
     timeout: int | None = None
+    retry: RetrySpec = field(default_factory=lambda: RetrySpec(kind="give-up"))
+    admission: AdmissionSpec = field(
+        default_factory=lambda: AdmissionSpec(kind="capacity")
+    )
     seed: int = 2021
     batch: bool | None = None
     prediction: PredictionSpec | None = None
@@ -182,6 +287,8 @@ class OpenScenarioSpec:
             "warmup": self.warmup,
             "capacity": self.capacity,
             "timeout": self.timeout,
+            "retry": self.retry.to_dict(),
+            "admission": self.admission.to_dict(),
             "seed": self.seed,
             "batch": self.batch,
             "prediction": self.prediction.to_dict() if self.prediction else None,
@@ -211,6 +318,8 @@ class OpenScenarioSpec:
             warmup=int(data.get("warmup", 0)),
             capacity=int(data.get("capacity", 256)),
             timeout=int(timeout) if timeout is not None else None,
+            retry=RetrySpec.from_dict(data.get("retry", "give-up")),
+            admission=AdmissionSpec.from_dict(data.get("admission", "capacity")),
             seed=int(data.get("seed", 2021)),
             batch=batch,
             prediction=(
@@ -269,6 +378,8 @@ class ResolvedOpenScenario:
     channel: Channel
     protocol: UniformProtocol
     arrivals: ArrivalProcess
+    retry: RetryPolicy
+    admission: AdmissionPolicy
     engine: str
 
     def metadata(self) -> dict:
@@ -280,6 +391,8 @@ class ResolvedOpenScenario:
             "channel_model": self.channel.model_label(),
             "arrivals": self.arrivals.name,
             "offered_load": None if math.isnan(offered) else offered,
+            "retry": self.retry.name,
+            "admission": self.admission.name,
             "engine": self.engine,
             "batch_requested": self.spec.batch,
         }
@@ -328,6 +441,8 @@ def resolve_open_scenario(spec: OpenScenarioSpec) -> ResolvedOpenScenario:
         channel=channel,
         protocol=protocol,
         arrivals=spec.arrivals.build(),
+        retry=spec.retry.build(),
+        admission=spec.admission.build(),
         engine=engine,
     )
 
@@ -393,6 +508,9 @@ class OpenScenarioResult:
             f" ({self.metadata.get('channel_model', 'faithful')})",
             f"  arrivals: {self.metadata.get('arrivals', self.spec.arrivals.family)}"
             f"    offered load: {load}",
+            f"  policies: retry={self.metadata.get('retry', self.spec.retry.kind)}"
+            f"    admission="
+            f"{self.metadata.get('admission', self.spec.admission.kind)}",
             f"  engine:   {self.engine}    trials: {self.spec.trials}"
             f"    rounds: {self.spec.rounds} (warmup {self.spec.warmup})"
             f"    seed: {self.spec.seed}",
@@ -415,6 +533,8 @@ def run_open_scenario(spec: OpenScenarioSpec) -> OpenScenarioResult:
         warmup=spec.warmup,
         capacity=spec.capacity,
         timeout=spec.timeout,
+        retry=resolved.retry,
+        admission=resolved.admission,
         seed=spec.seed,
         batch=spec.batch,
     )
@@ -549,7 +669,7 @@ class OpenSweepResult:
 
         headers = [
             "point", "engine", "load", "p50", "p90", "p99",
-            "throughput", "dropped", "timed-out",
+            "throughput", "dropped", "timed-out", "retried", "abandoned",
         ]
         rows: list[list[object]] = []
         for result in self.results:
@@ -566,6 +686,8 @@ class OpenSweepResult:
                     summary.throughput,
                     summary.dropped,
                     summary.timed_out,
+                    summary.retried,
+                    summary.abandoned,
                 ]
             )
         table = render_table(headers, rows, precision=3)

@@ -1,0 +1,105 @@
+"""Graceful-degradation acceptance: retry storms vs. bounded backoff.
+
+The overload story the lifecycle policies exist to tell, pinned as a
+test.  One decay-served open channel is pushed well above saturation
+(offered load ~4x the service ceiling) under three policy regimes:
+
+* ``give-up`` - the pre-policy baseline.  Goodput sits at the service
+  ceiling and every surplus request dies at its timeout; this run also
+  *establishes* saturation (offered load far above measured goodput).
+* ``immediate`` rejoin with no admission control - the retry storm.
+  Timed-out requests re-present every round, the buffer stays pinned at
+  capacity, per-epoch contention stays high, and goodput *collapses
+  below the give-up baseline* while attempts explode and the sojourn
+  tail stretches across the whole run: retrying made service strictly
+  worse.  This is the metastable regime - the backlog is self-sustaining
+  at a service rate below what the same channel delivers when overflow
+  is simply dropped.
+* capped ``backoff`` with a finite budget plus occupancy ``shed`` - the
+  graceful policy.  Shedding keeps the admitted population below the
+  collapse region, backoff drains the orbit instead of hammering the
+  gate, and the budget turns hopeless requests into clean abandonment:
+  goodput recovers most of the baseline and p99 stays bounded by a small
+  multiple of the timeout instead of the run length.
+
+Thresholds are deliberately loose (the effect sizes are ~25-40% on
+goodput and ~4x on p99 across seeds) so the suite pins the *phenomenon*,
+not one stream's noise.
+"""
+
+import pytest
+
+from repro.channel import without_collision_detection
+from repro.opensys import (
+    ExponentialBackoffPolicy,
+    GiveUpPolicy,
+    HardCapacityPolicy,
+    ImmediateRetryPolicy,
+    OccupancySheddingPolicy,
+    run_open,
+)
+from repro.opensys.arrivals import PoissonArrivals
+from repro.protocols.decay import DecayProtocol
+
+RATE = 0.8  # offered load, requests/round - ~4x the service ceiling
+TIMEOUT = 24
+
+
+def serve(retry, admission, seed=42):
+    return run_open(
+        DecayProtocol(64),
+        PoissonArrivals(RATE),
+        channel=without_collision_detection(),
+        trials=24,
+        rounds=600,
+        warmup=64,
+        capacity=16,
+        timeout=TIMEOUT,
+        retry=retry,
+        admission=admission,
+        seed=seed,
+    ).store.summary()
+
+
+@pytest.fixture(scope="module")
+def regimes():
+    baseline = serve(GiveUpPolicy(), HardCapacityPolicy())
+    storm = serve(ImmediateRetryPolicy(), HardCapacityPolicy())
+    graceful = serve(
+        ExponentialBackoffPolicy(base=2, cap=32, jitter=8, budget=4),
+        OccupancySheddingPolicy(threshold=0.4),
+    )
+    return baseline, storm, graceful
+
+
+class TestRetryStormMetastability:
+    def test_the_load_is_above_saturation(self, regimes):
+        baseline, _, _ = regimes
+        assert RATE > 2 * baseline.throughput
+        assert baseline.timed_out > 0  # overflow visibly dies
+
+    def test_immediate_rejoin_collapses_goodput(self, regimes):
+        baseline, storm, _ = regimes
+        assert storm.throughput < 0.85 * baseline.throughput
+        # The storm itself: admission presentations dwarf real load, and
+        # the sojourn tail stretches an order of magnitude past the
+        # timeout that bounds the baseline.
+        assert storm.attempts > 50 * storm.arrivals
+        assert storm.p99 > 10 * TIMEOUT
+        assert baseline.p99 <= TIMEOUT
+
+    def test_backoff_plus_shedding_recovers(self, regimes):
+        baseline, storm, graceful = regimes
+        # Positive goodput, most of the baseline recovered, strictly
+        # better than the storm at matched offered load.
+        assert graceful.throughput > 0.1
+        assert graceful.throughput > 1.1 * storm.throughput
+        assert graceful.throughput > 0.8 * baseline.throughput
+        # Bounded tail: a small multiple of the timeout, not of the run.
+        assert graceful.p99 < 8 * TIMEOUT
+        assert graceful.p99 < 0.5 * storm.p99
+        # Degradation is *managed*: overload turns into bounded retries
+        # and clean abandonment instead of an unbounded orbit.
+        assert graceful.abandoned > 0
+        assert graceful.attempts < 10 * graceful.arrivals
+        assert graceful.in_orbit < storm.in_orbit

@@ -22,7 +22,13 @@ from repro.opensys import (
     ENGINE_OPEN_SCALAR,
     ENGINE_OPEN_SCHEDULE,
     ArrivalProcess,
+    ExponentialBackoffPolicy,
+    GiveUpPolicy,
+    HardCapacityPolicy,
+    ImmediateRetryPolicy,
+    OccupancySheddingPolicy,
     PoissonArrivals,
+    TokenBucketPolicy,
     ZipfHotspotArrivals,
     run_open,
     select_open_engine,
@@ -140,6 +146,170 @@ class TestBitIdentity:
         assert vectorized.store.timed_out == scalar.store.timed_out
 
 
+#: Retry x admission combinations that exercise every policy code path:
+#: jittered backoff (retry draw column), shedding (admission draw
+#: column), token-bucket state, immediate-rejoin storms, and budgets.
+POLICY_COMBOS = [
+    (
+        "backoff-jitter+shed",
+        lambda: ExponentialBackoffPolicy(base=2, cap=32, jitter=4, budget=5),
+        lambda: OccupancySheddingPolicy(threshold=0.4, power=2.0),
+    ),
+    (
+        "immediate+token-bucket",
+        lambda: ImmediateRetryPolicy(),
+        lambda: TokenBucketPolicy(rate=0.35, burst=3.0),
+    ),
+    (
+        "backoff-plain+capacity",
+        lambda: ExponentialBackoffPolicy(base=1, cap=16, jitter=0, budget=2),
+        lambda: HardCapacityPolicy(),
+    ),
+    (
+        "give-up+shed",
+        lambda: GiveUpPolicy(),
+        lambda: OccupancySheddingPolicy(threshold=0.25),
+    ),
+]
+
+
+class TestPolicyBitIdentity:
+    """The acceptance bar: the lifecycle is engine-neutral, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "name,retry,admission", POLICY_COMBOS, ids=[c[0] for c in POLICY_COMBOS]
+    )
+    def test_schedule_engine_matches_scalar(self, name, retry, admission):
+        vectorized, scalar = run_pair(
+            DecayProtocol(N),
+            without_collision_detection(),
+            arrivals=PoissonArrivals(0.3),
+            capacity=12,
+            timeout=24,
+            retry=retry(),
+            admission=admission(),
+        )
+        assert vectorized.engine == ENGINE_OPEN_SCHEDULE
+        assert vectorized.store == scalar.store, name
+
+    @pytest.mark.parametrize(
+        "name,retry,admission", POLICY_COMBOS, ids=[c[0] for c in POLICY_COMBOS]
+    )
+    def test_history_engine_matches_scalar(self, name, retry, admission):
+        vectorized, scalar = run_pair(
+            WillardProtocol(N),
+            with_collision_detection(),
+            arrivals=PoissonArrivals(0.3),
+            capacity=12,
+            timeout=30,
+            retry=retry(),
+            admission=admission(),
+        )
+        assert vectorized.engine == ENGINE_OPEN_HISTORY
+        assert vectorized.store == scalar.store, name
+
+    def test_identity_with_policies_and_fault_model(self):
+        """All five uniform columns live at once: band, winner, fault,
+        admission, retry."""
+        vectorized, scalar = run_pair(
+            DecayProtocol(N),
+            without_collision_detection(
+                NoisyChannel(
+                    silence_to_collision=0.08,
+                    collision_to_silence=0.05,
+                    success_erasure=0.1,
+                )
+            ),
+            arrivals=PoissonArrivals(0.3),
+            capacity=12,
+            timeout=24,
+            retry=ExponentialBackoffPolicy(base=2, cap=16, jitter=3),
+            admission=OccupancySheddingPolicy(threshold=0.3),
+        )
+        assert vectorized.store == scalar.store
+        assert vectorized.store.retried > 0
+
+
+class TestZeroPolicyPinning:
+    """Default policies must reproduce the pre-policy driver exactly.
+
+    The expected stores are pinned from the PR 7 driver (captured before
+    the lifecycle refactor); equality on every shared key proves the
+    refactor is invisible when no policy is active.
+    """
+
+    def test_decay_store_is_unchanged(self):
+        result = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.2),
+            channel=without_collision_detection(),
+            trials=6,
+            rounds=200,
+            warmup=20,
+            capacity=16,
+            timeout=40,
+            seed=13,
+        )
+        data = result.store.to_dict()
+        expected = {
+            "hist": [
+                0, 40, 19, 11, 10, 14, 6, 6, 11, 6, 6, 9, 8, 4, 6, 3, 3, 5,
+                3, 3, 2, 5, 4, 3, 2, 2, 0, 2, 1, 1, 1, 2, 0, 0, 2, 2, 0, 2,
+            ],
+            "arrivals": 244,
+            "dropped": 0,
+            "timed_out": 5,
+            "in_flight": 13,
+            "round_slots": 1080,
+        }
+        for key, value in expected.items():
+            assert data[key] == value, key
+        assert data["attempts"] == data["arrivals"]
+        assert data["retried"] == data["abandoned"] == data["in_orbit"] == 0
+
+    def test_willard_store_is_unchanged(self):
+        result = run_open(
+            WillardProtocol(N),
+            PoissonArrivals(0.08),
+            channel=with_collision_detection(),
+            trials=5,
+            rounds=160,
+            warmup=0,
+            capacity=8,
+            seed=5,
+        )
+        data = result.store.to_dict()
+        expected = {
+            "hist": [0, 2, 3, 6, 16, 8, 8, 7, 8, 3, 2, 1, 1, 2, 0, 0, 0, 0, 2],
+            "arrivals": 73,
+            "dropped": 0,
+            "timed_out": 0,
+            "in_flight": 4,
+            "round_slots": 800,
+        }
+        for key, value in expected.items():
+            assert data[key] == value, key
+
+    def test_explicit_defaults_match_omitted_policies(self):
+        kwargs = dict(
+            channel=without_collision_detection(),
+            trials=6,
+            rounds=128,
+            capacity=8,
+            timeout=20,
+            seed=17,
+        )
+        implicit = run_open(DecayProtocol(N), PoissonArrivals(0.3), **kwargs)
+        explicit = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.3),
+            retry=GiveUpPolicy(),
+            admission=HardCapacityPolicy(),
+            **kwargs,
+        )
+        assert implicit.store == explicit.store
+
+
 class TestDeterminismAndSharding:
     def test_same_seed_reproduces_the_store(self):
         first, _ = run_pair(DecayProtocol(N), without_collision_detection())
@@ -156,6 +326,29 @@ class TestDeterminismAndSharding:
             protocol, arrivals, trials=5, trial_offset=8, **common
         )
         assert left.store.merge(right.store) == whole.store
+
+    def test_shards_merge_exactly_with_policies_active(self):
+        protocol, channel = DecayProtocol(N), without_collision_detection()
+        arrivals = PoissonArrivals(0.35)
+        common = dict(
+            channel=channel,
+            rounds=200,
+            warmup=0,
+            capacity=10,
+            timeout=20,
+            seed=11,
+        )
+        policies = dict(
+            retry=ExponentialBackoffPolicy(base=2, cap=16, jitter=3, budget=4),
+            admission=OccupancySheddingPolicy(threshold=0.3),
+        )
+        whole = run_open(protocol, arrivals, trials=9, **common, **policies)
+        left = run_open(protocol, arrivals, trials=4, **common, **policies)
+        right = run_open(
+            protocol, arrivals, trials=5, trial_offset=4, **common, **policies
+        )
+        assert left.store.merge(right.store) == whole.store
+        assert whole.store.retried > 0
 
     def test_trial_offset_changes_the_streams(self):
         protocol, channel = DecayProtocol(N), without_collision_detection()
@@ -184,6 +377,63 @@ class TestAccounting:
         assert store.arrivals == (
             store.completed + store.dropped + store.timed_out + store.in_flight
         )
+
+    def test_requests_are_conserved_with_retries_active(self):
+        result = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.5),
+            channel=without_collision_detection(),
+            trials=6,
+            rounds=150,
+            warmup=0,
+            capacity=8,
+            timeout=12,
+            retry=ExponentialBackoffPolicy(base=1, cap=8, jitter=2, budget=3),
+            admission=TokenBucketPolicy(rate=0.4, burst=2.0),
+            seed=3,
+        )
+        store = result.store
+        assert store.retried > 0 and store.abandoned > 0
+        assert store.arrivals == (
+            store.completed
+            + store.dropped
+            + store.timed_out
+            + store.abandoned
+            + store.in_flight
+            + store.in_orbit
+        )
+        # attempts = fresh presentations + orbit rejoins; every rejoin
+        # was first counted as a retry, and orbit residents have not yet
+        # re-presented.
+        assert store.attempts >= store.arrivals
+        assert store.attempts <= store.arrivals + store.retried
+
+    def test_retry_budget_bounds_abandonment(self):
+        """With budget b, a request dies only after b retries; give-up
+        (budget 0) keeps the PR 7 counters and never abandons."""
+        kwargs = dict(
+            channel=without_collision_detection(),
+            trials=4,
+            rounds=200,
+            warmup=0,
+            capacity=8,
+            timeout=10,
+            seed=21,
+        )
+        give_up = run_open(
+            DecayProtocol(N), PoissonArrivals(0.6), **kwargs
+        ).store
+        assert give_up.abandoned == 0 and give_up.retried == 0
+        budgeted = run_open(
+            DecayProtocol(N),
+            PoissonArrivals(0.6),
+            retry=ImmediateRetryPolicy(budget=2),
+            **kwargs,
+        ).store
+        assert budgeted.abandoned > 0
+        # Every abandonment consumed exactly `budget` retries; other
+        # retreads are still circulating or completed.
+        assert budgeted.retried >= 2 * budgeted.abandoned
 
     def test_capacity_overflow_drops(self):
         result = run_open(
@@ -270,3 +520,33 @@ class TestValidation:
                     PoissonArrivals(0.1),
                     **{**good, **bad},
                 )
+
+    def test_capacity_error_message_is_actionable(self):
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            run_open(
+                DecayProtocol(N),
+                PoissonArrivals(0.1),
+                channel=without_collision_detection(),
+                trials=2,
+                rounds=16,
+                capacity=0,
+            )
+
+    def test_policy_arguments_must_be_policies(self):
+        good = dict(
+            channel=without_collision_detection(), trials=2, rounds=16
+        )
+        with pytest.raises(ValueError, match="RetryPolicy"):
+            run_open(
+                DecayProtocol(N),
+                PoissonArrivals(0.1),
+                retry="backoff",
+                **good,
+            )
+        with pytest.raises(ValueError, match="AdmissionPolicy"):
+            run_open(
+                DecayProtocol(N),
+                PoissonArrivals(0.1),
+                admission="shed",
+                **good,
+            )

@@ -21,11 +21,16 @@ from repro.opensys import LatencyStore
 
 sojourns = st.lists(st.integers(min_value=1, max_value=400), max_size=200)
 levels = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+counter_values = st.fixed_dictionaries(
+    {counter: st.integers(0, 10_000) for counter in LatencyStore.COUNTERS}
+)
 
 
-def store_of(samples) -> LatencyStore:
+def store_of(samples, counters=None) -> LatencyStore:
     store = LatencyStore()
     store.record_many(samples)
+    for counter, value in (counters or {}).items():
+        setattr(store, counter, value)
     return store
 
 
@@ -41,22 +46,30 @@ def test_percentiles_are_monotone_and_observed(samples, low, high):
     assert store.percentile(1.0) == max(samples)
 
 
-@given(a=sojourns, b=sojourns, c=sojourns)
+@given(
+    a=sojourns, b=sojourns, c=sojourns,
+    ca=counter_values, cb=counter_values, cc=counter_values,
+)
 @settings(max_examples=100, deadline=None)
-def test_merge_is_associative_commutative_and_exact(a, b, c):
-    sa, sb, sc = store_of(a), store_of(b), store_of(c)
+def test_merge_is_associative_commutative_and_exact(a, b, c, ca, cb, cc):
+    sa, sb, sc = store_of(a, ca), store_of(b, cb), store_of(c, cc)
     assert sa.merge(sb) == sb.merge(sa)
     assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
-    assert sa.merge(sb).merge(sc) == store_of(a + b + c)
+    combined = {
+        counter: ca[counter] + cb[counter] + cc[counter]
+        for counter in LatencyStore.COUNTERS
+    }
+    assert sa.merge(sb).merge(sc) == store_of(a + b + c, combined)
 
 
-@given(samples=sojourns, arrivals=st.integers(0, 10_000), slots=st.integers(0, 10_000))
+@given(samples=sojourns, counters=counter_values)
 @settings(max_examples=100, deadline=None)
-def test_serialization_round_trips_exactly(samples, arrivals, slots):
-    store = store_of(samples)
-    store.arrivals = arrivals
-    store.round_slots = slots
+def test_serialization_round_trips_exactly(samples, counters):
+    store = store_of(samples, counters)
     assert LatencyStore.from_dict(store.to_dict()) == store
+    summary = store.summary()
+    for counter in ("attempts", "retried", "abandoned", "in_orbit"):
+        assert getattr(summary, counter) == counters[counter]
 
 
 @given(samples=sojourns)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the lifecycle policies.
+
+The invariants the retry orbit leans on:
+
+* backoff delay schedules are monotone non-decreasing in the retry
+  number and settle exactly at the cap;
+* jitter only ever adds, and never more than the configured bound;
+* retry budgets are never exceeded - by the policy predicate on any
+  retry count, and by the driver end-to-end (no request records more
+  retries than the budget permits);
+* Weyl-derived jitter uniforms stay in [0, 1) for any offset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import without_collision_detection
+from repro.opensys import ExponentialBackoffPolicy, ImmediateRetryPolicy, run_open
+from repro.opensys.arrivals import PoissonArrivals
+from repro.opensys.policies import weyl_uniforms
+from repro.protocols.decay import DecayProtocol
+
+backoff_params = st.builds(
+    dict,
+    base=st.integers(1, 64),
+    extra=st.integers(0, 512),  # cap = base + extra, so cap >= base
+    jitter=st.integers(0, 32),
+    budget=st.one_of(st.none(), st.integers(0, 20)),
+)
+
+
+def make_backoff(params) -> ExponentialBackoffPolicy:
+    return ExponentialBackoffPolicy(
+        base=params["base"],
+        cap=params["base"] + params["extra"],
+        jitter=params["jitter"],
+        budget=params["budget"],
+    )
+
+
+@given(params=backoff_params, upto=st.integers(1, 64))
+@settings(max_examples=150, deadline=None)
+def test_backoff_schedule_is_monotone_up_to_the_cap(params, upto):
+    policy = make_backoff(params)
+    retries = np.arange(1, upto + 1, dtype=np.int64)
+    zero_jitter = np.zeros(retries.size) if policy.needs_draws else None
+    delays = policy.delays(retries, zero_jitter)
+    assert (np.diff(delays) >= 0).all()
+    assert delays[0] == policy.base
+    assert (delays <= policy.cap).all()
+    # The schedule reaches the cap and stays there.
+    assert delays[-1] == policy.cap or upto < 64
+
+
+@given(
+    params=backoff_params,
+    retries=st.lists(st.integers(1, 100), min_size=1, max_size=50),
+    jitter_u=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+@settings(max_examples=150, deadline=None)
+def test_jitter_only_adds_and_stays_within_bounds(params, retries, jitter_u):
+    policy = make_backoff(params)
+    retries = np.asarray(retries, dtype=np.int64)
+    uniforms = weyl_uniforms(jitter_u, np.arange(retries.size, dtype=np.int64))
+    assert ((uniforms >= 0.0) & (uniforms < 1.0)).all()
+    base_delays = policy.delays(
+        retries, np.zeros(retries.size) if policy.needs_draws else None
+    )
+    jittered = policy.delays(
+        retries, uniforms if policy.needs_draws else None
+    )
+    assert (jittered >= base_delays).all()
+    assert (jittered <= base_delays + policy.jitter).all()
+    assert (jittered >= 1).all()
+
+
+@given(
+    budget=st.integers(0, 15),
+    counts=st.lists(st.integers(0, 40), min_size=1, max_size=30),
+)
+@settings(max_examples=150, deadline=None)
+def test_budget_predicate_is_a_hard_wall(budget, counts):
+    for policy in (
+        ImmediateRetryPolicy(budget=budget),
+        ExponentialBackoffPolicy(budget=budget),
+    ):
+        tries = np.asarray(counts, dtype=np.int64)
+        allowed = policy.allows(tries)
+        np.testing.assert_array_equal(allowed, tries < budget)
+
+
+@given(budget=st.integers(0, 4), seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_driver_never_exceeds_the_retry_budget(budget, seed):
+    """End-to-end: retried <= budget * (requests that ever failed).
+
+    Every request fails at most ``budget`` times into the orbit and then
+    dies abandoned (or never fails again); with deaths + survivors
+    bounded by arrivals, total retries can never exceed
+    ``budget * arrivals``.
+    """
+    store = run_open(
+        DecayProtocol(32),
+        PoissonArrivals(0.7),
+        channel=without_collision_detection(),
+        trials=3,
+        rounds=120,
+        warmup=0,
+        capacity=6,
+        timeout=8,
+        retry=ImmediateRetryPolicy(budget=budget),
+        seed=seed,
+    ).store
+    assert store.retried <= budget * store.arrivals
+    if budget == 0:
+        assert store.retried == 0 and store.abandoned == 0
+    # Conservation always holds.
+    assert store.arrivals == (
+        store.completed
+        + store.dropped
+        + store.timed_out
+        + store.abandoned
+        + store.in_flight
+        + store.in_orbit
+    )

@@ -6,6 +6,7 @@ import pytest
 
 from repro.opensys import ENGINE_OPEN_HISTORY, ENGINE_OPEN_SCHEDULE
 from repro.scenarios import (
+    AdmissionSpec,
     ArrivalSpec,
     ChannelSpec,
     OpenScenarioResult,
@@ -13,13 +14,18 @@ from repro.scenarios import (
     OpenSweep,
     OpenSweepResult,
     ProtocolSpec,
+    RetrySpec,
     ScenarioError,
     WorkloadSpec,
     resolve_open_scenario,
     run_open_scenario,
     run_open_sweep,
 )
-from repro.scenarios import EXAMPLE_OPEN_SCENARIO, EXAMPLE_OPEN_SWEEP
+from repro.scenarios import (
+    EXAMPLE_OPEN_RETRY_SWEEP,
+    EXAMPLE_OPEN_SCENARIO,
+    EXAMPLE_OPEN_SWEEP,
+)
 from repro.scenarios.workloads import resolve_workload
 
 
@@ -58,6 +64,49 @@ class TestArrivalSpec:
         assert ArrivalSpec.from_dict(arrival.to_dict()) == arrival
 
 
+class TestPolicySpecs:
+    def test_validate_eagerly(self):
+        with pytest.raises(ScenarioError, match="unknown retry policy"):
+            RetrySpec(kind="telepathy")
+        with pytest.raises(ScenarioError, match="unknown parameter"):
+            RetrySpec(kind="give-up", params={"base": 2})
+        with pytest.raises(ScenarioError, match="non-empty kind"):
+            RetrySpec(kind="")
+        with pytest.raises(ScenarioError, match="unknown admission policy"):
+            AdmissionSpec(kind="bouncer")
+        with pytest.raises(ScenarioError, match="requires 'rate'"):
+            AdmissionSpec(kind="token-bucket")
+        with pytest.raises(ScenarioError, match="threshold"):
+            AdmissionSpec(kind="shed", params={"threshold": 2.0})
+
+    def test_string_shorthand(self):
+        assert RetrySpec.from_dict("immediate") == RetrySpec(kind="immediate")
+        assert AdmissionSpec.from_dict("capacity") == AdmissionSpec(
+            kind="capacity"
+        )
+
+    def test_round_trip_and_build(self):
+        retry = RetrySpec(
+            kind="backoff", params={"base": 2, "cap": 32, "jitter": 4}
+        )
+        assert RetrySpec.from_dict(retry.to_dict()) == retry
+        assert retry.build().cap == 32
+        admission = AdmissionSpec(
+            kind="token-bucket", params={"rate": 0.5, "burst": 2}
+        )
+        assert AdmissionSpec.from_dict(admission.to_dict()) == admission
+        assert admission.build().rate == 0.5
+
+    def test_defaults_are_the_pre_policy_behaviour(self):
+        default = spec()
+        assert default.retry == RetrySpec(kind="give-up")
+        assert default.admission == AdmissionSpec(kind="capacity")
+        # Old JSON (no policy keys) still loads to the defaults.
+        payload = default.to_dict()
+        del payload["retry"], payload["admission"]
+        assert OpenScenarioSpec.from_dict(payload) == default
+
+
 class TestSpecSerialization:
     def test_json_round_trip_is_exact(self):
         original = spec(
@@ -67,6 +116,10 @@ class TestSpecSerialization:
             arrivals=ArrivalSpec(
                 family="bursty", params={"devices": 40, "thin": 0.1}
             ),
+            retry=RetrySpec(
+                kind="backoff", params={"base": 2, "cap": 16, "budget": 3}
+            ),
+            admission=AdmissionSpec(kind="shed", params={"threshold": 0.6}),
         )
         assert OpenScenarioSpec.from_json(original.to_json()) == original
 
@@ -105,6 +158,25 @@ class TestSpecSerialization:
         assert derived.channel.collision_detection is True
         with pytest.raises(ScenarioError):
             spec().override({"arrivals.family": "fractal"})
+
+    def test_dotted_overrides_reach_the_policies(self):
+        derived = spec().override(
+            {
+                "retry.kind": "immediate",
+                "admission.kind": "token-bucket",
+                "admission.params.rate": 0.5,
+            }
+        )
+        assert derived.retry == RetrySpec(kind="immediate")
+        assert derived.admission == AdmissionSpec(
+            kind="token-bucket", params={"rate": 0.5}
+        )
+        backoff = spec(
+            retry=RetrySpec(kind="backoff", params={"cap": 16})
+        ).override({"retry.params.cap": 8})
+        assert backoff.retry.params == {"cap": 8}
+        with pytest.raises(ScenarioError):
+            spec().override({"retry.kind": "telepathy"})
 
     def test_label_prefers_name(self):
         assert spec(name="x").label() == "x"
@@ -184,6 +256,24 @@ class TestRunAndResult:
         scalar = run_open_scenario(spec(batch=False))
         assert vectorized.store == scalar.store
 
+    def test_policies_thread_through_the_scenario_layer(self):
+        lively = spec(
+            arrivals=ArrivalSpec(family="poisson", params={"rate": 0.5}),
+            capacity=8,
+            timeout=16,
+            retry=RetrySpec(kind="backoff", params={"jitter": 4, "budget": 4}),
+            admission=AdmissionSpec(kind="shed", params={"threshold": 0.3}),
+        )
+        result = run_open_scenario(lively)
+        assert result.metadata["retry"].startswith("backoff")
+        assert result.metadata["admission"].startswith("shed")
+        assert result.store.retried > 0
+        assert "retry=backoff" in result.render()
+        scalar = run_open_scenario(
+            OpenScenarioSpec.from_dict({**lively.to_dict(), "batch": False})
+        )
+        assert scalar.store == result.store
+
 
 class TestSweep:
     def test_points_derive_seeds_and_names(self):
@@ -255,6 +345,15 @@ class TestExamples:
     def test_example_sweep_loads(self):
         sweep = OpenSweep.from_dict(EXAMPLE_OPEN_SWEEP)
         assert len(sweep.points()) == 4
+
+    def test_retry_example_sweep_covers_the_policy_grid(self):
+        sweep = OpenSweep.from_dict(EXAMPLE_OPEN_RETRY_SWEEP)
+        points = sweep.points()
+        assert len(points) == 6
+        assert {p.retry.kind for p in points} == {
+            "give-up", "immediate", "backoff",
+        }
+        assert all(p.admission.kind == "shed" for p in points)
 
 
 class TestOpenWorkloadKinds:

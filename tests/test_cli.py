@@ -388,6 +388,39 @@ class TestOpenCli:
         assert payload == EXAMPLE_OPEN_SWEEP
         assert len(OpenSweep.from_dict(payload).points()) == 4
 
+    def test_open_example_retry_grid_expands(self, capsys):
+        from repro.scenarios import EXAMPLE_OPEN_RETRY_SWEEP, OpenSweep
+
+        assert main(["scenario", "open", "example", "--retry"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == EXAMPLE_OPEN_RETRY_SWEEP
+        points = OpenSweep.from_dict(payload).points()
+        assert {p.retry.kind for p in points} == {
+            "give-up", "immediate", "backoff",
+        }
+
+    def test_open_retry_sweep_reports_lifecycle_counters(
+        self, tmp_path, capsys
+    ):
+        """The CI smoke path: retry sweep JSON carries the new counters."""
+        from repro.scenarios import EXAMPLE_OPEN_RETRY_SWEEP
+
+        sweep = json.loads(json.dumps(EXAMPLE_OPEN_RETRY_SWEEP))
+        sweep["base"].update(trials=4, rounds=96, warmup=16)
+        sweep["grid"] = {
+            "retry.kind": ["immediate", "backoff"],
+            "arrivals.params.rate": [0.5],
+        }
+        sweep_path = tmp_path / "retry.json"
+        sweep_path.write_text(json.dumps(sweep))
+        assert main(["scenario", "open", "sweep", str(sweep_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["results"]) == 2
+        for row in report["results"]:
+            assert row["engine"] == "open-schedule"
+            assert row["summary"]["retried"] > 0
+            assert "abandoned" in row["summary"]
+
     def test_open_run_renders_latency(self, tmp_path, capsys):
         from repro.scenarios import EXAMPLE_OPEN_SCENARIO
 

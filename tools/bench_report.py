@@ -56,7 +56,7 @@ from repro.scenarios import run_sweep
 # the opt-in gates in benchmarks/; running as a script puts tools/ (not the
 # repo root) on sys.path, so anchor the import at the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
-from benchmarks.opensys_workload import open_point  # noqa: E402
+from benchmarks.opensys_workload import open_point, open_retry_point  # noqa: E402
 from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
 from benchmarks.sweep_workload import (  # noqa: E402
     RANGE_SETS,
@@ -353,6 +353,59 @@ def open_system_bench(repeats: int) -> dict:
     }
 
 
+def open_retry_bench(repeats: int) -> dict:
+    """The open driver under a full request lifecycle: backoff + shed.
+
+    The retry point of ``benchmarks/opensys_workload.py`` (graceful-
+    degradation regime: timeouts on the tail, jittered capped backoff,
+    occupancy shedding) - the same run the lifecycle gate in
+    ``benchmarks/test_bench_opensys.py`` enforces.  ``overhead`` is the
+    vectorized retry run against the identical traffic point with the
+    zero policies (give-up / hard capacity), i.e. the plain driver's
+    fast path; the gate caps it at 2x.
+    """
+    from repro.scenarios import run_open_scenario
+
+    spec = open_retry_point()
+    plain = spec.override(
+        {
+            "name": "bench-open-decay-retry-baseline",
+            "retry": "give-up",
+            "admission": "capacity",
+        }
+    )
+    scalar_seconds = _median_seconds(
+        lambda: run_open_scenario(spec.override({"batch": False})), repeats
+    )
+    vector_seconds = _median_seconds(lambda: run_open_scenario(spec), repeats)
+    plain_seconds = _median_seconds(lambda: run_open_scenario(plain), repeats)
+    result = run_open_scenario(spec)
+    summary = result.summary
+    return {
+        "protocol": spec.protocol.id,
+        "arrivals": spec.arrivals.family,
+        "offered_load": spec.arrivals.params.get("rate"),
+        "retry": spec.retry.to_dict(),
+        "admission": spec.admission.to_dict(),
+        "timeout": spec.timeout,
+        "capacity": spec.capacity,
+        "trials": spec.trials,
+        "rounds": spec.rounds,
+        "warmup": spec.warmup,
+        "engine": result.engine,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(vector_seconds, 6),
+        "plain_seconds": round(plain_seconds, 6),
+        "speedup": round(scalar_seconds / vector_seconds, 2),
+        "overhead": round(vector_seconds / plain_seconds, 2),
+        "p50": summary.p50,
+        "p99": summary.p99,
+        "throughput": round(summary.throughput, 6),
+        "retried": summary.retried,
+        "abandoned": summary.abandoned,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -413,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep_fused = fused_bench(args.repeats)
     adversary = adversary_bench(args.trials, args.repeats)
     open_system = open_system_bench(args.repeats)
+    open_retry = open_retry_bench(args.repeats)
     snapshot = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
@@ -436,6 +490,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep_fused": sweep_fused,
         "adversary": adversary,
         "open_system": open_system,
+        "open_retry": open_retry,
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     for name, row in {**measurements, **player_engine}.items():
@@ -481,6 +536,14 @@ def main(argv: list[str] | None = None) -> int:
         f"vectorized={open_system['batch_seconds']:.3f}s "
         f"speedup={open_system['speedup']}x ({open_system['engine']}, "
         f"load {open_system['offered_load']})"
+    )
+    print(
+        f"open_retry: scalar={open_retry['scalar_seconds']:.3f}s "
+        f"vectorized={open_retry['batch_seconds']:.3f}s "
+        f"speedup={open_retry['speedup']}x "
+        f"overhead={open_retry['overhead']}x over plain "
+        f"({open_retry['retried']} retried, "
+        f"{open_retry['abandoned']} abandoned)"
     )
     print(f"snapshot written to {args.output}")
     return 0
