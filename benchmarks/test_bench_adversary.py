@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.montecarlo import estimate_uniform_rounds
 from repro.channel import (
+    AdaptiveAdversary,
     NoisyChannel,
     ObliviousJammer,
     with_collision_detection,
@@ -111,6 +112,56 @@ def _gate(benchmark, protocol_factory, base_channel, label):
     )
 
 
+def _adaptive_gate(benchmark, protocol_factory, base_channel, model, label):
+    """Adaptive batch within 3x of faithful batch.
+
+    The adaptive model's per-round work is one boolean mask per live
+    trial; what it buys with that work is *extra rounds* (each jam
+    prolongs the execution), so the gate is looser than the 2x
+    injection-overhead gates above: it bounds the whole stretched run,
+    not just the perturbation layer.
+    """
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+
+    faithful, faithful_seconds = _timed(
+        lambda: _estimate(protocol_factory(), distribution, base_channel)
+    )
+    adaptive, adaptive_seconds = _timed(
+        lambda: _estimate(
+            protocol_factory(), distribution, base_channel.with_model(model)
+        )
+    )
+    benchmark.pedantic(
+        lambda: _estimate(
+            protocol_factory(), distribution, base_channel.with_model(model)
+        ),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    overhead = adaptive_seconds / faithful_seconds
+    print(
+        f"\n{label}, trials={TRIALS}: faithful={faithful_seconds:.3f}s "
+        f"adaptive[{model.strategy}]={adaptive_seconds:.3f}s "
+        f"({overhead:.2f}x)"
+    )
+
+    # Statistics: full information delays, it does not kill, and the
+    # greedy floor (the first `budget` successes of every trial die)
+    # shows up as a hard minimum.
+    assert faithful.success.rate == 1.0
+    assert adaptive.success.rate >= 0.99, adaptive.success.rate
+    assert adaptive.rounds.mean > faithful.rounds.mean
+    if model.strategy == "greedy":
+        assert adaptive.rounds.minimum >= model.budget + 1
+
+    assert adaptive_seconds <= max(3.0 * faithful_seconds, 0.05), (
+        f"{label}: adaptive batch {overhead:.2f}x over faithful "
+        f"({adaptive_seconds:.3f}s vs {faithful_seconds:.3f}s)"
+    )
+
+
 def test_bench_adversary_schedule_engine(benchmark):
     """No-CD sorted probing: fault overhead on the schedule engine."""
     distribution = entropy_sweep_distributions(N, quick=True)[1]
@@ -128,5 +179,32 @@ def test_bench_adversary_history_engine(benchmark):
         benchmark,
         lambda: WillardProtocol(N),
         with_collision_detection(),
+        "CD willard",
+    )
+
+
+def test_bench_adaptive_schedule_engine(benchmark):
+    """No-CD sorted probing under greedy adaptive jamming: the stretched
+    run (budget extra successes to erase) stays within 3x of faithful."""
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    _adaptive_gate(
+        benchmark,
+        lambda: SortedProbingProtocol(distribution, one_shot=False),
+        without_collision_detection(),
+        AdaptiveAdversary(budget=4, strategy="greedy"),
+        "no-CD sorted probing",
+    )
+
+
+def test_bench_adaptive_history_engine(benchmark):
+    """CD Willard under the front scheduler: the representative strategy
+    for the history engine (greedy's forced collisions grow the memoized
+    trie combinatorially - real extra search, benched in the
+    adversary_adaptive section, not gated)."""
+    _adaptive_gate(
+        benchmark,
+        lambda: WillardProtocol(N),
+        with_collision_detection(),
+        AdaptiveAdversary(budget=8, strategy="scheduler", mode="front"),
         "CD willard",
     )

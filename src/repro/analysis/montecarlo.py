@@ -187,17 +187,18 @@ def select_uniform_engine(
     ``ValueError`` when ``batch=True`` insists on an impossible batch run,
     mirroring the estimator.
 
-    ``model`` is the channel's *active* fault model: one that cannot run
-    vectorized (a crash model with a non-zero rejoin delay) forces the
-    scalar reference loop regardless of protocol capabilities.
+    ``model`` is the channel's *active* fault model: one that declares
+    itself inexpressible on the uniform batch engines
+    (``batchable=False`` - no in-repo model does anymore, rejoin-delay
+    crashes included) forces the scalar reference loop regardless of
+    protocol capabilities.
     """
     batchable = isinstance(protocol, UniformProtocol) and is_batchable(protocol)
     if model is not None and not model.batchable:
         if batch is True:
             raise ValueError(
                 f"batch=True but channel model {model.name!r} only runs on "
-                "the scalar engine (a non-zero crash rejoin delay changes "
-                "the live participant count mid-trial)"
+                "the scalar engine (it declares batchable=False)"
             )
         return ENGINE_SCALAR_UNIFORM
     if batch is True and not batchable:
@@ -395,12 +396,14 @@ def select_player_engine(
     combinators, or ``batch=False``).  Raises ``ValueError`` when
     ``batch=True`` insists on an impossible batch run.
 
-    ``model`` is the channel's *active* fault model: one that cannot run
-    vectorized (a crash model with a non-zero rejoin delay) forces the
-    scalar per-player loop regardless of protocol capabilities.
+    ``model`` is the channel's *active* fault model: one the batch
+    player engine cannot express (``player_batchable=False`` - a crash
+    model with a non-zero rejoin delay, whose leave/rejoin transition
+    has no vectorized form) forces the scalar per-player loop regardless
+    of protocol capabilities.
     """
     batchable = is_player_batchable(protocol)
-    if model is not None and not model.batchable:
+    if model is not None and not model.player_batchable:
         if batch is True:
             raise ValueError(
                 f"batch=True but channel model {model.name!r} only runs on "
@@ -521,7 +524,9 @@ def estimate_player_rounds_many(
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     model = channel.active_model
-    if model is not None and (not model.batchable or model.needs_fault_draws):
+    if model is not None and (
+        not model.player_batchable or model.needs_fault_draws
+    ):
         raise ValueError(
             f"channel model {model.name!r} cannot run on the stacked "
             "(fused) player engine; run its points through "

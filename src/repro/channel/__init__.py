@@ -9,13 +9,17 @@ single-transmitter round.
 from .arrivals import MarkovBurstArrivals, TraceArrivals
 from .channel import Channel, with_collision_detection, without_collision_detection
 from .models import (
+    ADAPTIVE_STRATEGIES,
     CHANNEL_MODELS,
+    AdaptiveAdversary,
+    AdaptiveStrategy,
     ChannelModel,
     CrashModel,
     NoisyChannel,
     ObliviousJammer,
     ReactiveJammer,
     channel_model_from_dict,
+    register_adaptive_strategy,
 )
 from .network import (
     Adversary,
@@ -51,6 +55,10 @@ __all__ = [
     "ReactiveJammer",
     "NoisyChannel",
     "CrashModel",
+    "AdaptiveAdversary",
+    "AdaptiveStrategy",
+    "ADAPTIVE_STRATEGIES",
+    "register_adaptive_strategy",
     "CHANNEL_MODELS",
     "channel_model_from_dict",
     "Adversary",

@@ -157,11 +157,18 @@ def run_uniform_batch(
 
 
 def _check_model_batchable(model: ChannelModel | None) -> None:
+    """Reject models that declare themselves inexpressible here.
+
+    Every in-repo model is now batchable on the uniform engines -
+    population-shrinking crash variants run through the per-trial
+    :meth:`~repro.channel.models.BatchFaultState.active_counts` band
+    path - so this guards only third-party models opting out.
+    """
     if model is not None and not model.batchable:
         raise ValueError(
-            f"channel model {model.name!r} cannot run on the batch engines "
-            "(a non-zero crash rejoin delay changes the live participant "
-            "count mid-trial); use the scalar engine (run_uniform) instead"
+            f"channel model {model.name!r} declares itself inexpressible "
+            "on the stacked uniform engines (batchable=False); use the "
+            "scalar engine (run_uniform) instead"
         )
 
 
@@ -288,6 +295,24 @@ def _per_point_results(
     return results
 
 
+def _schedule_probabilities(
+    schedule: BatchSchedule, start_round: int, length: int
+) -> np.ndarray:
+    """Round probabilities for ``length`` rounds from ``start_round``.
+
+    Rounds past a one-shot schedule's end clamp to the last scheduled
+    round; the engine retires those trials before ever reading such an
+    entry.
+    """
+    probabilities = np.asarray(schedule.probabilities, dtype=float)
+    indices = start_round - 1 + np.arange(length)
+    if schedule.cycle:
+        indices %= probabilities.size
+    else:
+        indices = np.minimum(indices, probabilities.size - 1)
+    return probabilities[indices]
+
+
 def _success_bands(
     schedule: BatchSchedule,
     unique_ks: np.ndarray,
@@ -300,21 +325,31 @@ def _success_bands(
     ``start_round + i`` of a ``k = unique_ks[c]`` trial succeeds iff its
     uniform draw lands in ``[lo[i, c], hi[i, c])``, where
     ``lo = (1-p)^k`` (the silence mass) and ``hi - lo = kp(1-p)^(k-1)``
-    (the exactly-one-transmitter mass).  Rounds past a one-shot schedule's
-    end clamp to the last scheduled round; the engine retires those trials
-    before ever reading such a row.
+    (the exactly-one-transmitter mass).
     """
-    probabilities = np.asarray(schedule.probabilities, dtype=float)
-    indices = start_round - 1 + np.arange(length)
-    if schedule.cycle:
-        indices %= probabilities.size
-    else:
-        indices = np.minimum(indices, probabilities.size - 1)
-    p = probabilities[indices][:, None]
+    p = _schedule_probabilities(schedule, start_round, length)[:, None]
     ks = unique_ks[None, :]
     miss = 1.0 - p
     lo = miss**ks
     hi = lo + ks * p * miss ** (ks - 1)
+    return lo, hi
+
+
+def _trial_bands(
+    p_trial: np.ndarray, k_eff: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-trial trichotomy band edges from per-trial counts.
+
+    The population-shrinking path (crash models with a rejoin delay):
+    band edges are no longer a pure function of the static ``(point, k)``
+    combo, so they are computed per live trial from that trial's current
+    active count.  ``k_eff = 0`` (everyone dead) yields ``lo = hi = 1``:
+    certain silence - the exponent clamp keeps ``p = 1`` from producing
+    ``0 * 0**-1`` NaNs there.
+    """
+    miss = 1.0 - p_trial
+    lo = miss**k_eff
+    hi = lo + k_eff * p_trial * miss ** np.maximum(k_eff - 1.0, 0.0)
     return lo, hi
 
 
@@ -371,11 +406,15 @@ def run_schedule_stacked(
     rounds = np.zeros(total, dtype=np.int64)
     fault_state = model.batch_state(total) if model is not None else None
     with_fault = model is not None and model.needs_fault_draws
+    shrinking = model is not None and model.shrinks_population
     fault_buffer: np.ndarray | None = None
 
     # Success bands depend only on (point, k): index the distinct pairs
     # once ("combos") so each round's thresholds are two row gathers.
+    # Population-shrinking models void that invariant - their bands are
+    # recomputed per trial each round from the live active counts.
     unique_ks, flat_cidx = _index_trial_combos(ks_arrays)
+    flat_ks = np.concatenate(ks_arrays) if shrinking else None
 
     # Live rows, grouped by point in point order (each point's rows stay
     # in trial order, exactly the order a solo run draws them in).
@@ -383,8 +422,8 @@ def run_schedule_stacked(
     flat_point = np.repeat(np.arange(points), trials)
 
     horizon_steps = set(int(h) for h in horizons)
-    lo_table = hi_table = None
-    chunk_base = 0  # bands cover rounds (chunk_base, chunk_base + length]
+    lo_table = hi_table = p_table = None
+    chunk_base = chunk_len = 0  # tables cover (chunk_base, chunk_base + len]
     draw_buffer = np.empty((0, 0))
     buffer_row = np.arange(total)  # rewritten at the first block boundary
 
@@ -401,23 +440,39 @@ def run_schedule_stacked(
                 flat_point = flat_point[keep]
                 flat_cidx = flat_cidx[keep]
                 buffer_row = buffer_row[keep]
+                if flat_ks is not None:
+                    flat_ks = flat_ks[keep]
                 if fault_state is not None:
                     fault_state.filter(keep)
         if flat_trial.size == 0:
             break
 
-        if lo_table is None or round_index > chunk_base + lo_table.shape[0]:
+        if round_index > chunk_base + chunk_len:
             chunk_base = round_index - 1
-            length = min(_BAND_CHUNK_ROUNDS, int(horizons.max()) - chunk_base)
-            blocks = [
-                _success_bands(schedule, uniques, round_index, length)
-                for schedule, uniques in zip(schedules, unique_ks)
-            ]
-            lo_table = np.concatenate([lo for lo, _ in blocks], axis=1)
-            hi_table = np.concatenate([hi for _, hi in blocks], axis=1)
+            chunk_len = min(_BAND_CHUNK_ROUNDS, int(horizons.max()) - chunk_base)
+            if shrinking:
+                # Only the per-round probabilities can be precomputed;
+                # band edges depend on the live per-trial counts.
+                p_table = np.stack(
+                    [
+                        _schedule_probabilities(s, round_index, chunk_len)
+                        for s in schedules
+                    ],
+                    axis=1,
+                )
+            else:
+                blocks = [
+                    _success_bands(schedule, uniques, round_index, chunk_len)
+                    for schedule, uniques in zip(schedules, unique_ks)
+                ]
+                lo_table = np.concatenate([lo for lo, _ in blocks], axis=1)
+                hi_table = np.concatenate([hi for _, hi in blocks], axis=1)
         row = round_index - chunk_base - 1
-        lo = lo_table[row]
-        hi = hi_table[row]
+        if shrinking:
+            lo = hi = None
+        else:
+            lo = lo_table[row]
+            hi = hi_table[row]
 
         # Uniform draws come in *absolute* blocks of _DRAW_BLOCK_ROUNDS
         # rounds: at each block boundary every live point pre-draws one
@@ -444,8 +499,19 @@ def run_schedule_stacked(
             # The same band compares, widened to the full trichotomy so
             # the model can perturb the delivered feedback; a trial
             # retires on the *delivered* success.
-            lo_trial = lo[flat_cidx]
-            hi_trial = hi[flat_cidx]
+            if shrinking:
+                # Per-trial bands from the live active counts (asked
+                # once per round, before the outcome - the scalar
+                # loop's active_count/binomial ordering).
+                k_eff = fault_state.active_counts(
+                    flat_ks, round_index
+                ).astype(float)
+                lo_trial, hi_trial = _trial_bands(
+                    p_table[row, flat_point], k_eff
+                )
+            else:
+                lo_trial = lo[flat_cidx]
+                hi_trial = hi[flat_cidx]
             codes = np.where(
                 draws < lo_trial,
                 FB_SILENCE,
@@ -467,6 +533,8 @@ def run_schedule_stacked(
             flat_point = flat_point[keep]
             flat_cidx = flat_cidx[keep]
             buffer_row = buffer_row[keep]
+            if flat_ks is not None:
+                flat_ks = flat_ks[keep]
             if fault_state is not None:
                 fault_state.filter(keep)
 
@@ -713,12 +781,16 @@ def run_history_stacked(
     rounds = np.zeros(total, dtype=np.int64)
     fault_state = model.batch_state(total) if model is not None else None
     with_fault = model is not None and model.needs_fault_draws
+    shrinking = model is not None and model.shrinks_population
     fault_buffer: np.ndarray | None = None
 
     # Band edges depend only on (history node, k): index the distinct
     # per-point ks once ("combos"), exactly as the schedule engine does.
+    # Population-shrinking models void that invariant - their bands are
+    # recomputed per trial each round from the live active counts.
     unique_ks, flat_cidx = _index_trial_combos(ks_arrays)
     combo_ks = np.concatenate(unique_ks)
+    flat_ks = np.concatenate(ks_arrays) if shrinking else None
 
     arena = _arena_for_run()
     run_token = next(_run_tokens)
@@ -768,6 +840,8 @@ def run_history_stacked(
                 flat_cidx = flat_cidx[keep]
                 buffer_row = buffer_row[keep]
                 pair_inverse = pair_inverse[keep]
+                if flat_ks is not None:
+                    flat_ks = flat_ks[keep]
                 if fault_state is not None:
                     fault_state.filter(keep)
                 if flat_trial.size == 0:
@@ -776,12 +850,22 @@ def run_history_stacked(
         # Exhausted histories keep NaN probabilities; their band rows are
         # never gathered - every trial on one just retired.
         p = arena.probability[pair_node]
-        k = combo_ks[unique_pair % combo_ks.size]
-        miss = 1.0 - p
-        lo_pair = miss**k
-        hi_pair = lo_pair + k * p * miss ** (k - 1)
-        lo = lo_pair[pair_inverse]
-        hi = hi_pair[pair_inverse]
+        if shrinking:
+            # Per-trial bands from the live active counts (asked once
+            # per round, before the outcome - the scalar loop's
+            # active_count/binomial ordering); the per-pair cache only
+            # supplies the memoized probabilities.
+            k_eff = fault_state.active_counts(flat_ks, round_index).astype(
+                float
+            )
+            lo, hi = _trial_bands(p[pair_inverse], k_eff)
+        else:
+            k = combo_ks[unique_pair % combo_ks.size]
+            miss = 1.0 - p
+            lo_pair = miss**k
+            hi_pair = lo_pair + k * p * miss ** (k - 1)
+            lo = lo_pair[pair_inverse]
+            hi = hi_pair[pair_inverse]
 
         # Same absolute-block pre-draw contract as the schedule engine:
         # per-point uniforms in trial order, shapes depending only on
@@ -830,6 +914,8 @@ def run_history_stacked(
             buffer_row = buffer_row[survive]
             draws = draws[survive]
             hi = hi[survive]
+            if flat_ks is not None:
+                flat_ks = flat_ks[survive]
             if feedback is not None:
                 feedback = feedback[survive]
             if fault_state is not None:

@@ -28,6 +28,15 @@ the adversarial contention-resolution literature:
   message-loss fault); with ``rejoin_after = d > 0`` it leaves the
   execution for ``d`` rounds and rejoins with a fresh session; with
   ``rejoin_after = None`` it never returns.
+* :class:`AdaptiveAdversary` - the full-information adversary of the
+  adversarial contention-resolution literature: its per-trial state
+  observes the entire delivered-feedback history *and* the faithful
+  outcome of the current round, and decides whether to spend one unit of
+  a ``budget`` jamming the round, via a pluggable strategy from the
+  :data:`ADAPTIVE_STRATEGIES` registry (``greedy`` success suppression,
+  ``streak`` targeting, front-/back-loaded ``scheduler``).  All built-in
+  strategies are deterministic functions of the history, so the model
+  consumes no randomness and runs **bit-identically** on every engine.
 
 Engine contract
 ---------------
@@ -48,11 +57,25 @@ Every model exposes two execution-side views:
   generator; deterministic jammers receive ``None`` and consume no
   randomness at all.
 
-:attr:`ChannelModel.batchable` is the routing capability: crash models
-with a non-zero rejoin delay change the live participant count mid-trial,
-which the static ``(point, k)`` band tables of the batch engines cannot
-express - those models force the scalar reference loops (the Monte Carlo
-router and the fused sweep executor honour this automatically).
+Routing is driven by capability properties, not model names:
+
+* :attr:`ChannelModel.batchable` - whether the stacked *uniform* engines
+  can express the model.  Models that shrink the live participant count
+  (:attr:`ChannelModel.shrinks_population`, the rejoin-delay crash
+  variants) additionally make the engines compute per-trial band edges
+  from :meth:`BatchFaultState.active_counts` instead of the static
+  ``(point, k)`` tables.
+* :attr:`ChannelModel.player_batchable` - whether the batch *player*
+  engine can express the model.  The rejoin-delay crash variants cannot:
+  the player engine holds per-``(trial, player)`` session state and has
+  no vectorized leave/rejoin-with-a-fresh-session transition, so they
+  route to the scalar per-player loop (the Monte Carlo router and the
+  fused sweep executor honour this automatically).
+* :attr:`ChannelModel.fusable` - whether the fused sweep executor may
+  stack points carrying this model into one engine run.  Adaptive
+  adversaries opt out: each point keeps its own adversary, solo, so the
+  "one adversary per execution" reading of a stress curve stays
+  unambiguous.
 
 A model whose parameters make it a no-op (zero budget, all-zero flip
 probabilities, zero crash probability) reports :meth:`ChannelModel.is_null`;
@@ -84,6 +107,10 @@ __all__ = [
     "ReactiveJammer",
     "NoisyChannel",
     "CrashModel",
+    "AdaptiveAdversary",
+    "AdaptiveStrategy",
+    "ADAPTIVE_STRATEGIES",
+    "register_adaptive_strategy",
     "CHANNEL_MODELS",
     "channel_model_from_dict",
 ]
@@ -135,7 +162,11 @@ class BatchFaultState:
     the engine calls :meth:`filter` with the same keep-mask it applies to
     its own per-trial arrays whenever trials retire, and :meth:`perturb`
     once per round with the live trials' faithful feedback codes (which
-    it may mutate in place and must return).
+    it may mutate in place and must return).  Models that shrink the
+    live participant count (:attr:`ChannelModel.shrinks_population`)
+    additionally answer :meth:`active_counts` once per round, *before*
+    the round's outcome is drawn - the vectorized twin of
+    :meth:`FaultState.active_count`.
     """
 
     def perturb(
@@ -145,6 +176,17 @@ class BatchFaultState:
         fault_draws: np.ndarray | None,
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def active_counts(self, ks: np.ndarray, round_index: int) -> np.ndarray:
+        """Per-trial live participant counts for this round.
+
+        The default returns ``ks`` untouched; crash states with a rejoin
+        delay subtract their per-trial dead counts (re-activating players
+        whose delay just elapsed).  Called exactly once per round, in
+        round order, while any trial is live - the rejoin bookkeeping
+        relies on never skipping a round.
+        """
+        return ks
 
     def filter(self, keep: np.ndarray) -> None:  # stateless models: no-op
         return None
@@ -167,7 +209,38 @@ class ChannelModel(abc.ABC):
 
     @property
     def batchable(self) -> bool:
-        """Whether the lockstep batch engines can express this model."""
+        """Whether the stacked *uniform* engines can express this model."""
+        return True
+
+    @property
+    def player_batchable(self) -> bool:
+        """Whether the batch *player* engine can express this model.
+
+        Defaults to :attr:`batchable`; the rejoin-delay crash variants
+        override it - the player engine has no vectorized
+        leave/rejoin-with-a-fresh-session transition, so they keep the
+        scalar per-player loop as their reference engine.
+        """
+        return self.batchable
+
+    @property
+    def shrinks_population(self) -> bool:
+        """Whether the live participant count can drop mid-trial.
+
+        When True the uniform batch engines bypass their static
+        ``(point, k)`` band tables and compute per-trial band edges from
+        :meth:`BatchFaultState.active_counts` each round.
+        """
+        return False
+
+    @property
+    def fusable(self) -> bool:
+        """Whether the fused executor may stack points under this model.
+
+        Adaptive adversaries return False: each scenario point keeps its
+        own adversary and runs solo, so a stress curve's "one adversary
+        per execution" reading stays unambiguous.
+        """
         return True
 
     @property
@@ -374,6 +447,317 @@ class ReactiveJammer(ChannelModel):
 
 
 # ----------------------------------------------------------------------
+# Adaptive (full-information) adversaries
+# ----------------------------------------------------------------------
+
+
+class AdaptiveStrategy(abc.ABC):
+    """A pluggable jam policy of the :class:`AdaptiveAdversary`.
+
+    Strategies are stateless singletons; all per-trial state lives in the
+    array mapping returned by :meth:`init_arrays`, which the adversary's
+    batch state keeps aligned with the engine's live rows (every array is
+    re-indexed by ``filter``'s keep-mask).  Each round the adversary
+
+    1. asks :meth:`jam_candidates` which live trials the strategy *wants*
+       jammed, given the faithful (pre-perturbation) feedback codes - the
+       full-information view: the adversary sees what the round would
+       deliver before deciding;
+    2. intersects that with affordability (``remaining > 0``) and
+       usefulness (jamming an already-collided round is a no-op and is
+       never paid for), jams, and debits the budget;
+    3. hands the *delivered* codes to :meth:`observe` so history-driven
+       strategies (streak targeting) track exactly what the protocol saw.
+
+    All built-in strategies are deterministic, which is what makes the
+    adversary bit-identical across the scalar and vectorized engines;
+    randomized strategies would need :attr:`ChannelModel.needs_fault_draws`
+    plumbing of their own.
+    """
+
+    name: ClassVar[str]
+
+    def init_arrays(self, model: "AdaptiveAdversary", trials: int) -> dict:
+        """Fresh per-trial strategy arrays (name -> 1-d ndarray)."""
+        return {}
+
+    @abc.abstractmethod
+    def jam_candidates(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        codes: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean per-trial mask of rounds the strategy wants jammed.
+
+        ``codes`` is the faithful feedback of the live trials; the mask
+        may read *and update* the strategy arrays (e.g. arming on the
+        first faithful success) but must not mutate ``codes``.
+        """
+
+    def observe(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        delivered: np.ndarray,
+    ) -> None:
+        """Update strategy arrays from the round's *delivered* codes."""
+        return None
+
+
+class _GreedyStrategy(AdaptiveStrategy):
+    """Jam every faithful success while budget lasts.
+
+    The canonical success-suppression adversary: with budget ``b`` it
+    destroys exactly the first ``b`` would-be successes, so a protocol
+    needs ``b + 1`` single-transmitter rounds to finish - the adaptive
+    analogue of the oblivious jammer's ``budget + 1`` floor, but without
+    ever wasting a unit on a silent or collided round.
+    """
+
+    name: ClassVar[str] = "greedy"
+
+    def jam_candidates(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        codes: np.ndarray,
+    ) -> np.ndarray:
+        return codes == FB_SUCCESS
+
+
+class _StreakStrategy(AdaptiveStrategy):
+    """Spend budget only on successes that look *imminent*.
+
+    Tracks the delivered-silence streak per trial (the same signal the
+    reactive jammer uses) and jams a faithful success only once the
+    protocol has thinned out - ``patience`` or more consecutive delivered
+    silent rounds, the regime where the next success would likely end
+    the execution.  Early, lucky successes are let through; the budget
+    is hoarded for the endgame.
+    """
+
+    name: ClassVar[str] = "streak"
+
+    def init_arrays(self, model: "AdaptiveAdversary", trials: int) -> dict:
+        return {"streak": np.zeros(trials, dtype=np.int64)}
+
+    def jam_candidates(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        codes: np.ndarray,
+    ) -> np.ndarray:
+        return (codes == FB_SUCCESS) & (arrays["streak"] >= model.patience)
+
+    def observe(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        delivered: np.ndarray,
+    ) -> None:
+        streak = arrays["streak"]
+        silent = delivered == FB_SILENCE
+        streak[silent] += 1
+        streak[~silent] = 0
+
+
+class _SchedulerStrategy(AdaptiveStrategy):
+    """Front- or back-load the whole budget as one burst.
+
+    ``mode="front"`` burns budget from round one, jamming every round
+    that is not already a collision - a denial-of-service opening burst.
+    ``mode="back"`` waits, letting the execution run untouched until the
+    first faithful success appears, then arms and spends the remaining
+    budget on every subsequent non-collision round - a burst timed to
+    when the protocol has converged, the worst case for schedules whose
+    success probability peaks once.
+    """
+
+    name: ClassVar[str] = "scheduler"
+
+    def init_arrays(self, model: "AdaptiveAdversary", trials: int) -> dict:
+        if model.mode == "front":
+            return {}
+        return {"armed": np.zeros(trials, dtype=bool)}
+
+    def jam_candidates(
+        self,
+        model: "AdaptiveAdversary",
+        arrays: dict,
+        round_index: int,
+        codes: np.ndarray,
+    ) -> np.ndarray:
+        if model.mode == "front":
+            return np.ones(codes.shape, dtype=bool)
+        armed = arrays["armed"]
+        armed |= codes == FB_SUCCESS
+        return armed.copy()
+
+
+#: Strategy name -> singleton, the adaptive adversary's policy vocabulary.
+ADAPTIVE_STRATEGIES: dict[str, AdaptiveStrategy] = {}
+
+
+def register_adaptive_strategy(strategy: AdaptiveStrategy) -> AdaptiveStrategy:
+    """Register a strategy under its ``name`` (open, like the registries
+    of :mod:`repro.scenarios.registry`); returns it for chaining."""
+    if strategy.name in ADAPTIVE_STRATEGIES:
+        raise ValueError(f"adaptive strategy {strategy.name!r} already registered")
+    ADAPTIVE_STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+register_adaptive_strategy(_GreedyStrategy())
+register_adaptive_strategy(_StreakStrategy())
+register_adaptive_strategy(_SchedulerStrategy())
+
+
+class _AdaptiveBatchState(BatchFaultState):
+    """Per-trial budget/strategy arrays of one adaptive adversary batch.
+
+    The single authoritative implementation of the adversary's round
+    step; the scalar :class:`_AdaptiveState` wraps a one-trial instance,
+    so scalar/batch bit-identity holds by construction.  Budget
+    accounting invariant (property-tested): ``remaining + spent ==
+    budget`` per trial, preserved by :meth:`perturb` and :meth:`filter`.
+    """
+
+    def __init__(self, model: "AdaptiveAdversary", trials: int) -> None:
+        self._model = model
+        self._strategy = ADAPTIVE_STRATEGIES[model.strategy]
+        self.remaining = np.full(trials, model.budget, dtype=np.int64)
+        self.spent = np.zeros(trials, dtype=np.int64)
+        self.arrays = self._strategy.init_arrays(model, trials)
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        jam = self._strategy.jam_candidates(
+            self._model, self.arrays, round_index, codes
+        )
+        # Full information means no waste: never pay to jam a round that
+        # is already a collision, never jam without budget.
+        jam &= (self.remaining > 0) & (codes != FB_COLLISION)
+        if jam.any():
+            codes[jam] = FB_COLLISION
+            self.remaining[jam] -= 1
+            self.spent[jam] += 1
+        self._strategy.observe(self._model, self.arrays, round_index, codes)
+        return codes
+
+    def filter(self, keep: np.ndarray) -> None:
+        self.remaining = self.remaining[keep]
+        self.spent = self.spent[keep]
+        for key, array in self.arrays.items():
+            self.arrays[key] = array[keep]
+
+
+class _AdaptiveState(FaultState):
+    """Scalar view: a one-trial batch state plus the delivered history."""
+
+    def __init__(self, model: "AdaptiveAdversary") -> None:
+        self._batch = _AdaptiveBatchState(model, 1)
+        #: Full delivered-feedback history, the adversary's information
+        #: set (the strategy arrays are its sufficient statistic).
+        self.history: list[Feedback] = []
+
+    @property
+    def remaining(self) -> int:
+        return int(self._batch.remaining[0])
+
+    @property
+    def jams_used(self) -> int:
+        return int(self._batch.spent[0])
+
+    def deliver(
+        self, round_index: int, feedback: Feedback, rng: np.random.Generator
+    ) -> Feedback:
+        codes = np.array([_CODE_OF_FEEDBACK[feedback]], dtype=np.int64)
+        delivered = self._batch.perturb(round_index, codes, None)
+        out = _FEEDBACK_OF_CODE[int(delivered[0])]
+        self.history.append(out)
+        return out
+
+
+@dataclass(frozen=True)
+class AdaptiveAdversary(ChannelModel):
+    """A budgeted full-information jammer with a pluggable strategy.
+
+    The strongest adversary the channel model admits (the adaptive
+    adversary of the contention-resolution robustness literature): its
+    per-trial state sees the entire delivered-feedback history *and* the
+    faithful outcome of the current round before deciding whether to
+    spend one of ``budget`` jams turning the round into a collision.
+    ``strategy`` picks the policy from :data:`ADAPTIVE_STRATEGIES`:
+
+    * ``"greedy"`` - jam every faithful success; the tightest
+      success-suppression floor (``budget + 1`` successes needed).
+    * ``"streak"`` - jam a faithful success only after ``patience``
+      consecutive delivered-silent rounds, hoarding budget for successes
+      that look imminent.
+    * ``"scheduler"`` - one burst: ``mode="front"`` from round one,
+      ``mode="back"`` armed by the first faithful success.
+
+    ``patience`` and ``mode`` are read only by their strategies and kept
+    at their defaults otherwise.  All built-in strategies are
+    deterministic, so the model consumes no engine randomness and runs
+    bit-identically on the scalar, stacked-uniform, batch-player and
+    open-system engines; it is deliberately **not** fusable - each
+    scenario point keeps its own adversary and runs solo.
+    """
+
+    name: ClassVar[str] = "jam-adaptive"
+
+    budget: int
+    strategy: str = "greedy"
+    patience: int = 1
+    mode: str = "back"
+
+    def __post_init__(self) -> None:
+        _check_count(self.budget, "jam budget", 0)
+        if self.strategy not in ADAPTIVE_STRATEGIES:
+            raise ValueError(
+                f"unknown adaptive strategy {self.strategy!r}; known "
+                f"strategies: {', '.join(sorted(ADAPTIVE_STRATEGIES))}"
+            )
+        _check_count(self.patience, "streak patience", 1)
+        if self.mode not in ("front", "back"):
+            raise ValueError(
+                f"scheduler mode must be 'front' or 'back', got {self.mode!r}"
+            )
+
+    @property
+    def fusable(self) -> bool:
+        return False
+
+    def is_null(self) -> bool:
+        return self.budget == 0
+
+    def scalar_state(self) -> FaultState:
+        return _AdaptiveState(self)
+
+    def batch_state(self, trials: int) -> BatchFaultState:
+        return _AdaptiveBatchState(self, trials)
+
+    def params(self) -> dict:
+        return {
+            "budget": self.budget,
+            "strategy": self.strategy,
+            "patience": self.patience,
+            "mode": self.mode,
+        }
+
+
+# ----------------------------------------------------------------------
 # Noisy feedback
 # ----------------------------------------------------------------------
 
@@ -533,6 +917,66 @@ class _CrashBatchState(BatchFaultState):
         return codes
 
 
+class _CrashRejoinBatchState(BatchFaultState):
+    """The rejoin-delay crash on the uniform batch engines.
+
+    Per-trial dead counts plus (for finite delays) a rejoin ring buffer:
+    a crash at round ``r`` schedules its re-activation at round
+    ``r + d + 1`` - exactly the scalar :class:`_CrashState` arithmetic -
+    by writing slot ``(r + d + 1) % (d + 2)`` of the trial's ring.  The
+    ring has ``d + 2`` slots, so a slot written at ``r`` is next read
+    precisely at ``r + d + 1`` (and a later crash cannot reuse it before
+    then); :meth:`active_counts`, called once per round before the
+    round's draw, pops the due slot and shrinks nothing else.
+
+    One fault uniform is consumed per live trial per round (the batch
+    pre-draw stream), whereas the scalar loop draws only on successful
+    rounds - so scalar/batch agreement is statistical, not bit-exact,
+    with the scalar loop as the correctness oracle (the same contract as
+    the randomized noise model).
+    """
+
+    def __init__(self, model: "CrashModel", trials: int) -> None:
+        self._q = model.probability
+        self._delay = model.rejoin_after  # None (never returns) or > 0
+        self.dead = np.zeros(trials, dtype=np.int64)
+        self._ring = (
+            np.zeros((trials, self._delay + 2), dtype=np.int64)
+            if self._delay is not None
+            else None
+        )
+
+    def active_counts(self, ks: np.ndarray, round_index: int) -> np.ndarray:
+        if self._ring is not None:
+            slot = round_index % (self._delay + 2)
+            due = self._ring[:, slot]
+            if due.any():
+                self.dead -= due
+                self._ring[:, slot] = 0
+        return np.maximum(ks - self.dead, 0)
+
+    def perturb(
+        self,
+        round_index: int,
+        codes: np.ndarray,
+        fault_draws: np.ndarray | None,
+    ) -> np.ndarray:
+        assert fault_draws is not None
+        crash = (codes == FB_SUCCESS) & (fault_draws < self._q)
+        if crash.any():
+            codes[crash] = FB_SILENCE
+            self.dead[crash] += 1
+            if self._ring is not None:
+                slot = (round_index + self._delay + 1) % (self._delay + 2)
+                self._ring[crash, slot] += 1
+        return codes
+
+    def filter(self, keep: np.ndarray) -> None:
+        self.dead = self.dead[keep]
+        if self._ring is not None:
+            self._ring = self._ring[keep]
+
+
 @dataclass(frozen=True)
 class CrashModel(ChannelModel):
     """Crash the lone transmitter of a successful round with probability q.
@@ -546,10 +990,14 @@ class CrashModel(ChannelModel):
       rejoins with a **fresh** session (a restart, not a resume).
     * ``None`` (default) - the player never returns.
 
-    Non-zero rejoin delays change the live participant count mid-trial,
-    which the static band tables of the batch engines cannot express -
-    those variants are :attr:`batchable` ``= False`` and route to the
-    scalar reference loops.
+    Non-zero rejoin delays change the live participant count mid-trial.
+    The uniform batch engines express that through
+    :attr:`shrinks_population` (per-trial band edges from
+    :meth:`BatchFaultState.active_counts`, with the scalar loop as the
+    statistical oracle); the batch *player* engine cannot - it has no
+    vectorized leave/rejoin-with-a-fresh-session transition - so those
+    variants are :attr:`player_batchable` ``= False`` and route player
+    protocols to the scalar per-player loop.
     """
 
     name: ClassVar[str] = "crash"
@@ -563,8 +1011,12 @@ class CrashModel(ChannelModel):
             _check_count(self.rejoin_after, "rejoin delay", 0)
 
     @property
-    def batchable(self) -> bool:
+    def player_batchable(self) -> bool:
         return self.rejoin_after == 0
+
+    @property
+    def shrinks_population(self) -> bool:
+        return self.rejoin_after != 0
 
     @property
     def needs_fault_draws(self) -> bool:
@@ -577,12 +1029,10 @@ class CrashModel(ChannelModel):
         return _CrashState(self)
 
     def batch_state(self, trials: int) -> BatchFaultState:
-        if not self.batchable:
-            raise ValueError(
-                "crash model with a non-zero rejoin delay changes the live "
-                "participant count mid-trial; use the scalar engine"
-            )
-        return _CrashBatchState(self)
+        if self.rejoin_after == 0:
+            # Pure message loss: exactly a success erasure, stateless.
+            return _CrashBatchState(self)
+        return _CrashRejoinBatchState(self, trials)
 
     def params(self) -> dict:
         return {"probability": self.probability, "rejoin_after": self.rejoin_after}
@@ -596,6 +1046,7 @@ class CrashModel(ChannelModel):
 CHANNEL_MODELS: dict[str, type[ChannelModel]] = {
     ObliviousJammer.name: ObliviousJammer,
     ReactiveJammer.name: ReactiveJammer,
+    AdaptiveAdversary.name: AdaptiveAdversary,
     NoisyChannel.name: NoisyChannel,
     CrashModel.name: CrashModel,
 }

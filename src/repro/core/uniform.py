@@ -158,6 +158,17 @@ class ScheduleProtocol(UniformProtocol):
         """Schedule protocols are oblivious: the whole schedule is known."""
         return BatchSchedule(self.schedule.probabilities, self.cycle)
 
+    def history_signature(self) -> tuple:
+        """Sessions are a pure function of ``(schedule, cycle)``.
+
+        Two schedule protocols with equal probabilities and cycling are
+        interchangeable under *any* observation sequence (observations
+        are ignored by construction), so they may share one memoized
+        history trie whenever a schedule protocol is driven through the
+        history engine.
+        """
+        return ("schedule", tuple(self.schedule.probabilities), self.cycle)
+
 
 class HistoryPolicy(abc.ABC):
     """A function from CD collision histories to transmission probabilities.

@@ -1,0 +1,315 @@
+"""``ADAPT-ROBUST``: stress curves under the adversary information hierarchy.
+
+``JAM-ROBUST`` measures the CD protocols against a single *oblivious*
+jammer.  This experiment climbs the information hierarchy on the no-CD
+side: the same budget is handed to an oblivious jammer (commits its
+schedule in advance, spread over the horizon), a reactive jammer
+(triggers on delivered quiet streaks), and the full-information
+:class:`~repro.channel.models.AdaptiveAdversary` (observes the faithful
+outcome *before* delivery and greedily erases successes).  The protocol
+grid pits the paper's prediction algorithm (sorted probing, under clean
+and range-shifted advice) against plain decay and the Jiang-Zheng
+sawtooth - the robust no-CD baseline built precisely for this threat
+model.
+
+Shape checks pin the hierarchy and the degradation mode:
+
+* information ordering - at every budget, grid-aggregated damage
+  (mean-rounds excess over the faithful baseline, summed over the
+  protocol grid) satisfies adaptive >= reactive >= oblivious, and the
+  adaptive adversary out-damages both lower tiers by a wide multiple
+  (it never wastes a jam; they mostly do);
+* budget monotonicity - the adaptive curve never improves as the budget
+  grows, and the largest budget is strictly worse than faithful;
+* graceful degradation - every cell still solves >= 95% of trials (the
+  adversary delays, it does not kill), and the prediction-augmented
+  protocols degrade *like the robust baseline*: under the adaptive
+  adversary they stay within 1.5x of Jiang-Zheng at equal budget rather
+  than collapsing;
+* strategy panel - at the largest budget the greedy strategy dominates
+  the streak and scheduler strategies (full information, spent only on
+  certain kills, is the strongest play in the registry).
+
+Every cell is a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+with the channel-model spec inline, routed through the same engine
+selection the scenario CLI uses; the adaptive model's per-trial state
+arrays run on the stacked schedule engine.
+"""
+
+from __future__ import annotations
+
+from ..scenarios import ScenarioSpec, run_scenario
+from .base import ExperimentConfig, ExperimentResult
+
+__all__ = ["run"]
+
+_RANGES = [2, 4, 6]
+
+_SHIFTED_PREDICTION = {
+    "source": "distribution",
+    "params": {
+        "family": "perturbed",
+        "base": {"family": "range_uniform_subset", "ranges": _RANGES},
+        "shift": 3,
+        "floor": 1e-6,
+    },
+}
+
+# The three rungs of the information hierarchy, at equal budget.  The
+# oblivious jammer is the *spread* variant (period 8): with no feedback
+# it must hedge across the horizon, which is exactly why it wastes most
+# of its budget on rounds that would not have succeeded anyway.
+_ADVERSARIES: list[tuple[str, dict]] = [
+    ("oblivious", {"name": "jam-oblivious", "params": {"period": 8}}),
+    ("reactive", {"name": "jam-reactive", "params": {"quiet_streak": 1}}),
+    ("adaptive", {"name": "jam-adaptive", "params": {"strategy": "greedy"}}),
+]
+
+# Registry strategies compared head-to-head at the largest budget.
+_STRATEGIES: list[tuple[str, dict]] = [
+    ("greedy", {"strategy": "greedy"}),
+    ("streak", {"strategy": "streak", "patience": 2}),
+    ("scheduler", {"strategy": "scheduler", "mode": "back"}),
+]
+
+
+def _cell_spec(
+    label: str,
+    protocol: dict,
+    prediction: object,
+    model: dict | None,
+    *,
+    n: int,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    batch: bool | None,
+) -> ScenarioSpec:
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"adapt-robust/{label}",
+            "protocol": protocol,
+            "workload": {
+                "kind": "distribution",
+                "params": {
+                    "family": "range_uniform_subset",
+                    "ranges": _RANGES,
+                },
+            },
+            "channel": {
+                "collision_detection": False,
+                **({"model": model} if model is not None else {}),
+            },
+            "prediction": prediction,
+            "n": n,
+            "trials": trials,
+            "max_rounds": max_rounds,
+            "seed": seed,
+            **({"batch": batch} if batch is not None else {}),
+        }
+    )
+
+
+def _with_budget(model: dict, budget: int) -> dict:
+    return {"name": model["name"], "params": {**model["params"], "budget": budget}}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = config.rng()
+    n = min(config.n, 2**10)
+    trials = max(400, config.effective_trials() // 2)
+    max_rounds = 4096
+    budgets = [0, 16] if config.quick else [0, 8, 16, 32]
+
+    settings = [
+        ("decay/truth", {"id": "decay", "params": {}}, "truth"),
+        ("jiang-zheng/truth", {"id": "jiang-zheng", "params": {}}, "truth"),
+        (
+            "sorted-probing/truth",
+            {"id": "sorted-probing", "params": {"one_shot": False}},
+            "truth",
+        ),
+        (
+            "sorted-probing/shifted",
+            {"id": "sorted-probing", "params": {"one_shot": False}},
+            _SHIFTED_PREDICTION,
+        ),
+    ]
+
+    def measure(label, protocol, prediction, model):
+        return run_scenario(
+            _cell_spec(
+                label,
+                protocol,
+                prediction,
+                model,
+                n=n,
+                trials=trials,
+                max_rounds=max_rounds,
+                seed=config.seed,
+                batch=config.batch_mode(),
+            ),
+            rng=rng,
+        )
+
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    # damage[adversary][budget] accumulates mean-rounds excess over the
+    # faithful baseline, summed across the protocol grid.
+    damage: dict[str, dict[int, float]] = {
+        name: {} for name, _ in _ADVERSARIES
+    }
+    adaptive_means: dict[str, dict[int, float]] = {}
+
+    for label, protocol, prediction in settings:
+        baseline = measure(label, protocol, prediction, None)
+        base_mean = baseline.rounds.mean
+        rows.append(
+            [
+                label,
+                "none",
+                0,
+                baseline.engine,
+                baseline.success.rate,
+                base_mean,
+                baseline.rounds.p90,
+            ]
+        )
+        checks[f"{label} faithful: solves >= 95%"] = (
+            baseline.success.rate >= 0.95
+        )
+        adaptive_means[label] = {0: base_mean}
+        for adversary, model in _ADVERSARIES:
+            for budget in budgets:
+                if budget == 0:
+                    continue
+                result = measure(
+                    f"{label}/{adversary}/budget={budget}",
+                    protocol,
+                    prediction,
+                    _with_budget(model, budget),
+                )
+                rows.append(
+                    [
+                        label,
+                        adversary,
+                        budget,
+                        result.engine,
+                        result.success.rate,
+                        result.rounds.mean,
+                        result.rounds.p90,
+                    ]
+                )
+                checks[
+                    f"{label} {adversary} budget={budget}: solves >= 95% "
+                    "(delays, does not kill)"
+                ] = result.success.rate >= 0.95
+                excess = result.rounds.mean - base_mean
+                damage[adversary][budget] = (
+                    damage[adversary].get(budget, 0.0) + excess
+                )
+                if adversary == "adaptive":
+                    adaptive_means[label][budget] = result.rounds.mean
+        curve = [adaptive_means[label][b] for b in budgets]
+        checks[
+            f"{label}: adaptive mean rounds never improve with more budget"
+        ] = all(later >= earlier - 1e-9 for earlier, later in zip(curve, curve[1:]))
+        checks[
+            f"{label}: adaptive at the largest budget is strictly worse "
+            "than faithful"
+        ] = curve[-1] > curve[0]
+
+    for budget in budgets:
+        if budget == 0:
+            continue
+        oblivious = damage["oblivious"][budget]
+        reactive = damage["reactive"][budget]
+        adaptive = damage["adaptive"][budget]
+        checks[
+            f"budget={budget}: grid damage ordering adaptive >= reactive "
+            ">= oblivious"
+        ] = adaptive >= reactive - 1e-9 and reactive >= oblivious - 1e-9
+        checks[
+            f"budget={budget}: full information out-damages both lower "
+            "tiers by >= 2x"
+        ] = adaptive >= 2.0 * max(reactive, oblivious, 1e-9)
+
+    # Prediction algorithms degrade like the robust baseline, not worse.
+    for label in ("sorted-probing/truth", "sorted-probing/shifted"):
+        for budget in budgets:
+            if budget == 0:
+                continue
+            checks[
+                f"{label} adaptive budget={budget}: within 1.5x of the "
+                "Jiang-Zheng robust baseline"
+            ] = (
+                adaptive_means[label][budget]
+                <= 1.5 * adaptive_means["jiang-zheng/truth"][budget]
+            )
+
+    # Strategy panel: every registry strategy at the largest budget, on
+    # the strongest prediction protocol and the robust baseline.
+    top = budgets[-1]
+    for label, protocol, prediction in (settings[1], settings[2]):
+        by_strategy: dict[str, float] = {}
+        for strategy, params in _STRATEGIES:
+            result = measure(
+                f"{label}/adaptive[{strategy}]/budget={top}",
+                protocol,
+                prediction,
+                {"name": "jam-adaptive", "params": {**params, "budget": top}},
+            )
+            by_strategy[strategy] = result.rounds.mean
+            rows.append(
+                [
+                    label,
+                    f"adaptive[{strategy}]",
+                    top,
+                    result.engine,
+                    result.success.rate,
+                    result.rounds.mean,
+                    result.rounds.p90,
+                ]
+            )
+        checks[
+            f"{label}: greedy dominates the other registry strategies at "
+            f"budget {top}"
+        ] = all(
+            by_strategy["greedy"] >= by_strategy[other] - 1e-9
+            for other in ("streak", "scheduler")
+        )
+
+    return ExperimentResult(
+        experiment_id="ADAPT-ROBUST",
+        title="Adaptive adversaries: the information hierarchy on no-CD protocols",
+        reference=(
+            "adversarial-channel extension: prediction protocols vs the "
+            "Jiang-Zheng (2021) robust baseline under oblivious, reactive "
+            "and full-information jamming"
+        ),
+        headers=[
+            "protocol/prediction",
+            "adversary",
+            "budget",
+            "engine",
+            "success rate",
+            "mean rounds",
+            "p90 rounds",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            f"n={n}, trials/point={trials}, max_rounds={max_rounds}; "
+            "damage = mean rounds minus the faithful baseline, summed "
+            "over the protocol grid for the ordering checks",
+            "oblivious = spread jammer (period 8, schedule committed in "
+            "advance); reactive = quiet-streak trigger on delivered "
+            "feedback; adaptive = full-information greedy (jams only "
+            "faithful successes, never wastes budget)",
+            "budget 0 reduces every adversary to the faithful channel "
+            "(null-model reduction), anchoring each curve",
+            "advice-quality axis: the shifted arm feeds sorted probing "
+            "systematically wrong predictions (shift 3); under heavy "
+            "jamming the adversary, not the advice error, dominates",
+        ],
+    )

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from . import coding, crossover, divergence, lemmas, pliam, ssf
-from . import jam_robust, learning_loop, robustness
+from . import adapt_robust, jam_robust, learning_loop, robustness
 from . import table1_cd, table1_nocd, table2
 from .base import ExperimentConfig, ExperimentResult
 
@@ -97,6 +97,10 @@ EXPERIMENTS: dict[str, tuple[Runner, str]] = {
     "JAM-ROBUST": (
         jam_robust.run,
         "Budgeted jamming robustness curves for the CD protocols",
+    ),
+    "ADAPT-ROBUST": (
+        adapt_robust.run,
+        "Adaptive-adversary stress curves: predictions vs robust baselines",
     ),
 }
 

@@ -101,7 +101,13 @@ Engines
 Crash models with a non-zero rejoin delay are not expressible here (the
 open population *is* the live count; a crashed-but-rejoining requester
 would need per-request identity) and are rejected up front on every
-engine.
+engine via :attr:`~repro.channel.models.ChannelModel.shrinks_population`
+- the closed-system uniform engines run them through per-trial active
+counts, but an open run has no fixed trial population to shrink.
+Adaptive adversaries plug straight in: their per-trial state rides the
+same ``batch_state``/``perturb`` contract as every other model, and the
+open population never retires mid-run so their budget arrays never even
+need filtering.
 """
 
 from __future__ import annotations
@@ -221,8 +227,9 @@ def select_open_engine(
     it), ``False`` forces the scalar oracle, ``True`` insists on a
     vectorized engine and raises where none applies.  Mirrors
     :func:`repro.analysis.montecarlo.select_uniform_engine`, except that
-    a non-batchable fault model is an error rather than a scalar
-    fallback: the open population cannot express mid-trial rejoins.
+    an inexpressible fault model is an error rather than a scalar
+    fallback: a population-shrinking model (crash with a non-zero rejoin
+    delay) has no meaning when the live count *is* the arrival process.
     Retry/admission policies never affect routing - the lifecycle runs
     identically on every engine.
     """
@@ -232,6 +239,13 @@ def select_open_engine(
             f"got {type(protocol).__name__}"
         )
     _check_model_batchable(model)
+    if model is not None and model.shrinks_population:
+        raise ValueError(
+            f"channel model {model.name!r} shrinks the live population "
+            "(a crash with a non-zero rejoin delay); the open population "
+            "is the arrival process itself, so no open engine can "
+            "express it"
+        )
     if batch is False:
         return ENGINE_OPEN_SCALAR
     if protocol.batch_schedule() is not None:

@@ -4,7 +4,8 @@ Baselines
     :class:`DecayProtocol` (no-CD, ``O(log n)`` [2]),
     :class:`WillardProtocol` (CD, ``O(log log n)`` [22]),
     :class:`FixedProbabilityProtocol` (perfect estimate, ``O(1)``),
-    :class:`BinaryExponentialBackoff` (practical MAC comparator).
+    :class:`BinaryExponentialBackoff` (practical MAC comparator),
+    :class:`JiangZhengProtocol` (no-CD sawtooth, robust under jamming).
 
 Prediction algorithms (Section 2)
     :class:`SortedProbingProtocol` (no-CD, Theorem 2.12),
@@ -39,6 +40,7 @@ from .backoff import BinaryExponentialBackoff
 from .code_search import CodeSearchProtocol
 from .decay import DecayProtocol, decay_schedule
 from .fixed_probability import FixedProbabilityProtocol
+from .jiang_zheng import JiangZhengProtocol, sawtooth_schedule
 from .searching import PhasedSearchProtocol, PhasedSearchSession
 from .sorted_probing import SortedProbingProtocol, sorted_probing_schedule
 from .willard import WillardProtocol
@@ -50,6 +52,8 @@ __all__ = [
     "WillardProtocol",
     "FixedProbabilityProtocol",
     "BinaryExponentialBackoff",
+    "JiangZhengProtocol",
+    "sawtooth_schedule",
     # prediction algorithms (Section 2)
     "SortedProbingProtocol",
     "sorted_probing_schedule",

@@ -150,6 +150,13 @@ EXAMPLE_OPEN_RETRY_SWEEP: dict = {
     "vary_seed": True,
 }
 
+#: The jamming robustness grid: protocol x prediction quality x channel
+#: model x budget.  The model axis climbs the adversary information
+#: hierarchy - the oblivious prefix jammer plus two adaptive-strategy
+#: rows (greedy success-suppression and the back-loaded scheduler); the
+#: fused sweep executor groups the oblivious rows by model and runs each
+#: adaptive row as a serial singleton (adaptive state is deliberately
+#: unfusable).  Printed by ``repro scenario example --adversary``.
 EXAMPLE_ADVERSARY_SWEEP: dict = {
     "base": {
         "name": "adversary-grid",
@@ -187,6 +194,24 @@ EXAMPLE_ADVERSARY_SWEEP: dict = {
                     "shift": 3,
                     "floor": 1e-6,
                 },
+            },
+        ],
+        # The model axis climbs the information hierarchy; it is listed
+        # BEFORE the budget axis so the dotted budget override patches
+        # into whichever model the row selected (overrides apply in grid
+        # order).  The budget placeholders here are overwritten.
+        "channel.model": [
+            {
+                "name": "jam-oblivious",
+                "params": {"budget": 0, "start": 1, "period": 1},
+            },
+            {
+                "name": "jam-adaptive",
+                "params": {"budget": 0, "strategy": "greedy"},
+            },
+            {
+                "name": "jam-adaptive",
+                "params": {"budget": 0, "strategy": "scheduler", "mode": "back"},
             },
         ],
         "channel.model.params.budget": [0, 8, 16, 32],

@@ -35,6 +35,7 @@ from ..protocols.backoff import BinaryExponentialBackoff
 from ..protocols.code_search import CodeSearchProtocol
 from ..protocols.decay import DecayProtocol
 from ..protocols.fixed_probability import FixedProbabilityProtocol
+from ..protocols.jiang_zheng import JiangZhengProtocol
 from ..protocols.restart import FallbackPlayerProtocol, RestartProtocol
 from ..protocols.searching import PhasedSearchProtocol
 from ..protocols.sorted_probing import SortedProbingProtocol
@@ -220,6 +221,18 @@ def _build_decay(context: BuildContext, params: dict) -> DecayProtocol:
         handle_k1=bool(_take(params, "handle_k1", False)),
     )
     _done(params, "decay")
+    return protocol
+
+
+@register_protocol(
+    "jiang-zheng", UNIFORM, "robust no-CD sawtooth baseline (Jiang-Zheng 2021)"
+)
+def _build_jiang_zheng(context: BuildContext, params: dict) -> JiangZhengProtocol:
+    protocol = JiangZhengProtocol(
+        int(_take(params, "n", context.n)),
+        cycle=bool(_take(params, "cycle", True)),
+    )
+    _done(params, "jiang-zheng")
     return protocol
 
 

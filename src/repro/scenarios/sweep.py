@@ -296,14 +296,20 @@ def fusion_key(resolved: ResolvedScenario) -> tuple | None:
     adversary), so points under different adversaries - or under an
     adversary and the faithful channel - are **never** stacked into one
     run: the fault state is per-engine-run, and mixing models would
-    silently perturb the wrong points.  Player points additionally
-    require a model that draws no per-round fault randomness (the
-    stacked player engine runs without a generator); random models
-    (noise, crash) return ``None`` and degrade to the serial path, with
-    the point's recorded engine label saying so.
+    silently perturb the wrong points.  Models that opt out of stacking
+    entirely (:attr:`~repro.channel.models.ChannelModel.fusable` is
+    False - the adaptive adversaries, whose per-point state is kept
+    solo so the "one adversary per execution" reading of a stress curve
+    stays unambiguous) return ``None`` and run serially.  Player points
+    additionally require a model that draws no per-round fault
+    randomness (the stacked player engine runs without a generator);
+    random models (noise, crash) return ``None`` and degrade to the
+    serial path, with the point's recorded engine label saying so.
     """
     spec = resolved.spec
     model = resolved.channel.active_model
+    if model is not None and not model.fusable:
+        return None
     shared = (
         spec.trials,
         spec.max_rounds,

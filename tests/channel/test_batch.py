@@ -21,6 +21,7 @@ import pytest
 
 from repro.analysis.montecarlo import estimate_uniform_rounds
 from repro.channel import (
+    AdaptiveAdversary,
     Channel,
     CrashModel,
     NoisyChannel,
@@ -937,26 +938,256 @@ class TestAdversarialAgreement:
         assert result.solved.all() and (result.rounds == 3).all()
         assert counter.requested == 5 * 16
 
-    def test_unbatchable_crash_rejected_everywhere(self, rng, nocd_channel):
-        """Crash models with a non-zero rejoin delay route to the scalar
-        loop: every batch entry point refuses them with the pointer."""
-        channel = nocd_channel.with_model(
-            CrashModel(probability=0.5, rejoin_after=2)
+    def test_rejoin_crash_batches_on_uniform_engines_only(self, rng):
+        """Crash models with a non-zero rejoin delay now batch on the
+        uniform engines (per-trial active-count bands); the player and
+        open substrates, whose populations are not per-trial counters,
+        still refuse them."""
+        from repro.analysis.montecarlo import (
+            select_player_engine,
+            select_uniform_engine,
         )
-        protocol = DecayProtocol(N)
-        ks = np.ones(3, dtype=np.int64)
-        with pytest.raises(ValueError, match="scalar engine"):
-            run_uniform_batch(
-                protocol, ks, rng, channel=channel, max_rounds=10
+        from repro.opensys.driver import select_open_engine
+        from repro.protocols.backoff import BinaryExponentialBackoff
+
+        model = CrashModel(probability=0.5, rejoin_after=2)
+        assert model.batchable and model.shrinks_population
+        assert not model.player_batchable
+
+        assert select_uniform_engine(
+            DecayProtocol(N), batch=True, model=model
+        ).startswith("batch")
+        with pytest.raises(ValueError, match="scalar"):
+            select_player_engine(
+                BinaryExponentialBackoff(), batch=True, model=model
             )
-        with pytest.raises(ValueError, match="scalar engine"):
-            run_schedule_stacked(
-                [protocol.batch_schedule()], [ks], [rng],
-                channel=channel, max_rounds=10,
-            )
-        with pytest.raises(ValueError, match="scalar engine"):
-            run_history_stacked(
-                [WillardProtocol(N)], [ks], [rng],
-                channel=Channel(True, CrashModel(0.5, rejoin_after=2)),
-                max_rounds=10,
-            )
+        with pytest.raises(ValueError, match="arrival process"):
+            select_open_engine(DecayProtocol(N), model=model)
+
+    def test_rejoin_crash_deterministic_erasure_exact(self, nocd_channel):
+        """probability=1 with a rejoin delay: the lone station's every
+        success is erased and it sits out the delay window, forever -
+        deterministically, on the scalar loop, the solo batch and the
+        stacked engine alike."""
+        model = CrashModel(probability=1.0, rejoin_after=3)
+        channel = nocd_channel.with_model(model)
+        protocol = ScheduleProtocol(ProbabilitySchedule([1.0]), cycle=True)
+        max_rounds = 24
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=max_rounds,
+        )
+        assert not scalar.solved and scalar.rounds == max_rounds
+
+        batch = run_uniform_batch(
+            protocol, np.ones(6, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=max_rounds,
+        )
+        assert not batch.solved.any()
+        assert (batch.rounds == max_rounds).all()
+
+        stacked = run_schedule_stacked(
+            [BatchSchedule((1.0,), True)],
+            [np.ones(6, dtype=np.int64)],
+            [np.random.default_rng(0)],
+            channel=channel,
+            max_rounds=max_rounds,
+        )[0]
+        assert not stacked.solved.any()
+        assert (stacked.rounds == max_rounds).all()
+
+    def test_rejoin_crash_statistics_agree_with_scalar_oracle(
+        self, nocd_channel
+    ):
+        """The scalar loop stays the agreement oracle for the rejoin
+        crash: the batch path draws one fault uniform per live trial per
+        round (vs the scalar loop's on-success draw), so agreement is
+        statistical, like the noise models."""
+        model = CrashModel(probability=0.3, rejoin_after=2)
+        channel = nocd_channel.with_model(model)
+        trials, max_rounds = 1500, 400
+        ks = _sizes(np.random.default_rng(7), trials)
+
+        scalar_solved, scalar_rounds = _scalar_stats(
+            lambda: DecayProtocol(N), ks, channel, max_rounds, seed=11
+        )
+        batch = run_uniform_batch(
+            DecayProtocol(N), ks, np.random.default_rng(13),
+            channel=channel, max_rounds=max_rounds,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        )
+        assert batch.solved_rounds().mean() == pytest.approx(
+            scalar_rounds[scalar_solved].mean(), rel=0.1, abs=0.5
+        )
+
+
+class TestAdaptiveAgreement:
+    """Engine agreement for the full-information adaptive adversary.
+
+    Every registry strategy is deterministic given the feedback
+    trajectory - the adversary consumes no randomness of its own - so
+    deterministic protocols must agree *exactly* on the scalar loop, the
+    solo batch and the stacked engines, and randomized protocols must be
+    bit-identical between solo and stacked runs of one generator.
+    """
+
+    @pytest.mark.parametrize(
+        "params,expected_rounds",
+        [
+            # Greedy erases the first `budget` successes of the certain-
+            # transmit station, one per round.
+            ({"strategy": "greedy"}, 4),
+            # Front scheduler jams rounds 1..budget unconditionally.
+            ({"strategy": "scheduler", "mode": "front"}, 4),
+            # Back scheduler arms on the first faithful success - round 1
+            # here - so it plays exactly like greedy on this probe.
+            ({"strategy": "scheduler", "mode": "back"}, 4),
+            # patience=2 never sees a 2-round quiet streak (every round
+            # is a faithful success), so the streak strategy never jams.
+            ({"strategy": "streak", "patience": 2}, 1),
+        ],
+    )
+    def test_strategies_exact_on_every_engine(
+        self, nocd_channel, params, expected_rounds
+    ):
+        model = AdaptiveAdversary(budget=3, **params)
+        channel = nocd_channel.with_model(model)
+        protocol = ScheduleProtocol(ProbabilitySchedule([1.0]), cycle=True)
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=20,
+        )
+        assert scalar.solved and scalar.rounds == expected_rounds
+
+        batch = run_uniform_batch(
+            protocol, np.ones(7, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=20,
+        )
+        assert batch.solved.all() and (batch.rounds == expected_rounds).all()
+
+        stacked = run_schedule_stacked(
+            [BatchSchedule((1.0,), True)],
+            [np.ones(7, dtype=np.int64)],
+            [np.random.default_rng(0)],
+            channel=channel,
+            max_rounds=20,
+        )[0]
+        assert stacked.solved.all()
+        assert (stacked.rounds == expected_rounds).all()
+
+    def test_streak_strategy_exact_on_history_engine(self, cd_channel):
+        """Deterministic 0/1 probe, patience=2: rounds 1-2 are silent
+        (streak reaches 2), round 3's success is jammed, the delivered
+        collision resets the streak, round 4's success lands - exactly,
+        scalar and batch."""
+        model = AdaptiveAdversary(budget=2, strategy="streak", patience=2)
+        channel = cd_channel.with_model(model)
+        protocol = _OneShotProbeProtocol((0.0, 0.0, 1.0, 1.0))
+
+        scalar = run_uniform(
+            protocol, 1, np.random.default_rng(0), channel=channel,
+            max_rounds=10,
+        )
+        assert scalar.solved and scalar.rounds == 4
+
+        batch = run_uniform_batch(
+            protocol, np.ones(6, dtype=np.int64), np.random.default_rng(0),
+            channel=channel, max_rounds=10,
+        )
+        assert batch.solved.all() and (batch.rounds == 4).all()
+
+    def test_solo_and_stacked_bit_identical_under_adaptive(
+        self, nocd_channel, cd_channel
+    ):
+        """Per-trial adversary state follows the stacked stream contract:
+        solo and stacked runs of one generator match bit for bit on both
+        stacked engines."""
+        model = AdaptiveAdversary(budget=4, strategy="greedy")
+        ks = _sizes(np.random.default_rng(11), 150)
+
+        solo = run_uniform_batch(
+            DecayProtocol(N), ks, np.random.default_rng(21),
+            channel=nocd_channel.with_model(model), max_rounds=300,
+        )
+        stacked = run_schedule_stacked(
+            [DecayProtocol(N).batch_schedule()],
+            [ks],
+            [np.random.default_rng(21)],
+            channel=nocd_channel.with_model(model),
+            max_rounds=300,
+        )[0]
+        assert (solo.solved == stacked.solved).all()
+        assert (solo.rounds == stacked.rounds).all()
+
+        solo = run_uniform_batch(
+            WillardProtocol(N), ks, np.random.default_rng(23),
+            channel=cd_channel.with_model(model), max_rounds=300,
+        )
+        stacked = run_history_stacked(
+            [WillardProtocol(N)],
+            [ks],
+            [np.random.default_rng(23)],
+            channel=cd_channel.with_model(model),
+            max_rounds=300,
+        )[0]
+        assert (solo.solved == stacked.solved).all()
+        assert (solo.rounds == stacked.rounds).all()
+
+    def test_adaptive_statistics_agree_with_scalar(self, nocd_channel):
+        """Fixed-seed statistical agreement between the scalar reference
+        loop and the batch engine with the adaptive adversary in the
+        middle: the strategies are deterministic, so the two paths
+        simulate the same perturbed process."""
+        model = AdaptiveAdversary(budget=6, strategy="greedy")
+        channel = nocd_channel.with_model(model)
+        trials, max_rounds = 1500, 400
+        ks = _sizes(np.random.default_rng(7), trials)
+
+        scalar_solved, scalar_rounds = _scalar_stats(
+            lambda: DecayProtocol(N), ks, channel, max_rounds, seed=11
+        )
+        batch = run_uniform_batch(
+            DecayProtocol(N), ks, np.random.default_rng(13),
+            channel=channel, max_rounds=max_rounds,
+        )
+        assert batch.solved.mean() == pytest.approx(
+            scalar_solved.mean(), abs=0.05
+        )
+        assert batch.solved_rounds().mean() == pytest.approx(
+            scalar_rounds[scalar_solved].mean(), rel=0.1, abs=0.5
+        )
+
+    def test_adaptive_consumes_no_extra_randomness(self, nocd_channel):
+        """The adaptive adversary is a pure function of the feedback
+        trajectory: the stacked engine's draw accounting matches the
+        faithful engine exactly (no parallel fault block)."""
+
+        class _CountingRng:
+            def __init__(self) -> None:
+                self.requested = 0
+                self._rng = np.random.default_rng(0)
+
+            def random(self, size=None, out=None):
+                shape = out.shape if out is not None else size
+                self.requested += int(np.prod(shape))
+                return self._rng.random(size, out=out)
+
+        channel = nocd_channel.with_model(
+            AdaptiveAdversary(budget=2, strategy="greedy")
+        )
+        counter = _CountingRng()
+        result = run_schedule_stacked(
+            [BatchSchedule((1.0,), True)],
+            [np.ones(5, dtype=np.int64)],
+            [counter],
+            channel=channel,
+            max_rounds=50,
+        )[0]
+        # Jammed in rounds 1-2, solved in round 3: one 16-round block
+        # row per trial covers it, with no parallel fault block.
+        assert result.solved.all() and (result.rounds == 3).all()
+        assert counter.requested == 5 * 16

@@ -7,16 +7,20 @@ import pytest
 
 from repro.channel.channel import Channel, with_collision_detection
 from repro.channel.models import (
+    ADAPTIVE_STRATEGIES,
     CHANNEL_MODELS,
     FB_COLLISION,
     FB_SILENCE,
     FB_SUCCESS,
+    AdaptiveAdversary,
+    AdaptiveStrategy,
     ChannelModel,
     CrashModel,
     NoisyChannel,
     ObliviousJammer,
     ReactiveJammer,
     channel_model_from_dict,
+    register_adaptive_strategy,
 )
 from repro.core.feedback import Feedback
 
@@ -195,12 +199,41 @@ class TestCrashModel:
         state.deliver(3, Feedback.SUCCESS, counter)
         assert _Counting.calls == 1
 
-    def test_batchable_only_for_rejoin_zero(self):
-        assert CrashModel(probability=0.5, rejoin_after=0).batchable
-        assert not CrashModel(probability=0.5, rejoin_after=1).batchable
-        assert not CrashModel(probability=0.5).batchable
-        with pytest.raises(ValueError, match="scalar engine"):
-            CrashModel(probability=0.5, rejoin_after=1).batch_state(4)
+    def test_capability_flags_split_by_rejoin_delay(self):
+        """Every crash batches on the uniform engines; only the
+        instant-rejoin variant keeps the population fixed, so only it is
+        admissible on the player/open substrates."""
+        instant = CrashModel(probability=0.5, rejoin_after=0)
+        assert instant.batchable and instant.player_batchable
+        assert not instant.shrinks_population
+
+        for delayed in (
+            CrashModel(probability=0.5, rejoin_after=1),
+            CrashModel(probability=0.5),  # rejoin_after=None: dead forever
+        ):
+            assert delayed.batchable and delayed.shrinks_population
+            assert not delayed.player_batchable
+            assert delayed.batch_state(4) is not None
+
+    def test_rejoin_batch_state_tracks_active_counts(self):
+        """Crash at round r removes a station from the next r+1..r+d
+        rounds and returns it at r+d+1; dead-forever never returns."""
+        state = CrashModel(probability=1.0, rejoin_after=2).batch_state(2)
+        ks = np.array([3, 3], dtype=np.int64)
+        assert state.active_counts(ks, 1).tolist() == [3, 3]
+        codes = np.array([FB_SUCCESS, FB_SILENCE])
+        out = state.perturb(1, codes, np.array([0.0, 0.0]))
+        assert out.tolist() == [FB_SILENCE, FB_SILENCE]
+        # Trial 0's station is out for rounds 2 and 3, back at round 4.
+        assert state.active_counts(ks, 2).tolist() == [2, 3]
+        assert state.active_counts(ks, 3).tolist() == [2, 3]
+        assert state.active_counts(ks, 4).tolist() == [3, 3]
+
+        forever = CrashModel(probability=1.0, rejoin_after=None).batch_state(1)
+        ks = np.array([2], dtype=np.int64)
+        forever.perturb(1, np.array([FB_SUCCESS]), np.array([0.0]))
+        for round_index in range(2, 8):
+            assert forever.active_counts(ks, round_index).tolist() == [1]
 
     def test_batch_perturb_erases_successes_only(self):
         state = CrashModel(probability=0.5, rejoin_after=0).batch_state(3)
@@ -216,6 +249,91 @@ class TestCrashModel:
             CrashModel(probability=0.5, rejoin_after=-1)
 
 
+class TestAdaptiveAdversary:
+    def test_greedy_scalar_state_suppresses_successes(self, rng):
+        state = AdaptiveAdversary(budget=2, strategy="greedy").scalar_state()
+        assert state.deliver(1, Feedback.SILENCE, rng) is Feedback.SILENCE
+        assert state.deliver(2, Feedback.SUCCESS, rng) is Feedback.COLLISION
+        assert state.deliver(3, Feedback.COLLISION, rng) is Feedback.COLLISION
+        assert state.jams_used == 1  # collisions are free, never jammed
+        assert state.deliver(4, Feedback.SUCCESS, rng) is Feedback.COLLISION
+        assert state.deliver(5, Feedback.SUCCESS, rng) is Feedback.SUCCESS
+        assert state.jams_used == 2 and state.remaining == 0
+
+    def test_batch_perturb_budget_and_collision_exemption(self):
+        state = AdaptiveAdversary(budget=1, strategy="greedy").batch_state(3)
+        codes = np.array([FB_SUCCESS, FB_COLLISION, FB_SILENCE])
+        out = state.perturb(1, codes, None)
+        # Success jammed, collision left alone (free), silence untouched.
+        assert out.tolist() == [FB_COLLISION, FB_COLLISION, FB_SILENCE]
+        assert state.remaining.tolist() == [0, 1, 1]
+        out = state.perturb(2, np.array([FB_SUCCESS] * 3), None)
+        assert out.tolist() == [FB_SUCCESS, FB_COLLISION, FB_COLLISION]
+        assert state.spent.tolist() == [1, 1, 1]
+
+    def test_filter_reindexes_budget_accounts(self):
+        state = AdaptiveAdversary(budget=2, strategy="streak").batch_state(4)
+        state.perturb(1, np.array([FB_SILENCE] * 4), None)
+        state.perturb(2, np.full(4, FB_SUCCESS), None)
+        state.filter(np.array([True, False, True, False]))
+        assert state.remaining.shape == (2,)
+        assert (state.remaining + state.spent == 2).all()
+        assert state.arrays["streak"].shape == (2,)
+
+    def test_scheduler_modes(self):
+        front = AdaptiveAdversary(
+            budget=2, strategy="scheduler", mode="front"
+        ).batch_state(1)
+        assert front.perturb(1, np.array([FB_SILENCE]), None).tolist() == [
+            FB_COLLISION
+        ]
+        back = AdaptiveAdversary(
+            budget=2, strategy="scheduler", mode="back"
+        ).batch_state(1)
+        # Unarmed until the first faithful success.
+        assert back.perturb(1, np.array([FB_SILENCE]), None).tolist() == [
+            FB_SILENCE
+        ]
+        assert back.perturb(2, np.array([FB_SUCCESS]), None).tolist() == [
+            FB_COLLISION
+        ]
+        assert back.perturb(3, np.array([FB_SILENCE]), None).tolist() == [
+            FB_COLLISION
+        ]
+        assert back.perturb(4, np.array([FB_SUCCESS]), None).tolist() == [
+            FB_SUCCESS  # budget spent
+        ]
+
+    def test_validation_messages_are_actionable(self):
+        with pytest.raises(ValueError, match="known strategies: greedy"):
+            AdaptiveAdversary(budget=1, strategy="nope")
+        with pytest.raises(ValueError, match="budget must be >= 0"):
+            AdaptiveAdversary(budget=-1)
+        with pytest.raises(ValueError, match="patience must be >= 1"):
+            AdaptiveAdversary(budget=1, strategy="streak", patience=0)
+        with pytest.raises(ValueError, match="'front' or 'back'"):
+            AdaptiveAdversary(budget=1, strategy="scheduler", mode="up")
+
+    def test_strategy_registry_rejects_duplicates(self):
+        class _Dup(AdaptiveStrategy):
+            name = "greedy"
+
+            def jam_candidates(self, model, arrays, round_index, codes):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_adaptive_strategy(_Dup())
+        assert set(ADAPTIVE_STRATEGIES) >= {"greedy", "streak", "scheduler"}
+
+    def test_null_and_flags(self):
+        assert AdaptiveAdversary(budget=0).is_null()
+        model = AdaptiveAdversary(budget=3, strategy="scheduler", mode="front")
+        assert not model.is_null()
+        assert model.batchable and model.player_batchable
+        assert not model.needs_fault_draws
+        assert not model.fusable  # deliberate fusion opt-out
+
+
 class TestSerialization:
     @pytest.mark.parametrize(
         "model",
@@ -225,6 +343,9 @@ class TestSerialization:
             NoisyChannel(silence_to_collision=0.1, success_erasure=0.25),
             CrashModel(probability=0.3, rejoin_after=7),
             CrashModel(probability=0.3, rejoin_after=None),
+            AdaptiveAdversary(budget=4, strategy="greedy"),
+            AdaptiveAdversary(budget=2, strategy="streak", patience=3),
+            AdaptiveAdversary(budget=6, strategy="scheduler", mode="front"),
         ],
     )
     def test_dict_round_trip(self, model: ChannelModel):
@@ -232,7 +353,7 @@ class TestSerialization:
 
     def test_registry_covers_every_model(self):
         assert set(CHANNEL_MODELS) == {
-            "jam-oblivious", "jam-reactive", "noise", "crash",
+            "jam-oblivious", "jam-reactive", "jam-adaptive", "noise", "crash",
         }
 
     def test_unknown_model_lists_known_ones(self):

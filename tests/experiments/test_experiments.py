@@ -66,6 +66,7 @@ class TestRegistry:
             "T2-DET-NCD", "T2-DET-CD", "T2-RAND-NCD", "T2-RAND-CD",
             "KL-NCD", "KL-CD", "SRC-CODE", "PLIAM", "LEMMA-PROBS",
             "BASELINE-X", "SSF", "LEARN", "ADVICE-ROBUST", "JAM-ROBUST",
+            "ADAPT-ROBUST",
         }
         assert set(experiment_ids()) == expected
 

@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.channel import (
+    AdaptiveAdversary,
     Channel,
     CrashModel,
     NoisyChannel,
@@ -50,6 +51,18 @@ reactive_jammers = st.builds(
     quiet_streak=st.integers(min_value=1, max_value=5),
 )
 
+adaptive_adversaries = st.builds(
+    AdaptiveAdversary,
+    budget=st.integers(min_value=0, max_value=20),
+    strategy=st.sampled_from(["greedy", "streak", "scheduler"]),
+    patience=st.integers(min_value=1, max_value=5),
+    mode=st.sampled_from(["front", "back"]),
+)
+
+budgeted_models = st.one_of(
+    oblivious_jammers, reactive_jammers, adaptive_adversaries
+)
+
 probabilities = st.floats(
     min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
 )
@@ -57,6 +70,7 @@ probabilities = st.floats(
 any_model = st.one_of(
     oblivious_jammers,
     reactive_jammers,
+    adaptive_adversaries,
     st.builds(
         NoisyChannel,
         silence_to_collision=probabilities,
@@ -74,7 +88,7 @@ any_model = st.one_of(
 
 
 class TestJamBudgetInvariant:
-    @given(st.one_of(oblivious_jammers, reactive_jammers), feedback_sequences)
+    @given(budgeted_models, feedback_sequences)
     def test_scalar_state_never_exceeds_budget(self, model, feedbacks):
         rng = np.random.default_rng(0)
         state = model.scalar_state()
@@ -92,7 +106,7 @@ class TestJamBudgetInvariant:
         assert forced <= model.budget
 
     @given(
-        st.one_of(oblivious_jammers, reactive_jammers),
+        budgeted_models,
         st.integers(min_value=1, max_value=8),
         st.integers(min_value=1, max_value=40),
         st.integers(min_value=0),
@@ -110,6 +124,40 @@ class TestJamBudgetInvariant:
             forced += (after == FB_COLLISION) & (before != FB_COLLISION)
         assert (forced <= model.budget).all()
 
+    @given(
+        adaptive_adversaries,
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0),
+    )
+    def test_adaptive_budget_conserved_under_filter(
+        self, model, trials, rounds, seed
+    ):
+        """``remaining + spent == budget`` per trial, and trial
+        retirement (``BatchFaultState.filter``) reindexes the adversary's
+        accounts and strategy arrays consistently with the survivors."""
+        rng = np.random.default_rng(seed)
+        state = model.batch_state(trials)
+        live = trials
+        for round_index in range(1, rounds + 1):
+            codes = rng.integers(0, 3, size=live)
+            state.perturb(round_index, codes, None)
+            assert (state.remaining + state.spent == model.budget).all()
+            assert (state.remaining >= 0).all()
+            # Retire a random subset, the way the engines drop solved
+            # trials; the adversary must follow the survivors.
+            keep = rng.random(live) < 0.8
+            if not keep.any():
+                keep[rng.integers(live)] = True
+            expected_remaining = state.remaining[keep].copy()
+            state.filter(keep)
+            live = int(keep.sum())
+            assert state.remaining.shape == (live,)
+            assert (state.remaining == expected_remaining).all()
+            assert (state.remaining + state.spent == model.budget).all()
+            for array in state.arrays.values():
+                assert array.shape[0] == live
+
     @given(oblivious_jammers)
     def test_schedule_spends_exactly_the_budget_eventually(self, model):
         horizon = model.start + model.period * (model.budget + 3)
@@ -124,6 +172,11 @@ class TestNullReduction:
                 lambda m: ObliviousJammer(0, m.start, m.period)
             ),
             reactive_jammers.map(lambda m: ReactiveJammer(0, m.quiet_streak)),
+            adaptive_adversaries.map(
+                lambda m: AdaptiveAdversary(
+                    0, strategy=m.strategy, patience=m.patience, mode=m.mode
+                )
+            ),
             st.just(NoisyChannel()),
             st.just(CrashModel(probability=0.0)),
             st.just(CrashModel(probability=0.0, rejoin_after=4)),
@@ -140,6 +193,9 @@ class TestNullReduction:
             [
                 ObliviousJammer(budget=0, start=5, period=2),
                 ReactiveJammer(budget=0, quiet_streak=3),
+                AdaptiveAdversary(budget=0, strategy="greedy"),
+                AdaptiveAdversary(budget=0, strategy="streak", patience=3),
+                AdaptiveAdversary(budget=0, strategy="scheduler", mode="front"),
                 NoisyChannel(),
                 CrashModel(probability=0.0),
             ]
@@ -188,21 +244,27 @@ class TestModelAlgebra:
 
     @given(any_model)
     def test_capability_flags_are_consistent(self, model):
-        if not model.batchable:
-            # Only the rejoin-delay crash is unbatchable, and it must
-            # refuse to build a batch state.
+        # Every registry model now builds a batch state (the rejoin-delay
+        # crash grew a per-trial ring buffer); the finer capability flags
+        # must respect the lattice the routing layers assume.
+        assert model.batchable
+        assert model.batch_state(4) is not None
+        if model.player_batchable:
+            assert model.batchable
+        if model.shrinks_population:
+            # Shrinking models express crashes as per-trial active-count
+            # bands; only the stacked uniform engines understand those.
             assert isinstance(model, CrashModel)
-            try:
-                model.batch_state(4)
-            except ValueError:
-                pass
-            else:  # pragma: no cover - the assert carries the failure
-                raise AssertionError("unbatchable model built a batch state")
+            assert not model.player_batchable
+        if isinstance(model, AdaptiveAdversary):
+            # Adaptive state partitions cleanly per trial, but fusing
+            # would blur which spec drove which jam - kept unfusable.
+            assert not model.fusable
         else:
-            assert model.batch_state(4) is not None
+            assert model.fusable
 
     @given(
-        st.one_of(oblivious_jammers, reactive_jammers),
+        budgeted_models,
         st.integers(min_value=1, max_value=6),
         st.integers(min_value=1, max_value=30),
     )

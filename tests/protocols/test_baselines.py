@@ -11,6 +11,7 @@ from repro.infotheory.condense import num_ranges
 from repro.protocols.backoff import BinaryExponentialBackoff
 from repro.protocols.decay import DecayProtocol, decay_schedule
 from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.jiang_zheng import JiangZhengProtocol, sawtooth_schedule
 from repro.protocols.willard import WillardProtocol
 
 
@@ -53,6 +54,52 @@ class TestDecay:
         protocol = DecayProtocol(2**8, handle_k1=True)
         result = run_uniform(protocol, 1, rng, channel=nocd_channel)
         assert result.solved and result.rounds == 1
+
+
+class TestJiangZheng:
+    def test_sawtooth_concatenates_growing_epochs(self):
+        schedule = sawtooth_schedule(2**4)
+        depth = num_ranges(2**4)
+        assert len(schedule) == depth * (depth + 1) // 2
+        expected = [
+            2.0**-i for epoch in range(1, depth + 1) for i in range(1, epoch + 1)
+        ]
+        assert list(schedule) == expected
+
+    def test_every_scale_recurs_in_deeper_epochs(self):
+        """The robustness mechanism: probability 2^-i appears once per
+        epoch of depth >= i, so destroying one good round never destroys
+        the scale."""
+        depth = num_ranges(2**6)
+        probabilities = list(sawtooth_schedule(2**6))
+        for i in range(1, depth + 1):
+            assert probabilities.count(2.0**-i) == depth - i + 1
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            JiangZhengProtocol(1)
+
+    @pytest.mark.parametrize("k", [2, 10, 100, 900])
+    def test_solves_all_sizes(self, k, rng, nocd_channel):
+        protocol = JiangZhengProtocol(2**10)
+        result = run_uniform(protocol, k, rng, channel=nocd_channel)
+        assert result.solved
+
+    def test_publishes_batch_schedule_and_signature(self):
+        protocol = JiangZhengProtocol(2**8)
+        batch = protocol.batch_schedule()
+        assert batch.cycle and tuple(batch.probabilities) == tuple(
+            sawtooth_schedule(2**8).probabilities
+        )
+        assert protocol.history_signature() == JiangZhengProtocol(
+            2**8
+        ).history_signature()
+
+    def test_one_shot_plays_a_single_cycle(self, rng, nocd_channel):
+        protocol = JiangZhengProtocol(2**4, cycle=False)
+        result = run_uniform(protocol, 2**8, rng, channel=nocd_channel)
+        # A hopeless k for one finite cycle: exhausts instead of cycling.
+        assert result.rounds <= len(sawtooth_schedule(2**4))
 
 
 class TestFixedProbability:

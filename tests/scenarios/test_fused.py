@@ -642,9 +642,12 @@ class TestAdversarialFusion:
         labels = assert_identical_results(sweep)
         assert labels == [ENGINE_BATCH_PLAYER] * 2
 
-    def test_unbatchable_crash_forces_the_scalar_engine(self):
-        """A rejoin-delay crash routes to the scalar loop under every
-        executor - the fused executor must not try to stack it."""
+    def test_rejoin_crash_fuses_on_uniform_but_not_player_points(self):
+        """A rejoin-delay crash shrinks the live population, which the
+        uniform stacked engines absorb through the per-trial active-count
+        bands - the points fuse and reproduce the solo batch runs exactly.
+        The player engines have no shrinking path, so player points still
+        fall back to the scalar loop."""
         from repro.analysis.montecarlo import ENGINE_SCALAR_PLAYER
 
         crash = uniform_base(
@@ -655,15 +658,10 @@ class TestAdversarialFusion:
             },
             trials=25,
         )
-        assert fusion_key(resolve_scenario(crash)) is None
+        assert fusion_key(resolve_scenario(crash)) is not None
         sweep = Sweep(base=crash, grid={"workload.params.k": [4, 8]})
-        serial = run_sweep(sweep, executor="serial")
-        fused = run_sweep(sweep, executor="fused")
-        for point_serial, point_fused in zip(serial.results, fused.results):
-            assert point_serial.engine == ENGINE_SCALAR_UNIFORM
-            assert point_fused.engine == ENGINE_SCALAR_UNIFORM
-            assert point_fused.rounds == point_serial.rounds
-            assert point_fused.success == point_serial.success
+        labels = assert_identical_results(sweep)
+        assert labels == [ENGINE_FUSED_SCHEDULE] * 2
 
         player_crash = player_base(
             channel={

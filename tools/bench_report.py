@@ -42,6 +42,7 @@ from repro.analysis.montecarlo import (
     estimate_uniform_rounds,
 )
 from repro.channel import (
+    AdaptiveAdversary,
     NoisyChannel,
     ObliviousJammer,
     with_collision_detection,
@@ -319,6 +320,92 @@ def adversary_bench(trials: int, repeats: int) -> dict:
     return section
 
 
+def adversary_adaptive(trials: int, repeats: int) -> dict:
+    """Adaptive-adversary overhead on the batch engines.
+
+    Mirrors :func:`adversary_bench` with the full-information
+    ``jam-adaptive`` model.  An adaptive run is longer *by design* - the
+    adversary buys extra rounds with every jam, and on the history
+    engine greedy jamming also grows the memoized trie (each forced
+    collision opens a fresh history branch), which is real extra work,
+    not injection overhead.  The gate in
+    ``benchmarks/test_bench_adversary.py`` therefore holds the adaptive
+    batch within 3x of the faithful batch on each engine's
+    representative strategy (greedy on the schedule engine, the
+    scheduler strategy on the history engine).
+
+    On a single-core box the section records ``skipped: true`` with the
+    ``cpu_count`` context - the same convention as ``sweep_executor`` -
+    instead of readings: the adaptive rows are the ones a fused sweep
+    runs as serial singletons, and timing that serialisation without a
+    second core records scheduler noise as data.
+    """
+    cpu_count = os.cpu_count()
+    if (cpu_count or 1) < 2:
+        return {
+            "skipped": True,
+            "cpu_count": cpu_count,
+            "trials": trials,
+            "reason": (
+                "single-core machine: adaptive points run as serial "
+                "singletons in fused sweeps, so single-core timings of "
+                "that serialisation would record scheduler noise as data"
+            ),
+        }
+    distribution = entropy_sweep_distributions(N, quick=True)[1]
+    engines = {
+        "nocd_schedule": (
+            lambda: SortedProbingProtocol(distribution, one_shot=False),
+            without_collision_detection(),
+        ),
+        "cd_history": (lambda: WillardProtocol(N), with_collision_detection()),
+    }
+    models = {
+        "faithful": None,
+        "adaptive_greedy": AdaptiveAdversary(budget=4, strategy="greedy"),
+        "adaptive_scheduler": AdaptiveAdversary(
+            budget=8, strategy="scheduler", mode="front"
+        ),
+        "adaptive_streak": AdaptiveAdversary(
+            budget=8, strategy="streak", patience=2
+        ),
+    }
+    section: dict = {"skipped": False, "cpu_count": cpu_count}
+    for engine_name, (make_protocol, base_channel) in engines.items():
+        rows: dict = {}
+        for model_name, model in models.items():
+            channel = base_channel.with_model(model)
+
+            def estimate():
+                return estimate_uniform_rounds(
+                    make_protocol(),
+                    distribution,
+                    np.random.default_rng(SEED),
+                    channel=channel,
+                    trials=trials,
+                    max_rounds=MAX_ROUNDS,
+                    batch=True,
+                )
+
+            seconds = _median_seconds(estimate, repeats)
+            estimated = estimate()
+            rows[model_name] = {
+                "batch_seconds": round(seconds, 6),
+                "success_rate": estimated.success.rate,
+                "mean_rounds": (
+                    None
+                    if not estimated.any_successes
+                    else round(estimated.rounds.mean, 4)
+                ),
+            }
+            if model_name != "faithful":
+                rows[model_name]["overhead"] = round(
+                    seconds / rows["faithful"]["batch_seconds"], 2
+                )
+        section[engine_name] = rows
+    return section
+
+
 def open_system_bench(repeats: int) -> dict:
     """Vectorized open-loop driver vs the scalar per-trial reference.
 
@@ -465,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     sweep_fused = fused_bench(args.repeats)
     adversary = adversary_bench(args.trials, args.repeats)
+    adaptive = adversary_adaptive(args.trials, args.repeats)
     open_system = open_system_bench(args.repeats)
     open_retry = open_retry_bench(args.repeats)
     snapshot = {
@@ -489,6 +577,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep_executor": sweep_executor,
         "sweep_fused": sweep_fused,
         "adversary": adversary,
+        "adversary_adaptive": adaptive,
         "open_system": open_system,
         "open_retry": open_retry,
     }
@@ -505,6 +594,22 @@ def main(argv: list[str] | None = None) -> int:
             if model_name != "faithful"
         )
         print(f"adversary/{engine_name}: {overheads} over faithful")
+    if adaptive.get("skipped"):
+        print(
+            f"adversary_adaptive: skipped ({adaptive['cpu_count']} cpu): "
+            f"{adaptive['reason']}"
+        )
+    else:
+        for engine_name in ("nocd_schedule", "cd_history"):
+            rows = adaptive[engine_name]
+            overheads = ", ".join(
+                f"{model_name}={row['overhead']}x"
+                for model_name, row in rows.items()
+                if model_name != "faithful"
+            )
+            print(
+                f"adversary_adaptive/{engine_name}: {overheads} over faithful"
+            )
     cd_grid = history_engine["cd_grid"]
     print(
         f"history_engine/cd_grid: serial={cd_grid['serial_seconds']:.3f}s "
