@@ -10,6 +10,10 @@ always measure the same grids:
 * :func:`executor_sweep` - eight entropy-dial points at Table-1 scale,
   each heavy enough (200k trials by default) to dwarf the process
   pool's spawn cost (the multi-core axis);
+* :func:`cache_sweep` - the same dial at 50k trials per point, the
+  warm-cache gate workload (:mod:`benchmarks.test_bench_cache` and the
+  ``sweep_cache`` report section): heavy enough that a cache hit beating
+  re-simulation by >= 20x is a trivial bar, not a lucky one;
 * :func:`fused_sweep` - a dense 32-point transmission-probability dial
   of long-horizon ``fixed-probability`` points: many small engine-bound
   points, the regime where the fused executor's stacked round loop wins
@@ -47,6 +51,11 @@ FUSED_PLAYER_TRIALS = 48
 CD_GRID_POINTS = 32
 CD_GRID_TRIALS = EXAMPLE_CD_SWEEP["base"]["trials"]
 
+#: The warm-cache gate reuses the executor dial at reduced weight: heavy
+#: enough that re-simulating dwarfs key hashing + JSON loads by orders
+#: of magnitude, light enough to keep the benchmark batch fast.
+CACHE_TRIALS_PER_POINT = 50_000
+
 #: Eight entropy-dial points (n = 2^16 has 16 condensed ranges).
 RANGE_SETS: list[list[int]] = [
     [8],
@@ -79,6 +88,16 @@ def executor_sweep(trials: int = TRIALS_PER_POINT) -> Sweep:
         }
     )
     return Sweep(base=base, grid={"workload.params.ranges": RANGE_SETS})
+
+
+def cache_sweep(trials: int = CACHE_TRIALS_PER_POINT) -> Sweep:
+    """The warm-cache gate grid: the executor dial at cache-gate weight.
+
+    Same eight entropy-dial points as :func:`executor_sweep` - the
+    content-addressed store is executor-agnostic, so the cache gate
+    reuses the canonical sweep rather than inventing a new grid.
+    """
+    return executor_sweep(trials)
 
 
 def fused_sweep(trials: int = FUSED_TRIALS_PER_POINT) -> Sweep:

@@ -9,7 +9,13 @@ Subcommands:
   EXPERIMENTS.md-style paper-vs-measured summary;
 * ``repro scenario run <SPEC.json>`` - execute one declarative scenario;
 * ``repro scenario sweep <SWEEP.json>`` - expand and execute a scenario
-  grid through the serial, process-pool or fused executor;
+  grid through the serial, process-pool, fused or supervised executor;
+  ``--resume JOURNAL`` checkpoints every completed point and replays the
+  journal on re-run, ``--cache-dir DIR`` consults a content-addressed
+  result store before executing anything, and ``--inject-faults JSON``
+  drives the deterministic crash/hang/corrupt harness (an injected
+  driver crash exits with status 3; exhausted supervised retries report
+  a failure manifest and exit 1);
 * ``repro scenario example [--sweep|--player|--cd-grid|--adversary]`` -
   print a ready-to-run spec (``--cd-grid`` is the dense
   collision-detection sweep whose points stack through the fused history
@@ -38,6 +44,7 @@ from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .scenarios import (
     EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
+    EXAMPLE_FAULT_PLAN,
     EXAMPLE_OPEN_RETRY_SWEEP,
     EXAMPLE_OPEN_SCENARIO,
     EXAMPLE_OPEN_SWEEP,
@@ -45,7 +52,11 @@ from .scenarios import (
     OpenSweep,
     ScenarioError,
     ScenarioSpec,
+    SimulatedCrash,
     Sweep,
+    fault_plan_from_json,
+    make_supervised_executor,
+    register_executor,
     run_open_scenario,
     run_open_sweep,
     run_scenario,
@@ -111,13 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.add_argument(
         "--executor",
-        choices=["serial", "process", "fused"],
+        choices=["serial", "process", "fused", "supervised"],
         default="serial",
         help=(
             "point executor: in-process serial (default), a process pool, "
-            "or fused - compatible points stacked into one vectorized "
+            "fused - compatible points stacked into one vectorized "
             "engine run (single-core speedup; statistics identical to "
-            "serial)"
+            "serial) - or supervised: per-point worker processes with "
+            "timeouts, bounded retry and a failure manifest instead of a "
+            "raised traceback"
         ),
     )
     scenario_sweep.add_argument(
@@ -125,6 +138,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool size (default: min(points, cpu count))",
+    )
+    scenario_sweep.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help=(
+            "checkpoint journal path: completed points are appended as "
+            "the sweep runs, and an existing journal is replayed so only "
+            "missing points re-execute (bit-identical to an "
+            "uninterrupted run)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed result store: points whose spec hash is "
+            "already cached are served from disk without running any "
+            "engine"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--point-timeout",
+        type=float,
+        default=60.0,
+        help=(
+            "supervised executor only: per-attempt wall-clock budget in "
+            "seconds (default 60)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--point-retries",
+        type=int,
+        default=2,
+        help=(
+            "supervised executor only: extra attempts a failed point "
+            "gets before entering the failure manifest (default 2)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--inject-faults",
+        metavar="JSON",
+        default=None,
+        help=(
+            "deterministic fault plan, e.g. "
+            f"'{json.dumps(EXAMPLE_FAULT_PLAN)}' - worker "
+            "faults need --executor supervised; a driver crash exits 3 "
+            "with the journal intact"
+        ),
     )
     scenario_sweep.add_argument(
         "--json", action="store_true", help="emit all point results as JSON"
@@ -195,6 +258,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     open_sweep.add_argument(
         "spec", help="path to an open sweep JSON file ({base, grid}), or '-'"
+    )
+    open_sweep.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="checkpoint journal path (as for 'scenario sweep --resume')",
+    )
+    open_sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed result store directory; open and closed "
+            "specs hash to disjoint keys, so one directory serves both"
+        ),
     )
     open_sweep.add_argument(
         "--json", action="store_true", help="emit all point results as JSON"
@@ -389,7 +467,11 @@ def _command_scenario_open(args: argparse.Namespace) -> int:
             print(result.to_json() if args.json else result.render())
             return 0
         if args.open_command == "sweep":
-            sweep_result = run_open_sweep(OpenSweep.from_json(text))
+            sweep_result = run_open_sweep(
+                OpenSweep.from_json(text),
+                resume=args.resume,
+                cache=args.cache_dir,
+            )
             print(sweep_result.to_json() if args.json else sweep_result.render())
             return 0
     except ScenarioError as error:
@@ -425,13 +507,35 @@ def _command_scenario(args: argparse.Namespace) -> int:
             print(result.to_json() if args.json else result.render())
             return 0
         if args.scenario_command == "sweep":
-            sweep_result = run_sweep(
-                Sweep.from_json(text),
-                executor=args.executor,
-                max_workers=args.workers,
+            if args.executor == "supervised":
+                # Re-register with the user's failure policy; replace=True
+                # swaps the library-default registration in place.
+                register_executor(
+                    "supervised",
+                    make_supervised_executor(
+                        timeout=args.point_timeout, retries=args.point_retries
+                    ),
+                    replace=True,
+                )
+            fault_plan = (
+                fault_plan_from_json(args.inject_faults)
+                if args.inject_faults
+                else None
             )
+            try:
+                sweep_result = run_sweep(
+                    Sweep.from_json(text),
+                    executor=args.executor,
+                    max_workers=args.workers,
+                    resume=args.resume,
+                    cache=args.cache_dir,
+                    fault_plan=fault_plan,
+                )
+            except SimulatedCrash as crash:
+                print(f"simulated crash: {crash}", file=sys.stderr)
+                return 3
             print(sweep_result.to_json() if args.json else sweep_result.render())
-            return 0
+            return 1 if sweep_result.failures else 0
     except ScenarioError as error:
         print(f"scenario error: {error}", file=sys.stderr)
         return 2

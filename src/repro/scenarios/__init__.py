@@ -17,6 +17,15 @@ The single configuration-driven entry point into the simulation stack:
   process-pool (multi-core) and fused (stacked single-core) executors;
   the fused executor stacks compatible schedule, history (CD) and
   player points into one engine run each;
+* :mod:`~repro.scenarios.store` - the durability layer: a
+  content-addressed result store (:class:`ResultStore`) and the
+  checkpointing :class:`SweepJournal` behind
+  ``run_sweep(..., resume=..., cache=...)``;
+* :mod:`~repro.scenarios.supervised` - the ``"supervised"`` executor:
+  per-point timeouts, bounded retry with backoff, and a structured
+  failure manifest instead of a raised traceback;
+* :mod:`~repro.scenarios.faults` - deterministic crash/hang/corrupt
+  injection (:class:`FaultPlan`) so the recovery paths stay tested;
 * :mod:`~repro.scenarios.open` - open-system scenarios over streaming
   arrivals (:class:`OpenScenarioSpec`, :func:`run_open_scenario`) and
   the load -> latency sweep family (:class:`OpenSweep`,
@@ -61,16 +70,28 @@ from .spec import (
 from .sweep import (
     EXECUTORS,
     Sweep,
+    SweepPointError,
     SweepResult,
     derive_point_seeds,
     fusion_groups,
     fusion_key,
     register_executor,
     run_sweep,
+    unregister_executor,
 )
+from .store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    SweepJournal,
+    spec_key,
+    sweep_key,
+)
+from .faults import FaultPlan, SimulatedCrash, fault_plan_from_json
+from .supervised import make_supervised_executor
 from .examples import (
     EXAMPLE_ADVERSARY_SWEEP,
     EXAMPLE_CD_SWEEP,
+    EXAMPLE_FAULT_PLAN,
     EXAMPLE_OPEN_RETRY_SWEEP,
     EXAMPLE_OPEN_SCENARIO,
     EXAMPLE_OPEN_SWEEP,
@@ -122,12 +143,25 @@ __all__ = [
     # sweeps
     "Sweep",
     "SweepResult",
+    "SweepPointError",
     "run_sweep",
     "derive_point_seeds",
     "fusion_key",
     "fusion_groups",
     "EXECUTORS",
     "register_executor",
+    "unregister_executor",
+    # durability
+    "SCHEMA_VERSION",
+    "spec_key",
+    "sweep_key",
+    "ResultStore",
+    "SweepJournal",
+    # supervision and fault injection
+    "make_supervised_executor",
+    "FaultPlan",
+    "SimulatedCrash",
+    "fault_plan_from_json",
     # open system
     "ArrivalSpec",
     "RetrySpec",
@@ -142,6 +176,7 @@ __all__ = [
     # example payloads
     "EXAMPLE_CD_SWEEP",
     "EXAMPLE_ADVERSARY_SWEEP",
+    "EXAMPLE_FAULT_PLAN",
     "EXAMPLE_OPEN_SCENARIO",
     "EXAMPLE_OPEN_SWEEP",
     "EXAMPLE_OPEN_RETRY_SWEEP",

@@ -13,6 +13,7 @@ import copy
 __all__ = [
     "EXAMPLE_CD_SWEEP",
     "EXAMPLE_ADVERSARY_SWEEP",
+    "EXAMPLE_FAULT_PLAN",
     "EXAMPLE_OPEN_SCENARIO",
     "EXAMPLE_OPEN_SWEEP",
     "EXAMPLE_OPEN_RETRY_SWEEP",
@@ -217,4 +218,20 @@ EXAMPLE_ADVERSARY_SWEEP: dict = {
         "channel.model.params.budget": [0, 8, 16, 32],
     },
     "vary_seed": True,
+}
+
+#: The fault-injection demo plan for ``scenario sweep --inject-faults``:
+#: point 0's first attempt is killed, point 1's first result comes back
+#: corrupted, point 2's first attempt hangs (the supervisor's timeout
+#: reclaims it), and the *driver* itself crashes after 4 checkpointed
+#: points - re-running with the same ``--resume`` journal replays those 4
+#: and finishes bit-identically.  Worker faults (crash/hang/corrupt) need
+#: ``--executor supervised``; ``crash_driver_after`` works everywhere.
+#: ``tests/scenarios/test_supervised.py`` exercises every directive.
+EXAMPLE_FAULT_PLAN: dict = {
+    "crash": {"0": 1},
+    "corrupt": {"1": 1},
+    "hang": {"2": 1},
+    "hang_seconds": 600,
+    "crash_driver_after": 4,
 }

@@ -637,10 +637,18 @@ class OpenSweep:
 
 @dataclass
 class OpenSweepResult:
-    """All point results of one open sweep execution."""
+    """All point results of one open sweep execution.
+
+    ``resumed`` and ``cache_hits`` count points restored from a
+    checkpoint journal / the content-addressed store instead of executed
+    (see :func:`~repro.scenarios.sweep.run_sweep` - same durability
+    layer, same provenance-not-identity equality rule).
+    """
 
     results: list[OpenScenarioResult]
     elapsed_seconds: float = field(default=0.0, compare=False)
+    resumed: int = field(default=0, compare=False)
+    cache_hits: int = field(default=0, compare=False)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -648,6 +656,8 @@ class OpenSweepResult:
     def to_dict(self) -> dict:
         return {
             "elapsed_seconds": self.elapsed_seconds,
+            "resumed": self.resumed,
+            "cache_hits": self.cache_hits,
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -658,6 +668,8 @@ class OpenSweepResult:
                 OpenScenarioResult.from_dict(row) for row in data["results"]
             ],
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            resumed=int(data.get("resumed", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -693,18 +705,82 @@ class OpenSweepResult:
         table = render_table(headers, rows, precision=3)
         return (
             f"open sweep: {len(self.results)} point(s), "
-            f"wall {self.elapsed_seconds:.3f}s\n{table}"
+            f"wall {self.elapsed_seconds:.3f}s, resumed={self.resumed}, "
+            f"cache_hits={self.cache_hits}\n{table}"
         )
 
 
-def run_open_sweep(sweep: OpenSweep | Sequence[OpenScenarioSpec]) -> OpenSweepResult:
-    """Execute an open sweep (or explicit point list), serially, in order."""
+def run_open_sweep(
+    sweep: OpenSweep | Sequence[OpenScenarioSpec],
+    *,
+    resume: "str | os.PathLike | None" = None,
+    cache: "ResultStore | str | os.PathLike | None" = None,
+) -> OpenSweepResult:
+    """Execute an open sweep (or explicit point list), serially, in order.
+
+    ``resume=`` and ``cache=`` are the closed sweep's durability layer
+    (:mod:`repro.scenarios.store`): a checkpoint journal replayed before
+    execution and appended per completed point, and a content-addressed
+    result store consulted before running anything.  Open and closed
+    specs hash to disjoint key spaces, so one cache directory can serve
+    both sweep families.
+    """
+    from .store import ResultStore, SweepJournal, spec_key, sweep_key
+
     points = sweep.points() if isinstance(sweep, OpenSweep) else list(sweep)
     if not points:
         raise ScenarioError("open sweep expanded to zero points")
     started = time.perf_counter()
-    results = [run_open_scenario(point) for point in points]
+    total = len(points)
+    slots: list[OpenScenarioResult | None] = [None] * total
+    resumed = 0
+    cache_hits = 0
+    keys: list[str] | None = None
+    if resume is not None or cache is not None:
+        keys = [spec_key(point) for point in points]
+    store = ResultStore.coerce(cache)
+    journal: SweepJournal | None = None
+    try:
+        if resume is not None:
+            assert keys is not None
+            journal = SweepJournal(
+                resume,
+                sweep=sweep_key(keys),
+                points=total,
+                point_keys=keys,
+                result_from_dict=OpenScenarioResult.from_dict,
+            )
+            for index, result in journal.replayed.items():
+                slots[index] = result
+                if store is not None:
+                    assert keys is not None
+                    store.put(points[index], result, key=keys[index])
+            resumed = len(journal.replayed)
+        for index in range(total):
+            if slots[index] is not None:
+                continue
+            if store is not None:
+                assert keys is not None
+                hit = store.get(points[index], key=keys[index])
+                if hit is not None:
+                    slots[index] = hit
+                    cache_hits += 1
+                    if journal is not None:
+                        journal.append([(index, hit.to_dict())])
+                    continue
+            result = run_open_scenario(points[index])
+            slots[index] = result
+            if journal is not None:
+                journal.append([(index, result.to_dict())])
+            if store is not None:
+                assert keys is not None
+                store.put(points[index], result, key=keys[index])
+    finally:
+        if journal is not None:
+            journal.close()
     return OpenSweepResult(
-        results=results,
+        results=[slot for slot in slots if slot is not None],
         elapsed_seconds=time.perf_counter() - started,
+        resumed=resumed,
+        cache_hits=cache_hits,
     )

@@ -12,7 +12,13 @@ one facade, so a scenario behaves identically however it is launched.
 Results are JSON-round-trippable (:meth:`ScenarioResult.to_dict` /
 ``from_dict``), and a spec plus its seed fully determines the result:
 re-loading a serialized spec and re-running reproduces the tables
-bit-for-bit.
+bit-for-bit.  The durability layer leans on both halves of that
+contract: the content-addressed result store
+(:func:`~repro.scenarios.store.spec_key`) uses the canonical spec JSON
+as the *complete* identity of a result, journal resume replays
+serialized results in place of re-execution, and the supervised
+executor detects corrupted worker replies by checking the spec embedded
+in the deserialized result against the point it dispatched.
 """
 
 from __future__ import annotations

@@ -1,0 +1,244 @@
+"""The supervised sweep executor: timeouts, bounded retry, degradation.
+
+The built-in process pool (``executor="process"``) assumes workers are
+well-behaved: a worker that wedges stalls the sweep forever, and a
+worker that dies takes the pool down with a bare traceback.  The
+supervised executor assumes the opposite - workers may crash, hang, or
+return corrupted results (exactly the faults
+:class:`~repro.scenarios.faults.FaultPlan` scripts) - and wraps each
+point in its own supervised process:
+
+* **per-point timeout** - a worker past its deadline is terminated and
+  the attempt counts as failed;
+* **bounded retry with backoff** - each point gets ``retries`` extra
+  attempts, separated by exponentially growing sleeps;
+* **result validation** - a returned result whose embedded spec does not
+  match the point's spec is rejected as corrupt (the result crossed the
+  process boundary as JSON; a mismatch means the worker answered the
+  wrong question);
+* **graceful degradation** - a point that exhausts its attempts is
+  recorded in a structured failure manifest and the sweep *continues*;
+  :func:`~repro.scenarios.sweep.run_sweep` returns the points that did
+  complete plus the manifest instead of raising.
+
+Because every point still runs :func:`~repro.scenarios.runner.run_scenario`
+from its own serialized spec, supervised results are bit-identical to
+the serial executor's - supervision changes what happens on failure,
+never what a success computes.
+
+Importing this module registers the executor as ``"supervised"`` with
+library defaults; the CLI re-registers it (``replace=True``) with
+user-configured timeout/retry settings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Sequence
+from multiprocessing.connection import wait as _wait_connections
+
+from .faults import FaultPlan
+from .runner import ScenarioResult, run_scenario
+from .spec import ScenarioError, ScenarioSpec
+from .sweep import _pool_context, register_executor
+
+__all__ = [
+    "make_supervised_executor",
+]
+
+#: Exit status of a fault-injected worker crash - distinctive on purpose,
+#: so a supervisor test failure names the injected death, not a generic 1.
+CRASH_EXIT_CODE = 173
+
+
+def _supervised_point_worker(
+    conn, spec_data: dict, directive: str | None, hang_seconds: float
+) -> None:
+    """Worker entry: run one point, honoring an injected fault directive."""
+    try:
+        if directive == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if directive == "hang":
+            # Never answer; the supervisor's deadline is the only way out.
+            time.sleep(hang_seconds)
+            os._exit(CRASH_EXIT_CODE)
+        result = run_scenario(ScenarioSpec.from_dict(spec_data)).to_dict()
+        if directive == "corrupt":
+            # A wrong-question answer: the embedded spec no longer
+            # matches the point, which validation must catch.
+            result["spec"]["seed"] = int(result["spec"]["seed"]) + 1
+        conn.send({"ok": True, "result": result})
+    except Exception as error:  # pragma: no cover - crosses processes
+        try:
+            conn.send({"ok": False, "error": f"{type(error).__name__}: {error}"})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One live supervised attempt at one point."""
+
+    __slots__ = ("index", "number", "process", "conn", "deadline")
+
+    def __init__(self, index, number, process, conn, deadline):
+        self.index = index
+        self.number = number
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join()
+        self.conn.close()
+
+
+def make_supervised_executor(
+    *,
+    timeout: float = 60.0,
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> Callable:
+    """Build a supervised executor with the given failure policy.
+
+    ``timeout`` is the per-attempt wall-clock budget in seconds;
+    ``retries`` is how many *extra* attempts a failed point gets (so a
+    point runs at most ``retries + 1`` times); ``backoff`` seeds the
+    exponential sleep before retry ``a`` (``backoff * 2**(a-1)``).
+    The returned callable fits the executor registry and accepts the
+    checkpoint-aware keywords ``checkpoint`` and ``fault_plan``.
+    """
+    if timeout <= 0:
+        raise ScenarioError(f"timeout must be > 0, got {timeout}")
+    if retries < 0:
+        raise ScenarioError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ScenarioError(f"backoff must be >= 0, got {backoff}")
+
+    def supervised(
+        points: Sequence[ScenarioSpec],
+        max_workers: int | None,
+        *,
+        checkpoint: Callable | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
+        if max_workers is None:
+            max_workers = min(len(points), multiprocessing.cpu_count())
+        max_workers = max(1, max_workers)
+        context = _pool_context()
+        plan = fault_plan if fault_plan is not None else FaultPlan()
+
+        results: list[ScenarioResult | None] = [None] * len(points)
+        failures: list[dict] = []
+        waiting: list[tuple[int, int]] = [(i, 0) for i in range(len(points))]
+        active: list[_Attempt] = []
+
+        def launch(index: int, number: int) -> None:
+            if number > 0 and backoff > 0:
+                time.sleep(backoff * (2 ** (number - 1)))
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_supervised_point_worker,
+                args=(
+                    child_conn,
+                    points[index].to_dict(),
+                    plan.directive(index, number),
+                    plan.hang_seconds,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            active.append(
+                _Attempt(
+                    index,
+                    number,
+                    process,
+                    parent_conn,
+                    time.monotonic() + timeout,
+                )
+            )
+
+        def attempt_failed(attempt: _Attempt, error: str) -> None:
+            attempt.kill()
+            active.remove(attempt)
+            if attempt.number < retries:
+                waiting.append((attempt.index, attempt.number + 1))
+            else:
+                failures.append(
+                    {
+                        "index": attempt.index,
+                        "error": error,
+                        "attempts": attempt.number + 1,
+                    }
+                )
+
+        def attempt_succeeded(attempt: _Attempt, payload: dict) -> None:
+            result = ScenarioResult.from_dict(payload)
+            if result.spec != points[attempt.index]:
+                attempt_failed(
+                    attempt,
+                    "corrupted result: embedded spec does not match the "
+                    "point spec",
+                )
+                return
+            attempt.kill()
+            active.remove(attempt)
+            results[attempt.index] = result
+            # Outside any try: a checkpoint-raised SimulatedCrash (or
+            # journal error) must unwind, not count as a point failure.
+            if checkpoint is not None:
+                checkpoint([attempt.index], [result])
+
+        try:
+            while waiting or active:
+                while waiting and len(active) < max_workers:
+                    index, number = waiting.pop(0)
+                    launch(index, number)
+                deadline = min(attempt.deadline for attempt in active)
+                poll = max(0.0, deadline - time.monotonic())
+                ready = _wait_connections(
+                    [attempt.conn for attempt in active], timeout=poll
+                )
+                by_conn = {attempt.conn: attempt for attempt in active}
+                for conn in ready:
+                    attempt = by_conn[conn]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        attempt.process.join()
+                        code = attempt.process.exitcode
+                        attempt_failed(
+                            attempt,
+                            f"worker died without answering (exit code {code})",
+                        )
+                        continue
+                    if message.get("ok"):
+                        attempt_succeeded(attempt, message["result"])
+                    else:
+                        attempt_failed(
+                            attempt,
+                            f"worker error: {message.get('error', 'unknown')}",
+                        )
+                now = time.monotonic()
+                for attempt in list(active):
+                    if now >= attempt.deadline:
+                        attempt_failed(
+                            attempt, f"timed out after {timeout:.6g}s"
+                        )
+        finally:
+            for attempt in list(active):
+                attempt.kill()
+
+        return results, failures
+
+    supervised.executor_name = "supervised"
+    return supervised
+
+
+register_executor("supervised", make_supervised_executor(), replace=True)

@@ -25,20 +25,36 @@ them through a pluggable executor:
   points - and singleton groups, where stacking buys nothing -
   transparently fall back to serial in-place runs.
 
+A fourth executor, ``"supervised"`` (:mod:`repro.scenarios.supervised`),
+wraps a worker pool with per-point timeouts, bounded retry with backoff
+and graceful degradation - on exhausted retries the sweep returns the
+points that did complete plus a structured failure manifest instead of
+raising.
+
 Specs and results cross the process boundary as JSON-native dicts, so
 the pool never pickles protocol objects or RNG state - workers rebuild
 everything from the spec, exactly as a fresh process loading the JSON
 would.
+
+:func:`run_sweep` also owns the durability layer
+(:mod:`repro.scenarios.store`): ``resume=`` checkpoints every completed
+point (whole fused groups atomically) to an append-only journal and
+replays it on the next run, ``cache=`` consults a content-addressed
+result store before executing anything, and ``fault_plan=``
+(:mod:`repro.scenarios.faults`) injects scripted crashes so those
+recovery paths stay tested.
 """
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import json
 import multiprocessing
+import os
 import time
 from collections.abc import Callable, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +69,7 @@ from ..analysis.montecarlo import (
     estimate_player_rounds_many,
     estimate_uniform_rounds_many,
 )
+from .faults import FaultPlan, SimulatedCrash
 from .runner import (
     ResolvedScenario,
     ScenarioResult,
@@ -61,17 +78,49 @@ from .runner import (
     run_scenario,
 )
 from .spec import ScenarioError, ScenarioSpec
+from .store import ResultStore, SweepJournal, spec_key, sweep_key
 
 __all__ = [
     "Sweep",
     "SweepResult",
+    "SweepPointError",
     "run_sweep",
     "derive_point_seeds",
     "fusion_key",
     "fusion_groups",
     "EXECUTORS",
     "register_executor",
+    "unregister_executor",
 ]
+
+
+class SweepPointError(ScenarioError):
+    """A sweep point failed, with the point named instead of a bare trace.
+
+    Raised by the raising executors (serial / process / fused) in place
+    of whatever the point's execution raised, so a failure 900 points
+    into a grid says *which* point and *which* grid overrides produced
+    it.  The original exception is chained as ``__cause__`` and kept on
+    :attr:`cause`; the supervised executor records the same information
+    in its failure manifest instead of raising at all.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: ScenarioSpec,
+        cause: BaseException,
+        overrides: Mapping | None = None,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.cause = cause
+        self.overrides = dict(overrides) if overrides else {}
+        parts = [f"sweep point {index} ({spec.label()}) failed: {cause}"]
+        if self.overrides:
+            parts.append(f"grid overrides: {json.dumps(self.overrides)}")
+        parts.append(f"point spec: {json.dumps(spec.to_dict())}")
+        super().__init__("; ".join(parts))
 
 
 def derive_point_seeds(base_seed: int, count: int) -> list[int]:
@@ -116,8 +165,8 @@ class Sweep:
             if len(values) == 0:
                 raise ScenarioError(f"grid values for {path!r} must be non-empty")
 
-    def points(self) -> list[ScenarioSpec]:
-        """The expanded scenario specs, in deterministic grid order."""
+    def _expanded(self) -> list[tuple[dict, ScenarioSpec]]:
+        """Grid expansion: ``(grid_overrides, spec)`` per point, in order."""
         paths = list(self.grid)
         combos = list(itertools.product(*(self.grid[path] for path in paths)))
         seeds = (
@@ -125,17 +174,30 @@ class Sweep:
             if self.vary_seed and "seed" not in paths
             else None
         )
-        specs: list[ScenarioSpec] = []
+        expanded: list[tuple[dict, ScenarioSpec]] = []
         for index, combo in enumerate(combos):
-            overrides = dict(zip(paths, combo))
+            grid_overrides = dict(zip(paths, combo))
+            overrides = dict(grid_overrides)
             if seeds is not None:
                 overrides["seed"] = seeds[index]
             if "name" not in overrides:
                 overrides["name"] = (
                     f"{self.base.name}[{index}]" if self.base.name else f"point-{index}"
                 )
-            specs.append(self.base.override(overrides))
-        return specs
+            expanded.append((grid_overrides, self.base.override(overrides)))
+        return expanded
+
+    def points(self) -> list[ScenarioSpec]:
+        """The expanded scenario specs, in deterministic grid order."""
+        return [spec for _, spec in self._expanded()]
+
+    def point_overrides(self) -> list[dict]:
+        """Each point's grid overrides (derived seed/name excluded), in order.
+
+        Aligned with :meth:`points`; error messages and failure manifests
+        use these to name the grid cell a failing point came from.
+        """
+        return [overrides for overrides, _ in self._expanded()]
 
     def to_dict(self) -> dict:
         return {
@@ -178,11 +240,24 @@ class Sweep:
 
 @dataclass
 class SweepResult:
-    """All point results of one sweep execution."""
+    """All point results of one sweep execution.
+
+    ``resumed`` and ``cache_hits`` count points restored from a
+    checkpoint journal or the content-addressed store instead of
+    executed; like wall clock they are provenance, not identity, so they
+    are excluded from equality.  ``failures`` is the structured failure
+    manifest of a degraded run (supervised executor with exhausted
+    retries): one mapping per missing point naming its index, label,
+    grid overrides, spec and last error.  A degraded result is *not*
+    equal to a complete one, so failures do participate in equality.
+    """
 
     results: list[ScenarioResult]
     executor: str
     elapsed_seconds: float = field(default=0.0, compare=False)
+    resumed: int = field(default=0, compare=False)
+    cache_hits: int = field(default=0, compare=False)
+    failures: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -191,6 +266,9 @@ class SweepResult:
         return {
             "executor": self.executor,
             "elapsed_seconds": self.elapsed_seconds,
+            "resumed": self.resumed,
+            "cache_hits": self.cache_hits,
+            "failures": [dict(failure) for failure in self.failures],
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -200,6 +278,9 @@ class SweepResult:
             results=[ScenarioResult.from_dict(row) for row in data["results"]],
             executor=str(data.get("executor", "serial")),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            resumed=int(data.get("resumed", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            failures=[dict(row) for row in data.get("failures", [])],
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -223,10 +304,21 @@ class SweepResult:
                 ]
             )
         table = render_table(headers, rows, precision=3)
-        return (
+        lines = [
             f"sweep: {len(self.results)} point(s), executor={self.executor}, "
-            f"wall {self.elapsed_seconds:.3f}s\n{table}"
-        )
+            f"wall {self.elapsed_seconds:.3f}s, resumed={self.resumed}, "
+            f"cache_hits={self.cache_hits}, failures={len(self.failures)}",
+            table,
+        ]
+        if self.failures:
+            lines.append("failed points (see the structured manifest in --json):")
+            for failure in self.failures:
+                lines.append(
+                    f"  - point {failure.get('index')} "
+                    f"({failure.get('name', '?')}): {failure.get('error', '?')} "
+                    f"after {failure.get('attempts', '?')} attempt(s)"
+                )
+        return "\n".join(lines)
 
 
 def _run_point_payload(spec_data: dict) -> dict:
@@ -235,10 +327,24 @@ def _run_point_payload(spec_data: dict) -> dict:
 
 
 def _run_serial(
-    points: Sequence[ScenarioSpec], max_workers: int | None
+    points: Sequence[ScenarioSpec],
+    max_workers: int | None,
+    *,
+    checkpoint: Callable | None = None,
 ) -> list[ScenarioResult]:
     del max_workers
-    return [run_scenario(point) for point in points]
+    results: list[ScenarioResult] = []
+    for index, point in enumerate(points):
+        try:
+            result = run_scenario(point)
+        except Exception as error:
+            raise SweepPointError(index, point, error) from error
+        results.append(result)
+        # Outside the try: a checkpoint-injected SimulatedCrash must
+        # unwind like a real crash, not get repackaged as a point error.
+        if checkpoint is not None:
+            checkpoint([index], [result])
+    return results
 
 
 def _pool_context():
@@ -248,17 +354,48 @@ def _pool_context():
 
 
 def _run_process_pool(
-    points: Sequence[ScenarioSpec], max_workers: int | None
+    points: Sequence[ScenarioSpec],
+    max_workers: int | None,
+    *,
+    checkpoint: Callable | None = None,
 ) -> list[ScenarioResult]:
     if max_workers is None:
         max_workers = min(len(points), multiprocessing.cpu_count())
     max_workers = max(1, max_workers)
-    payloads = [point.to_dict() for point in points]
+    results: list[ScenarioResult | None] = [None] * len(points)
     with ProcessPoolExecutor(
         max_workers=max_workers, mp_context=_pool_context()
     ) as pool:
-        result_dicts = list(pool.map(_run_point_payload, payloads))
-    return [ScenarioResult.from_dict(data) for data in result_dicts]
+        futures = {
+            pool.submit(_run_point_payload, point.to_dict()): index
+            for index, point in enumerate(points)
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            # Checkpoint completions in index order within each wave so
+            # a crash-and-resume journal has a deterministic shape.
+            for future in sorted(done, key=futures.__getitem__):
+                index = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as error:
+                    for leftover in pending:
+                        leftover.cancel()
+                    raise SweepPointError(
+                        index, points[index], error
+                    ) from error
+                result = ScenarioResult.from_dict(payload)
+                results[index] = result
+                if checkpoint is not None:
+                    try:
+                        checkpoint([index], [result])
+                    except BaseException:
+                        # Driver crash (or journal error): don't block on
+                        # points the journal will never see.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+    return results  # type: ignore[return-value]
 
 
 def fusion_key(resolved: ResolvedScenario) -> tuple | None:
@@ -408,50 +545,118 @@ def _run_fused_group(
 
 
 def _run_fused(
-    points: Sequence[ScenarioSpec], max_workers: int | None
+    points: Sequence[ScenarioSpec],
+    max_workers: int | None,
+    *,
+    checkpoint: Callable | None = None,
 ) -> list[ScenarioResult]:
-    """The fused executor: stack compatible points, serial-run the rest."""
+    """The fused executor: stack compatible points, serial-run the rest.
+
+    Checkpoint granularity is the fusion *group*: a stacked run either
+    lands whole or not at all, so a resumed sweep re-fuses exactly the
+    still-missing groups and every point keeps its stacked engine label.
+    """
     del max_workers
-    resolved_points = [resolve_scenario(point) for point in points]
+    resolved_points: list[ResolvedScenario] = []
+    for index, point in enumerate(points):
+        try:
+            resolved_points.append(resolve_scenario(point))
+        except Exception as error:
+            raise SweepPointError(index, point, error) from error
     results: list[ScenarioResult | None] = [None] * len(points)
     for group in fusion_groups(resolved_points):
-        if len(group) == 1:
-            # Nothing to amortize (or unfusable): the serial reference
-            # run, which re-resolves from the spec - resolution consumes
-            # no randomness, so the duplicate resolution is free of
-            # stream effects.
-            index = group[0]
-            results[index] = run_scenario(points[index])
-        else:
-            for index, result in zip(
-                group, _run_fused_group([resolved_points[i] for i in group])
-            ):
-                results[index] = result
+        try:
+            if len(group) == 1:
+                # Nothing to amortize (or unfusable): the serial
+                # reference run, which re-resolves from the spec -
+                # resolution consumes no randomness, so the duplicate
+                # resolution is free of stream effects.
+                group_results = [run_scenario(points[group[0]])]
+            else:
+                group_results = _run_fused_group(
+                    [resolved_points[i] for i in group]
+                )
+        except Exception as error:
+            first = group[0]
+            raise SweepPointError(first, points[first], error) from error
+        for index, result in zip(group, group_results):
+            results[index] = result
+        if checkpoint is not None:
+            checkpoint(list(group), group_results)
     return results  # type: ignore[return-value]
 
 
-Executor = Callable[[Sequence[ScenarioSpec], "int | None"], list[ScenarioResult]]
+Executor = Callable[..., "list | tuple"]
 
 #: Executor name -> callable ``(points, max_workers) -> results``.
+#: Checkpoint-aware executors additionally accept a ``checkpoint``
+#: keyword (and, for supervising executors, ``fault_plan``); legacy
+#: two-argument executors keep working and are checkpointed by
+#: :func:`run_sweep` after they return.
 EXECUTORS: dict[str, Executor] = {
     "serial": _run_serial,
     "process": _run_process_pool,
     "fused": _run_fused,
 }
 
+_BUILTIN_EXECUTORS = frozenset(EXECUTORS)
 
-def register_executor(name: str, executor: Executor) -> None:
-    """Register a custom sweep executor (e.g. a cluster dispatcher)."""
-    if name in EXECUTORS:
-        raise ScenarioError(f"executor {name!r} already registered")
+
+def register_executor(
+    name: str, executor: Executor, *, replace: bool = False
+) -> None:
+    """Register a custom sweep executor (e.g. a cluster dispatcher).
+
+    Duplicate names are an error unless ``replace=True``, which swaps
+    the registration in place - how the CLI installs a supervised
+    executor with user-configured timeouts over the default one.
+    """
+    if name in EXECUTORS and not replace:
+        raise ScenarioError(
+            f"executor {name!r} already registered (pass replace=True to swap)"
+        )
     EXECUTORS[name] = executor
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered executor; built-ins cannot be removed.
+
+    The cleanup half of :func:`register_executor`, so tests that install
+    an executor don't leak it into the global registry.
+    """
+    if name in _BUILTIN_EXECUTORS:
+        raise ScenarioError(f"cannot unregister built-in executor {name!r}")
+    if name not in EXECUTORS:
+        raise ScenarioError(f"executor {name!r} is not registered")
+    del EXECUTORS[name]
+
+
+def _accepts_keyword(executor: Callable, name: str) -> bool:
+    """Whether ``executor`` can be called with keyword ``name``."""
+    try:
+        parameters = inspect.signature(executor).parameters
+    except (TypeError, ValueError):
+        return False
+    if name in parameters:
+        kind = parameters[name].kind
+        return kind in (
+            inspect.Parameter.KEYWORD_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 def run_sweep(
     sweep: Sweep | Sequence[ScenarioSpec],
     *,
-    executor: str = "serial",
+    executor: str | Executor = "serial",
     max_workers: int | None = None,
+    resume: "str | os.PathLike | None" = None,
+    cache: "ResultStore | str | os.PathLike | None" = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """Execute a sweep (or an explicit point list) through an executor.
 
@@ -459,20 +664,196 @@ def run_sweep(
     because every point is reproducible from its own spec, executors are
     interchangeable - asserting serial/process agreement is a test, not
     a hope.
+
+    ``resume=`` names a checkpoint journal: completed points found there
+    are replayed instead of re-executed (the ``resumed`` counter), every
+    newly completed point (whole fused groups atomically) is appended,
+    and a run interrupted mid-sweep resumes bit-identical to an
+    uninterrupted one.  ``cache=`` is a content-addressed
+    :class:`~repro.scenarios.store.ResultStore` (or a directory path for
+    one) consulted before executing anything - a fully warm cache
+    re-runs a sweep without invoking a single engine.  ``fault_plan=``
+    injects scripted faults (:mod:`repro.scenarios.faults`): the driver
+    crash works under every executor; worker faults need an executor
+    that supervises workers (pass ``executor="supervised"``).
     """
-    points = sweep.points() if isinstance(sweep, Sweep) else list(sweep)
+    if isinstance(sweep, Sweep):
+        points = sweep.points()
+        point_overrides = sweep.point_overrides()
+    else:
+        points = list(sweep)
+        point_overrides = [{} for _ in points]
     if not points:
         raise ScenarioError("sweep expanded to zero points")
-    try:
-        run = EXECUTORS[executor]
-    except KeyError:
+    if callable(executor):
+        run = executor
+        executor_name = str(
+            getattr(executor, "executor_name", None)
+            or getattr(executor, "__name__", "custom")
+        )
+    else:
+        try:
+            run = EXECUTORS[executor]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown executor {executor!r}; known: "
+                f"{', '.join(sorted(EXECUTORS))}"
+            ) from None
+        executor_name = executor
+
+    checkpoint_aware = _accepts_keyword(run, "checkpoint")
+    supervising = _accepts_keyword(run, "fault_plan")
+    if (
+        fault_plan is not None
+        and fault_plan.has_worker_faults()
+        and not supervising
+    ):
         raise ScenarioError(
-            f"unknown executor {executor!r}; known: {', '.join(sorted(EXECUTORS))}"
-        ) from None
+            f"executor {executor_name!r} does not supervise workers, so the "
+            f"fault plan's crash/hang/corrupt faults would be silent no-ops; "
+            f"use the 'supervised' executor for worker faults"
+        )
+
     started = time.perf_counter()
-    results = run(points, max_workers)
+    total = len(points)
+    slots: list[ScenarioResult | None] = [None] * total
+    resumed = 0
+    cache_hits = 0
+    failures: list[dict] = []
+
+    keys: list[str] | None = None
+    if resume is not None or cache is not None:
+        keys = [spec_key(point) for point in points]
+    store = ResultStore.coerce(cache)
+    journal: SweepJournal | None = None
+    try:
+        if resume is not None:
+            assert keys is not None
+            journal = SweepJournal(
+                resume,
+                sweep=sweep_key(keys),
+                points=total,
+                point_keys=keys,
+                result_from_dict=ScenarioResult.from_dict,
+            )
+            for index, result in journal.replayed.items():
+                slots[index] = result
+                if store is not None:
+                    # Backfill the store so a later cache-only run is
+                    # fully warm even for journal-replayed points.
+                    store.put(points[index], result, key=keys[index])
+            resumed = len(journal.replayed)
+        if store is not None:
+            assert keys is not None
+            for index in range(total):
+                if slots[index] is not None:
+                    continue
+                hit = store.get(points[index], key=keys[index])
+                if hit is None:
+                    continue
+                slots[index] = hit
+                cache_hits += 1
+                if journal is not None:
+                    journal.append([(index, hit.to_dict())])
+
+        missing = [index for index in range(total) if slots[index] is None]
+        crash_after = fault_plan.crash_driver_after if fault_plan else None
+        completed_this_run = 0
+
+        def checkpoint(
+            sub_indices: Sequence[int], results: Sequence[ScenarioResult]
+        ) -> None:
+            nonlocal completed_this_run
+            entries: list[tuple[int, dict]] = []
+            for local_index, result in zip(sub_indices, results):
+                global_index = missing[local_index]
+                slots[global_index] = result
+                if journal is not None:
+                    entries.append((global_index, result.to_dict()))
+                if store is not None:
+                    assert keys is not None
+                    store.put(
+                        points[global_index], result, key=keys[global_index]
+                    )
+            if journal is not None and entries:
+                journal.append(entries)
+            completed_this_run += len(sub_indices)
+            if crash_after is not None and completed_this_run >= crash_after:
+                raise SimulatedCrash(
+                    f"injected driver crash after {completed_this_run} "
+                    f"checkpointed point(s)"
+                )
+
+        if crash_after == 0:
+            # "Before any point executes" - the journal header (if any)
+            # is already on disk, exactly as a crash there would leave it.
+            raise SimulatedCrash("injected driver crash before any point ran")
+
+        if missing:
+            sub_points = [points[index] for index in missing]
+            call_kwargs: dict = {}
+            if checkpoint_aware:
+                call_kwargs["checkpoint"] = checkpoint
+            if supervising:
+                call_kwargs["fault_plan"] = (
+                    fault_plan.remap(missing) if fault_plan is not None else None
+                )
+            try:
+                out = run(sub_points, max_workers, **call_kwargs)
+            except SweepPointError as error:
+                global_index = missing[error.index]
+                raise SweepPointError(
+                    global_index,
+                    error.spec,
+                    error.cause,
+                    overrides=point_overrides[global_index],
+                ) from error.cause
+
+            sub_results: Sequence | None
+            if (
+                isinstance(out, tuple)
+                and len(out) == 2
+                and isinstance(out[1], list)
+            ):
+                sub_results, sub_failures = out
+            else:
+                sub_results, sub_failures = out, []
+            if sub_results is not None:
+                # Fill (and checkpoint) anything the executor returned
+                # without reporting through the checkpoint hook - the
+                # whole result list, for legacy two-argument executors.
+                for local_index, result in enumerate(sub_results):
+                    if result is None:
+                        continue
+                    if slots[missing[local_index]] is None:
+                        checkpoint([local_index], [result])
+            for failure in sub_failures:
+                enriched = dict(failure)
+                local_index = int(enriched.pop("index"))
+                global_index = missing[local_index]
+                point = points[global_index]
+                enriched.update(
+                    index=global_index,
+                    name=point.label(),
+                    overrides=point_overrides[global_index],
+                    spec=point.to_dict(),
+                )
+                failures.append(enriched)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    results = [slot for slot in slots if slot is not None]
+    if len(results) != total and not failures:
+        raise ScenarioError(
+            f"executor {executor_name!r} returned {len(results)} of {total} "
+            f"point(s) without reporting failures"
+        )
     return SweepResult(
         results=results,
-        executor=executor,
+        executor=executor_name,
         elapsed_seconds=time.perf_counter() - started,
+        resumed=resumed,
+        cache_hits=cache_hits,
+        failures=failures,
     )

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the content-addressed cache key.
+
+The two guarantees the result store leans on:
+
+* **stability** - serializing any valid spec to JSON and loading it back
+  yields the *same* key (the key is a pure function of the spec's
+  canonical serialized content, not of object identity or dict order);
+* **sensitivity** - changing any single field (seed, trials, a workload
+  or protocol parameter, the channel model, an open spec's retry or
+  admission policy) yields a *different* key, so a cache hit can never
+  serve a result computed for different inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import OpenScenarioSpec, ScenarioSpec, spec_key
+
+UNIFORM_IDS = ["decay", "backoff", "willard", "fixed-probability"]
+
+channels = st.one_of(
+    st.sampled_from(["cd", "nocd"]),
+    st.fixed_dictionaries(
+        {
+            "collision_detection": st.booleans(),
+            "model": st.fixed_dictionaries(
+                {
+                    "name": st.just("jam-oblivious"),
+                    "params": st.fixed_dictionaries(
+                        {"budget": st.integers(min_value=0, max_value=50)}
+                    ),
+                }
+            ),
+        }
+    ),
+)
+
+closed_specs = st.builds(
+    lambda pid, k, channel, n_exp, trials, max_rounds, seed: (
+        ScenarioSpec.from_dict(
+            {
+                "protocol": {"id": pid, "params": {}},
+                "workload": {"kind": "fixed", "params": {"k": k}},
+                "channel": channel,
+                "n": 2**n_exp,
+                "trials": trials,
+                "max_rounds": max_rounds,
+                "seed": seed,
+            }
+        )
+    ),
+    pid=st.sampled_from(UNIFORM_IDS),
+    k=st.integers(min_value=1, max_value=64),
+    channel=channels,
+    n_exp=st.integers(min_value=7, max_value=16),
+    trials=st.integers(min_value=1, max_value=10_000),
+    max_rounds=st.integers(min_value=1, max_value=4096),
+    seed=st.integers(min_value=0, max_value=2**63 - 1),
+)
+
+open_specs = st.builds(
+    lambda pid, rate, retry, admission, trials, rounds, seed: (
+        OpenScenarioSpec.from_dict(
+            {
+                "protocol": {"id": pid, "params": {}},
+                "arrivals": {"family": "poisson", "params": {"rate": rate}},
+                "channel": "cd",
+                "n": 128,
+                "trials": trials,
+                "rounds": rounds,
+                "retry": retry,
+                "admission": admission,
+                "seed": seed,
+            }
+        )
+    ),
+    pid=st.sampled_from(UNIFORM_IDS),
+    rate=st.floats(
+        min_value=0.01, max_value=2.0, allow_nan=False, allow_infinity=False
+    ),
+    retry=st.sampled_from(["give-up", "immediate"]),
+    admission=st.sampled_from(["capacity", "shed"]),
+    trials=st.integers(min_value=1, max_value=100),
+    rounds=st.integers(min_value=1, max_value=1024),
+    seed=st.integers(min_value=0, max_value=2**63 - 1),
+)
+
+any_spec = st.one_of(closed_specs, open_specs)
+
+
+class TestKeyStability:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=any_spec)
+    def test_json_round_trip_preserves_the_key(self, spec):
+        reloaded = type(spec).from_dict(json.loads(spec.to_json()))
+        assert spec_key(reloaded) == spec_key(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=closed_specs)
+    def test_key_ignores_dict_insertion_order(self, spec):
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        assert spec_key(ScenarioSpec.from_dict(shuffled)) == spec_key(spec)
+
+
+class TestKeySensitivity:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=closed_specs, delta=st.integers(min_value=1, max_value=1000))
+    def test_seed_change_changes_key(self, spec, delta):
+        mutated = spec.override({"seed": spec.seed + delta})
+        assert spec_key(mutated) != spec_key(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=closed_specs, delta=st.integers(min_value=1, max_value=100))
+    def test_workload_param_change_changes_key(self, spec, delta):
+        new_k = spec.workload.params["k"] + delta
+        mutated = spec.override({"workload.params.k": new_k})
+        assert spec_key(mutated) != spec_key(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=closed_specs, budget=st.integers(min_value=0, max_value=50))
+    def test_channel_model_change_changes_key(self, spec, budget):
+        model = {"name": "jam-reactive", "params": {"budget": budget}}
+        mutated = spec.override({"channel.model": model})
+        assert spec_key(mutated) != spec_key(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=open_specs)
+    def test_retry_and_admission_changes_change_key(self, spec):
+        other_retry = "backoff" if spec.retry.kind != "backoff" else "give-up"
+        other_admission = (
+            "shed" if spec.admission.kind != "shed" else "capacity"
+        )
+        assert spec_key(spec.override({"retry.kind": other_retry})) != spec_key(
+            spec
+        )
+        assert spec_key(
+            spec.override({"admission.kind": other_admission})
+        ) != spec_key(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=closed_specs, trials=st.integers(min_value=1, max_value=10_000))
+    def test_distinct_trials_distinct_keys(self, spec, trials):
+        mutated = spec.override({"trials": trials})
+        if trials == spec.trials:
+            assert spec_key(mutated) == spec_key(spec)
+        else:
+            assert spec_key(mutated) != spec_key(spec)
+
+    @settings(max_examples=30, deadline=None)
+    @given(closed=closed_specs, opened=open_specs)
+    def test_open_and_closed_key_spaces_are_disjoint(self, closed, opened):
+        assert spec_key(closed) != spec_key(opened)

@@ -60,7 +60,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from benchmarks.opensys_workload import open_point, open_retry_point  # noqa: E402
 from benchmarks.player_workload import N as PLAYER_N, player_cells  # noqa: E402
 from benchmarks.sweep_workload import (  # noqa: E402
+    CACHE_TRIALS_PER_POINT,
     RANGE_SETS,
+    cache_sweep,
     cd_grid_sweep,
     executor_sweep,
     fused_player_sweep,
@@ -192,6 +194,58 @@ def sweep_bench(trials: int, repeats: int, workers: int | None) -> dict:
         "serial_seconds": round(serial_seconds, 6),
         "process_seconds": round(process_seconds, 6),
         "speedup": round(serial_seconds / process_seconds, 2),
+    }
+
+
+def sweep_cache_bench(repeats: int) -> dict:
+    """Warm content-addressed cache vs cold re-simulation on the sweep dial.
+
+    The ``sweep_cache`` section behind the >= 20x gate in
+    ``benchmarks/test_bench_cache.py``: one cold run per repeat against a
+    fresh cache directory (the honest populate cost, simulation plus
+    store writes), then warm re-runs against the populated store through
+    a fresh :class:`~repro.scenarios.store.ResultStore` instance each
+    time - disk reads and key hashes, no in-memory LRU carryover, no
+    engine invocations (``cache_hits == points`` is asserted, and the
+    warm results are bit-identical to the cold run's).  Single-core by
+    nature: a cache hit needs no parallelism to win.
+    """
+    import shutil
+    import tempfile
+
+    from repro.scenarios import ResultStore
+
+    sweep = cache_sweep()
+    points = len(sweep.points())
+    work_dir = Path(tempfile.mkdtemp(prefix="bench-sweep-cache-"))
+    try:
+        cold_samples = []
+        for repeat in range(repeats):
+            cache_dir = work_dir / f"cold-{repeat}"
+            start = time.perf_counter()
+            cold = run_sweep(sweep, executor="serial", cache=cache_dir)
+            cold_samples.append(time.perf_counter() - start)
+        cold_seconds = statistics.median(cold_samples)
+
+        warm_dir = work_dir / f"cold-{repeats - 1}"
+
+        def warm_run():
+            store = ResultStore(warm_dir)  # fresh LRU: hits come from disk
+            result = run_sweep(sweep, executor="serial", cache=store)
+            assert result.cache_hits == points, "warm run invoked an engine"
+            return result
+
+        warm_seconds = _median_seconds(warm_run, repeats)
+        assert warm_run().results == cold.results
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    return {
+        "points": points,
+        "trials_per_point": CACHE_TRIALS_PER_POINT,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "cache_hits": points,
     }
 
 
@@ -551,6 +605,7 @@ def main(argv: list[str] | None = None) -> int:
     history_engine = history_bench(measurements["cd_willard"], args.repeats)
     sweep_executor = sweep_bench(args.sweep_trials, args.repeats, args.sweep_workers)
     sweep_fused = fused_bench(args.repeats)
+    sweep_cache = sweep_cache_bench(args.repeats)
     adversary = adversary_bench(args.trials, args.repeats)
     adaptive = adversary_adaptive(args.trials, args.repeats)
     open_system = open_system_bench(args.repeats)
@@ -576,6 +631,7 @@ def main(argv: list[str] | None = None) -> int:
         "history_engine": history_engine,
         "sweep_executor": sweep_executor,
         "sweep_fused": sweep_fused,
+        "sweep_cache": sweep_cache,
         "adversary": adversary,
         "adversary_adaptive": adaptive,
         "open_system": open_system,
@@ -636,6 +692,12 @@ def main(argv: list[str] | None = None) -> int:
             f"fused={row['fused_seconds']:.3f}s speedup={row['speedup']}x "
             f"({row['points']} points)"
         )
+    print(
+        f"sweep_cache: cold={sweep_cache['cold_seconds']:.3f}s "
+        f"warm={sweep_cache['warm_seconds']:.4f}s "
+        f"speedup={sweep_cache['speedup']}x "
+        f"({sweep_cache['points']} points, all cache hits)"
+    )
     print(
         f"open_system: scalar={open_system['scalar_seconds']:.3f}s "
         f"vectorized={open_system['batch_seconds']:.3f}s "
